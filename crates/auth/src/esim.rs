@@ -1,0 +1,199 @@
+//! Remotely provisionable eSIMs.
+//!
+//! §4.2: *"The GSMA recently finalized specifications for remotely
+//! provisionable e-SIMs, which allow for holding multiple identities on
+//! different networks simultaneously... end users could simultaneously
+//! maintain an open dLTE SIM alongside other secured SIMs."* An
+//! [`EsimCard`] holds multiple [`Profile`]s — each a full [`Usim`] tagged
+//! with the network it belongs to and whether its key is published — and
+//! can switch between them or download new ones.
+
+use crate::usim::Usim;
+use crate::{Imsi, Key};
+use serde::{Deserialize, Serialize};
+
+/// How a profile's key is handled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ProfileKind {
+    /// Traditional carrier profile: key known only to SIM + home HSS.
+    CarrierSecured,
+    /// Open dLTE profile: key pre-published to the directory.
+    OpenPublished,
+}
+
+/// One eSIM profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Profile {
+    /// Home network identifier (PLMN-ish).
+    pub network_id: u64,
+    pub kind: ProfileKind,
+    pub usim: Usim,
+}
+
+/// A multi-profile eSIM card.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EsimCard {
+    profiles: Vec<Profile>,
+    active: Option<usize>,
+}
+
+impl EsimCard {
+    pub fn new() -> Self {
+        EsimCard {
+            profiles: Vec::new(),
+            active: None,
+        }
+    }
+
+    /// Download (provision) a profile; becomes active if it's the first.
+    /// Duplicate IMSIs are rejected (a card can't hold two profiles with the
+    /// same identity).
+    pub fn download(&mut self, network_id: u64, kind: ProfileKind, imsi: Imsi, k: Key) -> bool {
+        if self.profiles.iter().any(|p| p.usim.imsi == imsi) {
+            return false;
+        }
+        self.profiles.push(Profile {
+            network_id,
+            kind,
+            usim: Usim::new(imsi, k),
+        });
+        if self.active.is_none() {
+            self.active = Some(self.profiles.len() - 1);
+        }
+        true
+    }
+
+    /// Delete a profile by IMSI. Deleting the active profile deactivates it.
+    pub fn delete(&mut self, imsi: Imsi) -> bool {
+        let Some(pos) = self.profiles.iter().position(|p| p.usim.imsi == imsi) else {
+            return false;
+        };
+        self.profiles.remove(pos);
+        self.active = match self.active {
+            Some(a) if a == pos => None,
+            Some(a) if a > pos => Some(a - 1),
+            other => other,
+        };
+        true
+    }
+
+    /// Activate the profile with `imsi`.
+    pub fn activate(&mut self, imsi: Imsi) -> bool {
+        match self.profiles.iter().position(|p| p.usim.imsi == imsi) {
+            Some(pos) => {
+                self.active = Some(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The active profile.
+    pub fn active_profile(&self) -> Option<&Profile> {
+        self.active.map(|i| &self.profiles[i])
+    }
+
+    /// Mutable active profile (to run AKA on its USIM).
+    pub fn active_profile_mut(&mut self) -> Option<&mut Profile> {
+        self.active.map(move |i| &mut self.profiles[i])
+    }
+
+    /// Find the best profile for a network: exact network match first, then
+    /// any open/published profile (the dLTE fallback — an open AP accepts
+    /// any published identity).
+    pub fn profile_for_network(&mut self, network_id: u64, network_is_open: bool) -> Option<&mut Profile> {
+        let pos = self
+            .profiles
+            .iter()
+            .position(|p| p.network_id == network_id)
+            .or_else(|| {
+                if network_is_open {
+                    self.profiles
+                        .iter()
+                        .position(|p| p.kind == ProfileKind::OpenPublished)
+                } else {
+                    None
+                }
+            })?;
+        Some(&mut self.profiles[pos])
+    }
+
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+}
+
+impl Default for EsimCard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_and_activate() {
+        let mut card = EsimCard::new();
+        assert!(card.is_empty());
+        assert!(card.download(100, ProfileKind::CarrierSecured, 1001, 0xAA));
+        assert!(card.download(0, ProfileKind::OpenPublished, 1002, 0xBB));
+        assert_eq!(card.len(), 2);
+        // First download auto-activates.
+        assert_eq!(card.active_profile().unwrap().usim.imsi, 1001);
+        assert!(card.activate(1002));
+        assert_eq!(card.active_profile().unwrap().usim.imsi, 1002);
+        assert!(!card.activate(9999));
+    }
+
+    #[test]
+    fn duplicate_imsi_rejected() {
+        let mut card = EsimCard::new();
+        assert!(card.download(100, ProfileKind::CarrierSecured, 1001, 0xAA));
+        assert!(!card.download(200, ProfileKind::OpenPublished, 1001, 0xBB));
+        assert_eq!(card.len(), 1);
+    }
+
+    #[test]
+    fn delete_adjusts_active_index() {
+        let mut card = EsimCard::new();
+        card.download(1, ProfileKind::CarrierSecured, 1, 0x1);
+        card.download(2, ProfileKind::CarrierSecured, 2, 0x2);
+        card.download(3, ProfileKind::CarrierSecured, 3, 0x3);
+        card.activate(3);
+        assert!(card.delete(1), "delete earlier profile");
+        assert_eq!(card.active_profile().unwrap().usim.imsi, 3, "active follows");
+        assert!(card.delete(3), "delete active");
+        assert!(card.active_profile().is_none());
+        assert!(!card.delete(99));
+    }
+
+    #[test]
+    fn network_selection_prefers_exact_then_open() {
+        let mut card = EsimCard::new();
+        card.download(100, ProfileKind::CarrierSecured, 1001, 0xAA);
+        card.download(0, ProfileKind::OpenPublished, 1002, 0xBB);
+        // Exact carrier match.
+        assert_eq!(
+            card.profile_for_network(100, false).unwrap().usim.imsi,
+            1001
+        );
+        // Unknown closed network: no profile.
+        assert!(card.profile_for_network(555, false).is_none());
+        // Unknown *open* network: the published profile applies — the
+        // paper's "open dLTE SIM alongside other secured SIMs".
+        assert_eq!(
+            card.profile_for_network(555, true).unwrap().usim.imsi,
+            1002
+        );
+    }
+}

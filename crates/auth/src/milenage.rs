@@ -1,0 +1,165 @@
+//! MILENAGE-shaped key derivation functions.
+//!
+//! **Security notice:** these functions reproduce the *interfaces and
+//! algebraic structure* of 3GPP TS 35.206 (f1: network MAC, f2: RES,
+//! f3: CK, f4: IK, f5: AK, f1\*: resync MAC, f5\*: resync AK) but replace
+//! the AES core with a SplitMix64-based mixer. They are **not
+//! cryptographically secure** and must never guard real traffic. For the
+//! simulation this is exactly right: the paper's architecture argument
+//! depends on *who holds which key and which procedures run where*, not on
+//! AES; and a dependency-free mixer keeps the workspace inside its approved
+//! crate set.
+
+use crate::Key;
+
+/// SplitMix64 finalizer — a strong 64-bit mixing permutation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix a 128-bit key with up to three 64-bit words into a 128-bit output.
+fn prf(k: Key, domain: u64, a: u64, b: u64) -> u128 {
+    let kh = (k >> 64) as u64;
+    let kl = k as u64;
+    // Both output words must depend on every input word; chain the second
+    // through the first and fold the full key and both data words into each.
+    let h1 = mix64(
+        kh ^ mix64(kl ^ 0xA5A5)
+            ^ mix64(domain ^ 0xD1)
+            ^ mix64(a)
+            ^ mix64(b ^ 0xB7E1_5162_8AED_2A6A),
+    );
+    let h2 = mix64(
+        kl ^ mix64(kh ^ 0x5A5A)
+            ^ mix64(domain ^ 0xD2)
+            ^ mix64(b)
+            ^ mix64(a ^ 0x243F_6A88_85A3_08D3)
+            ^ h1,
+    );
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+/// f1 — network authentication code MAC-A over (SQN, RAND, AMF).
+pub fn f1(k: Key, rand: u128, sqn: u64, amf: u16) -> u64 {
+    (prf(k, 1, (rand >> 64) as u64 ^ sqn, rand as u64 ^ amf as u64) >> 64) as u64
+}
+
+/// f1\* — resynchronization MAC MAC-S.
+pub fn f1_star(k: Key, rand: u128, sqn: u64, amf: u16) -> u64 {
+    (prf(k, 11, (rand >> 64) as u64 ^ sqn, rand as u64 ^ amf as u64) >> 64) as u64
+}
+
+/// f2 — the challenge response RES.
+pub fn f2(k: Key, rand: u128) -> u64 {
+    (prf(k, 2, (rand >> 64) as u64, rand as u64) >> 64) as u64
+}
+
+/// f3 — cipher key CK.
+pub fn f3(k: Key, rand: u128) -> u128 {
+    prf(k, 3, (rand >> 64) as u64, rand as u64)
+}
+
+/// f4 — integrity key IK.
+pub fn f4(k: Key, rand: u128) -> u128 {
+    prf(k, 4, (rand >> 64) as u64, rand as u64)
+}
+
+/// f5 — anonymity key AK (conceals SQN on the wire).
+pub fn f5(k: Key, rand: u128) -> u64 {
+    // 48-bit AK in the spec; keep 48 bits for shape fidelity.
+    (prf(k, 5, (rand >> 64) as u64, rand as u64) as u64) & 0xffff_ffff_ffff
+}
+
+/// f5\* — resynchronization anonymity key.
+pub fn f5_star(k: Key, rand: u128) -> u64 {
+    (prf(k, 15, (rand >> 64) as u64, rand as u64) as u64) & 0xffff_ffff_ffff
+}
+
+/// KASME derivation (TS 33.401 KDF shape): binds CK/IK to the serving
+/// network id, so vectors issued for one network are useless at another —
+/// unless, as in open dLTE, the key itself is public.
+pub fn kasme(ck: u128, ik: u128, serving_network_id: u64, sqn_xor_ak: u64) -> u128 {
+    prf(
+        ck ^ ik.rotate_left(64),
+        6,
+        serving_network_id,
+        sqn_xor_ak,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: Key = 0x0123_4567_89ab_cdef_0123_4567_89ab_cdef;
+    const RAND: u128 = 0xdead_beef_cafe_f00d_dead_beef_cafe_f00d;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(f1(K, RAND, 7, 0x8000), f1(K, RAND, 7, 0x8000));
+        assert_eq!(f2(K, RAND), f2(K, RAND));
+        assert_eq!(f3(K, RAND), f3(K, RAND));
+    }
+
+    #[test]
+    fn functions_are_domain_separated() {
+        // Same inputs, different functions → different outputs.
+        let outs = [
+            f2(K, RAND),
+            f3(K, RAND) as u64,
+            f4(K, RAND) as u64,
+            f5(K, RAND),
+            f5_star(K, RAND),
+        ];
+        for i in 0..outs.len() {
+            for j in (i + 1)..outs.len() {
+                assert_ne!(outs[i], outs[j], "collision between f{} and f{}", i, j);
+            }
+        }
+        assert_ne!(f1(K, RAND, 7, 0), f1_star(K, RAND, 7, 0));
+    }
+
+    #[test]
+    fn sensitive_to_every_input() {
+        assert_ne!(f1(K, RAND, 7, 0), f1(K, RAND, 8, 0), "sqn");
+        assert_ne!(f1(K, RAND, 7, 0), f1(K, RAND, 7, 1), "amf");
+        assert_ne!(f1(K, RAND, 7, 0), f1(K ^ 1, RAND, 7, 0), "key");
+        assert_ne!(f1(K, RAND, 7, 0), f1(K, RAND ^ 1, 7, 0), "rand");
+        assert_ne!(f2(K, RAND), f2(K ^ (1 << 127), RAND), "high key bit");
+    }
+
+    #[test]
+    fn ak_is_48_bits() {
+        for r in [RAND, RAND ^ 1, RAND ^ 2] {
+            assert!(f5(K, r) < (1 << 48));
+            assert!(f5_star(K, r) < (1 << 48));
+        }
+    }
+
+    #[test]
+    fn kasme_binds_serving_network() {
+        let ck = f3(K, RAND);
+        let ik = f4(K, RAND);
+        let a = kasme(ck, ik, 310_410, 7);
+        let b = kasme(ck, ik, 310_260, 7);
+        assert_ne!(a, b, "different serving networks must derive different KASME");
+    }
+
+    #[test]
+    fn outputs_look_uniform() {
+        // A smoke test that the mixer isn't degenerate: over many RANDs the
+        // low bit of f2 should be balanced.
+        let mut ones = 0;
+        let n = 4096;
+        for i in 0..n {
+            if f2(K, RAND ^ (i as u128) << 17) & 1 == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "bias {frac}");
+    }
+}

@@ -1,0 +1,117 @@
+//! The §4.2 dual-identity story, end to end across the auth stack: one
+//! eSIM device holds a carrier-secured profile *and* an open dLTE profile
+//! ("end users could simultaneously maintain an open dLTE SIM alongside
+//! other secured SIMs for different networks"), and each works only where
+//! its trust model says it should.
+
+use dlte_auth::esim::{EsimCard, ProfileKind};
+use dlte_auth::open::PublishedKeyDirectory;
+use dlte_auth::vectors::{generate_vector, SubscriberDb};
+use dlte_sim::SimRng;
+
+const CARRIER_NET: u64 = 51_089;
+const DLTE_NET: u64 = 42_000;
+const CARRIER_IMSI: u64 = 51_089_000_000_1;
+const OPEN_IMSI: u64 = 99_000_000_1;
+const CARRIER_KEY: u128 = 0xC0FFEE;
+const OPEN_KEY: u128 = 0x0D17E;
+
+fn provisioned_device() -> EsimCard {
+    let mut card = EsimCard::new();
+    // The carrier installs its secured profile over the air…
+    assert!(card.download(CARRIER_NET, ProfileKind::CarrierSecured, CARRIER_IMSI, CARRIER_KEY));
+    // …and the user later downloads an open dLTE identity next to it.
+    assert!(card.download(DLTE_NET, ProfileKind::OpenPublished, OPEN_IMSI, OPEN_KEY));
+    card
+}
+
+#[test]
+fn carrier_profile_authenticates_at_the_carrier() {
+    let mut card = provisioned_device();
+    // The carrier HSS knows only its own subscribers.
+    let mut hss = SubscriberDb::new();
+    hss.provision(CARRIER_IMSI, CARRIER_KEY);
+    let mut rng = SimRng::new(1);
+
+    let profile = card
+        .profile_for_network(CARRIER_NET, false)
+        .expect("carrier match");
+    assert_eq!(profile.kind, ProfileKind::CarrierSecured);
+    let imsi = profile.usim.imsi;
+    let v = hss.vector_for(imsi, CARRIER_NET, &mut rng).expect("subscriber known");
+    let resp = profile
+        .usim
+        .authenticate(v.rand, v.autn, CARRIER_NET)
+        .expect("mutual auth at home carrier");
+    assert_eq!(resp.res, v.xres);
+    assert_eq!(resp.kasme, v.kasme);
+}
+
+#[test]
+fn open_profile_authenticates_at_any_dlte_ap() {
+    let mut card = provisioned_device();
+    // The open key was pre-published; two unrelated APs read it.
+    let mut dir = PublishedKeyDirectory::new();
+    dir.publish(OPEN_IMSI, OPEN_KEY);
+    let mut rng = SimRng::new(2);
+
+    for ap_net in [DLTE_NET, DLTE_NET + 7] {
+        let profile = card
+            .profile_for_network(ap_net, true)
+            .expect("open fallback applies");
+        assert_eq!(profile.kind, ProfileKind::OpenPublished);
+        let mut rec = dir.record_for(OPEN_IMSI).expect("published");
+        // Second AP starts stale; resync if needed.
+        let v = generate_vector(&mut rec, ap_net, &mut rng);
+        match profile.usim.authenticate(v.rand, v.autn, ap_net) {
+            Ok(resp) => assert_eq!(resp.res, v.xres),
+            Err(dlte_auth::usim::AkaError::SyncFailure { ue_sqn }) => {
+                rec.sqn = rec.sqn.max(ue_sqn);
+                let v = generate_vector(&mut rec, ap_net, &mut rng);
+                let resp = profile
+                    .usim
+                    .authenticate(v.rand, v.autn, ap_net)
+                    .expect("post-resync");
+                assert_eq!(resp.res, v.xres);
+            }
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn trust_boundaries_hold() {
+    let mut card = provisioned_device();
+    let mut rng = SimRng::new(3);
+
+    // A dLTE AP cannot serve the carrier profile: its key was never
+    // published, so the directory has nothing to mint vectors from.
+    let mut dir = PublishedKeyDirectory::new();
+    dir.publish(OPEN_IMSI, OPEN_KEY);
+    assert!(dir.record_for(CARRIER_IMSI).is_none());
+
+    // The carrier cannot serve the open profile: its HSS never provisioned
+    // that IMSI.
+    let mut hss = SubscriberDb::new();
+    hss.provision(CARRIER_IMSI, CARRIER_KEY);
+    assert!(hss.vector_for(OPEN_IMSI, CARRIER_NET, &mut rng).is_none());
+
+    // A *malicious* AP guessing at the carrier key fails MAC verification
+    // at the SIM: publishing one identity does not weaken the other.
+    let profile = card
+        .profile_for_network(CARRIER_NET, false)
+        .expect("carrier profile");
+    let mut fake = dlte_auth::vectors::SubscriberRecord {
+        imsi: CARRIER_IMSI,
+        k: OPEN_KEY, // attacker only knows the published key
+        sqn: 0,
+    };
+    let v = generate_vector(&mut fake, CARRIER_NET, &mut rng);
+    assert_eq!(
+        profile.usim.authenticate(v.rand, v.autn, CARRIER_NET),
+        Err(dlte_auth::usim::AkaError::MacFailure)
+    );
+
+    // And a closed network that isn't the carrier gets no profile at all.
+    assert!(card.profile_for_network(12_345, false).is_none());
+}

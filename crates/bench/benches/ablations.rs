@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! These are *quality* ablations run under Criterion so they regenerate with
+//! `cargo bench`: each group evaluates the alternatives of one design choice
+//! on a fixed workload and reports the figure of merit through
+//! `criterion::black_box` (the timing numbers double as a regression guard
+//! on the simulator's hot paths).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_mac::lte::scheduler::SchedulerKind;
+use dlte_phy::harq::{Combining, HarqConfig, HarqProcessModel};
+use dlte_phy::mcs::CQI_TABLE;
+use dlte_sim::{SimDuration, SimRng};
+use dlte_x2::bandwidth::x2_bps;
+use dlte_x2::CoordinationMode;
+
+/// Choice 1 — cell scheduler: PF (default) vs RR vs Max-C/I on a mixed
+/// near/far population.
+fn ablate_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/scheduler");
+    g.sample_size(10);
+    for kind in [
+        SchedulerKind::ProportionalFair,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::MaxCi,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut cfg = CellConfig::rural_default();
+                    cfg.scheduler = kind;
+                    let ues = vec![
+                        UeConfig::at_km(0.5),
+                        UeConfig::at_km(2.0),
+                        UeConfig::at_km(8.0),
+                        UeConfig::at_km(15.0),
+                    ];
+                    let mut sim = CellSim::new(cfg, ues, &SimRng::new(1));
+                    let r = sim.run(SimDuration::from_millis(500));
+                    black_box((r.aggregate_goodput_bps, r.jain_fairness))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Choice 2 — HARQ depth and combining: 1/2/4/6 transmissions, chase vs
+/// plain, evaluated 2 dB under the MCS threshold.
+fn ablate_harq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/harq");
+    for (label, max_tx, combining) in [
+        ("1tx", 1u8, Combining::None),
+        ("2tx_chase", 2, Combining::Chase),
+        ("4tx_chase", 4, Combining::Chase),
+        ("6tx_chase", 6, Combining::Chase),
+        ("4tx_plain", 4, Combining::None),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let m = HarqProcessModel::new(HarqConfig {
+                max_transmissions: max_tx,
+                bler_slope_db: 0.6,
+                combining,
+            });
+            let cqi = &CQI_TABLE[8];
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..1_000 {
+                    let snr = cqi.sinr_threshold_db - 2.0 + (i % 40) as f64 * 0.1;
+                    acc += m.goodput_bps(snr, cqi, 50);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Choice 3 — FEC group size in the modern transport: off / 4 / 8 / 16 on a
+/// 3%-lossy link (figure of merit: retransmissions avoided).
+fn ablate_fec(c: &mut Criterion) {
+    use dlte_net::{Addr, LinkConfig, NetworkBuilder, Prefix};
+    use dlte_sim::SimTime;
+    use dlte_transport::connection::TransportConfig;
+    use dlte_transport::{TransportClientNode, TransportServerNode};
+
+    let mut g = c.benchmark_group("ablation/fec_group");
+    g.sample_size(10);
+    for k in [0u32, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let cfg = TransportConfig {
+                    fec_k: k,
+                    ..TransportConfig::default()
+                };
+                let mut nb = NetworkBuilder::new(33);
+                let server_addr = Addr::new(10, 0, 0, 2);
+                let client = nb.host(
+                    "c",
+                    Box::new(TransportClientNode::new(cfg, server_addr, 240_000)),
+                );
+                nb.addr(client, Addr::new(10, 0, 0, 1));
+                let server = nb.host("s", Box::new(TransportServerNode::new(7, cfg)));
+                nb.addr(server, server_addr);
+                let mut link = LinkConfig {
+                    delay: SimDuration::from_millis(20),
+                    rate_bps: 50e6,
+                    queue_pkts: 500,
+                    loss: 0.03,
+                };
+                link.loss = 0.03;
+                let l = nb.link(client, server, link);
+                nb.route(client, Prefix::new(server_addr, 32), l);
+                nb.route(server, Prefix::new(Addr::new(10, 0, 0, 1), 32), l);
+                let mut sim = nb.build();
+                sim.run_until(SimTime::from_secs(30), 2_000_000);
+                let w = sim.world();
+                let cl = w.handler_as::<TransportClientNode>(client).unwrap();
+                black_box((cl.conn.retransmissions, cl.completed_at))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Choice 4 — X2 reporting interval: overhead at 100 ms / 500 ms / 2 s for
+/// an 8-peer cooperative mesh (closed form; the live measurement is E11).
+fn ablate_x2_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/x2_interval");
+    for ms in [100u64, 500, 2_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(ms), &ms, |b, &ms| {
+            b.iter(|| {
+                let bps = x2_bps(
+                    CoordinationMode::Cooperative,
+                    8,
+                    SimDuration::from_millis(ms),
+                    40,
+                );
+                black_box(bps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_scheduler,
+    ablate_harq,
+    ablate_fec,
+    ablate_x2_interval
+);
+criterion_main!(benches);

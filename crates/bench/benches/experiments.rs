@@ -1,0 +1,154 @@
+//! One Criterion bench target per paper table/figure.
+//!
+//! Each bench regenerates its experiment end-to-end (reduced sweeps where
+//! the full ones take tens of seconds), so `cargo bench` exercises every
+//! row EXPERIMENTS.md reports. The experiment binaries (`cargo run -p
+//! dlte-bench --bin e1_range`) produce the full-size tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlte::experiments as ex;
+
+fn light(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/light");
+    g.sample_size(20);
+    g.bench_function("t1_design_space", |b| {
+        b.iter(|| black_box(ex::t1_design_space::run()))
+    });
+    g.bench_function("f2_deployment", |b| {
+        b.iter(|| black_box(ex::f2_deployment::run()))
+    });
+    g.bench_function("e3_harq", |b| b.iter(|| black_box(ex::e3_harq::run())));
+    g.finish();
+}
+
+fn radio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/radio");
+    g.sample_size(10);
+    g.bench_function("e1_range", |b| {
+        b.iter(|| {
+            black_box(ex::e1_range::run_with(ex::e1_range::Params {
+                distances_km: vec![0.5, 4.0, 16.0],
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e2_uplink", |b| {
+        b.iter(|| {
+            black_box(ex::e2_uplink::run_with(ex::e2_uplink::Params {
+                distances_km: vec![4.0, 16.0],
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e4_timing_advance", |b| {
+        b.iter(|| {
+            black_box(ex::e4_timing_advance::run_with(
+                ex::e4_timing_advance::Params {
+                    distances_km: vec![0.5, 5.0, 10.0],
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    g.bench_function("e5_fairness", |b| {
+        b.iter(|| {
+            black_box(ex::e5_fairness::run_with(ex::e5_fairness::Params {
+                ap_counts: vec![2, 8],
+                client_km: 1.0,
+                seconds: 1,
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e6_hidden_terminal", |b| {
+        b.iter(|| {
+            black_box(ex::e6_hidden_terminal::run_with(
+                ex::e6_hidden_terminal::Params { seconds: 1, seed: 1 },
+            ))
+        })
+    });
+    g.bench_function("e7_cooperative", |b| {
+        b.iter(|| {
+            black_box(ex::e7_cooperative::run_with(ex::e7_cooperative::Params {
+                seconds: 1,
+                ..Default::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn architecture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments/architecture");
+    g.sample_size(10);
+    g.bench_function("f1_architecture", |b| {
+        b.iter(|| {
+            black_box(ex::f1_architecture::run_with(ex::f1_architecture::Params {
+                seconds: 5,
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e8_mobility", |b| {
+        b.iter(|| {
+            black_box(ex::e8_mobility::run_with(ex::e8_mobility::Params {
+                dwell_s: vec![5.0, 1.0],
+                inet_delay_ms: 10,
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e9_core_scaling", |b| {
+        b.iter(|| {
+            black_box(ex::e9_core_scaling::run_with(ex::e9_core_scaling::Params {
+                ue_counts: vec![10, 50],
+                ues_per_site: 10,
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e10_breakout", |b| {
+        b.iter(|| {
+            black_box(ex::e10_breakout::run_with(ex::e10_breakout::Params {
+                epc_delay_ms: vec![5, 30],
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e11_x2_overhead", |b| {
+        b.iter(|| {
+            black_box(ex::e11_x2_overhead::run_with(ex::e11_x2_overhead::Params {
+                ap_counts: vec![2, 4],
+                seconds: 5,
+                seed: 1,
+            }))
+        })
+    });
+    g.bench_function("e13_backhaul_resilience", |b| {
+        b.iter(|| {
+            black_box(ex::e13_backhaul_resilience::run_with(
+                ex::e13_backhaul_resilience::Params {
+                    fail_at_s: 3.0,
+                    reconverge_after_s: 2.0,
+                    total_s: 10.0,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    g.bench_function("e12_transport_ablation", |b| {
+        b.iter(|| {
+            black_box(ex::e12_transport_ablation::run_with(
+                ex::e12_transport_ablation::Params {
+                    dwell_s: 3.0,
+                    total_s: 12.0,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, light, radio, architecture);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches for the packet substrate and the control planes:
+//! forwarding throughput, full attach procedures, transport transfers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlte::scenario::{DlteNetworkBuilder, DltePlan};
+use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
+use dlte_net::handlers::CbrSource;
+use dlte_net::{Addr, LinkConfig, NetworkBuilder, Prefix};
+use dlte_sim::SimTime;
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/forwarding");
+    g.sample_size(20);
+    // 3-hop line, 10k packets.
+    g.bench_function("line_10k_packets", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(1);
+            let dst_addr = Addr::new(10, 0, 0, 9);
+            let src = nb.host(
+                "src",
+                Box::new(CbrSource::new(dst_addr, 1, 80e6, 1000)),
+            );
+            nb.addr(src, Addr::new(10, 0, 0, 1));
+            let r1 = nb.node("r1");
+            let r2 = nb.node("r2");
+            let dst = nb.node("dst");
+            nb.addr(dst, dst_addr);
+            nb.link(src, r1, LinkConfig::lan());
+            nb.link(r1, r2, LinkConfig::lan());
+            nb.link(r2, dst, LinkConfig::lan());
+            nb.auto_routes();
+            let mut sim = nb.build();
+            sim.run_until(SimTime::from_secs(1), 500_000);
+            black_box(sim.world().trace().total_delivered())
+        })
+    });
+    g.finish();
+}
+
+fn bench_attach(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/attach");
+    g.sample_size(10);
+    g.bench_function("centralized_10ues", |b| {
+        b.iter(|| {
+            let mut net = CentralizedLteBuilder::new(1, 10)
+                .with_ue_plan(|_| UePlan::default())
+                .build();
+            net.sim.run_until(SimTime::from_secs(10), 10_000_000);
+            black_box(net.sim.events_dispatched())
+        })
+    });
+    g.bench_function("dlte_10ues", |b| {
+        b.iter(|| {
+            let mut net = DlteNetworkBuilder::new(1, 10)
+                .with_ue_plan(|_| DltePlan::default())
+                .build();
+            net.sim.run_until(SimTime::from_secs(10), 10_000_000);
+            black_box(net.sim.events_dispatched())
+        })
+    });
+    g.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    use dlte_transport::connection::TransportConfig;
+    use dlte_transport::{TransportClientNode, TransportServerNode};
+    let mut g = c.benchmark_group("net/transport");
+    g.sample_size(10);
+    g.bench_function("upload_1mb", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(1);
+            let server_addr = Addr::new(10, 0, 0, 2);
+            let client = nb.host(
+                "c",
+                Box::new(TransportClientNode::new(
+                    TransportConfig::modern(),
+                    server_addr,
+                    1_000_000,
+                )),
+            );
+            nb.addr(client, Addr::new(10, 0, 0, 1));
+            let server = nb.host(
+                "s",
+                Box::new(TransportServerNode::new(7, TransportConfig::modern())),
+            );
+            nb.addr(server, server_addr);
+            let l = nb.link(client, server, LinkConfig::lan());
+            nb.route(client, Prefix::new(server_addr, 32), l);
+            nb.route(server, Prefix::new(Addr::new(10, 0, 0, 1), 32), l);
+            let mut sim = nb.build();
+            sim.run_until(SimTime::from_secs(30), 5_000_000);
+            black_box(sim.events_dispatched())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding, bench_attach, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the radio models: the subframe cell simulator,
+//! the slotted DCF MAC, HARQ and propagation math.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlte_mac::wifi::dcf::{DcfConfig, DcfSim, StationConfig};
+use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_phy::harq::{HarqConfig, HarqProcessModel};
+use dlte_phy::mcs::CQI_TABLE;
+use dlte_phy::propagation::PathLossModel;
+use dlte_sim::{SimDuration, SimRng};
+
+fn bench_cell_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radio/cell_sim");
+    g.sample_size(20);
+    g.bench_function("1s_4ues", |b| {
+        b.iter(|| {
+            let rng = SimRng::new(1);
+            let ues = vec![
+                UeConfig::at_km(0.5),
+                UeConfig::at_km(2.0),
+                UeConfig::at_km(5.0),
+                UeConfig::at_km(10.0),
+            ];
+            let mut sim = CellSim::new(CellConfig::rural_default(), ues, &rng);
+            black_box(sim.run(SimDuration::from_secs(1)).aggregate_goodput_bps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dcf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radio/dcf");
+    g.sample_size(20);
+    g.bench_function("1s_8stations", |b| {
+        b.iter(|| {
+            let mut sim = DcfSim::fully_connected(
+                DcfConfig::default(),
+                vec![StationConfig::saturated(25.0); 8],
+                SimRng::new(1),
+            );
+            black_box(sim.run(SimDuration::from_secs(1)).aggregate_goodput_bps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_phy_math(c: &mut Criterion) {
+    c.bench_function("radio/harq_stats_10k", |b| {
+        let m = HarqProcessModel::new(HarqConfig::default());
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000 {
+                let snr = -10.0 + (i % 400) as f64 * 0.1;
+                acc += m.stats(snr, &CQI_TABLE[8]).efficiency;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("radio/hata_100k", |b| {
+        let model = PathLossModel::rural_macro();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100_000 {
+                acc += model.path_loss_db(850.0, i as f64 * 0.001);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cell_sim, bench_dcf, bench_phy_math);
+criterion_main!(benches);

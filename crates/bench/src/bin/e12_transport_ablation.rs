@@ -1,0 +1,4 @@
+//! Regenerates experiment e12 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::e12_transport_ablation::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E13 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::e13_backhaul_resilience::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e4 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::e4_timing_advance::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment e6 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::e6_hidden_terminal::run());
+}

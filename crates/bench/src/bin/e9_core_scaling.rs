@@ -1,0 +1,4 @@
+//! Regenerates experiment e9 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::e9_core_scaling::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment f1 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::f1_architecture::run());
+}

@@ -1,0 +1,34 @@
+//! Regenerates every table and figure of the reproduction in one pass
+//! (the source of EXPERIMENTS.md). Pass `--json` for machine-readable
+//! output.
+use dlte::experiments as ex;
+
+fn main() {
+    let tables = vec![
+        ex::t1_design_space::run(),
+        ex::f1_architecture::run(),
+        ex::f2_deployment::run(),
+        ex::e1_range::run(),
+        ex::e2_uplink::run(),
+        ex::e3_harq::run(),
+        ex::e4_timing_advance::run(),
+        ex::e5_fairness::run(),
+        ex::e6_hidden_terminal::run(),
+        ex::e7_cooperative::run(),
+        ex::e8_mobility::run(),
+        ex::e9_core_scaling::run(),
+        ex::e10_breakout::run(),
+        ex::e11_x2_overhead::run(),
+        ex::e12_transport_ablation::run(),
+        ex::e13_backhaul_resilience::run(),
+    ];
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        let all: Vec<_> = tables.iter().collect();
+        println!("{}", serde_json::to_string_pretty(&all).unwrap());
+    } else {
+        for t in tables {
+            println!("{t}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment t1 — see EXPERIMENTS.md and DESIGN.md §3.
+fn main() {
+    dlte_bench::emit(dlte::experiments::t1_design_space::run());
+}

@@ -1,0 +1,17 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary prints its experiment's [`dlte::experiments::Table`] as
+//! human-readable text, or as JSON with `--json` (the form EXPERIMENTS.md
+//! is regenerated from).
+
+use dlte::experiments::Table;
+
+/// Print a table honoring the `--json` flag.
+pub fn emit(table: Table) {
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        println!("{}", table.to_json());
+    } else {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,125 @@
+//! The dLTE access point: local core + X2 agent on one node.
+//!
+//! §4.1's "one stub per site" composed with §4.3's peer coordination. The
+//! AP is a single network host; this handler demultiplexes its inbound
+//! traffic: NAS and directory answers to the local core, X2 to the peer
+//! agent, everything else to the user plane (local breakout).
+//!
+//! The AP also closes the coordination loop: after each X2 share update it
+//! re-derives the MAC-level resource partition its cell scheduler would
+//! enforce (exposed via [`DlteApNode::tdm_share`] for the radio layer and
+//! the E5/E7 experiments).
+
+use crate::resilience::BackhaulFailover;
+use dlte_epc::local_core::{DirMsg, LocalCoreNode};
+use dlte_epc::messages::S1Nas;
+use dlte_net::{NodeCtx, NodeHandler, Packet};
+use dlte_x2::{X2Agent, X2Msg};
+
+/// A dLTE access point node handler.
+pub struct DlteApNode {
+    pub core: LocalCoreNode,
+    pub x2: X2Agent,
+    /// §7 extension: emergency egress via a mesh neighbor when the backhaul
+    /// dies (detected through X2 peer silence).
+    pub failover: Option<BackhaulFailover>,
+}
+
+impl DlteApNode {
+    pub fn new(core: LocalCoreNode, x2: X2Agent) -> Self {
+        DlteApNode {
+            core,
+            x2,
+            failover: None,
+        }
+    }
+
+    /// Enable backhaul failover over a mesh link.
+    pub fn with_failover(mut self, failover: BackhaulFailover) -> Self {
+        self.failover = Some(failover);
+        self
+    }
+
+    /// The time-domain share of the channel this AP is entitled to under
+    /// the current X2 agreement (1.0 when independent or peerless).
+    pub fn tdm_share(&self) -> f64 {
+        self.x2.my_share
+    }
+
+    /// Keep the X2 demand signal fresh from the core's load: an AP with no
+    /// attached clients advertises (almost) no demand, donating its share.
+    fn refresh_demand(&mut self) {
+        let sessions = self.core.active_sessions();
+        self.x2.my_clients = sessions as u32;
+        self.x2.my_demand = if sessions == 0 { 0.05 } else { 1.0 };
+    }
+}
+
+impl NodeHandler for DlteApNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.x2.on_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        // The X2 agent owns tags ≥ 7_000_000 (its tick); the core's
+        // processor allocates upward from 0.
+        if tag >= 7_000_000 {
+            self.refresh_demand();
+            self.x2.on_timer(ctx, tag);
+            if let Some(fo) = &mut self.failover {
+                fo.tick(ctx);
+            }
+        } else {
+            self.core.on_timer(ctx, tag);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(fo) = &mut self.failover {
+            if fo.on_packet(ctx, &packet) {
+                return;
+            }
+        }
+        if packet.payload.as_control::<X2Msg>().is_some() {
+            self.x2.on_packet(ctx, packet);
+        } else if packet.payload.as_control::<S1Nas>().is_some()
+            || packet.payload.as_control::<DirMsg>().is_some()
+        {
+            self.core.on_packet(ctx, packet);
+        } else {
+            // User plane (and anything else): the local core forwards it —
+            // local breakout.
+            self.core.on_packet(ctx, packet);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_epc::local_core::KeySource;
+    use dlte_auth::open::PublishedKeyDirectory;
+    use dlte_net::{Addr, AddrPool, Prefix};
+    use dlte_sim::{SimDuration, SimRng};
+    use dlte_x2::CoordinationMode;
+
+    #[test]
+    fn ap_composes_core_and_x2() {
+        let pool = AddrPool::new(Prefix::new(Addr::new(100, 66, 0, 0), 24));
+        let core = LocalCoreNode::new(
+            42,
+            pool,
+            KeySource::Local(PublishedKeyDirectory::new()),
+            SimDuration::from_micros(200),
+            SimRng::new(1),
+        );
+        let x2 = X2Agent::new(
+            CoordinationMode::FairShare,
+            vec![],
+            SimDuration::from_millis(100),
+        );
+        let ap = DlteApNode::new(core, x2);
+        assert_eq!(ap.tdm_share(), 1.0, "no peers yet → full channel");
+        assert_eq!(ap.core.active_sessions(), 0);
+    }
+}

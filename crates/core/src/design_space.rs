@@ -1,0 +1,186 @@
+//! Table 1 as an executable classification.
+//!
+//! The paper divides the wireless design space along two axes — core
+//! openness and radio regime — and observes that one quadrant (open core ×
+//! licensed radio) was unexplored until dLTE. Here the known systems are
+//! values, the axes are functions of their construction, and the table is
+//! generated, so the claim "dLTE uniquely occupies that quadrant among the
+//! listed systems" is a test rather than prose.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who can add an access point that extends the network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CoreOpenness {
+    /// Anyone conforming to the protocol (legacy WiFi joins a LAN; dLTE
+    /// joins the registry and peers).
+    Open,
+    /// Only the operator of the central core.
+    Closed,
+}
+
+/// Spectrum access regime of the radio.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RadioRegime {
+    /// Licensed (or license-by-rule) coordinated spectrum.
+    Licensed,
+    /// Unlicensed ISM bands.
+    Unlicensed,
+}
+
+/// A known wireless system design.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SystemDesign {
+    LegacyWifi,
+    WifiMesh,
+    EnterpriseWifi,
+    PrivateLte,
+    TelecomLte,
+    FiveGCellular,
+    Dlte,
+}
+
+impl SystemDesign {
+    pub fn all() -> [SystemDesign; 7] {
+        [
+            SystemDesign::LegacyWifi,
+            SystemDesign::WifiMesh,
+            SystemDesign::EnterpriseWifi,
+            SystemDesign::PrivateLte,
+            SystemDesign::TelecomLte,
+            SystemDesign::FiveGCellular,
+            SystemDesign::Dlte,
+        ]
+    }
+
+    /// Core-openness axis.
+    pub fn core(self) -> CoreOpenness {
+        match self {
+            // Anyone can stand up an AP and have clients use it.
+            SystemDesign::LegacyWifi | SystemDesign::WifiMesh | SystemDesign::Dlte => {
+                CoreOpenness::Open
+            }
+            // A controller/EPC gate-keeps which APs extend the network.
+            SystemDesign::EnterpriseWifi
+            | SystemDesign::PrivateLte
+            | SystemDesign::TelecomLte
+            | SystemDesign::FiveGCellular => CoreOpenness::Closed,
+        }
+    }
+
+    /// Radio-regime axis.
+    pub fn radio(self) -> RadioRegime {
+        match self {
+            SystemDesign::LegacyWifi
+            | SystemDesign::WifiMesh
+            | SystemDesign::EnterpriseWifi
+            | SystemDesign::PrivateLte => RadioRegime::Unlicensed,
+            SystemDesign::TelecomLte | SystemDesign::FiveGCellular | SystemDesign::Dlte => {
+                RadioRegime::Licensed
+            }
+        }
+    }
+}
+
+impl fmt::Display for SystemDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SystemDesign::LegacyWifi => "Legacy WiFi",
+            SystemDesign::WifiMesh => "WiFi Mesh",
+            SystemDesign::EnterpriseWifi => "Enterprise WiFi",
+            SystemDesign::PrivateLte => "Private LTE",
+            SystemDesign::TelecomLte => "Telecom LTE",
+            SystemDesign::FiveGCellular => "5G Cellular",
+            SystemDesign::Dlte => "dLTE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Systems in a given quadrant.
+pub fn quadrant(core: CoreOpenness, radio: RadioRegime) -> Vec<SystemDesign> {
+    SystemDesign::all()
+        .into_iter()
+        .filter(|s| s.core() == core && s.radio() == radio)
+        .collect()
+}
+
+/// Render the 2×2 table (Table 1).
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} | {:<32} | {:<32}\n",
+        "", "Open Core", "Closed Core"
+    ));
+    out.push_str(&"-".repeat(88));
+    out.push('\n');
+    for radio in [RadioRegime::Unlicensed, RadioRegime::Licensed] {
+        let label = match radio {
+            RadioRegime::Unlicensed => "Unlicensed Radio",
+            RadioRegime::Licensed => "Licensed Radio",
+        };
+        let open: Vec<String> = quadrant(CoreOpenness::Open, radio)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let closed: Vec<String> = quadrant(CoreOpenness::Closed, radio)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        out.push_str(&format!(
+            "{:<18} | {:<32} | {:<32}\n",
+            label,
+            open.join(", "),
+            closed.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlte_uniquely_fills_the_open_licensed_quadrant() {
+        // The headline of Table 1.
+        let q = quadrant(CoreOpenness::Open, RadioRegime::Licensed);
+        assert_eq!(q, vec![SystemDesign::Dlte]);
+    }
+
+    #[test]
+    fn other_quadrants_match_the_paper() {
+        assert_eq!(
+            quadrant(CoreOpenness::Open, RadioRegime::Unlicensed),
+            vec![SystemDesign::LegacyWifi, SystemDesign::WifiMesh]
+        );
+        assert_eq!(
+            quadrant(CoreOpenness::Closed, RadioRegime::Unlicensed),
+            vec![SystemDesign::EnterpriseWifi, SystemDesign::PrivateLte]
+        );
+        assert_eq!(
+            quadrant(CoreOpenness::Closed, RadioRegime::Licensed),
+            vec![SystemDesign::TelecomLte, SystemDesign::FiveGCellular]
+        );
+    }
+
+    #[test]
+    fn every_system_lands_in_exactly_one_quadrant() {
+        let mut count = 0;
+        for core in [CoreOpenness::Open, CoreOpenness::Closed] {
+            for radio in [RadioRegime::Licensed, RadioRegime::Unlicensed] {
+                count += quadrant(core, radio).len();
+            }
+        }
+        assert_eq!(count, SystemDesign::all().len());
+    }
+
+    #[test]
+    fn table_renders_all_systems() {
+        let t = render_table();
+        for s in SystemDesign::all() {
+            assert!(t.contains(&s.to_string()), "{s} missing from table");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Deployment economics — the quantitative content of §5 and Figure 2.
+//!
+//! The paper reports a working single-site deployment in Papua, Indonesia:
+//! two commercial eNodeBs (two sectors), two 15 dBi antennas, an
+//! off-the-shelf computer running the EPC stub, and cabling — under $8,000
+//! in materials, covering an entire town from one gym roof. This module
+//! prices that bill of materials, computes the coverage a site buys from
+//! the link budget, and compares cost-per-km² across deployment options.
+
+use dlte_phy::band::Band;
+use dlte_phy::link::{LinkBudget, RadioConfig};
+use dlte_phy::mcs::CQI_TABLE;
+use dlte_phy::propagation::PathLossModel;
+use dlte_phy::wifi::WIFI_RATES;
+use serde::{Deserialize, Serialize};
+
+/// One line of a bill of materials.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BomItem {
+    pub name: &'static str,
+    pub unit_usd: f64,
+    pub quantity: u32,
+}
+
+impl BomItem {
+    pub fn total(&self) -> f64 {
+        self.unit_usd * self.quantity as f64
+    }
+}
+
+/// A deployment option to price out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Deployment {
+    /// The paper's prototype: 2-sector dLTE site, band 5.
+    DlteSite,
+    /// An outdoor long-range WiFi AP installation.
+    WifiSite,
+    /// A traditional telecom macro site (tower build + EPC share).
+    TelecomMacro,
+}
+
+impl Deployment {
+    /// Bill of materials (unit prices representative of 2018 hardware, as
+    /// in the paper's account).
+    pub fn bom(self) -> Vec<BomItem> {
+        match self {
+            Deployment::DlteSite => vec![
+                BomItem { name: "Commercial eNodeB (1 sector)", unit_usd: 2_800.0, quantity: 2 },
+                BomItem { name: "15 dBi sector antenna", unit_usd: 250.0, quantity: 2 },
+                BomItem { name: "EPC-stub mini computer", unit_usd: 500.0, quantity: 1 },
+                BomItem { name: "Cabling, mounts, surge", unit_usd: 600.0, quantity: 1 },
+            ],
+            Deployment::WifiSite => vec![
+                BomItem { name: "Outdoor WiFi AP", unit_usd: 300.0, quantity: 2 },
+                BomItem { name: "Sector antenna", unit_usd: 150.0, quantity: 2 },
+                BomItem { name: "PoE, cabling, mounts", unit_usd: 300.0, quantity: 1 },
+            ],
+            Deployment::TelecomMacro => vec![
+                BomItem { name: "Macro eNodeB (3 sectors)", unit_usd: 25_000.0, quantity: 1 },
+                BomItem { name: "Tower construction", unit_usd: 60_000.0, quantity: 1 },
+                BomItem { name: "Site civil works + power", unit_usd: 20_000.0, quantity: 1 },
+                BomItem { name: "EPC capacity share", unit_usd: 15_000.0, quantity: 1 },
+            ],
+        }
+    }
+
+    /// Total materials cost, USD.
+    pub fn capex_usd(self) -> f64 {
+        self.bom().iter().map(BomItem::total).sum()
+    }
+
+    /// Coverage radius (km) at the lowest usable rate of the system's
+    /// radio, rural propagation. The LTE sites are uplink-limited (handset
+    /// power); WiFi is limited by its higher sensitivity floor.
+    pub fn coverage_radius_km(self) -> f64 {
+        match self {
+            Deployment::DlteSite | Deployment::TelecomMacro => {
+                // Uplink: handset → eNodeB at band 5, cell-edge CQI 1.
+                let lb = LinkBudget {
+                    tx: RadioConfig::lte_handset(),
+                    rx: RadioConfig::rural_enodeb(),
+                    model: PathLossModel::rural_macro(),
+                    freq_mhz: Band::band5().uplink_center_mhz(),
+                    bandwidth_hz: 10e6,
+                };
+                lb.range_km(CQI_TABLE[0].sinr_threshold_db)
+            }
+            Deployment::WifiSite => {
+                let lb = LinkBudget {
+                    tx: RadioConfig::wifi_client(),
+                    rx: RadioConfig::wifi_ap(),
+                    model: PathLossModel::rural_macro(),
+                    freq_mhz: Band::ism24().downlink_center_mhz(),
+                    bandwidth_hz: 20e6,
+                };
+                lb.range_km(WIFI_RATES[0].min_snr_db)
+            }
+        }
+    }
+
+    /// Covered area, km² (two 180° sectors ⇒ full circle for the 2-sector
+    /// sites; the macro's 3 sectors likewise).
+    pub fn coverage_area_km2(self) -> f64 {
+        let r = self.coverage_radius_km();
+        std::f64::consts::PI * r * r
+    }
+
+    /// Materials cost per covered km².
+    pub fn usd_per_km2(self) -> f64 {
+        self.capex_usd() / self.coverage_area_km2()
+    }
+}
+
+/// Render the F2 table.
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}\n",
+        "deployment", "capex $", "radius km", "area km2", "$/km2"
+    ));
+    for d in [
+        Deployment::DlteSite,
+        Deployment::WifiSite,
+        Deployment::TelecomMacro,
+    ] {
+        out.push_str(&format!(
+            "{:<16} {:>12.0} {:>12.2} {:>12.1} {:>12.1}\n",
+            format!("{d:?}"),
+            d.capex_usd(),
+            d.coverage_radius_km(),
+            d.coverage_area_km2(),
+            d.usd_per_km2()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlte_site_under_8000_usd_paper_claim() {
+        let capex = Deployment::DlteSite.capex_usd();
+        assert!(
+            capex < 8_000.0,
+            "§5: deployment cost less than $8000, got {capex}"
+        );
+        assert!(capex > 5_000.0, "and it isn't free: {capex}");
+    }
+
+    #[test]
+    fn dlte_site_covers_a_town_from_one_site() {
+        let r = Deployment::DlteSite.coverage_radius_km();
+        assert!(r > 3.0, "one site covers the town: {r} km");
+    }
+
+    #[test]
+    fn wifi_is_cheaper_but_covers_far_less() {
+        let dlte = Deployment::DlteSite;
+        let wifi = Deployment::WifiSite;
+        assert!(wifi.capex_usd() < dlte.capex_usd());
+        assert!(
+            dlte.coverage_radius_km() > 3.0 * wifi.coverage_radius_km(),
+            "dlte {} km vs wifi {} km",
+            dlte.coverage_radius_km(),
+            wifi.coverage_radius_km()
+        );
+        // …so per square kilometer, dLTE wins.
+        assert!(dlte.usd_per_km2() < wifi.usd_per_km2());
+    }
+
+    #[test]
+    fn telecom_macro_same_physics_ten_x_cost() {
+        let dlte = Deployment::DlteSite;
+        let telecom = Deployment::TelecomMacro;
+        // Same radio physics (both uplink-limited at band 5)…
+        assert!(
+            (telecom.coverage_radius_km() - dlte.coverage_radius_km()).abs() < 0.5
+        );
+        // …an order of magnitude apart in cost.
+        assert!(telecom.capex_usd() > 10.0 * dlte.capex_usd());
+        assert!(telecom.usd_per_km2() > 10.0 * dlte.usd_per_km2());
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table();
+        assert!(t.contains("DlteSite"));
+        assert!(t.contains("WifiSite"));
+        assert!(t.contains("TelecomMacro"));
+    }
+}

@@ -1,0 +1,112 @@
+//! E10 — §2.1/§4.2: tunneling everything through the EPC inflates the user
+//! path; local breakout removes the detour (and its buffer bloat).
+//!
+//! Sweep the distance (one-way delay) between the aggregation point and
+//! the EPC site. The centralized user RTT grows with it; the dLTE RTT
+//! doesn't contain it at all.
+
+use super::{f2c, Table};
+use crate::scenario::{DlteNetworkBuilder, DltePlan};
+use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
+use dlte_epc::ue::{MobilityMode, UeApp, UeNode};
+use dlte_sim::{SimDuration, SimTime};
+
+pub struct Params {
+    pub epc_delay_ms: Vec<u64>,
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            epc_delay_ms: vec![5, 15, 30, 60],
+            seed: 1,
+        }
+    }
+}
+
+fn rtt_centralized(epc_delay_ms: u64, seed: u64) -> f64 {
+    let mut b = CentralizedLteBuilder::new(1, 1);
+    b.epc_delay = SimDuration::from_millis(epc_delay_ms);
+    b.seed = seed;
+    let mut net = b
+        .with_ue_plan(|_| UePlan {
+            app: UeApp::Pinger {
+                dst: CentralizedLteBuilder::ott_addr(),
+                interval: SimDuration::from_millis(100),
+                probe_bytes: 100,
+            },
+            mode: MobilityMode::PathSwitch,
+            schedule: vec![],
+        })
+        .build();
+    net.sim.run_until(SimTime::from_secs(6), 10_000_000);
+    let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
+    ue.stats.rtt_ms.clone().median()
+}
+
+fn rtt_dlte(seed: u64) -> f64 {
+    let mut net = DlteNetworkBuilder::new(1, 1)
+        .with_ue_plan(|_| DltePlan {
+            app: UeApp::Pinger {
+                dst: DlteNetworkBuilder::ott_addr(),
+                interval: SimDuration::from_millis(100),
+                probe_bytes: 100,
+            },
+            ..Default::default()
+        })
+        .build();
+    let _ = seed;
+    net.sim.run_until(SimTime::from_secs(6), 10_000_000);
+    let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
+    ue.stats.rtt_ms.clone().median()
+}
+
+pub fn run_with(p: Params) -> Table {
+    let dlte = rtt_dlte(p.seed);
+    let mut t = Table::new(
+        "E10",
+        "User RTT vs EPC distance: tunneled vs local breakout (paper §2.1/§4.2)",
+        &[
+            "EPC distance (ms one-way)",
+            "centralized RTT (ms)",
+            "dLTE RTT (ms)",
+            "inflation (ms)",
+        ],
+    );
+    for &d in &p.epc_delay_ms {
+        let c = rtt_centralized(d, p.seed);
+        t.row(vec![
+            d.to_string(),
+            f2c(c),
+            f2c(dlte),
+            f2c(c - dlte),
+        ]);
+    }
+    t.expect("centralized RTT grows ~2× the EPC one-way distance; dLTE RTT is constant — the whole detour is architectural");
+    t
+}
+
+pub fn run() -> Table {
+    run_with(Params::default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shapes_hold() {
+        let t = super::run_with(super::Params {
+            epc_delay_ms: vec![5, 30],
+            seed: 2,
+        });
+        let cent = t.column_f64(1);
+        let dlte = t.column_f64(2);
+        // dLTE constant across rows.
+        assert!((dlte[0] - dlte[1]).abs() < 0.5);
+        // Centralized grows by ≈ 2×25 ms between the rows.
+        let growth = cent[1] - cent[0];
+        assert!((45.0..55.0).contains(&growth), "growth {growth}");
+        // And centralized is never cheaper.
+        assert!(cent[0] > dlte[0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! E2 — §3.2: "LTE's SC-FDMA uplink modulation allows higher power
+//! transmission and greater range from mobile devices."
+//!
+//! Uplink goodput vs distance for the same handset hardware under two
+//! waveforms: SC-FDMA (LTE) vs OFDM (the WiFi/counterfactual uplink). The
+//! difference is the PA backoff the waveform demands.
+
+use super::{f2c, mbps, Table};
+use dlte_mac::lte::cell::Direction;
+use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_phy::link::RadioConfig;
+use dlte_phy::mcs::CQI_TABLE;
+use dlte_phy::propagation::PathLossModel;
+use dlte_phy::band::Band;
+use dlte_phy::link::LinkBudget;
+use dlte_sim::{SimDuration, SimRng};
+
+pub struct Params {
+    pub distances_km: Vec<f64>,
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            distances_km: vec![1.0, 4.0, 8.0, 16.0, 24.0, 32.0, 40.0],
+            seed: 1,
+        }
+    }
+}
+
+fn uplink_goodput(dist_km: f64, ue: RadioConfig, seed: u64) -> f64 {
+    let mut cfg = CellConfig::rural_default();
+    cfg.direction = Direction::Uplink;
+    cfg.freq_mhz = Band::band5().uplink_center_mhz();
+    let mut ue_cfg = UeConfig::at_km(dist_km);
+    ue_cfg.radio = ue;
+    let rng = SimRng::new(seed);
+    let mut sim = CellSim::new(cfg, vec![ue_cfg], &rng);
+    sim.run(SimDuration::from_millis(500)).ues[0].goodput_bps
+}
+
+/// Cell-edge range (km) of each waveform: where uplink SNR crosses CQI 1.
+fn edge_range_km(ue: RadioConfig) -> f64 {
+    let lb = LinkBudget {
+        tx: ue,
+        rx: RadioConfig::rural_enodeb(),
+        model: PathLossModel::rural_macro(),
+        freq_mhz: Band::band5().uplink_center_mhz(),
+        bandwidth_hz: 10e6,
+    };
+    lb.range_km(CQI_TABLE[0].sinr_threshold_db)
+}
+
+pub fn run_with(p: Params) -> Table {
+    let mut t = Table::new(
+        "E2",
+        "Uplink goodput vs distance: SC-FDMA vs OFDM handset (paper §3.2)",
+        &[
+            "distance (km)",
+            "SC-FDMA uplink (Mbit/s)",
+            "OFDM uplink (Mbit/s)",
+        ],
+    );
+    for &d in &p.distances_km {
+        t.row(vec![
+            f2c(d),
+            mbps(uplink_goodput(d, RadioConfig::lte_handset(), p.seed)),
+            mbps(uplink_goodput(d, RadioConfig::ofdm_handset(), p.seed)),
+        ]);
+    }
+    t.row(vec![
+        "cell-edge range (km)".into(),
+        f2c(edge_range_km(RadioConfig::lte_handset())),
+        f2c(edge_range_km(RadioConfig::ofdm_handset())),
+    ]);
+    t.expect("SC-FDMA ≥ OFDM at every distance and reaches farther (the PA-backoff advantage)");
+    t
+}
+
+pub fn run() -> Table {
+    run_with(Params::default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shapes_hold() {
+        let t = super::run_with(super::Params {
+            distances_km: vec![4.0, 16.0, 32.0],
+            seed: 2,
+        });
+        let sc = t.column_f64(1);
+        let ofdm = t.column_f64(2);
+        for i in 0..sc.len() {
+            assert!(
+                sc[i] >= ofdm[i] - 1e-9,
+                "row {i}: SC-FDMA {} < OFDM {}",
+                sc[i],
+                ofdm[i]
+            );
+        }
+        // The final row is range.
+        let (range_sc, range_ofdm) = (sc[sc.len() - 1], ofdm[ofdm.len() - 1]);
+        assert!(range_sc > range_ofdm, "{range_sc} vs {range_ofdm}");
+    }
+}

@@ -1,0 +1,232 @@
+//! E7 — §4.3: cooperative mode "allows for client handoff across the APs,
+//! QoS aware joint flow scheduling between APs, and the assignment of the
+//! best AP to serve each client device."
+//!
+//! Scenario: two co-channel APs 6 km apart; eight clients clustered so
+//! that most naturally associate with AP0 (the overload case the paper's
+//! cooperation targets). Three coordination levels:
+//!
+//! * **independent** — each client on its strongest AP, both APs transmit
+//!   whenever they like → co-channel interference at every client;
+//! * **fair-share** — same association, X2 splits time 50/50 → no
+//!   interference but half the airtime each, idle AP1 wastes its share;
+//! * **cooperative** — X2 exchanges measurement reports, clients are
+//!   re-balanced (bounded SINR sacrifice), airtime shares follow load.
+
+use super::{f2c, mbps, Table};
+use dlte_mac::lte::cell::Direction;
+use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_phy::link::LinkBudget;
+use dlte_phy::link::RadioConfig;
+use dlte_phy::propagation::PathLossModel;
+use dlte_phy::units::dbm_to_mw;
+use dlte_sim::stats::jain_index;
+use dlte_sim::{SimDuration, SimRng};
+use dlte_x2::cooperative::{best_ap_assignment, load_balanced_assignment, ClientMeasurement};
+use dlte_x2::weighted_shares;
+
+pub struct Params {
+    /// Client positions along the AP0→AP1 axis, km from AP0.
+    pub client_km: Vec<f64>,
+    /// AP separation, km.
+    pub ap_distance_km: f64,
+    pub seconds: u64,
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            // Clustered toward AP0 (one genuine AP1 client at 5.4 km keeps
+            // both cells transmitting, so the independent arm interferes).
+            client_km: vec![0.4, 0.8, 1.2, 1.6, 2.0, 2.2, 2.4, 5.4],
+            ap_distance_km: 6.0,
+            seconds: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// SINR measurements of every client toward both APs.
+fn measurements(p: &Params) -> Vec<ClientMeasurement> {
+    let budget = |dist: f64| LinkBudget {
+        tx: RadioConfig::rural_enodeb(),
+        rx: RadioConfig::lte_handset(),
+        model: PathLossModel::rural_macro(),
+        freq_mhz: 881.5,
+        bandwidth_hz: 10e6,
+    }
+    .snr_db(dist, 0.0);
+    p.client_km
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| ClientMeasurement {
+            client: i as u64,
+            sinr_db: vec![budget(x.max(0.05)), budget((p.ap_distance_km - x).max(0.05))],
+        })
+        .collect()
+}
+
+struct Outcome {
+    aggregate_bps: f64,
+    jain: f64,
+    min_client_bps: f64,
+}
+
+/// Evaluate an (assignment, per-AP tdm share, interference) configuration
+/// with the cell simulator.
+fn evaluate(
+    p: &Params,
+    ap_of: &[usize],
+    shares: &[f64],
+    interference: bool,
+) -> Outcome {
+    let mut per_client = vec![0.0f64; p.client_km.len()];
+    for ap in 0..2 {
+        let members: Vec<usize> = (0..p.client_km.len()).filter(|&i| ap_of[i] == ap).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut cfg = CellConfig::rural_default();
+        cfg.direction = Direction::Downlink;
+        cfg.tdm_share = shares[ap];
+        let ues: Vec<UeConfig> = members
+            .iter()
+            .map(|&i| {
+                let dist_serving = if ap == 0 {
+                    p.client_km[i].max(0.05)
+                } else {
+                    (p.ap_distance_km - p.client_km[i]).max(0.05)
+                };
+                let dist_other = if ap == 0 {
+                    (p.ap_distance_km - p.client_km[i]).max(0.05)
+                } else {
+                    p.client_km[i].max(0.05)
+                };
+                let mut ue = UeConfig::at_km(dist_serving);
+                if interference {
+                    // Uncoordinated neighbor transmits continuously: its
+                    // signal is interference at this client.
+                    let other = LinkBudget {
+                        tx: RadioConfig::rural_enodeb(),
+                        rx: RadioConfig::lte_handset(),
+                        model: PathLossModel::rural_macro(),
+                        freq_mhz: 881.5,
+                        bandwidth_hz: 10e6,
+                    };
+                    let i_dbm = other.rx_power_dbm(dist_other);
+                    if dbm_to_mw(i_dbm) > 0.0 {
+                        ue.interference_dbm = i_dbm;
+                    }
+                }
+                ue
+            })
+            .collect();
+        let rng = SimRng::new(p.seed + ap as u64);
+        let mut sim = CellSim::new(cfg, ues, &rng);
+        let r = sim.run(SimDuration::from_secs(p.seconds));
+        for (slot, &i) in members.iter().enumerate() {
+            per_client[i] = r.ues[slot].goodput_bps;
+        }
+    }
+    Outcome {
+        aggregate_bps: per_client.iter().sum(),
+        jain: jain_index(&per_client),
+        min_client_bps: per_client.iter().cloned().fold(f64::INFINITY, f64::min),
+    }
+}
+
+pub fn run_with(p: Params) -> Table {
+    let meas = measurements(&p);
+    let natural = best_ap_assignment(&meas, 2);
+
+    // Independent: natural association, both APs always on, mutual
+    // interference.
+    let independent = evaluate(&p, &natural.ap_of, &[1.0, 1.0], true);
+    // Fair share: natural association, clean 50/50 TDM.
+    let fair = evaluate(&p, &natural.ap_of, &[0.5, 0.5], false);
+    // Cooperative: re-balanced association (≤9 dB sacrifice — the eICIC
+    // cell-range-expansion regime), demand-weighted shares, clean TDM.
+    let balanced = load_balanced_assignment(&meas, 2, 9.0);
+    let loads: Vec<f64> = balanced.load.iter().map(|&l| l as f64).collect();
+    let shares = weighted_shares(&[1.0, 1.0], &loads, 1.0);
+    let cooperative = evaluate(&p, &balanced.ap_of, &shares, false);
+
+    let mut t = Table::new(
+        "E7",
+        "Two-AP overlap: independent vs fair-share vs cooperative (paper §4.3)",
+        &[
+            "mode",
+            "aggregate (Mbit/s)",
+            "Jain",
+            "worst client (Mbit/s)",
+            "clients on AP0/AP1",
+        ],
+    );
+    let split = |a: &dlte_x2::cooperative::Assignment| format!("{}/{}", a.load[0], a.load[1]);
+    for (label, o, assign) in [
+        ("independent", &independent, &natural),
+        ("fair-share", &fair, &natural),
+        ("cooperative", &cooperative, &balanced),
+    ] {
+        t.row(vec![
+            label.into(),
+            mbps(o.aggregate_bps),
+            f2c(o.jain),
+            mbps(o.min_client_bps),
+            split(assign),
+        ]);
+    }
+    t.expect("cooperative lifts the worst client and fairness over fair-share at no aggregate cost; uncoordinated reuse-1 maximizes raw aggregate but craters the cell edge; cooperation rebalances clients across APs");
+    t
+}
+
+pub fn run() -> Table {
+    run_with(Params::default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shapes_hold() {
+        let t = super::run_with(super::Params {
+            seconds: 1,
+            ..super::Params::default()
+        });
+        let agg = t.column_f64(1);
+        let jain = t.column_f64(2);
+        let worst = t.column_f64(3);
+        let (ind, fair, coop) = (0, 1, 2);
+        // With full-buffer clients on both APs the aggregate is roughly the
+        // channel capacity whenever transmissions are clean — cooperation's
+        // win is in the distribution: worst client and fairness.
+        assert!(
+            worst[coop] > 1.15 * worst[fair],
+            "cooperative worst-client {} !> fair {}",
+            worst[coop],
+            worst[fair]
+        );
+        assert!(
+            jain[coop] > jain[fair],
+            "cooperative jain {} !> fair {}",
+            jain[coop],
+            jain[fair]
+        );
+        assert!(
+            agg[coop] > 0.85 * agg[fair],
+            "cooperative aggregate {} must not sacrifice fair's {}",
+            agg[coop],
+            agg[fair]
+        );
+        // Uncoordinated reuse-1 wins raw aggregate (double airtime beats
+        // the interference penalty at these SIRs) but pays for it at the
+        // edge: its worst client and fairness are the poorest of the three.
+        assert!(
+            worst[ind] < worst[fair] && worst[ind] < worst[coop],
+            "independent must have the worst cell-edge client"
+        );
+        assert!(jain[ind] < jain[fair] && jain[ind] < jain[coop]);
+        // Cooperation actually moved clients.
+        assert_ne!(t.rows[coop][4], t.rows[ind][4]);
+    }
+}

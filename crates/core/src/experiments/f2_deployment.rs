@@ -1,0 +1,47 @@
+//! F2 — Figure 2 / §5: the prototype's bill of materials and what one site
+//! buys.
+
+use super::{f1c, f2c, Table};
+use crate::econ::Deployment;
+
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "F2",
+        "Deployment economics (paper Figure 2 components, §5 cost report)",
+        &[
+            "deployment",
+            "capex ($)",
+            "radius (km)",
+            "area (km2)",
+            "$ per km2",
+        ],
+    );
+    for d in [
+        Deployment::DlteSite,
+        Deployment::WifiSite,
+        Deployment::TelecomMacro,
+    ] {
+        t.row(vec![
+            format!("{d:?}"),
+            f2c(d.capex_usd()),
+            f2c(d.coverage_radius_km()),
+            f1c(d.coverage_area_km2()),
+            f1c(d.usd_per_km2()),
+        ]);
+    }
+    t.expect("dLTE site < $8000 (§5), covers a whole town; WiFi cheaper per site but far costlier per km²; telecom macro same physics at >10× capex");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shapes_hold() {
+        let t = super::run();
+        let capex = t.column_f64(1);
+        let per_km2 = t.column_f64(4);
+        assert!(capex[0] < 8_000.0, "paper: under $8000");
+        assert!(per_km2[0] < per_km2[1], "dLTE beats WiFi per km²");
+        assert!(per_km2[0] < per_km2[2], "and beats telecom macro");
+    }
+}

@@ -1,0 +1,159 @@
+//! The experiment harness: one module per table/figure/claim of the paper.
+//!
+//! Each module exposes `run()` (with a params struct where sweeps are
+//! configurable) returning a [`Table`] — the rows EXPERIMENTS.md records.
+//! The `dlte-bench` crate wraps each in a binary (`cargo run -p dlte-bench
+//! --release --bin e1_range`) and in Criterion benches.
+//!
+//! | id | paper anchor | claim |
+//! |----|--------------|-------|
+//! | T1 | Table 1      | dLTE uniquely occupies open-core × licensed |
+//! | F1 | Figure 1     | local breakout vs EPC tunneling, peer vs mediated control |
+//! | F2 | Figure 2, §5 | <$8000 site covers a town |
+//! | E1 | §3.2         | LTE waveform out-ranges WiFi |
+//! | E2 | §3.2         | SC-FDMA uplink buys range |
+//! | E3 | §3.2         | HARQ lifts weak-signal throughput |
+//! | E4 | §3.2         | timing advance enables long cells |
+//! | E5 | §4.3         | fair-share ≈ WiFi fairness, better efficiency |
+//! | E6 | §4.3         | registry kills hidden terminals |
+//! | E7 | §4.3         | cooperative > fair-share > independent |
+//! | E8 | §4.2         | endpoint mobility viable; breaks down at high churn |
+//! | E9 | §4.1         | per-AP stubs scale; shared EPC saturates |
+//! | E10| §2.1/§4.2    | breakout removes path inflation |
+//! | E11| §4.3         | X2 is low-bandwidth, degrades gracefully |
+//! | E12| §4.2         | 0-RTT/migration/FEC make churn survivable |
+//! | E13| §7           | AP mesh bounds outages when a backhaul dies |
+
+pub mod e1_range;
+pub mod e2_uplink;
+pub mod e3_harq;
+pub mod e4_timing_advance;
+pub mod e5_fairness;
+pub mod e6_hidden_terminal;
+pub mod e7_cooperative;
+pub mod e8_mobility;
+pub mod e9_core_scaling;
+pub mod e10_breakout;
+pub mod e11_x2_overhead;
+pub mod e12_transport_ablation;
+pub mod e13_backhaul_resilience;
+pub mod f1_architecture;
+pub mod f2_deployment;
+pub mod t1_design_space;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendered experiment result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// One-line statement of the shape the paper predicts (checked by the
+    /// integration tests).
+    pub expectation: String,
+}
+
+impl Table {
+    pub fn new(id: &'static str, title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            expectation: String::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len(), "row width");
+        self.rows.push(cells);
+    }
+
+    pub fn expect(&mut self, s: impl Into<String>) {
+        self.expectation = s.into();
+    }
+
+    /// Column values parsed as f64 (NaN for non-numeric cells).
+    pub fn column_f64(&self, idx: usize) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| r[idx].trim().parse::<f64>().unwrap_or(f64::NAN))
+            .collect()
+    }
+
+    /// JSON for mechanical consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(&self.header, f)?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
+        for r in &self.rows {
+            line(r, f)?;
+        }
+        if !self.expectation.is_empty() {
+            writeln!(f, "expected shape: {}", self.expectation)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format helpers.
+pub(crate) fn mbps(bps: f64) -> String {
+    format!("{:.2}", bps / 1e6)
+}
+
+pub(crate) fn f2c(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+pub(crate) fn f1c(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_parses() {
+        let mut t = Table::new("T0", "demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        t.row(vec!["2".into(), "5.0".into()]);
+        t.expect("y doubles");
+        let s = t.to_string();
+        assert!(s.contains("demo") && s.contains("2.5") && s.contains("y doubles"));
+        assert_eq!(t.column_f64(1), vec![2.5, 5.0]);
+        assert!(t.to_json().contains("\"id\": \"T0\""));
+    }
+}

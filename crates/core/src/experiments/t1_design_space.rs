@@ -1,0 +1,45 @@
+//! T1 — Table 1: the wireless design space.
+
+use super::Table;
+use crate::design_space::{quadrant, CoreOpenness, RadioRegime};
+
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "T1",
+        "Design space: core openness × radio regime (paper Table 1)",
+        &["radio \\ core", "open core", "closed core"],
+    );
+    for radio in [RadioRegime::Unlicensed, RadioRegime::Licensed] {
+        let label = match radio {
+            RadioRegime::Unlicensed => "unlicensed",
+            RadioRegime::Licensed => "licensed",
+        };
+        let cell = |core| {
+            quadrant(core, radio)
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        t.row(vec![
+            label.into(),
+            cell(CoreOpenness::Open),
+            cell(CoreOpenness::Closed),
+        ]);
+    }
+    t.expect("dLTE alone in the open-core/licensed quadrant");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_table_1() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 2);
+        // The licensed/open cell is exactly dLTE.
+        assert_eq!(t.rows[1][1], "dLTE");
+        assert!(t.rows[0][1].contains("Legacy WiFi"));
+        assert!(t.rows[1][2].contains("Telecom LTE"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Bridging the radio simulator and the packet topologies.
+//!
+//! Two fidelity levels coexist in this reproduction:
+//!
+//! * `dlte-mac`'s [`CellSim`] is subframe-accurate — used where the *radio*
+//!   is the object of study (range, scheduling, fairness: E1–E7);
+//! * `dlte-net` topologies model a radio link as a fixed-rate pipe — used
+//!   where the *architecture* is the object of study (attach latency,
+//!   handover, path inflation: F1, E8–E10).
+//!
+//! This module keeps the second honest with the first: it derives the
+//! packet-level `LinkConfig` of a UE↔AP radio link from the cell simulator
+//! at a given distance, so the pipe's rate is what the PHY/MAC would
+//! actually deliver there.
+
+use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_net::LinkConfig;
+use dlte_sim::{SimDuration, SimRng};
+
+/// Goodput (bits/s) a single full-buffer UE achieves at `dist_km` under
+/// `config`, measured by running the cell simulator briefly.
+pub fn goodput_at_km(config: &CellConfig, dist_km: f64, seed: u64) -> f64 {
+    let rng = SimRng::new(seed);
+    let mut sim = CellSim::new(config.clone(), vec![UeConfig::at_km(dist_km)], &rng);
+    let report = sim.run(SimDuration::from_millis(500));
+    report.ues[0].goodput_bps
+}
+
+/// A packet-level radio link calibrated by the radio simulator.
+///
+/// `delay` models LTE's frame/scheduling latency (~5 ms one way is the
+/// classic user-plane figure); the rate is the measured cell goodput at the
+/// UE's distance. Returns `None` if the UE is out of range entirely.
+pub fn radio_link_at_km(config: &CellConfig, dist_km: f64, seed: u64) -> Option<LinkConfig> {
+    let bps = goodput_at_km(config, dist_km, seed);
+    if bps <= 0.0 {
+        return None;
+    }
+    Some(LinkConfig {
+        delay: SimDuration::from_millis(5),
+        rate_bps: bps,
+        queue_pkts: 300,
+        loss: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_link_rate_tracks_distance() {
+        let cfg = CellConfig::rural_default();
+        let near = radio_link_at_km(&cfg, 1.0, 7).expect("in range");
+        let far = radio_link_at_km(&cfg, 15.0, 7).expect("in range");
+        assert!(near.rate_bps > far.rate_bps);
+        // Near a rural macro, tens of Mbit/s; at 15 km, megabits.
+        assert!(near.rate_bps > 20e6);
+        assert!(far.rate_bps > 1e5);
+    }
+
+    #[test]
+    fn out_of_range_yields_none() {
+        let mut cfg = CellConfig::rural_default();
+        // Keep PRACH format 0 (14.5 km) and place the UE beyond it.
+        cfg.prach = dlte_mac::lte::timing_advance::PrachFormat::Format0;
+        assert!(radio_link_at_km(&cfg, 40.0, 7).is_none());
+    }
+}

@@ -1,0 +1,496 @@
+//! dLTE network topologies.
+//!
+//! The dLTE half of Figure 1:
+//!
+//! ```text
+//!  UE ~~radio~~ AP(local core + X2) --backhaul-- Ragg --wan-- Rinet -- OTT
+//!                                                              Rinet -- DIR
+//! ```
+//!
+//! Contrast with [`dlte_epc::topology::CentralizedLteBuilder`]: no EPC site,
+//! no tunnels — the AP forwards native IP at the aggregation point (local
+//! breakout), and the only wide-area control dependencies are the published
+//! key directory (first attach per AP, then cached) and the X2 reports
+//! between peer APs.
+
+use crate::ap::DlteApNode;
+use dlte_auth::open::PublishedKeyDirectory;
+use dlte_auth::usim::Usim;
+use dlte_auth::{Imsi, Key};
+use dlte_epc::local_core::{KeyDirectoryNode, KeySource, LocalCoreNode};
+use dlte_epc::ue::{CellAttachment, MobilityMode, UeApp, UeNode};
+use dlte_net::handlers::EchoServer;
+use dlte_net::{Addr, AddrPool, LinkConfig, Network, NetworkBuilder, NodeId, Prefix};
+use dlte_sim::{SimDuration, SimRng, SimTime, Simulation};
+use dlte_transport::connection::TransportConfig;
+use dlte_transport::handlers::TransportServerNode;
+use dlte_x2::{CoordinationMode, X2Agent};
+
+/// Per-UE plan for dLTE scenarios.
+pub struct DltePlan {
+    pub app: UeApp,
+    pub mode: MobilityMode,
+    pub schedule: Vec<(SimTime, usize)>,
+}
+
+impl Default for DltePlan {
+    fn default() -> Self {
+        DltePlan {
+            app: UeApp::None,
+            mode: MobilityMode::ReAttach,
+            schedule: Vec::new(),
+        }
+    }
+}
+
+/// Where APs get subscriber keys.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeyDistribution {
+    /// Registry copy synced to every AP ahead of time (zero attach RTTs).
+    PreSynced,
+    /// Remote directory queried on first sight of an IMSI, then cached.
+    RemoteDirectory,
+}
+
+/// Builder for dLTE networks.
+pub struct DlteNetworkBuilder {
+    pub n_aps: usize,
+    pub ues_per_ap: usize,
+    /// Aggregation ↔ Internet-core delay (the paper's backhaul to the
+    /// nearest exchange).
+    pub inet_delay: SimDuration,
+    pub radio: LinkConfig,
+    pub backhaul: LinkConfig,
+    pub stub_per_msg: SimDuration,
+    pub dir_per_msg: SimDuration,
+    pub keys: KeyDistribution,
+    pub x2_mode: CoordinationMode,
+    pub x2_interval: SimDuration,
+    pub transport_cfg: TransportConfig,
+    /// Wire every UE to every AP (mobility experiments).
+    pub wire_all_cells: bool,
+    /// Provision inter-AP mesh links and backhaul failover (§7 extension).
+    pub mesh: bool,
+    pub seed: u64,
+    ue_plan: Box<dyn Fn(usize) -> DltePlan>,
+}
+
+/// The built network and its node handles.
+pub struct DlteNet {
+    pub sim: Simulation<Network>,
+    pub ues: Vec<NodeId>,
+    pub aps: Vec<NodeId>,
+    pub ott_echo: NodeId,
+    pub ott_transport: NodeId,
+    pub dir: Option<NodeId>,
+    pub r_agg: NodeId,
+    pub r_inet: NodeId,
+    /// A handler-less spare node: attach a
+    /// [`crate::resilience::FailureScript`] via
+    /// [`dlte_net::Network::set_handler`] before running.
+    pub chaos: NodeId,
+    /// Backhaul link of each AP (fault-injection handle).
+    pub ap_backhaul: Vec<dlte_net::LinkId>,
+    /// Mesh link ring: `ap_mesh[k]` connects AP k to AP (k+1) % n (empty
+    /// unless `mesh` was enabled).
+    pub ap_mesh: Vec<dlte_net::LinkId>,
+}
+
+impl DlteNetworkBuilder {
+    pub fn new(n_aps: usize, ues_per_ap: usize) -> Self {
+        DlteNetworkBuilder {
+            n_aps,
+            ues_per_ap,
+            inet_delay: SimDuration::from_millis(10),
+            radio: LinkConfig {
+                delay: SimDuration::from_millis(5),
+                rate_bps: 20e6,
+                queue_pkts: 300,
+                loss: 0.0,
+            },
+            backhaul: LinkConfig::rural_backhaul(),
+            stub_per_msg: SimDuration::from_micros(500),
+            dir_per_msg: SimDuration::from_micros(300),
+            keys: KeyDistribution::PreSynced,
+            x2_mode: CoordinationMode::FairShare,
+            x2_interval: SimDuration::from_millis(500),
+            transport_cfg: TransportConfig::modern(),
+            wire_all_cells: false,
+            mesh: false,
+            seed: 1,
+            ue_plan: Box::new(|_| DltePlan::default()),
+        }
+    }
+
+    pub fn with_ue_plan(mut self, f: impl Fn(usize) -> DltePlan + 'static) -> Self {
+        self.ue_plan = Box::new(f);
+        self
+    }
+
+    /// Well-known addresses (shared with the centralized twin so
+    /// experiments can address "the same" OTT service).
+    pub fn ott_addr() -> Addr {
+        Addr::new(8, 8, 8, 8)
+    }
+
+    pub fn ott_transport_addr() -> Addr {
+        Addr::new(8, 8, 4, 4)
+    }
+
+    pub fn dir_addr() -> Addr {
+        Addr::new(9, 9, 9, 9)
+    }
+
+    /// The /24 pool of AP `k`.
+    pub fn ap_pool(k: usize) -> Prefix {
+        Prefix::new(Addr::new(100, 66, k as u8, 0), 24)
+    }
+
+    /// The aggregate client space across all APs.
+    pub fn all_pools() -> Prefix {
+        Prefix::new(Addr::new(100, 66, 0, 0), 16)
+    }
+
+    pub fn imsi_of(i: usize) -> Imsi {
+        1_000 + i as Imsi
+    }
+
+    pub fn key_of(i: usize) -> Key {
+        0x0D17E_u128 << 100 | i as u128
+    }
+
+    pub fn build(self) -> DlteNet {
+        let mut b = NetworkBuilder::new(self.seed);
+        let rng = SimRng::new(self.seed ^ 0xD17E);
+        let total_ues = self.n_aps * self.ues_per_ap;
+
+        // Published-key directory contents (every subscriber pre-publishes,
+        // per §4.2).
+        let mut published = PublishedKeyDirectory::new();
+        for i in 0..total_ues {
+            published.publish(Self::imsi_of(i), Self::key_of(i));
+        }
+
+        // Core routers and services (plus a spare node the experiments can
+        // hang a fault-injection script on).
+        let r_agg = b.node("r-agg");
+        let r_inet = b.node("r-inet");
+        let chaos = b.node("chaos");
+        let l_agg_inet = b.link(r_agg, r_inet, LinkConfig::wan(self.inet_delay));
+        let ott_echo = b.host("ott-echo", Box::new(EchoServer::new()));
+        b.addr(ott_echo, Self::ott_addr());
+        let l_ott = b.link(r_inet, ott_echo, LinkConfig::lan());
+        let ott_transport = b.host(
+            "ott-transport",
+            Box::new(TransportServerNode::new(0x7CB, self.transport_cfg)),
+        );
+        b.addr(ott_transport, Self::ott_transport_addr());
+        let l_ott_tp = b.link(r_inet, ott_transport, LinkConfig::lan());
+        let dir = match self.keys {
+            KeyDistribution::RemoteDirectory => {
+                let dir = b.host(
+                    "key-dir",
+                    Box::new(KeyDirectoryNode::new(published.clone(), self.dir_per_msg)),
+                );
+                b.addr(dir, Self::dir_addr());
+                let l = b.link(r_inet, dir, LinkConfig::lan());
+                b.route(dir, Prefix::DEFAULT, l);
+                Some(dir)
+            }
+            KeyDistribution::PreSynced => None,
+        };
+
+        // APs.
+        let mut aps = Vec::new();
+        let mut ap_addrs = Vec::new();
+        let mut ap_links = Vec::new();
+        for k in 0..self.n_aps {
+            let addr = Addr::new(10, 2, k as u8, 1);
+            ap_addrs.push(addr);
+        }
+        for k in 0..self.n_aps {
+            let key_source = match self.keys {
+                KeyDistribution::PreSynced => KeySource::Local(published.clone()),
+                KeyDistribution::RemoteDirectory => KeySource::Remote {
+                    addr: Self::dir_addr(),
+                },
+            };
+            let core = LocalCoreNode::new(
+                42_000 + k as u64,
+                AddrPool::new(Self::ap_pool(k)),
+                key_source,
+                self.stub_per_msg,
+                rng.fork_idx("stub", k as u64),
+            );
+            let peers: Vec<Addr> = ap_addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != k)
+                .map(|(_, &a)| a)
+                .collect();
+            let x2 = X2Agent::new(self.x2_mode, peers, self.x2_interval);
+            let ap = b.host(format!("ap{k}"), Box::new(DlteApNode::new(core, x2)));
+            b.addr(ap, ap_addrs[k]);
+            let l = b.link(ap, r_agg, self.backhaul);
+            aps.push(ap);
+            ap_links.push(l);
+        }
+
+        // UEs.
+        let mut ues = Vec::new();
+        let mut wiring: Vec<(usize, Imsi, dlte_net::LinkId, Addr)> = Vec::new();
+        for i in 0..total_ues {
+            let imsi = Self::imsi_of(i);
+            let home_ap = i / self.ues_per_ap;
+            let ue_ctrl = Addr::new(172, 16, (i / 250) as u8, (i % 250) as u8 + 1);
+            let ue = b.node(format!("ue{i}"));
+            let mut cells = Vec::new();
+            // Home cell first (mobility indices are positions in this list).
+            let cell_range: Vec<usize> = if self.wire_all_cells {
+                std::iter::once(home_ap)
+                    .chain((0..self.n_aps).filter(|&k| k != home_ap))
+                    .collect()
+            } else {
+                vec![home_ap]
+            };
+            for &k in &cell_range {
+                let link = b.link(ue, aps[k], self.radio);
+                cells.push(CellAttachment {
+                    enb_addr: ap_addrs[k],
+                    radio_link: link,
+                });
+                wiring.push((k, imsi, link, ue_ctrl));
+            }
+            let plan = (self.ue_plan)(i);
+            let ue_node = UeNode::new(imsi, Usim::new(imsi, Self::key_of(i)), cells, plan.app)
+                .with_mobility(plan.mode, plan.schedule);
+            b.set_handler(ue, Box::new(ue_node));
+            ues.push(ue);
+        }
+
+        // Routing.
+        b.auto_routes();
+        for k in 0..self.n_aps {
+            b.route(r_agg, Self::ap_pool(k), ap_links[k]);
+        }
+        // Whole dLTE client space from the Internet side.
+        b.route(
+            r_inet,
+            Prefix::new(Addr::new(100, 66, 0, 0), 16),
+            l_agg_inet,
+        );
+        b.route(ott_echo, Prefix::DEFAULT, l_ott);
+        b.route(ott_transport, Prefix::DEFAULT, l_ott_tp);
+
+        // §7 mesh: a ring of inter-AP links plus failover config.
+        let mut ap_mesh = Vec::new();
+        if self.mesh && self.n_aps >= 2 {
+            for k in 0..self.n_aps {
+                let next = (k + 1) % self.n_aps;
+                if self.n_aps == 2 && k == 1 {
+                    break; // avoid a duplicate second link between the pair
+                }
+                let l = b.link(aps[k], aps[next], self.backhaul);
+                ap_mesh.push(l);
+            }
+        }
+
+        let mut sim = b.build();
+        for (k, imsi, link, ue_ctrl) in wiring {
+            sim.world_mut()
+                .handler_as_mut::<DlteApNode>(aps[k])
+                .expect("ap handler")
+                .core
+                .wire_ue(imsi, link, ue_ctrl);
+        }
+        if self.mesh && !ap_mesh.is_empty() {
+            for k in 0..self.n_aps {
+                // Fall back over the mesh link this AP participates in.
+                let fallback = ap_mesh[k.min(ap_mesh.len() - 1)];
+                sim.world_mut()
+                    .handler_as_mut::<DlteApNode>(aps[k])
+                    .expect("ap handler")
+                    .failover = Some(crate::resilience::BackhaulFailover::new(
+                    fallback,
+                    Self::ott_addr(),
+                ));
+            }
+        }
+        DlteNet {
+            sim,
+            ues,
+            aps,
+            ott_echo,
+            ott_transport,
+            dir,
+            r_agg,
+            r_inet,
+            chaos,
+            ap_backhaul: ap_links,
+            ap_mesh,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport_app::TransportUeApp;
+    use dlte_epc::ue::UeState;
+
+    #[test]
+    fn ue_attaches_to_dlte_ap_with_published_keys() {
+        let mut net = DlteNetworkBuilder::new(1, 1).build();
+        net.sim.run_until(SimTime::from_secs(3), 1_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert_eq!(ue.state, UeState::Attached);
+        let addr = ue.addr.expect("assigned");
+        assert!(
+            DlteNetworkBuilder::ap_pool(0).contains(addr),
+            "address from the AP's own pool: {addr}"
+        );
+        let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
+        assert_eq!(ap.core.active_sessions(), 1);
+        assert_eq!(ap.core.stats.attaches_completed, 1);
+    }
+
+    #[test]
+    fn dlte_attach_is_faster_than_centralized() {
+        // dLTE: all control stays at the AP (one radio RTT per NAS step).
+        // Centralized: every step crosses backhaul + EPC distance.
+        let mut dlte = DlteNetworkBuilder::new(1, 1).build();
+        dlte.sim.run_until(SimTime::from_secs(3), 1_000_000);
+        let dlte_lat = {
+            let ue = dlte.sim.world().handler_as::<UeNode>(dlte.ues[0]).unwrap();
+            ue.stats.attach_latency_ms.values()[0]
+        };
+        let mut cent = dlte_epc::topology::CentralizedLteBuilder::new(1, 1).build();
+        cent.sim.run_until(SimTime::from_secs(3), 1_000_000);
+        let cent_lat = {
+            let ue = cent.sim.world().handler_as::<UeNode>(cent.ues[0]).unwrap();
+            ue.stats.attach_latency_ms.values()[0]
+        };
+        assert!(
+            dlte_lat * 2.0 < cent_lat,
+            "dLTE {dlte_lat} ms vs centralized {cent_lat} ms"
+        );
+    }
+
+    #[test]
+    fn ping_rtt_shows_local_breakout() {
+        let mut net = DlteNetworkBuilder::new(1, 1)
+            .with_ue_plan(|_| DltePlan {
+                app: UeApp::Pinger {
+                    dst: DlteNetworkBuilder::ott_addr(),
+                    interval: SimDuration::from_millis(100),
+                    probe_bytes: 100,
+                },
+                ..Default::default()
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(5), 2_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert!(ue.stats.pongs > 30);
+        let mut rtts = ue.stats.rtt_ms.clone();
+        // Path: radio 5 + backhaul 10 + inet 10 + lan ≈ 25 ms one way → ~50
+        // ms RTT — no EPC detour (the centralized twin measures ~100 ms).
+        let med = rtts.median();
+        assert!((45.0..70.0).contains(&med), "median RTT {med} ms");
+    }
+
+    #[test]
+    fn reattach_mobility_changes_address_and_recovers() {
+        let mut builder = DlteNetworkBuilder::new(2, 1);
+        builder.wire_all_cells = true;
+        let mut net = builder
+            .with_ue_plan(|_| DltePlan {
+                app: UeApp::Pinger {
+                    dst: DlteNetworkBuilder::ott_addr(),
+                    interval: SimDuration::from_millis(50),
+                    probe_bytes: 100,
+                },
+                mode: MobilityMode::ReAttach,
+                schedule: vec![(SimTime::from_secs(3), 1)],
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(8), 5_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert_eq!(ue.state, UeState::Attached);
+        assert_eq!(ue.stats.attaches_completed, 2, "full re-attach at AP1");
+        let addr = ue.addr.unwrap();
+        assert!(
+            DlteNetworkBuilder::ap_pool(1).contains(addr),
+            "new address from AP1's pool: {addr}"
+        );
+        assert!(!ue.stats.handover_gap_ms.is_empty(), "interruption measured");
+        assert!(ue.stats.pongs > 50);
+    }
+
+    #[test]
+    fn remote_directory_adds_one_lookup_then_caches() {
+        let mut builder = DlteNetworkBuilder::new(1, 2);
+        builder.keys = KeyDistribution::RemoteDirectory;
+        let mut net = builder.build();
+        net.sim.run_until(SimTime::from_secs(5), 2_000_000);
+        let w = net.sim.world();
+        for &ue_id in &net.ues {
+            let ue = w.handler_as::<UeNode>(ue_id).unwrap();
+            assert_eq!(ue.state, UeState::Attached);
+        }
+        let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
+        assert_eq!(ap.core.stats.directory_queries, 2, "one per new IMSI");
+    }
+
+    #[test]
+    fn x2_agents_converge_across_aps() {
+        let mut net = DlteNetworkBuilder::new(2, 1).build();
+        net.sim.run_until(SimTime::from_secs(5), 2_000_000);
+        let w = net.sim.world();
+        for &ap_id in &net.aps {
+            let ap = w.handler_as::<DlteApNode>(ap_id).unwrap();
+            assert_eq!(ap.x2.live_peers(), 1);
+            // Both APs have one client each → equal demand → 50/50.
+            assert!(
+                (ap.tdm_share() - 0.5).abs() < 1e-9,
+                "share {}",
+                ap.tdm_share()
+            );
+        }
+    }
+
+    #[test]
+    fn transport_rides_reattach_with_migration() {
+        let mut builder = DlteNetworkBuilder::new(2, 1);
+        builder.wire_all_cells = true;
+        let mut net = builder
+            .with_ue_plan(|_| DltePlan {
+                app: UeApp::Upper(Box::new(TransportUeApp::new(
+                    TransportConfig::modern(),
+                    DlteNetworkBuilder::ott_transport_addr(),
+                ))),
+                mode: MobilityMode::ReAttach,
+                schedule: vec![(SimTime::from_secs(3), 1)],
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(8), 10_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        let app = ue.upper_as::<TransportUeApp>().expect("typed upper layer");
+        assert_eq!(app.connects, 1, "migration avoided a new handshake");
+        assert_eq!(app.resume_ms.len(), 1, "one resume measured");
+        assert!(app.conn.acked_bytes() > 100_000, "flow kept moving");
+        let resume = app.resume_ms.values()[0];
+        // Resume cost ≈ attach (a few radio RTTs) + one path RTT.
+        assert!((10.0..1000.0).contains(&resume), "resume {resume} ms");
+    }
+}
+
+
+/// True if `addr` belongs to any dLTE AP pool (used by the failover logic
+/// to recognize radio-side host routes it must preserve).
+pub fn any_ap_pool_contains(addr: Addr) -> bool {
+    DlteNetworkBuilder::all_pools().contains(addr)
+}

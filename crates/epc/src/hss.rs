@@ -1,0 +1,136 @@
+//! The Home Subscriber Server.
+//!
+//! Holds the subscriber database and mints authentication vectors on S6a
+//! request. In the centralized architecture this is the *only* place
+//! vectors can come from — the root of the closed-core property (§2.1).
+
+use crate::messages::{wire, S6a};
+use crate::proc::Processor;
+use dlte_auth::vectors::SubscriberDb;
+use dlte_auth::{Imsi, Key};
+use dlte_net::{NodeCtx, NodeHandler, Packet, Payload};
+use dlte_sim::{SimDuration, SimRng};
+
+/// The HSS node handler.
+pub struct HssNode {
+    pub db: SubscriberDb,
+    pub proc: Processor,
+    rng: SimRng,
+}
+
+impl HssNode {
+    pub fn new(per_msg: SimDuration, rng: SimRng) -> Self {
+        HssNode {
+            db: SubscriberDb::new(),
+            proc: Processor::new(per_msg, 0),
+            rng,
+        }
+    }
+
+    /// Provision a subscriber.
+    pub fn provision(&mut self, imsi: Imsi, k: Key) {
+        self.db.provision(imsi, k);
+    }
+}
+
+impl NodeHandler for HssNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        let Some(S6a::AuthInfoRequest {
+            imsi,
+            sn_id,
+            resync_sqn,
+        }) = packet.payload.as_control::<S6a>().cloned()
+        else {
+            // Not for us (e.g. a stray user-plane packet): default-route it.
+            if ctx.peer_info(ctx.node).owns(packet.dst) {
+                ctx.deliver_local(&packet);
+            } else {
+                ctx.forward(packet);
+            }
+            return;
+        };
+        if let Some(sqn) = resync_sqn {
+            self.db.resync(imsi, sqn);
+        }
+        let vector = self.db.vector_for(imsi, sn_id, &mut self.rng);
+        let reply = ctx
+            .make_packet(packet.src, wire::S6A_ANSWER)
+            .with_payload(Payload::control(S6a::AuthInfoAnswer { imsi, vector }));
+        self.proc.process(ctx, vec![reply]);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        self.proc.on_timer(ctx, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_net::{Addr, LinkConfig, NetworkBuilder, Prefix};
+    use dlte_sim::SimTime;
+
+    /// Minimal MME stand-in that asks for one vector and stores the answer.
+    struct VectorAsker {
+        hss: Addr,
+        imsi: Imsi,
+        got: Option<Option<dlte_auth::vectors::AuthVector>>,
+    }
+
+    impl NodeHandler for VectorAsker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            let p = ctx
+                .make_packet(self.hss, wire::S6A_REQUEST)
+                .with_payload(Payload::control(S6a::AuthInfoRequest {
+                    imsi: self.imsi,
+                    sn_id: 1,
+                    resync_sqn: None,
+                }));
+            ctx.forward(p);
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, packet: Packet) {
+            if let Some(S6a::AuthInfoAnswer { vector, .. }) =
+                packet.payload.as_control::<S6a>()
+            {
+                self.got = Some(*vector);
+            }
+        }
+    }
+
+    fn run(imsi_provisioned: Imsi, imsi_asked: Imsi) -> Option<Option<dlte_auth::vectors::AuthVector>> {
+        let mut b = NetworkBuilder::new(3);
+        let hss_addr = Addr::new(10, 255, 0, 1);
+        let mme_addr = Addr::new(10, 255, 0, 2);
+        let mme = b.host(
+            "mme",
+            Box::new(VectorAsker {
+                hss: hss_addr,
+                imsi: imsi_asked,
+                got: None,
+            }),
+        );
+        b.addr(mme, mme_addr);
+        let mut hss_node = HssNode::new(SimDuration::from_micros(500), SimRng::new(1));
+        hss_node.provision(imsi_provisioned, 0xABCD);
+        let hss = b.host("hss", Box::new(hss_node));
+        b.addr(hss, hss_addr);
+        let l = b.link(mme, hss, LinkConfig::lan());
+        b.route(mme, Prefix::new(hss_addr, 32), l);
+        b.route(hss, Prefix::new(mme_addr, 32), l);
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1), 100_000);
+        sim.world().handler_as::<VectorAsker>(mme).unwrap().got
+    }
+
+    #[test]
+    fn known_subscriber_gets_vector() {
+        let got = run(42, 42).expect("answer arrived");
+        assert!(got.is_some(), "vector for provisioned subscriber");
+    }
+
+    #[test]
+    fn unknown_subscriber_gets_none() {
+        let got = run(42, 99).expect("answer arrived");
+        assert!(got.is_none(), "no vector for unknown subscriber");
+    }
+}

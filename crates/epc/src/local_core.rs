@@ -1,0 +1,341 @@
+//! The dLTE local core — §4.1's "EPC stub at each AP".
+//!
+//! One handler plays every role the UE expects from a network (MME-ish NAS
+//! endpoint, HSS-ish vector minting from published keys, P-GW-ish address
+//! assignment) while doing *none* of the EPC's wide-area work: no tunnels,
+//! no inter-gateway signaling, no mobility management, no billing. User
+//! traffic leaves the AP as native IP — local breakout — so the AP owner
+//! keeps routing control, exactly as the paper prescribes.
+//!
+//! Keys come either from a pre-synchronized local directory copy or from a
+//! remote [`KeyDirectoryNode`] over the Internet (one extra RTT on first
+//! attach, then cached) — letting experiment E8 quantify the cost of
+//! keeping identity out of the access network.
+
+use crate::messages::{wire, Nas, RejectCause, S1Nas, SnId};
+use crate::proc::Processor;
+use dlte_auth::open::PublishedKeyDirectory;
+use dlte_auth::vectors::{generate_vector, AuthVector, SubscriberRecord};
+use dlte_auth::{Imsi, Key};
+use dlte_net::{Addr, AddrPool, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
+use dlte_sim::stats::Samples;
+use dlte_sim::{SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Where the stub gets subscriber keys.
+pub enum KeySource {
+    /// A locally synchronized copy of the published-key directory.
+    Local(PublishedKeyDirectory),
+    /// A remote directory service queried over the backhaul on first sight
+    /// of an IMSI (answers are cached).
+    Remote { addr: Addr },
+}
+
+/// Directory protocol messages.
+#[derive(Clone, Debug)]
+pub enum DirMsg {
+    Query { imsi: Imsi, reply_to: Addr },
+    Answer { imsi: Imsi, key: Option<Key> },
+}
+
+/// On-wire size of directory messages.
+pub const DIR_MSG_BYTES: u32 = 96;
+
+/// Local-core statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LocalCoreStats {
+    pub attach_requests: u64,
+    pub attaches_completed: u64,
+    pub attaches_rejected: u64,
+    pub directory_queries: u64,
+    pub auth_resyncs: u64,
+    /// Attach latency as seen from the stub (request → accept sent), ms.
+    pub attach_latency_ms: Samples,
+    pub ul_user_packets: u64,
+    pub dl_user_packets: u64,
+}
+
+#[derive(Clone, Debug)]
+enum AttachPhase {
+    AwaitKey { started: SimTime },
+    AwaitAuth {
+        started: SimTime,
+        vector: AuthVector,
+        resyncs: u8,
+    },
+}
+
+/// The dLTE AP's local core.
+pub struct LocalCoreNode {
+    pub sn_id: SnId,
+    pub pool: AddrPool,
+    keys: KeySource,
+    /// Radio wiring, as in [`crate::EnbNode`].
+    radio: HashMap<Imsi, (LinkId, Addr)>,
+    /// Cached subscriber records (from either key source).
+    records: HashMap<Imsi, SubscriberRecord>,
+    attaching: HashMap<Imsi, AttachPhase>,
+    sessions: HashMap<Imsi, Addr>,
+    by_ue_addr: HashMap<Addr, Imsi>,
+    pub proc: Processor,
+    rng: SimRng,
+    pub stats: LocalCoreStats,
+}
+
+impl LocalCoreNode {
+    pub fn new(
+        sn_id: SnId,
+        pool: AddrPool,
+        keys: KeySource,
+        per_msg: SimDuration,
+        rng: SimRng,
+    ) -> Self {
+        LocalCoreNode {
+            sn_id,
+            pool,
+            keys,
+            radio: HashMap::new(),
+            records: HashMap::new(),
+            attaching: HashMap::new(),
+            sessions: HashMap::new(),
+            by_ue_addr: HashMap::new(),
+            proc: Processor::new(per_msg, 0),
+            rng,
+            stats: LocalCoreStats::default(),
+        }
+    }
+
+    /// Wire a UE's radio link.
+    pub fn wire_ue(&mut self, imsi: Imsi, link: LinkId, ue_ctrl: Addr) {
+        self.radio.insert(imsi, (link, ue_ctrl));
+    }
+
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn nas_down(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, nas: Nas, size: u32) {
+        let Some(&(link, ue_ctrl)) = self.radio.get(&imsi) else {
+            return;
+        };
+        let p = ctx
+            .make_packet(ue_ctrl, size)
+            .with_payload(Payload::control(S1Nas { imsi, nas }));
+        // NAS goes straight down the radio link (no processor charge: the
+        // charge was taken when the decision was made).
+        ctx.forward_via(link, p);
+    }
+
+    fn challenge(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, started: SimTime, resyncs: u8) {
+        let Some(record) = self.records.get_mut(&imsi) else {
+            return;
+        };
+        let vector = generate_vector(record, self.sn_id, &mut self.rng);
+        self.attaching.insert(
+            imsi,
+            AttachPhase::AwaitAuth {
+                started,
+                vector,
+                resyncs,
+            },
+        );
+        self.nas_down(
+            ctx,
+            imsi,
+            Nas::AuthenticationRequest {
+                rand: vector.rand,
+                autn: vector.autn,
+                sn_id: self.sn_id,
+            },
+            wire::AUTH_REQUEST,
+        );
+    }
+
+    fn reject(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, cause: RejectCause) {
+        self.stats.attaches_rejected += 1;
+        self.attaching.remove(&imsi);
+        self.nas_down(
+            ctx,
+            imsi,
+            Nas::AttachReject { imsi, cause },
+            wire::ATTACH_REJECT,
+        );
+    }
+
+    fn handle_nas(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, nas: Nas) {
+        match nas {
+            Nas::AttachRequest { .. } | Nas::ServiceRequest { .. } => {
+                // dLTE has no path switch: a service request from a roaming
+                // UE is just an attach.
+                self.stats.attach_requests += 1;
+                let started = ctx.now;
+                if self.records.contains_key(&imsi) {
+                    self.challenge(ctx, imsi, started, 0);
+                    return;
+                }
+                match &mut self.keys {
+                    KeySource::Local(dir) => {
+                        self.stats.directory_queries += 1;
+                        match dir.record_for(imsi) {
+                            Some(rec) => {
+                                self.records.insert(imsi, rec);
+                                self.challenge(ctx, imsi, started, 0);
+                            }
+                            None => self.reject(ctx, imsi, RejectCause::UnknownSubscriber),
+                        }
+                    }
+                    KeySource::Remote { addr } => {
+                        self.stats.directory_queries += 1;
+                        let dir_addr = *addr;
+                        self.attaching
+                            .insert(imsi, AttachPhase::AwaitKey { started });
+                        let my_addr = ctx.my_addr();
+                        let q = ctx
+                            .make_packet(dir_addr, DIR_MSG_BYTES)
+                            .with_payload(Payload::control(DirMsg::Query {
+                                imsi,
+                                reply_to: my_addr,
+                            }));
+                        self.proc.process(ctx, vec![q]);
+                    }
+                }
+            }
+            Nas::AuthenticationResponse { res, .. } => {
+                let Some(AttachPhase::AwaitAuth {
+                    started, vector, ..
+                }) = self.attaching.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                if res != vector.xres {
+                    self.reject(ctx, imsi, RejectCause::AuthenticationFailed);
+                    return;
+                }
+                let Some(ue_addr) = self.pool.alloc() else {
+                    self.reject(ctx, imsi, RejectCause::NoResources);
+                    return;
+                };
+                self.attaching.remove(&imsi);
+                // Release any prior session of this IMSI (re-attach).
+                if let Some(old) = self.sessions.insert(imsi, ue_addr) {
+                    self.by_ue_addr.remove(&old);
+                    ctx.node_info_mut().remove_route(Prefix::new(old, 32));
+                    self.pool.release(old);
+                }
+                self.by_ue_addr.insert(ue_addr, imsi);
+                if let Some(&(link, _)) = self.radio.get(&imsi) {
+                    ctx.node_info_mut().set_route(Prefix::new(ue_addr, 32), link);
+                }
+                self.stats.attaches_completed += 1;
+                self.stats
+                    .attach_latency_ms
+                    .push_duration_ms(ctx.now.saturating_since(started));
+                self.nas_down(ctx, imsi, Nas::AttachAccept { ue_addr }, wire::ATTACH_ACCEPT);
+            }
+            Nas::AuthenticationFailure { ue_sqn, .. } => {
+                let Some(AttachPhase::AwaitAuth {
+                    started, resyncs, ..
+                }) = self.attaching.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                match ue_sqn {
+                    Some(sqn) if resyncs == 0 => {
+                        self.stats.auth_resyncs += 1;
+                        if let Some(rec) = self.records.get_mut(&imsi) {
+                            rec.sqn = rec.sqn.max(sqn);
+                        }
+                        self.challenge(ctx, imsi, started, resyncs + 1);
+                    }
+                    _ => self.reject(ctx, imsi, RejectCause::AuthenticationFailed),
+                }
+            }
+            Nas::DetachRequest { .. } => {
+                if let Some(ue_addr) = self.sessions.remove(&imsi) {
+                    self.by_ue_addr.remove(&ue_addr);
+                    ctx.node_info_mut().remove_route(Prefix::new(ue_addr, 32));
+                    self.pool.release(ue_addr);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_dir(&mut self, ctx: &mut NodeCtx<'_>, msg: DirMsg) {
+        let DirMsg::Answer { imsi, key } = msg else {
+            return;
+        };
+        let Some(AttachPhase::AwaitKey { started }) = self.attaching.get(&imsi).cloned() else {
+            return;
+        };
+        match key {
+            Some(k) => {
+                self.records
+                    .insert(imsi, SubscriberRecord { imsi, k, sqn: 0 });
+                self.challenge(ctx, imsi, started, 0);
+            }
+            None => self.reject(ctx, imsi, RejectCause::UnknownSubscriber),
+        }
+    }
+}
+
+impl NodeHandler for LocalCoreNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(s1nas) = packet.payload.as_control::<S1Nas>().cloned() {
+            self.handle_nas(ctx, s1nas.imsi, s1nas.nas);
+            return;
+        }
+        if let Some(msg) = packet.payload.as_control::<DirMsg>().cloned() {
+            self.handle_dir(ctx, msg);
+            return;
+        }
+        // User plane: native IP both ways — local breakout.
+        if self.by_ue_addr.contains_key(&packet.src) {
+            self.stats.ul_user_packets += 1;
+        } else if self.by_ue_addr.contains_key(&packet.dst) {
+            self.stats.dl_user_packets += 1;
+        }
+        if ctx.peer_info(ctx.node).owns(packet.dst) {
+            ctx.deliver_local(&packet);
+        } else {
+            ctx.forward(packet);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        self.proc.on_timer(ctx, tag);
+    }
+}
+
+/// A standalone published-key directory service (for [`KeySource::Remote`]).
+pub struct KeyDirectoryNode {
+    pub dir: PublishedKeyDirectory,
+    pub proc: Processor,
+}
+
+impl KeyDirectoryNode {
+    pub fn new(dir: PublishedKeyDirectory, per_msg: SimDuration) -> Self {
+        KeyDirectoryNode {
+            dir,
+            proc: Processor::new(per_msg, 0),
+        }
+    }
+}
+
+impl NodeHandler for KeyDirectoryNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(DirMsg::Query { imsi, reply_to }) =
+            packet.payload.as_control::<DirMsg>().cloned()
+        {
+            let key = self.dir.lookup(imsi);
+            let a = ctx
+                .make_packet(reply_to, DIR_MSG_BYTES)
+                .with_payload(Payload::control(DirMsg::Answer { imsi, key }));
+            self.proc.process(ctx, vec![a]);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        self.proc.on_timer(ctx, tag);
+    }
+}

@@ -1,0 +1,542 @@
+//! The Mobility Management Entity.
+//!
+//! Runs the attach state machine for every UE in the network: NAS attach →
+//! S6a vector fetch (with SQN resync when needed) → EPS-AKA verification →
+//! S11 session creation → S1AP context setup; plus S1 path-switch handover
+//! and detach. This is the component the paper calls out as the chokepoint:
+//! every control event of every UE in a centralized network serializes here.
+
+use crate::messages::{wire, Gtpc, Nas, RejectCause, S1Nas, S1ap, S6a, SnId, Teid};
+use crate::proc::Processor;
+use dlte_auth::vectors::AuthVector;
+use dlte_auth::Imsi;
+use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_sim::stats::Samples;
+use dlte_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-UE control state at the MME.
+#[derive(Clone, Debug)]
+enum UeCtx {
+    AwaitVector {
+        via_enb: Addr,
+        started: SimTime,
+        resyncs: u8,
+    },
+    AwaitAuthResponse {
+        via_enb: Addr,
+        started: SimTime,
+        vector: AuthVector,
+        resyncs: u8,
+    },
+    AwaitSession {
+        via_enb: Addr,
+        started: SimTime,
+        teid_dl: Teid,
+    },
+    Active {
+        via_enb: Addr,
+        ue_addr: Addr,
+        teid_dl: Teid,
+        /// Uplink TEID at the S-GW (handed to each serving eNB).
+        teid_ul_sgw: Teid,
+        /// ECM state: true = S1 released, UE reachable only via paging.
+        ecm_idle: bool,
+    },
+    /// Path switch in progress: waiting for the S-GW to move the bearer.
+    Switching {
+        old_enb: Addr,
+        new_enb: Addr,
+        ue_addr: Addr,
+        teid_dl: Teid,
+        teid_ul_sgw: Teid,
+        started: SimTime,
+    },
+}
+
+/// MME statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MmeStats {
+    pub attach_requests: u64,
+    pub attaches_completed: u64,
+    pub attaches_rejected: u64,
+    pub auth_resyncs: u64,
+    pub handovers_completed: u64,
+    pub s1_releases: u64,
+    pub pages_sent: u64,
+    /// Attach completion latency as seen from the MME (request → accept
+    /// sent), milliseconds.
+    pub attach_latency_ms: Samples,
+    /// Path-switch latency (request → ack sent), milliseconds.
+    pub switch_latency_ms: Samples,
+}
+
+/// The MME node handler.
+pub struct MmeNode {
+    pub sn_id: SnId,
+    pub hss_addr: Addr,
+    pub sgw_addr: Addr,
+    pub proc: Processor,
+    contexts: HashMap<Imsi, UeCtx>,
+    next_teid: Teid,
+    pub stats: MmeStats,
+}
+
+impl MmeNode {
+    pub fn new(sn_id: SnId, hss_addr: Addr, sgw_addr: Addr, per_msg: SimDuration) -> Self {
+        MmeNode {
+            sn_id,
+            hss_addr,
+            sgw_addr,
+            proc: Processor::new(per_msg, 0),
+            contexts: HashMap::new(),
+            next_teid: 1,
+            stats: MmeStats::default(),
+        }
+    }
+
+    fn alloc_teid(&mut self) -> Teid {
+        let t = self.next_teid;
+        self.next_teid += 1;
+        t
+    }
+
+    /// Number of UEs in `Active` state.
+    pub fn active_ues(&self) -> usize {
+        self.contexts
+            .values()
+            .filter(|c| matches!(c, UeCtx::Active { .. }))
+            .count()
+    }
+
+    /// The address currently assigned to `imsi`, if attached (diagnostics).
+    pub fn addr_of(&self, imsi: Imsi) -> Option<Addr> {
+        match self.contexts.get(&imsi) {
+            Some(UeCtx::Active { ue_addr, .. }) => Some(*ue_addr),
+            Some(UeCtx::Switching { ue_addr, old_enb, .. }) => {
+                let _ = old_enb;
+                Some(*ue_addr)
+            }
+            _ => None,
+        }
+    }
+
+    fn nas_to_enb(ctx: &mut NodeCtx<'_>, enb: Addr, imsi: Imsi, nas: Nas, size: u32) -> Packet {
+        ctx.make_packet(enb, size)
+            .with_payload(Payload::control(S1Nas { imsi, nas }))
+    }
+
+    fn handle_nas(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, nas: Nas, from: Addr) {
+        match nas {
+            Nas::AttachRequest { via_enb, .. } => {
+                self.stats.attach_requests += 1;
+                // (Re-)start the state machine; a duplicate attach replaces
+                // any stale context.
+                self.contexts.insert(
+                    imsi,
+                    UeCtx::AwaitVector {
+                        via_enb,
+                        started: ctx.now,
+                        resyncs: 0,
+                    },
+                );
+                let req = ctx
+                    .make_packet(self.hss_addr, wire::S6A_REQUEST)
+                    .with_payload(Payload::control(S6a::AuthInfoRequest {
+                        imsi,
+                        sn_id: self.sn_id,
+                        resync_sqn: None,
+                    }));
+                self.proc.process(ctx, vec![req]);
+            }
+            Nas::AuthenticationResponse { res, .. } => {
+                let Some(UeCtx::AwaitAuthResponse {
+                    via_enb,
+                    started,
+                    vector,
+                    ..
+                }) = self.contexts.get(&imsi).cloned()
+                else {
+                    return; // stray or late response
+                };
+                if res == vector.xres {
+                    let teid_dl = self.alloc_teid();
+                    self.contexts.insert(
+                        imsi,
+                        UeCtx::AwaitSession {
+                            via_enb,
+                            started,
+                            teid_dl,
+                        },
+                    );
+                    let req = ctx
+                        .make_packet(self.sgw_addr, wire::GTPC)
+                        .with_payload(Payload::control(Gtpc::CreateSessionRequest {
+                            imsi,
+                            enb_addr: via_enb,
+                            teid_dl_enb: teid_dl,
+                        }));
+                    self.proc.process(ctx, vec![req]);
+                } else {
+                    self.stats.attaches_rejected += 1;
+                    self.contexts.remove(&imsi);
+                    let rej = Self::nas_to_enb(
+                        ctx,
+                        via_enb,
+                        imsi,
+                        Nas::AttachReject {
+                            imsi,
+                            cause: RejectCause::AuthenticationFailed,
+                        },
+                        wire::ATTACH_REJECT,
+                    );
+                    self.proc.process(ctx, vec![rej]);
+                }
+            }
+            Nas::AuthenticationFailure { ue_sqn, .. } => {
+                let Some(UeCtx::AwaitAuthResponse {
+                    via_enb,
+                    started,
+                    resyncs,
+                    ..
+                }) = self.contexts.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                match ue_sqn {
+                    Some(sqn) if resyncs == 0 => {
+                        // Resynchronize at the HSS and retry once.
+                        self.stats.auth_resyncs += 1;
+                        self.contexts.insert(
+                            imsi,
+                            UeCtx::AwaitVector {
+                                via_enb,
+                                started,
+                                resyncs: resyncs + 1,
+                            },
+                        );
+                        let req = ctx
+                            .make_packet(self.hss_addr, wire::S6A_REQUEST)
+                            .with_payload(Payload::control(S6a::AuthInfoRequest {
+                                imsi,
+                                sn_id: self.sn_id,
+                                resync_sqn: Some(sqn),
+                            }));
+                        self.proc.process(ctx, vec![req]);
+                    }
+                    _ => {
+                        self.stats.attaches_rejected += 1;
+                        self.contexts.remove(&imsi);
+                        let rej = Self::nas_to_enb(
+                            ctx,
+                            via_enb,
+                            imsi,
+                            Nas::AttachReject {
+                                imsi,
+                                cause: RejectCause::AuthenticationFailed,
+                            },
+                            wire::ATTACH_REJECT,
+                        );
+                        self.proc.process(ctx, vec![rej]);
+                    }
+                }
+            }
+            Nas::DetachRequest { .. } => {
+                if let Some(UeCtx::Active { via_enb, .. }) = self.contexts.remove(&imsi) {
+                    let del = ctx
+                        .make_packet(self.sgw_addr, wire::GTPC)
+                        .with_payload(Payload::control(Gtpc::DeleteSessionRequest { imsi }));
+                    let rel = ctx
+                        .make_packet(via_enb, wire::S1AP_CONTEXT)
+                        .with_payload(Payload::control(S1ap::UeContextRelease { imsi }));
+                    self.proc.process(ctx, vec![del, rel]);
+                }
+            }
+            // ServiceRequest is converted to PathSwitchRequest by the eNB;
+            // the MME never sees it as NAS. Downlink NAS types are not
+            // expected here.
+            _ => {
+                let _ = from;
+            }
+        }
+    }
+
+    fn handle_s6a(&mut self, ctx: &mut NodeCtx<'_>, msg: S6a) {
+        let S6a::AuthInfoAnswer { imsi, vector } = msg else {
+            return;
+        };
+        let Some(UeCtx::AwaitVector {
+            via_enb,
+            started,
+            resyncs,
+        }) = self.contexts.get(&imsi).cloned()
+        else {
+            return;
+        };
+        match vector {
+            Some(v) => {
+                self.contexts.insert(
+                    imsi,
+                    UeCtx::AwaitAuthResponse {
+                        via_enb,
+                        started,
+                        vector: v,
+                        resyncs,
+                    },
+                );
+                let auth = Self::nas_to_enb(
+                    ctx,
+                    via_enb,
+                    imsi,
+                    Nas::AuthenticationRequest {
+                        rand: v.rand,
+                        autn: v.autn,
+                        sn_id: self.sn_id,
+                    },
+                    wire::AUTH_REQUEST,
+                );
+                self.proc.process(ctx, vec![auth]);
+            }
+            None => {
+                self.stats.attaches_rejected += 1;
+                self.contexts.remove(&imsi);
+                let rej = Self::nas_to_enb(
+                    ctx,
+                    via_enb,
+                    imsi,
+                    Nas::AttachReject {
+                        imsi,
+                        cause: RejectCause::UnknownSubscriber,
+                    },
+                    wire::ATTACH_REJECT,
+                );
+                self.proc.process(ctx, vec![rej]);
+            }
+        }
+    }
+
+    fn handle_gtpc(&mut self, ctx: &mut NodeCtx<'_>, msg: Gtpc) {
+        match msg {
+            Gtpc::CreateSessionResponse {
+                imsi,
+                ue_addr,
+                sgw_addr,
+                teid_ul_sgw,
+            } => {
+                let Some(UeCtx::AwaitSession {
+                    via_enb,
+                    started,
+                    teid_dl,
+                }) = self.contexts.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                let _ = sgw_addr;
+                self.contexts.insert(
+                    imsi,
+                    UeCtx::Active {
+                        via_enb,
+                        ue_addr,
+                        teid_dl,
+                        teid_ul_sgw,
+                        ecm_idle: false,
+                    },
+                );
+                self.stats.attaches_completed += 1;
+                self.stats
+                    .attach_latency_ms
+                    .push_duration_ms(ctx.now.saturating_since(started));
+                // Install the context at the eNB, then accept the UE.
+                let setup = ctx
+                    .make_packet(via_enb, wire::S1AP_CONTEXT)
+                    .with_payload(Payload::control(S1ap::InitialContextSetup {
+                        imsi,
+                        ue_addr,
+                        sgw_addr: self.sgw_addr,
+                        teid_ul: teid_ul_sgw,
+                        teid_dl,
+                    }));
+                let accept = Self::nas_to_enb(
+                    ctx,
+                    via_enb,
+                    imsi,
+                    Nas::AttachAccept { ue_addr },
+                    wire::ATTACH_ACCEPT,
+                );
+                self.proc.process(ctx, vec![setup, accept]);
+            }
+            Gtpc::DownlinkDataNotification { imsi } => {
+                let Some(UeCtx::Active {
+                    via_enb,
+                    ecm_idle: true,
+                    ..
+                }) = self.contexts.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                // Single-tracking-area simplification: page the last
+                // serving eNB (a multi-eNB TA would fan this out).
+                self.stats.pages_sent += 1;
+                let page = ctx
+                    .make_packet(via_enb, wire::PAGING)
+                    .with_payload(Payload::control(S1ap::Paging { imsi }));
+                self.proc.process(ctx, vec![page]);
+            }
+            Gtpc::ModifyBearerResponse { imsi } => {
+                let Some(UeCtx::Switching {
+                    new_enb,
+                    ue_addr,
+                    teid_dl,
+                    teid_ul_sgw,
+                    started,
+                    ..
+                }) = self.contexts.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                self.contexts.insert(
+                    imsi,
+                    UeCtx::Active {
+                        via_enb: new_enb,
+                        ue_addr,
+                        teid_dl,
+                        teid_ul_sgw,
+                        ecm_idle: false,
+                    },
+                );
+                self.stats.handovers_completed += 1;
+                self.stats
+                    .switch_latency_ms
+                    .push_duration_ms(ctx.now.saturating_since(started));
+                let _ = (ue_addr, teid_dl, teid_ul_sgw);
+                let ack = ctx
+                    .make_packet(new_enb, wire::S1AP_PATH_SWITCH)
+                    .with_payload(Payload::control(S1ap::PathSwitchAck { imsi }));
+                let accept = Self::nas_to_enb(
+                    ctx,
+                    new_enb,
+                    imsi,
+                    Nas::ServiceAccept { imsi },
+                    wire::S1AP_PATH_SWITCH,
+                );
+                self.proc.process(ctx, vec![ack, accept]);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_s1ap(&mut self, ctx: &mut NodeCtx<'_>, msg: S1ap) {
+        match msg {
+            S1ap::UeContextReleaseRequest { imsi } => {
+                // eNB-reported inactivity: move the UE to ECM-IDLE. The
+                // S-GW drops the access bearer; the eNB clears the radio
+                // context; the UE keeps its IP.
+                let Some(UeCtx::Active {
+                    via_enb,
+                    ue_addr,
+                    teid_dl,
+                    teid_ul_sgw,
+                    ecm_idle: false,
+                }) = self.contexts.get(&imsi).cloned()
+                else {
+                    return;
+                };
+                self.contexts.insert(
+                    imsi,
+                    UeCtx::Active {
+                        via_enb,
+                        ue_addr,
+                        teid_dl,
+                        teid_ul_sgw,
+                        ecm_idle: true,
+                    },
+                );
+                self.stats.s1_releases += 1;
+                let rel_bearers = ctx
+                    .make_packet(self.sgw_addr, wire::GTPC)
+                    .with_payload(Payload::control(Gtpc::ReleaseAccessBearers { imsi }));
+                let rel_enb = ctx
+                    .make_packet(via_enb, wire::S1AP_RELEASE)
+                    .with_payload(Payload::control(S1ap::UeContextRelease { imsi }));
+                self.proc.process(ctx, vec![rel_bearers, rel_enb]);
+                return;
+            }
+            S1ap::PathSwitchRequest { .. } => {}
+            _ => return,
+        }
+        if let S1ap::PathSwitchRequest {
+            imsi,
+            ue_addr,
+            new_enb,
+        } = msg
+        {
+            let Some(UeCtx::Active {
+                via_enb: old_enb,
+                teid_dl,
+                teid_ul_sgw,
+                ..
+            }) = self.contexts.get(&imsi).cloned()
+            else {
+                return; // unknown UE: ignore (UE will fall back to attach)
+            };
+            self.contexts.insert(
+                imsi,
+                UeCtx::Switching {
+                    old_enb,
+                    new_enb,
+                    ue_addr,
+                    teid_dl,
+                    teid_ul_sgw,
+                    started: ctx.now,
+                },
+            );
+            // The target eNB gets the context immediately (in real S1AP it
+            // already holds it — it initiated the path switch), so downlink
+            // flushed by the S-GW never races an uninstalled tunnel.
+            let setup = ctx
+                .make_packet(new_enb, wire::S1AP_CONTEXT)
+                .with_payload(Payload::control(S1ap::InitialContextSetup {
+                    imsi,
+                    ue_addr,
+                    sgw_addr: self.sgw_addr,
+                    teid_ul: teid_ul_sgw,
+                    teid_dl,
+                }));
+            let modify = ctx
+                .make_packet(self.sgw_addr, wire::GTPC)
+                .with_payload(Payload::control(Gtpc::ModifyBearerRequest {
+                    imsi,
+                    new_enb_addr: new_enb,
+                    teid_dl_enb: teid_dl,
+                }));
+            let mut batch = vec![setup, modify];
+            if old_enb != new_enb {
+                let release = ctx
+                    .make_packet(old_enb, wire::S1AP_CONTEXT)
+                    .with_payload(Payload::control(S1ap::UeContextRelease { imsi }));
+                batch.push(release);
+            }
+            self.proc.process(ctx, batch);
+        }
+    }
+}
+
+impl NodeHandler for MmeNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(s1nas) = packet.payload.as_control::<S1Nas>().cloned() {
+            self.handle_nas(ctx, s1nas.imsi, s1nas.nas, packet.src);
+        } else if let Some(msg) = packet.payload.as_control::<S6a>().cloned() {
+            self.handle_s6a(ctx, msg);
+        } else if let Some(msg) = packet.payload.as_control::<Gtpc>().cloned() {
+            self.handle_gtpc(ctx, msg);
+        } else if let Some(msg) = packet.payload.as_control::<S1ap>().cloned() {
+            self.handle_s1ap(ctx, msg);
+        } else if !ctx.peer_info(ctx.node).owns(packet.dst) {
+            ctx.forward(packet);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        self.proc.on_timer(ctx, tag);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Packet Data Network Gateway.
+//!
+//! Terminates GTP tunnels, owns the UE address pool, and is the single
+//! point where centralized-LTE user traffic meets the Internet — the
+//! "chokepoint to the Internet" of §3.1. Uplink: decapsulate and forward
+//! native IP. Downlink: match the destination against allocated UE
+//! addresses and tunnel toward the S-GW.
+
+use crate::messages::{wire, S5, Teid};
+use crate::proc::Processor;
+use dlte_auth::Imsi;
+use dlte_net::gtp;
+use dlte_net::{Addr, AddrPool, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_sim::SimDuration;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct PdnSession {
+    imsi: Imsi,
+    sgw_addr: Addr,
+    teid_dl_sgw: Teid,
+    teid_ul_pgw: Teid,
+}
+
+/// P-GW statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PgwStats {
+    pub ul_packets: u64,
+    pub dl_packets: u64,
+    pub sessions: u64,
+    pub pool_exhausted: u64,
+    pub unknown_dst_drops: u64,
+}
+
+/// The P-GW node handler.
+pub struct PgwNode {
+    pub pool: AddrPool,
+    pub proc: Processor,
+    by_ue_addr: HashMap<Addr, PdnSession>,
+    by_ul_teid: HashMap<Teid, Addr>,
+    by_imsi: HashMap<Imsi, Addr>,
+    next_teid: Teid,
+    pub stats: PgwStats,
+}
+
+impl PgwNode {
+    pub fn new(pool: AddrPool, per_msg: SimDuration) -> Self {
+        PgwNode {
+            pool,
+            proc: Processor::new(per_msg, 0),
+            by_ue_addr: HashMap::new(),
+            by_ul_teid: HashMap::new(),
+            by_imsi: HashMap::new(),
+            next_teid: 0x2000_0000,
+            stats: PgwStats::default(),
+        }
+    }
+
+    pub fn active_sessions(&self) -> usize {
+        self.by_ue_addr.len()
+    }
+
+    /// The IMSI holding `addr`, if any (diagnostics).
+    pub fn imsi_of(&self, addr: Addr) -> Option<Imsi> {
+        self.by_ue_addr.get(&addr).map(|s| s.imsi)
+    }
+
+    fn handle_s5(&mut self, ctx: &mut NodeCtx<'_>, msg: S5, from: Addr) {
+        match msg {
+            S5::CreateRequest {
+                imsi,
+                sgw_addr,
+                teid_dl_sgw,
+            } => {
+                let Some(ue_addr) = self.pool.alloc() else {
+                    self.stats.pool_exhausted += 1;
+                    return;
+                };
+                let teid_ul_pgw = self.next_teid;
+                self.next_teid += 1;
+                self.by_ue_addr.insert(
+                    ue_addr,
+                    PdnSession {
+                        imsi,
+                        sgw_addr,
+                        teid_dl_sgw,
+                        teid_ul_pgw,
+                    },
+                );
+                self.by_ul_teid.insert(teid_ul_pgw, ue_addr);
+                self.by_imsi.insert(imsi, ue_addr);
+                self.stats.sessions += 1;
+                let my_addr = ctx.my_addr();
+                let resp = ctx
+                    .make_packet(from, wire::GTPC)
+                    .with_payload(Payload::control(S5::CreateResponse {
+                        imsi,
+                        ue_addr,
+                        pgw_addr: my_addr,
+                        teid_ul_pgw,
+                    }));
+                self.proc.process(ctx, vec![resp]);
+            }
+            S5::DeleteRequest { imsi, .. } => {
+                if let Some(ue_addr) = self.by_imsi.remove(&imsi) {
+                    if let Some(s) = self.by_ue_addr.remove(&ue_addr) {
+                        self.by_ul_teid.remove(&s.teid_ul_pgw);
+                    }
+                    self.pool.release(ue_addr);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_user_plane(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        let Some(header) = packet.tunnels.last() else {
+            return;
+        };
+        let teid = header.teid;
+        if self.by_ul_teid.contains_key(&teid) {
+            // Uplink: strip the tunnel; UE-to-UE traffic hairpins straight
+            // back down its bearer, everything else goes to the Internet.
+            if let Ok(inner) = gtp::decapsulate(packet, Some(teid)) {
+                self.stats.ul_packets += 1;
+                if self.pool.prefix().contains(inner.dst) {
+                    self.handle_downlink(ctx, inner);
+                } else {
+                    ctx.forward(inner);
+                }
+            }
+        }
+    }
+
+    fn handle_downlink(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        match self.by_ue_addr.get(&packet.dst) {
+            Some(s) => {
+                self.stats.dl_packets += 1;
+                let (sgw, teid) = (s.sgw_addr, s.teid_dl_sgw);
+                let my_addr = ctx.my_addr();
+                let out = gtp::encapsulate(packet, teid, my_addr, sgw);
+                ctx.forward(out);
+            }
+            None => {
+                self.stats.unknown_dst_drops += 1;
+            }
+        }
+    }
+}
+
+impl NodeHandler for PgwNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(msg) = packet.payload.as_control::<S5>().cloned() {
+            self.handle_s5(ctx, msg, packet.src);
+        } else if ctx.peer_info(ctx.node).owns(packet.dst) {
+            self.handle_user_plane(ctx, packet);
+        } else if self.pool.prefix().contains(packet.dst) {
+            self.handle_downlink(ctx, packet);
+        } else {
+            ctx.forward(packet);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        self.proc.on_timer(ctx, tag);
+    }
+}

@@ -1,0 +1,286 @@
+//! The Serving Gateway.
+//!
+//! User-plane anchor between eNBs and the P-GW: re-tunnels every user
+//! packet in both directions and moves the eNB-side tunnel on handover.
+//! Control (S11 from MME, S5 from P-GW) goes through the finite-capacity
+//! processor; user-plane forwarding is charged a fixed per-packet time via
+//! the same mechanism kept deliberately small (hardware fast path).
+
+use crate::messages::{wire, Gtpc, S5, Teid};
+use crate::proc::Processor;
+use dlte_auth::Imsi;
+use dlte_net::gtp;
+use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_sim::SimDuration;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct Bearer {
+    enb_addr: Addr,
+    teid_dl_enb: Teid,
+    /// False while the UE is ECM-IDLE: the eNB tunnel is torn down,
+    /// downlink is buffered, and a notification wakes the MME.
+    enb_connected: bool,
+    /// One notification per idle period.
+    ddn_sent: bool,
+    /// Buffered downlink packets awaiting paging (bounded).
+    buffer: Vec<Packet>,
+    /// Uplink TEID at this S-GW (eNB → us).
+    teid_ul_sgw: Teid,
+    /// Downlink TEID at this S-GW (P-GW → us).
+    teid_dl_sgw: Teid,
+    pgw_addr: Addr,
+    teid_ul_pgw: Option<Teid>,
+    ue_addr: Option<Addr>,
+    /// MME to answer once the P-GW responds.
+    pending_mme: Option<Addr>,
+}
+
+/// S-GW statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SgwStats {
+    pub ul_packets: u64,
+    pub dl_packets: u64,
+    pub sessions_created: u64,
+    pub bearers_modified: u64,
+    pub unknown_teid_drops: u64,
+    pub bearers_released: u64,
+    pub ddn_sent: u64,
+    pub buffered: u64,
+    pub buffer_flushed: u64,
+    pub buffer_drops: u64,
+}
+
+/// The S-GW node handler.
+pub struct SgwNode {
+    pub pgw_addr: Addr,
+    /// The MME to notify of pending downlink data.
+    pub mme_addr: Addr,
+    /// Downlink buffer capacity per idle bearer, packets.
+    pub buffer_cap: usize,
+    pub proc: Processor,
+    bearers: HashMap<Imsi, Bearer>,
+    by_ul_teid: HashMap<Teid, Imsi>,
+    by_dl_teid: HashMap<Teid, Imsi>,
+    next_teid: Teid,
+    pub stats: SgwStats,
+}
+
+impl SgwNode {
+    pub fn new(pgw_addr: Addr, per_msg: SimDuration) -> Self {
+        SgwNode {
+            pgw_addr,
+            mme_addr: Addr::UNSPECIFIED,
+            buffer_cap: 16,
+            proc: Processor::new(per_msg, 0),
+            bearers: HashMap::new(),
+            by_ul_teid: HashMap::new(),
+            by_dl_teid: HashMap::new(),
+            next_teid: 0x1000_0000,
+            stats: SgwStats::default(),
+        }
+    }
+
+    fn alloc_teid(&mut self) -> Teid {
+        let t = self.next_teid;
+        self.next_teid += 1;
+        t
+    }
+
+    pub fn active_bearers(&self) -> usize {
+        self.bearers.len()
+    }
+
+    fn handle_gtpc(&mut self, ctx: &mut NodeCtx<'_>, msg: Gtpc, from: Addr) {
+        match msg {
+            Gtpc::CreateSessionRequest {
+                imsi,
+                enb_addr,
+                teid_dl_enb,
+            } => {
+                let teid_ul_sgw = self.alloc_teid();
+                let teid_dl_sgw = self.alloc_teid();
+                self.by_ul_teid.insert(teid_ul_sgw, imsi);
+                self.by_dl_teid.insert(teid_dl_sgw, imsi);
+                self.bearers.insert(
+                    imsi,
+                    Bearer {
+                        enb_addr,
+                        teid_dl_enb,
+                        enb_connected: true,
+                        ddn_sent: false,
+                        buffer: Vec::new(),
+                        teid_ul_sgw,
+                        teid_dl_sgw,
+                        pgw_addr: self.pgw_addr,
+                        teid_ul_pgw: None,
+                        ue_addr: None,
+                        pending_mme: Some(from),
+                    },
+                );
+                let my_addr = ctx.my_addr();
+                let req = ctx
+                    .make_packet(self.pgw_addr, wire::GTPC)
+                    .with_payload(Payload::control(S5::CreateRequest {
+                        imsi,
+                        sgw_addr: my_addr,
+                        teid_dl_sgw,
+                    }));
+                self.proc.process(ctx, vec![req]);
+            }
+            Gtpc::ModifyBearerRequest {
+                imsi,
+                new_enb_addr,
+                teid_dl_enb,
+            } => {
+                if let Some(b) = self.bearers.get_mut(&imsi) {
+                    b.enb_addr = new_enb_addr;
+                    b.teid_dl_enb = teid_dl_enb;
+                    b.enb_connected = true;
+                    b.ddn_sent = false;
+                    self.stats.bearers_modified += 1;
+                    // Flush anything buffered while the UE was idle.
+                    let waiting = std::mem::take(&mut b.buffer);
+                    let (enb, teid) = (b.enb_addr, b.teid_dl_enb);
+                    let my_addr = ctx.my_addr();
+                    for p in waiting {
+                        self.stats.buffer_flushed += 1;
+                        let out = gtp::encapsulate(p, teid, my_addr, enb);
+                        ctx.forward(out);
+                    }
+                    let resp = ctx
+                        .make_packet(from, wire::GTPC)
+                        .with_payload(Payload::control(Gtpc::ModifyBearerResponse { imsi }));
+                    self.proc.process(ctx, vec![resp]);
+                }
+            }
+            Gtpc::ReleaseAccessBearers { imsi } => {
+                if let Some(b) = self.bearers.get_mut(&imsi) {
+                    b.enb_connected = false;
+                    b.ddn_sent = false;
+                    self.stats.bearers_released += 1;
+                }
+            }
+            Gtpc::DeleteSessionRequest { imsi } => {
+                if let Some(b) = self.bearers.remove(&imsi) {
+                    self.by_ul_teid.remove(&b.teid_ul_sgw);
+                    self.by_dl_teid.remove(&b.teid_dl_sgw);
+                    let del = ctx
+                        .make_packet(self.pgw_addr, wire::GTPC)
+                        .with_payload(Payload::control(S5::DeleteRequest {
+                            imsi,
+                            ue_addr: b.ue_addr.unwrap_or(Addr::UNSPECIFIED),
+                        }));
+                    self.proc.process(ctx, vec![del]);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_s5(&mut self, ctx: &mut NodeCtx<'_>, msg: S5) {
+        if let S5::CreateResponse {
+            imsi,
+            ue_addr,
+            pgw_addr,
+            teid_ul_pgw,
+        } = msg
+        {
+            let Some(b) = self.bearers.get_mut(&imsi) else {
+                return;
+            };
+            b.teid_ul_pgw = Some(teid_ul_pgw);
+            b.ue_addr = Some(ue_addr);
+            b.pgw_addr = pgw_addr;
+            self.stats.sessions_created += 1;
+            let (teid_ul_sgw, mme) = (b.teid_ul_sgw, b.pending_mme.take());
+            if let Some(mme) = mme {
+                let my_addr = ctx.my_addr();
+                let resp = ctx
+                    .make_packet(mme, wire::GTPC)
+                    .with_payload(Payload::control(Gtpc::CreateSessionResponse {
+                        imsi,
+                        ue_addr,
+                        sgw_addr: my_addr,
+                        teid_ul_sgw,
+                    }));
+                self.proc.process(ctx, vec![resp]);
+            }
+        }
+    }
+
+    /// Re-tunnel a user-plane packet (already addressed to this S-GW).
+    fn handle_user_plane(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        let Some(header) = packet.tunnels.last() else {
+            // Not tunneled: nothing for a pure user-plane anchor to do.
+            return;
+        };
+        let teid = header.teid;
+        if let Some(&imsi) = self.by_ul_teid.get(&teid) {
+            // Uplink: eNB → us → P-GW.
+            let b = &self.bearers[&imsi];
+            let (pgw, teid_ul_pgw) = (b.pgw_addr, b.teid_ul_pgw);
+            let Some(teid_pgw) = teid_ul_pgw else { return };
+            let inner = match gtp::decapsulate(packet, Some(teid)) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            self.stats.ul_packets += 1;
+            let my_addr = ctx.my_addr();
+            let out = gtp::encapsulate(inner, teid_pgw, my_addr, pgw);
+            ctx.forward(out);
+        } else if let Some(&imsi) = self.by_dl_teid.get(&teid) {
+            // Downlink: P-GW → us → eNB (or the idle-mode buffer).
+            let inner = match gtp::decapsulate(packet, Some(teid)) {
+                Ok(p) => p,
+                Err(_) => return,
+            };
+            let b = self.bearers.get_mut(&imsi).expect("bearer for teid");
+            if !b.enb_connected {
+                // ECM-IDLE: buffer and (once) notify the MME so it pages.
+                if b.buffer.len() < self.buffer_cap {
+                    b.buffer.push(inner);
+                    self.stats.buffered += 1;
+                } else {
+                    self.stats.buffer_drops += 1;
+                }
+                if !b.ddn_sent && !self.mme_addr.is_unspecified() {
+                    b.ddn_sent = true;
+                    self.stats.ddn_sent += 1;
+                    let ddn = ctx
+                        .make_packet(self.mme_addr, wire::GTPC)
+                        .with_payload(Payload::control(Gtpc::DownlinkDataNotification {
+                            imsi,
+                        }));
+                    self.proc.process(ctx, vec![ddn]);
+                }
+                return;
+            }
+            let (enb, teid_enb) = (b.enb_addr, b.teid_dl_enb);
+            self.stats.dl_packets += 1;
+            let my_addr = ctx.my_addr();
+            let out = gtp::encapsulate(inner, teid_enb, my_addr, enb);
+            ctx.forward(out);
+        } else {
+            self.stats.unknown_teid_drops += 1;
+        }
+    }
+}
+
+impl NodeHandler for SgwNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(msg) = packet.payload.as_control::<Gtpc>().cloned() {
+            self.handle_gtpc(ctx, msg, packet.src);
+        } else if let Some(msg) = packet.payload.as_control::<S5>().cloned() {
+            self.handle_s5(ctx, msg);
+        } else if ctx.peer_info(ctx.node).owns(packet.dst) {
+            self.handle_user_plane(ctx, packet);
+        } else {
+            ctx.forward(packet);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        self.proc.on_timer(ctx, tag);
+    }
+}

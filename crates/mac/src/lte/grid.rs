@@ -1,0 +1,147 @@
+//! The per-subframe physical resource block grid.
+//!
+//! A thin allocation ledger: each TTI the scheduler hands out PRBs to UEs;
+//! the grid enforces that no PRB is double-booked and reports utilization.
+//! The grid also supports *masking* a subset of PRBs as unavailable, which
+//! is how the dLTE fair-sharing mode (frequency-domain partitions agreed
+//! over X2) is expressed at the MAC.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a UE within one cell's scheduling scope.
+pub type UeId = usize;
+
+/// Allocation of a contiguous count of PRBs to one UE in one TTI (we track
+/// counts, not indices — with wideband CQI the position is immaterial).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    pub ue: UeId,
+    pub n_prb: u32,
+}
+
+/// The PRB grid of one subframe.
+#[derive(Clone, Debug)]
+pub struct PrbGrid {
+    total_prb: u32,
+    masked_prb: u32,
+    allocated: Vec<Allocation>,
+    used_prb: u32,
+}
+
+impl PrbGrid {
+    /// A grid of `total_prb` blocks with `masked_prb` of them unavailable
+    /// (reserved for a peer AP by the fair-share partition).
+    pub fn new(total_prb: u32, masked_prb: u32) -> Self {
+        assert!(masked_prb <= total_prb, "mask exceeds grid");
+        PrbGrid {
+            total_prb,
+            masked_prb,
+            allocated: Vec::new(),
+            used_prb: 0,
+        }
+    }
+
+    /// PRBs available to this cell this TTI.
+    pub fn available(&self) -> u32 {
+        self.total_prb - self.masked_prb - self.used_prb
+    }
+
+    /// Total grid size (before masking).
+    pub fn total(&self) -> u32 {
+        self.total_prb
+    }
+
+    /// Allocate up to `want` PRBs to `ue`; returns the number granted.
+    pub fn allocate(&mut self, ue: UeId, want: u32) -> u32 {
+        let grant = want.min(self.available());
+        if grant > 0 {
+            self.used_prb += grant;
+            self.allocated.push(Allocation { ue, n_prb: grant });
+        }
+        grant
+    }
+
+    /// Allocations made this TTI.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocated
+    }
+
+    /// Fraction of the *unmasked* grid in use.
+    pub fn utilization(&self) -> f64 {
+        let usable = self.total_prb - self.masked_prb;
+        if usable == 0 {
+            0.0
+        } else {
+            self.used_prb as f64 / usable as f64
+        }
+    }
+
+    /// Clear allocations for the next TTI (mask persists).
+    pub fn reset(&mut self) {
+        self.allocated.clear();
+        self.used_prb = 0;
+    }
+
+    /// Change the mask (fair-share renegotiation between TTIs).
+    pub fn set_mask(&mut self, masked_prb: u32) {
+        assert!(masked_prb <= self.total_prb);
+        debug_assert_eq!(self.used_prb, 0, "re-mask only between TTIs");
+        self.masked_prb = masked_prb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut g = PrbGrid::new(50, 0);
+        assert_eq!(g.allocate(1, 30), 30);
+        assert_eq!(g.allocate(2, 30), 20, "only 20 left");
+        assert_eq!(g.allocate(3, 5), 0, "grid full");
+        assert_eq!(g.available(), 0);
+        assert!((g.utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(g.allocations().len(), 2);
+    }
+
+    #[test]
+    fn mask_reserves_peer_share() {
+        let mut g = PrbGrid::new(50, 25);
+        assert_eq!(g.available(), 25);
+        assert_eq!(g.allocate(1, 50), 25);
+        // Utilization is measured against the unmasked portion.
+        assert!((g.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_allocations_but_not_mask() {
+        let mut g = PrbGrid::new(50, 10);
+        g.allocate(1, 10);
+        g.reset();
+        assert_eq!(g.available(), 40);
+        assert!(g.allocations().is_empty());
+        g.set_mask(0);
+        assert_eq!(g.available(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask exceeds grid")]
+    fn oversized_mask_panics() {
+        PrbGrid::new(10, 11);
+    }
+
+    #[test]
+    fn zero_want_is_noop() {
+        let mut g = PrbGrid::new(50, 0);
+        assert_eq!(g.allocate(1, 0), 0);
+        assert!(g.allocations().is_empty());
+    }
+
+    #[test]
+    fn fully_masked_grid_reports_zero_utilization() {
+        let g = PrbGrid::new(10, 10);
+        assert_eq!(g.available(), 0);
+        assert_eq!(g.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! The scheduled LTE MAC.
+
+pub mod cell;
+pub mod grid;
+pub mod scheduler;
+pub mod timing_advance;

@@ -1,0 +1,213 @@
+//! Timing advance — how the LTE MAC "explicitly compensates for propagation
+//! delay" (§3.2).
+//!
+//! Uplink transmissions from all UEs must arrive at the eNodeB aligned to
+//! the subframe boundary. The eNodeB measures each UE's round-trip delay
+//! during random access and commands a *timing advance*: the UE transmits
+//! early by that amount. TA is quantized to 16·Ts ≈ 0.52 µs steps and capped
+//! at 1282 steps ≈ 0.67 ms, i.e. a ~100 km cell radius.
+//!
+//! Without TA (the WiFi situation — 802.11 has no closed-loop timing), a
+//! distant station's symbols arrive offset by the one-way propagation delay.
+//! Offsets within the OFDM cyclic prefix are absorbed; beyond it they cause
+//! inter-symbol interference, modeled as an SINR penalty growing with the
+//! excess offset. This module quantifies both regimes so experiment E4 can
+//! sweep cell radius with TA on and off.
+
+use dlte_phy::units::SPEED_OF_LIGHT;
+use dlte_phy::waveform::timing::{CP_NORMAL_US, TS_NANOS};
+use serde::{Deserialize, Serialize};
+
+/// TA step: 16 × Ts in nanoseconds (≈ 520.8 ns).
+pub const TA_STEP_NANOS: f64 = 16.0 * TS_NANOS;
+
+/// Maximum TA index (TS 36.213: N_TA ranges to 20512 Ts = 1282 steps).
+pub const MAX_TA_STEPS: u32 = 1282;
+
+/// Maximum one-way cell radius TA can compensate, km (~100 km).
+pub const MAX_TA_KM: f64 =
+    (MAX_TA_STEPS as f64 * TA_STEP_NANOS) * 1e-9 * SPEED_OF_LIGHT / 2.0 / 1000.0;
+
+/// PRACH preamble formats and the initial-access radius they support
+/// (TS 36.211 Table 5.7.1-1; the cyclic-shift budget limits how far a UE can
+/// be *detected* before any TA is assigned).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PrachFormat {
+    /// Format 0: ~14.5 km — the urban default.
+    Format0,
+    /// Format 1: ~77 km — extended range.
+    Format1,
+    /// Format 3: ~100 km — the maximum.
+    Format3,
+}
+
+impl PrachFormat {
+    /// Maximum initial-access radius, km.
+    pub fn max_radius_km(self) -> f64 {
+        match self {
+            PrachFormat::Format0 => 14.5,
+            PrachFormat::Format1 => 77.3,
+            PrachFormat::Format3 => 100.2,
+        }
+    }
+
+    /// Pick the cheapest format covering `radius_km`, if any.
+    pub fn for_radius(radius_km: f64) -> Option<PrachFormat> {
+        [PrachFormat::Format0, PrachFormat::Format1, PrachFormat::Format3]
+            .into_iter()
+            .find(|f| f.max_radius_km() >= radius_km)
+    }
+}
+
+/// The timing-advance state for one UE.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TimingAdvance {
+    /// Commanded TA in steps, or `None` if TA is disabled (the
+    /// counterfactual arm of E4).
+    pub steps: Option<u32>,
+}
+
+impl TimingAdvance {
+    /// One-way propagation delay to a UE at `dist_km`, nanoseconds.
+    pub fn one_way_delay_ns(dist_km: f64) -> f64 {
+        dist_km.max(0.0) * 1000.0 / SPEED_OF_LIGHT * 1e9
+    }
+
+    /// Compute the TA command for a UE at `dist_km`. Returns `None` if the
+    /// distance exceeds what TA can express (UE cannot be served).
+    pub fn for_distance(dist_km: f64) -> Option<TimingAdvance> {
+        let rtt_ns = 2.0 * Self::one_way_delay_ns(dist_km);
+        let steps = (rtt_ns / TA_STEP_NANOS).round() as u32;
+        if steps > MAX_TA_STEPS {
+            None
+        } else {
+            Some(TimingAdvance { steps: Some(steps) })
+        }
+    }
+
+    /// TA explicitly disabled.
+    pub fn disabled() -> TimingAdvance {
+        TimingAdvance { steps: None }
+    }
+
+    /// Residual arrival misalignment at the eNodeB for a UE at `dist_km`,
+    /// nanoseconds. With TA: the quantization error (≤ half a step). Without:
+    /// the full round-trip skew relative to the cell center.
+    pub fn residual_offset_ns(&self, dist_km: f64) -> f64 {
+        let rtt_ns = 2.0 * Self::one_way_delay_ns(dist_km);
+        match self.steps {
+            Some(steps) => (rtt_ns - steps as f64 * TA_STEP_NANOS).abs(),
+            None => rtt_ns,
+        }
+    }
+
+    /// SINR penalty (dB) from inter-symbol interference caused by a residual
+    /// offset. Offsets within the normal cyclic prefix are free; beyond it
+    /// the effective SINR collapses as the fraction of each symbol that
+    /// lands outside its FFT window grows. The closed form follows the
+    /// standard CP-violation degradation model: the useful energy scales as
+    /// `(1 - x)²` where `x` is the fractional symbol overrun, and the
+    /// overrun becomes self-interference.
+    pub fn isi_penalty_db(&self, dist_km: f64) -> f64 {
+        let offset_us = self.residual_offset_ns(dist_km) / 1000.0;
+        let excess_us = (offset_us - CP_NORMAL_US).max(0.0);
+        if excess_us == 0.0 {
+            return 0.0;
+        }
+        // OFDM useful-symbol length: 66.67 µs.
+        const SYMBOL_US: f64 = 66.67;
+        let x = (excess_us / SYMBOL_US).min(0.999);
+        let useful = (1.0 - x) * (1.0 - x);
+        let interference = 1.0 - useful;
+        // Penalty = loss of useful power + self-interference floor.
+        let sinr_scale = useful / (1.0 + 10.0 * interference);
+        -10.0 * sinr_scale.log10()
+    }
+
+    /// Whether a UE at `dist_km` can be served at all: with TA, limited by
+    /// the PRACH format and the TA range; without TA, always "served" but
+    /// with whatever ISI penalty applies.
+    pub fn serveable(dist_km: f64, prach: PrachFormat, ta_enabled: bool) -> bool {
+        if !ta_enabled {
+            return true;
+        }
+        dist_km <= prach.max_radius_km() && TimingAdvance::for_distance(dist_km).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ta_range_is_about_100km() {
+        assert!((MAX_TA_KM - 100.0).abs() < 2.0, "MAX_TA_KM = {MAX_TA_KM}");
+    }
+
+    #[test]
+    fn ta_step_is_16ts() {
+        assert!((TA_STEP_NANOS - 520.83).abs() < 0.1);
+    }
+
+    #[test]
+    fn ta_command_round_trips() {
+        for d in [0.5, 5.0, 25.0, 90.0] {
+            let ta = TimingAdvance::for_distance(d).expect("within range");
+            // Residual after quantization is at most half a TA step.
+            assert!(
+                ta.residual_offset_ns(d) <= TA_STEP_NANOS / 2.0 + 1e-6,
+                "residual at {d} km"
+            );
+            // And therefore no ISI penalty (CP absorbs half a microsecond).
+            assert_eq!(ta.isi_penalty_db(d), 0.0);
+        }
+    }
+
+    #[test]
+    fn beyond_ta_range_unserveable() {
+        assert!(TimingAdvance::for_distance(120.0).is_none());
+        assert!(!TimingAdvance::serveable(120.0, PrachFormat::Format3, true));
+        assert!(TimingAdvance::serveable(120.0, PrachFormat::Format3, false));
+    }
+
+    #[test]
+    fn prach_formats_gate_initial_access() {
+        assert_eq!(PrachFormat::for_radius(10.0), Some(PrachFormat::Format0));
+        assert_eq!(PrachFormat::for_radius(50.0), Some(PrachFormat::Format1));
+        assert_eq!(PrachFormat::for_radius(90.0), Some(PrachFormat::Format3));
+        assert_eq!(PrachFormat::for_radius(150.0), None);
+        assert!(TimingAdvance::serveable(20.0, PrachFormat::Format1, true));
+        assert!(!TimingAdvance::serveable(20.0, PrachFormat::Format0, true));
+    }
+
+    #[test]
+    fn no_ta_close_ue_is_fine_far_ue_suffers() {
+        let no_ta = TimingAdvance::disabled();
+        // 0.5 km: RTT ≈ 3.3 µs < CP 4.69 µs → free.
+        assert_eq!(no_ta.isi_penalty_db(0.5), 0.0);
+        // 3 km: RTT 20 µs ≫ CP → substantial penalty.
+        let p3 = no_ta.isi_penalty_db(3.0);
+        assert!(p3 > 3.0, "3 km penalty {p3}");
+        // Penalty grows with distance.
+        let p10 = no_ta.isi_penalty_db(10.0);
+        assert!(p10 > p3);
+        // And is finite/positive even at absurd distances.
+        let p80 = no_ta.isi_penalty_db(80.0);
+        assert!(p80.is_finite() && p80 > p10);
+    }
+
+    #[test]
+    fn cp_absorbs_without_ta_up_to_700m() {
+        // The crossover where RTT == CP: c·CP/2 ≈ 703 m.
+        let no_ta = TimingAdvance::disabled();
+        assert_eq!(no_ta.isi_penalty_db(0.70), 0.0);
+        assert!(no_ta.isi_penalty_db(0.75) > 0.0);
+    }
+
+    #[test]
+    fn one_way_delay_reference() {
+        // 30 km ≈ 100 µs.
+        let d = TimingAdvance::one_way_delay_ns(30.0);
+        assert!((d / 1000.0 - 100.0).abs() < 0.2);
+    }
+}

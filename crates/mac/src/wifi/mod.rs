@@ -1,0 +1,3 @@
+//! The contention-based 802.11 MAC.
+
+pub mod dcf;

@@ -1,0 +1,161 @@
+//! Property-based tests for MAC invariants: schedulers never over-allocate,
+//! never serve idle UEs, and the DCF simulator conserves frames.
+
+use dlte_mac::lte::grid::PrbGrid;
+use dlte_mac::lte::scheduler::{SchedUe, SchedulerKind};
+use dlte_mac::lte::timing_advance::TimingAdvance;
+use dlte_mac::wifi::dcf::{DcfConfig, DcfSim, StationConfig};
+use dlte_sim::{SimDuration, SimRng};
+use proptest::prelude::*;
+
+fn arb_ues(max: usize) -> impl Strategy<Value = Vec<SchedUe>> {
+    prop::collection::vec(
+        (10.0f64..1000.0, 0u64..100_000, 0.0f64..10_000.0).prop_map(
+            |(bits_per_prb, backlog, avg)| SchedUe {
+                id: 0, // re-assigned below
+                bits_per_prb,
+                backlog_bits: backlog,
+                avg_rate: avg,
+            },
+        ),
+        0..max,
+    )
+    .prop_map(|mut v| {
+        for (i, u) in v.iter_mut().enumerate() {
+            u.id = i;
+        }
+        v
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::RoundRobin),
+        Just(SchedulerKind::ProportionalFair),
+        Just(SchedulerKind::MaxCi),
+    ]
+}
+
+proptest! {
+    /// No scheduler ever allocates more PRBs than the grid holds, serves an
+    /// idle UE, or exceeds a UE's demand by more than one PRB of rounding.
+    #[test]
+    fn schedulers_respect_grid_and_demand(
+        kind in arb_kind(),
+        ues in arb_ues(12),
+        n_prb in 1u32..110,
+        mask in 0u32..50,
+        tti in 0u64..20,
+    ) {
+        let mask = mask.min(n_prb);
+        let mut grid = PrbGrid::new(n_prb, mask);
+        let mut s = kind.build();
+        s.schedule(tti, &ues, &mut grid);
+        let total: u32 = grid.allocations().iter().map(|a| a.n_prb).sum();
+        prop_assert!(total <= n_prb - mask, "over-allocated {total}");
+        for ue in &ues {
+            let got: u32 = grid
+                .allocations()
+                .iter()
+                .filter(|a| a.ue == ue.id)
+                .map(|a| a.n_prb)
+                .sum();
+            if ue.backlog_bits == 0 || ue.bits_per_prb <= 0.0 {
+                prop_assert_eq!(got, 0, "served idle ue {}", ue.id);
+            } else if ue.backlog_bits != u64::MAX {
+                let needed =
+                    (ue.backlog_bits as f64 / ue.bits_per_prb).ceil() as u32;
+                prop_assert!(got <= needed, "ue {} got {got} needed {needed}", ue.id);
+            }
+        }
+    }
+
+    /// With saturated, equal-quality UEs, every scheduler is work-conserving
+    /// (fills the whole unmasked grid) as long as anyone wants PRBs.
+    #[test]
+    fn schedulers_work_conserving_under_saturation(
+        kind in arb_kind(),
+        n_ues in 1usize..10,
+        n_prb in 6u32..110,
+    ) {
+        let ues: Vec<SchedUe> = (0..n_ues)
+            .map(|i| SchedUe {
+                id: i,
+                bits_per_prb: 100.0,
+                backlog_bits: u64::MAX,
+                avg_rate: 1.0,
+            })
+            .collect();
+        let mut grid = PrbGrid::new(n_prb, 0);
+        let mut s = kind.build();
+        s.schedule(0, &ues, &mut grid);
+        prop_assert_eq!(grid.available(), 0, "{:?} left grid idle", kind);
+    }
+
+    /// Round-robin over many TTIs splits a saturated population near-evenly.
+    #[test]
+    fn round_robin_long_run_fairness(n_ues in 2usize..8) {
+        let ues: Vec<SchedUe> = (0..n_ues)
+            .map(|i| SchedUe {
+                id: i,
+                bits_per_prb: 100.0,
+                backlog_bits: u64::MAX,
+                avg_rate: 0.0,
+            })
+            .collect();
+        let mut s = SchedulerKind::RoundRobin.build();
+        let mut totals = vec![0u64; n_ues];
+        for tti in 0..100 {
+            let mut grid = PrbGrid::new(50, 0);
+            s.schedule(tti, &ues, &mut grid);
+            for a in grid.allocations() {
+                totals[a.ue] += a.n_prb as u64;
+            }
+        }
+        let min = *totals.iter().min().unwrap() as f64;
+        let max = *totals.iter().max().unwrap() as f64;
+        prop_assert!(max / min < 1.05, "RR drift: {totals:?}");
+    }
+
+    /// Timing advance residual is always within half a TA step inside range,
+    /// and the ISI penalty is monotone in distance without TA.
+    #[test]
+    fn timing_advance_invariants(d in 0.01f64..99.0) {
+        if let Some(ta) = TimingAdvance::for_distance(d) {
+            prop_assert!(ta.residual_offset_ns(d) <= 261.0, "residual at {d} km");
+            prop_assert_eq!(ta.isi_penalty_db(d), 0.0);
+        }
+        let no_ta = TimingAdvance::disabled();
+        let p1 = no_ta.isi_penalty_db(d);
+        let p2 = no_ta.isi_penalty_db(d + 1.0);
+        prop_assert!(p2 + 1e-12 >= p1, "penalty not monotone at {d}");
+        prop_assert!(p1 >= 0.0 && p1.is_finite());
+    }
+
+    /// DCF conserves frames: successes + collisions ≤ attempts, drops only
+    /// after collisions, and goodput only from successes.
+    #[test]
+    fn dcf_conservation(
+        n in 1usize..10,
+        snr in 5.0f64..35.0,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = DcfSim::fully_connected(
+            DcfConfig::default(),
+            vec![StationConfig::saturated(snr); n],
+            SimRng::new(seed),
+        );
+        let r = sim.run(SimDuration::from_millis(300));
+        for st in &r.stations {
+            prop_assert!(st.successes + st.collisions <= st.attempts + 1);
+            prop_assert!(st.drops <= st.collisions);
+            let frame_bits = (1500 + 28) * 8;
+            prop_assert_eq!(
+                (st.goodput_bps * 0.3).round() as u64,
+                st.successes * frame_bits
+            );
+        }
+        prop_assert!(r.airtime_busy_fraction <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&r.collision_rate));
+    }
+}

@@ -1,0 +1,120 @@
+//! GTP-U tunnel encapsulation.
+//!
+//! In centralized LTE, *"all packets are tunneled to the cellular core"*
+//! (§2.1): the eNodeB wraps every user packet in GTP-U over UDP/IP toward
+//! the S-GW, which re-wraps toward the P-GW, which finally forwards native
+//! IP. dLTE terminates the tunnels at the AP instead (§4.1). This module
+//! provides the encapsulation mechanics both architectures share: pushing a
+//! tunnel rewrites the outer addresses and adds header overhead; popping
+//! restores the inner packet.
+
+use crate::addr::Addr;
+use crate::packet::{Packet, TunnelHeader};
+
+/// GTP-U encapsulation overhead: outer IPv4 (20) + UDP (8) + GTP-U (8) bytes.
+pub const GTP_OVERHEAD_BYTES: u32 = 36;
+
+/// Tunnel endpoint identifier.
+pub type Teid = u32;
+
+/// Encapsulate `packet` into a GTP-U tunnel from `outer_src` to `outer_dst`.
+/// The original addressing is preserved on the tunnel stack.
+pub fn encapsulate(mut packet: Packet, teid: Teid, outer_src: Addr, outer_dst: Addr) -> Packet {
+    packet.tunnels.push(TunnelHeader {
+        teid,
+        inner_src: packet.src,
+        inner_dst: packet.dst,
+    });
+    packet.src = outer_src;
+    packet.dst = outer_dst;
+    packet.size_bytes += GTP_OVERHEAD_BYTES;
+    packet
+}
+
+/// Decapsulate the outermost tunnel, restoring inner addressing. Returns
+/// `Err(packet)` unchanged if the packet is not tunneled or the TEID does
+/// not match (misdelivered tunnel traffic must not be silently unwrapped).
+pub fn decapsulate(mut packet: Packet, expected_teid: Option<Teid>) -> Result<Packet, Packet> {
+    match packet.tunnels.last() {
+        Some(h) if expected_teid.is_none() || expected_teid == Some(h.teid) => {
+            let h = packet.tunnels.pop().expect("checked above");
+            packet.src = h.inner_src;
+            packet.dst = h.inner_dst;
+            packet.size_bytes = packet.size_bytes.saturating_sub(GTP_OVERHEAD_BYTES);
+            Ok(packet)
+        }
+        _ => Err(packet),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_sim::SimTime;
+
+    fn user_packet() -> Packet {
+        Packet::new(
+            1,
+            Addr::new(100, 64, 0, 5), // UE
+            Addr::new(8, 8, 8, 8),    // Internet host
+            1200,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn encap_rewrites_and_grows() {
+        let enb = Addr::new(10, 1, 0, 1);
+        let sgw = Addr::new(10, 2, 0, 1);
+        let p = encapsulate(user_packet(), 77, enb, sgw);
+        assert_eq!(p.src, enb);
+        assert_eq!(p.dst, sgw);
+        assert_eq!(p.size_bytes, 1200 + GTP_OVERHEAD_BYTES);
+        assert!(p.is_tunneled());
+        assert_eq!(p.tunnels[0].teid, 77);
+    }
+
+    #[test]
+    fn decap_restores_exactly() {
+        let enb = Addr::new(10, 1, 0, 1);
+        let sgw = Addr::new(10, 2, 0, 1);
+        let original = user_packet();
+        let p = encapsulate(original.clone(), 77, enb, sgw);
+        let back = decapsulate(p, Some(77)).expect("teid matches");
+        assert_eq!(back.src, original.src);
+        assert_eq!(back.dst, original.dst);
+        assert_eq!(back.size_bytes, original.size_bytes);
+        assert!(!back.is_tunneled());
+    }
+
+    #[test]
+    fn nested_tunnels_pop_in_order() {
+        // eNB → S-GW (teid 1), then S-GW → P-GW (teid 2): S5/S8 stacking.
+        let p = encapsulate(user_packet(), 1, Addr::new(10, 1, 0, 1), Addr::new(10, 2, 0, 1));
+        let p = encapsulate(p, 2, Addr::new(10, 2, 0, 1), Addr::new(10, 3, 0, 1));
+        assert_eq!(p.size_bytes, 1200 + 2 * GTP_OVERHEAD_BYTES);
+        let p = decapsulate(p, Some(2)).expect("outer");
+        assert_eq!(p.dst, Addr::new(10, 2, 0, 1), "back to S1 addressing");
+        let p = decapsulate(p, Some(1)).expect("inner");
+        assert_eq!(p.dst, Addr::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn wrong_teid_rejected() {
+        let p = encapsulate(user_packet(), 77, Addr::new(10, 1, 0, 1), Addr::new(10, 2, 0, 1));
+        let err = decapsulate(p, Some(78)).expect_err("teid mismatch");
+        assert!(err.is_tunneled(), "packet unchanged");
+    }
+
+    #[test]
+    fn untunneled_packet_rejected() {
+        let err = decapsulate(user_packet(), None).expect_err("not tunneled");
+        assert!(!err.is_tunneled());
+    }
+
+    #[test]
+    fn wildcard_teid_accepts_any() {
+        let p = encapsulate(user_packet(), 123, Addr::new(10, 1, 0, 1), Addr::new(10, 2, 0, 1));
+        assert!(decapsulate(p, None).is_ok());
+    }
+}

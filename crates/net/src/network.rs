@@ -1,0 +1,568 @@
+//! The network world: topology + event dispatch.
+//!
+//! [`Network`] implements [`World`] over [`NetEvent`]. Forwarding semantics:
+//!
+//! * a packet arriving at a node **with a handler** is given to the handler,
+//!   whatever its destination (handlers implement middleboxes — EPC gateways
+//!   must see traversing traffic);
+//! * a packet arriving at a plain node is **delivered** if the destination
+//!   is a local address, otherwise **forwarded** by longest-prefix match
+//!   (dropping on no-route or TTL exhaustion).
+
+use crate::link::{Link, LinkConfig, LinkId, Offer};
+use crate::node::{NodeCtx, NodeHandler, NodeId, NodeInfo};
+use crate::packet::Packet;
+use crate::trace::TraceStats;
+use dlte_sim::{EventQueue, SimRng, SimTime, Simulation, World};
+
+/// Events of the network world.
+#[derive(Debug)]
+pub enum NetEvent {
+    /// `packet` reaches `node` (after link serialization + propagation).
+    PacketArrive { node: NodeId, packet: Packet },
+    /// A packet finished serializing on `link` direction `dir` (frees one
+    /// queue slot).
+    LinkDeparted { link: LinkId, dir: usize },
+    /// A handler timer.
+    Timer { node: NodeId, tag: u64 },
+    /// Deliver `on_start` to every handler (scheduled once at t=0).
+    Start,
+}
+
+/// Topology + routing + tracing state (everything except the handlers, so
+/// handlers can borrow it mutably through [`NodeCtx`]).
+pub struct NetCore {
+    pub nodes: Vec<NodeInfo>,
+    pub links: Vec<Link>,
+    pub trace: TraceStats,
+    pub rng: SimRng,
+    next_pkt: u64,
+}
+
+impl NetCore {
+    pub(crate) fn next_packet_id(&mut self) -> u64 {
+        let id = self.next_pkt;
+        self.next_pkt += 1;
+        id
+    }
+
+    /// Route `packet` out of `node` via LPM and transmit. Drops (with trace
+    /// accounting) on missing route or exhausted TTL.
+    pub(crate) fn route_and_transmit(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        mut packet: Packet,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        if packet.ttl == 0 {
+            self.trace.drops_ttl += 1;
+            return;
+        }
+        packet.ttl -= 1;
+        match self.nodes[node].route_for(packet.dst) {
+            Some(link) => self.transmit_on(now, node, link, packet, queue),
+            None => {
+                self.trace.drops_no_route += 1;
+            }
+        }
+    }
+
+    /// Transmit `packet` from `node` on `link`.
+    pub(crate) fn transmit_on(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        link: LinkId,
+        mut packet: Packet,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let draw = self.rng.unit();
+        let l = &mut self.links[link];
+        let dir = l
+            .dir_from(node)
+            .unwrap_or_else(|| panic!("node {node} not on link {link}"));
+        match l.offer(dir, now, packet.size_bytes, draw) {
+            Offer::Accepted {
+                arrives_at,
+                departs_at,
+            } => {
+                let dest = l.other(node);
+                packet.hops += 1;
+                queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
+                queue.schedule_at(
+                    arrives_at,
+                    NetEvent::PacketArrive {
+                        node: dest,
+                        packet,
+                    },
+                );
+            }
+            Offer::DroppedQueueFull => self.trace.drops_queue += 1,
+            Offer::DroppedLoss => self.trace.drops_loss += 1,
+            Offer::DroppedLinkDown => self.trace.drops_link_down += 1,
+        }
+    }
+}
+
+/// The world.
+pub struct Network {
+    pub core: NetCore,
+    handlers: Vec<Option<Box<dyn NodeHandler>>>,
+}
+
+impl Network {
+    /// Run a handler callback with the handler temporarily detached, so the
+    /// handler can mutably borrow the core through the ctx.
+    fn with_handler<F>(&mut self, node: NodeId, queue: &mut EventQueue<NetEvent>, now: SimTime, f: F) -> bool
+    where
+        F: FnOnce(&mut dyn NodeHandler, &mut NodeCtx<'_>),
+    {
+        let Some(mut handler) = self.handlers[node].take() else {
+            return false;
+        };
+        {
+            let mut ctx = NodeCtx {
+                now,
+                node,
+                core: &mut self.core,
+                queue,
+            };
+            f(handler.as_mut(), &mut ctx);
+        }
+        self.handlers[node] = Some(handler);
+        true
+    }
+
+    /// Immutable access to a handler (for result extraction after a run).
+    pub fn handler(&self, node: NodeId) -> Option<&dyn NodeHandler> {
+        self.handlers[node].as_deref()
+    }
+
+    /// Downcast-style access for typed result extraction: the caller keeps
+    /// the concrete handler type and extracts via this mutable reference.
+    pub fn handler_mut(&mut self, node: NodeId) -> Option<&mut Box<dyn NodeHandler>> {
+        self.handlers[node].as_mut()
+    }
+
+    /// Typed handler access — the way experiment harnesses read results
+    /// (RTT samples, counters) out of a finished run.
+    pub fn handler_as<T: NodeHandler>(&self, node: NodeId) -> Option<&T> {
+        self.handlers[node]
+            .as_deref()
+            .and_then(|h| (h as &dyn std::any::Any).downcast_ref::<T>())
+    }
+
+    /// Typed mutable handler access.
+    pub fn handler_as_mut<T: NodeHandler>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.handlers[node]
+            .as_deref_mut()
+            .and_then(|h| (h as &mut dyn std::any::Any).downcast_mut::<T>())
+    }
+
+    /// Install (or replace) a node's handler after build. If done before
+    /// the simulation's first event, the handler's `on_start` still runs
+    /// (the `Start` event is pending until then).
+    pub fn set_handler(&mut self, node: NodeId, handler: Box<dyn NodeHandler>) {
+        self.handlers[node] = Some(handler);
+    }
+
+    /// Trace statistics.
+    pub fn trace(&self) -> &TraceStats {
+        &self.core.trace
+    }
+
+    pub fn trace_mut(&mut self) -> &mut TraceStats {
+        &mut self.core.trace
+    }
+}
+
+impl World for Network {
+    type Event = NetEvent;
+
+    fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        match event {
+            NetEvent::PacketArrive { node, packet } => {
+                let handled = self.with_handler(node, queue, now, |h, ctx| {
+                    h.on_packet(ctx, packet.clone());
+                });
+                if !handled {
+                    // Plain node: deliver or forward.
+                    if self.core.nodes[node].owns(packet.dst) {
+                        self.core.trace.record_delivery(now, &packet);
+                    } else {
+                        self.core.route_and_transmit(now, node, packet, queue);
+                    }
+                }
+            }
+            NetEvent::LinkDeparted { link, dir } => {
+                self.core.links[link].departed(dir);
+            }
+            NetEvent::Timer { node, tag } => {
+                self.with_handler(node, queue, now, |h, ctx| h.on_timer(ctx, tag));
+            }
+            NetEvent::Start => {
+                for node in 0..self.handlers.len() {
+                    self.with_handler(node, queue, now, |h, ctx| h.on_start(ctx));
+                }
+            }
+        }
+    }
+}
+
+/// Builder for network worlds.
+pub struct NetworkBuilder {
+    nodes: Vec<NodeInfo>,
+    handlers: Vec<Option<Box<dyn NodeHandler>>>,
+    links: Vec<Link>,
+    rng: SimRng,
+}
+
+impl NetworkBuilder {
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            nodes: Vec::new(),
+            handlers: Vec::new(),
+            links: Vec::new(),
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Add a plain router/host node.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.nodes.push(NodeInfo::new(name));
+        self.handlers.push(None);
+        self.nodes.len() - 1
+    }
+
+    /// Add a node with behaviour.
+    pub fn host(&mut self, name: impl Into<String>, handler: Box<dyn NodeHandler>) -> NodeId {
+        let id = self.node(name);
+        self.handlers[id] = Some(handler);
+        id
+    }
+
+    /// Attach (or replace) a handler on an existing node.
+    pub fn set_handler(&mut self, node: NodeId, handler: Box<dyn NodeHandler>) {
+        self.handlers[node] = Some(handler);
+    }
+
+    /// Give a node an address.
+    pub fn addr(&mut self, node: NodeId, addr: crate::addr::Addr) -> &mut Self {
+        self.nodes[node].addrs.push(addr);
+        self
+    }
+
+    /// Connect two nodes; returns the link id.
+    pub fn link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> LinkId {
+        assert!(a < self.nodes.len() && b < self.nodes.len());
+        assert_ne!(a, b, "self-links not supported");
+        self.links.push(Link::new(a, b, config));
+        self.links.len() - 1
+    }
+
+    /// Install a static route.
+    pub fn route(&mut self, node: NodeId, prefix: crate::addr::Prefix, link: LinkId) -> &mut Self {
+        self.nodes[node].set_route(prefix, link);
+        self
+    }
+
+    /// Compute hop-count shortest-path routes from every node to every
+    /// address-owning node, installing host routes (/32). Ties broken by
+    /// lower link id — deterministic. Convenient for experiment topologies;
+    /// explicit routes can still override (longer prefixes win, and /32 is
+    /// the longest, so use explicit /32 routes *instead of* auto_routes when
+    /// both would apply).
+    pub fn auto_routes(&mut self) {
+        let n = self.nodes.len();
+        // adjacency: node -> [(neighbor, link)]
+        let mut adj: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+        for (lid, l) in self.links.iter().enumerate() {
+            adj[l.a].push((l.b, lid));
+            adj[l.b].push((l.a, lid));
+        }
+        for target in 0..n {
+            if self.nodes[target].addrs.is_empty() {
+                continue;
+            }
+            // BFS from target; first-hop of the reverse path gives each
+            // node's outgoing link toward target.
+            let mut dist = vec![usize::MAX; n];
+            let mut via: Vec<Option<LinkId>> = vec![None; n];
+            let mut q = std::collections::VecDeque::new();
+            dist[target] = 0;
+            q.push_back(target);
+            while let Some(u) = q.pop_front() {
+                for &(v, lid) in &adj[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        via[v] = Some(lid);
+                        q.push_back(v);
+                    }
+                }
+            }
+            let addrs = self.nodes[target].addrs.clone();
+            for node in 0..n {
+                if node == target {
+                    continue;
+                }
+                if let Some(link) = via[node] {
+                    for &a in &addrs {
+                        self.nodes[node].set_route(crate::addr::Prefix::new(a, 32), link);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize into a ready-to-run simulation (the `Start` event is already
+    /// scheduled).
+    pub fn build(self) -> Simulation<Network> {
+        let world = Network {
+            core: NetCore {
+                nodes: self.nodes,
+                links: self.links,
+                trace: TraceStats::new(),
+                rng: self.rng,
+                next_pkt: 0,
+            },
+            handlers: self.handlers,
+        };
+        let mut sim = Simulation::new(world);
+        sim.queue_mut().schedule_at(SimTime::ZERO, NetEvent::Start);
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, Prefix};
+    use crate::packet::Payload;
+    use dlte_sim::SimDuration;
+
+    /// Handler that fires one flow packet at t=1ms toward a fixed address.
+    struct OneShot {
+        dst: Addr,
+        bytes: u32,
+    }
+
+    impl NodeHandler for OneShot {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+            let p = ctx
+                .make_packet(self.dst, self.bytes)
+                .with_payload(Payload::Flow { flow: 1, seq: 0 });
+            ctx.forward(p);
+        }
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+            ctx.deliver_local(&packet);
+        }
+    }
+
+    fn line_topology() -> (Simulation<Network>, NodeId) {
+        // src —— r —— dst, 1 Gbit/s links with 1 ms delay each.
+        let mut b = NetworkBuilder::new(1);
+        let dst_addr = Addr::new(10, 0, 0, 2);
+        let src = b.host(
+            "src",
+            Box::new(OneShot {
+                dst: dst_addr,
+                bytes: 1000,
+            }),
+        );
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let r = b.node("r");
+        let dst = b.node("dst");
+        b.addr(dst, dst_addr);
+        let cfg = LinkConfig {
+            delay: SimDuration::from_millis(1),
+            rate_bps: 1e9,
+            queue_pkts: 100,
+            loss: 0.0,
+        };
+        b.link(src, r, cfg);
+        b.link(r, dst, cfg);
+        b.auto_routes();
+        (b.build(), dst)
+    }
+
+    #[test]
+    fn packet_crosses_two_hops() {
+        let (mut sim, _) = line_topology();
+        sim.run_to_completion(10_000);
+        let t = sim.world().trace();
+        let f = t.flow(1).expect("flow delivered");
+        assert_eq!(f.delivered_packets, 1);
+        // Latency: 2×1 ms propagation + 2×8 µs serialization ≈ 2.016 ms.
+        let lat = f.latency_ms.values()[0];
+        assert!((lat - 2.016).abs() < 0.01, "latency {lat}");
+        assert!((f.hops.mean() - 2.0).abs() < 1e-9);
+        assert_eq!(t.total_drops(), 0);
+    }
+
+    #[test]
+    fn no_route_drops_and_counts() {
+        let mut b = NetworkBuilder::new(1);
+        let src = b.host(
+            "src",
+            Box::new(OneShot {
+                dst: Addr::new(99, 0, 0, 1),
+                bytes: 100,
+            }),
+        );
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let mut sim = b.build();
+        sim.run_to_completion(100);
+        assert_eq!(sim.world().trace().drops_no_route, 1);
+    }
+
+    #[test]
+    fn ttl_guards_routing_loops() {
+        // Two routers pointing default routes at each other.
+        let mut b = NetworkBuilder::new(1);
+        let src = b.host(
+            "src",
+            Box::new(OneShot {
+                dst: Addr::new(99, 0, 0, 1),
+                bytes: 100,
+            }),
+        );
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let r1 = b.node("r1");
+        let r2 = b.node("r2");
+        let cfg = LinkConfig::lan();
+        let l0 = b.link(src, r1, cfg);
+        let l1 = b.link(r1, r2, cfg);
+        b.route(src, Prefix::DEFAULT, l0);
+        b.route(r1, Prefix::DEFAULT, l1);
+        b.route(r2, Prefix::DEFAULT, l1); // loop r1 <-> r2
+        let mut sim = b.build();
+        sim.run_to_completion(100_000);
+        assert_eq!(sim.world().trace().drops_ttl, 1);
+        // Hop counting stopped at the TTL.
+        assert!(sim.now().as_millis() < 100);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        // Slow link (10 kbit/s), queue of 2, burst of 10 packets.
+        struct Burst {
+            dst: Addr,
+        }
+        impl NodeHandler for Burst {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+                for seq in 0..10 {
+                    let p = ctx
+                        .make_packet(self.dst, 1000)
+                        .with_payload(Payload::Flow { flow: 5, seq });
+                    ctx.forward(p);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _p: Packet) {}
+        }
+        let mut b = NetworkBuilder::new(1);
+        let dst_addr = Addr::new(10, 0, 0, 2);
+        let src = b.host("src", Box::new(Burst { dst: dst_addr }));
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let dst = b.node("dst");
+        b.addr(dst, dst_addr);
+        let l = b.link(
+            src,
+            dst,
+            LinkConfig {
+                delay: SimDuration::from_millis(1),
+                rate_bps: 10_000.0,
+                queue_pkts: 2,
+                loss: 0.0,
+            },
+        );
+        b.route(src, Prefix::new(dst_addr, 32), l);
+        let mut sim = b.build();
+        sim.run_to_completion(10_000);
+        let t = sim.world().trace();
+        assert_eq!(t.drops_queue, 8, "2 fit, 8 drop");
+        assert_eq!(t.flow(5).unwrap().delivered_packets, 2);
+    }
+
+    #[test]
+    fn random_loss_is_applied() {
+        struct Many {
+            dst: Addr,
+        }
+        impl NodeHandler for Many {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                for k in 0..1000 {
+                    ctx.set_timer(SimDuration::from_millis(k), k);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+                let p = ctx
+                    .make_packet(self.dst, 100)
+                    .with_payload(Payload::Flow { flow: 9, seq: tag });
+                ctx.forward(p);
+            }
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _p: Packet) {}
+        }
+        let mut b = NetworkBuilder::new(33);
+        let dst_addr = Addr::new(10, 0, 0, 2);
+        let src = b.host("src", Box::new(Many { dst: dst_addr }));
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let dst = b.node("dst");
+        b.addr(dst, dst_addr);
+        let mut cfg = LinkConfig::lan();
+        cfg.loss = 0.2;
+        let l = b.link(src, dst, cfg);
+        b.route(src, Prefix::new(dst_addr, 32), l);
+        let mut sim = b.build();
+        sim.run_to_completion(100_000);
+        let t = sim.world().trace();
+        let delivered = t.flow(9).unwrap().delivered_packets;
+        assert!((750..850).contains(&delivered), "delivered {delivered}");
+        assert_eq!(delivered + t.drops_loss, 1000);
+    }
+
+    #[test]
+    fn auto_routes_reach_all_addressed_nodes() {
+        // Star: center connected to 4 leaves, each leaf addressed.
+        let mut b = NetworkBuilder::new(1);
+        let center = b.node("center");
+        let mut leaves = Vec::new();
+        for i in 0..4u8 {
+            let leaf = b.node(format!("leaf{i}"));
+            b.addr(leaf, Addr::new(10, 0, i, 1));
+            b.link(center, leaf, LinkConfig::lan());
+            leaves.push(leaf);
+        }
+        b.auto_routes();
+        let sim = b.build();
+        let core = &sim.world().core;
+        // Every leaf can reach every other leaf's address via the center.
+        for &from in &leaves {
+            for (i, &to) in leaves.iter().enumerate() {
+                if from == to {
+                    continue;
+                }
+                assert!(
+                    core.nodes[from].route_for(Addr::new(10, 0, i as u8, 1)).is_some(),
+                    "leaf {from} cannot reach leaf {to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let (mut sim, _) = line_topology();
+            sim.run_to_completion(10_000);
+            sim.world().trace().flow(1).unwrap().latency_ms.values()[0]
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,237 @@
+//! Nodes, handlers and the context handed to them.
+//!
+//! A [`NodeHandler`] is the extension point of the substrate: EPC entities,
+//! dLTE local cores, traffic sources and OTT servers all implement it. The
+//! [`NodeCtx`] passed to every callback exposes exactly the operations a
+//! real host has — originate packets, forward packets, arm timers — plus the
+//! simulator conveniences (address lookup, deterministic RNG, trace sink).
+
+use crate::addr::{Addr, Prefix};
+use crate::link::LinkId;
+use crate::network::{NetCore, NetEvent};
+use crate::packet::Packet;
+use dlte_sim::engine::EventKey;
+use dlte_sim::{EventQueue, SimDuration, SimTime};
+
+/// Identifies a node.
+pub type NodeId = usize;
+
+/// Static node metadata kept by the core.
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    pub name: String,
+    /// Addresses owned by this node (delivery targets).
+    pub addrs: Vec<Addr>,
+    /// Longest-prefix-match routing table: (prefix, outgoing link).
+    pub routes: Vec<(Prefix, LinkId)>,
+}
+
+impl NodeInfo {
+    pub fn new(name: impl Into<String>) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            addrs: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    /// True if `a` is one of this node's addresses.
+    pub fn owns(&self, a: Addr) -> bool {
+        self.addrs.contains(&a)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn route_for(&self, dst: Addr) -> Option<LinkId> {
+        self.routes
+            .iter()
+            .filter(|(p, _)| p.contains(dst))
+            .max_by_key(|(p, _)| p.len)
+            .map(|&(_, l)| l)
+    }
+
+    /// Install (or replace) a route.
+    pub fn set_route(&mut self, prefix: Prefix, link: LinkId) {
+        if let Some(entry) = self.routes.iter_mut().find(|(p, _)| *p == prefix) {
+            entry.1 = link;
+        } else {
+            self.routes.push((prefix, link));
+        }
+    }
+
+    /// Remove a route, returning whether it existed.
+    pub fn remove_route(&mut self, prefix: Prefix) -> bool {
+        let before = self.routes.len();
+        self.routes.retain(|(p, _)| *p != prefix);
+        self.routes.len() != before
+    }
+}
+
+/// Behaviour attached to a node.
+///
+/// The `Any` supertrait lets experiment harnesses extract their concrete
+/// handler (and its accumulated measurements) back out of a finished
+/// [`crate::Network`] via [`crate::Network::handler_as`].
+pub trait NodeHandler: std::any::Any {
+    /// A packet destined to (or traversing) this node arrived. The handler
+    /// decides its fate: consume it, reply, or `ctx.forward(packet)`.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet);
+
+    /// A timer armed via [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _tag: u64) {}
+
+    /// Called once when the simulation starts (seed initial timers here).
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+}
+
+/// The capabilities handed to a handler callback.
+pub struct NodeCtx<'a> {
+    pub now: SimTime,
+    pub node: NodeId,
+    pub(crate) core: &'a mut NetCore,
+    pub(crate) queue: &'a mut EventQueue<NetEvent>,
+}
+
+impl NodeCtx<'_> {
+    /// This node's first address (the common single-homed case).
+    pub fn my_addr(&self) -> Addr {
+        self.core.nodes[self.node]
+            .addrs
+            .first()
+            .copied()
+            .unwrap_or(Addr::UNSPECIFIED)
+    }
+
+    /// Name of this node (diagnostics).
+    pub fn my_name(&self) -> &str {
+        &self.core.nodes[self.node].name
+    }
+
+    /// Allocate a fresh packet id.
+    pub fn new_packet_id(&mut self) -> u64 {
+        self.core.next_packet_id()
+    }
+
+    /// Build a packet originating here, stamped with the current time.
+    pub fn make_packet(&mut self, dst: Addr, size_bytes: u32) -> Packet {
+        let id = self.new_packet_id();
+        Packet::new(id, self.my_addr(), dst, size_bytes, self.now)
+    }
+
+    /// Route `packet` out of this node by its routing table.
+    pub fn forward(&mut self, packet: Packet) {
+        self.core
+            .route_and_transmit(self.now, self.node, packet, self.queue);
+    }
+
+    /// Transmit `packet` on a specific link (bypassing the routing table).
+    pub fn forward_via(&mut self, link: LinkId, packet: Packet) {
+        self.core
+            .transmit_on(self.now, self.node, link, packet, self.queue);
+    }
+
+    /// Deliver `packet` locally (record it in the trace sink).
+    pub fn deliver_local(&mut self, packet: &Packet) {
+        self.core.trace.record_delivery(self.now, packet);
+    }
+
+    /// Arm a timer; `tag` is returned to `on_timer`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> EventKey {
+        self.queue.schedule_in(
+            delay,
+            NetEvent::Timer {
+                node: self.node,
+                tag,
+            },
+        )
+    }
+
+    /// Cancel a previously armed timer.
+    pub fn cancel_timer(&mut self, key: EventKey) {
+        self.queue.cancel(key);
+    }
+
+    /// Uniform draw in [0,1) from the network's deterministic RNG.
+    pub fn rand_unit(&mut self) -> f64 {
+        self.core.rng.unit()
+    }
+
+    /// Mutate this node's routing/address state (e.g. a P-GW announcing a
+    /// UE address, or a dLTE AP assigning a new one).
+    pub fn node_info_mut(&mut self) -> &mut NodeInfo {
+        &mut self.core.nodes[self.node]
+    }
+
+    /// Inspect another node's info (e.g. to find a peer's address).
+    pub fn peer_info(&self, node: NodeId) -> &NodeInfo {
+        &self.core.nodes[node]
+    }
+
+    /// Add an address to an arbitrary node and (optionally) point a host
+    /// route at it from a neighbor — used by attach procedures.
+    pub fn add_addr(&mut self, node: NodeId, addr: Addr) {
+        self.core.nodes[node].addrs.push(addr);
+    }
+
+    /// Remove an address from a node (detach / address churn), returning
+    /// whether it was present.
+    pub fn remove_addr(&mut self, node: NodeId, addr: Addr) -> bool {
+        let addrs = &mut self.core.nodes[node].addrs;
+        let before = addrs.len();
+        addrs.retain(|&a| a != addr);
+        addrs.len() != before
+    }
+
+    /// Install a route on an arbitrary node (control-plane actions reach
+    /// across the topology; the "wire" cost is modeled by the control
+    /// packets the caller sends).
+    pub fn set_route_on(&mut self, node: NodeId, prefix: Prefix, link: LinkId) {
+        self.core.nodes[node].set_route(prefix, link);
+    }
+
+    /// Bring a link up or down (fault-injection orchestration).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.core.links[link].up = up;
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.core.links[link].up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpm_prefers_longest() {
+        let mut n = NodeInfo::new("r1");
+        n.set_route(Prefix::DEFAULT, 0);
+        n.set_route(Prefix::new(Addr::new(10, 0, 0, 0), 8), 1);
+        n.set_route(Prefix::new(Addr::new(10, 1, 0, 0), 16), 2);
+        assert_eq!(n.route_for(Addr::new(10, 1, 2, 3)), Some(2));
+        assert_eq!(n.route_for(Addr::new(10, 9, 2, 3)), Some(1));
+        assert_eq!(n.route_for(Addr::new(8, 8, 8, 8)), Some(0));
+    }
+
+    #[test]
+    fn set_route_replaces() {
+        let mut n = NodeInfo::new("r1");
+        let p = Prefix::new(Addr::new(10, 0, 0, 0), 8);
+        n.set_route(p, 1);
+        n.set_route(p, 5);
+        assert_eq!(n.routes.len(), 1);
+        assert_eq!(n.route_for(Addr::new(10, 0, 0, 1)), Some(5));
+        assert!(n.remove_route(p));
+        assert!(!n.remove_route(p));
+        assert_eq!(n.route_for(Addr::new(10, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn owns_addr() {
+        let mut n = NodeInfo::new("h");
+        n.addrs.push(Addr::new(192, 168, 1, 1));
+        assert!(n.owns(Addr::new(192, 168, 1, 1)));
+        assert!(!n.owns(Addr::new(192, 168, 1, 2)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Packets.
+//!
+//! A [`Packet`] carries addressing, accounting metadata (creation time, hop
+//! count) and a [`Payload`]. Control-plane layers (NAS, X2, transport
+//! handshakes) attach typed messages via `Payload::control`, which upper
+//! crates downcast — the substrate never needs to know their shape.
+
+use crate::addr::Addr;
+use dlte_sim::SimTime;
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// Flow identifier used by traffic generators and the latency tracer.
+pub type FlowId = u64;
+
+/// Packet payload.
+#[derive(Clone)]
+pub enum Payload {
+    /// Pure filler (size still counts on the wire).
+    Empty,
+    /// User-plane data belonging to a traced flow.
+    Flow { flow: FlowId, seq: u64 },
+    /// A typed control message (NAS, S1AP-ish, X2, transport frames).
+    /// `Rc` keeps clones cheap; the simulation is single-threaded.
+    Control(Rc<dyn Any>),
+}
+
+impl Payload {
+    /// Wrap a typed control message.
+    pub fn control<T: Any>(msg: T) -> Payload {
+        Payload::Control(Rc::new(msg))
+    }
+
+    /// Downcast a control payload to `&T`.
+    pub fn as_control<T: Any>(&self) -> Option<&T> {
+        match self {
+            Payload::Control(rc) => rc.downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// The flow id, if this is flow data.
+    pub fn flow_id(&self) -> Option<FlowId> {
+        match self {
+            Payload::Flow { flow, .. } => Some(*flow),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Empty => write!(f, "Empty"),
+            Payload::Flow { flow, seq } => write!(f, "Flow({flow}#{seq})"),
+            Payload::Control(_) => write!(f, "Control(..)"),
+        }
+    }
+}
+
+/// A tunnel header pushed by GTP-U encapsulation (see [`crate::gtp`]).
+#[derive(Clone, Debug)]
+pub struct TunnelHeader {
+    /// Tunnel endpoint identifier.
+    pub teid: u32,
+    /// Inner (original) source/destination restored at decapsulation.
+    pub inner_src: Addr,
+    pub inner_dst: Addr,
+}
+
+/// A network packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique id for tracing.
+    pub id: u64,
+    pub src: Addr,
+    pub dst: Addr,
+    /// Current on-wire size including any tunnel overhead, bytes.
+    pub size_bytes: u32,
+    pub created_at: SimTime,
+    pub payload: Payload,
+    /// Stack of tunnel encapsulations (innermost last pushed).
+    pub tunnels: Vec<TunnelHeader>,
+    /// Router hops traversed so far.
+    pub hops: u32,
+    /// TTL — packets are dropped when it reaches zero (guards against
+    /// routing loops in experiment topologies).
+    pub ttl: u8,
+}
+
+impl Packet {
+    /// Default TTL.
+    pub const DEFAULT_TTL: u8 = 64;
+
+    pub fn new(id: u64, src: Addr, dst: Addr, size_bytes: u32, now: SimTime) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            size_bytes,
+            created_at: now,
+            payload: Payload::Empty,
+            tunnels: Vec::new(),
+            hops: 0,
+            ttl: Self::DEFAULT_TTL,
+        }
+    }
+
+    /// Builder-style payload attachment.
+    pub fn with_payload(mut self, payload: Payload) -> Packet {
+        self.payload = payload;
+        self
+    }
+
+    /// True if currently tunnel-encapsulated.
+    pub fn is_tunneled(&self) -> bool {
+        !self.tunnels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    #[derive(Debug, PartialEq)]
+    struct FakeNas {
+        imsi: u64,
+    }
+
+    #[test]
+    fn control_payload_downcasts() {
+        let p = Packet::new(
+            1,
+            Addr::new(10, 0, 0, 1),
+            Addr::new(10, 0, 0, 2),
+            100,
+            SimTime::ZERO,
+        )
+        .with_payload(Payload::control(FakeNas { imsi: 42 }));
+        let msg = p.payload.as_control::<FakeNas>().expect("downcast");
+        assert_eq!(msg.imsi, 42);
+        // Wrong type → None.
+        assert!(p.payload.as_control::<String>().is_none());
+        assert_eq!(p.payload.flow_id(), None);
+    }
+
+    #[test]
+    fn flow_payload_exposes_id() {
+        let payload = Payload::Flow { flow: 7, seq: 3 };
+        assert_eq!(payload.flow_id(), Some(7));
+        assert!(payload.as_control::<FakeNas>().is_none());
+    }
+
+    #[test]
+    fn clone_shares_control_rc() {
+        let p = Payload::control(FakeNas { imsi: 1 });
+        let q = p.clone();
+        assert_eq!(
+            p.as_control::<FakeNas>().unwrap(),
+            q.as_control::<FakeNas>().unwrap()
+        );
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Payload::Empty), "Empty");
+        assert_eq!(format!("{:?}", Payload::Flow { flow: 1, seq: 2 }), "Flow(1#2)");
+        assert_eq!(
+            format!("{:?}", Payload::control(FakeNas { imsi: 0 })),
+            "Control(..)"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end tracing: who delivered what, how late, via how many hops.
+
+use crate::packet::{FlowId, Packet};
+use dlte_sim::stats::{Samples, Welford};
+use dlte_sim::SimTime;
+use std::collections::HashMap;
+
+/// Per-flow delivery record.
+#[derive(Clone, Debug, Default)]
+pub struct FlowTrace {
+    /// One-way latencies, milliseconds.
+    pub latency_ms: Samples,
+    pub delivered_packets: u64,
+    pub delivered_bytes: u64,
+    pub hops: Welford,
+}
+
+/// Network-wide trace statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    flows: HashMap<FlowId, FlowTrace>,
+    /// Deliveries that were not flow data (control, etc.).
+    pub other_delivered: u64,
+    pub drops_queue: u64,
+    pub drops_loss: u64,
+    pub drops_no_route: u64,
+    pub drops_ttl: u64,
+    pub drops_link_down: u64,
+}
+
+impl TraceStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the delivery of `packet` at time `now`.
+    pub fn record_delivery(&mut self, now: SimTime, packet: &Packet) {
+        match packet.payload.flow_id() {
+            Some(flow) => {
+                let t = self.flows.entry(flow).or_default();
+                t.latency_ms
+                    .push_duration_ms(now.saturating_since(packet.created_at));
+                t.delivered_packets += 1;
+                t.delivered_bytes += packet.size_bytes as u64;
+                t.hops.push(packet.hops as f64);
+            }
+            None => self.other_delivered += 1,
+        }
+    }
+
+    /// Trace for one flow, if any packets were delivered.
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowTrace> {
+        self.flows.get(&flow)
+    }
+
+    /// Mutable trace (used by the latency percentile queries which sort).
+    pub fn flow_mut(&mut self, flow: FlowId) -> Option<&mut FlowTrace> {
+        self.flows.get_mut(&flow)
+    }
+
+    /// All flow ids seen.
+    pub fn flow_ids(&self) -> Vec<FlowId> {
+        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total packets delivered across flows.
+    pub fn total_delivered(&self) -> u64 {
+        self.flows.values().map(|f| f.delivered_packets).sum()
+    }
+
+    /// Total drops of every cause.
+    pub fn total_drops(&self) -> u64 {
+        self.drops_queue
+            + self.drops_loss
+            + self.drops_no_route
+            + self.drops_ttl
+            + self.drops_link_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::packet::Payload;
+
+    fn flow_packet(flow: FlowId, created_ms: u64) -> Packet {
+        Packet::new(
+            0,
+            Addr::new(1, 1, 1, 1),
+            Addr::new(2, 2, 2, 2),
+            500,
+            SimTime::from_millis(created_ms),
+        )
+        .with_payload(Payload::Flow { flow, seq: 0 })
+    }
+
+    #[test]
+    fn records_latency_per_flow() {
+        let mut t = TraceStats::new();
+        t.record_delivery(SimTime::from_millis(15), &flow_packet(1, 10));
+        t.record_delivery(SimTime::from_millis(30), &flow_packet(1, 10));
+        t.record_delivery(SimTime::from_millis(12), &flow_packet(2, 10));
+        let f1 = t.flow(1).unwrap();
+        assert_eq!(f1.delivered_packets, 2);
+        assert_eq!(f1.delivered_bytes, 1000);
+        assert!((f1.latency_ms.mean() - 12.5).abs() < 1e-9);
+        assert_eq!(t.flow(2).unwrap().delivered_packets, 1);
+        assert_eq!(t.total_delivered(), 3);
+        assert_eq!(t.flow_ids(), vec![1, 2]);
+        assert!(t.flow(99).is_none());
+    }
+
+    #[test]
+    fn non_flow_deliveries_counted_separately() {
+        let mut t = TraceStats::new();
+        let p = Packet::new(0, Addr::new(1, 0, 0, 1), Addr::new(1, 0, 0, 2), 64, SimTime::ZERO);
+        t.record_delivery(SimTime::from_millis(1), &p);
+        assert_eq!(t.other_delivered, 1);
+        assert_eq!(t.total_delivered(), 0);
+    }
+
+    #[test]
+    fn drop_totals() {
+        let mut t = TraceStats::new();
+        t.drops_queue = 2;
+        t.drops_loss = 3;
+        t.drops_no_route = 5;
+        t.drops_ttl = 7;
+        t.drops_link_down = 11;
+        assert_eq!(t.total_drops(), 28);
+    }
+}

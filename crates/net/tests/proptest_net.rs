@@ -1,0 +1,139 @@
+//! Property-based tests for the packet substrate: LPM routing against a
+//! naive reference, address-pool soundness, and GTP stack round trips.
+
+use dlte_net::gtp::{decapsulate, encapsulate, GTP_OVERHEAD_BYTES};
+use dlte_net::node::NodeInfo;
+use dlte_net::{Addr, AddrPool, Packet, Prefix};
+use dlte_sim::SimTime;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, len)| Prefix::new(Addr(a), len))
+}
+
+proptest! {
+    /// Longest-prefix match agrees with a naive scan over all matching
+    /// entries.
+    #[test]
+    fn lpm_matches_reference(
+        routes in prop::collection::vec((arb_prefix(), 0usize..8), 0..20),
+        dst in arb_addr(),
+    ) {
+        let mut info = NodeInfo::new("r");
+        for &(p, l) in &routes {
+            info.set_route(p, l);
+        }
+        let got = info.route_for(dst);
+        // Reference: longest matching prefix among the *last-written* entry
+        // per prefix (set_route replaces).
+        let mut dedup: Vec<(Prefix, usize)> = Vec::new();
+        for &(p, l) in &routes {
+            if let Some(e) = dedup.iter_mut().find(|(q, _)| *q == p) {
+                e.1 = l;
+            } else {
+                dedup.push((p, l));
+            }
+        }
+        let expect = dedup
+            .iter()
+            .filter(|(p, _)| p.contains(dst))
+            .max_by_key(|(p, _)| p.len)
+            .map(|&(_, l)| l);
+        // Ties on length: any of the tied links is acceptable — verify the
+        // chosen link belongs to a maximal-length matching prefix.
+        match (got, expect) {
+            (None, None) => {}
+            (Some(g), Some(_)) => {
+                let max_len = dedup
+                    .iter()
+                    .filter(|(p, _)| p.contains(dst))
+                    .map(|(p, _)| p.len)
+                    .max()
+                    .unwrap();
+                prop_assert!(dedup
+                    .iter()
+                    .any(|&(p, l)| p.contains(dst) && p.len == max_len && l == g));
+            }
+            other => prop_assert!(false, "mismatch {other:?}"),
+        }
+    }
+
+    /// Prefix contains() is consistent with mask arithmetic, and
+    /// normalization makes contains(prefix.addr) always true.
+    #[test]
+    fn prefix_contains_consistent(p in arb_prefix(), a in arb_addr()) {
+        prop_assert!(p.contains(p.addr), "prefix must contain its own base");
+        let by_mask = (a.0 & p.mask()) == p.addr.0;
+        prop_assert_eq!(p.contains(a), by_mask);
+    }
+
+    /// Address pools never hand out duplicates among live allocations, and
+    /// everything they hand out is inside the prefix.
+    #[test]
+    fn pool_uniqueness(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut pool = AddrPool::new(Prefix::new(Addr::new(10, 9, 0, 0), 25));
+        let mut live: Vec<Addr> = Vec::new();
+        let mut seen_live: HashSet<Addr> = HashSet::new();
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                if let Some(a) = pool.alloc() {
+                    prop_assert!(pool.prefix().contains(a));
+                    prop_assert!(seen_live.insert(a), "duplicate live addr {a}");
+                    live.push(a);
+                }
+            } else {
+                let a = live.swap_remove(live.len() / 2);
+                seen_live.remove(&a);
+                pool.release(a);
+            }
+        }
+    }
+
+    /// Arbitrary GTP tunnel stacks encapsulate and decapsulate back to the
+    /// original packet exactly.
+    #[test]
+    fn gtp_stack_round_trips(
+        hops in prop::collection::vec((any::<u32>(), arb_addr(), arb_addr()), 1..5),
+        src in arb_addr(),
+        dst in arb_addr(),
+        size in 20u32..1500,
+    ) {
+        let original = Packet::new(1, src, dst, size, SimTime::ZERO);
+        let mut p = original.clone();
+        for &(teid, osrc, odst) in &hops {
+            p = encapsulate(p, teid, osrc, odst);
+        }
+        prop_assert_eq!(
+            p.size_bytes,
+            size + GTP_OVERHEAD_BYTES * hops.len() as u32
+        );
+        for &(teid, _, _) in hops.iter().rev() {
+            p = decapsulate(p, Some(teid)).expect("teid matches");
+        }
+        prop_assert_eq!(p.src, original.src);
+        prop_assert_eq!(p.dst, original.dst);
+        prop_assert_eq!(p.size_bytes, original.size_bytes);
+        prop_assert!(!p.is_tunneled());
+    }
+
+    /// Decapsulating with a wrong TEID never alters the packet.
+    #[test]
+    fn gtp_wrong_teid_is_identity(teid in any::<u32>(), wrong in any::<u32>()) {
+        prop_assume!(teid != wrong);
+        let p = encapsulate(
+            Packet::new(1, Addr(1), Addr(2), 500, SimTime::ZERO),
+            teid,
+            Addr(3),
+            Addr(4),
+        );
+        let size = p.size_bytes;
+        let err = decapsulate(p, Some(wrong)).expect_err("mismatch");
+        prop_assert_eq!(err.size_bytes, size);
+        prop_assert!(err.is_tunneled());
+    }
+}

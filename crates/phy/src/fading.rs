@@ -1,0 +1,187 @@
+//! Shadowing and small-scale fading.
+//!
+//! Rural links are dominated by large-scale shadowing (terrain, vegetation)
+//! rather than dense multipath, so the default model is log-normal shadowing
+//! with a per-link constant component plus a slowly varying AR(1) component.
+//! Fast fading is approximated by an additional mean-zero Gaussian on the dB
+//! SINR, which is the usual system-level shortcut (a full Rayleigh/Jakes
+//! simulator would add cost without changing any architectural conclusion).
+
+use dlte_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Shadowing configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ShadowingConfig {
+    /// Standard deviation of log-normal shadowing, dB. 8 dB is the classic
+    /// macro-cell figure; rural open terrain is nearer 4–6 dB.
+    pub sigma_db: f64,
+    /// Decorrelation time of the time-varying component.
+    pub decorrelation_s: f64,
+    /// Std-dev of the fast-fading approximation, dB (0 disables).
+    pub fast_sigma_db: f64,
+}
+
+impl Default for ShadowingConfig {
+    fn default() -> Self {
+        ShadowingConfig {
+            sigma_db: 6.0,
+            decorrelation_s: 5.0,
+            fast_sigma_db: 0.0,
+        }
+    }
+}
+
+impl ShadowingConfig {
+    /// No fading at all — for deterministic unit experiments.
+    pub fn disabled() -> Self {
+        ShadowingConfig {
+            sigma_db: 0.0,
+            decorrelation_s: 1.0,
+            fast_sigma_db: 0.0,
+        }
+    }
+}
+
+/// Per-link shadowing state: a fixed location-dependent component drawn at
+/// construction plus an AR(1) process sampled on demand.
+#[derive(Clone, Debug)]
+pub struct LinkShadowing {
+    config: ShadowingConfig,
+    fixed_db: f64,
+    ar_state_db: f64,
+    last_sample: SimTime,
+    rng: SimRng,
+}
+
+impl LinkShadowing {
+    /// Create the shadowing state for one link. `rng` should be a fork
+    /// dedicated to this link so links are independent.
+    pub fn new(config: ShadowingConfig, mut rng: SimRng) -> Self {
+        // Split total variance evenly between the fixed and varying parts.
+        let component_sigma = config.sigma_db / 2f64.sqrt();
+        let fixed_db = if config.sigma_db > 0.0 {
+            rng.normal(0.0, component_sigma)
+        } else {
+            0.0
+        };
+        LinkShadowing {
+            config,
+            fixed_db,
+            ar_state_db: 0.0,
+            last_sample: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// Total fading loss (dB, positive = extra loss) at time `now`.
+    pub fn sample_db(&mut self, now: SimTime) -> f64 {
+        if self.config.sigma_db == 0.0 && self.config.fast_sigma_db == 0.0 {
+            return 0.0;
+        }
+        let component_sigma = self.config.sigma_db / 2f64.sqrt();
+        if self.config.sigma_db > 0.0 {
+            // AR(1): rho = exp(-dt / tau); innovation keeps variance constant.
+            let dt = now.saturating_since(self.last_sample).as_secs_f64();
+            self.last_sample = now;
+            let rho = (-dt / self.config.decorrelation_s.max(1e-9)).exp();
+            let innovation_sigma = component_sigma * (1.0 - rho * rho).sqrt();
+            self.ar_state_db =
+                rho * self.ar_state_db + self.rng.normal(0.0, innovation_sigma);
+        }
+        let fast = if self.config.fast_sigma_db > 0.0 {
+            self.rng.normal(0.0, self.config.fast_sigma_db)
+        } else {
+            0.0
+        };
+        self.fixed_db + self.ar_state_db + fast
+    }
+
+    /// The fixed (location) component, for tests and diagnostics.
+    pub fn fixed_db(&self) -> f64 {
+        self.fixed_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_sim::SimDuration;
+
+    #[test]
+    fn disabled_shadowing_is_zero() {
+        let mut s = LinkShadowing::new(ShadowingConfig::disabled(), SimRng::new(1));
+        for i in 0..10 {
+            assert_eq!(s.sample_db(SimTime::from_secs(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn variance_matches_config() {
+        // Sample many independent links at a fixed instant: the variance of
+        // (fixed + AR-stationary) should approach sigma^2.
+        let cfg = ShadowingConfig {
+            sigma_db: 8.0,
+            decorrelation_s: 5.0,
+            fast_sigma_db: 0.0,
+        };
+        let root = SimRng::new(99);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let n = 4000;
+        for i in 0..n {
+            let mut link = LinkShadowing::new(cfg, root.fork_idx("link", i));
+            // Let the AR process reach stationarity via a long first step.
+            let v = link.sample_db(SimTime::from_secs(10_000));
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 8.0).abs() < 0.6, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn temporal_correlation_decays() {
+        let cfg = ShadowingConfig {
+            sigma_db: 8.0,
+            decorrelation_s: 5.0,
+            fast_sigma_db: 0.0,
+        };
+        let root = SimRng::new(7);
+        // Correlation between consecutive samples dt apart, averaged over
+        // many links; subtract the fixed component which never decorrelates.
+        let corr = |dt: SimDuration| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..2000 {
+                let mut link = LinkShadowing::new(cfg, root.fork_idx("c", i));
+                let t0 = SimTime::from_secs(1_000);
+                let a = link.sample_db(t0) - link.fixed_db();
+                let b = link.sample_db(t0 + dt) - link.fixed_db();
+                num += a * b;
+                den += a * a;
+            }
+            num / den
+        };
+        let fast = corr(SimDuration::from_millis(100));
+        let slow = corr(SimDuration::from_secs(50));
+        assert!(fast > 0.9, "100ms correlation {fast}");
+        assert!(slow < 0.2, "50s correlation {slow}");
+    }
+
+    #[test]
+    fn fast_fading_adds_jitter() {
+        let cfg = ShadowingConfig {
+            sigma_db: 0.0,
+            decorrelation_s: 1.0,
+            fast_sigma_db: 3.0,
+        };
+        let mut link = LinkShadowing::new(cfg, SimRng::new(3));
+        let t = SimTime::from_secs(1);
+        let a = link.sample_db(t);
+        let b = link.sample_db(t);
+        assert_ne!(a, b, "fast fading should differ per sample");
+    }
+}

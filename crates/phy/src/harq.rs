@@ -1,0 +1,287 @@
+//! Hybrid ARQ with chase combining.
+//!
+//! §3.2: *"hybrid ARQ increases throughput under weak signal conditions."*
+//! The model: a transport block sent at CQI `c` fails with a block-error
+//! probability given by a sigmoid around the CQI's SINR threshold. On
+//! failure the block is retransmitted; with chase combining the receiver
+//! adds the soft energy of all copies, so the effective SINR of attempt `k`
+//! is `sinr + 10·log10(k)`. After `max_transmissions` attempts the block is
+//! lost (handed to RLC/upper layers).
+//!
+//! Both a closed-form expectation (for fast sweeps) and a stochastic
+//! per-block simulation (for the event-driven MAC) are provided.
+
+use crate::mcs::CqiEntry;
+use dlte_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Soft-combining scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Combining {
+    /// No combining: every attempt sees the raw SINR (plain ARQ).
+    None,
+    /// Chase combining: attempt `k` sees `sinr + 10·log10(k)`.
+    Chase,
+}
+
+/// HARQ configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HarqConfig {
+    /// Maximum transmissions per block (LTE default: 4).
+    pub max_transmissions: u8,
+    /// Sigmoid slope of the BLER curve, dB. Smaller = sharper waterfall.
+    pub bler_slope_db: f64,
+    pub combining: Combining,
+}
+
+impl Default for HarqConfig {
+    fn default() -> Self {
+        HarqConfig {
+            max_transmissions: 4,
+            bler_slope_db: 0.6,
+            combining: Combining::Chase,
+        }
+    }
+}
+
+impl HarqConfig {
+    /// Plain single-shot transmission (HARQ disabled) — the baseline in E3.
+    pub fn disabled() -> Self {
+        HarqConfig {
+            max_transmissions: 1,
+            bler_slope_db: 0.6,
+            combining: Combining::None,
+        }
+    }
+}
+
+/// Block-error probability of a single attempt at `sinr_db` for a CQI whose
+/// 10%-BLER threshold is `threshold_db`.
+///
+/// Sigmoid calibrated so that BLER = 10% exactly at the threshold:
+/// `1 / (1 + exp((sinr - thr - b)/s))` with `b = s·ln(9)` shifting the 50%
+/// point below the threshold.
+pub fn bler(sinr_db: f64, threshold_db: f64, slope_db: f64) -> f64 {
+    let s = slope_db.max(1e-6);
+    let b = s * 9f64.ln();
+    1.0 / (1.0 + ((sinr_db - threshold_db + b) / s).exp())
+}
+
+/// Closed-form statistics of a HARQ process at a given SINR/CQI operating
+/// point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HarqStats {
+    /// Probability the block is delivered within the transmission budget.
+    pub delivery_prob: f64,
+    /// Expected number of transmissions spent per block (delivered or not).
+    pub expected_transmissions: f64,
+    /// Residual BLER after all attempts.
+    pub residual_bler: f64,
+    /// Fraction of the nominal single-shot rate actually delivered:
+    /// `delivery_prob / expected_transmissions`.
+    pub efficiency: f64,
+}
+
+/// Outcome of one stochastically simulated block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HarqOutcome {
+    pub delivered: bool,
+    /// Transmissions actually used (1..=max).
+    pub transmissions: u8,
+}
+
+/// The HARQ process model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HarqProcessModel {
+    pub config: HarqConfig,
+}
+
+impl HarqProcessModel {
+    pub fn new(config: HarqConfig) -> Self {
+        HarqProcessModel { config }
+    }
+
+    /// Effective SINR seen by attempt `k` (1-based).
+    fn attempt_sinr_db(&self, sinr_db: f64, k: u8) -> f64 {
+        match self.config.combining {
+            Combining::None => sinr_db,
+            Combining::Chase => sinr_db + 10.0 * (k as f64).log10(),
+        }
+    }
+
+    /// Per-attempt failure probability, *conditioned on all previous attempts
+    /// failing* (chase combining makes later attempts easier).
+    fn attempt_bler(&self, sinr_db: f64, cqi: &CqiEntry, k: u8) -> f64 {
+        bler(
+            self.attempt_sinr_db(sinr_db, k),
+            cqi.sinr_threshold_db,
+            self.config.bler_slope_db,
+        )
+    }
+
+    /// Closed-form expectation over the attempt tree.
+    pub fn stats(&self, sinr_db: f64, cqi: &CqiEntry) -> HarqStats {
+        let max = self.config.max_transmissions.max(1);
+        let mut p_all_failed_so_far = 1.0;
+        let mut delivery_prob = 0.0;
+        let mut expected_tx = 0.0;
+        for k in 1..=max {
+            // We spend transmission k iff the first k-1 all failed.
+            expected_tx += p_all_failed_so_far;
+            let p_fail_k = self.attempt_bler(sinr_db, cqi, k);
+            let p_success_here = p_all_failed_so_far * (1.0 - p_fail_k);
+            delivery_prob += p_success_here;
+            p_all_failed_so_far *= p_fail_k;
+        }
+        HarqStats {
+            delivery_prob,
+            expected_transmissions: expected_tx,
+            residual_bler: p_all_failed_so_far,
+            efficiency: if expected_tx > 0.0 {
+                delivery_prob / expected_tx
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Goodput in bits/s for a full grid of `n_prb` PRBs at this operating
+    /// point (1000 subframes/s, HARQ efficiency applied).
+    pub fn goodput_bps(&self, sinr_db: f64, cqi: &CqiEntry, n_prb: u32) -> f64 {
+        crate::mcs::peak_throughput_bps(cqi, n_prb) * self.stats(sinr_db, cqi).efficiency
+    }
+
+    /// Simulate one block stochastically.
+    pub fn simulate_block(&self, sinr_db: f64, cqi: &CqiEntry, rng: &mut SimRng) -> HarqOutcome {
+        let max = self.config.max_transmissions.max(1);
+        for k in 1..=max {
+            if !rng.chance(self.attempt_bler(sinr_db, cqi, k)) {
+                return HarqOutcome {
+                    delivered: true,
+                    transmissions: k,
+                };
+            }
+        }
+        HarqOutcome {
+            delivered: false,
+            transmissions: max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::CQI_TABLE;
+
+    #[test]
+    fn bler_is_ten_percent_at_threshold() {
+        let b = bler(10.0, 10.0, 0.6);
+        assert!((b - 0.10).abs() < 1e-9, "got {b}");
+        // Well above threshold → near zero; well below → near one.
+        assert!(bler(20.0, 10.0, 0.6) < 1e-6);
+        assert!(bler(0.0, 10.0, 0.6) > 0.999);
+    }
+
+    #[test]
+    fn bler_monotone_decreasing_in_sinr() {
+        let mut prev = 1.1;
+        for snr in [-5.0, 0.0, 5.0, 9.0, 10.0, 11.0, 15.0] {
+            let b = bler(snr, 10.0, 0.6);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn stats_at_operating_point() {
+        // At the CQI's own threshold (10% first-attempt BLER), chase HARQ
+        // should deliver essentially everything within 4 attempts.
+        let m = HarqProcessModel::new(HarqConfig::default());
+        let cqi = &CQI_TABLE[8]; // CQI 9
+        let s = m.stats(cqi.sinr_threshold_db, cqi);
+        assert!(s.delivery_prob > 0.999, "delivery {}", s.delivery_prob);
+        assert!(s.expected_transmissions < 1.2, "E[tx] {}", s.expected_transmissions);
+        assert!(s.residual_bler < 1e-3);
+    }
+
+    #[test]
+    fn harq_beats_no_harq_below_threshold_paper_claim() {
+        // 2 dB below threshold — "weak signal conditions" (§3.2).
+        let cqi = &CQI_TABLE[8];
+        let weak = cqi.sinr_threshold_db - 2.0;
+        let harq = HarqProcessModel::new(HarqConfig::default());
+        let none = HarqProcessModel::new(HarqConfig::disabled());
+        let g_harq = harq.goodput_bps(weak, cqi, 50);
+        let g_none = none.goodput_bps(weak, cqi, 50);
+        assert!(
+            g_harq > 2.0 * g_none,
+            "HARQ {g_harq:.0} vs none {g_none:.0}"
+        );
+    }
+
+    #[test]
+    fn harq_costs_little_at_high_sinr() {
+        let cqi = &CQI_TABLE[8];
+        let strong = cqi.sinr_threshold_db + 5.0;
+        let harq = HarqProcessModel::new(HarqConfig::default());
+        let none = HarqProcessModel::new(HarqConfig::disabled());
+        let ratio = harq.goodput_bps(strong, cqi, 50) / none.goodput_bps(strong, cqi, 50);
+        assert!((ratio - 1.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn chase_combining_outperforms_plain_arq() {
+        let cqi = &CQI_TABLE[8];
+        let weak = cqi.sinr_threshold_db - 3.0;
+        let chase = HarqProcessModel::new(HarqConfig::default());
+        let plain = HarqProcessModel::new(HarqConfig {
+            combining: Combining::None,
+            ..HarqConfig::default()
+        });
+        let sc = chase.stats(weak, cqi);
+        let sp = plain.stats(weak, cqi);
+        assert!(sc.delivery_prob > sp.delivery_prob);
+        assert!(sc.residual_bler < sp.residual_bler);
+    }
+
+    #[test]
+    fn expected_transmissions_bounded() {
+        let m = HarqProcessModel::new(HarqConfig::default());
+        let cqi = &CQI_TABLE[0];
+        for snr in [-30.0, -6.7, 0.0, 30.0] {
+            let s = m.stats(snr, cqi);
+            assert!(s.expected_transmissions >= 1.0);
+            assert!(s.expected_transmissions <= 4.0);
+            assert!((0.0..=1.0).contains(&s.delivery_prob));
+            assert!((s.delivery_prob + s.residual_bler - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulation_agrees_with_closed_form() {
+        let m = HarqProcessModel::new(HarqConfig::default());
+        let cqi = &CQI_TABLE[8];
+        let snr = cqi.sinr_threshold_db - 1.5;
+        let expected = m.stats(snr, cqi);
+        let mut rng = SimRng::new(1234);
+        let n = 20_000;
+        let mut delivered = 0u32;
+        let mut tx_total = 0u64;
+        for _ in 0..n {
+            let o = m.simulate_block(snr, cqi, &mut rng);
+            if o.delivered {
+                delivered += 1;
+            }
+            tx_total += o.transmissions as u64;
+        }
+        let p = delivered as f64 / n as f64;
+        let etx = tx_total as f64 / n as f64;
+        assert!((p - expected.delivery_prob).abs() < 0.01, "{p} vs {}", expected.delivery_prob);
+        assert!(
+            (etx - expected.expected_transmissions).abs() < 0.03,
+            "{etx} vs {}",
+            expected.expected_transmissions
+        );
+    }
+}

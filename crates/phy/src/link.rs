@@ -1,0 +1,295 @@
+//! Link budgets.
+//!
+//! Combines transmit power, antenna gains, losses, path loss and receiver
+//! noise into SNR — the number every rate decision in the stack consumes.
+//! Presets match the paper's prototype (§5): a commercial eNodeB with 15 dBi
+//! antennas on a gym roof, off-the-shelf handsets, and a WiFi AP/client pair
+//! constrained by ISM-band EIRP rules.
+
+use crate::propagation::PathLossModel;
+use crate::units::thermal_noise_dbm;
+use crate::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+/// One end of a radio link.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Power-amplifier saturation power, dBm (waveform backoff is applied
+    /// on top of this when transmitting).
+    pub pa_saturation_dbm: f64,
+    /// Regulatory conducted-power limit, dBm.
+    pub regulatory_max_dbm: f64,
+    /// Antenna gain, dBi.
+    pub antenna_gain_dbi: f64,
+    /// Cable/connector loss, dB.
+    pub cable_loss_db: f64,
+    /// Receiver noise figure, dB.
+    pub noise_figure_db: f64,
+    /// Antenna height above ground, m (feeds the propagation model).
+    pub height_m: f64,
+    /// Waveform used when this end transmits.
+    pub tx_waveform: Waveform,
+}
+
+impl RadioConfig {
+    /// The paper's prototype base station: commercial eNodeB (~20 W PA),
+    /// 15 dBi sector antenna (§5), tower/roof mount.
+    pub fn rural_enodeb() -> Self {
+        RadioConfig {
+            pa_saturation_dbm: 44.0,
+            regulatory_max_dbm: 43.0,
+            antenna_gain_dbi: 15.0,
+            cable_loss_db: 1.0,
+            noise_figure_db: 5.0,
+            height_m: 30.0,
+            tx_waveform: Waveform::Ofdm,
+        }
+    }
+
+    /// An off-the-shelf LTE handset: power class 3 (23 dBm), SC-FDMA uplink.
+    pub fn lte_handset() -> Self {
+        RadioConfig {
+            pa_saturation_dbm: 26.0,
+            regulatory_max_dbm: 23.0,
+            antenna_gain_dbi: 0.0,
+            cable_loss_db: 0.0,
+            noise_figure_db: 7.0,
+            height_m: 1.5,
+            tx_waveform: Waveform::ScFdma,
+        }
+    }
+
+    /// A hypothetical handset forced to use OFDM uplink — the counterfactual
+    /// in the SC-FDMA experiment (E2). Identical hardware, different waveform.
+    pub fn ofdm_handset() -> Self {
+        RadioConfig {
+            tx_waveform: Waveform::Ofdm,
+            ..Self::lte_handset()
+        }
+    }
+
+    /// An outdoor WiFi AP at the FCC point-to-multipoint limit
+    /// (30 dBm conducted + 6 dBi).
+    pub fn wifi_ap() -> Self {
+        RadioConfig {
+            pa_saturation_dbm: 32.0,
+            regulatory_max_dbm: 30.0,
+            antenna_gain_dbi: 6.0,
+            cable_loss_db: 0.5,
+            noise_figure_db: 6.0,
+            height_m: 10.0,
+            tx_waveform: Waveform::Ofdm,
+        }
+    }
+
+    /// A WiFi client device (laptop/phone class, ~18 dBm).
+    pub fn wifi_client() -> Self {
+        RadioConfig {
+            pa_saturation_dbm: 21.0,
+            regulatory_max_dbm: 18.0,
+            antenna_gain_dbi: 0.0,
+            cable_loss_db: 0.0,
+            noise_figure_db: 7.0,
+            height_m: 1.5,
+            tx_waveform: Waveform::Ofdm,
+        }
+    }
+
+    /// Effective radiated power when this end transmits, dBm EIRP.
+    pub fn eirp_dbm(&self) -> f64 {
+        self.tx_waveform
+            .effective_tx_power_dbm(self.pa_saturation_dbm, self.regulatory_max_dbm)
+            + self.antenna_gain_dbi
+            - self.cable_loss_db
+    }
+}
+
+/// A directional link budget: `tx` transmitting toward `rx`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkBudget {
+    pub tx: RadioConfig,
+    pub rx: RadioConfig,
+    pub model: PathLossModel,
+    /// Carrier frequency, MHz.
+    pub freq_mhz: f64,
+    /// Receiver bandwidth, Hz (sets the noise floor).
+    pub bandwidth_hz: f64,
+}
+
+impl LinkBudget {
+    /// Received power at `dist_km`, dBm (before fading).
+    pub fn rx_power_dbm(&self, dist_km: f64) -> f64 {
+        self.eirp_dbm() - self.model.path_loss_db(self.freq_mhz, dist_km)
+            + self.rx.antenna_gain_dbi
+            - self.rx.cable_loss_db
+    }
+
+    /// Transmit EIRP, dBm.
+    pub fn eirp_dbm(&self) -> f64 {
+        self.tx.eirp_dbm()
+    }
+
+    /// Receiver noise floor, dBm (thermal + noise figure).
+    pub fn noise_floor_dbm(&self) -> f64 {
+        thermal_noise_dbm(self.bandwidth_hz) + self.rx.noise_figure_db
+    }
+
+    /// SNR at `dist_km`, dB, with an optional extra fading loss.
+    pub fn snr_db(&self, dist_km: f64, fading_loss_db: f64) -> f64 {
+        self.rx_power_dbm(dist_km) - fading_loss_db - self.noise_floor_dbm()
+    }
+
+    /// Maximum coupling loss the link supports while keeping SNR at or above
+    /// `min_snr_db` (system gain), dB.
+    pub fn max_coupling_loss_db(&self, min_snr_db: f64) -> f64 {
+        self.eirp_dbm() + self.rx.antenna_gain_dbi - self.rx.cable_loss_db
+            - self.noise_floor_dbm()
+            - min_snr_db
+    }
+
+    /// Greatest range (km) at which SNR stays at or above `min_snr_db`,
+    /// ignoring fading margin (subtract a margin from `min_snr_db` to add
+    /// one). The maximum coupling loss *is* the path-loss allowance: receive
+    /// antenna gain is already part of it.
+    pub fn range_km(&self, min_snr_db: f64) -> f64 {
+        self.model
+            .range_km_for_loss(self.freq_mhz, self.max_coupling_loss_db(min_snr_db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::Band;
+    use crate::propagation::PathLossModel;
+
+    fn lte_downlink(dist_model: PathLossModel) -> LinkBudget {
+        LinkBudget {
+            tx: RadioConfig::rural_enodeb(),
+            rx: RadioConfig::lte_handset(),
+            model: dist_model,
+            freq_mhz: Band::band5().downlink_center_mhz(),
+            bandwidth_hz: 10e6,
+        }
+    }
+
+    #[test]
+    fn eirp_compositions() {
+        // eNodeB: 43 dBm (clamped from 44-3.5 OFDM backoff? no: min(44-3.5,43)=40.5)
+        // — PA saturation 44 with 3.5 dB OFDM backoff gives 40.5 dBm conducted,
+        // under the 43 dBm regulatory cap; +15 dBi −1 dB cable = 54.5 EIRP.
+        let enb = RadioConfig::rural_enodeb();
+        assert!((enb.eirp_dbm() - 54.5).abs() < 1e-9);
+        // Handset SC-FDMA: min(26-1, 23)=23, no antenna gain.
+        let ue = RadioConfig::lte_handset();
+        assert!((ue.eirp_dbm() - 23.0).abs() < 1e-9);
+        // Same handset on OFDM loses 0.5 dB (26-3.5=22.5 < 23 cap).
+        let ue_ofdm = RadioConfig::ofdm_handset();
+        assert!((ue.eirp_dbm() - ue_ofdm.eirp_dbm() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let lb = lte_downlink(PathLossModel::rural_macro());
+        let mut prev = f64::INFINITY;
+        for d in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+            let snr = lb.snr_db(d, 0.0);
+            assert!(snr < prev);
+            prev = snr;
+        }
+    }
+
+    #[test]
+    fn fading_subtracts_directly() {
+        let lb = lte_downlink(PathLossModel::rural_macro());
+        let clean = lb.snr_db(5.0, 0.0);
+        let faded = lb.snr_db(5.0, 7.0);
+        assert!((clean - faded - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_inversion_consistent_with_snr() {
+        let lb = lte_downlink(PathLossModel::rural_macro());
+        let r = lb.range_km(0.0);
+        assert!(r > 1.0, "rural 850 MHz cell should exceed 1 km, got {r}");
+        // At exactly the computed range, SNR ≈ the threshold.
+        assert!((lb.snr_db(r, 0.0) - 0.0).abs() < 0.05, "snr at range {}", lb.snr_db(r, 0.0));
+        // The same identity must hold when the *receiver* has antenna gain
+        // (the uplink toward a sectored eNodeB) — this is the regression
+        // guard for a double-counting bug where range_km subtracted the rx
+        // gain back out of the coupling loss.
+        let ul = LinkBudget {
+            tx: RadioConfig::lte_handset(),
+            rx: RadioConfig::rural_enodeb(),
+            model: PathLossModel::rural_macro(),
+            freq_mhz: Band::band5().uplink_center_mhz(),
+            bandwidth_hz: 10e6,
+        };
+        let r = ul.range_km(-6.7);
+        assert!(
+            (ul.snr_db(r, 0.0) - -6.7).abs() < 0.05,
+            "uplink snr at range {}",
+            ul.snr_db(r, 0.0)
+        );
+        // Band-5 rural uplink reaches well past 10 km at cell-edge MCS — the
+        // GSM-era rural macro regime.
+        assert!((12.0..30.0).contains(&r), "uplink range {r} km");
+    }
+
+    #[test]
+    fn lte_band5_outranges_wifi_paper_core_claim() {
+        // Downlink comparison at the lowest usable SNR of each system
+        // (LTE CQI1 at -6.7 dB; WiFi MCS0 at ~4 dB).
+        let lte = lte_downlink(PathLossModel::rural_macro());
+        let wifi = LinkBudget {
+            tx: RadioConfig::wifi_ap(),
+            rx: RadioConfig::wifi_client(),
+            model: PathLossModel::rural_macro(),
+            freq_mhz: Band::ism24().downlink_center_mhz(),
+            bandwidth_hz: 20e6,
+        };
+        let lte_range = lte.range_km(-6.7);
+        let wifi_range = wifi.range_km(4.0);
+        assert!(
+            lte_range > 3.0 * wifi_range,
+            "LTE {lte_range:.2} km vs WiFi {wifi_range:.2} km"
+        );
+    }
+
+    #[test]
+    fn uplink_is_the_limiting_direction() {
+        // The classic asymmetry: handset uplink supports less coupling loss
+        // than eNodeB downlink even with SC-FDMA.
+        let dl = lte_downlink(PathLossModel::rural_macro());
+        let ul = LinkBudget {
+            tx: RadioConfig::lte_handset(),
+            rx: RadioConfig::rural_enodeb(),
+            model: PathLossModel::rural_macro(),
+            freq_mhz: Band::band5().uplink_center_mhz(),
+            bandwidth_hz: 10e6,
+        };
+        assert!(dl.max_coupling_loss_db(0.0) > ul.max_coupling_loss_db(0.0));
+    }
+
+    #[test]
+    fn scfdma_extends_uplink_range() {
+        let mk = |ue: RadioConfig| LinkBudget {
+            tx: ue,
+            rx: RadioConfig::rural_enodeb(),
+            model: PathLossModel::rural_macro(),
+            freq_mhz: Band::band5().uplink_center_mhz(),
+            bandwidth_hz: 10e6,
+        };
+        let sc = mk(RadioConfig::lte_handset()).range_km(-6.7);
+        let ofdm = mk(RadioConfig::ofdm_handset()).range_km(-6.7);
+        assert!(sc > ofdm, "SC-FDMA {sc} km vs OFDM {ofdm} km");
+    }
+
+    #[test]
+    fn noise_floor_tracks_bandwidth() {
+        let lb10 = lte_downlink(PathLossModel::FreeSpace);
+        let mut lb20 = lb10;
+        lb20.bandwidth_hz = 20e6;
+        assert!((lb20.noise_floor_dbm() - lb10.noise_floor_dbm() - 3.01).abs() < 0.01);
+    }
+}

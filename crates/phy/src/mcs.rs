@@ -1,0 +1,192 @@
+//! CQI / MCS tables and the SINR → spectral-efficiency link abstraction.
+//!
+//! The CQI table is 3GPP TS 36.213 Table 7.2.3-1 (the 4-bit wideband CQI
+//! alphabet), paired with per-CQI SINR thresholds at the standard 10% BLER
+//! operating point, taken from published link-level curves. An attenuated
+//! Shannon bound is provided as a sanity envelope: the tabulated
+//! efficiencies must (and do) sit below it.
+
+use crate::units::db_to_linear;
+use serde::{Deserialize, Serialize};
+
+/// Modulation scheme of a CQI entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Modulation {
+    Qpsk,
+    Qam16,
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits per modulation symbol.
+    pub fn bits_per_symbol(self) -> u32 {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+}
+
+/// One row of the CQI table.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CqiEntry {
+    /// CQI index, 1–15 (0 = out of range, not represented here).
+    pub cqi: u8,
+    pub modulation: Modulation,
+    /// Code rate × 1024.
+    pub code_rate_x1024: u16,
+    /// Spectral efficiency, bits per resource element.
+    pub efficiency: f64,
+    /// SINR (dB) at which this CQI meets the 10% BLER target.
+    pub sinr_threshold_db: f64,
+}
+
+/// TS 36.213 Table 7.2.3-1 with 10%-BLER SINR thresholds.
+pub const CQI_TABLE: [CqiEntry; 15] = [
+    CqiEntry { cqi: 1, modulation: Modulation::Qpsk, code_rate_x1024: 78, efficiency: 0.1523, sinr_threshold_db: -6.7 },
+    CqiEntry { cqi: 2, modulation: Modulation::Qpsk, code_rate_x1024: 120, efficiency: 0.2344, sinr_threshold_db: -4.7 },
+    CqiEntry { cqi: 3, modulation: Modulation::Qpsk, code_rate_x1024: 193, efficiency: 0.3770, sinr_threshold_db: -2.3 },
+    CqiEntry { cqi: 4, modulation: Modulation::Qpsk, code_rate_x1024: 308, efficiency: 0.6016, sinr_threshold_db: 0.2 },
+    CqiEntry { cqi: 5, modulation: Modulation::Qpsk, code_rate_x1024: 449, efficiency: 0.8770, sinr_threshold_db: 2.4 },
+    CqiEntry { cqi: 6, modulation: Modulation::Qpsk, code_rate_x1024: 602, efficiency: 1.1758, sinr_threshold_db: 4.3 },
+    CqiEntry { cqi: 7, modulation: Modulation::Qam16, code_rate_x1024: 378, efficiency: 1.4766, sinr_threshold_db: 5.9 },
+    CqiEntry { cqi: 8, modulation: Modulation::Qam16, code_rate_x1024: 490, efficiency: 1.9141, sinr_threshold_db: 8.1 },
+    CqiEntry { cqi: 9, modulation: Modulation::Qam16, code_rate_x1024: 616, efficiency: 2.4063, sinr_threshold_db: 10.3 },
+    CqiEntry { cqi: 10, modulation: Modulation::Qam64, code_rate_x1024: 466, efficiency: 2.7305, sinr_threshold_db: 11.7 },
+    CqiEntry { cqi: 11, modulation: Modulation::Qam64, code_rate_x1024: 567, efficiency: 3.3223, sinr_threshold_db: 14.1 },
+    CqiEntry { cqi: 12, modulation: Modulation::Qam64, code_rate_x1024: 666, efficiency: 3.9023, sinr_threshold_db: 16.3 },
+    CqiEntry { cqi: 13, modulation: Modulation::Qam64, code_rate_x1024: 772, efficiency: 4.5234, sinr_threshold_db: 18.7 },
+    CqiEntry { cqi: 14, modulation: Modulation::Qam64, code_rate_x1024: 873, efficiency: 5.1152, sinr_threshold_db: 21.0 },
+    CqiEntry { cqi: 15, modulation: Modulation::Qam64, code_rate_x1024: 948, efficiency: 5.5547, sinr_threshold_db: 22.7 },
+];
+
+/// Resource elements per PRB per 1 ms subframe (12 subcarriers × 14 symbols).
+pub const RE_PER_PRB_SUBFRAME: u32 = 168;
+
+/// Fraction of resource elements consumed by reference signals and control
+/// channels (PDCCH/PCFICH/PHICH + CRS), a typical system-level figure.
+pub const OVERHEAD_FRACTION: f64 = 0.25;
+
+/// Select the highest CQI whose 10%-BLER threshold is at or below `sinr_db`.
+/// Returns `None` when even CQI 1 cannot be sustained (out of range).
+pub fn select_cqi(sinr_db: f64) -> Option<&'static CqiEntry> {
+    CQI_TABLE
+        .iter()
+        .rev()
+        .find(|e| sinr_db >= e.sinr_threshold_db)
+}
+
+/// Spectral efficiency (bits/RE) achieved at `sinr_db` by CQI selection;
+/// zero if out of range.
+pub fn efficiency_at(sinr_db: f64) -> f64 {
+    select_cqi(sinr_db).map_or(0.0, |e| e.efficiency)
+}
+
+/// Attenuated Shannon bound used as a sanity envelope: `alpha·log2(1+snr)`
+/// capped at the table maximum. `alpha` ≈ 0.75 matches LTE link-level
+/// results (implementation loss of modems and finite block lengths).
+pub fn shannon_efficiency(sinr_db: f64, alpha: f64) -> f64 {
+    let cap = CQI_TABLE[14].efficiency;
+    (alpha * (1.0 + db_to_linear(sinr_db)).log2()).min(cap)
+}
+
+/// Transport-block bits carried by `n_prb` PRBs in one subframe at `cqi`,
+/// after control/RS overhead.
+pub fn transport_block_bits(cqi: &CqiEntry, n_prb: u32) -> u64 {
+    let data_re = RE_PER_PRB_SUBFRAME as f64 * (1.0 - OVERHEAD_FRACTION);
+    (cqi.efficiency * data_re * n_prb as f64).floor() as u64
+}
+
+/// Peak PHY throughput in bits/s for a full grid of `n_prb` PRBs at `cqi`
+/// (1000 subframes per second).
+pub fn peak_throughput_bps(cqi: &CqiEntry, n_prb: u32) -> f64 {
+    transport_block_bits(cqi, n_prb) as f64 * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_monotone() {
+        for w in CQI_TABLE.windows(2) {
+            assert!(w[1].efficiency > w[0].efficiency);
+            assert!(w[1].sinr_threshold_db > w[0].sinr_threshold_db);
+            assert!(w[1].cqi == w[0].cqi + 1);
+        }
+    }
+
+    #[test]
+    fn efficiencies_match_modulation_times_rate() {
+        for e in &CQI_TABLE {
+            let expected =
+                e.modulation.bits_per_symbol() as f64 * e.code_rate_x1024 as f64 / 1024.0;
+            assert!(
+                (e.efficiency - expected).abs() < 0.01,
+                "CQI {} efficiency {} vs {}",
+                e.cqi,
+                e.efficiency,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn table_sits_below_shannon() {
+        // Each threshold/efficiency pair must be information-theoretically
+        // possible: efficiency < log2(1 + snr_linear) at its own threshold.
+        for e in &CQI_TABLE {
+            let shannon = (1.0 + db_to_linear(e.sinr_threshold_db)).log2();
+            assert!(
+                e.efficiency < shannon,
+                "CQI {} violates Shannon: {} >= {}",
+                e.cqi,
+                e.efficiency,
+                shannon
+            );
+        }
+    }
+
+    #[test]
+    fn cqi_selection() {
+        assert!(select_cqi(-10.0).is_none(), "below CQI1 threshold");
+        assert_eq!(select_cqi(-6.7).unwrap().cqi, 1);
+        assert_eq!(select_cqi(0.0).unwrap().cqi, 3);
+        assert_eq!(select_cqi(10.3).unwrap().cqi, 9);
+        assert_eq!(select_cqi(30.0).unwrap().cqi, 15);
+        assert_eq!(efficiency_at(-20.0), 0.0);
+        assert!((efficiency_at(30.0) - 5.5547).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_rates_are_sane() {
+        // 10 MHz (50 PRB) at CQI 15: spec peak is ~36 Mbit/s for SISO with
+        // overhead; our model should land in the 30–40 Mbit/s window.
+        let peak = peak_throughput_bps(&CQI_TABLE[14], 50);
+        assert!(
+            (30e6..42e6).contains(&peak),
+            "10 MHz SISO peak {peak} out of window"
+        );
+        // 1.4 MHz (6 PRB) at CQI 1 is a few tens of kbit/s.
+        let floor = peak_throughput_bps(&CQI_TABLE[0], 6);
+        assert!((50e3..200e3).contains(&floor), "floor {floor}");
+    }
+
+    #[test]
+    fn shannon_envelope_caps() {
+        assert_eq!(shannon_efficiency(100.0, 0.75), CQI_TABLE[14].efficiency);
+        assert!(shannon_efficiency(0.0, 0.75) > 0.0);
+        // CQI selection never exceeds the alpha=1 Shannon envelope.
+        for snr in [-5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0] {
+            assert!(efficiency_at(snr) <= (1.0 + db_to_linear(snr)).log2());
+        }
+    }
+
+    #[test]
+    fn transport_block_scales_linearly_in_prb() {
+        let one = transport_block_bits(&CQI_TABLE[9], 1);
+        let fifty = transport_block_bits(&CQI_TABLE[9], 50);
+        assert!(fifty >= one * 49 && fifty <= one * 51);
+    }
+}

@@ -1,0 +1,98 @@
+//! Decibel / linear power conversions and small RF helpers.
+//!
+//! All powers in this crate are `f64` dBm unless a name says otherwise; all
+//! gains/losses are dB. These free functions keep the arithmetic honest at
+//! the boundaries where we must add powers (linear domain) rather than
+//! decibels.
+
+/// Boltzmann constant × 290 K expressed as thermal noise density, dBm per Hz.
+pub const THERMAL_NOISE_DBM_PER_HZ: f64 = -174.0;
+
+/// Speed of light, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Convert a dB value to a linear ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert a linear ratio to dB. Zero or negative input maps to -inf dB.
+pub fn linear_to_db(lin: f64) -> f64 {
+    if lin <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * lin.log10()
+    }
+}
+
+/// Convert dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    db_to_linear(dbm)
+}
+
+/// Convert milliwatts to dBm.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    linear_to_db(mw)
+}
+
+/// Sum several powers given in dBm, returning dBm (linear-domain addition).
+pub fn dbm_sum(powers: &[f64]) -> f64 {
+    mw_to_dbm(powers.iter().map(|&p| dbm_to_mw(p)).sum())
+}
+
+/// Thermal noise floor in dBm for a given bandwidth in Hz.
+pub fn thermal_noise_dbm(bandwidth_hz: f64) -> f64 {
+    debug_assert!(bandwidth_hz > 0.0);
+    THERMAL_NOISE_DBM_PER_HZ + 10.0 * bandwidth_hz.log10()
+}
+
+/// Wavelength in meters for a carrier frequency in MHz.
+pub fn wavelength_m(freq_mhz: f64) -> f64 {
+    debug_assert!(freq_mhz > 0.0);
+    SPEED_OF_LIGHT / (freq_mhz * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 46.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_conversions() {
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(30.0) - 1000.0).abs() < 1e-9);
+        assert!((mw_to_dbm(100.0) - 20.0).abs() < 1e-9);
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dbm_sum_doubles_to_plus_3db() {
+        let s = dbm_sum(&[20.0, 20.0]);
+        assert!((s - 23.0103).abs() < 1e-3);
+        // Adding a much weaker signal barely moves the total.
+        let s2 = dbm_sum(&[20.0, -20.0]);
+        assert!((s2 - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn thermal_noise_reference_values() {
+        // 1 Hz → -174 dBm; 10 MHz LTE channel → about -104 dBm.
+        assert!((thermal_noise_dbm(1.0) - -174.0).abs() < 1e-9);
+        assert!((thermal_noise_dbm(10e6) - -104.0).abs() < 0.01);
+        // 20 MHz WiFi channel → about -101 dBm.
+        assert!((thermal_noise_dbm(20e6) - -100.99).abs() < 0.01);
+    }
+
+    #[test]
+    fn wavelength_reference_values() {
+        // 850 MHz (band 5) ≈ 35.3 cm; 2.4 GHz ≈ 12.5 cm.
+        assert!((wavelength_m(850.0) - 0.3527).abs() < 1e-3);
+        assert!((wavelength_m(2400.0) - 0.1249).abs() < 1e-3);
+    }
+}

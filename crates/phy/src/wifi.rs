@@ -1,0 +1,76 @@
+//! 802.11 OFDM PHY rate table for the WiFi baselines.
+//!
+//! Single-stream 802.11n, 20 MHz, 800 ns guard interval — the workhorse of
+//! exactly the rural WiFi deployments the paper contrasts against. SNR
+//! requirements are standard published figures for 10% PER at 1000-byte
+//! frames.
+
+use serde::{Deserialize, Serialize};
+
+/// One WiFi MCS entry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WifiRate {
+    /// HT MCS index (single spatial stream, 0–7).
+    pub mcs: u8,
+    /// Modulation + coding description.
+    pub name: &'static str,
+    /// PHY data rate, Mbit/s (20 MHz, 800 ns GI).
+    pub phy_rate_mbps: f64,
+    /// Minimum SNR (dB) to sustain the rate at the PER target.
+    pub min_snr_db: f64,
+}
+
+/// 802.11n single-stream rate table.
+pub const WIFI_RATES: [WifiRate; 8] = [
+    WifiRate { mcs: 0, name: "BPSK 1/2", phy_rate_mbps: 6.5, min_snr_db: 4.0 },
+    WifiRate { mcs: 1, name: "QPSK 1/2", phy_rate_mbps: 13.0, min_snr_db: 7.0 },
+    WifiRate { mcs: 2, name: "QPSK 3/4", phy_rate_mbps: 19.5, min_snr_db: 9.5 },
+    WifiRate { mcs: 3, name: "16QAM 1/2", phy_rate_mbps: 26.0, min_snr_db: 12.5 },
+    WifiRate { mcs: 4, name: "16QAM 3/4", phy_rate_mbps: 39.0, min_snr_db: 16.0 },
+    WifiRate { mcs: 5, name: "64QAM 2/3", phy_rate_mbps: 52.0, min_snr_db: 21.0 },
+    WifiRate { mcs: 6, name: "64QAM 3/4", phy_rate_mbps: 58.5, min_snr_db: 22.5 },
+    WifiRate { mcs: 7, name: "64QAM 5/6", phy_rate_mbps: 65.0, min_snr_db: 24.5 },
+];
+
+/// Highest sustainable rate at `snr_db`; `None` below MCS 0's requirement
+/// (out of range).
+pub fn select_rate(snr_db: f64) -> Option<&'static WifiRate> {
+    WIFI_RATES.iter().rev().find(|r| snr_db >= r.min_snr_db)
+}
+
+/// PHY rate in bit/s at `snr_db` (0 when out of range).
+pub fn phy_rate_bps(snr_db: f64) -> f64 {
+    select_rate(snr_db).map_or(0.0, |r| r.phy_rate_mbps * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_monotone() {
+        for w in WIFI_RATES.windows(2) {
+            assert!(w[1].phy_rate_mbps > w[0].phy_rate_mbps);
+            assert!(w[1].min_snr_db > w[0].min_snr_db);
+        }
+    }
+
+    #[test]
+    fn selection() {
+        assert!(select_rate(0.0).is_none());
+        assert_eq!(select_rate(4.0).unwrap().mcs, 0);
+        assert_eq!(select_rate(13.0).unwrap().mcs, 3);
+        assert_eq!(select_rate(40.0).unwrap().mcs, 7);
+        assert_eq!(phy_rate_bps(-5.0), 0.0);
+        assert_eq!(phy_rate_bps(30.0), 65e6);
+    }
+
+    #[test]
+    fn wifi_needs_more_snr_than_lte_at_the_edge() {
+        // WiFi's lowest rate needs ~4 dB; LTE CQI 1 works at -6.7 dB. This
+        // ~10 dB sensitivity gap is part of the paper's range argument.
+        let wifi_min = WIFI_RATES[0].min_snr_db;
+        let lte_min = crate::mcs::CQI_TABLE[0].sinr_threshold_db;
+        assert!(wifi_min - lte_min > 10.0);
+    }
+}

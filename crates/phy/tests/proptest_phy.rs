@@ -1,0 +1,140 @@
+//! Property-based tests for the PHY models' physical invariants.
+
+use dlte_phy::harq::{bler, Combining, HarqConfig, HarqProcessModel};
+use dlte_phy::mcs::{efficiency_at, select_cqi, CQI_TABLE};
+use dlte_phy::propagation::{Environment, PathLossModel};
+use dlte_phy::units::{db_to_linear, dbm_sum, linear_to_db};
+use dlte_phy::wifi::phy_rate_bps;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = PathLossModel> {
+    prop_oneof![
+        Just(PathLossModel::FreeSpace),
+        (2.0f64..5.0, 10.0f64..500.0).prop_map(|(exponent, ref_m)| {
+            PathLossModel::LogDistance { exponent, ref_m }
+        }),
+        (
+            prop_oneof![
+                Just(Environment::Urban),
+                Just(Environment::Suburban),
+                Just(Environment::RuralOpen)
+            ],
+            30.0f64..120.0,
+            1.0f64..5.0
+        )
+            .prop_map(|(environment, bs_height_m, ue_height_m)| PathLossModel::Hata {
+                environment,
+                bs_height_m,
+                ue_height_m,
+            }),
+    ]
+}
+
+proptest! {
+    /// Path loss is finite, positive at practical distances, and monotone
+    /// non-decreasing in distance for every model and frequency.
+    #[test]
+    fn path_loss_monotone_in_distance(
+        model in arb_model(),
+        freq in 400.0f64..6000.0,
+        d1 in 0.05f64..50.0,
+        d2 in 0.05f64..50.0,
+    ) {
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let l_near = model.path_loss_db(freq, near);
+        let l_far = model.path_loss_db(freq, far);
+        prop_assert!(l_near.is_finite() && l_far.is_finite());
+        prop_assert!(l_far + 1e-9 >= l_near, "{model:?} {freq} MHz: {l_near} @{near} > {l_far} @{far}");
+    }
+
+    /// Range inversion is consistent: loss(range(L)) ≈ L when achievable.
+    #[test]
+    fn range_inversion(model in arb_model(), freq in 400.0f64..6000.0, loss in 80.0f64..160.0) {
+        let r = model.range_km_for_loss(freq, loss);
+        if r > 0.0 && r < 1000.0 {
+            let back = model.path_loss_db(freq, r);
+            prop_assert!((back - loss).abs() < 0.1, "loss {loss} → range {r} → loss {back}");
+        }
+    }
+
+    /// dB/linear conversions are inverse bijections on the sensible domain.
+    #[test]
+    fn db_linear_round_trip(db in -120.0f64..120.0) {
+        prop_assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+    }
+
+    /// Power sums dominate their largest term and are bounded by +10·log10(n).
+    #[test]
+    fn dbm_sum_bounds(powers in prop::collection::vec(-100.0f64..40.0, 1..10)) {
+        let s = dbm_sum(&powers);
+        let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s >= max - 1e-9);
+        prop_assert!(s <= max + 10.0 * (powers.len() as f64).log10() + 1e-9);
+    }
+
+    /// CQI selection is monotone: more SINR never selects a slower CQI.
+    #[test]
+    fn cqi_selection_monotone(a in -20.0f64..40.0, b in -20.0f64..40.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(efficiency_at(hi) >= efficiency_at(lo));
+        if let (Some(e_lo), Some(e_hi)) = (select_cqi(lo), select_cqi(hi)) {
+            prop_assert!(e_hi.cqi >= e_lo.cqi);
+        }
+    }
+
+    /// WiFi rate selection is monotone in SNR too.
+    #[test]
+    fn wifi_rate_monotone(a in -5.0f64..40.0, b in -5.0f64..40.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(phy_rate_bps(hi) >= phy_rate_bps(lo));
+    }
+
+    /// BLER is a proper probability, monotone in SINR.
+    #[test]
+    fn bler_is_probability(snr in -40.0f64..60.0, thr in -10.0f64..25.0, slope in 0.1f64..3.0) {
+        let b = bler(snr, thr, slope);
+        prop_assert!((0.0..=1.0).contains(&b));
+        let b_higher = bler(snr + 1.0, thr, slope);
+        prop_assert!(b_higher <= b + 1e-12);
+    }
+
+    /// HARQ delivery probability and residual BLER always partition unity,
+    /// and chase combining never does worse than plain ARQ.
+    #[test]
+    fn harq_invariants(snr in -15.0f64..30.0, cqi_idx in 0usize..15, max_tx in 1u8..8) {
+        let cqi = &CQI_TABLE[cqi_idx];
+        let chase = HarqProcessModel::new(HarqConfig {
+            max_transmissions: max_tx,
+            bler_slope_db: 0.6,
+            combining: Combining::Chase,
+        });
+        let plain = HarqProcessModel::new(HarqConfig {
+            max_transmissions: max_tx,
+            bler_slope_db: 0.6,
+            combining: Combining::None,
+        });
+        let sc = chase.stats(snr, cqi);
+        let sp = plain.stats(snr, cqi);
+        prop_assert!((sc.delivery_prob + sc.residual_bler - 1.0).abs() < 1e-9);
+        prop_assert!(sc.expected_transmissions >= 1.0 - 1e-9);
+        prop_assert!(sc.expected_transmissions <= max_tx as f64 + 1e-9);
+        prop_assert!(sc.delivery_prob + 1e-12 >= sp.delivery_prob);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&sc.efficiency));
+    }
+
+    /// More HARQ attempts never reduce delivery probability.
+    #[test]
+    fn more_attempts_never_hurt_delivery(snr in -15.0f64..30.0, cqi_idx in 0usize..15) {
+        let cqi = &CQI_TABLE[cqi_idx];
+        let mut prev = 0.0;
+        for max_tx in 1..=6u8 {
+            let m = HarqProcessModel::new(HarqConfig {
+                max_transmissions: max_tx,
+                ..HarqConfig::default()
+            });
+            let s = m.stats(snr, cqi);
+            prop_assert!(s.delivery_prob + 1e-12 >= prev);
+            prev = s.delivery_prob;
+        }
+    }
+}

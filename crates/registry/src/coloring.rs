@@ -1,0 +1,165 @@
+//! Interference-aware channel assignment, WiFi-mesh style.
+//!
+//! The paper's related work (§6) contrasts dLTE with state-of-the-art WiFi
+//! meshes that "cooperatively and heuristically assign channels... to
+//! minimize AP interference" \[42\]. This module implements that baseline —
+//! greedy conflict-minimizing graph coloring over a measured interference
+//! graph — so the registry's database-driven assignment can be compared
+//! against it on equal terms.
+//!
+//! The structural difference the comparison surfaces: the mesh heuristic
+//! only knows about interference it can *measure* (RF-visible neighbors),
+//! while the registry knows every licensed transmitter — including hidden
+//! ones — from geometry. On hidden-terminal topologies the mesh colors an
+//! incomplete graph and collides anyway; the registry does not (E6).
+
+use crate::geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// One AP to color.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ApSite {
+    pub location: Point,
+    /// Radius within which this AP interferes with co-channel peers, km.
+    pub contour_km: f64,
+}
+
+/// The interference graph: `edges[i]` lists the APs that AP `i` conflicts
+/// with when co-channel.
+pub fn interference_graph(aps: &[ApSite]) -> Vec<Vec<usize>> {
+    let n = aps.len();
+    let mut edges = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = aps[i].location.distance_km(aps[j].location);
+            if d < aps[i].contour_km + aps[j].contour_km {
+                edges[i].push(j);
+                edges[j].push(i);
+            }
+        }
+    }
+    edges
+}
+
+/// A *measured* interference graph: like [`interference_graph`] but each
+/// edge survives only if the pair can actually hear each other
+/// (`visible(i, j)`), modeling sensing-driven mesh heuristics that cannot
+/// see hidden interferers.
+pub fn measured_graph(
+    aps: &[ApSite],
+    visible: impl Fn(usize, usize) -> bool,
+) -> Vec<Vec<usize>> {
+    let mut g = interference_graph(aps);
+    for (i, nbrs) in g.iter_mut().enumerate() {
+        nbrs.retain(|&j| visible(i, j));
+    }
+    g
+}
+
+/// Greedy conflict-minimizing coloring: APs in descending degree order each
+/// take the channel with the fewest conflicts among already-colored
+/// neighbors (ties to the lowest channel). This is the classic
+/// interference-aware mesh heuristic.
+pub fn greedy_coloring(graph: &[Vec<usize>], n_channels: u32) -> Vec<u32> {
+    let n = graph.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(graph[i].len()));
+    let mut color = vec![u32::MAX; n];
+    for &i in &order {
+        let mut conflicts = vec![0u32; n_channels as usize];
+        for &j in &graph[i] {
+            if color[j] != u32::MAX {
+                conflicts[color[j] as usize] += 1;
+            }
+        }
+        let best = (0..n_channels)
+            .min_by_key(|&c| conflicts[c as usize])
+            .expect("at least one channel");
+        color[i] = best;
+    }
+    color
+}
+
+/// Count the co-channel conflicts a coloring leaves in the *true*
+/// interference graph (each conflicting pair counted once).
+pub fn residual_conflicts(true_graph: &[Vec<usize>], colors: &[u32]) -> usize {
+    let mut count = 0;
+    for (i, nbrs) in true_graph.iter().enumerate() {
+        for &j in nbrs {
+            if j > i && colors[i] == colors[j] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing_km: f64, contour_km: f64) -> Vec<ApSite> {
+        (0..n)
+            .map(|i| ApSite {
+                location: Point::new(i as f64 * spacing_km, 0.0),
+                contour_km,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn graph_edges_from_geometry() {
+        // Spacing 5 km, contours 10+10 → everyone within 20 km conflicts.
+        let aps = line(5, 5.0, 10.0);
+        let g = interference_graph(&aps);
+        // AP0 conflicts with APs at 5, 10, 15 km (not 20).
+        assert_eq!(g[0], vec![1, 2, 3]);
+        // Middle AP sees both directions.
+        assert_eq!(g[2].len(), 4);
+    }
+
+    #[test]
+    fn coloring_separates_neighbors_when_channels_suffice() {
+        let aps = line(4, 15.0, 10.0); // chain: i conflicts with i±1 only
+        let g = interference_graph(&aps);
+        let colors = greedy_coloring(&g, 2);
+        assert_eq!(residual_conflicts(&g, &colors), 0, "2-colorable chain");
+    }
+
+    #[test]
+    fn coloring_minimizes_when_channels_insufficient() {
+        // 4 mutually conflicting APs, 2 channels: best possible is 2
+        // same-channel pairs.
+        let aps = line(4, 1.0, 10.0);
+        let g = interference_graph(&aps);
+        let colors = greedy_coloring(&g, 2);
+        assert_eq!(residual_conflicts(&g, &colors), 2);
+    }
+
+    #[test]
+    fn hidden_interferers_defeat_measured_coloring_but_not_the_registry() {
+        // Two APs in true conflict that cannot hear each other (terrain).
+        let aps = line(2, 15.0, 10.0);
+        let true_g = interference_graph(&aps);
+        assert_eq!(true_g[0], vec![1], "true conflict exists");
+        // The mesh heuristic colors the *measured* graph, which is empty.
+        let measured = measured_graph(&aps, |_, _| false);
+        let mesh_colors = greedy_coloring(&measured, 2);
+        assert!(
+            residual_conflicts(&true_g, &mesh_colors) >= 1,
+            "mesh coloring collides: both picked channel {}",
+            mesh_colors[0]
+        );
+        // The registry colors the true (geometric) graph.
+        let registry_colors = greedy_coloring(&true_g, 2);
+        assert_eq!(residual_conflicts(&true_g, &registry_colors), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = interference_graph(&[]);
+        assert!(g.is_empty());
+        assert!(greedy_coloring(&g, 3).is_empty());
+        assert_eq!(residual_conflicts(&g, &[]), 0);
+    }
+}

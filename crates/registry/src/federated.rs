@@ -1,0 +1,193 @@
+//! Geographically federated registries.
+//!
+//! §4.3: *"Different registry designs are also possible, such as a federated
+//! system similar to the DNS."* Zones own rectangular areas; each runs its
+//! own [`SpectrumRegistry`]. A grant goes to the zone containing the
+//! transmitter; a regional query fans out to every zone whose area the
+//! query circle touches, then merges. Cross-zone interference at borders is
+//! handled by having each zone's conflict check consult neighbor zones'
+//! border grants (exchanged on request, like zone transfers).
+
+use crate::geo::{Point, Rect};
+use crate::license::{GrantRequest, LicenseGrant};
+use crate::registry::{GrantDenied, SpectrumRegistry};
+use dlte_sim::SimTime;
+
+/// One zone: an area plus its registry.
+pub struct Zone {
+    pub name: String,
+    pub area: Rect,
+    pub registry: SpectrumRegistry,
+}
+
+/// The federation.
+pub struct FederatedRegistry {
+    zones: Vec<Zone>,
+    /// Cross-zone queries served (fan-out accounting for E11-style
+    /// overhead analysis).
+    pub fanout_queries: u64,
+}
+
+impl FederatedRegistry {
+    pub fn new(zones: Vec<Zone>) -> Self {
+        FederatedRegistry {
+            zones,
+            fanout_queries: 0,
+        }
+    }
+
+    fn zone_of(&self, p: Point) -> Option<usize> {
+        self.zones.iter().position(|z| z.area.contains(p))
+    }
+
+    /// Request a grant; routed to the owning zone, with a border check
+    /// against every other zone whose area the contour touches.
+    pub fn request(
+        &mut self,
+        req: GrantRequest,
+        now: SimTime,
+    ) -> Result<LicenseGrant, GrantDenied> {
+        let Some(owner) = self.zone_of(req.location) else {
+            return Err(GrantDenied::NoChannelAvailable);
+        };
+        // Border safety: collect conflicting channels in neighbor zones.
+        let mut forbidden: Vec<u32> = Vec::new();
+        for (i, z) in self.zones.iter().enumerate() {
+            if i == owner || !z.area.intersects_circle(req.location, req.contour_km) {
+                continue;
+            }
+            for g in z
+                .registry
+                .query_region(req.location, req.contour_km + 50.0, now)
+            {
+                if g.location.distance_km(req.location) < g.contour_km + req.contour_km {
+                    forbidden.push(g.channel);
+                }
+            }
+        }
+        let zone = &mut self.zones[owner];
+        match req.channel {
+            Some(c) if forbidden.contains(&c) => Err(GrantDenied::RequestedChannelTaken),
+            Some(_) => zone.registry.request(req, now),
+            None => {
+                // Let the owning zone assign, retrying past channels the
+                // neighbors forbid.
+                let plan = zone.registry.plan();
+                for c in 0..plan.n_channels {
+                    if forbidden.contains(&c) {
+                        continue;
+                    }
+                    let mut r = req;
+                    r.channel = Some(c);
+                    match zone.registry.request(r, now) {
+                        Ok(g) => return Ok(g),
+                        Err(GrantDenied::RequestedChannelTaken) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(GrantDenied::NoChannelAvailable)
+            }
+        }
+    }
+
+    /// Regional query across all intersecting zones.
+    pub fn query_region(
+        &mut self,
+        center: Point,
+        radius_km: f64,
+        now: SimTime,
+    ) -> Vec<LicenseGrant> {
+        let mut out = Vec::new();
+        for z in &self.zones {
+            if z.area.intersects_circle(center, radius_km) {
+                self.fanout_queries += 1;
+                out.extend(z.registry.query_region(center, radius_km, now));
+            }
+        }
+        out.sort_by_key(|g| g.id);
+        out
+    }
+
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::license::ChannelPlan;
+    use dlte_phy::band::Band;
+    use dlte_sim::SimDuration;
+
+    fn two_zone_federation() -> FederatedRegistry {
+        let plan = ChannelPlan::for_band(Band::band5(), 10.0);
+        FederatedRegistry::new(vec![
+            Zone {
+                name: "west".into(),
+                area: Rect::new(Point::new(-100.0, -100.0), Point::new(0.0, 100.0)),
+                registry: SpectrumRegistry::new(plan, 55.0),
+            },
+            Zone {
+                name: "east".into(),
+                area: Rect::new(Point::new(0.0001, -100.0), Point::new(100.0, 100.0)),
+                registry: SpectrumRegistry::new(plan, 55.0),
+            },
+        ])
+    }
+
+    fn req(x: f64, channel: Option<u32>) -> GrantRequest {
+        GrantRequest {
+            operator: 1,
+            location: Point::new(x, 0.0),
+            channel,
+            max_eirp_dbm: 50.0,
+            contour_km: 10.0,
+            lease: SimDuration::from_secs(3600),
+        }
+    }
+
+    #[test]
+    fn grants_route_to_owning_zone() {
+        let mut f = two_zone_federation();
+        f.request(req(-50.0, None), SimTime::ZERO).unwrap();
+        f.request(req(50.0, None), SimTime::ZERO).unwrap();
+        assert_eq!(f.zones()[0].registry.active_count(SimTime::ZERO), 1);
+        assert_eq!(f.zones()[1].registry.active_count(SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn outside_all_zones_is_denied() {
+        let mut f = two_zone_federation();
+        assert!(f.request(req(500.0, None), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn border_conflicts_respected_across_zones() {
+        let mut f = two_zone_federation();
+        // Grant on the west side of the border, channel 0.
+        let g1 = f.request(req(-3.0, Some(0)), SimTime::ZERO).unwrap();
+        assert_eq!(g1.channel, 0);
+        // A grant just east of the border overlaps it; auto-assignment must
+        // avoid channel 0 even though the zones are different.
+        let g2 = f.request(req(3.0, None), SimTime::ZERO).unwrap();
+        assert_ne!(g2.channel, 0, "border coordination failed");
+        // Explicitly requesting the conflicting channel is refused.
+        let e = f.request(req(4.0, Some(0)), SimTime::ZERO).unwrap_err();
+        assert_eq!(e, GrantDenied::RequestedChannelTaken);
+    }
+
+    #[test]
+    fn regional_query_merges_zones() {
+        let mut f = two_zone_federation();
+        f.request(req(-3.0, Some(0)), SimTime::ZERO).unwrap();
+        f.request(req(3.0, Some(1)), SimTime::ZERO).unwrap();
+        let all = f.query_region(Point::new(0.0, 0.0), 10.0, SimTime::ZERO);
+        assert_eq!(all.len(), 2, "both sides of the border visible");
+        assert!(f.fanout_queries >= 2, "query fanned out to both zones");
+        // A query far inside one zone touches only it.
+        let before = f.fanout_queries;
+        f.query_region(Point::new(-90.0, 0.0), 5.0, SimTime::ZERO);
+        assert_eq!(f.fanout_queries, before + 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Planar geography.
+//!
+//! Rural deployment regions are tens of kilometers across; a flat local
+//! tangent plane in kilometer units is accurate to well under the precision
+//! of any propagation model, and keeps every distance computation exact and
+//! fast.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the local plane, kilometers.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x_km: f64,
+    pub y_km: f64,
+}
+
+impl Point {
+    pub const fn new(x_km: f64, y_km: f64) -> Point {
+        Point { x_km, y_km }
+    }
+
+    pub const ORIGIN: Point = Point { x_km: 0.0, y_km: 0.0 };
+
+    /// Euclidean distance, km.
+    pub fn distance_km(&self, other: Point) -> f64 {
+        let dx = self.x_km - other.x_km;
+        let dy = self.y_km - other.y_km;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle (zone areas in the federated registry).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    pub fn new(min: Point, max: Point) -> Rect {
+        assert!(min.x_km <= max.x_km && min.y_km <= max.y_km, "degenerate rect");
+        Rect { min, max }
+    }
+
+    pub fn contains(&self, p: Point) -> bool {
+        (self.min.x_km..=self.max.x_km).contains(&p.x_km)
+            && (self.min.y_km..=self.max.y_km).contains(&p.y_km)
+    }
+
+    /// True if a circle (center, radius) intersects this rectangle.
+    pub fn intersects_circle(&self, center: Point, radius_km: f64) -> bool {
+        let cx = center.x_km.clamp(self.min.x_km, self.max.x_km);
+        let cy = center.y_km.clamp(self.min.y_km, self.max.y_km);
+        Point::new(cx, cy).distance_km(center) <= radius_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance_km(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_km(a), 0.0);
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(r.contains(Point::new(0.0, 10.0)), "boundary inclusive");
+        assert!(!r.contains(Point::new(-0.1, 5.0)));
+    }
+
+    #[test]
+    fn circle_intersection() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert!(r.intersects_circle(Point::new(5.0, 5.0), 1.0), "inside");
+        assert!(r.intersects_circle(Point::new(12.0, 5.0), 3.0), "overlaps edge");
+        assert!(!r.intersects_circle(Point::new(15.0, 5.0), 3.0), "clear miss");
+        // Corner case: circle near a corner.
+        assert!(r.intersects_circle(Point::new(11.0, 11.0), 1.5));
+        assert!(!r.intersects_circle(Point::new(11.0, 11.0), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rect")]
+    fn degenerate_rect_panics() {
+        Rect::new(Point::new(5.0, 5.0), Point::new(0.0, 0.0));
+    }
+}

@@ -1,0 +1,391 @@
+//! The SAS-style automated registry.
+//!
+//! Grants are checked against every active co-channel grant's protection
+//! contour; when the requested channel is taken the registry scans the
+//! channel plan for a free one (automated frequency coordination, as a CBRS
+//! SAS does). Expired grants lapse automatically. The registry is *open*:
+//! any operator who conforms to the protocol gets a grant if physics allows
+//! one — the property Table 1's "open core + licensed radio" quadrant
+//! requires.
+
+use crate::license::{ChannelPlan, GrantId, GrantRequest, LicenseGrant};
+use crate::geo::Point;
+use dlte_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Spectrum sharing policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum GrantPolicy {
+    /// Deny grants whose contour overlaps an active co-channel grant
+    /// (classic exclusive licensing).
+    Exclusive,
+    /// Grant anyway when no clean channel exists — overlapping co-channel
+    /// operators are expected to coordinate over X2 (the dLTE §4.3 model;
+    /// "new APs are free to join at any time, and coordinate with existing
+    /// nodes").
+    SharedWithCoordination,
+}
+
+/// Why a grant was refused.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum GrantDenied {
+    /// Every channel in the plan conflicts with an active grant.
+    NoChannelAvailable,
+    /// The specifically requested channel conflicts (when auto-assignment
+    /// was declined).
+    RequestedChannelTaken,
+    /// EIRP above the band's regulatory limit.
+    EirpTooHigh { limit_dbm: f64 },
+}
+
+/// The registry.
+#[derive(Clone, Debug)]
+pub struct SpectrumRegistry {
+    plan: ChannelPlan,
+    policy: GrantPolicy,
+    /// Regulatory EIRP cap for the band.
+    max_eirp_dbm: f64,
+    grants: HashMap<GrantId, LicenseGrant>,
+    next_id: GrantId,
+    /// Statistics for the experiment harness.
+    pub requests: u64,
+    pub denials: u64,
+}
+
+impl SpectrumRegistry {
+    /// An open registry with the dLTE sharing policy.
+    pub fn new(plan: ChannelPlan, max_eirp_dbm: f64) -> Self {
+        Self::with_policy(plan, max_eirp_dbm, GrantPolicy::SharedWithCoordination)
+    }
+
+    /// A registry with classic exclusive licensing.
+    pub fn exclusive(plan: ChannelPlan, max_eirp_dbm: f64) -> Self {
+        Self::with_policy(plan, max_eirp_dbm, GrantPolicy::Exclusive)
+    }
+
+    pub fn with_policy(plan: ChannelPlan, max_eirp_dbm: f64, policy: GrantPolicy) -> Self {
+        SpectrumRegistry {
+            plan,
+            policy,
+            max_eirp_dbm,
+            grants: HashMap::new(),
+            next_id: 1,
+            requests: 0,
+            denials: 0,
+        }
+    }
+
+    pub fn policy(&self) -> GrantPolicy {
+        self.policy
+    }
+
+    pub fn plan(&self) -> ChannelPlan {
+        self.plan
+    }
+
+    /// Purge expired grants.
+    pub fn expire(&mut self, now: SimTime) {
+        self.grants.retain(|_, g| g.is_active(now));
+    }
+
+    /// Number of active grants on `channel` whose contours overlap a grant
+    /// at `location`/`contour`.
+    fn channel_conflict_count(
+        &self,
+        channel: u32,
+        location: Point,
+        contour_km: f64,
+        now: SimTime,
+    ) -> usize {
+        self.grants
+            .values()
+            .filter(|g| {
+                g.is_active(now)
+                    && g.channel == channel
+                    && g.location.distance_km(location) < g.contour_km + contour_km
+            })
+            .count()
+    }
+
+    fn channel_conflicts(
+        &self,
+        channel: u32,
+        location: Point,
+        contour_km: f64,
+        now: SimTime,
+    ) -> bool {
+        self.channel_conflict_count(channel, location, contour_km, now) > 0
+    }
+
+    /// Request a grant at time `now`.
+    pub fn request(
+        &mut self,
+        req: GrantRequest,
+        now: SimTime,
+    ) -> Result<LicenseGrant, GrantDenied> {
+        self.requests += 1;
+        if req.max_eirp_dbm > self.max_eirp_dbm {
+            self.denials += 1;
+            return Err(GrantDenied::EirpTooHigh {
+                limit_dbm: self.max_eirp_dbm,
+            });
+        }
+        let channel = match req.channel {
+            Some(c) => {
+                if self.policy == GrantPolicy::Exclusive
+                    && self.channel_conflicts(c, req.location, req.contour_km, now)
+                {
+                    self.denials += 1;
+                    return Err(GrantDenied::RequestedChannelTaken);
+                }
+                c
+            }
+            None => {
+                // Automated assignment: channel with the fewest co-channel
+                // conflicts (ties to the lowest index).
+                let best = (0..self.plan.n_channels)
+                    .map(|c| {
+                        (
+                            self.channel_conflict_count(c, req.location, req.contour_km, now),
+                            c,
+                        )
+                    })
+                    .min()
+                    .expect("plan has channels");
+                if best.0 > 0 && self.policy == GrantPolicy::Exclusive {
+                    self.denials += 1;
+                    return Err(GrantDenied::NoChannelAvailable);
+                }
+                best.1
+            }
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let grant = LicenseGrant {
+            id,
+            operator: req.operator,
+            location: req.location,
+            channel,
+            max_eirp_dbm: req.max_eirp_dbm,
+            contour_km: req.contour_km,
+            granted_at: now,
+            expires_at: now + req.lease,
+        };
+        self.grants.insert(id, grant);
+        Ok(grant)
+    }
+
+    /// Renew a grant's lease. Returns the updated grant.
+    pub fn renew(
+        &mut self,
+        id: GrantId,
+        lease: dlte_sim::SimDuration,
+        now: SimTime,
+    ) -> Option<LicenseGrant> {
+        let g = self.grants.get_mut(&id)?;
+        if !g.is_active(now) {
+            return None;
+        }
+        g.expires_at = now + lease;
+        Some(*g)
+    }
+
+    /// Relinquish a grant.
+    pub fn revoke(&mut self, id: GrantId) -> bool {
+        self.grants.remove(&id).is_some()
+    }
+
+    /// All active grants within `radius_km` of `center` — peer discovery.
+    pub fn query_region(&self, center: Point, radius_km: f64, now: SimTime) -> Vec<LicenseGrant> {
+        let mut v: Vec<LicenseGrant> = self
+            .grants
+            .values()
+            .filter(|g| g.is_active(now) && g.location.distance_km(center) <= radius_km)
+            .copied()
+            .collect();
+        v.sort_by_key(|g| g.id);
+        v
+    }
+
+    /// Active co-channel grants whose contours overlap `grant`'s — the set
+    /// of peers this AP must coordinate with over X2.
+    pub fn contention_domain(&self, grant: &LicenseGrant, now: SimTime) -> Vec<LicenseGrant> {
+        let mut v: Vec<LicenseGrant> = self
+            .grants
+            .values()
+            .filter(|g| g.id != grant.id && g.is_active(now) && g.conflicts_with(grant))
+            .copied()
+            .collect();
+        v.sort_by_key(|g| g.id);
+        v
+    }
+
+    pub fn active_count(&self, now: SimTime) -> usize {
+        self.grants.values().filter(|g| g.is_active(now)).count()
+    }
+
+    pub fn grant(&self, id: GrantId) -> Option<&LicenseGrant> {
+        self.grants.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_phy::band::Band;
+    use dlte_sim::SimDuration;
+
+    fn registry() -> SpectrumRegistry {
+        // Band 5, two 10 MHz channels, 55 dBm cap, exclusive policy (the
+        // policy most tests exercise; shared policy tested separately).
+        SpectrumRegistry::exclusive(ChannelPlan::for_band(Band::band5(), 10.0), 55.0)
+    }
+
+    fn shared_registry() -> SpectrumRegistry {
+        SpectrumRegistry::new(ChannelPlan::for_band(Band::band5(), 10.0), 55.0)
+    }
+
+    fn req(x_km: f64, channel: Option<u32>) -> GrantRequest {
+        GrantRequest {
+            operator: 1,
+            location: Point::new(x_km, 0.0),
+            channel,
+            max_eirp_dbm: 50.0,
+            contour_km: 10.0,
+            lease: SimDuration::from_secs(3600),
+        }
+    }
+
+    #[test]
+    fn first_grant_succeeds_on_first_channel() {
+        let mut r = registry();
+        let g = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        assert_eq!(g.channel, 0);
+        assert_eq!(r.active_count(SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn overlapping_neighbor_gets_other_channel() {
+        let mut r = registry();
+        let g1 = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        let g2 = r.request(req(5.0, None), SimTime::ZERO).unwrap();
+        assert_ne!(g1.channel, g2.channel, "auto-assignment separates them");
+        // Third overlapping AP: both channels taken → denied.
+        let e = r.request(req(2.0, None), SimTime::ZERO).unwrap_err();
+        assert_eq!(e, GrantDenied::NoChannelAvailable);
+        assert_eq!(r.denials, 1);
+    }
+
+    #[test]
+    fn distant_aps_reuse_channels() {
+        let mut r = registry();
+        let g1 = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        let g2 = r.request(req(50.0, None), SimTime::ZERO).unwrap();
+        assert_eq!(g1.channel, g2.channel, "spatial reuse");
+        assert!(r.contention_domain(&g1, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn explicit_channel_respected_or_denied() {
+        let mut r = registry();
+        r.request(req(0.0, Some(1)), SimTime::ZERO).unwrap();
+        let e = r.request(req(5.0, Some(1)), SimTime::ZERO).unwrap_err();
+        assert_eq!(e, GrantDenied::RequestedChannelTaken);
+        // Channel 0 remains free.
+        assert!(r.request(req(5.0, Some(0)), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn eirp_cap_enforced() {
+        let mut r = registry();
+        let mut q = req(0.0, None);
+        q.max_eirp_dbm = 60.0;
+        assert_eq!(
+            r.request(q, SimTime::ZERO),
+            Err(GrantDenied::EirpTooHigh { limit_dbm: 55.0 })
+        );
+    }
+
+    #[test]
+    fn grants_expire_and_spectrum_returns() {
+        let mut r = registry();
+        let mut q = req(0.0, None);
+        q.lease = SimDuration::from_secs(10);
+        r.request(q, SimTime::ZERO).unwrap();
+        // Same spot, channel 0: denied while active…
+        assert!(r
+            .request(req(0.0, Some(0)), SimTime::from_secs(5))
+            .is_err());
+        // …free after expiry.
+        assert!(r
+            .request(req(0.0, Some(0)), SimTime::from_secs(11))
+            .is_ok());
+        r.expire(SimTime::from_secs(11));
+        assert_eq!(r.active_count(SimTime::from_secs(11)), 1);
+    }
+
+    #[test]
+    fn renew_extends_only_active_grants() {
+        let mut r = registry();
+        let mut q = req(0.0, None);
+        q.lease = SimDuration::from_secs(10);
+        let g = r.request(q, SimTime::ZERO).unwrap();
+        let renewed = r
+            .renew(g.id, SimDuration::from_secs(100), SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!(renewed.expires_at, SimTime::from_secs(105));
+        // A lapsed grant cannot be renewed.
+        assert!(r
+            .renew(g.id, SimDuration::from_secs(10), SimTime::from_secs(200))
+            .is_none());
+        assert!(r.renew(999, SimDuration::from_secs(1), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn region_query_finds_peers_the_dlte_discovery_primitive() {
+        let mut r = registry();
+        let _a = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        let _b = r.request(req(8.0, None), SimTime::ZERO).unwrap();
+        let _c = r.request(req(100.0, None), SimTime::ZERO).unwrap();
+        let nearby = r.query_region(Point::new(0.0, 0.0), 20.0, SimTime::ZERO);
+        assert_eq!(nearby.len(), 2, "a and b, not the far one");
+    }
+
+    #[test]
+    fn shared_policy_admits_overlap_for_coordination() {
+        // The dLTE property: a third AP in a saturated area is not turned
+        // away — it is granted the least-loaded channel and told (via its
+        // contention domain) whom to coordinate with.
+        let mut r = shared_registry();
+        let _a = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        let _b = r.request(req(5.0, None), SimTime::ZERO).unwrap();
+        let c = r.request(req(2.0, None), SimTime::ZERO).unwrap();
+        let dom = r.contention_domain(&c, SimTime::ZERO);
+        assert_eq!(dom.len(), 1, "must coordinate with one co-channel peer");
+        assert_eq!(r.denials, 0);
+    }
+
+    #[test]
+    fn contention_domain_is_cochannel_overlap_only() {
+        let mut r = shared_registry();
+        let a = r.request(req(0.0, Some(0)), SimTime::ZERO).unwrap();
+        let _b = r.request(req(5.0, Some(1)), SimTime::ZERO).unwrap();
+        // A third AP far enough from A to co-exist on 0 but inside
+        // discovery range.
+        let c = r.request(req(15.0, Some(0)), SimTime::ZERO).unwrap();
+        // a (contour 10) and c (contour 10) at distance 15 < 20: conflict.
+        let dom = r.contention_domain(&a, SimTime::ZERO);
+        assert_eq!(dom.len(), 1);
+        assert_eq!(dom[0].id, c.id);
+    }
+
+    #[test]
+    fn revoke_frees_spectrum() {
+        let mut r = registry();
+        let g = r.request(req(0.0, Some(0)), SimTime::ZERO).unwrap();
+        assert!(r.revoke(g.id));
+        assert!(!r.revoke(g.id));
+        assert!(r.request(req(0.0, Some(0)), SimTime::ZERO).is_ok());
+    }
+}

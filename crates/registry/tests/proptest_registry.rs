@@ -1,0 +1,162 @@
+//! Property-based tests for registry invariants.
+
+use dlte_phy::band::Band;
+use dlte_registry::registry::GrantPolicy;
+use dlte_registry::replicated::{Entry, ReplicatedLog};
+use dlte_registry::{ChannelPlan, GrantRequest, LicenseGrant, Point, SpectrumRegistry};
+use dlte_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = GrantRequest> {
+    (
+        0u64..20,
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        prop_oneof![Just(None), (0u32..2).prop_map(Some)],
+        1.0f64..20.0,
+    )
+        .prop_map(|(operator, x, y, channel, contour)| GrantRequest {
+            operator,
+            location: Point::new(x, y),
+            channel,
+            max_eirp_dbm: 50.0,
+            contour_km: contour,
+            lease: SimDuration::from_secs(3600),
+        })
+}
+
+proptest! {
+    /// Under the exclusive policy, no two *live* grants ever conflict,
+    /// whatever sequence of requests arrives.
+    #[test]
+    fn exclusive_registry_never_holds_conflicts(
+        reqs in prop::collection::vec(arb_request(), 1..40),
+    ) {
+        let plan = ChannelPlan::for_band(Band::band5(), 10.0);
+        let mut reg = SpectrumRegistry::exclusive(plan, 55.0);
+        let now = SimTime::ZERO;
+        let mut grants: Vec<LicenseGrant> = Vec::new();
+        for r in reqs {
+            if let Ok(g) = reg.request(r, now) {
+                grants.push(g);
+            }
+        }
+        for i in 0..grants.len() {
+            for j in (i + 1)..grants.len() {
+                prop_assert!(
+                    !grants[i].conflicts_with(&grants[j]),
+                    "grants {} and {} conflict",
+                    grants[i].id,
+                    grants[j].id
+                );
+            }
+        }
+    }
+
+    /// Under the shared policy, everyone conforming is admitted, and every
+    /// conflict the registry admits appears in *both* parties' contention
+    /// domains (symmetry — the property X2 peering depends on).
+    #[test]
+    fn shared_registry_contention_domains_symmetric(
+        reqs in prop::collection::vec(arb_request(), 1..30),
+    ) {
+        let plan = ChannelPlan::for_band(Band::band5(), 10.0);
+        let mut reg =
+            SpectrumRegistry::with_policy(plan, 55.0, GrantPolicy::SharedWithCoordination);
+        let now = SimTime::ZERO;
+        let mut grants = Vec::new();
+        for r in reqs {
+            let g = reg.request(r, now);
+            prop_assert!(g.is_ok(), "open registry must admit conforming requests");
+            grants.push(g.unwrap());
+        }
+        for g in &grants {
+            for peer in reg.contention_domain(g, now) {
+                let back = reg.contention_domain(&peer, now);
+                prop_assert!(
+                    back.iter().any(|x| x.id == g.id),
+                    "asymmetric contention: {} sees {}, not vice versa",
+                    g.id,
+                    peer.id
+                );
+            }
+        }
+    }
+
+    /// Region queries return exactly the active grants within the radius.
+    #[test]
+    fn region_query_exact(
+        reqs in prop::collection::vec(arb_request(), 1..30),
+        cx in -50.0f64..50.0,
+        cy in -50.0f64..50.0,
+        radius in 1.0f64..80.0,
+    ) {
+        let plan = ChannelPlan::for_band(Band::band5(), 10.0);
+        let mut reg = SpectrumRegistry::new(plan, 55.0);
+        let now = SimTime::ZERO;
+        let mut all = Vec::new();
+        for r in reqs {
+            all.push(reg.request(r, now).unwrap());
+        }
+        let center = Point::new(cx, cy);
+        let got = reg.query_region(center, radius, now);
+        let expect: Vec<u64> = all
+            .iter()
+            .filter(|g| g.location.distance_km(center) <= radius)
+            .map(|g| g.id)
+            .collect();
+        let got_ids: Vec<u64> = got.iter().map(|g| g.id).collect();
+        prop_assert_eq!(got_ids, expect);
+    }
+
+    /// The replicated log verifies after any append sequence, derives a
+    /// table consistent with naive replay, and replicas converge by sync.
+    #[test]
+    fn replicated_log_invariants(
+        entries in prop::collection::vec((0u64..10, 0u64..5, any::<bool>()), 1..30),
+        split in 0usize..30,
+    ) {
+        let mk = |id: u64, op: u64| LicenseGrant {
+            id,
+            operator: op,
+            location: Point::new(id as f64, 0.0),
+            channel: 0,
+            max_eirp_dbm: 50.0,
+            contour_km: 10.0,
+            granted_at: SimTime::ZERO,
+            expires_at: SimTime::ZERO + SimDuration::from_secs(3600),
+        };
+        let mut log = ReplicatedLog::new();
+        let mut naive: Vec<LicenseGrant> = Vec::new();
+        for &(id, op, is_grant) in &entries {
+            if is_grant {
+                log.append(Entry::Grant(mk(id, op)));
+                naive.push(mk(id, op));
+            } else {
+                log.append(Entry::Revoke { id, by: op });
+                naive.retain(|g| !(g.id == id && g.operator == op));
+            }
+        }
+        prop_assert!(log.verify());
+        let table = log.grant_table(SimTime::from_secs(1));
+        prop_assert_eq!(table.len(), naive.len());
+        // Replica that saw a prefix converges to the full log.
+        let split = split.min(entries.len());
+        let mut replica = ReplicatedLog::new();
+        for &(id, op, is_grant) in &entries[..split] {
+            if is_grant {
+                replica.append(Entry::Grant(mk(id, op)));
+            } else {
+                replica.append(Entry::Revoke { id, by: op });
+            }
+        }
+        if split < entries.len() {
+            prop_assert!(replica.sync_from(&log), "prefix replica must adopt");
+        }
+        prop_assert_eq!(replica.tip_hash(), log.tip_hash());
+        prop_assert_eq!(
+            replica.grant_table(SimTime::from_secs(1)).len(),
+            table.len()
+        );
+    }
+}

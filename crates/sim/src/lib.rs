@@ -1,0 +1,30 @@
+//! # dlte-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the substrate every other `dlte-*` crate runs on. It provides:
+//!
+//! * a simulated clock with nanosecond resolution ([`SimTime`], [`SimDuration`]),
+//! * a deterministic event queue and driver loop ([`EventQueue`], [`Simulation`],
+//!   [`World`]),
+//! * a seeded, forkable random number source ([`SimRng`]) so that every
+//!   experiment in the dLTE reproduction is exactly repeatable from its seed,
+//! * statistics collectors used by the experiment harness ([`stats`]).
+//!
+//! ## Design notes
+//!
+//! The engine is intentionally single-threaded and synchronous. The paper's
+//! claims are about *architecture* (where packets flow, who coordinates
+//! spectrum), not about multicore performance of the simulator itself; a
+//! deterministic engine makes every experiment reproducible bit-for-bit and
+//! keeps the tests honest. Events scheduled for the same instant are delivered
+//! in scheduling order (FIFO tie-break on a monotonically increasing sequence
+//! number), which removes the classic source of heisen-results in event-driven
+//! simulators.
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{EventQueue, Simulation, World};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

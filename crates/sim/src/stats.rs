@@ -1,0 +1,508 @@
+//! Statistics collectors for the experiment harness.
+//!
+//! Everything here is exact rather than approximate: experiments in this
+//! repository are small enough that keeping raw samples (for percentiles) is
+//! cheaper than the complexity of sketches.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Running mean / variance via Welford's online algorithm.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact sample collector with percentile queries.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    pub fn new() -> Self {
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Record a duration in milliseconds (the unit the experiment tables use
+    /// for latency columns).
+    pub fn push_duration_ms(&mut self, d: SimDuration) {
+        self.push(d.as_nanos() as f64 / 1e6);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            f64::NAN
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// `q`-quantile in \[0,1\] by linear interpolation between order statistics.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.values[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.values[lo] * (1.0 - frac) + self.values[hi] * frac
+        }
+    }
+
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    pub fn min(&mut self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    pub fn max(&mut self) -> f64 {
+        self.quantile(1.0)
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Fixed-width histogram over a closed range; out-of-range values land in
+/// saturating edge bins so nothing is silently dropped.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            count: 0,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        let nbins = self.bins.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            nbins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * nbins as f64) as usize
+        };
+        self.bins[idx.min(nbins - 1)] += 1;
+        self.count += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Center of bin `i` (for plotting).
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+}
+
+/// Counts bytes over time and reports average throughput.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl ThroughputMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = Some(now);
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean throughput in bits/s over an explicit observation window.
+    pub fn bps_over(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        (self.bytes as f64 * 8.0) / window.as_secs_f64()
+    }
+
+    /// Mean throughput in bits/s between the first and last recorded sample.
+    /// Returns 0 with fewer than two samples.
+    pub fn bps(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(a), Some(b)) if b > a => self.bps_over(b - a),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Jain's fairness index over per-entity allocations.
+///
+/// Equals 1.0 when all allocations are equal, 1/n when one entity gets
+/// everything. Empty or all-zero input yields 1.0 (degenerate but fair).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sq_sum)
+}
+
+/// Exponentially weighted moving average.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` is the weight of the newest sample (0 < alpha <= 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Ewma { alpha, value: None }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            Some(v) => v + self.alpha * (x - v),
+            None => x,
+        });
+    }
+
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+/// A time series of (time, value) points with trapezoidal time-average.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point; time must be non-decreasing (debug-asserted).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            debug_assert!(t >= last, "TimeSeries points must be time-ordered");
+        }
+        self.points.push((t, v));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Time-weighted average treating the series as a step function (each
+    /// value holds until the next point). Returns NaN with < 2 points.
+    pub fn step_average(&self) -> f64 {
+        if self.points.len() < 2 {
+            return f64::NAN;
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            area += w[0].1 * dt;
+        }
+        let span = (self.points[self.points.len() - 1].0 - self.points[0].0).as_secs_f64();
+        if span == 0.0 {
+            f64::NAN
+        } else {
+            area / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.variance() - var).abs() < 1e-9);
+        assert_eq!(w.min(), 1.0);
+        assert_eq!(w.max(), 100.0);
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        // Merging into empty copies the source.
+        let mut e = Welford::new();
+        e.merge(&all);
+        assert_eq!(e.count(), all.count());
+    }
+
+    #[test]
+    fn empty_collectors_return_nan_not_panic() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.variance().is_nan());
+        let mut s = Samples::new();
+        assert!(s.mean().is_nan());
+        assert!(s.median().is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut s = Samples::new();
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            s.push(x);
+        }
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        // Quantile clamps out-of-range q.
+        assert_eq!(s.quantile(2.0), 4.0);
+    }
+
+    #[test]
+    fn histogram_edges_saturate() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-5.0);
+        h.push(15.0);
+        h.push(5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_known_values() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        // 2:1 split of two users → (3)^2 / (2*5) = 0.9
+        assert!((jain_index(&[2.0, 1.0]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_meter() {
+        let mut m = ThroughputMeter::new();
+        assert_eq!(m.bps(), 0.0);
+        m.record(SimTime::from_secs(0), 1000);
+        assert_eq!(m.bps(), 0.0, "single sample has no window");
+        m.record(SimTime::from_secs(1), 1000);
+        // 2000 bytes over 1 s = 16 kbit/s
+        assert!((m.bps() - 16_000.0).abs() < 1e-9);
+        assert!((m.bps_over(SimDuration::from_secs(2)) - 8_000.0).abs() < 1e-9);
+        assert_eq!(m.total_bytes(), 2000);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.get_or(7.0), 7.0);
+        e.push(10.0);
+        assert_eq!(e.get(), Some(10.0));
+        for _ in 0..50 {
+            e.push(0.0);
+        }
+        assert!(e.get().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_step_average() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0), 10.0);
+        ts.push(SimTime::from_secs(1), 20.0);
+        ts.push(SimTime::from_secs(3), 0.0);
+        // 10 for 1s + 20 for 2s over 3s = 50/3
+        assert!((ts.step_average() - 50.0 / 3.0).abs() < 1e-9);
+        let empty = TimeSeries::new();
+        assert!(empty.step_average().is_nan());
+    }
+}

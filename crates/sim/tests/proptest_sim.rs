@@ -1,0 +1,123 @@
+//! Property-based tests for the simulation engine's core invariants.
+
+use dlte_sim::stats::{jain_index, Samples, Welford};
+use dlte_sim::{EventQueue, SimDuration, SimTime, Simulation, World};
+use proptest::prelude::*;
+
+/// A world that just records firing times.
+struct Sink {
+    fired: Vec<SimTime>,
+}
+
+impl World for Sink {
+    type Event = ();
+    fn handle(&mut self, now: SimTime, _: (), _q: &mut EventQueue<()>) {
+        self.fired.push(now);
+    }
+}
+
+proptest! {
+    /// Events always fire in non-decreasing time order, whatever order they
+    /// were scheduled in.
+    #[test]
+    fn events_fire_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(Sink { fired: vec![] });
+        for &t in &times {
+            sim.queue_mut().schedule_at(SimTime::from_nanos(t), ());
+        }
+        sim.run_to_completion(10_000);
+        let fired = &sim.world().fired;
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// The horizon never lets an event fire strictly after it.
+    #[test]
+    fn horizon_is_respected(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        horizon in 0u64..1_000_000,
+    ) {
+        let mut sim = Simulation::new(Sink { fired: vec![] });
+        for &t in &times {
+            sim.queue_mut().schedule_at(SimTime::from_nanos(t), ());
+        }
+        sim.run_until(SimTime::from_nanos(horizon), 10_000);
+        let expected = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(sim.world().fired.len(), expected);
+    }
+
+    /// Canceled events never fire; everything else does.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..100_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sim = Simulation::new(Sink { fired: vec![] });
+        let mut keys = vec![];
+        for &t in &times {
+            keys.push(sim.queue_mut().schedule_at(SimTime::from_nanos(t), ()));
+        }
+        let mut live = 0;
+        for (i, key) in keys.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                sim.queue_mut().cancel(*key);
+            } else {
+                live += 1;
+            }
+        }
+        sim.run_to_completion(10_000);
+        prop_assert_eq!(sim.world().fired.len(), live);
+    }
+
+    /// SimTime round trips through seconds with sub-microsecond error.
+    #[test]
+    fn time_float_round_trip(s in 0.0f64..1.0e6) {
+        let t = SimTime::from_secs_f64(s);
+        prop_assert!((t.as_secs_f64() - s).abs() < 1e-6);
+    }
+
+    /// Duration arithmetic is consistent: (a + b) - b == a.
+    #[test]
+    fn duration_add_sub(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+    }
+
+    /// Welford mean/variance match naive computation on arbitrary data.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1.0e4f64..1.0e4, 1..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    }
+
+    /// Jain's index is always within [1/n, 1].
+    #[test]
+    fn jain_bounds(xs in prop::collection::vec(0.0f64..1.0e6, 1..100)) {
+        let j = jain_index(&xs);
+        let n = xs.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-12);
+        prop_assert!(j >= 1.0 / n - 1e-12);
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-1.0e5f64..1.0e5, 2..300)) {
+        let mut s = Samples::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let q25 = s.quantile(0.25);
+        let q50 = s.quantile(0.50);
+        let q75 = s.quantile(0.75);
+        prop_assert!(s.min() <= q25 && q25 <= q50 && q50 <= q75 && q75 <= s.max());
+    }
+}

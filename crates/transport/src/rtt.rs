@@ -1,0 +1,131 @@
+//! RTT estimation and retransmission timeout (RFC 6298 shape).
+
+use dlte_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Smoothed RTT estimator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    /// Lower bound on the computed RTO.
+    pub min_rto: SimDuration,
+    /// Upper bound (keeps pathological samples from freezing a flow).
+    pub max_rto: SimDuration,
+    /// Current backoff multiplier (doubles per timeout, resets on sample).
+    backoff: u32,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rto: SimDuration::from_millis(20),
+            max_rto: SimDuration::from_secs(10),
+            backoff: 0,
+        }
+    }
+}
+
+impl RttEstimator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one RTT sample (resets timeout backoff).
+    pub fn sample(&mut self, rtt: SimDuration) {
+        self.backoff = 0;
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298: alpha = 1/8, beta = 1/4, in integer nanoseconds.
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+    }
+
+    /// Current smoothed RTT (None before the first sample).
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Retransmission timeout: `srtt + 4·rttvar`, backed off exponentially,
+    /// clamped to `[min_rto, max_rto]`. Without samples, a conservative
+    /// initial 1 s (backed off).
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            Some(srtt) => srtt + self.rttvar * 4,
+            None => SimDuration::from_secs(1),
+        };
+        let backed = base * (1u64 << self.backoff.min(10));
+        backed.max(self.min_rto).min(self.max_rto)
+    }
+
+    /// Register a timeout (exponential backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(10);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut r = RttEstimator::new();
+        assert_eq!(r.srtt(), None);
+        r.sample(SimDuration::from_millis(100));
+        assert_eq!(r.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4×50 = 300 ms.
+        assert_eq!(r.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut r = RttEstimator::new();
+        for _ in 0..100 {
+            r.sample(SimDuration::from_millis(80));
+        }
+        let srtt = r.srtt().unwrap().as_millis();
+        assert!((79..=81).contains(&srtt), "{srtt}");
+        // Variance collapses → RTO approaches srtt (clamped by min).
+        assert!(r.rto() < SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_and_sample_resets() {
+        let mut r = RttEstimator::new();
+        r.sample(SimDuration::from_millis(50));
+        let base = r.rto();
+        r.on_timeout();
+        assert_eq!(r.rto(), base * 2);
+        r.on_timeout();
+        assert_eq!(r.rto(), base * 4);
+        r.sample(SimDuration::from_millis(50));
+        assert!(r.rto() <= base * 2, "backoff reset on fresh sample");
+    }
+
+    #[test]
+    fn rto_clamped() {
+        let mut r = RttEstimator::new();
+        r.sample(SimDuration::from_micros(1));
+        assert!(r.rto() >= r.min_rto);
+        for _ in 0..20 {
+            r.on_timeout();
+        }
+        assert!(r.rto() <= r.max_rto);
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let r = RttEstimator::new();
+        assert_eq!(r.rto(), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for transport invariants: reassembly under
+//! arbitrary reordering/duplication, FEC semantics, RTO bounds, and
+//! loss-free end-to-end agreement of the connection machines.
+
+use dlte_sim::{SimDuration, SimRng, SimTime};
+use dlte_transport::connection::{ClientConn, ServerConn, TransportConfig};
+use dlte_transport::fec::{recoverable, FecEncoder};
+use dlte_transport::rtt::RttEstimator;
+use dlte_transport::streams::StreamAssembler;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// Whatever order (and however duplicated) segments arrive in, the
+    /// assembler delivers each byte exactly once and ends fully drained.
+    #[test]
+    fn assembler_delivers_exactly_once(
+        n_segs in 1usize..40,
+        seed in 0u64..500,
+        dup_prob in 0.0f64..0.5,
+    ) {
+        let seg_len = 100u32;
+        let mut order: Vec<u64> = (0..n_segs as u64).collect();
+        let mut rng = SimRng::new(seed);
+        rng.shuffle(&mut order);
+        let mut a = StreamAssembler::new();
+        let mut delivered_total = 0u64;
+        for &i in &order {
+            delivered_total += a.insert(i * seg_len as u64, seg_len, false);
+            if rng.chance(dup_prob) {
+                // Duplicate delivers nothing new.
+                prop_assert_eq!(a.insert(i * seg_len as u64, seg_len, false), 0);
+            }
+        }
+        prop_assert_eq!(delivered_total, n_segs as u64 * seg_len as u64);
+        prop_assert_eq!(a.delivered(), delivered_total);
+        prop_assert_eq!(a.pending_segments(), 0, "fully drained");
+    }
+
+    /// Delivered count never decreases and never exceeds the contiguous
+    /// byte horizon.
+    #[test]
+    fn assembler_monotone(
+        inserts in prop::collection::vec((0u64..5_000, 1u32..300), 1..60),
+    ) {
+        let mut a = StreamAssembler::new();
+        let mut prev = 0;
+        for &(off, len) in &inserts {
+            a.insert(off, len, false);
+            prop_assert!(a.delivered() >= prev);
+            prev = a.delivered();
+        }
+    }
+
+    /// FEC encoder covers every data packet exactly once across groups.
+    #[test]
+    fn fec_groups_partition(k in 1u32..10, n in 1u64..100) {
+        let mut enc = FecEncoder::new(k);
+        let mut covered: Vec<u64> = Vec::new();
+        for pn in 0..n {
+            if let Some(group) = enc.on_data(pn) {
+                covered.extend(group);
+            }
+        }
+        if let Some(group) = enc.flush() {
+            covered.extend(group);
+        }
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
+    }
+
+    /// `recoverable` returns Some iff exactly one cover is missing.
+    #[test]
+    fn fec_recoverable_semantics(
+        covers in prop::collection::btree_set(0u64..50, 1..10),
+        received in prop::collection::btree_set(0u64..50, 0..50),
+    ) {
+        let covers: Vec<u64> = covers.into_iter().collect();
+        let received: BTreeSet<u64> = received;
+        let missing: Vec<u64> = covers
+            .iter()
+            .filter(|pn| !received.contains(pn))
+            .copied()
+            .collect();
+        let got = recoverable(&received, &covers);
+        match missing.len() {
+            1 => prop_assert_eq!(got, Some(missing[0])),
+            _ => prop_assert_eq!(got, None),
+        }
+    }
+
+    /// RTO stays within [min, max] under arbitrary sample/timeout
+    /// interleavings.
+    #[test]
+    fn rto_bounded(ops in prop::collection::vec((any::<bool>(), 1u64..2_000), 1..100)) {
+        let mut r = RttEstimator::new();
+        for &(is_sample, ms) in &ops {
+            if is_sample {
+                r.sample(SimDuration::from_millis(ms));
+            } else {
+                r.on_timeout();
+            }
+            prop_assert!(r.rto() >= r.min_rto);
+            prop_assert!(r.rto() <= r.max_rto);
+        }
+    }
+
+    /// Over a perfect channel, client and server agree on the byte count
+    /// for arbitrary multi-stream workloads, with zero retransmissions.
+    #[test]
+    fn lossless_transfer_agreement(
+        chunks in prop::collection::vec((1u64..4, 1u64..20_000), 1..6),
+        fec in prop_oneof![Just(0u32), Just(4u32), Just(8u32)],
+    ) {
+        let cfg = TransportConfig {
+            fec_k: fec,
+            ..TransportConfig::default()
+        };
+        let mut c = ClientConn::new(9, cfg);
+        let mut s = ServerConn::new(77, cfg);
+        let mut total = 0;
+        for &(stream, bytes) in &chunks {
+            c.queue(stream, bytes, false);
+            total += bytes;
+        }
+        c.connect(SimTime::ZERO, None);
+        // Pump until quiescent.
+        for _ in 0..500 {
+            let out = c.take_output();
+            if out.is_empty() {
+                break;
+            }
+            for f in &out {
+                s.on_frame(SimTime::from_millis(1), f);
+            }
+            for f in s.take_output() {
+                c.on_frame(SimTime::from_millis(2), &f);
+            }
+        }
+        prop_assert_eq!(c.acked_bytes(), total);
+        prop_assert_eq!(c.retransmissions, 0);
+        // Server delivered every byte in order per stream.
+        prop_assert_eq!(s.delivered(9), total);
+    }
+}

@@ -1,0 +1,181 @@
+//! X2 bandwidth budgeting.
+//!
+//! §4.3: *"The X2 interface is relatively low bandwidth, but when backhaul
+//! constrained the level of coordination can be minimized"* (citing La
+//! Roche & Widjaja's X2 sizing study \[28\]). This module gives the
+//! closed-form overhead of each mode and the adaptation rule that fits the
+//! coordination level to a backhaul budget.
+
+use crate::messages::{wire, CoordinationMode};
+use dlte_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Steady-state X2 traffic (bits/s, egress per AP) for a mode, peer count,
+/// reporting interval and client count.
+pub fn x2_bps(
+    mode: CoordinationMode,
+    n_peers: usize,
+    report_interval: SimDuration,
+    clients: usize,
+) -> f64 {
+    if n_peers == 0 || report_interval.is_zero() {
+        return 0.0;
+    }
+    let per_report = match mode {
+        CoordinationMode::Independent => return 0.0,
+        CoordinationMode::FairShare => wire::LOAD_INFORMATION as f64,
+        CoordinationMode::Cooperative => {
+            (wire::LOAD_INFORMATION + wire::measurement(clients)) as f64
+        }
+    };
+    per_report * 8.0 * n_peers as f64 / report_interval.as_secs_f64()
+}
+
+/// Coordination level chosen for a backhaul budget.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoordinationPlan {
+    pub mode: CoordinationMode,
+    pub report_interval: SimDuration,
+    pub bps: f64,
+}
+
+/// Pick the richest coordination that fits within `budget_bps`, degrading
+/// first by stretching the reporting interval (up to `max_interval`), then
+/// by stepping the mode down. The paper's graceful-degradation story.
+pub fn plan_for_budget(
+    desired: CoordinationMode,
+    n_peers: usize,
+    clients: usize,
+    base_interval: SimDuration,
+    max_interval: SimDuration,
+    budget_bps: f64,
+) -> CoordinationPlan {
+    let modes: &[CoordinationMode] = match desired {
+        CoordinationMode::Cooperative => &[
+            CoordinationMode::Cooperative,
+            CoordinationMode::FairShare,
+            CoordinationMode::Independent,
+        ],
+        CoordinationMode::FairShare => {
+            &[CoordinationMode::FairShare, CoordinationMode::Independent]
+        }
+        CoordinationMode::Independent => &[CoordinationMode::Independent],
+    };
+    for &mode in modes {
+        // Try intervals from base upward in ×2 steps.
+        let mut interval = base_interval;
+        loop {
+            let bps = x2_bps(mode, n_peers, interval, clients);
+            if bps <= budget_bps {
+                return CoordinationPlan {
+                    mode,
+                    report_interval: interval,
+                    bps,
+                };
+            }
+            if interval >= max_interval {
+                break;
+            }
+            interval = (interval * 2).min(max_interval);
+        }
+    }
+    CoordinationPlan {
+        mode: CoordinationMode::Independent,
+        report_interval: max_interval,
+        bps: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_ordering() {
+        let i = SimDuration::from_millis(100);
+        let indep = x2_bps(CoordinationMode::Independent, 4, i, 20);
+        let fair = x2_bps(CoordinationMode::FairShare, 4, i, 20);
+        let coop = x2_bps(CoordinationMode::Cooperative, 4, i, 20);
+        assert_eq!(indep, 0.0);
+        assert!(fair > 0.0);
+        assert!(coop > fair, "measurements cost extra");
+    }
+
+    #[test]
+    fn known_value() {
+        // FairShare, 1 peer, 1 s interval: 96 B × 8 = 768 bit/s.
+        let bps = x2_bps(
+            CoordinationMode::FairShare,
+            1,
+            SimDuration::from_secs(1),
+            0,
+        );
+        assert!((bps - 768.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn x2_is_tiny_versus_user_plane() {
+        // Even cooperative mode with 10 peers, 50 clients at 100 ms
+        // reporting is under 1 Mbit/s — the paper's low-bandwidth claim.
+        let bps = x2_bps(
+            CoordinationMode::Cooperative,
+            10,
+            SimDuration::from_millis(100),
+            50,
+        );
+        assert!(bps < 1e6, "{bps}");
+    }
+
+    #[test]
+    fn budget_keeps_mode_when_it_fits() {
+        let plan = plan_for_budget(
+            CoordinationMode::Cooperative,
+            4,
+            20,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(10),
+            1e6,
+        );
+        assert_eq!(plan.mode, CoordinationMode::Cooperative);
+        assert_eq!(plan.report_interval, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn budget_stretches_interval_before_dropping_mode() {
+        // ~29 kbit/s at 100 ms; budget of 5 kbit/s forces a longer interval
+        // but cooperative should survive.
+        let plan = plan_for_budget(
+            CoordinationMode::Cooperative,
+            4,
+            20,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(10),
+            5_000.0,
+        );
+        assert_eq!(plan.mode, CoordinationMode::Cooperative);
+        assert!(plan.report_interval > SimDuration::from_millis(100));
+        assert!(plan.bps <= 5_000.0);
+    }
+
+    #[test]
+    fn starvation_budget_degrades_to_independent() {
+        let plan = plan_for_budget(
+            CoordinationMode::Cooperative,
+            10,
+            100,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(1),
+            1.0, // one bit per second
+        );
+        assert_eq!(plan.mode, CoordinationMode::Independent);
+        assert_eq!(plan.bps, 0.0);
+    }
+
+    #[test]
+    fn zero_peers_is_free() {
+        assert_eq!(
+            x2_bps(CoordinationMode::Cooperative, 0, SimDuration::from_secs(1), 9),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! X2-AP message vocabulary with dLTE extensions.
+
+use dlte_net::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Operating mode of a dLTE AP (the paper's §4.3 switch, the only manual
+/// knob an AP owner sets).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CoordinationMode {
+    /// Legacy-WiFi-like: no coordination at all.
+    Independent,
+    /// Programmatic fair time-frequency sharing.
+    FairShare,
+    /// Fused resources: joint scheduling, handoff, best-AP assignment.
+    Cooperative,
+}
+
+/// dLTE peer status carried in the X2 extension IE.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DlteStatus {
+    pub mode: CoordinationMode,
+    /// Long-run demand for the shared channel, in \[0,1\] (fraction of
+    /// airtime this AP could usefully consume).
+    pub demand: f64,
+    /// Number of attached clients (cooperative-mode load balancing input).
+    pub clients: u32,
+}
+
+/// X2 messages. Sizes in [`wire`] keep the backhaul accounting honest.
+#[derive(Clone, Debug)]
+pub enum X2Msg {
+    /// Association setup (carries the initial dLTE status).
+    SetupRequest { from: Addr, status: DlteStatus },
+    SetupResponse { from: Addr, status: DlteStatus },
+    /// Periodic load/status report (3GPP LOAD INFORMATION + dLTE IE).
+    LoadInformation { from: Addr, status: DlteStatus },
+    /// Cooperative mode: per-client measurement snapshot so peers can run
+    /// best-AP assignment. `(client id, SINR dB to the sender)`.
+    MeasurementReport { from: Addr, reports: Vec<(u64, f64)> },
+    /// Cooperative handoff of a client to the receiving AP.
+    HandoverRequest { from: Addr, client: u64 },
+    HandoverAck { from: Addr, client: u64 },
+}
+
+/// On-wire message sizes, bytes (SCTP/X2AP framing + IEs; measurement
+/// reports add per-client payload).
+pub mod wire {
+    pub const SETUP: u32 = 120;
+    pub const LOAD_INFORMATION: u32 = 96;
+    pub const MEASUREMENT_BASE: u32 = 64;
+    pub const MEASUREMENT_PER_CLIENT: u32 = 12;
+    pub const HANDOVER: u32 = 180;
+
+    /// Size of a measurement report with `n` clients.
+    pub fn measurement(n: usize) -> u32 {
+        MEASUREMENT_BASE + MEASUREMENT_PER_CLIENT * n as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_size_scales() {
+        assert_eq!(wire::measurement(0), 64);
+        assert_eq!(wire::measurement(10), 64 + 120);
+    }
+
+    #[test]
+    fn modes_are_ordered_by_coupling() {
+        // Sanity: the three modes exist and are distinct.
+        let modes = [
+            CoordinationMode::Independent,
+            CoordinationMode::FairShare,
+            CoordinationMode::Cooperative,
+        ];
+        for i in 0..modes.len() {
+            for j in (i + 1)..modes.len() {
+                assert_ne!(modes[i], modes[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The X2 agent: the wire-level peer of every dLTE AP.
+//!
+//! Runs over the Internet backhaul as a [`NodeHandler`] co-resident with the
+//! AP's local core (the `dlte` crate composes them). Behaviour:
+//!
+//! * on start, sends `SetupRequest` to each configured peer (discovered out
+//!   of band from the registry's contention domain);
+//! * every `report_interval`, sends `LoadInformation` with the current dLTE
+//!   status (mode, demand, client count), plus measurement reports in
+//!   cooperative mode;
+//! * tracks peer liveness (3 missed reports → peer dropped — organic churn
+//!   is normal in an open network);
+//! * recomputes its own share with [`crate::fair_share::max_min_shares`]
+//!   over the latest known demands;
+//! * accounts every byte sent (experiment E11).
+
+use crate::fair_share::max_min_shares;
+use crate::messages::{wire, CoordinationMode, DlteStatus, X2Msg};
+use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Liveness: a peer is dropped after this many silent intervals.
+const LIVENESS_INTERVALS: u32 = 3;
+
+const TAG_TICK: u64 = 7_000_000;
+
+#[derive(Clone, Debug)]
+struct PeerState {
+    status: DlteStatus,
+    last_seen: SimTime,
+}
+
+/// X2 agent statistics.
+#[derive(Clone, Debug, Default)]
+pub struct X2AgentStats {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub peers_dropped: u64,
+}
+
+/// The agent.
+pub struct X2Agent {
+    pub mode: CoordinationMode,
+    pub report_interval: SimDuration,
+    /// My own demand in \[0,1\]; the AP updates this as its load changes.
+    pub my_demand: f64,
+    pub my_clients: u32,
+    peers: Vec<Addr>,
+    peer_state: HashMap<Addr, PeerState>,
+    /// Negotiated share of the channel in \[0,1\].
+    pub my_share: f64,
+    /// Latest per-client SINR snapshot to advertise in cooperative mode.
+    pub my_measurements: Vec<(u64, f64)>,
+    /// Peers' latest measurement reports (cooperative mode input).
+    pub peer_measurements: HashMap<Addr, Vec<(u64, f64)>>,
+    pub stats: X2AgentStats,
+}
+
+impl X2Agent {
+    pub fn new(mode: CoordinationMode, peers: Vec<Addr>, report_interval: SimDuration) -> Self {
+        X2Agent {
+            mode,
+            report_interval,
+            my_demand: 1.0,
+            my_clients: 0,
+            peers,
+            peer_state: HashMap::new(),
+            my_share: 1.0,
+            my_measurements: Vec::new(),
+            peer_measurements: HashMap::new(),
+            stats: X2AgentStats::default(),
+        }
+    }
+
+    fn my_status(&self) -> DlteStatus {
+        DlteStatus {
+            mode: self.mode,
+            demand: self.my_demand,
+            clients: self.my_clients,
+        }
+    }
+
+    /// Current live peers.
+    pub fn live_peers(&self) -> usize {
+        self.peer_state.len()
+    }
+
+    fn send(&mut self, ctx: &mut NodeCtx<'_>, to: Addr, msg: X2Msg, size: u32) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += size as u64;
+        let p = ctx.make_packet(to, size).with_payload(Payload::control(msg));
+        ctx.forward(p);
+    }
+
+    fn recompute_share(&mut self) {
+        if self.mode == CoordinationMode::Independent {
+            self.my_share = 1.0; // uncoordinated: everyone just transmits
+            return;
+        }
+        // My demand first, then live peers in deterministic order.
+        let mut demands = vec![self.my_demand];
+        let mut addrs: Vec<Addr> = self.peer_state.keys().copied().collect();
+        addrs.sort();
+        for a in &addrs {
+            demands.push(self.peer_state[a].status.demand);
+        }
+        let shares = max_min_shares(&demands, 1.0);
+        self.my_share = shares[0];
+    }
+
+    fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Drop silent peers.
+        let deadline = self.report_interval * LIVENESS_INTERVALS as u64;
+        let now = ctx.now;
+        let before = self.peer_state.len();
+        self.peer_state
+            .retain(|_, p| now.saturating_since(p.last_seen) <= deadline);
+        let dropped = before - self.peer_state.len();
+        self.stats.peers_dropped += dropped as u64;
+        // Report to every configured peer.
+        let status = self.my_status();
+        let my_addr = ctx.my_addr();
+        for peer in self.peers.clone() {
+            self.send(
+                ctx,
+                peer,
+                X2Msg::LoadInformation {
+                    from: my_addr,
+                    status,
+                },
+                wire::LOAD_INFORMATION,
+            );
+            if self.mode == CoordinationMode::Cooperative && !self.my_measurements.is_empty() {
+                let reports = self.my_measurements.clone();
+                let size = wire::measurement(reports.len());
+                self.send(
+                    ctx,
+                    peer,
+                    X2Msg::MeasurementReport {
+                        from: my_addr,
+                        reports,
+                    },
+                    size,
+                );
+            }
+        }
+        self.recompute_share();
+        let interval = self.report_interval;
+        ctx.set_timer(interval, TAG_TICK);
+    }
+
+    fn handle_msg(&mut self, ctx: &mut NodeCtx<'_>, msg: X2Msg) {
+        self.stats.msgs_received += 1;
+        match msg {
+            X2Msg::SetupRequest { from, status } => {
+                self.peer_state.insert(
+                    from,
+                    PeerState {
+                        status,
+                        last_seen: ctx.now,
+                    },
+                );
+                let my = self.my_status();
+                let my_addr = ctx.my_addr();
+                self.send(
+                    ctx,
+                    from,
+                    X2Msg::SetupResponse {
+                        from: my_addr,
+                        status: my,
+                    },
+                    wire::SETUP,
+                );
+                self.recompute_share();
+            }
+            X2Msg::SetupResponse { from, status } | X2Msg::LoadInformation { from, status } => {
+                self.peer_state.insert(
+                    from,
+                    PeerState {
+                        status,
+                        last_seen: ctx.now,
+                    },
+                );
+                self.recompute_share();
+            }
+            X2Msg::MeasurementReport { from, reports } => {
+                self.peer_measurements.insert(from, reports);
+            }
+            X2Msg::HandoverRequest { from, client } => {
+                let my_addr = ctx.my_addr();
+                self.send(
+                    ctx,
+                    from,
+                    X2Msg::HandoverAck {
+                        from: my_addr,
+                        client,
+                    },
+                    wire::HANDOVER,
+                );
+            }
+            X2Msg::HandoverAck { .. } => {}
+        }
+    }
+}
+
+impl NodeHandler for X2Agent {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let status = self.my_status();
+        let my_addr = ctx.my_addr();
+        for peer in self.peers.clone() {
+            self.send(
+                ctx,
+                peer,
+                X2Msg::SetupRequest {
+                    from: my_addr,
+                    status,
+                },
+                wire::SETUP,
+            );
+        }
+        let interval = self.report_interval;
+        ctx.set_timer(interval, TAG_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        if tag == TAG_TICK {
+            self.tick(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
+        if let Some(msg) = packet.payload.as_control::<X2Msg>().cloned() {
+            self.handle_msg(ctx, msg);
+        } else if ctx.peer_info(ctx.node).owns(packet.dst) {
+            ctx.deliver_local(&packet);
+        } else {
+            ctx.forward(packet);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_net::{LinkConfig, NetworkBuilder, Prefix};
+
+    /// Two agents across a WAN link; returns the built sim and node ids.
+    fn two_agents(
+        mode: CoordinationMode,
+        demand_a: f64,
+        demand_b: f64,
+    ) -> (dlte_sim::Simulation<dlte_net::Network>, usize, usize) {
+        let mut b = NetworkBuilder::new(9);
+        let addr_a = Addr::new(10, 0, 0, 1);
+        let addr_b = Addr::new(10, 0, 0, 2);
+        let mut agent_a = X2Agent::new(mode, vec![addr_b], SimDuration::from_millis(100));
+        agent_a.my_demand = demand_a;
+        let mut agent_b = X2Agent::new(mode, vec![addr_a], SimDuration::from_millis(100));
+        agent_b.my_demand = demand_b;
+        let a = b.host("ap-a", Box::new(agent_a));
+        b.addr(a, addr_a);
+        let bb = b.host("ap-b", Box::new(agent_b));
+        b.addr(bb, addr_b);
+        let l = b.link(a, bb, LinkConfig::wan(SimDuration::from_millis(20)));
+        b.route(a, Prefix::new(addr_b, 32), l);
+        b.route(bb, Prefix::new(addr_a, 32), l);
+        (b.build(), a, bb)
+    }
+
+    #[test]
+    fn agents_converge_to_fair_split() {
+        let (mut sim, a, b) = two_agents(CoordinationMode::FairShare, 1.0, 1.0);
+        sim.run_until(SimTime::from_secs(2), 1_000_000);
+        let w = sim.world();
+        let xa = w.handler_as::<X2Agent>(a).unwrap();
+        let xb = w.handler_as::<X2Agent>(b).unwrap();
+        assert!((xa.my_share - 0.5).abs() < 1e-9, "a share {}", xa.my_share);
+        assert!((xb.my_share - 0.5).abs() < 1e-9);
+        assert_eq!(xa.live_peers(), 1);
+    }
+
+    #[test]
+    fn asymmetric_demand_shares_water_fill() {
+        let (mut sim, a, b) = two_agents(CoordinationMode::FairShare, 0.2, 1.0);
+        sim.run_until(SimTime::from_secs(2), 1_000_000);
+        let w = sim.world();
+        let xa = w.handler_as::<X2Agent>(a).unwrap();
+        let xb = w.handler_as::<X2Agent>(b).unwrap();
+        assert!((xa.my_share - 0.2).abs() < 1e-9);
+        assert!((xb.my_share - 0.8).abs() < 1e-9, "b gets the slack");
+    }
+
+    #[test]
+    fn independent_mode_ignores_peers() {
+        let (mut sim, a, _) = two_agents(CoordinationMode::Independent, 1.0, 1.0);
+        sim.run_until(SimTime::from_secs(1), 1_000_000);
+        let xa = sim.world().handler_as::<X2Agent>(a).unwrap();
+        assert_eq!(xa.my_share, 1.0);
+    }
+
+    #[test]
+    fn x2_traffic_is_low_bandwidth() {
+        // §4.3: "The X2 interface is relatively low bandwidth."
+        let (mut sim, a, _) = two_agents(CoordinationMode::FairShare, 1.0, 1.0);
+        sim.run_until(SimTime::from_secs(10), 2_000_000);
+        let xa = sim.world().handler_as::<X2Agent>(a).unwrap();
+        let bps = xa.stats.bytes_sent as f64 * 8.0 / 10.0;
+        assert!(bps < 20_000.0, "X2 at {bps} bit/s should be ≪ user traffic");
+        assert!(xa.stats.msgs_sent >= 90, "reports flowed");
+    }
+
+    #[test]
+    fn dead_peer_is_dropped_and_share_recovers() {
+        // Build agent A pointed at a peer address that never answers.
+        let mut b = NetworkBuilder::new(11);
+        let addr_a = Addr::new(10, 0, 0, 1);
+        let addr_ghost = Addr::new(10, 0, 0, 99);
+        let mut agent = X2Agent::new(
+            CoordinationMode::FairShare,
+            vec![addr_ghost],
+            SimDuration::from_millis(100),
+        );
+        // Seed a phantom peer entry as if it had been alive once.
+        agent.peer_state.insert(
+            addr_ghost,
+            PeerState {
+                status: DlteStatus {
+                    mode: CoordinationMode::FairShare,
+                    demand: 1.0,
+                    clients: 0,
+                },
+                last_seen: SimTime::ZERO,
+            },
+        );
+        agent.recompute_share();
+        assert!((agent.my_share - 0.5).abs() < 1e-9, "initially shared");
+        let a = b.host("ap-a", Box::new(agent));
+        b.addr(a, addr_a);
+        // No route to the ghost: sends fail silently (drops_no_route).
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(2), 1_000_000);
+        let xa = sim.world().handler_as::<X2Agent>(a).unwrap();
+        assert_eq!(xa.live_peers(), 0, "ghost dropped after 3 intervals");
+        assert_eq!(xa.my_share, 1.0, "spectrum reclaimed");
+        assert_eq!(xa.stats.peers_dropped, 1);
+    }
+
+    #[test]
+    fn cooperative_mode_exchanges_measurements() {
+        let (mut sim, a, b) = two_agents(CoordinationMode::Cooperative, 1.0, 1.0);
+        // Give A some client measurements before running.
+        sim.world_mut()
+            .handler_as_mut::<X2Agent>(a)
+            .unwrap()
+            .my_measurements = vec![(1, 17.0), (2, 9.5)];
+        sim.run_until(SimTime::from_secs(1), 1_000_000);
+        let w = sim.world();
+        let xb = w.handler_as::<X2Agent>(b).unwrap();
+        let got = xb
+            .peer_measurements
+            .get(&Addr::new(10, 0, 0, 1))
+            .expect("B holds A's measurements");
+        assert_eq!(got, &vec![(1, 17.0), (2, 9.5)]);
+    }
+}

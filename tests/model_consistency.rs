@@ -1,0 +1,156 @@
+//! Cross-model consistency checks: the subframe simulator, the closed-form
+//! PHY math, and the packet-level substrate must tell one coherent story.
+//! These guard against the classic multi-fidelity trap — two models of the
+//! same thing silently drifting apart.
+
+use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_phy::harq::{HarqConfig, HarqProcessModel};
+use dlte_phy::link::{LinkBudget, RadioConfig};
+use dlte_phy::mcs::{peak_throughput_bps, select_cqi};
+use dlte_phy::propagation::PathLossModel;
+use dlte_sim::{SimDuration, SimRng};
+
+/// The cell simulator's single-UE goodput must agree with the closed-form
+/// prediction (CQI table × HARQ efficiency) at every distance: the TTI loop
+/// is the closed form plus scheduling, nothing else.
+#[test]
+fn cell_sim_matches_closed_form() {
+    let cfg = CellConfig::rural_default();
+    let budget = LinkBudget {
+        tx: cfg.enb,
+        rx: RadioConfig::lte_handset(),
+        model: cfg.path_loss,
+        freq_mhz: cfg.freq_mhz,
+        bandwidth_hz: cfg.bandwidth.occupied_hz(),
+    };
+    let harq = HarqProcessModel::new(HarqConfig::default());
+    for dist_km in [0.5, 2.0, 5.0, 10.0, 15.0] {
+        let snr = budget.snr_db(dist_km, 0.0);
+        let expected = match select_cqi(snr) {
+            Some(cqi) => {
+                peak_throughput_bps(cqi, cfg.bandwidth.n_prb)
+                    * harq.stats(snr, cqi).efficiency
+            }
+            None => 0.0,
+        };
+        let rng = SimRng::new(7);
+        let mut sim = CellSim::new(cfg.clone(), vec![UeConfig::at_km(dist_km)], &rng);
+        let measured = sim.run(SimDuration::from_millis(500)).ues[0].goodput_bps;
+        let tol = (expected * 0.02).max(50_000.0);
+        assert!(
+            (measured - expected).abs() <= tol,
+            "{dist_km} km: sim {measured:.0} vs closed form {expected:.0}"
+        );
+    }
+}
+
+/// TDM shares compose linearly: a cell at share s delivers s × the
+/// full-share goodput, across the share range (the assumption E5/E6/E7
+/// lean on).
+#[test]
+fn tdm_share_linearity() {
+    let full = {
+        let rng = SimRng::new(3);
+        let mut sim = CellSim::new(
+            CellConfig::rural_default(),
+            vec![UeConfig::at_km(1.0)],
+            &rng,
+        );
+        sim.run(SimDuration::from_secs(2)).ues[0].goodput_bps
+    };
+    for share in [0.25, 0.5, 0.75] {
+        let mut cfg = CellConfig::rural_default();
+        cfg.tdm_share = share;
+        let rng = SimRng::new(3);
+        let mut sim = CellSim::new(cfg, vec![UeConfig::at_km(1.0)], &rng);
+        let got = sim.run(SimDuration::from_secs(2)).ues[0].goodput_bps;
+        let ratio = got / full;
+        assert!(
+            (ratio - share).abs() < 0.01,
+            "share {share}: ratio {ratio}"
+        );
+    }
+}
+
+/// The uplink/downlink asymmetry is consistent between the link budget and
+/// the cell simulator: wherever the budget says the uplink dies first, the
+/// simulator agrees.
+#[test]
+fn uplink_downlink_asymmetry_consistent() {
+    use dlte_mac::lte::cell::Direction;
+    use dlte_phy::band::Band;
+    use dlte_phy::mcs::CQI_TABLE;
+
+    let dl_budget = LinkBudget {
+        tx: RadioConfig::rural_enodeb(),
+        rx: RadioConfig::lte_handset(),
+        model: PathLossModel::rural_macro(),
+        freq_mhz: Band::band5().downlink_center_mhz(),
+        bandwidth_hz: 10e6,
+    };
+    let ul_budget = LinkBudget {
+        tx: RadioConfig::lte_handset(),
+        rx: RadioConfig::rural_enodeb(),
+        model: PathLossModel::rural_macro(),
+        freq_mhz: Band::band5().uplink_center_mhz(),
+        bandwidth_hz: 10e6,
+    };
+    let edge = CQI_TABLE[0].sinr_threshold_db;
+    let dl_range = dl_budget.range_km(edge);
+    let ul_range = ul_budget.range_km(edge);
+    assert!(ul_range < dl_range, "uplink must be limiting");
+
+    // A UE between the two ranges: downlink works, uplink dead — in both
+    // the budget and the simulator.
+    let between = (ul_range + dl_range) / 2.0;
+    let run_dir = |direction: Direction| {
+        let mut cfg = CellConfig::rural_default();
+        cfg.direction = direction;
+        if direction == Direction::Uplink {
+            cfg.freq_mhz = Band::band5().uplink_center_mhz();
+        }
+        let rng = SimRng::new(5);
+        let mut sim = CellSim::new(cfg, vec![UeConfig::at_km(between)], &rng);
+        sim.run(SimDuration::from_millis(300)).ues[0].goodput_bps
+    };
+    assert!(run_dir(Direction::Downlink) > 0.0, "downlink alive at {between:.1} km");
+    assert_eq!(run_dir(Direction::Uplink), 0.0, "uplink dead at {between:.1} km");
+}
+
+/// The packet substrate's delivered latency equals the sum of link delays
+/// plus serialization — checked against hand arithmetic on a 3-hop path
+/// (guards the queueing model against drift).
+#[test]
+fn packet_latency_is_sum_of_parts() {
+    use dlte_net::handlers::CbrSource;
+    use dlte_net::{Addr, LinkConfig, NetworkBuilder};
+    use dlte_sim::SimTime;
+
+    let mut b = NetworkBuilder::new(9);
+    let dst_addr = Addr::new(10, 0, 0, 9);
+    // 1000-byte packets, 10 pkt/s (no queueing).
+    let src = b.host("src", Box::new(CbrSource::new(dst_addr, 1, 80_000.0, 1000)));
+    b.addr(src, Addr::new(10, 0, 0, 1));
+    let r = b.node("r");
+    let dst = b.node("dst");
+    b.addr(dst, dst_addr);
+    let mk = |delay_ms: u64, mbps: f64| LinkConfig {
+        delay: SimDuration::from_millis(delay_ms),
+        rate_bps: mbps * 1e6,
+        queue_pkts: 100,
+        loss: 0.0,
+    };
+    b.link(src, r, mk(7, 8.0)); // serialization: 1 ms
+    b.link(r, dst, mk(11, 4.0)); // serialization: 2 ms
+    b.auto_routes();
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(2), 100_000);
+    let t = sim.world().trace();
+    let f = t.flow(1).expect("delivered");
+    // 7 + 1 + 11 + 2 = 21 ms per packet, every packet.
+    let lat = f.latency_ms.values();
+    assert!(!lat.is_empty());
+    for &l in lat {
+        assert!((l - 21.0).abs() < 0.01, "latency {l}");
+    }
+}

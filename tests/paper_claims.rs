@@ -1,0 +1,127 @@
+//! The reproduction's acceptance suite: every table and figure regenerates,
+//! renders, and carries its expected shape. (Each experiment's detailed
+//! shape assertions live in its own module tests; this suite guards the
+//! harness end-to-end, including JSON serialization for EXPERIMENTS.md.)
+
+use dlte::experiments as ex;
+use dlte::experiments::Table;
+
+fn check(t: &Table, min_rows: usize) {
+    assert!(t.rows.len() >= min_rows, "[{}] only {} rows", t.id, t.rows.len());
+    assert!(!t.expectation.is_empty(), "[{}] missing expectation", t.id);
+    let rendered = t.to_string();
+    assert!(rendered.contains(&t.id));
+    let json = t.to_json();
+    let back: Table = serde_json::from_str(&json).expect("round trip");
+    assert_eq!(back.rows, t.rows);
+}
+
+#[test]
+fn t1_f2_and_closed_form_tables() {
+    check(&ex::t1_design_space::run(), 2);
+    check(&ex::f2_deployment::run(), 3);
+    check(&ex::e3_harq::run(), 8);
+}
+
+#[test]
+fn radio_tables_small() {
+    check(
+        &ex::e1_range::run_with(ex::e1_range::Params {
+            distances_km: vec![0.5, 8.0],
+            seed: 5,
+        }),
+        2,
+    );
+    check(
+        &ex::e2_uplink::run_with(ex::e2_uplink::Params {
+            distances_km: vec![4.0],
+            seed: 5,
+        }),
+        2,
+    );
+    check(
+        &ex::e4_timing_advance::run_with(ex::e4_timing_advance::Params {
+            distances_km: vec![0.5, 5.0],
+            seed: 5,
+        }),
+        2,
+    );
+    check(
+        &ex::e5_fairness::run_with(ex::e5_fairness::Params {
+            ap_counts: vec![2],
+            client_km: 1.0,
+            seconds: 1,
+            seed: 5,
+        }),
+        1,
+    );
+    check(
+        &ex::e6_hidden_terminal::run_with(ex::e6_hidden_terminal::Params {
+            seconds: 1,
+            seed: 5,
+        }),
+        3,
+    );
+    check(
+        &ex::e7_cooperative::run_with(ex::e7_cooperative::Params {
+            seconds: 1,
+            seed: 5,
+            ..Default::default()
+        }),
+        3,
+    );
+}
+
+#[test]
+fn architecture_tables_small() {
+    check(
+        &ex::f1_architecture::run_with(ex::f1_architecture::Params {
+            seconds: 4,
+            seed: 5,
+        }),
+        4,
+    );
+    check(
+        &ex::e9_core_scaling::run_with(ex::e9_core_scaling::Params {
+            ue_counts: vec![10],
+            ues_per_site: 10,
+            seed: 5,
+        }),
+        1,
+    );
+    check(
+        &ex::e10_breakout::run_with(ex::e10_breakout::Params {
+            epc_delay_ms: vec![15],
+            seed: 5,
+        }),
+        1,
+    );
+    check(
+        &ex::e11_x2_overhead::run_with(ex::e11_x2_overhead::Params {
+            ap_counts: vec![2],
+            seconds: 3,
+            seed: 5,
+        }),
+        4,
+    );
+}
+
+#[test]
+fn mobility_tables_small() {
+    check(
+        &ex::e8_mobility::run_with(ex::e8_mobility::Params {
+            dwell_s: vec![4.0],
+            inet_delay_ms: 10,
+            seed: 5,
+        }),
+        1,
+    );
+    check(
+        &ex::e12_transport_ablation::run_with(ex::e12_transport_ablation::Params {
+            dwell_s: 3.0,
+            total_s: 10.0,
+            seed: 5,
+        }),
+        4,
+    );
+}
