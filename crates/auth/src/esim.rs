@@ -101,7 +101,11 @@ impl EsimCard {
     /// Find the best profile for a network: exact network match first, then
     /// any open/published profile (the dLTE fallback — an open AP accepts
     /// any published identity).
-    pub fn profile_for_network(&mut self, network_id: u64, network_is_open: bool) -> Option<&mut Profile> {
+    pub fn profile_for_network(
+        &mut self,
+        network_id: u64,
+        network_is_open: bool,
+    ) -> Option<&mut Profile> {
         let pos = self
             .profiles
             .iter()
@@ -171,7 +175,11 @@ mod tests {
         card.download(3, ProfileKind::CarrierSecured, 3, 0x3);
         card.activate(3);
         assert!(card.delete(1), "delete earlier profile");
-        assert_eq!(card.active_profile().unwrap().usim.imsi, 3, "active follows");
+        assert_eq!(
+            card.active_profile().unwrap().usim.imsi,
+            3,
+            "active follows"
+        );
         assert!(card.delete(3), "delete active");
         assert!(card.active_profile().is_none());
         assert!(!card.delete(99));
@@ -191,9 +199,6 @@ mod tests {
         assert!(card.profile_for_network(555, false).is_none());
         // Unknown *open* network: the published profile applies — the
         // paper's "open dLTE SIM alongside other secured SIMs".
-        assert_eq!(
-            card.profile_for_network(555, true).unwrap().usim.imsi,
-            1002
-        );
+        assert_eq!(card.profile_for_network(555, true).unwrap().usim.imsi, 1002);
     }
 }

@@ -82,12 +82,7 @@ pub fn f5_star(k: Key, rand: u128) -> u64 {
 /// network id, so vectors issued for one network are useless at another —
 /// unless, as in open dLTE, the key itself is public.
 pub fn kasme(ck: u128, ik: u128, serving_network_id: u64, sqn_xor_ak: u64) -> u128 {
-    prf(
-        ck ^ ik.rotate_left(64),
-        6,
-        serving_network_id,
-        sqn_xor_ak,
-    )
+    prf(ck ^ ik.rotate_left(64), 6, serving_network_id, sqn_xor_ak)
 }
 
 #[cfg(test)]
@@ -145,7 +140,10 @@ mod tests {
         let ik = f4(K, RAND);
         let a = kasme(ck, ik, 310_410, 7);
         let b = kasme(ck, ik, 310_260, 7);
-        assert_ne!(a, b, "different serving networks must derive different KASME");
+        assert_ne!(
+            a, b,
+            "different serving networks must derive different KASME"
+        );
     }
 
     #[test]

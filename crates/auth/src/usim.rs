@@ -89,6 +89,8 @@ pub fn is_eps_vector(autn: &Autn) -> bool {
 }
 
 #[cfg(test)]
+// IMSIs and serving-network ids group digits as MCC_MNC_MSIN, not thousands.
+#[allow(clippy::inconsistent_digit_grouping)]
 mod tests {
     use super::*;
     use crate::vectors::{generate_vector, SubscriberRecord};
@@ -144,7 +146,8 @@ mod tests {
         let (mut rec, mut sim) = network_and_sim();
         let mut rng = SimRng::new(12);
         let v = generate_vector(&mut rec, SN_ID, &mut rng);
-        sim.authenticate(v.rand, v.autn, SN_ID).expect("first use ok");
+        sim.authenticate(v.rand, v.autn, SN_ID)
+            .expect("first use ok");
         let err = sim.authenticate(v.rand, v.autn, SN_ID).expect_err("replay");
         assert_eq!(err, AkaError::SyncFailure { ue_sqn: 1 });
     }

@@ -127,6 +127,8 @@ impl SubscriberDb {
 }
 
 #[cfg(test)]
+// IMSIs group digits as MCC_MNC_MSIN, not thousands.
+#[allow(clippy::inconsistent_digit_grouping)]
 mod tests {
     use super::*;
 

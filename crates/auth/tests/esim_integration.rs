@@ -11,15 +11,20 @@ use dlte_sim::SimRng;
 
 const CARRIER_NET: u64 = 51_089;
 const DLTE_NET: u64 = 42_000;
-const CARRIER_IMSI: u64 = 51_089_000_000_1;
-const OPEN_IMSI: u64 = 99_000_000_1;
+const CARRIER_IMSI: u64 = 510_890_000_001;
+const OPEN_IMSI: u64 = 990_000_001;
 const CARRIER_KEY: u128 = 0xC0FFEE;
 const OPEN_KEY: u128 = 0x0D17E;
 
 fn provisioned_device() -> EsimCard {
     let mut card = EsimCard::new();
     // The carrier installs its secured profile over the air…
-    assert!(card.download(CARRIER_NET, ProfileKind::CarrierSecured, CARRIER_IMSI, CARRIER_KEY));
+    assert!(card.download(
+        CARRIER_NET,
+        ProfileKind::CarrierSecured,
+        CARRIER_IMSI,
+        CARRIER_KEY
+    ));
     // …and the user later downloads an open dLTE identity next to it.
     assert!(card.download(DLTE_NET, ProfileKind::OpenPublished, OPEN_IMSI, OPEN_KEY));
     card
@@ -38,7 +43,9 @@ fn carrier_profile_authenticates_at_the_carrier() {
         .expect("carrier match");
     assert_eq!(profile.kind, ProfileKind::CarrierSecured);
     let imsi = profile.usim.imsi;
-    let v = hss.vector_for(imsi, CARRIER_NET, &mut rng).expect("subscriber known");
+    let v = hss
+        .vector_for(imsi, CARRIER_NET, &mut rng)
+        .expect("subscriber known");
     let resp = profile
         .usim
         .authenticate(v.rand, v.autn, CARRIER_NET)

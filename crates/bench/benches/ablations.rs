@@ -7,8 +7,8 @@
 //! on the simulator's hot paths).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dlte_mac::{CellConfig, CellSim, UeConfig};
 use dlte_mac::lte::scheduler::SchedulerKind;
+use dlte_mac::{CellConfig, CellSim, UeConfig};
 use dlte_phy::harq::{Combining, HarqConfig, HarqProcessModel};
 use dlte_phy::mcs::CQI_TABLE;
 use dlte_sim::{SimDuration, SimRng};

@@ -63,7 +63,10 @@ fn radio(c: &mut Criterion) {
     g.bench_function("e6_hidden_terminal", |b| {
         b.iter(|| {
             black_box(ex::e6_hidden_terminal::run_with(
-                ex::e6_hidden_terminal::Params { seconds: 1, seed: 1 },
+                ex::e6_hidden_terminal::Params {
+                    seconds: 1,
+                    seed: 1,
+                },
             ))
         })
     });

@@ -16,10 +16,7 @@ fn bench_forwarding(c: &mut Criterion) {
         b.iter(|| {
             let mut nb = NetworkBuilder::new(1);
             let dst_addr = Addr::new(10, 0, 0, 9);
-            let src = nb.host(
-                "src",
-                Box::new(CbrSource::new(dst_addr, 1, 80e6, 1000)),
-            );
+            let src = nb.host("src", Box::new(CbrSource::new(dst_addr, 1, 80e6, 1000)));
             nb.addr(src, Addr::new(10, 0, 0, 1));
             let r1 = nb.node("r1");
             let r2 = nb.node("r2");

@@ -1,0 +1,35 @@
+//! The unified experiment runner.
+//!
+//! ```text
+//! dlte-run <id|all> [--json] [--jobs N] [--seed S] [--params JSON]
+//! dlte-run --list
+//! ```
+//!
+//! Resolves experiments through `dlte::experiments::registry`, runs each one
+//! instrumented (wall clock, events dispatched, simulated time — attached to
+//! the table as `meta`), and prints tables as text or JSON. `--jobs` sets the
+//! thread count parallel sweeps fan out to; results are bit-identical for any
+//! value.
+
+use dlte_bench::runner;
+
+fn main() {
+    let inv = match runner::parse_args(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(msg) => {
+            eprintln!("dlte-run: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if inv.list {
+        println!("{}", runner::render_list());
+        return;
+    }
+    match runner::run(&inv) {
+        Ok(tables) => println!("{}", runner::render(&tables, inv.json)),
+        Err(e) => {
+            eprintln!("dlte-run: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,34 +1,23 @@
-//! Regenerates every table and figure of the reproduction in one pass
-//! (the source of EXPERIMENTS.md). Pass `--json` for machine-readable
-//! output.
-use dlte::experiments as ex;
+//! Thin alias for `dlte-run all` — kept because EXPERIMENTS.md and older
+//! scripts invoke it. Accepts the same flags as `dlte-run` (minus the id).
+
+use dlte_bench::runner;
 
 fn main() {
-    let tables = vec![
-        ex::t1_design_space::run(),
-        ex::f1_architecture::run(),
-        ex::f2_deployment::run(),
-        ex::e1_range::run(),
-        ex::e2_uplink::run(),
-        ex::e3_harq::run(),
-        ex::e4_timing_advance::run(),
-        ex::e5_fairness::run(),
-        ex::e6_hidden_terminal::run(),
-        ex::e7_cooperative::run(),
-        ex::e8_mobility::run(),
-        ex::e9_core_scaling::run(),
-        ex::e10_breakout::run(),
-        ex::e11_x2_overhead::run(),
-        ex::e12_transport_ablation::run(),
-        ex::e13_backhaul_resilience::run(),
-    ];
-    let json = std::env::args().any(|a| a == "--json");
-    if json {
-        let all: Vec<_> = tables.iter().collect();
-        println!("{}", serde_json::to_string_pretty(&all).unwrap());
-    } else {
-        for t in tables {
-            println!("{t}");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    args.insert(0, "all".to_string());
+    let inv = match runner::parse_args(args) {
+        Ok(inv) => inv,
+        Err(msg) => {
+            eprintln!("run_all: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match runner::run(&inv) {
+        Ok(tables) => println!("{}", runner::render(&tables, inv.json)),
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -1,17 +1,245 @@
-//! Shared plumbing for the experiment binaries.
+//! Shared plumbing for the `dlte-run` experiment runner.
 //!
-//! Every binary prints its experiment's [`dlte::experiments::Table`] as
-//! human-readable text, or as JSON with `--json` (the form EXPERIMENTS.md
-//! is regenerated from).
+//! The [`runner`] module holds everything the `dlte-run` binary does —
+//! argument parsing, registry resolution, parameter overrides, execution,
+//! rendering — so the integration tests can drive the exact same code path
+//! without spawning a process.
 
-use dlte::experiments::Table;
+pub mod runner {
+    use dlte::experiments::registry::{find, registry, Experiment, ExperimentError};
+    use dlte::experiments::Table;
+    use serde_json::{Map, Value};
 
-/// Print a table honoring the `--json` flag.
-pub fn emit(table: Table) {
-    let json = std::env::args().any(|a| a == "--json");
-    if json {
-        println!("{}", table.to_json());
-    } else {
-        println!("{table}");
+    /// A parsed `dlte-run` command line.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Invocation {
+        /// Experiment id, or `"all"` for the whole registry in report order.
+        pub target: String,
+        /// Emit JSON instead of human-readable tables.
+        pub json: bool,
+        /// Worker-thread override for parallel sweeps (`--jobs N`).
+        pub jobs: Option<usize>,
+        /// Seed override, injected into each experiment's params as `seed`
+        /// (ignored by experiments without a seed knob).
+        pub seed: Option<u64>,
+        /// JSON object of parameter overrides; fields it omits keep their
+        /// defaults, fields unknown to an experiment are ignored.
+        pub params: Option<Value>,
+        /// List registry ids and titles instead of running anything.
+        pub list: bool,
+    }
+
+    impl Default for Invocation {
+        fn default() -> Self {
+            Invocation {
+                target: "all".to_string(),
+                json: false,
+                jobs: None,
+                seed: None,
+                params: None,
+                list: false,
+            }
+        }
+    }
+
+    pub const USAGE: &str = "usage: dlte-run <id|all> [--json] [--jobs N] [--seed S] [--params JSON]\n       dlte-run --list";
+
+    /// Parse command-line arguments (without the program name).
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
+        let mut inv = Invocation::default();
+        let mut target: Option<String> = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => inv.json = true,
+                "--list" => inv.list = true,
+                "--jobs" => {
+                    let v = args.next().ok_or("--jobs needs a thread count")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    inv.jobs = Some(n);
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    inv.seed = Some(v.parse().map_err(|_| format!("bad --seed value {v:?}"))?);
+                }
+                "--params" => {
+                    let v = args.next().ok_or("--params needs a JSON object")?;
+                    let parsed: Value =
+                        serde_json::from_str(&v).map_err(|e| format!("bad --params JSON: {e}"))?;
+                    if !matches!(parsed, Value::Object(_)) {
+                        return Err("--params must be a JSON object".into());
+                    }
+                    inv.params = Some(parsed);
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+                }
+                id => {
+                    if target.replace(id.to_string()).is_some() {
+                        return Err(format!("more than one experiment id given\n{USAGE}"));
+                    }
+                }
+            }
+        }
+        match target {
+            Some(t) => inv.target = t,
+            None if inv.list => {}
+            None => return Err(USAGE.to_string()),
+        }
+        Ok(inv)
+    }
+
+    /// The params an invocation hands to one experiment: the caller's
+    /// `--params` object (or `{}`), with `--seed` injected on top.
+    /// Defaults for omitted fields come from the experiment's own
+    /// `#[serde(default)]` fallback.
+    pub fn effective_params(inv: &Invocation) -> Value {
+        let mut params = inv
+            .params
+            .clone()
+            .unwrap_or_else(|| Value::Object(Map::new()));
+        if let (Some(seed), Value::Object(map)) = (inv.seed, &mut params) {
+            map.insert(
+                "seed".to_string(),
+                serde_json::to_value(seed).expect("u64 serializes"),
+            );
+        }
+        params
+    }
+
+    /// The experiments an invocation selects, in execution order.
+    pub fn selection(inv: &Invocation) -> Result<Vec<&'static dyn Experiment>, ExperimentError> {
+        if inv.target.eq_ignore_ascii_case("all") {
+            Ok(registry().to_vec())
+        } else {
+            Ok(vec![find(&inv.target)?])
+        }
+    }
+
+    /// Execute an invocation: apply `--jobs`, resolve the selection, run each
+    /// experiment instrumented, and return the tables in execution order.
+    pub fn run(inv: &Invocation) -> Result<Vec<Table>, ExperimentError> {
+        if let Some(n) = inv.jobs {
+            dlte_sim::set_jobs(n);
+        }
+        let params = effective_params(inv);
+        selection(inv)?
+            .iter()
+            .map(|exp| exp.run_instrumented(&params))
+            .collect()
+    }
+
+    /// One line per registry entry: `id  title`.
+    pub fn render_list() -> String {
+        registry()
+            .iter()
+            .map(|e| format!("{:<4} {}", e.id(), e.title()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Render run output. JSON: a single table prints as one object, several
+    /// print as an array (both carry `meta`). Text: each table followed by a
+    /// one-line run summary from its meta.
+    pub fn render(tables: &[Table], json: bool) -> String {
+        if json {
+            if tables.len() == 1 {
+                tables[0].to_json()
+            } else {
+                serde_json::to_string_pretty(&tables.iter().collect::<Vec<_>>())
+                    .expect("tables serialize")
+            }
+        } else {
+            tables
+                .iter()
+                .map(|t| {
+                    let mut s = t.to_string();
+                    if let Some(m) = &t.meta {
+                        s.push_str(&format!(
+                            "run: {:.1} ms wall, {} events, {:.1} s simulated, {:.0} events/s\n",
+                            m.wall_ms,
+                            m.events_dispatched,
+                            m.sim_secs(),
+                            m.events_per_sec
+                        ));
+                    }
+                    s
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn args(s: &str) -> Vec<String> {
+            s.split_whitespace().map(String::from).collect()
+        }
+
+        #[test]
+        fn parses_the_documented_forms() {
+            let inv = parse_args(args("e5 --json --jobs 4 --seed 7")).unwrap();
+            assert_eq!(inv.target, "e5");
+            assert!(inv.json);
+            assert_eq!(inv.jobs, Some(4));
+            assert_eq!(inv.seed, Some(7));
+
+            let inv = parse_args(args("all")).unwrap();
+            assert_eq!(inv.target, "all");
+            assert!(!inv.json);
+
+            let inv = parse_args(args("--list")).unwrap();
+            assert!(inv.list);
+        }
+
+        #[test]
+        fn rejects_malformed_command_lines() {
+            assert!(parse_args(args("")).is_err());
+            assert!(parse_args(args("e1 e2")).is_err());
+            assert!(parse_args(args("e1 --jobs zero")).is_err());
+            assert!(parse_args(args("e1 --jobs 0")).is_err());
+            assert!(parse_args(args("e1 --frobnicate")).is_err());
+            assert!(parse_args(vec!["e1".into(), "--params".into(), "[1,2]".into()]).is_err());
+        }
+
+        #[test]
+        fn seed_overrides_params_object() {
+            let mut inv = parse_args(vec![
+                "e1".into(),
+                "--params".into(),
+                r#"{"distances_km": [1.0], "seed": 3}"#.into(),
+                "--seed".into(),
+                "9".into(),
+            ])
+            .unwrap();
+            let params = effective_params(&inv);
+            assert_eq!(params.get("seed").and_then(Value::as_u64), Some(9));
+            inv.seed = None;
+            let params = effective_params(&inv);
+            assert_eq!(params.get("seed").and_then(Value::as_u64), Some(3));
+        }
+
+        #[test]
+        fn selection_resolves_all_and_single_ids() {
+            let all = selection(&Invocation::default()).unwrap();
+            assert_eq!(all.len(), 16);
+            let one = selection(&Invocation {
+                target: "E13".into(),
+                ..Invocation::default()
+            })
+            .unwrap();
+            assert_eq!(one.len(), 1);
+            assert_eq!(one[0].id(), "e13");
+            assert!(selection(&Invocation {
+                target: "nope".into(),
+                ..Invocation::default()
+            })
+            .is_err());
+        }
     }
 }

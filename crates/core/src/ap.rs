@@ -97,8 +97,8 @@ impl NodeHandler for DlteApNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlte_epc::local_core::KeySource;
     use dlte_auth::open::PublishedKeyDirectory;
+    use dlte_epc::local_core::KeySource;
     use dlte_net::{Addr, AddrPool, Prefix};
     use dlte_sim::{SimDuration, SimRng};
     use dlte_x2::CoordinationMode;

@@ -45,21 +45,65 @@ impl Deployment {
     pub fn bom(self) -> Vec<BomItem> {
         match self {
             Deployment::DlteSite => vec![
-                BomItem { name: "Commercial eNodeB (1 sector)", unit_usd: 2_800.0, quantity: 2 },
-                BomItem { name: "15 dBi sector antenna", unit_usd: 250.0, quantity: 2 },
-                BomItem { name: "EPC-stub mini computer", unit_usd: 500.0, quantity: 1 },
-                BomItem { name: "Cabling, mounts, surge", unit_usd: 600.0, quantity: 1 },
+                BomItem {
+                    name: "Commercial eNodeB (1 sector)",
+                    unit_usd: 2_800.0,
+                    quantity: 2,
+                },
+                BomItem {
+                    name: "15 dBi sector antenna",
+                    unit_usd: 250.0,
+                    quantity: 2,
+                },
+                BomItem {
+                    name: "EPC-stub mini computer",
+                    unit_usd: 500.0,
+                    quantity: 1,
+                },
+                BomItem {
+                    name: "Cabling, mounts, surge",
+                    unit_usd: 600.0,
+                    quantity: 1,
+                },
             ],
             Deployment::WifiSite => vec![
-                BomItem { name: "Outdoor WiFi AP", unit_usd: 300.0, quantity: 2 },
-                BomItem { name: "Sector antenna", unit_usd: 150.0, quantity: 2 },
-                BomItem { name: "PoE, cabling, mounts", unit_usd: 300.0, quantity: 1 },
+                BomItem {
+                    name: "Outdoor WiFi AP",
+                    unit_usd: 300.0,
+                    quantity: 2,
+                },
+                BomItem {
+                    name: "Sector antenna",
+                    unit_usd: 150.0,
+                    quantity: 2,
+                },
+                BomItem {
+                    name: "PoE, cabling, mounts",
+                    unit_usd: 300.0,
+                    quantity: 1,
+                },
             ],
             Deployment::TelecomMacro => vec![
-                BomItem { name: "Macro eNodeB (3 sectors)", unit_usd: 25_000.0, quantity: 1 },
-                BomItem { name: "Tower construction", unit_usd: 60_000.0, quantity: 1 },
-                BomItem { name: "Site civil works + power", unit_usd: 20_000.0, quantity: 1 },
-                BomItem { name: "EPC capacity share", unit_usd: 15_000.0, quantity: 1 },
+                BomItem {
+                    name: "Macro eNodeB (3 sectors)",
+                    unit_usd: 25_000.0,
+                    quantity: 1,
+                },
+                BomItem {
+                    name: "Tower construction",
+                    unit_usd: 60_000.0,
+                    quantity: 1,
+                },
+                BomItem {
+                    name: "Site civil works + power",
+                    unit_usd: 20_000.0,
+                    quantity: 1,
+                },
+                BomItem {
+                    name: "EPC capacity share",
+                    unit_usd: 15_000.0,
+                    quantity: 1,
+                },
             ],
         }
     }
@@ -175,9 +219,7 @@ mod tests {
         let dlte = Deployment::DlteSite;
         let telecom = Deployment::TelecomMacro;
         // Same radio physics (both uplink-limited at band 5)…
-        assert!(
-            (telecom.coverage_radius_km() - dlte.coverage_radius_km()).abs() < 0.5
-        );
+        assert!((telecom.coverage_radius_km() - dlte.coverage_radius_km()).abs() < 0.5);
         // …an order of magnitude apart in cost.
         assert!(telecom.capex_usd() > 10.0 * dlte.capex_usd());
         assert!(telecom.usd_per_km2() > 10.0 * dlte.usd_per_km2());

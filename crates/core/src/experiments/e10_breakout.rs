@@ -10,7 +10,10 @@ use crate::scenario::{DlteNetworkBuilder, DltePlan};
 use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
 use dlte_epc::ue::{MobilityMode, UeApp, UeNode};
 use dlte_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub epc_delay_ms: Vec<u64>,
     pub seed: u64,
@@ -76,12 +79,7 @@ pub fn run_with(p: Params) -> Table {
     );
     for &d in &p.epc_delay_ms {
         let c = rtt_centralized(d, p.seed);
-        t.row(vec![
-            d.to_string(),
-            f2c(c),
-            f2c(dlte),
-            f2c(c - dlte),
-        ]);
+        t.row(vec![d.to_string(), f2c(c), f2c(dlte), f2c(c - dlte)]);
     }
     t.expect("centralized RTT grows ~2× the EPC one-way distance; dLTE RTT is constant — the whole detour is architectural");
     t

@@ -13,7 +13,10 @@ use dlte_epc::ue::UeApp;
 use dlte_sim::{SimDuration, SimTime};
 use dlte_x2::bandwidth::{plan_for_budget, x2_bps};
 use dlte_x2::CoordinationMode;
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub ap_counts: Vec<usize>,
     pub seconds: u64,

@@ -17,7 +17,10 @@ use crate::transport_app::TransportUeApp;
 use dlte_epc::ue::{MobilityMode, UeApp, UeNode};
 use dlte_sim::SimTime;
 use dlte_transport::connection::TransportConfig;
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     /// Dwell per AP, seconds.
     pub dwell_s: f64,
@@ -109,7 +112,11 @@ fn run_arm(cfg: TransportConfig, p: &Params) -> Outcome {
                 UeApp::None
             },
             mode: MobilityMode::ReAttach,
-            schedule: if i == 0 { schedule(dwell, total) } else { vec![] },
+            schedule: if i == 0 {
+                schedule(dwell, total)
+            } else {
+                vec![]
+            },
         })
         .build();
     net.sim
@@ -138,14 +145,17 @@ pub fn run_with(p: Params) -> Table {
             "goodput (Mbit/s)",
         ],
     );
-    for arm in arms() {
+    let rows = dlte_sim::par_map(arms(), |arm| {
         let o = run_arm(arm.cfg, &p);
-        t.row(vec![
+        vec![
             arm.label.into(),
             f2c(o.mean_resume_ms),
             o.handshakes.to_string(),
             mbps(o.goodput_bps),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.expect("legacy re-handshakes at every hop and resumes slowest; 0-RTT cuts the resume RTT; migration eliminates handshakes entirely; the modern stack is fastest overall");
     t

@@ -16,7 +16,10 @@ use crate::DlteApNode;
 use dlte_epc::ue::{UeApp, UeNode};
 use dlte_net::Prefix;
 use dlte_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     /// When the backhaul dies.
     pub fail_at_s: f64,
@@ -125,8 +128,16 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
     // Split RTTs around the failure instant (RTT samples are ordered).
     let values = ue.stats.rtt_ms.values();
     let before_count = (p.fail_at_s / 0.05) as usize;
-    let before: Vec<f64> = values.iter().take(before_count.min(values.len())).copied().collect();
-    let after: Vec<f64> = values.iter().skip(before_count.min(values.len())).copied().collect();
+    let before: Vec<f64> = values
+        .iter()
+        .take(before_count.min(values.len()))
+        .copied()
+        .collect();
+    let after: Vec<f64> = values
+        .iter()
+        .skip(before_count.min(values.len()))
+        .copied()
+        .collect();
     let mean = |v: &[f64]| {
         if v.is_empty() {
             f64::NAN
@@ -144,8 +155,11 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
 }
 
 pub fn run_with(p: Params) -> Table {
-    let without = run_arm(false, &p);
-    let with = run_arm(true, &p);
+    // The two arms are independent seeded simulations — run them on
+    // separate threads; par_map keeps the (no-mesh, mesh) order.
+    let mut arms = dlte_sim::par_map(vec![false, true], |mesh| run_arm(mesh, &p));
+    let with = arms.pop().expect("two arms");
+    let without = arms.pop().expect("two arms");
     let mut t = Table::new(
         "E13",
         "Backhaul failure: standalone APs vs §7 mesh redundancy",
@@ -200,7 +214,10 @@ mod tests {
         // with mesh it is bounded well under half of it.
         assert!(no_mesh[1] > 10.0, "no-mesh outage {}", no_mesh[1]);
         assert!(mesh[1] < 4.0, "mesh outage {}", mesh[1]);
-        assert!(mesh[0] > no_mesh[0] + 100.0, "mesh delivered far more pongs");
+        assert!(
+            mesh[0] > no_mesh[0] + 100.0,
+            "mesh delivered far more pongs"
+        );
         // Service continues at a higher RTT via the neighbor.
         assert!(
             mesh[3] > mesh[2],

@@ -5,14 +5,17 @@
 //! rural Okumura-Hata terrain. WiFi throughput is DCF goodput for a single
 //! station at the SNR its link budget yields.
 
-use super::{mbps, f2c, Table};
+use super::{f2c, mbps, Table};
 use dlte_mac::wifi::dcf::{DcfConfig, DcfSim, StationConfig};
 use dlte_mac::{CellConfig, CellSim, UeConfig};
 use dlte_phy::band::Band;
 use dlte_phy::link::{LinkBudget, RadioConfig};
 use dlte_phy::propagation::PathLossModel;
 use dlte_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub distances_km: Vec<f64>,
     pub seed: u64,
@@ -65,13 +68,18 @@ pub fn run_with(p: Params) -> Table {
             "WiFi 5GHz (Mbit/s)",
         ],
     );
-    for &d in &p.distances_km {
-        t.row(vec![
+    // Each distance is an independent seeded simulation triple — fan the
+    // sweep out across threads; par_map keeps row order deterministic.
+    let rows = dlte_sim::par_map(p.distances_km.clone(), |d| {
+        vec![
             f2c(d),
             mbps(lte_goodput(d, p.seed)),
             mbps(wifi_goodput(d, Band::ism24(), p.seed)),
             mbps(wifi_goodput(d, Band::ism5(), p.seed)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.expect("comparable at very short range, then WiFi falls off a cliff; LTE band 5 still delivers at 10+ km — the rural-coverage argument");
     t
@@ -94,8 +102,12 @@ mod tests {
         let w5 = t.column_f64(3);
         // At 250 m the two are comparable (WiFi's wider channel vs LTE's
         // contention-free scheduling trade off within 2×).
-        assert!(w24[0] > 0.4 * lte[0] && w24[0] < 2.5 * lte[0],
-            "short range comparable: wifi {} lte {}", w24[0], lte[0]);
+        assert!(
+            w24[0] > 0.4 * lte[0] && w24[0] < 2.5 * lte[0],
+            "short range comparable: wifi {} lte {}",
+            w24[0],
+            lte[0]
+        );
         // By 8 km WiFi is dead; LTE still delivers megabits.
         assert_eq!(w24[2], 0.0, "2.4 GHz dead at 8 km");
         assert_eq!(w5[2], 0.0, "5 GHz dead at 8 km");

@@ -8,13 +8,16 @@
 use super::{f2c, mbps, Table};
 use dlte_mac::lte::cell::Direction;
 use dlte_mac::{CellConfig, CellSim, UeConfig};
+use dlte_phy::band::Band;
+use dlte_phy::link::LinkBudget;
 use dlte_phy::link::RadioConfig;
 use dlte_phy::mcs::CQI_TABLE;
 use dlte_phy::propagation::PathLossModel;
-use dlte_phy::band::Band;
-use dlte_phy::link::LinkBudget;
 use dlte_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub distances_km: Vec<f64>,
     pub seed: u64,

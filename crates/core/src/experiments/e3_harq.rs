@@ -8,7 +8,10 @@
 use super::{f1c, mbps, Table};
 use dlte_phy::harq::{HarqConfig, HarqProcessModel};
 use dlte_phy::mcs::select_cqi;
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub snrs_db: Vec<f64>,
     pub n_prb: u32,
@@ -46,8 +49,17 @@ pub fn run_with(p: Params) -> Table {
         };
         let g_on = harq.goodput_bps(snr, cqi, p.n_prb);
         let g_off = none.goodput_bps(snr, cqi, p.n_prb);
-        let gain = if g_off > 0.0 { g_on / g_off } else { f64::INFINITY };
-        t.row(vec![f1c(snr), mbps(g_on), mbps(g_off), format!("{gain:.2}")]);
+        let gain = if g_off > 0.0 {
+            g_on / g_off
+        } else {
+            f64::INFINITY
+        };
+        t.row(vec![
+            f1c(snr),
+            mbps(g_on),
+            mbps(g_off),
+            format!("{gain:.2}"),
+        ]);
     }
     t.expect("HARQ gain ≈ 1 at high SNR, grows to several × as SNR weakens below the MCS operating point");
     t

@@ -11,7 +11,10 @@ use dlte_mac::lte::timing_advance::PrachFormat;
 use dlte_mac::{CellConfig, CellSim, UeConfig};
 use dlte_phy::band::Band;
 use dlte_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub distances_km: Vec<f64>,
     pub seed: u64,
@@ -52,12 +55,7 @@ pub fn run_with(p: Params) -> Table {
     for &d in &p.distances_km {
         let (served_on, g_on) = uplink(d, true, PrachFormat::Format3, p.seed);
         let (_, g_off) = uplink(d, false, PrachFormat::Format3, p.seed);
-        t.row(vec![
-            f2c(d),
-            mbps(g_on),
-            mbps(g_off),
-            served_on.to_string(),
-        ]);
+        t.row(vec![f2c(d), mbps(g_on), mbps(g_off), served_on.to_string()]);
     }
     t.expect("equal under ~0.7 km (CP absorbs the skew); beyond it TA-off collapses while TA-on holds to the PRACH limit (~100 km)");
     t

@@ -17,7 +17,10 @@ use dlte_phy::band::Band;
 use dlte_registry::{ChannelPlan, GrantRequest, Point, SpectrumRegistry};
 use dlte_sim::{SimDuration, SimRng, SimTime};
 use dlte_x2::max_min_shares;
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub seconds: u64,
     pub seed: u64,
@@ -25,7 +28,10 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { seconds: 2, seed: 1 }
+        Params {
+            seconds: 2,
+            seed: 1,
+        }
     }
 }
 
@@ -74,7 +80,9 @@ fn dlte_registry_coordination(p: &Params) -> Row {
         lease: SimDuration::from_secs(3600),
     };
     let a = reg.request(req(0.0), SimTime::ZERO).expect("open registry");
-    let b = reg.request(req(15.0), SimTime::ZERO).expect("open registry");
+    let b = reg
+        .request(req(15.0), SimTime::ZERO)
+        .expect("open registry");
     let dom_a = reg.contention_domain(&a, SimTime::ZERO);
     assert_eq!(dom_a.len(), 1, "registry reveals the hidden peer");
     let _ = b;
@@ -107,7 +115,11 @@ pub fn run_with(p: Params) -> Table {
             "peers found out-of-band",
         ],
     );
-    for row in [wifi(false, &p), wifi(true, &p), dlte_registry_coordination(&p)] {
+    for row in [
+        wifi(false, &p),
+        wifi(true, &p),
+        dlte_registry_coordination(&p),
+    ] {
         t.row(vec![
             row.label.into(),
             mbps(row.aggregate_bps),
@@ -127,7 +139,10 @@ pub fn run() -> Table {
 mod tests {
     #[test]
     fn shapes_hold() {
-        let t = super::run_with(super::Params { seconds: 1, seed: 2 });
+        let t = super::run_with(super::Params {
+            seconds: 1,
+            seed: 2,
+        });
         let agg = t.column_f64(1);
         let coll = t.column_f64(2);
         // Hidden CSMA worse than visible CSMA.
@@ -135,7 +150,12 @@ mod tests {
         assert!(coll[1] > 3.0 * coll[0].max(0.01));
         // Registry arm: zero collisions, healthy aggregate.
         assert_eq!(coll[2], 0.0);
-        assert!(agg[2] > agg[1], "registry {} beats hidden CSMA {}", agg[2], agg[1]);
+        assert!(
+            agg[2] > agg[1],
+            "registry {} beats hidden CSMA {}",
+            agg[2],
+            agg[1]
+        );
         assert_eq!(t.rows[2][3], "1", "peer discovered from the database");
     }
 }

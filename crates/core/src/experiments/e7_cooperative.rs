@@ -24,7 +24,10 @@ use dlte_sim::stats::jain_index;
 use dlte_sim::{SimDuration, SimRng};
 use dlte_x2::cooperative::{best_ap_assignment, load_balanced_assignment, ClientMeasurement};
 use dlte_x2::weighted_shares;
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     /// Client positions along the AP0→AP1 axis, km from AP0.
     pub client_km: Vec<f64>,
@@ -49,20 +52,25 @@ impl Default for Params {
 
 /// SINR measurements of every client toward both APs.
 fn measurements(p: &Params) -> Vec<ClientMeasurement> {
-    let budget = |dist: f64| LinkBudget {
-        tx: RadioConfig::rural_enodeb(),
-        rx: RadioConfig::lte_handset(),
-        model: PathLossModel::rural_macro(),
-        freq_mhz: 881.5,
-        bandwidth_hz: 10e6,
-    }
-    .snr_db(dist, 0.0);
+    let budget = |dist: f64| {
+        LinkBudget {
+            tx: RadioConfig::rural_enodeb(),
+            rx: RadioConfig::lte_handset(),
+            model: PathLossModel::rural_macro(),
+            freq_mhz: 881.5,
+            bandwidth_hz: 10e6,
+        }
+        .snr_db(dist, 0.0)
+    };
     p.client_km
         .iter()
         .enumerate()
         .map(|(i, &x)| ClientMeasurement {
             client: i as u64,
-            sinr_db: vec![budget(x.max(0.05)), budget((p.ap_distance_km - x).max(0.05))],
+            sinr_db: vec![
+                budget(x.max(0.05)),
+                budget((p.ap_distance_km - x).max(0.05)),
+            ],
         })
         .collect()
 }
@@ -75,21 +83,16 @@ struct Outcome {
 
 /// Evaluate an (assignment, per-AP tdm share, interference) configuration
 /// with the cell simulator.
-fn evaluate(
-    p: &Params,
-    ap_of: &[usize],
-    shares: &[f64],
-    interference: bool,
-) -> Outcome {
+fn evaluate(p: &Params, ap_of: &[usize], shares: &[f64], interference: bool) -> Outcome {
     let mut per_client = vec![0.0f64; p.client_km.len()];
-    for ap in 0..2 {
+    for (ap, &share) in shares.iter().enumerate().take(2) {
         let members: Vec<usize> = (0..p.client_km.len()).filter(|&i| ap_of[i] == ap).collect();
         if members.is_empty() {
             continue;
         }
         let mut cfg = CellConfig::rural_default();
         cfg.direction = Direction::Downlink;
-        cfg.tdm_share = shares[ap];
+        cfg.tdm_share = share;
         let ues: Vec<UeConfig> = members
             .iter()
             .map(|&i| {
@@ -139,18 +142,27 @@ fn evaluate(
 pub fn run_with(p: Params) -> Table {
     let meas = measurements(&p);
     let natural = best_ap_assignment(&meas, 2);
-
-    // Independent: natural association, both APs always on, mutual
-    // interference.
-    let independent = evaluate(&p, &natural.ap_of, &[1.0, 1.0], true);
-    // Fair share: natural association, clean 50/50 TDM.
-    let fair = evaluate(&p, &natural.ap_of, &[0.5, 0.5], false);
-    // Cooperative: re-balanced association (≤9 dB sacrifice — the eICIC
+    // Cooperative arm: re-balanced association (≤9 dB sacrifice — the eICIC
     // cell-range-expansion regime), demand-weighted shares, clean TDM.
     let balanced = load_balanced_assignment(&meas, 2, 9.0);
     let loads: Vec<f64> = balanced.load.iter().map(|&l| l as f64).collect();
     let shares = weighted_shares(&[1.0, 1.0], &loads, 1.0);
-    let cooperative = evaluate(&p, &balanced.ap_of, &shares, false);
+
+    // The three coordination arms are independent seeded simulations — run
+    // them on separate threads. (assignment, per-AP shares, interference):
+    // independent = natural association, both APs always on, mutual
+    // interference; fair-share = natural association, clean 50/50 TDM.
+    let mut outcomes = dlte_sim::par_map(
+        vec![
+            (natural.ap_of.clone(), vec![1.0, 1.0], true),
+            (natural.ap_of.clone(), vec![0.5, 0.5], false),
+            (balanced.ap_of.clone(), shares, false),
+        ],
+        |(ap_of, shares, interference)| evaluate(&p, &ap_of, &shares, interference),
+    );
+    let cooperative = outcomes.pop().expect("three arms");
+    let fair = outcomes.pop().expect("three arms");
+    let independent = outcomes.pop().expect("three arms");
 
     let mut t = Table::new(
         "E7",

@@ -18,7 +18,10 @@ use crate::scenario::{DlteNetworkBuilder, DltePlan};
 use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
 use dlte_epc::ue::{MobilityMode, UeApp, UeNode};
 use dlte_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     /// Dwell time on each AP before moving, seconds.
     pub dwell_s: Vec<f64>,
@@ -75,7 +78,11 @@ fn run_centralized(dwell_s: f64, p: &Params, total_s: f64) -> Arm {
         .with_ue_plan(move |i| UePlan {
             app: ping_app(CentralizedLteBuilder::ott_addr()),
             mode: MobilityMode::PathSwitch,
-            schedule: if i == 0 { schedule(dwell_s, total_s) } else { vec![] },
+            schedule: if i == 0 {
+                schedule(dwell_s, total_s)
+            } else {
+                vec![]
+            },
         })
         .build();
     net.sim
@@ -96,7 +103,11 @@ fn run_dlte(dwell_s: f64, p: &Params, total_s: f64) -> Arm {
         .with_ue_plan(move |i| DltePlan {
             app: ping_app(DlteNetworkBuilder::ott_addr()),
             mode: MobilityMode::ReAttach,
-            schedule: if i == 0 { schedule(dwell_s, total_s) } else { vec![] },
+            schedule: if i == 0 {
+                schedule(dwell_s, total_s)
+            } else {
+                vec![]
+            },
         })
         .build();
     net.sim
@@ -107,7 +118,11 @@ fn run_dlte(dwell_s: f64, p: &Params, total_s: f64) -> Arm {
 }
 
 fn arm_from(gaps: dlte_sim::stats::Samples, n_moves: usize, dwell_s: f64) -> Arm {
-    let mean = if gaps.is_empty() { f64::NAN } else { gaps.mean() };
+    let mean = if gaps.is_empty() {
+        f64::NAN
+    } else {
+        gaps.mean()
+    };
     // Moves whose gap was never closed (no traffic resumed before the next
     // move) show up as missing samples.
     let closed = gaps.len();
@@ -178,7 +193,11 @@ mod tests {
             lte_gap[0]
         );
         // At a 5 s dwell dLTE availability is fine…
-        assert!(dlte_avail[0] > 0.95, "5s dwell availability {}", dlte_avail[0]);
+        assert!(
+            dlte_avail[0] > 0.95,
+            "5s dwell availability {}",
+            dlte_avail[0]
+        );
         // …at 0.5 s it degrades markedly (the §4.2 breakdown).
         assert!(
             dlte_avail[1] < dlte_avail[0] - 0.05,

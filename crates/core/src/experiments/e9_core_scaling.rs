@@ -13,7 +13,10 @@ use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
 use dlte_epc::ue::UeNode;
 use dlte_sim::stats::Samples;
 use dlte_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub ue_counts: Vec<usize>,
     pub ues_per_site: usize,
@@ -75,17 +78,23 @@ pub fn run_with(p: Params) -> Table {
             "attached (EPC/dLTE)",
         ],
     );
-    for &n in &p.ue_counts {
+    // Each UE count is an independent pair of whole-network simulations (the
+    // heaviest sweep in the suite) — fan it out across threads; par_map keeps
+    // row order deterministic.
+    let rows = dlte_sim::par_map(p.ue_counts.clone(), |n| {
         let mut c = attach_latencies_centralized(n, &p);
         let mut d = attach_latencies_dlte(n, &p);
-        t.row(vec![
+        vec![
             n.to_string(),
             f2c(c.mean()),
             f2c(c.p95()),
             f2c(d.mean()),
             f2c(d.p95()),
             format!("{}/{}", c.len(), d.len()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.expect("dLTE attach latency is flat in N (stubs scale with sites); the shared EPC's mean and tail grow with N as its control plane queues");
     t

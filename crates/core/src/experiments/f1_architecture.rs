@@ -12,7 +12,10 @@ use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
 use dlte_epc::ue::{MobilityMode, UeApp, UeNode};
 use dlte_epc::{PgwNode, SgwNode};
 use dlte_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
 pub struct Params {
     pub seconds: u64,
     pub seed: u64,
@@ -48,15 +51,20 @@ fn centralized(p: &Params) -> SideResult {
             schedule: vec![],
         })
         .build();
-    net.sim
-        .run_until(SimTime::from_secs(p.seconds), 10_000_000);
+    net.sim.run_until(SimTime::from_secs(p.seconds), 10_000_000);
     let w = net.sim.world();
     let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
     let sgw = w.handler_as::<SgwNode>(net.sgw).unwrap();
     let pgw = w.handler_as::<PgwNode>(net.pgw).unwrap();
     let mut rtts = ue.stats.rtt_ms.clone();
     SideResult {
-        attach_ms: ue.stats.attach_latency_ms.values().first().copied().unwrap_or(f64::NAN),
+        attach_ms: ue
+            .stats
+            .attach_latency_ms
+            .values()
+            .first()
+            .copied()
+            .unwrap_or(f64::NAN),
         rtt_ms: rtts.median(),
         tunneled_packets: sgw.stats.ul_packets
             + sgw.stats.dl_packets
@@ -79,14 +87,19 @@ fn dlte(p: &Params) -> SideResult {
             ..Default::default()
         })
         .build();
-    net.sim
-        .run_until(SimTime::from_secs(p.seconds), 10_000_000);
+    net.sim.run_until(SimTime::from_secs(p.seconds), 10_000_000);
     let w = net.sim.world();
     let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
     let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
     let mut rtts = ue.stats.rtt_ms.clone();
     SideResult {
-        attach_ms: ue.stats.attach_latency_ms.values().first().copied().unwrap_or(f64::NAN),
+        attach_ms: ue
+            .stats
+            .attach_latency_ms
+            .values()
+            .first()
+            .copied()
+            .unwrap_or(f64::NAN),
         rtt_ms: rtts.median(),
         tunneled_packets: 0,
         breakout_packets: ap.core.stats.ul_user_packets + ap.core.stats.dl_user_packets,

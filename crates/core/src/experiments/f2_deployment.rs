@@ -3,6 +3,17 @@
 
 use super::{f1c, f2c, Table};
 use crate::econ::Deployment;
+use serde::{Deserialize, Serialize};
+
+/// F2 reports the fixed §5 bill of materials: nothing to sweep, so no knobs.
+/// The empty params struct keeps the registry interface uniform.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Params {}
+
+pub fn run_with(_p: Params) -> Table {
+    run()
+}
 
 pub fn run() -> Table {
     let mut t = Table::new(

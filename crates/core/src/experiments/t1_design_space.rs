@@ -2,6 +2,17 @@
 
 use super::Table;
 use crate::design_space::{quadrant, CoreOpenness, RadioRegime};
+use serde::{Deserialize, Serialize};
+
+/// T1 is a pure classification: nothing to sweep, so no knobs. The empty
+/// params struct keeps the registry interface uniform.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Params {}
+
+pub fn run_with(_p: Params) -> Table {
+    run()
+}
 
 pub fn run() -> Table {
     let mut t = Table::new(

@@ -226,7 +226,11 @@ mod tests {
         // ~0.5 s of traffic died on the downed link, the rest arrived:
         // 250 pkts/s × (4 − 0.5) ≈ 875.
         let delivered = t.flow(1).unwrap().delivered_packets;
-        assert!(t.drops_link_down > 50, "link-down drops {}", t.drops_link_down);
+        assert!(
+            t.drops_link_down > 50,
+            "link-down drops {}",
+            t.drops_link_down
+        );
         assert!(
             (800..950).contains(&delivered),
             "delivered {delivered} (outage bounded by reconvergence)"

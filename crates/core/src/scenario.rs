@@ -270,8 +270,8 @@ impl DlteNetworkBuilder {
 
         // Routing.
         b.auto_routes();
-        for k in 0..self.n_aps {
-            b.route(r_agg, Self::ap_pool(k), ap_links[k]);
+        for (k, &link) in ap_links.iter().enumerate().take(self.n_aps) {
+            b.route(r_agg, Self::ap_pool(k), link);
         }
         // Whole dLTE client space from the Internet side.
         b.route(
@@ -330,6 +330,12 @@ impl DlteNetworkBuilder {
             ap_mesh,
         }
     }
+}
+
+/// True if `addr` belongs to any dLTE AP pool (used by the failover logic
+/// to recognize radio-side host routes it must preserve).
+pub fn any_ap_pool_contains(addr: Addr) -> bool {
+    DlteNetworkBuilder::all_pools().contains(addr)
 }
 
 #[cfg(test)]
@@ -425,7 +431,10 @@ mod tests {
             DlteNetworkBuilder::ap_pool(1).contains(addr),
             "new address from AP1's pool: {addr}"
         );
-        assert!(!ue.stats.handover_gap_ms.is_empty(), "interruption measured");
+        assert!(
+            !ue.stats.handover_gap_ms.is_empty(),
+            "interruption measured"
+        );
         assert!(ue.stats.pongs > 50);
     }
 
@@ -486,11 +495,4 @@ mod tests {
         // Resume cost ≈ attach (a few radio RTTs) + one path RTT.
         assert!((10.0..1000.0).contains(&resume), "resume {resume} ms");
     }
-}
-
-
-/// True if `addr` belongs to any dLTE AP pool (used by the failover logic
-/// to recognize radio-side host routes it must preserve).
-pub fn any_ap_pool_contains(addr: Addr) -> bool {
-    DlteNetworkBuilder::all_pools().contains(addr)
 }

@@ -79,15 +79,15 @@ impl TransportUeApp {
             ctx.forward(p);
         }
         for ev in self.conn.take_events() {
-            match ev {
-                ConnEvent::TokenIssued(t) => self.token = Some(t),
-                _ => {}
+            if let ConnEvent::TokenIssued(t) = ev {
+                self.token = Some(t);
             }
         }
         // Resume detection.
         if let Some(t0) = self.waiting_since {
             if self.conn.acked_bytes() > self.acked_at_change {
-                self.resume_ms.push_duration_ms(ctx.now.saturating_since(t0));
+                self.resume_ms
+                    .push_duration_ms(ctx.now.saturating_since(t0));
                 self.waiting_since = None;
             }
         }

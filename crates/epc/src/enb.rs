@@ -117,7 +117,8 @@ impl EnbNode {
                 self.stats.contexts_installed += 1;
                 // Radio route so decapsulated (and any routed) downlink
                 // traffic for the UE address leaves on the radio link.
-                ctx.node_info_mut().set_route(Prefix::new(ue_addr, 32), link);
+                ctx.node_info_mut()
+                    .set_route(Prefix::new(ue_addr, 32), link);
             }
             S1ap::UeContextRelease { imsi } => {
                 if let Some(c) = self.contexts.remove(&imsi) {

@@ -89,15 +89,16 @@ mod tests {
             ctx.forward(p);
         }
         fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, packet: Packet) {
-            if let Some(S6a::AuthInfoAnswer { vector, .. }) =
-                packet.payload.as_control::<S6a>()
-            {
+            if let Some(S6a::AuthInfoAnswer { vector, .. }) = packet.payload.as_control::<S6a>() {
                 self.got = Some(*vector);
             }
         }
     }
 
-    fn run(imsi_provisioned: Imsi, imsi_asked: Imsi) -> Option<Option<dlte_auth::vectors::AuthVector>> {
+    fn run(
+        imsi_provisioned: Imsi,
+        imsi_asked: Imsi,
+    ) -> Option<Option<dlte_auth::vectors::AuthVector>> {
         let mut b = NetworkBuilder::new(3);
         let hss_addr = Addr::new(10, 255, 0, 1);
         let mme_addr = Addr::new(10, 255, 0, 2);

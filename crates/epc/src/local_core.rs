@@ -57,7 +57,9 @@ pub struct LocalCoreStats {
 
 #[derive(Clone, Debug)]
 enum AttachPhase {
-    AwaitKey { started: SimTime },
+    AwaitKey {
+        started: SimTime,
+    },
     AwaitAuth {
         started: SimTime,
         vector: AuthVector,
@@ -190,12 +192,12 @@ impl LocalCoreNode {
                         self.attaching
                             .insert(imsi, AttachPhase::AwaitKey { started });
                         let my_addr = ctx.my_addr();
-                        let q = ctx
-                            .make_packet(dir_addr, DIR_MSG_BYTES)
-                            .with_payload(Payload::control(DirMsg::Query {
+                        let q = ctx.make_packet(dir_addr, DIR_MSG_BYTES).with_payload(
+                            Payload::control(DirMsg::Query {
                                 imsi,
                                 reply_to: my_addr,
-                            }));
+                            }),
+                        );
                         self.proc.process(ctx, vec![q]);
                     }
                 }
@@ -224,13 +226,19 @@ impl LocalCoreNode {
                 }
                 self.by_ue_addr.insert(ue_addr, imsi);
                 if let Some(&(link, _)) = self.radio.get(&imsi) {
-                    ctx.node_info_mut().set_route(Prefix::new(ue_addr, 32), link);
+                    ctx.node_info_mut()
+                        .set_route(Prefix::new(ue_addr, 32), link);
                 }
                 self.stats.attaches_completed += 1;
                 self.stats
                     .attach_latency_ms
                     .push_duration_ms(ctx.now.saturating_since(started));
-                self.nas_down(ctx, imsi, Nas::AttachAccept { ue_addr }, wire::ATTACH_ACCEPT);
+                self.nas_down(
+                    ctx,
+                    imsi,
+                    Nas::AttachAccept { ue_addr },
+                    wire::ATTACH_ACCEPT,
+                );
             }
             Nas::AuthenticationFailure { ue_sqn, .. } => {
                 let Some(AttachPhase::AwaitAuth {

@@ -62,12 +62,18 @@ pub enum Nas {
     /// eNB → UE: the RRC connection was released (the UE is now ECM-IDLE;
     /// it keeps its IP address but must send a service request before
     /// using it again).
-    RrcRelease { imsi: Imsi },
+    RrcRelease {
+        imsi: Imsi,
+    },
     /// eNB → UE: the network has downlink data waiting (paging).
-    PagingNotify { imsi: Imsi },
+    PagingNotify {
+        imsi: Imsi,
+    },
     /// MME → UE (via eNB): the service request completed; the radio bearer
     /// is restored and the UE may transmit.
-    ServiceAccept { imsi: Imsi },
+    ServiceAccept {
+        imsi: Imsi,
+    },
 }
 
 /// UE-associated NAS transport (the S1AP relay): NAS between UE and MME is
@@ -153,13 +159,21 @@ pub enum Gtpc {
         new_enb_addr: Addr,
         teid_dl_enb: Teid,
     },
-    ModifyBearerResponse { imsi: Imsi },
-    DeleteSessionRequest { imsi: Imsi },
+    ModifyBearerResponse {
+        imsi: Imsi,
+    },
+    DeleteSessionRequest {
+        imsi: Imsi,
+    },
     /// MME → S-GW on S1 release: drop the eNB-side tunnel; buffer downlink
     /// and raise a notification when data arrives.
-    ReleaseAccessBearers { imsi: Imsi },
+    ReleaseAccessBearers {
+        imsi: Imsi,
+    },
     /// S-GW → MME: downlink data arrived for an idle UE (trigger paging).
-    DownlinkDataNotification { imsi: Imsi },
+    DownlinkDataNotification {
+        imsi: Imsi,
+    },
 }
 
 /// S5 messages (S-GW ↔ P-GW).

@@ -113,7 +113,9 @@ impl MmeNode {
     pub fn addr_of(&self, imsi: Imsi) -> Option<Addr> {
         match self.contexts.get(&imsi) {
             Some(UeCtx::Active { ue_addr, .. }) => Some(*ue_addr),
-            Some(UeCtx::Switching { ue_addr, old_enb, .. }) => {
+            Some(UeCtx::Switching {
+                ue_addr, old_enb, ..
+            }) => {
                 let _ = old_enb;
                 Some(*ue_addr)
             }
@@ -169,13 +171,13 @@ impl MmeNode {
                             teid_dl,
                         },
                     );
-                    let req = ctx
-                        .make_packet(self.sgw_addr, wire::GTPC)
-                        .with_payload(Payload::control(Gtpc::CreateSessionRequest {
-                            imsi,
-                            enb_addr: via_enb,
-                            teid_dl_enb: teid_dl,
-                        }));
+                    let req =
+                        ctx.make_packet(self.sgw_addr, wire::GTPC)
+                            .with_payload(Payload::control(Gtpc::CreateSessionRequest {
+                                imsi,
+                                enb_addr: via_enb,
+                                teid_dl_enb: teid_dl,
+                            }));
                     self.proc.process(ctx, vec![req]);
                 } else {
                     self.stats.attaches_rejected += 1;
@@ -347,15 +349,15 @@ impl MmeNode {
                     .attach_latency_ms
                     .push_duration_ms(ctx.now.saturating_since(started));
                 // Install the context at the eNB, then accept the UE.
-                let setup = ctx
-                    .make_packet(via_enb, wire::S1AP_CONTEXT)
-                    .with_payload(Payload::control(S1ap::InitialContextSetup {
-                        imsi,
-                        ue_addr,
-                        sgw_addr: self.sgw_addr,
-                        teid_ul: teid_ul_sgw,
-                        teid_dl,
-                    }));
+                let setup =
+                    ctx.make_packet(via_enb, wire::S1AP_CONTEXT)
+                        .with_payload(Payload::control(S1ap::InitialContextSetup {
+                            imsi,
+                            ue_addr,
+                            sgw_addr: self.sgw_addr,
+                            teid_ul: teid_ul_sgw,
+                            teid_dl,
+                        }));
                 let accept = Self::nas_to_enb(
                     ctx,
                     via_enb,
@@ -493,15 +495,15 @@ impl MmeNode {
             // The target eNB gets the context immediately (in real S1AP it
             // already holds it — it initiated the path switch), so downlink
             // flushed by the S-GW never races an uninstalled tunnel.
-            let setup = ctx
-                .make_packet(new_enb, wire::S1AP_CONTEXT)
-                .with_payload(Payload::control(S1ap::InitialContextSetup {
-                    imsi,
-                    ue_addr,
-                    sgw_addr: self.sgw_addr,
-                    teid_ul: teid_ul_sgw,
-                    teid_dl,
-                }));
+            let setup =
+                ctx.make_packet(new_enb, wire::S1AP_CONTEXT)
+                    .with_payload(Payload::control(S1ap::InitialContextSetup {
+                        imsi,
+                        ue_addr,
+                        sgw_addr: self.sgw_addr,
+                        teid_ul: teid_ul_sgw,
+                        teid_dl,
+                    }));
             let modify = ctx
                 .make_packet(self.sgw_addr, wire::GTPC)
                 .with_payload(Payload::control(Gtpc::ModifyBearerRequest {

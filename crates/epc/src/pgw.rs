@@ -6,7 +6,7 @@
 //! native IP. Downlink: match the destination against allocated UE
 //! addresses and tunnel toward the S-GW.
 
-use crate::messages::{wire, S5, Teid};
+use crate::messages::{wire, Teid, S5};
 use crate::proc::Processor;
 use dlte_auth::Imsi;
 use dlte_net::gtp;

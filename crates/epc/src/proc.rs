@@ -74,10 +74,13 @@ impl Processor {
 
     /// Mean queueing delay per processed message.
     pub fn mean_queue_delay(&self) -> SimDuration {
-        if self.processed == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(self.queue_delay_total.as_nanos() / self.processed)
+        match self
+            .queue_delay_total
+            .as_nanos()
+            .checked_div(self.processed)
+        {
+            Some(mean) => SimDuration::from_nanos(mean),
+            None => SimDuration::ZERO,
         }
     }
 

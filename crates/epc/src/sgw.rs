@@ -6,7 +6,7 @@
 //! processor; user-plane forwarding is charged a fixed per-packet time via
 //! the same mechanism kept deliberately small (hardware fast path).
 
-use crate::messages::{wire, Gtpc, S5, Teid};
+use crate::messages::{wire, Gtpc, Teid, S5};
 use crate::proc::Processor;
 use dlte_auth::Imsi;
 use dlte_net::gtp;
@@ -119,13 +119,13 @@ impl SgwNode {
                     },
                 );
                 let my_addr = ctx.my_addr();
-                let req = ctx
-                    .make_packet(self.pgw_addr, wire::GTPC)
-                    .with_payload(Payload::control(S5::CreateRequest {
-                        imsi,
-                        sgw_addr: my_addr,
-                        teid_dl_sgw,
-                    }));
+                let req =
+                    ctx.make_packet(self.pgw_addr, wire::GTPC)
+                        .with_payload(Payload::control(S5::CreateRequest {
+                            imsi,
+                            sgw_addr: my_addr,
+                            teid_dl_sgw,
+                        }));
                 self.proc.process(ctx, vec![req]);
             }
             Gtpc::ModifyBearerRequest {
@@ -165,12 +165,12 @@ impl SgwNode {
                 if let Some(b) = self.bearers.remove(&imsi) {
                     self.by_ul_teid.remove(&b.teid_ul_sgw);
                     self.by_dl_teid.remove(&b.teid_dl_sgw);
-                    let del = ctx
-                        .make_packet(self.pgw_addr, wire::GTPC)
-                        .with_payload(Payload::control(S5::DeleteRequest {
-                            imsi,
-                            ue_addr: b.ue_addr.unwrap_or(Addr::UNSPECIFIED),
-                        }));
+                    let del =
+                        ctx.make_packet(self.pgw_addr, wire::GTPC)
+                            .with_payload(Payload::control(S5::DeleteRequest {
+                                imsi,
+                                ue_addr: b.ue_addr.unwrap_or(Addr::UNSPECIFIED),
+                            }));
                     self.proc.process(ctx, vec![del]);
                 }
             }
@@ -249,9 +249,7 @@ impl SgwNode {
                     self.stats.ddn_sent += 1;
                     let ddn = ctx
                         .make_packet(self.mme_addr, wire::GTPC)
-                        .with_payload(Payload::control(Gtpc::DownlinkDataNotification {
-                            imsi,
-                        }));
+                        .with_payload(Payload::control(Gtpc::DownlinkDataNotification { imsi }));
                     self.proc.process(ctx, vec![ddn]);
                 }
                 return;

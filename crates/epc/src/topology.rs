@@ -22,7 +22,7 @@ use crate::ue::{CellAttachment, MobilityMode, UeApp, UeNode};
 use dlte_auth::usim::Usim;
 use dlte_auth::{Imsi, Key};
 use dlte_net::handlers::EchoServer;
-use dlte_net::{Addr, AddrPool, LinkConfig, NetworkBuilder, Network, NodeId, Prefix};
+use dlte_net::{Addr, AddrPool, LinkConfig, Network, NetworkBuilder, NodeId, Prefix};
 use dlte_sim::{SimDuration, SimRng, SimTime, Simulation};
 
 /// Per-UE experiment plan.
@@ -155,7 +155,12 @@ impl CentralizedLteBuilder {
         }
         let mme = b.host(
             "mme",
-            Box::new(MmeNode::new(self.sn_id, hss_addr, sgw_addr, self.mme_per_msg)),
+            Box::new(MmeNode::new(
+                self.sn_id,
+                hss_addr,
+                sgw_addr,
+                self.mme_per_msg,
+            )),
         );
         b.addr(mme, mme_addr);
         let mut sgw_node = SgwNode::new(pgw_addr, self.gw_per_msg);
@@ -352,13 +357,21 @@ mod tests {
         let w = net.sim.world();
         let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
         assert_eq!(ue.state, UeState::Attached);
-        assert!(ue.stats.rrc_releases >= 2, "releases {}", ue.stats.rrc_releases);
+        assert!(
+            ue.stats.rrc_releases >= 2,
+            "releases {}",
+            ue.stats.rrc_releases
+        );
         assert!(
             ue.stats.service_requests >= 2,
             "service requests {}",
             ue.stats.service_requests
         );
-        assert!(ue.stats.pongs >= 3, "pings still complete: {}", ue.stats.pongs);
+        assert!(
+            ue.stats.pongs >= 3,
+            "pings still complete: {}",
+            ue.stats.pongs
+        );
         let mme = w.handler_as::<MmeNode>(net.mme).unwrap();
         assert!(mme.stats.s1_releases >= 2);
         let enb = w.handler_as::<crate::enb::EnbNode>(net.enbs[0]).unwrap();
@@ -400,7 +413,10 @@ mod tests {
         assert!(sgw.stats.bearers_released >= 2, "UE0 went idle repeatedly");
         assert!(sgw.stats.ddn_sent >= 3, "downlink raised notifications");
         assert!(sgw.stats.buffered >= 3, "packets buffered while idle");
-        assert!(sgw.stats.buffer_flushed >= 3, "buffers flushed after paging");
+        assert!(
+            sgw.stats.buffer_flushed >= 3,
+            "buffers flushed after paging"
+        );
         let mme = w.handler_as::<MmeNode>(net.mme).unwrap();
         assert!(mme.stats.pages_sent >= 3, "MME paged");
         assert!(ue0.stats.pages_received >= 3, "UE heard the pages");

@@ -228,7 +228,13 @@ impl UeNode {
         ctx.set_timer(SimDuration::ZERO, TAG_APP);
     }
 
-    fn app_packet(&mut self, ctx: &mut NodeCtx<'_>, dst: Addr, bytes: u32, flow: u64) -> Option<Packet> {
+    fn app_packet(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        dst: Addr,
+        bytes: u32,
+        flow: u64,
+    ) -> Option<Packet> {
         let src = self.addr?;
         let id = ctx.new_packet_id();
         Some(
@@ -344,12 +350,11 @@ impl UeNode {
                 self.state = UeState::Detached;
                 self.attach_started = None;
             }
-            Nas::RrcRelease { .. } => {
-                if self.state == UeState::Attached {
-                    self.rrc_idle = true;
-                    self.stats.rrc_releases += 1;
-                }
+            Nas::RrcRelease { .. } if self.state == UeState::Attached => {
+                self.rrc_idle = true;
+                self.stats.rrc_releases += 1;
             }
+            Nas::RrcRelease { .. } => {}
             Nas::PagingNotify { .. } => {
                 self.stats.pages_received += 1;
                 self.service_request(ctx);
@@ -394,7 +399,8 @@ impl UeNode {
         self.current = idx;
         let cell = self.current_cell();
         // Re-point the default route at the new radio link.
-        ctx.node_info_mut().set_route(Prefix::DEFAULT, cell.radio_link);
+        ctx.node_info_mut()
+            .set_route(Prefix::DEFAULT, cell.radio_link);
         self.handover_started = Some(ctx.now);
         // Probes in flight across the move are lost; forget them so the gap
         // measurement keys off post-move probes.
@@ -431,7 +437,8 @@ impl NodeHandler for UeNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         // Default route toward the first cell, then attach immediately.
         let cell = self.current_cell();
-        ctx.node_info_mut().set_route(Prefix::DEFAULT, cell.radio_link);
+        ctx.node_info_mut()
+            .set_route(Prefix::DEFAULT, cell.radio_link);
         ctx.set_timer(SimDuration::ZERO, TAG_BEGIN_ATTACH);
         for (i, &(when, _)) in self.mobility.iter().enumerate() {
             ctx.set_timer(when.saturating_since(ctx.now), TAG_MOBILITY_BASE + i as u64);

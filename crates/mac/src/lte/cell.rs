@@ -169,8 +169,7 @@ impl CellSim {
             .enumerate()
             .map(|(i, ue)| {
                 let ta = if config.timing_advance {
-                    TimingAdvance::for_distance(ue.dist_km)
-                        .unwrap_or(TimingAdvance { steps: None })
+                    TimingAdvance::for_distance(ue.dist_km).unwrap_or(TimingAdvance { steps: None })
                 } else {
                     TimingAdvance::disabled()
                 };
@@ -180,7 +179,10 @@ impl CellSim {
                     true
                 };
                 UeState {
-                    shadowing: LinkShadowing::new(config.shadowing, rng.fork_idx("ue-shadow", i as u64)),
+                    shadowing: LinkShadowing::new(
+                        config.shadowing,
+                        rng.fork_idx("ue-shadow", i as u64),
+                    ),
                     ta,
                     served,
                     backlog_bits: 0.0,
@@ -236,8 +238,7 @@ impl CellSim {
         } else {
             0.0
         };
-        let mut sinr =
-            rx_dbm - 10.0 * (noise_mw + interference_mw).log10();
+        let mut sinr = rx_dbm - 10.0 * (noise_mw + interference_mw).log10();
         // Misaligned uplink arrivals self-interfere (E4). Downlink is always
         // aligned (single transmitter).
         if self.config.direction == Direction::Uplink {
@@ -312,7 +313,8 @@ impl CellSim {
         }
 
         self.grid.reset();
-        self.scheduler.schedule(self.tti, &sched_inputs, &mut self.grid);
+        self.scheduler
+            .schedule(self.tti, &sched_inputs, &mut self.grid);
         self.util_sum += self.grid.utilization();
         self.util_ttis += 1;
 
@@ -321,7 +323,9 @@ impl CellSim {
         for alloc in self.grid.allocations() {
             let i = alloc.ue;
             let sinr = per_ue_sinr[i];
-            let Some(cqi) = select_cqi(sinr) else { continue };
+            let Some(cqi) = select_cqi(sinr) else {
+                continue;
+            };
             let raw_bits = per_ue_bits_per_prb[i] * alloc.n_prb as f64;
             let eff = self.harq.stats(sinr, cqi).efficiency;
             served_bits[i] += raw_bits * eff;
@@ -354,6 +358,8 @@ impl CellSim {
         for _ in 0..ttis {
             self.step_tti();
         }
+        // One TTI = one unit of work for the run instrumentation.
+        dlte_sim::report::credit(ttis, duration);
         self.report(duration)
     }
 
@@ -437,7 +443,10 @@ mod tests {
             2,
         );
         let (a, b) = (r.ues[0].goodput_bps, r.ues[1].goodput_bps);
-        assert!((a / b - 1.0).abs() < 0.05, "equal UEs should split: {a} vs {b}");
+        assert!(
+            (a / b - 1.0).abs() < 0.05,
+            "equal UEs should split: {a} vs {b}"
+        );
         assert!(r.jain_fairness > 0.99);
         // Sum still ≈ one-UE peak.
         assert!((30e6..40e6).contains(&(a + b)));

@@ -259,8 +259,8 @@ mod tests {
         for tti in 0..2 {
             let mut grid = PrbGrid::new(3, 0);
             s.schedule(tti, &ues, &mut grid);
-            for ue in 0..2 {
-                total[ue] += prb_for(&grid, ue);
+            for (ue, t) in total.iter_mut().enumerate() {
+                *t += prb_for(&grid, ue);
             }
         }
         assert_eq!(total[0] + total[1], 6);

@@ -53,9 +53,13 @@ impl PrachFormat {
 
     /// Pick the cheapest format covering `radius_km`, if any.
     pub fn for_radius(radius_km: f64) -> Option<PrachFormat> {
-        [PrachFormat::Format0, PrachFormat::Format1, PrachFormat::Format3]
-            .into_iter()
-            .find(|f| f.max_radius_km() >= radius_km)
+        [
+            PrachFormat::Format0,
+            PrachFormat::Format1,
+            PrachFormat::Format3,
+        ]
+        .into_iter()
+        .find(|f| f.max_radius_km() >= radius_km)
     }
 }
 

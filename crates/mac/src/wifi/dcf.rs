@@ -163,9 +163,9 @@ impl DcfSim {
             assert_eq!(row.len(), n, "sensing matrix shape");
         }
         #[cfg(debug_assertions)]
-        for i in 0..n {
-            for j in 0..n {
-                debug_assert_eq!(sense[i][j], sense[j][i], "sensing must be symmetric");
+        for (i, row) in sense.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                debug_assert_eq!(cell, sense[j][i], "sensing must be symmetric");
             }
         }
         let stations = stations
@@ -247,13 +247,12 @@ impl DcfSim {
         // 3. Idle stations with traffic enter contention; contenders sense.
         let mut starters: Vec<usize> = Vec::new();
         for i in 0..n {
-            let medium_idle =
-                on_air.iter().all(|&j| j == i || !self.sense[i][j]);
+            let medium_idle = on_air.iter().all(|&j| j == i || !self.sense[i][j]);
             let st = &mut self.stations[i];
             match st.state {
                 StState::Idle => {
-                    let has_frame = st.in_range
-                        && (st.config.offered_bps.is_infinite() || st.queue > 0);
+                    let has_frame =
+                        st.in_range && (st.config.offered_bps.is_infinite() || st.queue > 0);
                     if has_frame {
                         if st.config.offered_bps.is_finite() {
                             st.queue -= 1;
@@ -267,7 +266,9 @@ impl DcfSim {
                         if backoff == 0 {
                             starters.push(i);
                         } else {
-                            st.state = StState::Contending { backoff: backoff - 1 };
+                            st.state = StState::Contending {
+                                backoff: backoff - 1,
+                            };
                         }
                     }
                     // Busy medium freezes the counter (DIFS deferral folded
@@ -308,7 +309,11 @@ impl DcfSim {
 
         // 5. Complete transmissions ending at the next slot boundary.
         for i in 0..n {
-            if let StState::Transmitting { ends_slot, collided } = self.stations[i].state {
+            if let StState::Transmitting {
+                ends_slot,
+                collided,
+            } = self.stations[i].state
+            {
                 if ends_slot <= slot + 1 {
                     let st = &mut self.stations[i];
                     if collided {
@@ -343,6 +348,8 @@ impl DcfSim {
         for _ in 0..slots {
             self.step_slot();
         }
+        // One DCF slot = one unit of work for the run instrumentation.
+        dlte_sim::report::credit(slots, duration);
         let secs = duration.as_secs_f64().max(1e-12);
         let stations: Vec<StationReport> = self
             .stations

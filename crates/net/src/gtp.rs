@@ -90,7 +90,12 @@ mod tests {
     #[test]
     fn nested_tunnels_pop_in_order() {
         // eNB → S-GW (teid 1), then S-GW → P-GW (teid 2): S5/S8 stacking.
-        let p = encapsulate(user_packet(), 1, Addr::new(10, 1, 0, 1), Addr::new(10, 2, 0, 1));
+        let p = encapsulate(
+            user_packet(),
+            1,
+            Addr::new(10, 1, 0, 1),
+            Addr::new(10, 2, 0, 1),
+        );
         let p = encapsulate(p, 2, Addr::new(10, 2, 0, 1), Addr::new(10, 3, 0, 1));
         assert_eq!(p.size_bytes, 1200 + 2 * GTP_OVERHEAD_BYTES);
         let p = decapsulate(p, Some(2)).expect("outer");
@@ -101,7 +106,12 @@ mod tests {
 
     #[test]
     fn wrong_teid_rejected() {
-        let p = encapsulate(user_packet(), 77, Addr::new(10, 1, 0, 1), Addr::new(10, 2, 0, 1));
+        let p = encapsulate(
+            user_packet(),
+            77,
+            Addr::new(10, 1, 0, 1),
+            Addr::new(10, 2, 0, 1),
+        );
         let err = decapsulate(p, Some(78)).expect_err("teid mismatch");
         assert!(err.is_tunneled(), "packet unchanged");
     }
@@ -114,7 +124,12 @@ mod tests {
 
     #[test]
     fn wildcard_teid_accepts_any() {
-        let p = encapsulate(user_packet(), 123, Addr::new(10, 1, 0, 1), Addr::new(10, 2, 0, 1));
+        let p = encapsulate(
+            user_packet(),
+            123,
+            Addr::new(10, 1, 0, 1),
+            Addr::new(10, 2, 0, 1),
+        );
         assert!(decapsulate(p, None).is_ok());
     }
 }

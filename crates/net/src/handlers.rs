@@ -229,8 +229,7 @@ mod tests {
         let src = b.host(
             "src",
             Box::new(
-                CbrSource::new(dst_addr, 1, 1e6, 1250)
-                    .window(SimTime::ZERO, SimTime::from_secs(2)),
+                CbrSource::new(dst_addr, 1, 1e6, 1250).window(SimTime::ZERO, SimTime::from_secs(2)),
             ),
         );
         b.addr(src, Addr::new(10, 0, 0, 1));
@@ -241,7 +240,11 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(3), 1_000_000);
         let f = sim.world().trace().flow(1).expect("flow");
-        assert!((199..=201).contains(&f.delivered_packets), "{}", f.delivered_packets);
+        assert!(
+            (199..=201).contains(&f.delivered_packets),
+            "{}",
+            f.delivered_packets
+        );
     }
 
     #[test]
@@ -295,7 +298,9 @@ mod tests {
         let world = sim.world_mut();
         let echo = world.handler_as::<EchoServer>(server).expect("echo typed");
         assert!((9..=11).contains(&echo.echoed), "echoed {}", echo.echoed);
-        let pinger = world.handler_as_mut::<Pinger>(client).expect("pinger typed");
+        let pinger = world
+            .handler_as_mut::<Pinger>(client)
+            .expect("pinger typed");
         assert!(pinger.rtt_ms.len() >= 9);
         // RTT ≈ 2 × 25 ms propagation (serialization negligible at 1 Gbit/s).
         let med = pinger.rtt_ms.median();

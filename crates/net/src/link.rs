@@ -96,7 +96,10 @@ pub struct Link {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Offer {
     /// Accepted; packet arrives at the far end at this time.
-    Accepted { arrives_at: SimTime, departs_at: SimTime },
+    Accepted {
+        arrives_at: SimTime,
+        departs_at: SimTime,
+    },
     /// Dropped: queue full.
     DroppedQueueFull,
     /// Dropped: random loss.
@@ -139,13 +142,7 @@ impl Link {
     /// Offer a packet for transmission. `lossy_draw` is a pre-drawn uniform
     /// [0,1) used for random loss (kept outside so the link stays
     /// RNG-agnostic and deterministic to test).
-    pub fn offer(
-        &mut self,
-        dir: usize,
-        now: SimTime,
-        bytes: u32,
-        lossy_draw: f64,
-    ) -> Offer {
+    pub fn offer(&mut self, dir: usize, now: SimTime, bytes: u32, lossy_draw: f64) -> Offer {
         if !self.up {
             return Offer::DroppedLinkDown;
         }
@@ -182,10 +179,9 @@ impl Link {
     /// Mean queueing delay (excluding serialization) over accepted packets.
     pub fn mean_queue_delay(&self, dir: usize) -> SimDuration {
         let d = &self.dirs[dir];
-        if d.tx_packets == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(d.queue_delay_sum.as_nanos() / d.tx_packets)
+        match d.queue_delay_sum.as_nanos().checked_div(d.tx_packets) {
+            Some(mean) => SimDuration::from_nanos(mean),
+            None => SimDuration::ZERO,
         }
     }
 }
@@ -212,7 +208,10 @@ mod tests {
         let mut l = link();
         // 1000 bytes at 8 Mbit/s = 1 ms serialization + 5 ms propagation.
         match l.offer(0, SimTime::ZERO, 1000, 1.0) {
-            Offer::Accepted { arrives_at, departs_at } => {
+            Offer::Accepted {
+                arrives_at,
+                departs_at,
+            } => {
                 assert_eq!(departs_at.as_millis(), 1);
                 assert_eq!(arrives_at.as_millis(), 6);
             }
@@ -226,21 +225,24 @@ mod tests {
         let first = l.offer(0, SimTime::ZERO, 1000, 1.0);
         let second = l.offer(0, SimTime::ZERO, 1000, 1.0);
         match (first, second) {
-            (
-                Offer::Accepted { departs_at: d1, .. },
-                Offer::Accepted { departs_at: d2, .. },
-            ) => {
+            (Offer::Accepted { departs_at: d1, .. }, Offer::Accepted { departs_at: d2, .. }) => {
                 assert_eq!(d1.as_millis(), 1);
                 assert_eq!(d2.as_millis(), 2, "second waits for first");
             }
             other => panic!("{other:?}"),
         }
         // Queue capacity 2 → third drops.
-        assert_eq!(l.offer(0, SimTime::ZERO, 1000, 1.0), Offer::DroppedQueueFull);
+        assert_eq!(
+            l.offer(0, SimTime::ZERO, 1000, 1.0),
+            Offer::DroppedQueueFull
+        );
         assert_eq!(l.dirs[0].drops_queue, 1);
         // After a departure there is room again.
         l.departed(0);
-        assert!(matches!(l.offer(0, SimTime::ZERO, 1000, 1.0), Offer::Accepted { .. }));
+        assert!(matches!(
+            l.offer(0, SimTime::ZERO, 1000, 1.0),
+            Offer::Accepted { .. }
+        ));
     }
 
     #[test]
@@ -251,7 +253,10 @@ mod tests {
         // Much later the transmitter is idle: no queueing delay.
         match l.offer(0, SimTime::from_secs(1), 1000, 1.0) {
             Offer::Accepted { departs_at, .. } => {
-                assert_eq!(departs_at, SimTime::from_secs(1) + SimDuration::from_millis(1));
+                assert_eq!(
+                    departs_at,
+                    SimTime::from_secs(1) + SimDuration::from_millis(1)
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -263,7 +268,7 @@ mod tests {
         let mut l = link();
         l.offer(0, SimTime::ZERO, 1000, 1.0); // no wait
         l.offer(0, SimTime::ZERO, 1000, 1.0); // waits 1 ms
-        // Mean queue delay = 0.5 ms.
+                                              // Mean queue delay = 0.5 ms.
         assert_eq!(l.mean_queue_delay(0).as_micros(), 500);
     }
 
@@ -272,7 +277,10 @@ mod tests {
         let mut l = link();
         l.config.loss = 0.5;
         assert_eq!(l.offer(0, SimTime::ZERO, 100, 0.4), Offer::DroppedLoss);
-        assert!(matches!(l.offer(0, SimTime::ZERO, 100, 0.6), Offer::Accepted { .. }));
+        assert!(matches!(
+            l.offer(0, SimTime::ZERO, 100, 0.6),
+            Offer::Accepted { .. }
+        ));
         assert_eq!(l.dirs[0].drops_loss, 1);
     }
 

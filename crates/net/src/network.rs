@@ -90,13 +90,7 @@ impl NetCore {
                 let dest = l.other(node);
                 packet.hops += 1;
                 queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
-                queue.schedule_at(
-                    arrives_at,
-                    NetEvent::PacketArrive {
-                        node: dest,
-                        packet,
-                    },
-                );
+                queue.schedule_at(arrives_at, NetEvent::PacketArrive { node: dest, packet });
             }
             Offer::DroppedQueueFull => self.trace.drops_queue += 1,
             Offer::DroppedLoss => self.trace.drops_loss += 1,
@@ -114,7 +108,13 @@ pub struct Network {
 impl Network {
     /// Run a handler callback with the handler temporarily detached, so the
     /// handler can mutably borrow the core through the ctx.
-    fn with_handler<F>(&mut self, node: NodeId, queue: &mut EventQueue<NetEvent>, now: SimTime, f: F) -> bool
+    fn with_handler<F>(
+        &mut self,
+        node: NodeId,
+        queue: &mut EventQueue<NetEvent>,
+        now: SimTime,
+        f: F,
+    ) -> bool
     where
         F: FnOnce(&mut dyn NodeHandler, &mut NodeCtx<'_>),
     {
@@ -302,11 +302,11 @@ impl NetworkBuilder {
                 }
             }
             let addrs = self.nodes[target].addrs.clone();
-            for node in 0..n {
+            for (node, &hop) in via.iter().enumerate() {
                 if node == target {
                     continue;
                 }
-                if let Some(link) = via[node] {
+                if let Some(link) = hop {
                     for &a in &addrs {
                         self.nodes[node].set_route(crate::addr::Prefix::new(a, 32), link);
                     }
@@ -549,7 +549,9 @@ mod tests {
                     continue;
                 }
                 assert!(
-                    core.nodes[from].route_for(Addr::new(10, 0, i as u8, 1)).is_some(),
+                    core.nodes[from]
+                        .route_for(Addr::new(10, 0, i as u8, 1))
+                        .is_some(),
                     "leaf {from} cannot reach leaf {to}"
                 );
             }

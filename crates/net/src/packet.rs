@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn debug_formats() {
         assert_eq!(format!("{:?}", Payload::Empty), "Empty");
-        assert_eq!(format!("{:?}", Payload::Flow { flow: 1, seq: 2 }), "Flow(1#2)");
+        assert_eq!(
+            format!("{:?}", Payload::Flow { flow: 1, seq: 2 }),
+            "Flow(1#2)"
+        );
         assert_eq!(
             format!("{:?}", Payload::control(FakeNas { imsi: 0 })),
             "Control(..)"

@@ -116,7 +116,13 @@ mod tests {
     #[test]
     fn non_flow_deliveries_counted_separately() {
         let mut t = TraceStats::new();
-        let p = Packet::new(0, Addr::new(1, 0, 0, 1), Addr::new(1, 0, 0, 2), 64, SimTime::ZERO);
+        let p = Packet::new(
+            0,
+            Addr::new(1, 0, 0, 1),
+            Addr::new(1, 0, 0, 2),
+            64,
+            SimTime::ZERO,
+        );
         t.record_delivery(SimTime::from_millis(1), &p);
         assert_eq!(t.other_delivered, 1);
         assert_eq!(t.total_delivered(), 0);

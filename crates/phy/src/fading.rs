@@ -86,8 +86,7 @@ impl LinkShadowing {
             self.last_sample = now;
             let rho = (-dt / self.config.decorrelation_s.max(1e-9)).exp();
             let innovation_sigma = component_sigma * (1.0 - rho * rho).sqrt();
-            self.ar_state_db =
-                rho * self.ar_state_db + self.rng.normal(0.0, innovation_sigma);
+            self.ar_state_db = rho * self.ar_state_db + self.rng.normal(0.0, innovation_sigma);
         }
         let fast = if self.config.fast_sigma_db > 0.0 {
             self.rng.normal(0.0, self.config.fast_sigma_db)

@@ -201,7 +201,11 @@ mod tests {
         let cqi = &CQI_TABLE[8]; // CQI 9
         let s = m.stats(cqi.sinr_threshold_db, cqi);
         assert!(s.delivery_prob > 0.999, "delivery {}", s.delivery_prob);
-        assert!(s.expected_transmissions < 1.2, "E[tx] {}", s.expected_transmissions);
+        assert!(
+            s.expected_transmissions < 1.2,
+            "E[tx] {}",
+            s.expected_transmissions
+        );
         assert!(s.residual_bler < 1e-3);
     }
 
@@ -277,7 +281,11 @@ mod tests {
         }
         let p = delivered as f64 / n as f64;
         let etx = tx_total as f64 / n as f64;
-        assert!((p - expected.delivery_prob).abs() < 0.01, "{p} vs {}", expected.delivery_prob);
+        assert!(
+            (p - expected.delivery_prob).abs() < 0.01,
+            "{p} vs {}",
+            expected.delivery_prob
+        );
         assert!(
             (etx - expected.expected_transmissions).abs() < 0.03,
             "{etx} vs {}",

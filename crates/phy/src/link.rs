@@ -119,8 +119,7 @@ pub struct LinkBudget {
 impl LinkBudget {
     /// Received power at `dist_km`, dBm (before fading).
     pub fn rx_power_dbm(&self, dist_km: f64) -> f64 {
-        self.eirp_dbm() - self.model.path_loss_db(self.freq_mhz, dist_km)
-            + self.rx.antenna_gain_dbi
+        self.eirp_dbm() - self.model.path_loss_db(self.freq_mhz, dist_km) + self.rx.antenna_gain_dbi
             - self.rx.cable_loss_db
     }
 
@@ -142,7 +141,8 @@ impl LinkBudget {
     /// Maximum coupling loss the link supports while keeping SNR at or above
     /// `min_snr_db` (system gain), dB.
     pub fn max_coupling_loss_db(&self, min_snr_db: f64) -> f64 {
-        self.eirp_dbm() + self.rx.antenna_gain_dbi - self.rx.cable_loss_db
+        self.eirp_dbm() + self.rx.antenna_gain_dbi
+            - self.rx.cable_loss_db
             - self.noise_floor_dbm()
             - min_snr_db
     }
@@ -213,7 +213,11 @@ mod tests {
         let r = lb.range_km(0.0);
         assert!(r > 1.0, "rural 850 MHz cell should exceed 1 km, got {r}");
         // At exactly the computed range, SNR ≈ the threshold.
-        assert!((lb.snr_db(r, 0.0) - 0.0).abs() < 0.05, "snr at range {}", lb.snr_db(r, 0.0));
+        assert!(
+            (lb.snr_db(r, 0.0) - 0.0).abs() < 0.05,
+            "snr at range {}",
+            lb.snr_db(r, 0.0)
+        );
         // The same identity must hold when the *receiver* has antenna gain
         // (the uplink toward a sectored eNodeB) — this is the regression
         // guard for a double-counting bug where range_km subtracted the rx

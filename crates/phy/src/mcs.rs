@@ -44,21 +44,111 @@ pub struct CqiEntry {
 
 /// TS 36.213 Table 7.2.3-1 with 10%-BLER SINR thresholds.
 pub const CQI_TABLE: [CqiEntry; 15] = [
-    CqiEntry { cqi: 1, modulation: Modulation::Qpsk, code_rate_x1024: 78, efficiency: 0.1523, sinr_threshold_db: -6.7 },
-    CqiEntry { cqi: 2, modulation: Modulation::Qpsk, code_rate_x1024: 120, efficiency: 0.2344, sinr_threshold_db: -4.7 },
-    CqiEntry { cqi: 3, modulation: Modulation::Qpsk, code_rate_x1024: 193, efficiency: 0.3770, sinr_threshold_db: -2.3 },
-    CqiEntry { cqi: 4, modulation: Modulation::Qpsk, code_rate_x1024: 308, efficiency: 0.6016, sinr_threshold_db: 0.2 },
-    CqiEntry { cqi: 5, modulation: Modulation::Qpsk, code_rate_x1024: 449, efficiency: 0.8770, sinr_threshold_db: 2.4 },
-    CqiEntry { cqi: 6, modulation: Modulation::Qpsk, code_rate_x1024: 602, efficiency: 1.1758, sinr_threshold_db: 4.3 },
-    CqiEntry { cqi: 7, modulation: Modulation::Qam16, code_rate_x1024: 378, efficiency: 1.4766, sinr_threshold_db: 5.9 },
-    CqiEntry { cqi: 8, modulation: Modulation::Qam16, code_rate_x1024: 490, efficiency: 1.9141, sinr_threshold_db: 8.1 },
-    CqiEntry { cqi: 9, modulation: Modulation::Qam16, code_rate_x1024: 616, efficiency: 2.4063, sinr_threshold_db: 10.3 },
-    CqiEntry { cqi: 10, modulation: Modulation::Qam64, code_rate_x1024: 466, efficiency: 2.7305, sinr_threshold_db: 11.7 },
-    CqiEntry { cqi: 11, modulation: Modulation::Qam64, code_rate_x1024: 567, efficiency: 3.3223, sinr_threshold_db: 14.1 },
-    CqiEntry { cqi: 12, modulation: Modulation::Qam64, code_rate_x1024: 666, efficiency: 3.9023, sinr_threshold_db: 16.3 },
-    CqiEntry { cqi: 13, modulation: Modulation::Qam64, code_rate_x1024: 772, efficiency: 4.5234, sinr_threshold_db: 18.7 },
-    CqiEntry { cqi: 14, modulation: Modulation::Qam64, code_rate_x1024: 873, efficiency: 5.1152, sinr_threshold_db: 21.0 },
-    CqiEntry { cqi: 15, modulation: Modulation::Qam64, code_rate_x1024: 948, efficiency: 5.5547, sinr_threshold_db: 22.7 },
+    CqiEntry {
+        cqi: 1,
+        modulation: Modulation::Qpsk,
+        code_rate_x1024: 78,
+        efficiency: 0.1523,
+        sinr_threshold_db: -6.7,
+    },
+    CqiEntry {
+        cqi: 2,
+        modulation: Modulation::Qpsk,
+        code_rate_x1024: 120,
+        efficiency: 0.2344,
+        sinr_threshold_db: -4.7,
+    },
+    CqiEntry {
+        cqi: 3,
+        modulation: Modulation::Qpsk,
+        code_rate_x1024: 193,
+        efficiency: 0.3770,
+        sinr_threshold_db: -2.3,
+    },
+    CqiEntry {
+        cqi: 4,
+        modulation: Modulation::Qpsk,
+        code_rate_x1024: 308,
+        efficiency: 0.6016,
+        sinr_threshold_db: 0.2,
+    },
+    CqiEntry {
+        cqi: 5,
+        modulation: Modulation::Qpsk,
+        code_rate_x1024: 449,
+        efficiency: 0.8770,
+        sinr_threshold_db: 2.4,
+    },
+    CqiEntry {
+        cqi: 6,
+        modulation: Modulation::Qpsk,
+        code_rate_x1024: 602,
+        efficiency: 1.1758,
+        sinr_threshold_db: 4.3,
+    },
+    CqiEntry {
+        cqi: 7,
+        modulation: Modulation::Qam16,
+        code_rate_x1024: 378,
+        efficiency: 1.4766,
+        sinr_threshold_db: 5.9,
+    },
+    CqiEntry {
+        cqi: 8,
+        modulation: Modulation::Qam16,
+        code_rate_x1024: 490,
+        efficiency: 1.9141,
+        sinr_threshold_db: 8.1,
+    },
+    CqiEntry {
+        cqi: 9,
+        modulation: Modulation::Qam16,
+        code_rate_x1024: 616,
+        efficiency: 2.4063,
+        sinr_threshold_db: 10.3,
+    },
+    CqiEntry {
+        cqi: 10,
+        modulation: Modulation::Qam64,
+        code_rate_x1024: 466,
+        efficiency: 2.7305,
+        sinr_threshold_db: 11.7,
+    },
+    CqiEntry {
+        cqi: 11,
+        modulation: Modulation::Qam64,
+        code_rate_x1024: 567,
+        efficiency: 3.3223,
+        sinr_threshold_db: 14.1,
+    },
+    CqiEntry {
+        cqi: 12,
+        modulation: Modulation::Qam64,
+        code_rate_x1024: 666,
+        efficiency: 3.9023,
+        sinr_threshold_db: 16.3,
+    },
+    CqiEntry {
+        cqi: 13,
+        modulation: Modulation::Qam64,
+        code_rate_x1024: 772,
+        efficiency: 4.5234,
+        sinr_threshold_db: 18.7,
+    },
+    CqiEntry {
+        cqi: 14,
+        modulation: Modulation::Qam64,
+        code_rate_x1024: 873,
+        efficiency: 5.1152,
+        sinr_threshold_db: 21.0,
+    },
+    CqiEntry {
+        cqi: 15,
+        modulation: Modulation::Qam64,
+        code_rate_x1024: 948,
+        efficiency: 5.5547,
+        sinr_threshold_db: 22.7,
+    },
 ];
 
 /// Resource elements per PRB per 1 ms subframe (12 subcarriers × 14 symbols).

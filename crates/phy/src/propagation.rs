@@ -136,18 +136,13 @@ fn hata_db(
     } else {
         // COST-231-Hata; metropolitan-center constant omitted (cm = 0 dB for
         // medium city / suburban, which matches the rural target).
-        46.3 + 33.9 * f.log10() - 13.82 * hb.log10() - a_hm
-            + (44.9 - 6.55 * hb.log10()) * d.log10()
+        46.3 + 33.9 * f.log10() - 13.82 * hb.log10() - a_hm + (44.9 - 6.55 * hb.log10()) * d.log10()
     };
 
     match env {
         Environment::Urban => urban,
-        Environment::Suburban => {
-            urban - 2.0 * (f / 28.0).log10().powi(2) - 5.4
-        }
-        Environment::RuralOpen => {
-            urban - 4.78 * f.log10().powi(2) + 18.33 * f.log10() - 40.94
-        }
+        Environment::Suburban => urban - 2.0 * (f / 28.0).log10().powi(2) - 5.4,
+        Environment::RuralOpen => urban - 4.78 * f.log10().powi(2) + 18.33 * f.log10() - 40.94,
     }
 }
 

@@ -67,12 +67,30 @@ impl LteBandwidth {
 
 /// The six E-UTRA channel bandwidths.
 pub const LTE_BANDWIDTHS: [LteBandwidth; 6] = [
-    LteBandwidth { channel_mhz: 1.4, n_prb: 6 },
-    LteBandwidth { channel_mhz: 3.0, n_prb: 15 },
-    LteBandwidth { channel_mhz: 5.0, n_prb: 25 },
-    LteBandwidth { channel_mhz: 10.0, n_prb: 50 },
-    LteBandwidth { channel_mhz: 15.0, n_prb: 75 },
-    LteBandwidth { channel_mhz: 20.0, n_prb: 100 },
+    LteBandwidth {
+        channel_mhz: 1.4,
+        n_prb: 6,
+    },
+    LteBandwidth {
+        channel_mhz: 3.0,
+        n_prb: 15,
+    },
+    LteBandwidth {
+        channel_mhz: 5.0,
+        n_prb: 25,
+    },
+    LteBandwidth {
+        channel_mhz: 10.0,
+        n_prb: 50,
+    },
+    LteBandwidth {
+        channel_mhz: 15.0,
+        n_prb: 75,
+    },
+    LteBandwidth {
+        channel_mhz: 20.0,
+        n_prb: 100,
+    },
 ];
 
 /// LTE frame timing constants.

@@ -22,14 +22,54 @@ pub struct WifiRate {
 
 /// 802.11n single-stream rate table.
 pub const WIFI_RATES: [WifiRate; 8] = [
-    WifiRate { mcs: 0, name: "BPSK 1/2", phy_rate_mbps: 6.5, min_snr_db: 4.0 },
-    WifiRate { mcs: 1, name: "QPSK 1/2", phy_rate_mbps: 13.0, min_snr_db: 7.0 },
-    WifiRate { mcs: 2, name: "QPSK 3/4", phy_rate_mbps: 19.5, min_snr_db: 9.5 },
-    WifiRate { mcs: 3, name: "16QAM 1/2", phy_rate_mbps: 26.0, min_snr_db: 12.5 },
-    WifiRate { mcs: 4, name: "16QAM 3/4", phy_rate_mbps: 39.0, min_snr_db: 16.0 },
-    WifiRate { mcs: 5, name: "64QAM 2/3", phy_rate_mbps: 52.0, min_snr_db: 21.0 },
-    WifiRate { mcs: 6, name: "64QAM 3/4", phy_rate_mbps: 58.5, min_snr_db: 22.5 },
-    WifiRate { mcs: 7, name: "64QAM 5/6", phy_rate_mbps: 65.0, min_snr_db: 24.5 },
+    WifiRate {
+        mcs: 0,
+        name: "BPSK 1/2",
+        phy_rate_mbps: 6.5,
+        min_snr_db: 4.0,
+    },
+    WifiRate {
+        mcs: 1,
+        name: "QPSK 1/2",
+        phy_rate_mbps: 13.0,
+        min_snr_db: 7.0,
+    },
+    WifiRate {
+        mcs: 2,
+        name: "QPSK 3/4",
+        phy_rate_mbps: 19.5,
+        min_snr_db: 9.5,
+    },
+    WifiRate {
+        mcs: 3,
+        name: "16QAM 1/2",
+        phy_rate_mbps: 26.0,
+        min_snr_db: 12.5,
+    },
+    WifiRate {
+        mcs: 4,
+        name: "16QAM 3/4",
+        phy_rate_mbps: 39.0,
+        min_snr_db: 16.0,
+    },
+    WifiRate {
+        mcs: 5,
+        name: "64QAM 2/3",
+        phy_rate_mbps: 52.0,
+        min_snr_db: 21.0,
+    },
+    WifiRate {
+        mcs: 6,
+        name: "64QAM 3/4",
+        phy_rate_mbps: 58.5,
+        min_snr_db: 22.5,
+    },
+    WifiRate {
+        mcs: 7,
+        name: "64QAM 5/6",
+        phy_rate_mbps: 65.0,
+        min_snr_db: 24.5,
+    },
 ];
 
 /// Highest sustainable rate at `snr_db`; `None` below MCS 0's requirement

@@ -10,9 +10,8 @@ use proptest::prelude::*;
 fn arb_model() -> impl Strategy<Value = PathLossModel> {
     prop_oneof![
         Just(PathLossModel::FreeSpace),
-        (2.0f64..5.0, 10.0f64..500.0).prop_map(|(exponent, ref_m)| {
-            PathLossModel::LogDistance { exponent, ref_m }
-        }),
+        (2.0f64..5.0, 10.0f64..500.0)
+            .prop_map(|(exponent, ref_m)| { PathLossModel::LogDistance { exponent, ref_m } }),
         (
             prop_oneof![
                 Just(Environment::Urban),
@@ -22,11 +21,13 @@ fn arb_model() -> impl Strategy<Value = PathLossModel> {
             30.0f64..120.0,
             1.0f64..5.0
         )
-            .prop_map(|(environment, bs_height_m, ue_height_m)| PathLossModel::Hata {
-                environment,
-                bs_height_m,
-                ue_height_m,
-            }),
+            .prop_map(
+                |(environment, bs_height_m, ue_height_m)| PathLossModel::Hata {
+                    environment,
+                    bs_height_m,
+                    ue_height_m,
+                }
+            ),
     ]
 }
 

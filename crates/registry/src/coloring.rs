@@ -45,10 +45,7 @@ pub fn interference_graph(aps: &[ApSite]) -> Vec<Vec<usize>> {
 /// edge survives only if the pair can actually hear each other
 /// (`visible(i, j)`), modeling sensing-driven mesh heuristics that cannot
 /// see hidden interferers.
-pub fn measured_graph(
-    aps: &[ApSite],
-    visible: impl Fn(usize, usize) -> bool,
-) -> Vec<Vec<usize>> {
+pub fn measured_graph(aps: &[ApSite], visible: impl Fn(usize, usize) -> bool) -> Vec<Vec<usize>> {
     let mut g = interference_graph(aps);
     for (i, nbrs) in g.iter_mut().enumerate() {
         nbrs.retain(|&j| visible(i, j));

@@ -19,7 +19,10 @@ impl Point {
         Point { x_km, y_km }
     }
 
-    pub const ORIGIN: Point = Point { x_km: 0.0, y_km: 0.0 };
+    pub const ORIGIN: Point = Point {
+        x_km: 0.0,
+        y_km: 0.0,
+    };
 
     /// Euclidean distance, km.
     pub fn distance_km(&self, other: Point) -> f64 {
@@ -38,7 +41,10 @@ pub struct Rect {
 
 impl Rect {
     pub fn new(min: Point, max: Point) -> Rect {
-        assert!(min.x_km <= max.x_km && min.y_km <= max.y_km, "degenerate rect");
+        assert!(
+            min.x_km <= max.x_km && min.y_km <= max.y_km,
+            "degenerate rect"
+        );
         Rect { min, max }
     }
 
@@ -79,8 +85,14 @@ mod tests {
     fn circle_intersection() {
         let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
         assert!(r.intersects_circle(Point::new(5.0, 5.0), 1.0), "inside");
-        assert!(r.intersects_circle(Point::new(12.0, 5.0), 3.0), "overlaps edge");
-        assert!(!r.intersects_circle(Point::new(15.0, 5.0), 3.0), "clear miss");
+        assert!(
+            r.intersects_circle(Point::new(12.0, 5.0), 3.0),
+            "overlaps edge"
+        );
+        assert!(
+            !r.intersects_circle(Point::new(15.0, 5.0), 3.0),
+            "clear miss"
+        );
         // Corner case: circle near a corner.
         assert!(r.intersects_circle(Point::new(11.0, 11.0), 1.5));
         assert!(!r.intersects_circle(Point::new(11.0, 11.0), 1.0));

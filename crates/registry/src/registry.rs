@@ -8,8 +8,8 @@
 //! one — the property Table 1's "open core + licensed radio" quadrant
 //! requires.
 
-use crate::license::{ChannelPlan, GrantId, GrantRequest, LicenseGrant};
 use crate::geo::Point;
+use crate::license::{ChannelPlan, GrantId, GrantRequest, LicenseGrant};
 use dlte_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -314,13 +314,9 @@ mod tests {
         q.lease = SimDuration::from_secs(10);
         r.request(q, SimTime::ZERO).unwrap();
         // Same spot, channel 0: denied while active…
-        assert!(r
-            .request(req(0.0, Some(0)), SimTime::from_secs(5))
-            .is_err());
+        assert!(r.request(req(0.0, Some(0)), SimTime::from_secs(5)).is_err());
         // …free after expiry.
-        assert!(r
-            .request(req(0.0, Some(0)), SimTime::from_secs(11))
-            .is_ok());
+        assert!(r.request(req(0.0, Some(0)), SimTime::from_secs(11)).is_ok());
         r.expire(SimTime::from_secs(11));
         assert_eq!(r.active_count(SimTime::from_secs(11)), 1);
     }
@@ -339,7 +335,9 @@ mod tests {
         assert!(r
             .renew(g.id, SimDuration::from_secs(10), SimTime::from_secs(200))
             .is_none());
-        assert!(r.renew(999, SimDuration::from_secs(1), SimTime::ZERO).is_none());
+        assert!(r
+            .renew(999, SimDuration::from_secs(1), SimTime::ZERO)
+            .is_none());
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl<E> EventQueue<E> {
     /// logic error; the event is clamped to `now` so simulation time never
     /// runs backwards, and a debug assertion fires to surface the bug.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -119,24 +123,33 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
-    /// True if no events remain.
-    pub fn is_empty(&self) -> bool {
-        self.heap.len() <= self.canceled.len() && self.peek_time_internal().is_none()
+    /// True if no live events remain. Canceled tombstones at the top of the
+    /// heap are purged first, so a queue whose only entries were canceled
+    /// reports empty rather than a phantom event.
+    pub fn is_empty(&mut self) -> bool {
+        self.purge_canceled_top();
+        self.heap.is_empty()
     }
 
-    /// Firing time of the next live event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.peek_time_internal()
-    }
-
-    fn peek_time_internal(&self) -> Option<SimTime> {
-        // Skip over canceled tombstones without popping (heap iteration is
-        // unordered, so we must look only at the top; tombstones at the top
-        // are lazily discarded in `pop`). For peeking we conservatively scan
-        // by cloning nothing: walk the heap top via repeated inspection is
-        // not possible, so we accept that `peek_time` may report a canceled
-        // event's time. Callers that need exactness should `pop`.
+    /// Firing time of the next live event, if any. Never reports a canceled
+    /// event's time: tombstones at the heap top are lazily discarded here,
+    /// exactly as `pop` would.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_canceled_top();
         self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Drop canceled entries off the heap top until a live event (or nothing)
+    /// is exposed. Amortized O(1): each tombstone is popped at most once over
+    /// the queue's lifetime, whether here or in `pop_at_or_before`.
+    fn purge_canceled_top(&mut self) {
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if !self.canceled.contains(&s.seq) {
+                break;
+            }
+            let Reverse(s) = self.heap.pop().expect("peeked entry vanished");
+            self.canceled.remove(&s.seq);
+        }
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -232,27 +245,36 @@ impl<W: World> Simulation<W> {
     /// Run until the queue drains, the simulated clock passes `horizon`, or
     /// `max_events` have been dispatched. Events scheduled exactly at the
     /// horizon still fire; the first event strictly after it does not.
+    ///
+    /// The run's event count and simulated-time coverage are credited to the
+    /// calling thread's instrumentation tally (see [`crate::report`]).
     pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        let started_at = self.queue.now();
         let mut budget = max_events;
-        loop {
+        let mut dispatched: u64 = 0;
+        let outcome = loop {
             if budget == 0 {
-                return RunOutcome::BudgetExhausted;
+                break RunOutcome::BudgetExhausted;
             }
             match self.queue.pop_at_or_before(horizon) {
                 Some((t, ev)) => {
                     self.events_dispatched += 1;
+                    dispatched += 1;
                     self.world.handle(t, ev, &mut self.queue);
                     budget -= 1;
                 }
                 None => {
-                    return if self.queue.peek_time().is_some() {
+                    break if self.queue.peek_time().is_some() {
                         RunOutcome::HorizonReached
                     } else {
                         RunOutcome::Drained
                     };
                 }
             }
-        }
+        };
+        let covered = self.queue.now().saturating_since(started_at);
+        crate::report::note(dispatched, covered.as_nanos());
+        outcome
     }
 
     /// Run until the queue drains or `max_events` have fired.
@@ -298,9 +320,12 @@ mod tests {
     #[test]
     fn events_fire_in_time_order() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
-        sim.queue_mut().schedule_at(SimTime::from_millis(30), Ev::Tag(3));
-        sim.queue_mut().schedule_at(SimTime::from_millis(10), Ev::Tag(1));
-        sim.queue_mut().schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(30), Ev::Tag(3));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(10), Ev::Tag(1));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(20), Ev::Tag(2));
         assert_eq!(sim.run_to_completion(100), RunOutcome::Drained);
         assert_eq!(sim.world().seen, vec![(10, 1), (20, 2), (30, 3)]);
     }
@@ -309,7 +334,8 @@ mod tests {
     fn same_time_events_fire_fifo() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
         for tag in 0..50 {
-            sim.queue_mut().schedule_at(SimTime::from_millis(5), Ev::Tag(tag));
+            sim.queue_mut()
+                .schedule_at(SimTime::from_millis(5), Ev::Tag(tag));
         }
         sim.run_to_completion(1000);
         let tags: Vec<u32> = sim.world().seen.iter().map(|&(_, t)| t).collect();
@@ -319,7 +345,8 @@ mod tests {
     #[test]
     fn handlers_can_schedule_followups() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
-        sim.queue_mut().schedule_at(SimTime::from_millis(10), Ev::Fanout(7, 8));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(10), Ev::Fanout(7, 8));
         sim.run_to_completion(100);
         assert_eq!(sim.world().seen, vec![(11, 7), (12, 8)]);
     }
@@ -327,8 +354,12 @@ mod tests {
     #[test]
     fn cancel_prevents_delivery() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
-        let keep = sim.queue_mut().schedule_at(SimTime::from_millis(1), Ev::Tag(1));
-        let kill = sim.queue_mut().schedule_at(SimTime::from_millis(2), Ev::Tag(2));
+        let keep = sim
+            .queue_mut()
+            .schedule_at(SimTime::from_millis(1), Ev::Tag(1));
+        let kill = sim
+            .queue_mut()
+            .schedule_at(SimTime::from_millis(2), Ev::Tag(2));
         sim.queue_mut().cancel(kill);
         // Canceling twice (and canceling an already-fired key later) is fine.
         sim.queue_mut().cancel(kill);
@@ -338,11 +369,57 @@ mod tests {
     }
 
     #[test]
+    fn canceling_the_only_event_empties_the_queue() {
+        // Regression: tombstones at the heap top used to make `is_empty` /
+        // `peek_time` report a phantom pending event.
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let only = queue.schedule_at(SimTime::from_millis(5), Ev::Tag(1));
+        queue.cancel(only);
+        assert!(queue.is_empty());
+        assert_eq!(queue.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_skips_canceled_and_reports_next_live_event() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let first = queue.schedule_at(SimTime::from_millis(1), Ev::Tag(1));
+        let second = queue.schedule_at(SimTime::from_millis(2), Ev::Tag(2));
+        queue.schedule_at(SimTime::from_millis(3), Ev::Tag(3));
+        queue.cancel(first);
+        queue.cancel(second);
+        assert_eq!(queue.peek_time(), Some(SimTime::from_millis(3)));
+        assert!(!queue.is_empty());
+    }
+
+    #[test]
+    fn run_after_canceling_everything_reports_drained() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        let a = sim
+            .queue_mut()
+            .schedule_at(SimTime::from_millis(10), Ev::Tag(1));
+        let b = sim
+            .queue_mut()
+            .schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        sim.queue_mut().cancel(a);
+        sim.queue_mut().cancel(b);
+        // A queue holding only tombstones must drain, not report a horizon
+        // stop, even when the horizon sits before the canceled times.
+        assert_eq!(
+            sim.run_until(SimTime::from_millis(5), 100),
+            RunOutcome::Drained
+        );
+        assert!(sim.world().seen.is_empty());
+    }
+
+    #[test]
     fn horizon_stops_before_later_events() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
-        sim.queue_mut().schedule_at(SimTime::from_millis(10), Ev::Tag(1));
-        sim.queue_mut().schedule_at(SimTime::from_millis(20), Ev::Tag(2));
-        sim.queue_mut().schedule_at(SimTime::from_millis(30), Ev::Tag(3));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(10), Ev::Tag(1));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(30), Ev::Tag(3));
         let outcome = sim.run_until(SimTime::from_millis(20), 100);
         assert_eq!(outcome, RunOutcome::HorizonReached);
         // The event *at* the horizon fires; the one after does not.
@@ -366,7 +443,8 @@ mod tests {
     #[test]
     fn clock_is_monotone_and_tracks_events() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
-        sim.queue_mut().schedule_at(SimTime::from_millis(42), Ev::Tag(0));
+        sim.queue_mut()
+            .schedule_at(SimTime::from_millis(42), Ev::Tag(0));
         sim.run_to_completion(10);
         assert_eq!(sim.now(), SimTime::from_millis(42));
         assert_eq!(sim.events_dispatched(), 1);

@@ -7,24 +7,34 @@
 //!   [`World`]),
 //! * a seeded, forkable random number source ([`SimRng`]) so that every
 //!   experiment in the dLTE reproduction is exactly repeatable from its seed,
-//! * statistics collectors used by the experiment harness ([`stats`]).
+//! * statistics collectors used by the experiment harness ([`stats`]),
+//! * run instrumentation ([`report`]) and a deterministic thread fan-out
+//!   ([`par_map`]) used by the experiment runner.
 //!
 //! ## Design notes
 //!
-//! The engine is intentionally single-threaded and synchronous. The paper's
-//! claims are about *architecture* (where packets flow, who coordinates
-//! spectrum), not about multicore performance of the simulator itself; a
-//! deterministic engine makes every experiment reproducible bit-for-bit and
-//! keeps the tests honest. Events scheduled for the same instant are delivered
-//! in scheduling order (FIFO tie-break on a monotonically increasing sequence
-//! number), which removes the classic source of heisen-results in event-driven
-//! simulators.
+//! Each simulation is intentionally single-threaded and synchronous. The
+//! paper's claims are about *architecture* (where packets flow, who
+//! coordinates spectrum), not about multicore performance of the simulator
+//! itself; a deterministic engine makes every experiment reproducible
+//! bit-for-bit and keeps the tests honest. Events scheduled for the same
+//! instant are delivered in scheduling order (FIFO tie-break on a
+//! monotonically increasing sequence number), which removes the classic
+//! source of heisen-results in event-driven simulators.
+//!
+//! Parallelism lives *above* the engine: [`par_map`] fans independent,
+//! seeded simulations out across threads and returns their results in input
+//! order, so a parallel sweep is bit-identical to a sequential one.
 
 pub mod engine;
+pub mod par;
+pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{EventQueue, Simulation, World};
+pub use par::{par_map, set_jobs};
+pub use report::RunReport;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,168 @@
+//! Run instrumentation.
+//!
+//! Every call to [`Simulation::run_until`](crate::Simulation::run_until)
+//! credits the calling thread's tally with the number of events it dispatched
+//! and the span of simulated time it covered. [`scope`] brackets a closure,
+//! measures wall-clock time around it, and turns the tally delta into a
+//! [`RunReport`] — the instrumentation record the experiment runner attaches
+//! to each result table.
+//!
+//! The tally is thread-local so concurrently running experiments don't mix
+//! their counts; [`crate::par::par_map`] folds its worker threads' deltas
+//! back into the calling thread, so a `scope` around a parallel sweep still
+//! sees every event the sweep dispatched.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Instrumentation summary for one experiment run (or any `scope`d region).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Wall-clock time spent inside the scope, milliseconds.
+    pub wall_ms: f64,
+    /// Simulation events dispatched inside the scope (summed across all
+    /// `run_until` calls, including those on `par_map` worker threads).
+    pub events_dispatched: u64,
+    /// Simulated time covered, nanoseconds (summed across runs; a sweep over
+    /// ten 60 s simulations reports 600 s).
+    pub sim_time_ns: u64,
+    /// Dispatch rate: `events_dispatched` per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+impl RunReport {
+    /// Simulated seconds covered, as a float.
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_time_ns as f64 / 1e9
+    }
+}
+
+/// A thread's accumulated (events, sim-nanoseconds) counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct Tally {
+    pub(crate) events: u64,
+    pub(crate) sim_ns: u64,
+}
+
+impl Tally {
+    pub(crate) fn since(self, earlier: Tally) -> Tally {
+        Tally {
+            events: self.events.wrapping_sub(earlier.events),
+            sim_ns: self.sim_ns.wrapping_sub(earlier.sim_ns),
+        }
+    }
+}
+
+thread_local! {
+    static TALLY: Cell<Tally> = const { Cell::new(Tally { events: 0, sim_ns: 0 }) };
+}
+
+/// Credit `events` units of work covering `sim_time` to the current thread's
+/// tally. The event-queue driver calls this automatically from `run_until`;
+/// fixed-step simulators (the TTI and slot loops in `dlte-mac`) call it from
+/// their own `run` methods so radio experiments report real work too.
+pub fn credit(events: u64, sim_time: crate::time::SimDuration) {
+    note(events, sim_time.as_nanos());
+}
+
+/// Credit the current thread's tally. Called by the simulation driver.
+pub(crate) fn note(events: u64, sim_ns: u64) {
+    TALLY.with(|t| {
+        let cur = t.get();
+        t.set(Tally {
+            events: cur.events.wrapping_add(events),
+            sim_ns: cur.sim_ns.wrapping_add(sim_ns),
+        });
+    });
+}
+
+/// Fold a worker thread's tally delta into the current thread.
+pub(crate) fn merge(delta: Tally) {
+    note(delta.events, delta.sim_ns);
+}
+
+/// Read the current thread's tally.
+pub(crate) fn snapshot() -> Tally {
+    TALLY.with(|t| t.get())
+}
+
+/// Run `f`, measuring wall-clock time and the simulation work it performed on
+/// this thread (plus any `par_map` workers it spawned). Returns the closure's
+/// output alongside the [`RunReport`].
+pub fn scope<T>(f: impl FnOnce() -> T) -> (T, RunReport) {
+    let before = snapshot();
+    let start = Instant::now();
+    let out = f();
+    let wall = start.elapsed();
+    let delta = snapshot().since(before);
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events_per_sec = if wall.as_secs_f64() > 0.0 {
+        delta.events as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    (
+        out,
+        RunReport {
+            wall_ms,
+            events_dispatched: delta.events,
+            sim_time_ns: delta.sim_ns,
+            events_per_sec,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EventQueue, Simulation, World};
+    use crate::time::{SimDuration, SimTime};
+
+    struct Ticker {
+        remaining: u32,
+    }
+
+    impl World for Ticker {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), queue: &mut EventQueue<()>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule_in(SimDuration::from_millis(1), ());
+            }
+        }
+    }
+
+    fn run_ticker(ticks: u32) {
+        let mut sim = Simulation::new(Ticker { remaining: ticks });
+        sim.queue_mut().schedule_now(());
+        sim.run_to_completion(10_000);
+    }
+
+    #[test]
+    fn scope_counts_events_and_sim_time() {
+        let ((), report) = scope(|| run_ticker(9));
+        assert_eq!(report.events_dispatched, 10);
+        assert_eq!(report.sim_time_ns, 9 * 1_000_000);
+        assert!(report.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_double_count() {
+        let ((), outer) = scope(|| {
+            let ((), inner) = scope(|| run_ticker(4));
+            assert_eq!(inner.events_dispatched, 5);
+            run_ticker(2);
+        });
+        // Outer sees inner's work plus its own.
+        assert_eq!(outer.events_dispatched, 5 + 3);
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let ((), report) = scope(|| run_ticker(1));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

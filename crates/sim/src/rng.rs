@@ -237,11 +237,9 @@ mod tests {
         let mut r = SimRng::new(17);
         assert_eq!(r.poisson(0.0), 0);
         let n = 10_000;
-        let mean_small: f64 =
-            (0..n).map(|_| r.poisson(3.0) as f64).sum::<f64>() / n as f64;
+        let mean_small: f64 = (0..n).map(|_| r.poisson(3.0) as f64).sum::<f64>() / n as f64;
         assert!((mean_small - 3.0).abs() < 0.15, "small {mean_small}");
-        let mean_large: f64 =
-            (0..n).map(|_| r.poisson(100.0) as f64).sum::<f64>() / n as f64;
+        let mean_large: f64 = (0..n).map(|_| r.poisson(100.0) as f64).sum::<f64>() / n as f64;
         assert!((mean_large - 100.0).abs() < 1.5, "large {mean_large}");
     }
 

@@ -283,8 +283,14 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t.as_millis(), 15);
         assert_eq!((t - SimTime::from_millis(10)).as_millis(), 5);
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
     }
 
     #[test]
@@ -302,7 +308,10 @@ mod tests {
             SimDuration::from_millis(10).mul_f64(1.5),
             SimDuration::from_millis(15)
         );
-        assert_eq!(SimDuration::from_millis(10).mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(-1.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -288,10 +288,7 @@ impl ClientConn {
         if pn == just_sent_pn {
             just_sent
         } else {
-            self.unacked
-                .get(&pn)
-                .map(|i| i.chunk)
-                .unwrap_or(just_sent)
+            self.unacked.get(&pn).map(|i| i.chunk).unwrap_or(just_sent)
         }
     }
 
@@ -530,14 +527,15 @@ impl ServerConn {
 
     /// Total in-order bytes delivered on a connection.
     pub fn delivered(&self, cid: Cid) -> u64 {
-        self.conns.get(&cid).map_or(0, |c| c.receiver.total_delivered())
+        self.conns
+            .get(&cid)
+            .map_or(0, |c| c.receiver.total_delivered())
     }
 
     pub fn on_frame(&mut self, _now: SimTime, frame: &Frame) {
         match frame {
             Frame::ClientHello { cid, token, early } => {
-                let token_ok =
-                    matches!(token, Some(t) if t.server_id == self.server_id
+                let token_ok = matches!(token, Some(t) if t.server_id == self.server_id
                         && self.valid_tokens.contains(&t.value));
                 let conn = self
                     .conns
@@ -641,10 +639,9 @@ mod tests {
         assert_eq!(c.acked_bytes(), 10_000);
         assert_eq!(s.delivered(1), 10_000);
         let events = c.take_events();
-        assert!(events.iter().any(|e| matches!(
-            e,
-            ConnEvent::Connected { zero_rtt: false }
-        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ConnEvent::Connected { zero_rtt: false })));
         assert!(events
             .iter()
             .any(|e| matches!(e, ConnEvent::AllAcked { bytes: 10_000 })));

@@ -48,7 +48,11 @@ pub enum Frame {
         early_accepted: bool,
     },
     /// Reliable stream data.
-    Data { cid: Cid, pn: PacketNum, chunk: Chunk },
+    Data {
+        cid: Cid,
+        pn: PacketNum,
+        chunk: Chunk,
+    },
     /// XOR parity over a group of data packets. Covers carry the chunk
     /// framing so a repaired packet can be delivered (a real XOR parity
     /// reconstructs the full covered payload including its framing).
@@ -65,10 +69,18 @@ pub enum Frame {
         ranges: Vec<(PacketNum, PacketNum)>,
     },
     /// Path validation after migration (server → client on the new path).
-    PathChallenge { cid: Cid, nonce: u64 },
-    PathResponse { cid: Cid, nonce: u64 },
+    PathChallenge {
+        cid: Cid,
+        nonce: u64,
+    },
+    PathResponse {
+        cid: Cid,
+        nonce: u64,
+    },
     /// Orderly close.
-    Close { cid: Cid },
+    Close {
+        cid: Cid,
+    },
 }
 
 impl Frame {
@@ -129,7 +141,11 @@ mod tests {
                 },
                 early_accepted: false,
             },
-            Frame::Data { cid: 7, pn: 0, chunk },
+            Frame::Data {
+                cid: 7,
+                pn: 0,
+                chunk,
+            },
             Frame::Parity {
                 cid: 7,
                 covers: vec![(0, chunk), (1, chunk)],

@@ -197,11 +197,7 @@ mod tests {
         )
     }
 
-    fn transfer_over(
-        cfg: TransportConfig,
-        loss: f64,
-        bytes: u64,
-    ) -> (Option<SimTime>, u64, u64) {
+    fn transfer_over(cfg: TransportConfig, loss: f64, bytes: u64) -> (Option<SimTime>, u64, u64) {
         transfer_over_seed(cfg, loss, bytes, 21)
     }
 

@@ -104,12 +104,7 @@ mod tests {
     #[test]
     fn known_value() {
         // FairShare, 1 peer, 1 s interval: 96 B × 8 = 768 bit/s.
-        let bps = x2_bps(
-            CoordinationMode::FairShare,
-            1,
-            SimDuration::from_secs(1),
-            0,
-        );
+        let bps = x2_bps(CoordinationMode::FairShare, 1, SimDuration::from_secs(1), 0);
         assert!((bps - 768.0).abs() < 1e-9);
     }
 
@@ -174,7 +169,12 @@ mod tests {
     #[test]
     fn zero_peers_is_free() {
         assert_eq!(
-            x2_bps(CoordinationMode::Cooperative, 0, SimDuration::from_secs(1), 9),
+            x2_bps(
+                CoordinationMode::Cooperative,
+                0,
+                SimDuration::from_secs(1),
+                9
+            ),
             0.0
         );
     }

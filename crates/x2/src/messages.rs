@@ -30,16 +30,34 @@ pub struct DlteStatus {
 #[derive(Clone, Debug)]
 pub enum X2Msg {
     /// Association setup (carries the initial dLTE status).
-    SetupRequest { from: Addr, status: DlteStatus },
-    SetupResponse { from: Addr, status: DlteStatus },
+    SetupRequest {
+        from: Addr,
+        status: DlteStatus,
+    },
+    SetupResponse {
+        from: Addr,
+        status: DlteStatus,
+    },
     /// Periodic load/status report (3GPP LOAD INFORMATION + dLTE IE).
-    LoadInformation { from: Addr, status: DlteStatus },
+    LoadInformation {
+        from: Addr,
+        status: DlteStatus,
+    },
     /// Cooperative mode: per-client measurement snapshot so peers can run
     /// best-AP assignment. `(client id, SINR dB to the sender)`.
-    MeasurementReport { from: Addr, reports: Vec<(u64, f64)> },
+    MeasurementReport {
+        from: Addr,
+        reports: Vec<(u64, f64)>,
+    },
     /// Cooperative handoff of a client to the receiving AP.
-    HandoverRequest { from: Addr, client: u64 },
-    HandoverAck { from: Addr, client: u64 },
+    HandoverRequest {
+        from: Addr,
+        client: u64,
+    },
+    HandoverAck {
+        from: Addr,
+        client: u64,
+    },
 }
 
 /// On-wire message sizes, bytes (SCTP/X2AP framing + IEs; measurement

@@ -90,7 +90,9 @@ impl X2Agent {
     fn send(&mut self, ctx: &mut NodeCtx<'_>, to: Addr, msg: X2Msg, size: u32) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += size as u64;
-        let p = ctx.make_packet(to, size).with_payload(Payload::control(msg));
+        let p = ctx
+            .make_packet(to, size)
+            .with_payload(Payload::control(msg));
         ctx.forward(p);
     }
 

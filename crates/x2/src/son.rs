@@ -28,7 +28,9 @@ pub fn neighbor_relations(
     peers.sort_by(|a, b| {
         let da = a.location.distance_km(me.location);
         let db = b.location.distance_km(me.location);
-        da.partial_cmp(&db).expect("distance NaN").then(a.id.cmp(&b.id))
+        da.partial_cmp(&db)
+            .expect("distance NaN")
+            .then(a.id.cmp(&b.id))
     });
     peers
 }
@@ -83,8 +85,8 @@ impl MobilityRobustness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlte_registry::{ChannelPlan, GrantRequest, Point};
     use dlte_phy::band::Band;
+    use dlte_registry::{ChannelPlan, GrantRequest, Point};
     use dlte_sim::SimDuration;
 
     fn reg_with_grants(xs: &[f64]) -> (SpectrumRegistry, Vec<LicenseGrant>) {

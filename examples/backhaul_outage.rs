@@ -36,27 +36,45 @@ fn main() {
     let fail = SimTime::from_secs(5);
     let reconverge = SimTime::from_secs(7);
     let actions = vec![
-        (fail, Action::SetLink { link: net.ap_backhaul[0], up: false }),
-        (reconverge, Action::SetRoute {
-            node: net.r_agg,
-            prefix: DlteNetworkBuilder::ap_pool(0),
-            link: net.ap_backhaul[1],
-        }),
-        (reconverge, Action::SetRoute {
-            node: net.aps[1],
-            prefix: DlteNetworkBuilder::ap_pool(0),
-            link: net.ap_mesh[0],
-        }),
-        (reconverge, Action::SetRoute {
-            node: net.r_agg,
-            prefix: Prefix::new(ap0_addr, 32),
-            link: net.ap_backhaul[1],
-        }),
-        (reconverge, Action::SetRoute {
-            node: net.aps[1],
-            prefix: Prefix::new(ap0_addr, 32),
-            link: net.ap_mesh[0],
-        }),
+        (
+            fail,
+            Action::SetLink {
+                link: net.ap_backhaul[0],
+                up: false,
+            },
+        ),
+        (
+            reconverge,
+            Action::SetRoute {
+                node: net.r_agg,
+                prefix: DlteNetworkBuilder::ap_pool(0),
+                link: net.ap_backhaul[1],
+            },
+        ),
+        (
+            reconverge,
+            Action::SetRoute {
+                node: net.aps[1],
+                prefix: DlteNetworkBuilder::ap_pool(0),
+                link: net.ap_mesh[0],
+            },
+        ),
+        (
+            reconverge,
+            Action::SetRoute {
+                node: net.r_agg,
+                prefix: Prefix::new(ap0_addr, 32),
+                link: net.ap_backhaul[1],
+            },
+        ),
+        (
+            reconverge,
+            Action::SetRoute {
+                node: net.aps[1],
+                prefix: Prefix::new(ap0_addr, 32),
+                link: net.ap_mesh[0],
+            },
+        ),
     ];
     net.sim
         .world_mut()
@@ -76,9 +94,7 @@ fn main() {
             (_, Some(true)) => "FAILED OVER via mesh",
             _ => "backhaul DOWN, probing…",
         };
-        println!(
-            "  t={second:>2}s  pongs this second: {rate:>2}/10   [{status}]"
-        );
+        println!("  t={second:>2}s  pongs this second: {rate:>2}/10   [{status}]");
     }
     let w = net.sim.world();
     let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();

@@ -45,7 +45,10 @@ fn main() {
     let ue = world.handler_as::<UeNode>(net.ues[0]).unwrap();
     let app = ue.upper_as::<TransportUeApp>().unwrap();
 
-    println!("attaches completed .... {} (one per AP visit)", ue.stats.attaches_completed);
+    println!(
+        "attaches completed .... {} (one per AP visit)",
+        ue.stats.attaches_completed
+    );
     println!(
         "current address ....... {} (pool of the AP it's on *now*)",
         ue.addr.expect("attached")

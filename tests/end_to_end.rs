@@ -57,7 +57,10 @@ fn full_stack_story() {
         let ap = w.handler_as::<DlteApNode>(ap_id).unwrap();
         assert!(ap.core.stats.attaches_completed >= 2, "ap{k}");
         assert_eq!(ap.x2.live_peers(), 2, "ap{k} X2 mesh");
-        assert!(ap.core.stats.directory_queries >= 2, "ap{k} used the directory");
+        assert!(
+            ap.core.stats.directory_queries >= 2,
+            "ap{k} used the directory"
+        );
         // Fair share over three equally loaded APs → 1/3.
         assert!(
             (ap.tdm_share() - 1.0 / 3.0).abs() < 0.05,
@@ -105,7 +108,11 @@ fn transport_survives_roaming_legacy_does_not() {
         let w = net.sim.world();
         let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
         let app = ue.upper_as::<TransportUeApp>().unwrap();
-        (app.conn.handshakes, app.conn.acked_bytes(), app.resume_ms.len())
+        (
+            app.conn.handshakes,
+            app.conn.acked_bytes(),
+            app.resume_ms.len(),
+        )
     };
     let (hs_modern, bytes_modern, resumes_modern) = run(TransportConfig::modern());
     let (hs_legacy, bytes_legacy, resumes_legacy) = run(TransportConfig::legacy());
@@ -114,7 +121,10 @@ fn transport_survives_roaming_legacy_does_not() {
     assert_eq!(resumes_modern, 3);
     assert_eq!(resumes_legacy, 3);
     assert!(bytes_modern > 1_000_000);
-    assert!(bytes_legacy > 1_000_000, "legacy still completes, just slower");
+    assert!(
+        bytes_legacy > 1_000_000,
+        "legacy still completes, just slower"
+    );
 }
 
 /// Simulations are exactly reproducible from their seed, and different
@@ -139,14 +149,7 @@ fn determinism_end_to_end() {
         let pongs: Vec<u64> = net
             .ues
             .iter()
-            .map(|&u| {
-                net.sim
-                    .world()
-                    .handler_as::<UeNode>(u)
-                    .unwrap()
-                    .stats
-                    .pongs
-            })
+            .map(|&u| net.sim.world().handler_as::<UeNode>(u).unwrap().stats.pongs)
             .collect();
         (events, pongs)
     };

@@ -28,8 +28,7 @@ fn cell_sim_matches_closed_form() {
         let snr = budget.snr_db(dist_km, 0.0);
         let expected = match select_cqi(snr) {
             Some(cqi) => {
-                peak_throughput_bps(cqi, cfg.bandwidth.n_prb)
-                    * harq.stats(snr, cqi).efficiency
+                peak_throughput_bps(cqi, cfg.bandwidth.n_prb) * harq.stats(snr, cqi).efficiency
             }
             None => 0.0,
         };
@@ -65,10 +64,7 @@ fn tdm_share_linearity() {
         let mut sim = CellSim::new(cfg, vec![UeConfig::at_km(1.0)], &rng);
         let got = sim.run(SimDuration::from_secs(2)).ues[0].goodput_bps;
         let ratio = got / full;
-        assert!(
-            (ratio - share).abs() < 0.01,
-            "share {share}: ratio {ratio}"
-        );
+        assert!((ratio - share).abs() < 0.01, "share {share}: ratio {ratio}");
     }
 }
 
@@ -113,8 +109,15 @@ fn uplink_downlink_asymmetry_consistent() {
         let mut sim = CellSim::new(cfg, vec![UeConfig::at_km(between)], &rng);
         sim.run(SimDuration::from_millis(300)).ues[0].goodput_bps
     };
-    assert!(run_dir(Direction::Downlink) > 0.0, "downlink alive at {between:.1} km");
-    assert_eq!(run_dir(Direction::Uplink), 0.0, "uplink dead at {between:.1} km");
+    assert!(
+        run_dir(Direction::Downlink) > 0.0,
+        "downlink alive at {between:.1} km"
+    );
+    assert_eq!(
+        run_dir(Direction::Uplink),
+        0.0,
+        "uplink dead at {between:.1} km"
+    );
 }
 
 /// The packet substrate's delivered latency equals the sum of link delays

@@ -7,7 +7,12 @@ use dlte::experiments as ex;
 use dlte::experiments::Table;
 
 fn check(t: &Table, min_rows: usize) {
-    assert!(t.rows.len() >= min_rows, "[{}] only {} rows", t.id, t.rows.len());
+    assert!(
+        t.rows.len() >= min_rows,
+        "[{}] only {} rows",
+        t.id,
+        t.rows.len()
+    );
     assert!(!t.expectation.is_empty(), "[{}] missing expectation", t.id);
     let rendered = t.to_string();
     assert!(rendered.contains(&t.id));

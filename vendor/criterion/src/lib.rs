@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Preserves the macro/API surface the workspace benches use, but instead of
+//! statistical sampling it runs each bench body a handful of times and prints
+//! a single coarse timing line. Good enough to keep `cargo bench` compiling
+//! and to smoke-test the bench bodies.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 2;
+const MEASURED_ITERS: u32 = 8;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Accepted for compatibility; sampling knobs are meaningless here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Criterion {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benches; ids print as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(routine());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += MEASURED_ITERS;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.total_ns / self.iters as u128;
+        println!("{id:<48} ~{} ns/iter ({} iters)", per_iter, self.iters);
+    }
+}
+
+pub struct BenchmarkId {
+    group: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(group: &str, param: P) -> BenchmarkId {
+        BenchmarkId {
+            group: group.to_string(),
+            param: param.to_string(),
+        }
+    }
+
+    /// An id that is just the parameter (the surrounding group names it).
+    pub fn from_parameter<P: fmt::Display>(param: P) -> BenchmarkId {
+        BenchmarkId {
+            group: String::new(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.group.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.group, self.param)
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_with_input(BenchmarkId::new("sum", 1000u64), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sums(&mut c);
+        c.final_summary();
+    }
+}

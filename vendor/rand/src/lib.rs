@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this repository is developed in has no access to the cargo
+//! registry, so the workspace vendors the *subset* of the `rand` API it
+//! actually uses. The implementations are real (not no-ops): `f64` sampling
+//! follows the same 53-bit construction as upstream `rand`, and integer range
+//! sampling uses unbiased rejection. Determinism is per-seed, exactly like
+//! the real crate, though the integer-range bitstream is not guaranteed to
+//! match upstream `rand` draw-for-draw.
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error` (only ever constructed by fallible
+/// fill; our generators are infallible).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random generator error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (the same expansion
+    /// upstream `rand_core` uses, so seeds agree with the real crate).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Vigna), word output truncated to 32 bits per chunk
+            // exactly as rand_core does.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            for (b, out) in z.to_le_bytes().iter().zip(chunk.iter_mut()) {
+                *out = *b;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sample {
+    use super::RngCore;
+
+    /// Types samplable from the "standard" distribution (`Rng::gen`).
+    pub trait SampleStandard {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl SampleStandard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+            // 53 random mantissa bits, uniform in [0, 1) — identical to the
+            // real crate's `Standard` distribution for f64.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl SampleStandard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl SampleStandard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $via:ident),*) => {$(
+            impl SampleStandard for $t {
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*}
+    }
+    impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                       u64 => next_u64, usize => next_u64,
+                       i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                       i64 => next_u64, isize => next_u64);
+
+    impl SampleStandard for u128 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    /// Unbiased uniform integer in `[0, n)` by rejection sampling.
+    pub fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        if n.is_power_of_two() {
+            return rng.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    pub fn below_u128<R: RngCore + ?Sized>(rng: &mut R, n: u128) -> u128 {
+        assert!(n > 0, "empty sampling range");
+        if n.is_power_of_two() {
+            return u128::sample_standard(rng) & (n - 1);
+        }
+        let zone = u128::MAX - (u128::MAX % n) - 1;
+        loop {
+            let v = u128::sample_standard(rng);
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Ranges samplable by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_range_uint {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + below(rng, span) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below(rng, span + 1) as $t
+                }
+            }
+        )*}
+    }
+    impl_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + below(rng, span) as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + below(rng, span + 1) as i128) as $t
+                }
+            }
+        )*}
+    }
+    impl_range_int!(i8, i16, i32, i64, isize);
+
+    impl SampleRange<u128> for std::ops::Range<u128> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+            assert!(self.start < self.end, "empty range");
+            self.start + below_u128(rng, self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let unit = <$t as SampleStandard>::sample_standard(rng);
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+        )*}
+    }
+    impl_range_float!(f32, f64);
+}
+
+pub use sample::{SampleRange, SampleStandard};
+
+/// Convenience extension methods (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Placeholder module so `rand::rngs::...` paths resolve if needed.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // xorshift so the high bits used by f64 sampling vary too
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = self.0;
+            x ^ (x >> 33)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Counter(9);
+        for _ in 0..1000 {
+            let a = r.gen_range(3u64..17);
+            assert!((3..17).contains(&a));
+            let b = r.gen_range(0usize..=4);
+            assert!(b <= 4);
+            let c = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&c));
+        }
+    }
+}

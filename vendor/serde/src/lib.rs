@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` is a zero-copy, visitor-based framework; this vendored
+//! replacement collapses the data model to an owned JSON-like [`value::Value`]
+//! tree, which is all the dLTE workspace needs (derive on plain structs and
+//! enums, JSON in/out via the sibling vendored `serde_json`). The trait names
+//! and derive-macro spelling match upstream, so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` work unchanged and
+//! the workspace can be pointed back at the real crates when a network is
+//! available.
+
+pub mod value;
+
+pub mod de {
+    use std::fmt;
+
+    /// Deserialization error (mirrors the role of `serde::de::Error`).
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        pub fn custom<T: fmt::Display>(msg: T) -> Error {
+            Error(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+pub mod ser {
+    pub use crate::de::Error;
+}
+
+use value::{Map, Number, Value};
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Owned-deserialization alias so code written against real serde's
+/// `DeserializeOwned` bound keeps compiling.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+fn de_err<T: std::fmt::Display>(msg: T) -> de::Error {
+    de::Error::custom(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool().ok_or_else(|| de_err("expected bool"))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_u64().ok_or_else(|| de_err(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| de_err(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*}
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_i64().ok_or_else(|| de_err(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| de_err(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*}
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_value(&self) -> Value {
+        // Like real serde_json without `arbitrary_precision`: only values
+        // that fit an u64 are representable; larger ones fall back to a
+        // decimal string (lossless for our id-like uses).
+        match u64::try_from(*self) {
+            Ok(n) => Value::Number(Number::from_u64(n)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        if let Some(n) = v.as_u64() {
+            return Ok(n as u128);
+        }
+        if let Some(s) = v.as_str() {
+            return s
+                .parse::<u128>()
+                .map_err(|e| de_err(format!("bad u128: {e}")));
+        }
+        Err(de_err("expected u128"))
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(n) => Value::Number(Number::from_i64(n)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+impl Deserialize for i128 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        if let Some(n) = v.as_i64() {
+            return Ok(n as i128);
+        }
+        if let Some(s) = v.as_str() {
+            return s
+                .parse::<i128>()
+                .map_err(|e| de_err(format!("bad i128: {e}")));
+        }
+        Err(de_err("expected i128"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64().ok_or_else(|| de_err("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| de_err("expected f32"))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| de_err("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de_err("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| de_err("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+/// The workspace derives `Deserialize` on a couple of structs carrying
+/// `&'static str` name fields. An owned `Value` model cannot hand out
+/// borrowed strings, so this impl leaks the (short, rare) string to obtain a
+/// `'static` lifetime — acceptable for test/CLI round-trips.
+impl Deserialize for &'static str {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| de_err("expected string"))
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(de_err("expected null"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and smart pointers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for std::rc::Rc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option / collections / tuples
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let a = v.as_array().ok_or_else(|| de_err("expected array"))?;
+        a.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let items: Vec<T> = Vec::deserialize_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| de_err("wrong array length"))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let a = v.as_array().ok_or_else(|| de_err("expected array"))?;
+        a.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize_value()).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let a = v.as_array().ok_or_else(|| de_err("expected array"))?;
+        a.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        // Sort the rendered values so output is deterministic across runs.
+        let mut items: Vec<Value> = self.iter().map(|x| x.serialize_value()).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(items)
+    }
+}
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let a = v.as_array().ok_or_else(|| de_err("expected array"))?;
+        a.iter().map(T::deserialize_value).collect()
+    }
+}
+
+/// Map keys must render to / parse from strings (JSON object keys).
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, de::Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, de::Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, de::Error> {
+                s.parse::<$t>().map_err(|e| de_err(format!("bad map key: {e}")))
+            }
+        }
+    )*}
+}
+impl_mapkey_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let m = v.as_object().ok_or_else(|| de_err("expected object"))?;
+        m.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        // Deterministic key order regardless of hasher state.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = Map::new();
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    }
+}
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let m = v.as_object().ok_or_else(|| de_err("expected object"))?;
+        m.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let a = v.as_array().ok_or_else(|| de_err("expected array (tuple)"))?;
+                let expected = [$($n),+].len();
+                if a.len() != expected {
+                    return Err(de_err(format!("expected {expected}-tuple, got {} items", a.len())));
+                }
+                Ok(($($t::deserialize_value(&a[$n])?,)+))
+            }
+        }
+    )*}
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "secs".into(),
+            Value::Number(Number::from_u64(self.as_secs())),
+        );
+        m.insert(
+            "nanos".into(),
+            Value::Number(Number::from_u64(self.subsec_nanos() as u64)),
+        );
+        Value::Object(m)
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| de_err("expected duration object"))?;
+        let secs = m.get("secs").and_then(Value::as_u64).unwrap_or(0);
+        let nanos = m.get("nanos").and_then(Value::as_u64).unwrap_or(0) as u32;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

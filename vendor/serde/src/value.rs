@@ -1,0 +1,332 @@
+//! The JSON-like data model shared by the vendored `serde` and `serde_json`.
+//!
+//! Lives here (rather than in `serde_json`) because the derive macros
+//! generate code against `::serde::value::Value`; `serde_json` re-exports
+//! these types under their upstream names.
+
+use std::fmt;
+
+/// A JSON number: integer-preserving like `serde_json::Number`.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn from_u64(n: u64) -> Number {
+        Number::PosInt(n)
+    }
+
+    pub fn from_i64(n: i64) -> Number {
+        if n >= 0 {
+            Number::PosInt(n as u64)
+        } else {
+            Number::NegInt(n)
+        }
+    }
+
+    pub fn from_f64(x: f64) -> Number {
+        Number::Float(x)
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(_) => None,
+            Number::Float(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(x)
+                if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 =>
+            {
+                Some(x as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(n) => Some(n as f64),
+            Number::NegInt(n) => Some(n as f64),
+            Number::Float(x) => Some(x),
+        }
+    }
+
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Number::PosInt(_))
+    }
+
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            // Mixed integer representations compare by value.
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64() && self.is_f64() == other.is_f64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if !x.is_finite() {
+                    // JSON has no NaN/Inf; match serde_json's Value behavior
+                    // (non-finite floats become null).
+                    write!(f, "null")
+                } else if x == x.trunc() && x.abs() < 1e16 {
+                    // Keep float-ness visible so values round-trip as floats.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the `serde_json::Map` stand-in).
+///
+/// Insertion order is preserved — this matches real serde_json's *struct*
+/// serialization (declaration order) which is what the experiment tables and
+/// reports flow through.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in self.entries.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = Box<dyn Iterator<Item = (&'a String, &'a Value)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.entries.iter().map(|(k, v)| (k, v)))
+    }
+}
+
+/// The JSON value tree (the `serde_json::Value` stand-in).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects, like serde_json).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(Number::from_u64(n))
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(Number::from_i64(n))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        if x.is_finite() {
+            Value::Number(Number::from_f64(x))
+        } else {
+            Value::Null
+        }
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}

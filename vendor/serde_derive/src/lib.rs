@@ -1,0 +1,527 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! (the `Value`-based traits) for plain structs and enums. The parser walks
+//! the raw token stream by hand — no `syn`/`quote`, since the registry is
+//! unreachable. Supported shapes cover everything the dLTE workspace derives:
+//!
+//! * named-field structs (externally: JSON objects)
+//! * newtype / tuple structs (inner value / array)
+//! * unit structs (null)
+//! * enums with unit / newtype / tuple / struct variants (externally tagged,
+//!   like real serde: `"Variant"` or `{"Variant": ...}`)
+//! * `#[serde(default)]` at struct level (missing fields filled from
+//!   `Default::default()` of the struct) and at field level (from the field
+//!   type's `Default`)
+//!
+//! Generics, lifetimes and the wider serde attribute surface are not
+//! supported; deriving on such a type fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` on the field.
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// `#[serde(default)]` on the container.
+    container_default: bool,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Serde options found in one attribute run (`#[serde(...)]` and doc/derive
+/// attrs are skipped transparently).
+fn consume_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(opt) = t {
+                            match opt.to_string().as_str() {
+                                "default" => default = true,
+                                // Options that don't change the Value-model
+                                // encoding are accepted and ignored.
+                                "deny_unknown_fields" | "transparent" => {}
+                                other => panic!(
+                                    "vendored serde_derive: unsupported serde attribute `{other}`"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, default)
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skip one type (or expression) until a top-level comma, tracking `<...>`
+/// nesting so generic arguments don't split fields.
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, field_default) = consume_attrs(&tokens, i);
+        i = skip_visibility(&tokens, ni);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "vendored serde_derive: expected field name, got {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("vendored serde_derive: expected `:` after field `{name}`, got {other:?}")
+            }
+        }
+        i = skip_to_top_level_comma(&tokens, i);
+        if i < tokens.len() {
+            i += 1; // consume comma
+        }
+        fields.push(Field {
+            name,
+            default: field_default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = consume_attrs(&tokens, i);
+        i = skip_visibility(&tokens, ni);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        i = skip_to_top_level_comma(&tokens, i);
+        if i < tokens.len() {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = consume_attrs(&tokens, i);
+        i = ni;
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "vendored serde_derive: expected variant name, got {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Variant::Tuple(name, n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Variant::Struct(name, fields)
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Skip an optional discriminant, then the separating comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i = skip_to_top_level_comma(&tokens, i);
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, container_default) = consume_attrs(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("vendored serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("vendored serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        container_default,
+        shape,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(__m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds_pat}) => {{\n\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::value::Value::Object(__m)\n}}\n",
+                            binds_pat = binds.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("let mut __fm = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::serialize_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds_pat} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::value::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::value::Value::Object(__fm));\n\
+                             ::serde::value::Value::Object(__m)\n}}\n",
+                            binds_pat = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_extract(
+    type_name: &str,
+    fields: &[Field],
+    map_expr: &str,
+    container_default: bool,
+) -> String {
+    // When the container has `#[serde(default)]`, build the default value
+    // once and move missing fields out of it.
+    let mut s = String::new();
+    if container_default {
+        s.push_str(&format!(
+            "let __defaults: {type_name} = ::std::default::Default::default();\n"
+        ));
+    }
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if container_default {
+            format!("__defaults.{}", f.name)
+        } else if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{type_name}: missing field `{}`\"))",
+                f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{0}: match {map_expr}.get(\"{0}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            f.name
+        ));
+    }
+    s.push_str(&inits);
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let extract = gen_named_field_extract(name, fields, "__m", item.container_default);
+            // Split the prelude (possible __defaults binding) from field inits.
+            let (prelude, inits) = if item.container_default {
+                let idx = extract.find(";\n").map(|i| i + 2).unwrap_or(0);
+                (extract[..idx].to_string(), extract[idx..].to_string())
+            } else {
+                (String::new(), extract)
+            };
+            format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: expected object\"))?;\n\
+                 {prelude}\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: expected array\"))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: expected {n} elements\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "if __v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{\n\
+             ::std::result::Result::Err(::serde::de::Error::custom(\"{name}: expected null\"))\n}}"
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the tagged-object spelling {"Variant": null}.
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Variant::Tuple(vn, 1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"{name}::{vn}: expected array\"))?;\n\
+                             if __a.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::de::Error::custom(\
+                             \"{name}::{vn}: expected {n} elements\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits = gen_named_field_extract(
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__fm",
+                            false,
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __fm = __inner.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"{name}::{vn}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: unknown variant\")),\n}}\n}}\n\
+                 let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: expected variant string or object\"))?;\n\
+                 let ::std::option::Option::Some((__tag, __inner)) = __m.iter().next() else {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: empty variant object\"));\n}};\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: unknown variant\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
