@@ -1,7 +1,7 @@
 //! The unified experiment runner.
 //!
 //! ```text
-//! dlte-run <id|all> [--json] [--jobs N] [--seed S] [--params JSON]
+//! dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON]
 //! dlte-run --list
 //! ```
 //!

@@ -13,8 +13,9 @@ pub mod runner {
     /// A parsed `dlte-run` command line.
     #[derive(Clone, Debug, PartialEq)]
     pub struct Invocation {
-        /// Experiment id, or `"all"` for the whole registry in report order.
-        pub target: String,
+        /// Experiment ids, run in the order given; `"all"` expands to the
+        /// whole registry in report order.
+        pub targets: Vec<String>,
         /// Emit JSON instead of human-readable tables.
         pub json: bool,
         /// Worker-thread override for parallel sweeps (`--jobs N`).
@@ -32,7 +33,7 @@ pub mod runner {
     impl Default for Invocation {
         fn default() -> Self {
             Invocation {
-                target: "all".to_string(),
+                targets: vec!["all".to_string()],
                 json: false,
                 jobs: None,
                 seed: None,
@@ -42,12 +43,12 @@ pub mod runner {
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id|all> [--json] [--jobs N] [--seed S] [--params JSON]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
         let mut inv = Invocation::default();
-        let mut target: Option<String> = None;
+        let mut targets: Vec<String> = Vec::new();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -77,17 +78,14 @@ pub mod runner {
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag {flag:?}\n{USAGE}"));
                 }
-                id => {
-                    if target.replace(id.to_string()).is_some() {
-                        return Err(format!("more than one experiment id given\n{USAGE}"));
-                    }
-                }
+                id => targets.push(id.to_string()),
             }
         }
-        match target {
-            Some(t) => inv.target = t,
-            None if inv.list => {}
-            None => return Err(USAGE.to_string()),
+        if targets.is_empty() && !inv.list {
+            return Err(USAGE.to_string());
+        }
+        if !targets.is_empty() {
+            inv.targets = targets;
         }
         Ok(inv)
     }
@@ -110,13 +108,19 @@ pub mod runner {
         params
     }
 
-    /// The experiments an invocation selects, in execution order.
+    /// The experiments an invocation selects, in execution order. Each
+    /// target resolves independently; `all` expands in place to the whole
+    /// registry.
     pub fn selection(inv: &Invocation) -> Result<Vec<&'static dyn Experiment>, ExperimentError> {
-        if inv.target.eq_ignore_ascii_case("all") {
-            Ok(registry().to_vec())
-        } else {
-            Ok(vec![find(&inv.target)?])
+        let mut out = Vec::new();
+        for target in &inv.targets {
+            if target.eq_ignore_ascii_case("all") {
+                out.extend(registry().iter().copied());
+            } else {
+                out.push(find(target)?);
+            }
         }
+        Ok(out)
     }
 
     /// Execute an invocation: apply `--jobs`, resolve the selection, run each
@@ -184,14 +188,19 @@ pub mod runner {
         #[test]
         fn parses_the_documented_forms() {
             let inv = parse_args(args("e5 --json --jobs 4 --seed 7")).unwrap();
-            assert_eq!(inv.target, "e5");
+            assert_eq!(inv.targets, vec!["e5"]);
             assert!(inv.json);
             assert_eq!(inv.jobs, Some(4));
             assert_eq!(inv.seed, Some(7));
 
             let inv = parse_args(args("all")).unwrap();
-            assert_eq!(inv.target, "all");
+            assert_eq!(inv.targets, vec!["all"]);
             assert!(!inv.json);
+
+            // Several ids run back to back, in the order given.
+            let inv = parse_args(args("e13 e14 --json")).unwrap();
+            assert_eq!(inv.targets, vec!["e13", "e14"]);
+            assert!(inv.json);
 
             let inv = parse_args(args("--list")).unwrap();
             assert!(inv.list);
@@ -200,7 +209,6 @@ pub mod runner {
         #[test]
         fn rejects_malformed_command_lines() {
             assert!(parse_args(args("")).is_err());
-            assert!(parse_args(args("e1 e2")).is_err());
             assert!(parse_args(args("e1 --jobs zero")).is_err());
             assert!(parse_args(args("e1 --jobs 0")).is_err());
             assert!(parse_args(args("e1 --frobnicate")).is_err());
@@ -225,18 +233,25 @@ pub mod runner {
         }
 
         #[test]
-        fn selection_resolves_all_and_single_ids() {
+        fn selection_resolves_all_single_and_multiple_ids() {
             let all = selection(&Invocation::default()).unwrap();
-            assert_eq!(all.len(), 16);
+            assert_eq!(all.len(), 17);
             let one = selection(&Invocation {
-                target: "E13".into(),
+                targets: vec!["E13".into()],
                 ..Invocation::default()
             })
             .unwrap();
             assert_eq!(one.len(), 1);
             assert_eq!(one[0].id(), "e13");
+            let pair = selection(&Invocation {
+                targets: vec!["e14".into(), "e13".into()],
+                ..Invocation::default()
+            })
+            .unwrap();
+            let ids: Vec<&str> = pair.iter().map(|e| e.id()).collect();
+            assert_eq!(ids, vec!["e14", "e13"], "order as given");
             assert!(selection(&Invocation {
-                target: "nope".into(),
+                targets: vec!["nope".into()],
                 ..Invocation::default()
             })
             .is_err());

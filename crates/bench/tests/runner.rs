@@ -11,20 +11,20 @@ use dlte::experiments::Table;
 use dlte_bench::runner::{parse_args, render, run, Invocation};
 
 #[test]
-fn registry_lists_all_sixteen_experiments() {
+fn registry_lists_all_seventeen_experiments() {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     assert_eq!(
         ids,
         [
             "t1", "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-            "e12", "e13"
+            "e12", "e13", "e14"
         ]
     );
 }
 
 /// A params override every experiment tolerates (unknown keys are ignored)
-/// that shortens the slowest horizons — e12 and e13 default to 20 simulated
-/// seconds each — so two full sweeps fit in a debug-build test.
+/// that shortens the slowest horizons — e12, e13 and e14 default to 20
+/// simulated seconds each — so two full sweeps fit in a debug-build test.
 fn quick_params() -> serde_json::Value {
     serde_json::from_str(r#"{ "total_s": 10.0 }"#).expect("literal parses")
 }
@@ -42,7 +42,7 @@ fn run_all(jobs: usize) -> Vec<Table> {
 #[test]
 fn all_json_round_trips_and_jobs_count_does_not_change_results() {
     let sequential = run_all(1);
-    assert_eq!(sequential.len(), 16);
+    assert_eq!(sequential.len(), 17);
 
     // Every table carries instrumentation from run_instrumented.
     for t in &sequential {
@@ -80,6 +80,48 @@ fn all_json_round_trips_and_jobs_count_does_not_change_results() {
             serde_json::to_string(&s).unwrap(),
             serde_json::to_string(&p).unwrap(),
             "{}: results depend on jobs",
+            s.id
+        );
+    }
+}
+
+/// The fault-injection experiments (E13's failure script, E14's
+/// [`dlte_faults::FaultPlan`]) must be deterministic under the worker-pool:
+/// the same seed run under `--jobs 1` and `--jobs 4` produces byte-identical
+/// tables. This is the multi-target command line the CI goldens job uses.
+#[test]
+fn fault_experiments_are_jobs_invariant() {
+    let run_pair = |jobs: &str| {
+        let inv = parse_args(
+            [
+                "e13",
+                "e14",
+                "--json",
+                "--jobs",
+                jobs,
+                "--seed",
+                "7",
+                "--params",
+                r#"{"total_s": 10.0}"#,
+            ]
+            .map(String::from),
+        )
+        .expect("parses");
+        run(&inv).expect("e13+e14 run")
+    };
+    let sequential = run_pair("1");
+    let parallel = run_pair("4");
+    assert_eq!(sequential.len(), 2);
+    assert_eq!(sequential[0].id, "E13");
+    assert_eq!(sequential[1].id, "E14");
+    for (s, p) in sequential.iter().zip(&parallel) {
+        let (mut s, mut p) = (s.clone(), p.clone());
+        s.meta = None;
+        p.meta = None;
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            serde_json::to_string(&p).unwrap(),
+            "{}: fault schedule depends on jobs",
             s.id
         );
     }

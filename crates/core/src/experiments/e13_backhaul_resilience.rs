@@ -46,6 +46,11 @@ struct Outcome {
     rtt_before_ms: f64,
     rtt_after_ms: f64,
     failed_over: bool,
+    /// Seconds from the failure until the first post-failure pong (None =
+    /// service never came back within the experiment).
+    recovery_s: Option<f64>,
+    /// Probes sent that never drew a pong.
+    probes_lost: u64,
 }
 
 fn run_arm(mesh: bool, p: &Params) -> Outcome {
@@ -115,8 +120,38 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
         .world_mut()
         .set_handler(net.chaos, Box::new(FailureScript::new(actions)));
 
-    net.sim
-        .run_until(SimTime::from_secs_f64(p.total_s), 100_000_000);
+    // Segmented run so recovery can be timestamped: run to the failure,
+    // drain in-flight replies, then step in 100 ms increments watching for
+    // the first post-failure pong. Splitting `run_until` does not perturb
+    // event order, so the arm stays byte-identical to a single run.
+    let total = SimTime::from_secs_f64(p.total_s);
+    let drain = fail_at + SimDuration::from_millis(250);
+    net.sim.run_until(drain.min(total), 100_000_000);
+    let pongs_at_fail = net
+        .sim
+        .world()
+        .handler_as::<UeNode>(net.ues[0])
+        .unwrap()
+        .stats
+        .pongs;
+    let mut recovery_s = None;
+    let mut mark = drain;
+    while mark < total {
+        mark = (mark + SimDuration::from_millis(100)).min(total);
+        net.sim.run_until(mark, 100_000_000);
+        let pongs = net
+            .sim
+            .world()
+            .handler_as::<UeNode>(net.ues[0])
+            .unwrap()
+            .stats
+            .pongs;
+        if pongs > pongs_at_fail {
+            recovery_s = Some(mark.saturating_since(fail_at).as_secs_f64());
+            break;
+        }
+    }
+    net.sim.run_until(total, 100_000_000);
     let w = net.sim.world();
     let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
     let ap0 = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
@@ -151,6 +186,15 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
         rtt_before_ms: mean(&before),
         rtt_after_ms: mean(&after),
         failed_over: ap0.failover.as_ref().is_some_and(|f| f.failed_over),
+        recovery_s,
+        probes_lost: ue.stats.probes_sent.saturating_sub(ue.stats.pongs),
+    }
+}
+
+fn fmt_recovery(r: Option<f64>) -> String {
+    match r {
+        Some(s) => f2c(s),
+        None => "never".into(),
     }
 }
 
@@ -189,6 +233,16 @@ pub fn run_with(p: Params) -> Table {
         "AP0 failed over".into(),
         without.failed_over.to_string(),
         with.failed_over.to_string(),
+    ]);
+    t.row(vec![
+        "recovery time (s)".into(),
+        fmt_recovery(without.recovery_s),
+        fmt_recovery(with.recovery_s),
+    ]);
+    t.row(vec![
+        "probes lost to outage".into(),
+        without.probes_lost.to_string(),
+        with.probes_lost.to_string(),
     ]);
     t.expect("without a mesh the outage runs to the end of the experiment; with the mesh it is bounded by detection (3 X2 intervals) + reconvergence, and service continues at a slightly higher RTT via the neighbor");
     t
@@ -229,5 +283,28 @@ mod tests {
         // The AP actually performed the X2-silence failover.
         assert_eq!(t.rows[4][2], "true");
         assert_eq!(t.rows[4][1], "false", "no failover without a mesh");
+        // Recovery time: the mesh arm comes back within detection +
+        // reconvergence (+ stepping granularity); the standalone arm never
+        // does.
+        assert_eq!(t.rows[5][1], "never", "no recovery without a mesh");
+        assert!(no_mesh[5].is_nan());
+        assert!(
+            mesh[5] > 0.0 && mesh[5] < 4.0,
+            "mesh recovery {} s",
+            mesh[5]
+        );
+        // Loss during the outage tracks the outage length (20 probes/s).
+        assert!(
+            no_mesh[6] > mesh[6] + 100.0,
+            "no-mesh lost {} vs mesh {}",
+            no_mesh[6],
+            mesh[6]
+        );
+        assert!(
+            (mesh[6] - mesh[1] * 20.0).abs() <= 20.0,
+            "mesh probes lost {} vs outage {} s",
+            mesh[6],
+            mesh[1]
+        );
     }
 }

@@ -24,7 +24,7 @@
 //!   job; [`FailureScript`] models it as scripted route updates after a
 //!   configurable convergence delay, the way IGP reconvergence would behave.
 
-use dlte_net::{Addr, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
+use dlte_net::{Addr, LinkId, NetFault, NodeCtx, NodeHandler, Packet, Payload, Prefix};
 use dlte_sim::{SimDuration, SimTime};
 
 /// Flow-id namespace for backhaul probes (disjoint from UE IMSIs, which
@@ -138,6 +138,10 @@ pub enum Action {
         prefix: Prefix,
         link: LinkId,
     },
+    /// Inject a first-class network fault (crash, pause, link override,
+    /// partition) through the `dlte-net` fault layer. `SetLink` is kept as
+    /// a shorthand for the common case; everything richer goes here.
+    Fault(NetFault),
 }
 
 impl FailureScript {
@@ -168,6 +172,9 @@ impl NodeHandler for FailureScript {
         match action {
             Action::SetLink { link, up } => ctx.set_link_up(link, up),
             Action::SetRoute { node, prefix, link } => ctx.set_route_on(node, prefix, link),
+            Action::Fault(fault) => {
+                ctx.schedule_fault(SimDuration::ZERO, fault);
+            }
         }
     }
 
@@ -298,6 +305,113 @@ mod tests {
         // tick (2.5 s tick is exactly at the 1.5 s boundary, not past it).
         assert_eq!(p.fired_at[0], 3_000);
         assert!(p.fo.failed_over);
+    }
+
+    /// A CBR source feeding a plain sink over one link, with a chaos node
+    /// driving the script. Returns (sim, chaos node, sink node) after
+    /// `secs` of run. Node ids are build order: src=0, dst=1, chaos=2;
+    /// the link is id 0.
+    fn chaos_rig(
+        script: FailureScript,
+        secs: u64,
+    ) -> (dlte_sim::Simulation<dlte_net::Network>, usize, usize) {
+        let mut b = NetworkBuilder::new(5);
+        let dst_addr = Addr::new(10, 0, 0, 9);
+        let src = b.host("src", Box::new(CbrSource::new(dst_addr, 1, 1e6, 500)));
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        // Plain addressed node: deliveries land in the trace sink.
+        let dst = b.node("dst");
+        b.addr(dst, dst_addr);
+        let l = b.link(src, dst, LinkConfig::lan());
+        b.route(src, Prefix::new(dst_addr, 32), l);
+        let chaos = b.host("chaos", Box::new(script));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(secs), 1_000_000);
+        (sim, chaos, dst)
+    }
+
+    /// Overlapping actions at the same instant fire in script order: a
+    /// down+up pair scheduled for the same time nets out to "up" and the
+    /// flow barely notices.
+    #[test]
+    fn overlapping_actions_at_same_instant_apply_in_order() {
+        let t = SimTime::from_secs(2);
+        let script = FailureScript::new(vec![
+            (t, Action::Fault(NetFault::LinkUp { link: 0, up: false })),
+            (t, Action::Fault(NetFault::LinkUp { link: 0, up: true })),
+        ]);
+        let (sim, chaos, _dst) = chaos_rig(script, 4);
+        let s = sim.world().handler_as::<FailureScript>(chaos).unwrap();
+        assert_eq!(s.fired(), 2, "both same-instant actions executed");
+        assert!(sim.world().core.links[0].up, "net effect: link up");
+        let delivered = sim.world().trace().flow(1).unwrap().delivered_packets;
+        // 250 pkt/s × 4 s, minus at most the instant of the flap.
+        assert!(delivered > 950, "delivered {delivered}");
+    }
+
+    /// A fault scheduled at t = 0 applies before any traffic moves.
+    #[test]
+    fn fault_at_time_zero_applies_before_first_packet() {
+        let script = FailureScript::new(vec![(
+            SimTime::ZERO,
+            Action::Fault(NetFault::LinkUp { link: 0, up: false }),
+        )]);
+        let (sim, _chaos, _dst) = chaos_rig(script, 2);
+        let t = sim.world().trace();
+        // The source's own t=0 packet is already in flight when the fault
+        // lands (start order) and in-flight traffic is never retracted;
+        // everything after is dropped at the dead link.
+        let delivered = t.flow(1).map(|f| f.delivered_packets).unwrap_or(0);
+        assert!(delivered <= 1, "delivered {delivered} through a dead link");
+        assert!(t.drops_link_down > 100, "drops {}", t.drops_link_down);
+    }
+
+    /// A restart scheduled before the crash ever happens is a no-op: the
+    /// node goes down at the (later) crash and stays down.
+    #[test]
+    fn restart_before_crash_is_a_no_op() {
+        let script_for = |dst: usize| {
+            FailureScript::new(vec![
+                (
+                    SimTime::from_secs(1),
+                    Action::Fault(NetFault::NodeUp { node: dst }),
+                ),
+                (
+                    SimTime::from_secs(2),
+                    Action::Fault(NetFault::NodeDown { node: dst }),
+                ),
+            ])
+        };
+        let (sim, chaos, dst) = chaos_rig(script_for(1), 4);
+        assert_eq!(dst, 1);
+        let s = sim.world().handler_as::<FailureScript>(chaos).unwrap();
+        assert_eq!(s.fired(), 2);
+        assert!(sim.world().node_is_down(dst), "crash held: still down");
+        let t = sim.world().trace();
+        assert!(t.drops_node_down > 100, "drops {}", t.drops_node_down);
+        let delivered = t.flow(1).unwrap().delivered_packets;
+        // Only the pre-crash 2 s of traffic got through.
+        assert!(
+            (450..=520).contains(&delivered),
+            "delivered {delivered} (pre-crash only)"
+        );
+    }
+
+    /// Crash and restart at the same instant (script order): state is lost
+    /// but the node is immediately serviceable again.
+    #[test]
+    fn crash_and_restart_at_same_instant_recovers() {
+        let t = SimTime::from_secs(2);
+        let script_for = |dst: usize| {
+            FailureScript::new(vec![
+                (t, Action::Fault(NetFault::NodeDown { node: dst })),
+                (t, Action::Fault(NetFault::NodeUp { node: dst })),
+            ])
+        };
+        let (sim, _chaos, dst) = chaos_rig(script_for(1), 4);
+        assert!(!sim.world().node_is_down(dst), "back up");
+        let delivered = sim.world().trace().flow(1).unwrap().delivered_packets;
+        assert!(delivered > 950, "delivered {delivered}");
     }
 
     /// An AP that never reached the beacon (cold start behind a dead

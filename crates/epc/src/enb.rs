@@ -9,6 +9,7 @@
 use crate::messages::{wire, Nas, S1Nas, S1ap, Teid};
 use dlte_auth::Imsi;
 use dlte_net::gtp;
+use dlte_net::gtp::GtpErrorIndication;
 use dlte_net::{Addr, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
 use dlte_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -38,6 +39,9 @@ pub struct EnbStats {
     pub idle_releases_requested: u64,
     pub pages_relayed: u64,
     pub no_context_drops: u64,
+    /// Contexts torn down because the core signalled (via a GTP-U error
+    /// indication) that it lost the bearer.
+    pub error_indication_releases: u64,
 }
 
 /// The eNodeB node handler.
@@ -150,6 +154,37 @@ impl EnbNode {
         }
     }
 
+    /// The S-GW has no bearer behind one of our tunnels (it crashed, or the
+    /// P-GW behind it did). Tear the radio context down and order the UE to
+    /// detach and re-attach — the eNB is the only element with a radio path
+    /// to say so.
+    fn on_error_indication(&mut self, ctx: &mut NodeCtx<'_>, teid: Teid) {
+        // The indication may carry our downlink TEID (S-GW-initiated
+        // teardown) or our uplink TEID toward the S-GW (bounced uplink).
+        let imsi = match self.by_dl_teid.get(&teid) {
+            Some(&imsi) => Some(imsi),
+            None => self
+                .contexts
+                .iter()
+                .filter(|(_, c)| c.teid_ul == teid)
+                .map(|(&imsi, _)| imsi)
+                .min(),
+        };
+        let Some(imsi) = imsi else { return };
+        let Some(c) = self.contexts.remove(&imsi) else {
+            return;
+        };
+        self.by_dl_teid.remove(&c.teid_dl);
+        self.by_ue_addr.remove(&c.ue_addr);
+        ctx.node_info_mut().remove_route(Prefix::new(c.ue_addr, 32));
+        self.stats.error_indication_releases += 1;
+        let detach = S1Nas {
+            imsi,
+            nas: Nas::NetworkDetach { imsi },
+        };
+        self.relay_nas_downlink(ctx, detach, wire::NETWORK_DETACH);
+    }
+
     /// NAS from the radio side → MME (S1AP relay).
     fn relay_nas_uplink(&mut self, ctx: &mut NodeCtx<'_>, mut s1nas: S1Nas, size: u32) {
         self.stats.nas_relayed_up += 1;
@@ -223,6 +258,10 @@ impl NodeHandler for EnbNode {
         }
         if let Some(msg) = packet.payload.as_control::<S1ap>().cloned() {
             self.handle_s1ap(ctx, msg);
+            return;
+        }
+        if let Some(err) = packet.payload.as_control::<GtpErrorIndication>().copied() {
+            self.on_error_indication(ctx, err.teid);
             return;
         }
         // Downlink user plane: tunneled packet addressed to this eNB.

@@ -74,6 +74,11 @@ pub enum Nas {
     ServiceAccept {
         imsi: Imsi,
     },
+    /// Network → UE: the core lost this UE's session (peer failure, gateway
+    /// restart). The UE must drop its address and re-attach.
+    NetworkDetach {
+        imsi: Imsi,
+    },
 }
 
 /// UE-associated NAS transport (the S1AP relay): NAS between UE and MME is
@@ -209,6 +214,7 @@ pub mod wire {
     pub const ATTACH_ACCEPT: u32 = 150;
     pub const ATTACH_REJECT: u32 = 90;
     pub const DETACH: u32 = 80;
+    pub const NETWORK_DETACH: u32 = 80;
     pub const S1AP_CONTEXT: u32 = 180;
     pub const S1AP_PATH_SWITCH: u32 = 140;
     pub const S1AP_RELEASE: u32 = 100;

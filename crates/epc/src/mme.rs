@@ -10,10 +10,20 @@ use crate::messages::{wire, Gtpc, Nas, RejectCause, S1Nas, S1ap, S6a, SnId, Teid
 use crate::proc::Processor;
 use dlte_auth::vectors::AuthVector;
 use dlte_auth::Imsi;
+use dlte_net::gtp::{GtpEcho, PathEvent, PathMonitor, GTP_ECHO_BYTES};
 use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_sim::stats::Samples;
 use dlte_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
+
+/// Timer tag for the S-GW path-management tick (disjoint from the
+/// processor's tags, which grow upward from 0).
+const TAG_PATH_TICK: u64 = 8_900_000;
+/// Timer tag base for EPS-AKA resync guard timers (`base + epoch`).
+const TAG_RESYNC_BASE: u64 = 9_200_000;
+/// How long a resync retry may wait for the HSS before the attach context
+/// is abandoned (the UE's own attach retransmission recovers from there).
+const RESYNC_GUARD: SimDuration = SimDuration::from_secs(3);
 
 /// Per-UE control state at the MME.
 #[derive(Clone, Debug)]
@@ -61,9 +71,15 @@ pub struct MmeStats {
     pub attaches_completed: u64,
     pub attaches_rejected: u64,
     pub auth_resyncs: u64,
+    /// EPS-AKA resync retries abandoned because the HSS answer never came.
+    pub resync_timeouts: u64,
     pub handovers_completed: u64,
     pub s1_releases: u64,
     pub pages_sent: u64,
+    /// S-GW path failures detected (echo timeout or restart counter change).
+    pub peer_failures: u64,
+    /// UE sessions torn down because the S-GW died under them.
+    pub sessions_cleaned: u64,
     /// Attach completion latency as seen from the MME (request → accept
     /// sent), milliseconds.
     pub attach_latency_ms: Samples,
@@ -80,6 +96,13 @@ pub struct MmeNode {
     contexts: HashMap<Imsi, UeCtx>,
     next_teid: Teid,
     pub stats: MmeStats,
+    /// Echo-based liveness tracking of the S-GW. Off by default: path
+    /// management adds periodic traffic, so topologies opt in explicitly
+    /// (keeps fault-free experiment seeds undisturbed).
+    path_mgmt: Option<PathMonitor>,
+    /// Guard timers for in-flight resync retries: epoch → imsi.
+    resync_watch: HashMap<u64, Imsi>,
+    next_resync_epoch: u64,
 }
 
 impl MmeNode {
@@ -92,7 +115,23 @@ impl MmeNode {
             contexts: HashMap::new(),
             next_teid: 1,
             stats: MmeStats::default(),
+            path_mgmt: None,
+            resync_watch: HashMap::new(),
+            next_resync_epoch: 0,
         }
+    }
+
+    /// Turn on GTP echo path management toward the S-GW: an echo request
+    /// every `interval`, declaring the peer dead after `max_misses`
+    /// unanswered requests (or instantly on a restart-counter change), then
+    /// tearing down every session it held.
+    pub fn enable_path_mgmt(&mut self, interval: SimDuration, max_misses: u32) {
+        self.path_mgmt = Some(PathMonitor::new(self.sgw_addr, interval, max_misses));
+    }
+
+    /// Whether the S-GW path is currently considered dead.
+    pub fn sgw_path_dead(&self) -> bool {
+        self.path_mgmt.as_ref().is_some_and(|m| m.is_dead())
     }
 
     fn alloc_teid(&mut self) -> Teid {
@@ -207,7 +246,10 @@ impl MmeNode {
                 };
                 match ue_sqn {
                     Some(sqn) if resyncs == 0 => {
-                        // Resynchronize at the HSS and retry once.
+                        // Resynchronize at the HSS and retry once. The
+                        // retry is guarded by a timer: if the HSS answer is
+                        // lost the context is dropped instead of hanging
+                        // the attach forever.
                         self.stats.auth_resyncs += 1;
                         self.contexts.insert(
                             imsi,
@@ -217,6 +259,10 @@ impl MmeNode {
                                 resyncs: resyncs + 1,
                             },
                         );
+                        let epoch = self.next_resync_epoch;
+                        self.next_resync_epoch += 1;
+                        self.resync_watch.insert(epoch, imsi);
+                        ctx.set_timer(RESYNC_GUARD, TAG_RESYNC_BASE + epoch);
                         let req = ctx
                             .make_packet(self.hss_addr, wire::S6A_REQUEST)
                             .with_payload(Payload::control(S6a::AuthInfoRequest {
@@ -275,6 +321,10 @@ impl MmeNode {
         else {
             return;
         };
+        if resyncs > 0 {
+            // The guarded resync answer arrived; disarm its watchdog.
+            self.resync_watch.retain(|_, i| *i != imsi);
+        }
         match vector {
             Some(v) => {
                 self.contexts.insert(
@@ -427,6 +477,113 @@ impl MmeNode {
         }
     }
 
+    /// A resync guard fired: if the attach is still waiting on that HSS
+    /// answer, give up on it (the UE's own retransmission recovers).
+    fn on_resync_guard(&mut self, epoch: u64) {
+        let Some(imsi) = self.resync_watch.remove(&epoch) else {
+            return; // answered (or superseded) in time
+        };
+        if let Some(UeCtx::AwaitVector { resyncs, .. }) = self.contexts.get(&imsi) {
+            if *resyncs > 0 {
+                self.contexts.remove(&imsi);
+                self.stats.resync_timeouts += 1;
+            }
+        }
+    }
+
+    /// Periodic S-GW path-management tick: send an echo request, and tear
+    /// sessions down when the miss threshold declares the peer dead.
+    fn path_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(monitor) = self.path_mgmt.as_mut() else {
+            return;
+        };
+        let interval = monitor.interval;
+        let peer = monitor.peer;
+        let (echo, edge) = monitor.tick(0);
+        let req = ctx
+            .make_packet(peer, GTP_ECHO_BYTES)
+            .with_payload(Payload::control(echo));
+        ctx.forward(req);
+        ctx.set_timer(interval, TAG_PATH_TICK);
+        if edge == Some(PathEvent::PeerDead) {
+            self.on_sgw_failure(ctx);
+        }
+    }
+
+    fn handle_echo(&mut self, ctx: &mut NodeCtx<'_>, echo: GtpEcho, from: Addr) {
+        if echo.is_request {
+            // Answer echoes regardless of monitoring config (the MME never
+            // restarts in our scenarios, so its counter is constant).
+            let resp = ctx
+                .make_packet(from, GTP_ECHO_BYTES)
+                .with_payload(Payload::control(GtpEcho {
+                    seq: echo.seq,
+                    restart_counter: 0,
+                    is_request: false,
+                }));
+            ctx.forward(resp);
+            return;
+        }
+        let Some(monitor) = self.path_mgmt.as_mut() else {
+            return;
+        };
+        if from == monitor.peer && monitor.on_response(echo) == PathEvent::PeerRestarted {
+            self.on_sgw_failure(ctx);
+        }
+    }
+
+    /// The S-GW died (or restarted, losing its bearers): drop every session
+    /// it backed, releasing eNB contexts and detaching UEs so they
+    /// re-attach cleanly. IMSIs are processed in sorted order to keep event
+    /// schedules deterministic.
+    fn on_sgw_failure(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.stats.peer_failures += 1;
+        let mut imsis: Vec<Imsi> = self
+            .contexts
+            .iter()
+            .filter(|(_, c)| {
+                matches!(
+                    c,
+                    UeCtx::Active { .. } | UeCtx::Switching { .. } | UeCtx::AwaitSession { .. }
+                )
+            })
+            .map(|(&imsi, _)| imsi)
+            .collect();
+        imsis.sort_unstable();
+        let mut batch = Vec::new();
+        for imsi in imsis {
+            let Some(c) = self.contexts.remove(&imsi) else {
+                continue;
+            };
+            self.stats.sessions_cleaned += 1;
+            let enb = match c {
+                UeCtx::Active { via_enb, .. } | UeCtx::AwaitSession { via_enb, .. } => via_enb,
+                UeCtx::Switching { new_enb, .. } => new_enb,
+                _ => continue,
+            };
+            if matches!(c, UeCtx::AwaitSession { .. }) {
+                // No eNB context installed yet; the UE's attach timer will
+                // retry on its own.
+                continue;
+            }
+            let release = ctx
+                .make_packet(enb, wire::S1AP_RELEASE)
+                .with_payload(Payload::control(S1ap::UeContextRelease { imsi }));
+            let detach = Self::nas_to_enb(
+                ctx,
+                enb,
+                imsi,
+                Nas::NetworkDetach { imsi },
+                wire::NETWORK_DETACH,
+            );
+            batch.push(release);
+            batch.push(detach);
+        }
+        if !batch.is_empty() {
+            self.proc.process(ctx, batch);
+        }
+    }
+
     fn handle_s1ap(&mut self, ctx: &mut NodeCtx<'_>, msg: S1ap) {
         match msg {
             S1ap::UeContextReleaseRequest { imsi } => {
@@ -533,12 +690,26 @@ impl NodeHandler for MmeNode {
             self.handle_gtpc(ctx, msg);
         } else if let Some(msg) = packet.payload.as_control::<S1ap>().cloned() {
             self.handle_s1ap(ctx, msg);
+        } else if let Some(echo) = packet.payload.as_control::<GtpEcho>().copied() {
+            self.handle_echo(ctx, echo, packet.src);
         } else if !ctx.peer_info(ctx.node).owns(packet.dst) {
             ctx.forward(packet);
         }
     }
 
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(m) = &self.path_mgmt {
+            ctx.set_timer(m.interval, TAG_PATH_TICK);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
-        self.proc.on_timer(ctx, tag);
+        if tag == TAG_PATH_TICK {
+            self.path_tick(ctx);
+        } else if tag >= TAG_RESYNC_BASE {
+            self.on_resync_guard(tag - TAG_RESYNC_BASE);
+        } else {
+            self.proc.on_timer(ctx, tag);
+        }
     }
 }

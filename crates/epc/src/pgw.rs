@@ -10,6 +10,7 @@ use crate::messages::{wire, Teid, S5};
 use crate::proc::Processor;
 use dlte_auth::Imsi;
 use dlte_net::gtp;
+use dlte_net::gtp::{GtpEcho, GtpErrorIndication, GTP_ECHO_BYTES, GTP_ERROR_BYTES};
 use dlte_net::{Addr, AddrPool, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_sim::SimDuration;
 use std::collections::HashMap;
@@ -30,6 +31,14 @@ pub struct PgwStats {
     pub sessions: u64,
     pub pool_exhausted: u64,
     pub unknown_dst_drops: u64,
+    /// Create requests for an IMSI that already had a session: the S-GW
+    /// re-established it (after its own restart) and the UE keeps its
+    /// address.
+    pub sessions_reestablished: u64,
+    /// Tunneled packets for a TEID with no context.
+    pub unknown_teid_drops: u64,
+    /// GTP-U error indications sent for unknown-TEID traffic.
+    pub error_indications_sent: u64,
 }
 
 /// The P-GW node handler.
@@ -40,6 +49,9 @@ pub struct PgwNode {
     by_ul_teid: HashMap<Teid, Addr>,
     by_imsi: HashMap<Imsi, Addr>,
     next_teid: Teid,
+    /// GTP restart counter: bumped on every restart so path-managing peers
+    /// learn that all sessions here were lost.
+    pub restart_counter: u32,
     pub stats: PgwStats,
 }
 
@@ -52,6 +64,7 @@ impl PgwNode {
             by_ul_teid: HashMap::new(),
             by_imsi: HashMap::new(),
             next_teid: 0x2000_0000,
+            restart_counter: 0,
             stats: PgwStats::default(),
         }
     }
@@ -72,9 +85,26 @@ impl PgwNode {
                 sgw_addr,
                 teid_dl_sgw,
             } => {
-                let Some(ue_addr) = self.pool.alloc() else {
-                    self.stats.pool_exhausted += 1;
-                    return;
+                // Idempotent on IMSI: a create for a subscriber we already
+                // serve is the S-GW re-establishing a bearer it lost (its
+                // restart), so keep the UE's address and just re-point the
+                // tunnel endpoints.
+                let ue_addr = match self.by_imsi.get(&imsi) {
+                    Some(&addr) => {
+                        if let Some(old) = self.by_ue_addr.get(&addr) {
+                            self.by_ul_teid.remove(&old.teid_ul_pgw);
+                        }
+                        self.stats.sessions_reestablished += 1;
+                        addr
+                    }
+                    None => {
+                        let Some(addr) = self.pool.alloc() else {
+                            self.stats.pool_exhausted += 1;
+                            return;
+                        };
+                        self.stats.sessions += 1;
+                        addr
+                    }
                 };
                 let teid_ul_pgw = self.next_teid;
                 self.next_teid += 1;
@@ -89,7 +119,6 @@ impl PgwNode {
                 );
                 self.by_ul_teid.insert(teid_ul_pgw, ue_addr);
                 self.by_imsi.insert(imsi, ue_addr);
-                self.stats.sessions += 1;
                 let my_addr = ctx.my_addr();
                 let resp = ctx
                     .make_packet(from, wire::GTPC)
@@ -129,6 +158,15 @@ impl PgwNode {
                     ctx.forward(inner);
                 }
             }
+        } else {
+            // No context (e.g. we restarted): tell the S-GW so it tears the
+            // stale bearer down instead of blackholing forever.
+            self.stats.unknown_teid_drops += 1;
+            self.stats.error_indications_sent += 1;
+            let err = ctx
+                .make_packet(packet.src, GTP_ERROR_BYTES)
+                .with_payload(Payload::control(GtpErrorIndication { teid }));
+            ctx.forward(err);
         }
     }
 
@@ -152,6 +190,17 @@ impl NodeHandler for PgwNode {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
         if let Some(msg) = packet.payload.as_control::<S5>().cloned() {
             self.handle_s5(ctx, msg, packet.src);
+        } else if let Some(echo) = packet.payload.as_control::<GtpEcho>().copied() {
+            if echo.is_request {
+                let reply =
+                    ctx.make_packet(packet.src, GTP_ECHO_BYTES)
+                        .with_payload(Payload::control(GtpEcho {
+                            seq: echo.seq,
+                            restart_counter: self.restart_counter,
+                            is_request: false,
+                        }));
+                ctx.forward(reply);
+            }
         } else if ctx.peer_info(ctx.node).owns(packet.dst) {
             self.handle_user_plane(ctx, packet);
         } else if self.pool.prefix().contains(packet.dst) {
@@ -163,5 +212,21 @@ impl NodeHandler for PgwNode {
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
         self.proc.on_timer(ctx, tag);
+    }
+
+    fn on_crash(&mut self) {
+        // State loss: sessions and TEID bindings vanish. The address pool's
+        // allocation cursor survives (fresh attaches get fresh addresses —
+        // leaked ones are simply never reused), and the restart counter is
+        // what advertises the loss to path-managing peers.
+        self.by_ue_addr.clear();
+        self.by_ul_teid.clear();
+        self.by_imsi.clear();
+        self.proc.reset();
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.restart_counter += 1;
+        self.on_start(ctx);
     }
 }

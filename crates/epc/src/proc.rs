@@ -72,6 +72,14 @@ impl Processor {
         }
     }
 
+    /// Drop all in-flight work (crash with state loss). Any timers already
+    /// armed for the dropped work fire into nothing and are ignored by
+    /// `on_timer`. Cumulative stats are preserved.
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.pending.clear();
+    }
+
     /// Mean queueing delay per processed message.
     pub fn mean_queue_delay(&self) -> SimDuration {
         match self

@@ -10,9 +10,16 @@ use crate::messages::{wire, Gtpc, Teid, S5};
 use crate::proc::Processor;
 use dlte_auth::Imsi;
 use dlte_net::gtp;
+use dlte_net::gtp::{
+    GtpEcho, GtpErrorIndication, PathEvent, PathMonitor, GTP_ECHO_BYTES, GTP_ERROR_BYTES,
+};
 use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_sim::SimDuration;
 use std::collections::HashMap;
+
+/// Timer tag for the GTP-U path-management tick (disjoint from the
+/// processor's tag space, which grows upward from 0).
+const TAG_PATH_TICK: u64 = 8_900_000;
 
 #[derive(Clone, Debug)]
 struct Bearer {
@@ -49,6 +56,12 @@ pub struct SgwStats {
     pub buffered: u64,
     pub buffer_flushed: u64,
     pub buffer_drops: u64,
+    /// GTP-U error indications sent for unknown-TEID traffic.
+    pub error_indications_sent: u64,
+    /// P-GW path failures detected (echo timeout or restart counter).
+    pub peer_failures: u64,
+    /// Bearers torn down because the P-GW lost their state.
+    pub sessions_cleaned: u64,
 }
 
 /// The S-GW node handler.
@@ -63,6 +76,10 @@ pub struct SgwNode {
     by_ul_teid: HashMap<Teid, Imsi>,
     by_dl_teid: HashMap<Teid, Imsi>,
     next_teid: Teid,
+    /// GTP restart counter: bumped on every restart so peers running path
+    /// management can tell "rebooted and lost state" from "slow".
+    pub restart_counter: u32,
+    path_mgmt: Option<PathMonitor>,
     pub stats: SgwStats,
 }
 
@@ -77,8 +94,22 @@ impl SgwNode {
             by_ul_teid: HashMap::new(),
             by_dl_teid: HashMap::new(),
             next_teid: 0x1000_0000,
+            restart_counter: 0,
+            path_mgmt: None,
             stats: SgwStats::default(),
         }
+    }
+
+    /// Run GTP-U echo path management toward the P-GW: an echo request
+    /// every `interval`, declaring the peer dead after `max_misses`
+    /// consecutive unanswered requests. Off by default.
+    pub fn enable_path_mgmt(&mut self, interval: SimDuration, max_misses: u32) {
+        self.path_mgmt = Some(PathMonitor::new(self.pgw_addr, interval, max_misses));
+    }
+
+    /// Whether path management currently considers the P-GW dead.
+    pub fn pgw_path_dead(&self) -> bool {
+        self.path_mgmt.as_ref().is_some_and(|m| m.is_dead())
     }
 
     fn alloc_teid(&mut self) -> Teid {
@@ -260,17 +291,113 @@ impl SgwNode {
             let out = gtp::encapsulate(inner, teid_enb, my_addr, enb);
             ctx.forward(out);
         } else {
+            // No context for this TEID (e.g. we restarted and lost all
+            // bearers): tell the sender so it can tear its side down.
             self.stats.unknown_teid_drops += 1;
+            self.stats.error_indications_sent += 1;
+            let err = ctx
+                .make_packet(packet.src, GTP_ERROR_BYTES)
+                .with_payload(Payload::control(GtpErrorIndication { teid }));
+            ctx.forward(err);
+        }
+    }
+
+    /// Tear one bearer down and propagate a GTP-U error indication to its
+    /// eNB (addressed by the eNB's own downlink TEID) so the radio side
+    /// releases the UE and it re-attaches.
+    fn teardown_bearer(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi) {
+        let Some(b) = self.bearers.remove(&imsi) else {
+            return;
+        };
+        self.by_ul_teid.remove(&b.teid_ul_sgw);
+        self.by_dl_teid.remove(&b.teid_dl_sgw);
+        self.stats.sessions_cleaned += 1;
+        if b.enb_connected {
+            self.stats.error_indications_sent += 1;
+            let err = ctx
+                .make_packet(b.enb_addr, GTP_ERROR_BYTES)
+                .with_payload(Payload::control(GtpErrorIndication {
+                    teid: b.teid_dl_enb,
+                }));
+            ctx.forward(err);
+        }
+    }
+
+    /// The P-GW died or rebooted: every bearer it anchored is gone.
+    fn on_pgw_failure(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.stats.peer_failures += 1;
+        let mut imsis: Vec<Imsi> = self.bearers.keys().copied().collect();
+        imsis.sort_unstable();
+        for imsi in imsis {
+            self.teardown_bearer(ctx, imsi);
+        }
+    }
+
+    /// The P-GW told us it has no context for a TEID we are still sending
+    /// to: that one bearer is stale.
+    fn on_error_indication(&mut self, ctx: &mut NodeCtx<'_>, teid: Teid) {
+        let mut imsis: Vec<Imsi> = self
+            .bearers
+            .iter()
+            .filter(|(_, b)| b.teid_ul_pgw == Some(teid))
+            .map(|(&imsi, _)| imsi)
+            .collect();
+        imsis.sort_unstable();
+        for imsi in imsis {
+            self.teardown_bearer(ctx, imsi);
+        }
+    }
+
+    fn path_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(monitor) = &mut self.path_mgmt else {
+            return;
+        };
+        let (echo, event) = monitor.tick(self.restart_counter);
+        let (peer, interval) = (monitor.peer, monitor.interval);
+        let req = ctx
+            .make_packet(peer, GTP_ECHO_BYTES)
+            .with_payload(Payload::control(echo));
+        ctx.forward(req);
+        ctx.set_timer(interval, TAG_PATH_TICK);
+        if event == Some(PathEvent::PeerDead) {
+            self.on_pgw_failure(ctx);
+        }
+    }
+
+    fn handle_echo(&mut self, ctx: &mut NodeCtx<'_>, echo: GtpEcho, from: Addr) {
+        if echo.is_request {
+            let reply = ctx
+                .make_packet(from, GTP_ECHO_BYTES)
+                .with_payload(Payload::control(GtpEcho {
+                    seq: echo.seq,
+                    restart_counter: self.restart_counter,
+                    is_request: false,
+                }));
+            ctx.forward(reply);
+        } else if let Some(monitor) = &mut self.path_mgmt {
+            if from == monitor.peer && monitor.on_response(echo) == PathEvent::PeerRestarted {
+                self.on_pgw_failure(ctx);
+            }
         }
     }
 }
 
 impl NodeHandler for SgwNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(monitor) = &self.path_mgmt {
+            ctx.set_timer(monitor.interval, TAG_PATH_TICK);
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
         if let Some(msg) = packet.payload.as_control::<Gtpc>().cloned() {
             self.handle_gtpc(ctx, msg, packet.src);
         } else if let Some(msg) = packet.payload.as_control::<S5>().cloned() {
             self.handle_s5(ctx, msg);
+        } else if let Some(echo) = packet.payload.as_control::<GtpEcho>().copied() {
+            self.handle_echo(ctx, echo, packet.src);
+        } else if let Some(err) = packet.payload.as_control::<GtpErrorIndication>().copied() {
+            self.on_error_indication(ctx, err.teid);
         } else if ctx.peer_info(ctx.node).owns(packet.dst) {
             self.handle_user_plane(ctx, packet);
         } else {
@@ -279,6 +406,29 @@ impl NodeHandler for SgwNode {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
-        self.proc.on_timer(ctx, tag);
+        if tag == TAG_PATH_TICK {
+            self.path_tick(ctx);
+        } else {
+            self.proc.on_timer(ctx, tag);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // State loss: every bearer, TEID binding, and queued control
+        // message is gone. Stats survive (they model the observer, not the
+        // box) and so does the restart counter, which is what lets peers
+        // *detect* the loss.
+        self.bearers.clear();
+        self.by_ul_teid.clear();
+        self.by_dl_teid.clear();
+        self.proc.reset();
+        if let Some(m) = &self.path_mgmt {
+            self.path_mgmt = Some(PathMonitor::new(m.peer, m.interval, m.max_misses));
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.restart_counter += 1;
+        self.on_start(ctx);
     }
 }

@@ -63,10 +63,15 @@ pub struct CentralizedLteBuilder {
     pub enb_idle_timeout: Option<SimDuration>,
     pub sn_id: SnId,
     pub seed: u64,
+    /// Run GTP-U echo path management (MME→S-GW, S-GW→P-GW) with this
+    /// (interval, max_misses). Off by default: fault-free experiments keep
+    /// an identical event stream.
+    pub path_mgmt: Option<(SimDuration, u32)>,
     ue_plan: Box<dyn Fn(usize) -> UePlan>,
 }
 
-/// The built network and its interesting node ids.
+/// The built network and its interesting node ids (and the links fault
+/// injection most wants to break).
 pub struct CentralizedLteNet {
     pub sim: Simulation<Network>,
     pub ues: Vec<NodeId>,
@@ -76,6 +81,11 @@ pub struct CentralizedLteNet {
     pub pgw: NodeId,
     pub hss: NodeId,
     pub ott: NodeId,
+    /// Per-eNB backhaul link (eNB ↔ aggregation router), by eNB index.
+    pub enb_backhaul: Vec<dlte_net::LinkId>,
+    /// Aggregation ↔ EPC-site WAN link (the backhaul trunk every eNB
+    /// shares toward the core).
+    pub l_agg_epc: dlte_net::LinkId,
 }
 
 impl CentralizedLteBuilder {
@@ -99,6 +109,7 @@ impl CentralizedLteBuilder {
             enb_idle_timeout: None,
             sn_id: 51089,
             seed: 1,
+            path_mgmt: None,
             ue_plan: Box::new(|_| UePlan::default()),
         }
     }
@@ -153,18 +164,17 @@ impl CentralizedLteBuilder {
         for i in 0..total_ues {
             hss_node.provision(Self::imsi_of(i), Self::key_of(i));
         }
-        let mme = b.host(
-            "mme",
-            Box::new(MmeNode::new(
-                self.sn_id,
-                hss_addr,
-                sgw_addr,
-                self.mme_per_msg,
-            )),
-        );
+        let mut mme_node = MmeNode::new(self.sn_id, hss_addr, sgw_addr, self.mme_per_msg);
+        if let Some((interval, max_misses)) = self.path_mgmt {
+            mme_node.enable_path_mgmt(interval, max_misses);
+        }
+        let mme = b.host("mme", Box::new(mme_node));
         b.addr(mme, mme_addr);
         let mut sgw_node = SgwNode::new(pgw_addr, self.gw_per_msg);
         sgw_node.mme_addr = mme_addr;
+        if let Some((interval, max_misses)) = self.path_mgmt {
+            sgw_node.enable_path_mgmt(interval, max_misses);
+        }
         let sgw = b.host("sgw", Box::new(sgw_node));
         b.addr(sgw, sgw_addr);
         let pgw = b.host(
@@ -186,13 +196,14 @@ impl CentralizedLteBuilder {
         // eNBs.
         let mut enbs = Vec::new();
         let mut enb_addrs = Vec::new();
+        let mut enb_backhaul = Vec::new();
         for e in 0..self.n_enb {
             let addr = Addr::new(10, 1, e as u8, 1);
             let mut enb_node = EnbNode::new(mme_addr);
             enb_node.idle_timeout = self.enb_idle_timeout;
             let enb = b.host(format!("enb{e}"), Box::new(enb_node));
             b.addr(enb, addr);
-            b.link(enb, r_agg, self.backhaul);
+            enb_backhaul.push(b.link(enb, r_agg, self.backhaul));
             enbs.push(enb);
             enb_addrs.push(addr);
         }
@@ -257,6 +268,8 @@ impl CentralizedLteBuilder {
             pgw,
             hss,
             ott,
+            enb_backhaul,
+            l_agg_epc,
         }
     }
 }
@@ -427,6 +440,108 @@ mod tests {
             .map(|f| f.delivered_packets)
             .unwrap_or(0);
         assert!(delivered >= 4, "CBR delivered {delivered}");
+    }
+
+    #[test]
+    fn sgw_crash_detected_by_path_mgmt_and_sessions_recover() {
+        // Two pinging UEs; the S-GW crashes at 3 s and restarts at 6 s.
+        // Path management (500 ms echoes, 2 misses) must detect the death,
+        // the MME must clean both sessions and detach the UEs, and both
+        // must re-attach once the S-GW is back — keeping their addresses,
+        // because the P-GW never lost the IMSI→address binding.
+        let mut builder = CentralizedLteBuilder::new(1, 2);
+        builder.path_mgmt = Some((SimDuration::from_millis(500), 2));
+        let mut net = builder
+            .with_ue_plan(|_| UePlan {
+                app: UeApp::Pinger {
+                    dst: CentralizedLteBuilder::ott_addr(),
+                    interval: SimDuration::from_millis(200),
+                    probe_bytes: 100,
+                },
+                mode: MobilityMode::PathSwitch,
+                schedule: vec![],
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(3), 5_000_000);
+        let addrs_before: Vec<_> = net
+            .ues
+            .iter()
+            .map(|&u| net.sim.world().handler_as::<UeNode>(u).unwrap().addr)
+            .collect();
+        assert!(addrs_before.iter().all(|a| a.is_some()));
+        let now = net.sim.now();
+        net.sim.queue_mut().schedule_at(
+            now,
+            dlte_net::NetEvent::Fault(dlte_net::NetFault::NodeDown { node: net.sgw }),
+        );
+        net.sim.queue_mut().schedule_at(
+            SimTime::from_secs(6),
+            dlte_net::NetEvent::Fault(dlte_net::NetFault::NodeUp { node: net.sgw }),
+        );
+        net.sim.run_until(SimTime::from_secs(14), 20_000_000);
+        let w = net.sim.world();
+        let mme = w.handler_as::<MmeNode>(net.mme).unwrap();
+        assert!(mme.stats.peer_failures >= 1, "death detected");
+        assert!(mme.stats.sessions_cleaned >= 2, "both sessions cleaned");
+        for (i, &ue_id) in net.ues.iter().enumerate() {
+            let ue = w.handler_as::<UeNode>(ue_id).unwrap();
+            assert!(ue.stats.network_detaches >= 1, "ue{i} was detached");
+            assert_eq!(ue.state, UeState::Attached, "ue{i} recovered");
+            assert!(
+                ue.stats.attaches_completed >= 2,
+                "ue{i} re-attached: {}",
+                ue.stats.attaches_completed
+            );
+            assert_eq!(ue.addr, addrs_before[i], "ue{i} kept its address");
+            assert!(ue.stats.pongs > 20, "ue{i} traffic resumed");
+        }
+        let pgw = w.handler_as::<crate::pgw::PgwNode>(net.pgw).unwrap();
+        assert!(
+            pgw.stats.sessions_reestablished >= 2,
+            "P-GW re-created in place: {}",
+            pgw.stats.sessions_reestablished
+        );
+    }
+
+    #[test]
+    fn sgw_restart_bounces_stale_tunnels_via_error_indication() {
+        // No path management at all: a fast S-GW blip (crash at 3 s, back
+        // at 3.2 s) leaves every eNB tunneling into a box with no bearer
+        // state. Recovery must come from GTP-U error indications: S-GW
+        // bounces the unknown TEID, the eNB tears the context down and
+        // detaches the UE, and the re-attach rebuilds the chain.
+        let mut net = CentralizedLteBuilder::new(1, 1)
+            .with_ue_plan(|_| UePlan {
+                app: UeApp::Pinger {
+                    dst: CentralizedLteBuilder::ott_addr(),
+                    interval: SimDuration::from_millis(200),
+                    probe_bytes: 100,
+                },
+                mode: MobilityMode::PathSwitch,
+                schedule: vec![],
+            })
+            .build();
+        net.sim.queue_mut().schedule_at(
+            SimTime::from_secs(3),
+            dlte_net::NetEvent::Fault(dlte_net::NetFault::NodeDown { node: net.sgw }),
+        );
+        net.sim.queue_mut().schedule_at(
+            SimTime::from_millis(3_200),
+            dlte_net::NetEvent::Fault(dlte_net::NetFault::NodeUp { node: net.sgw }),
+        );
+        net.sim.run_until(SimTime::from_secs(8), 20_000_000);
+        let w = net.sim.world();
+        let sgw = w.handler_as::<SgwNode>(net.sgw).unwrap();
+        assert_eq!(sgw.restart_counter, 1);
+        assert!(sgw.stats.error_indications_sent >= 1, "stale TEID bounced");
+        let enb = w.handler_as::<crate::enb::EnbNode>(net.enbs[0]).unwrap();
+        assert!(enb.stats.error_indication_releases >= 1);
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert!(ue.stats.network_detaches >= 1);
+        assert_eq!(ue.state, UeState::Attached, "recovered");
+        assert_eq!(ue.stats.attaches_completed, 2);
+        assert_eq!(ue.addr, Some(Addr::new(100, 64, 0, 1)), "address kept");
+        assert!(ue.stats.pongs > 15, "traffic resumed: {}", ue.stats.pongs);
     }
 
     #[test]

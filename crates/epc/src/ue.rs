@@ -81,6 +81,12 @@ pub struct UeReportStats {
     pub pages_received: u64,
     pub service_requests: u64,
     pub attach_rejects: u64,
+    /// Attach requests retransmitted after a timeout (lost signalling or a
+    /// dead core), counted on top of `service_requests`/attach attempts.
+    pub attach_retries: u64,
+    pub service_request_retries: u64,
+    /// Network-initiated detaches (the core lost our session).
+    pub network_detaches: u64,
     /// Attach latency experienced by the UE (request sent → accept
     /// received), milliseconds.
     pub attach_latency_ms: Samples,
@@ -107,6 +113,15 @@ const TAG_MOBILITY_BASE: u64 = 1000;
 /// Attach-timeout tags encode the attempt epoch they guard, so a stale
 /// timer from a completed attach can never restart a later one.
 const TAG_ATTACH_TIMEOUT_BASE: u64 = 100_000;
+/// Service-request retransmission tags, epoch-encoded like attach timeouts.
+const TAG_SERVICE_RETRY_BASE: u64 = 200_000;
+
+/// Capped exponential backoff: `base_ms << (attempt-1)`, clamped to
+/// `cap_ms`. Attempt 1 waits the base interval.
+fn backoff(base_ms: u64, attempt: u32, cap_ms: u64) -> SimDuration {
+    let exp = attempt.saturating_sub(1).min(16);
+    SimDuration::from_millis((base_ms << exp).min(cap_ms))
+}
 
 /// The UE node handler.
 pub struct UeNode {
@@ -115,6 +130,8 @@ pub struct UeNode {
     /// (we keep the IP, but must service-request before transmitting).
     pub rrc_idle: bool,
     service_requested_at: Option<SimTime>,
+    service_epoch: u64,
+    service_attempts: u32,
     usim: Usim,
     cells: Vec<CellAttachment>,
     current: usize,
@@ -143,6 +160,8 @@ impl UeNode {
             imsi,
             rrc_idle: false,
             service_requested_at: None,
+            service_epoch: 0,
+            service_attempts: 0,
             usim,
             cells,
             current: 0,
@@ -200,6 +219,9 @@ impl UeNode {
         }
         self.attach_attempts += 1;
         self.attach_epoch += 1;
+        if self.attach_attempts > 1 {
+            self.stats.attach_retries += 1;
+        }
         self.send_nas(
             ctx,
             Nas::AttachRequest {
@@ -208,11 +230,13 @@ impl UeNode {
             },
             wire::ATTACH_REQUEST,
         );
-        // Retry guard: if nothing happens in 3 s, try again (up to 5×). The
-        // tag carries the epoch so only the *newest* attempt's timer can
-        // retry.
+        // Retransmission guard with capped exponential backoff (3 s, 6 s,
+        // 12 s, then 24 s forever): the UE never gives up — an outage
+        // longer than any fixed attempt budget must still end in recovery.
+        // The tag carries the epoch so only the *newest* attempt's timer
+        // can retry.
         ctx.set_timer(
-            SimDuration::from_secs(3),
+            backoff(3_000, self.attach_attempts, 24_000),
             TAG_ATTACH_TIMEOUT_BASE + self.attach_epoch,
         );
     }
@@ -362,6 +386,26 @@ impl UeNode {
             Nas::ServiceAccept { .. } => {
                 self.rrc_idle = false;
                 self.service_requested_at = None;
+                self.service_attempts = 0;
+                self.service_epoch += 1; // invalidate any pending retry
+            }
+            Nas::NetworkDetach { .. } => {
+                // The core lost our session: the address is dead, a full
+                // re-attach is the only way back.
+                self.stats.network_detaches += 1;
+                if let Some(old) = self.addr.take() {
+                    ctx.remove_addr(ctx.node, old);
+                }
+                self.rrc_idle = false;
+                self.service_requested_at = None;
+                self.service_epoch += 1;
+                if self.state == UeState::Attaching {
+                    return; // re-attach already under way
+                }
+                self.state = UeState::Detached;
+                self.attach_started = None;
+                self.attach_attempts = 0;
+                self.begin_attach(ctx);
             }
             _ => {}
         }
@@ -369,18 +413,27 @@ impl UeNode {
 
     /// Leave ECM-IDLE: ask the network to restore the bearer. The UE keeps
     /// holding uplink until the service accept arrives (an idle UE cannot
-    /// just transmit), re-requesting if the first request is lost.
+    /// just transmit). Retransmission is timer-driven with capped
+    /// exponential backoff; this entry point is a no-op while a request is
+    /// already in flight.
     fn service_request(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.service_requested_at.is_some() {
+            return; // retransmission timer owns the retries
+        }
+        self.service_attempts = 0;
+        self.send_service_request(ctx);
+    }
+
+    fn send_service_request(&mut self, ctx: &mut NodeCtx<'_>) {
         let Some(ue_addr) = self.addr else { return };
         if !self.rrc_idle {
             return;
         }
-        if let Some(at) = self.service_requested_at {
-            if ctx.now.saturating_since(at) < SimDuration::from_millis(500) {
-                return; // request in flight
-            }
-        }
         self.service_requested_at = Some(ctx.now);
+        self.service_attempts += 1;
+        if self.service_attempts > 1 {
+            self.stats.service_request_retries += 1;
+        }
         self.stats.service_requests += 1;
         self.send_nas(
             ctx,
@@ -389,6 +442,12 @@ impl UeNode {
                 ue_addr,
             },
             wire::S1AP_PATH_SWITCH,
+        );
+        // Retransmit at 500 ms, 1 s, 2 s, then every 4 s until accepted.
+        self.service_epoch += 1;
+        ctx.set_timer(
+            backoff(500, self.service_attempts, 4_000),
+            TAG_SERVICE_RETRY_BASE + self.service_epoch,
         );
     }
 
@@ -454,12 +513,18 @@ impl NodeHandler for UeNode {
                     upper.on_timer(ctx, t);
                 }
             }
+            t if t >= TAG_SERVICE_RETRY_BASE => {
+                let epoch = t - TAG_SERVICE_RETRY_BASE;
+                if epoch == self.service_epoch
+                    && self.rrc_idle
+                    && self.service_requested_at.is_some()
+                {
+                    self.send_service_request(ctx);
+                }
+            }
             t if t >= TAG_ATTACH_TIMEOUT_BASE => {
                 let epoch = t - TAG_ATTACH_TIMEOUT_BASE;
-                if epoch == self.attach_epoch
-                    && self.state == UeState::Attaching
-                    && self.attach_attempts < 5
-                {
+                if epoch == self.attach_epoch && self.state == UeState::Attaching {
                     self.begin_attach(ctx);
                 }
             }

@@ -1,0 +1,123 @@
+//! Property-based tests for fault plans: compilation is sorted and
+//! deterministic, serde round-trips arbitrary plans, and chaos generation
+//! is a pure function of its seed.
+
+use dlte_faults::{ChaosTargets, FaultPlan, FaultSpec};
+use dlte_net::NetFault;
+use proptest::prelude::*;
+
+fn arb_opt_s() -> impl Strategy<Value = Option<f64>> {
+    (any::<bool>(), 0.0f64..5.0).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        (0usize..8, 0.0f64..20.0, 0.0f64..5.0, 1u32..4, 0.0f64..10.0).prop_map(
+            |(link, at_s, down_s, times, gap_s)| FaultSpec::LinkFlap {
+                link,
+                at_s,
+                down_s,
+                times,
+                gap_s,
+            }
+        ),
+        (0usize..8, 0.0f64..20.0, 0.0f64..5.0, 0.0f64..1.0).prop_map(
+            |(link, at_s, for_s, loss)| FaultSpec::LossBurst {
+                link,
+                at_s,
+                for_s,
+                loss,
+            }
+        ),
+        (
+            0usize..8,
+            0.0f64..20.0,
+            0.0f64..5.0,
+            0.0f64..500.0,
+            0.0f64..100.0
+        )
+            .prop_map(
+                |(link, at_s, for_s, extra_ms, jitter_ms)| FaultSpec::LatencyStorm {
+                    link,
+                    at_s,
+                    for_s,
+                    extra_ms,
+                    jitter_ms,
+                }
+            ),
+        (0usize..8, 0.0f64..20.0, 0.0f64..5.0, 1e4f64..1e9).prop_map(
+            |(link, at_s, for_s, rate_bps)| FaultSpec::RateThrottle {
+                link,
+                at_s,
+                for_s,
+                rate_bps,
+            }
+        ),
+        (0usize..8, 0.0f64..20.0, arb_opt_s()).prop_map(|(node, at_s, restart_after_s)| {
+            FaultSpec::NodeCrash {
+                node,
+                at_s,
+                restart_after_s,
+            }
+        }),
+        (0usize..8, 0.0f64..20.0, 0.0f64..5.0)
+            .prop_map(|(node, at_s, for_s)| { FaultSpec::NodePause { node, at_s, for_s } }),
+        (
+            prop::collection::vec(0usize..8, 1..4),
+            0.0f64..20.0,
+            arb_opt_s()
+        )
+            .prop_map(|(nodes, at_s, heal_after_s)| FaultSpec::Partition {
+                nodes,
+                at_s,
+                heal_after_s,
+            }),
+        (0usize..8, 0.0f64..20.0).prop_map(|(node, at_s)| FaultSpec::At {
+            at_s,
+            fault: NetFault::NodeResume { node },
+        }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), prop::collection::vec(arb_spec(), 0..12))
+        .prop_map(|(seed, faults)| FaultPlan { seed, faults })
+}
+
+proptest! {
+    /// compile() always yields a time-sorted, deterministic timeline.
+    #[test]
+    fn compile_is_sorted_and_deterministic(plan in arb_plan()) {
+        let a = plan.compile();
+        let b = plan.compile();
+        prop_assert_eq!(&a, &b);
+        for w in a.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "unsorted: {:?}", w);
+        }
+        if let Some(&(last, _)) = a.last() {
+            prop_assert_eq!(plan.last_fault_time(), last);
+        }
+    }
+
+    /// Serde round-trips any plan to an identical plan (and timeline).
+    #[test]
+    fn serde_round_trips(plan in arb_plan()) {
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &plan);
+        prop_assert_eq!(back.compile(), plan.compile());
+    }
+
+    /// Chaos generation is a pure function of (seed, params).
+    #[test]
+    fn chaos_mix_pure_in_seed(seed in any::<u64>(), n in 1usize..30) {
+        let targets = ChaosTargets {
+            links: vec![0, 1, 2, 3],
+            crashable: vec![9],
+        };
+        let a = FaultPlan::chaos_mix(seed, &targets, n, 0.0, 10.0, 2.0);
+        let b = FaultPlan::chaos_mix(seed, &targets, n, 0.0, 10.0, 2.0);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.faults.len(), n);
+    }
+}

@@ -10,12 +10,128 @@
 
 use crate::addr::Addr;
 use crate::packet::{Packet, TunnelHeader};
+use dlte_sim::SimDuration;
 
 /// GTP-U encapsulation overhead: outer IPv4 (20) + UDP (8) + GTP-U (8) bytes.
 pub const GTP_OVERHEAD_BYTES: u32 = 36;
 
+/// Wire size of a GTP-U echo request/response (outer headers + empty body).
+pub const GTP_ECHO_BYTES: u32 = 40;
+
+/// Wire size of a GTP-U error indication (headers + TEID/peer-address IEs).
+pub const GTP_ERROR_BYTES: u32 = 60;
+
 /// Tunnel endpoint identifier.
 pub type Teid = u32;
+
+/// GTP-U path-management echo (TS 29.281 §7.2): carried as a control
+/// payload between tunnel endpoints. The restart counter lets a peer detect
+/// that the other end rebooted (and therefore lost all bearer state) even
+/// when no echo was ever missed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GtpEcho {
+    pub seq: u32,
+    pub restart_counter: u32,
+    pub is_request: bool,
+}
+
+/// GTP-U error indication (TS 29.281 §7.3): sent back when a G-PDU arrives
+/// for a TEID with no context — tells the sender to tear the bearer down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GtpErrorIndication {
+    pub teid: Teid,
+}
+
+/// What a [`PathMonitor`] concluded from an echo response (or its absence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathEvent {
+    /// Peer responded and its restart counter is unchanged.
+    Alive,
+    /// Peer responded with a *new* restart counter: it crashed and came
+    /// back, so every bearer it held is gone.
+    PeerRestarted,
+    /// Too many consecutive echo requests went unanswered.
+    PeerDead,
+}
+
+/// Echo-driven liveness tracking of one GTP-U peer.
+///
+/// Pure state machine: the owner calls [`PathMonitor::tick`] on a periodic
+/// timer (sending an echo request when one is returned) and
+/// [`PathMonitor::on_response`] when the peer answers. Detection of death
+/// happens inside `tick` — `max_misses` outstanding requests without an
+/// answer flips the path dead; any later response revives it.
+#[derive(Clone, Debug)]
+pub struct PathMonitor {
+    pub peer: Addr,
+    pub interval: SimDuration,
+    pub max_misses: u32,
+    outstanding: u32,
+    next_seq: u32,
+    last_peer_restart: Option<u32>,
+    dead: bool,
+    /// Echo responses received (stat).
+    pub responses: u64,
+}
+
+impl PathMonitor {
+    pub fn new(peer: Addr, interval: SimDuration, max_misses: u32) -> PathMonitor {
+        PathMonitor {
+            peer,
+            interval,
+            max_misses,
+            outstanding: 0,
+            next_seq: 0,
+            last_peer_restart: None,
+            dead: false,
+            responses: 0,
+        }
+    }
+
+    /// Whether the path is currently considered dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Periodic tick: returns the echo request to send and, when the miss
+    /// threshold is crossed *by this tick*, the `PeerDead` edge event.
+    pub fn tick(&mut self, my_restart_counter: u32) -> (GtpEcho, Option<PathEvent>) {
+        let newly_dead = if self.outstanding >= self.max_misses && !self.dead {
+            self.dead = true;
+            Some(PathEvent::PeerDead)
+        } else {
+            None
+        };
+        self.outstanding += 1;
+        let echo = GtpEcho {
+            seq: self.next_seq,
+            restart_counter: my_restart_counter,
+            is_request: true,
+        };
+        self.next_seq += 1;
+        (echo, newly_dead)
+    }
+
+    /// The peer answered an echo. Returns `PeerRestarted` on a restart
+    /// counter change, otherwise `Alive`. A response always revives a dead
+    /// path (the restart event carries the "state is gone" information).
+    pub fn on_response(&mut self, echo: GtpEcho) -> PathEvent {
+        debug_assert!(!echo.is_request);
+        self.outstanding = 0;
+        self.dead = false;
+        self.responses += 1;
+        let restarted = match self.last_peer_restart {
+            Some(prev) => prev != echo.restart_counter,
+            None => false,
+        };
+        self.last_peer_restart = Some(echo.restart_counter);
+        if restarted {
+            PathEvent::PeerRestarted
+        } else {
+            PathEvent::Alive
+        }
+    }
+}
 
 /// Encapsulate `packet` into a GTP-U tunnel from `outer_src` to `outer_dst`.
 /// The original addressing is preserved on the tunnel stack.
@@ -131,5 +247,62 @@ mod tests {
             Addr::new(10, 2, 0, 1),
         );
         assert!(decapsulate(p, None).is_ok());
+    }
+
+    fn reply_to(req: GtpEcho, restart_counter: u32) -> GtpEcho {
+        GtpEcho {
+            seq: req.seq,
+            restart_counter,
+            is_request: false,
+        }
+    }
+
+    #[test]
+    fn path_monitor_stays_alive_while_answered() {
+        let mut m = PathMonitor::new(Addr::new(10, 2, 0, 1), SimDuration::from_secs(2), 3);
+        for k in 0..10 {
+            let (req, edge) = m.tick(7);
+            assert_eq!(req.seq, k);
+            assert!(req.is_request);
+            assert_eq!(edge, None);
+            assert_eq!(m.on_response(reply_to(req, 42)), PathEvent::Alive);
+            assert!(!m.is_dead());
+        }
+        assert_eq!(m.responses, 10);
+    }
+
+    #[test]
+    fn path_monitor_declares_death_after_misses() {
+        let mut m = PathMonitor::new(Addr::new(10, 2, 0, 1), SimDuration::from_secs(2), 3);
+        // Three unanswered requests outstanding → the 4th tick reports death
+        // exactly once.
+        assert_eq!(m.tick(0).1, None);
+        assert_eq!(m.tick(0).1, None);
+        assert_eq!(m.tick(0).1, None);
+        assert!(!m.is_dead());
+        assert_eq!(m.tick(0).1, Some(PathEvent::PeerDead));
+        assert!(m.is_dead());
+        assert_eq!(m.tick(0).1, None, "death reported only on the edge");
+        // A late response revives the path.
+        let (req, _) = m.tick(0);
+        assert_eq!(m.on_response(reply_to(req, 1)), PathEvent::Alive);
+        assert!(!m.is_dead());
+    }
+
+    #[test]
+    fn path_monitor_detects_peer_restart() {
+        let mut m = PathMonitor::new(Addr::new(10, 3, 0, 1), SimDuration::from_secs(2), 3);
+        let (req, _) = m.tick(0);
+        assert_eq!(m.on_response(reply_to(req, 5)), PathEvent::Alive);
+        let (req, _) = m.tick(0);
+        assert_eq!(m.on_response(reply_to(req, 5)), PathEvent::Alive);
+        let (req, _) = m.tick(0);
+        assert_eq!(m.on_response(reply_to(req, 6)), PathEvent::PeerRestarted);
+        let (req, _) = m.tick(0);
+        assert_eq!(
+            m.on_response(reply_to(req, 6)),
+            PathEvent::Alive,
+            "restart reported once"
+        );
     }
 }

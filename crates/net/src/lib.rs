@@ -22,8 +22,8 @@ pub mod packet;
 pub mod trace;
 
 pub use addr::{Addr, AddrPool, Prefix};
-pub use link::{LinkConfig, LinkId};
-pub use network::{NetEvent, Network, NetworkBuilder};
+pub use link::{LinkConfig, LinkId, LinkOverride};
+pub use network::{NetEvent, NetFault, Network, NetworkBuilder};
 pub use node::{NodeCtx, NodeHandler, NodeId};
 pub use packet::{Packet, Payload};
 pub use trace::TraceStats;

@@ -75,8 +75,34 @@ pub struct DirState {
     pub tx_bytes: u64,
     pub drops_queue: u64,
     pub drops_loss: u64,
+    /// Packets offered while the link was administratively down.
+    pub drops_down: u64,
     /// Sum of queueing delays (excluding serialization), for mean queue delay.
     pub queue_delay_sum: SimDuration,
+}
+
+/// Transient parameter overrides applied on top of a link's [`LinkConfig`]
+/// without losing the static configuration — fault injection installs these
+/// for loss bursts, latency/jitter storms and rate throttles, then clears
+/// them to restore the configured behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkOverride {
+    /// Replaces the configured loss probability while set.
+    pub loss: Option<f64>,
+    /// Added to the configured one-way propagation delay.
+    pub extra_delay: Option<SimDuration>,
+    /// Uniform per-packet jitter amplitude added on top of the delay
+    /// (scaled by a pre-drawn uniform [0,1)).
+    pub jitter: Option<SimDuration>,
+    /// Replaces the configured serialization rate while set.
+    pub rate_bps: Option<f64>,
+}
+
+impl LinkOverride {
+    /// True when no field overrides anything.
+    pub fn is_empty(&self) -> bool {
+        *self == LinkOverride::default()
+    }
 }
 
 /// A link instance: endpoints plus per-direction state. Direction 0 is
@@ -90,6 +116,8 @@ pub struct Link {
     /// Administrative/physical state: a down link drops everything offered
     /// to it (backhaul-failure experiments flip this at runtime).
     pub up: bool,
+    /// Transient fault-injection overrides (None = configured behaviour).
+    pub transient: Option<LinkOverride>,
 }
 
 /// Outcome of offering a packet to a link direction.
@@ -116,7 +144,18 @@ impl Link {
             config,
             dirs: [DirState::default(), DirState::default()],
             up: true,
+            transient: None,
         }
+    }
+
+    /// Install a transient override (replacing any previous one).
+    pub fn set_override(&mut self, ov: LinkOverride) {
+        self.transient = if ov.is_empty() { None } else { Some(ov) };
+    }
+
+    /// Remove the transient override, restoring configured behaviour.
+    pub fn clear_override(&mut self) {
+        self.transient = None;
     }
 
     /// Direction index for a transmission from node `from`.
@@ -139,32 +178,48 @@ impl Link {
         }
     }
 
-    /// Offer a packet for transmission. `lossy_draw` is a pre-drawn uniform
-    /// [0,1) used for random loss (kept outside so the link stays
-    /// RNG-agnostic and deterministic to test).
-    pub fn offer(&mut self, dir: usize, now: SimTime, bytes: u32, lossy_draw: f64) -> Offer {
+    /// Offer a packet for transmission. `lossy_draw` and `jitter_draw` are
+    /// pre-drawn uniforms [0,1) used for random loss and (when a jitter
+    /// override is active) per-packet jitter — kept outside so the link
+    /// stays RNG-agnostic and deterministic to test.
+    pub fn offer(
+        &mut self,
+        dir: usize,
+        now: SimTime,
+        bytes: u32,
+        lossy_draw: f64,
+        jitter_draw: f64,
+    ) -> Offer {
+        let cfg = self.config;
+        let ov = self.transient.unwrap_or_default();
+        let d = &mut self.dirs[dir];
         if !self.up {
+            d.drops_down += 1;
             return Offer::DroppedLinkDown;
         }
-        let cfg = self.config;
-        let d = &mut self.dirs[dir];
         if d.queued >= cfg.queue_pkts {
             d.drops_queue += 1;
             return Offer::DroppedQueueFull;
         }
-        if lossy_draw < cfg.loss {
+        if lossy_draw < ov.loss.unwrap_or(cfg.loss) {
             d.drops_loss += 1;
             return Offer::DroppedLoss;
         }
+        let rate_bps = ov.rate_bps.unwrap_or(cfg.rate_bps);
+        let ser = SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate_bps);
         let start = d.busy_until.max(now);
-        let departs_at = start + cfg.serialization(bytes);
+        let departs_at = start + ser;
         d.queue_delay_sum += start.saturating_since(now);
         d.busy_until = departs_at;
         d.queued += 1;
         d.tx_packets += 1;
         d.tx_bytes += bytes as u64;
+        let mut delay = cfg.delay + ov.extra_delay.unwrap_or(SimDuration::ZERO);
+        if let Some(jitter) = ov.jitter {
+            delay += SimDuration::from_secs_f64(jitter.as_secs_f64() * jitter_draw);
+        }
         Offer::Accepted {
-            arrives_at: departs_at + cfg.delay,
+            arrives_at: departs_at + delay,
             departs_at,
         }
     }
@@ -207,7 +262,7 @@ mod tests {
     fn serialization_and_delay_compose() {
         let mut l = link();
         // 1000 bytes at 8 Mbit/s = 1 ms serialization + 5 ms propagation.
-        match l.offer(0, SimTime::ZERO, 1000, 1.0) {
+        match l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0) {
             Offer::Accepted {
                 arrives_at,
                 departs_at,
@@ -222,8 +277,8 @@ mod tests {
     #[test]
     fn back_to_back_packets_queue() {
         let mut l = link();
-        let first = l.offer(0, SimTime::ZERO, 1000, 1.0);
-        let second = l.offer(0, SimTime::ZERO, 1000, 1.0);
+        let first = l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0);
+        let second = l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0);
         match (first, second) {
             (Offer::Accepted { departs_at: d1, .. }, Offer::Accepted { departs_at: d2, .. }) => {
                 assert_eq!(d1.as_millis(), 1);
@@ -233,14 +288,14 @@ mod tests {
         }
         // Queue capacity 2 → third drops.
         assert_eq!(
-            l.offer(0, SimTime::ZERO, 1000, 1.0),
+            l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0),
             Offer::DroppedQueueFull
         );
         assert_eq!(l.dirs[0].drops_queue, 1);
         // After a departure there is room again.
         l.departed(0);
         assert!(matches!(
-            l.offer(0, SimTime::ZERO, 1000, 1.0),
+            l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0),
             Offer::Accepted { .. }
         ));
     }
@@ -248,10 +303,10 @@ mod tests {
     #[test]
     fn idle_link_resets_queueing() {
         let mut l = link();
-        l.offer(0, SimTime::ZERO, 1000, 1.0);
+        l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0);
         l.departed(0);
         // Much later the transmitter is idle: no queueing delay.
-        match l.offer(0, SimTime::from_secs(1), 1000, 1.0) {
+        match l.offer(0, SimTime::from_secs(1), 1000, 1.0, 0.0) {
             Offer::Accepted { departs_at, .. } => {
                 assert_eq!(
                     departs_at,
@@ -266,9 +321,9 @@ mod tests {
     #[test]
     fn queue_delay_accounting() {
         let mut l = link();
-        l.offer(0, SimTime::ZERO, 1000, 1.0); // no wait
-        l.offer(0, SimTime::ZERO, 1000, 1.0); // waits 1 ms
-                                              // Mean queue delay = 0.5 ms.
+        l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0); // no wait
+        l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0); // waits 1 ms
+                                                   // Mean queue delay = 0.5 ms.
         assert_eq!(l.mean_queue_delay(0).as_micros(), 500);
     }
 
@@ -276,9 +331,9 @@ mod tests {
     fn random_loss_uses_draw() {
         let mut l = link();
         l.config.loss = 0.5;
-        assert_eq!(l.offer(0, SimTime::ZERO, 100, 0.4), Offer::DroppedLoss);
+        assert_eq!(l.offer(0, SimTime::ZERO, 100, 0.4, 0.0), Offer::DroppedLoss);
         assert!(matches!(
-            l.offer(0, SimTime::ZERO, 100, 0.6),
+            l.offer(0, SimTime::ZERO, 100, 0.6, 0.0),
             Offer::Accepted { .. }
         ));
         assert_eq!(l.dirs[0].drops_loss, 1);
@@ -287,9 +342,9 @@ mod tests {
     #[test]
     fn directions_are_independent() {
         let mut l = link();
-        l.offer(0, SimTime::ZERO, 1000, 1.0);
+        l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0);
         // Reverse direction is unaffected by forward queueing.
-        match l.offer(1, SimTime::ZERO, 1000, 1.0) {
+        match l.offer(1, SimTime::ZERO, 1000, 1.0, 0.0) {
             Offer::Accepted { departs_at, .. } => assert_eq!(departs_at.as_millis(), 1),
             other => panic!("{other:?}"),
         }
@@ -298,5 +353,91 @@ mod tests {
         assert_eq!(l.dir_from(9), None);
         assert_eq!(l.other(0), 1);
         assert_eq!(l.other(1), 0);
+    }
+
+    #[test]
+    fn down_link_counts_drops_per_direction() {
+        let mut l = link();
+        l.up = false;
+        assert_eq!(
+            l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0),
+            Offer::DroppedLinkDown
+        );
+        assert_eq!(
+            l.offer(1, SimTime::ZERO, 1000, 1.0, 0.0),
+            Offer::DroppedLinkDown
+        );
+        assert_eq!(
+            l.offer(1, SimTime::ZERO, 1000, 1.0, 0.0),
+            Offer::DroppedLinkDown
+        );
+        assert_eq!(l.dirs[0].drops_down, 1);
+        assert_eq!(l.dirs[1].drops_down, 2);
+        // Down drops never perturb the other counters or queue state.
+        assert_eq!(l.dirs[0].drops_queue, 0);
+        assert_eq!(l.dirs[0].queued, 0);
+        l.up = true;
+        assert!(matches!(
+            l.offer(0, SimTime::ZERO, 1000, 1.0, 0.0),
+            Offer::Accepted { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_override_replaces_configured_loss() {
+        let mut l = link();
+        // Configured lossless; a burst override makes the same draw drop.
+        assert!(matches!(
+            l.offer(0, SimTime::ZERO, 100, 0.4, 0.0),
+            Offer::Accepted { .. }
+        ));
+        l.set_override(LinkOverride {
+            loss: Some(0.5),
+            ..Default::default()
+        });
+        assert_eq!(l.offer(0, SimTime::ZERO, 100, 0.4, 0.0), Offer::DroppedLoss);
+        l.clear_override();
+        assert!(matches!(
+            l.offer(0, SimTime::ZERO, 100, 0.4, 0.0),
+            Offer::Accepted { .. }
+        ));
+    }
+
+    #[test]
+    fn rate_and_latency_overrides_compose() {
+        let mut l = link();
+        l.set_override(LinkOverride {
+            rate_bps: Some(0.8e6), // 10× slower: 1000 B → 10 ms
+            extra_delay: Some(SimDuration::from_millis(20)),
+            jitter: Some(SimDuration::from_millis(10)),
+            ..Default::default()
+        });
+        match l.offer(0, SimTime::ZERO, 1000, 1.0, 0.5) {
+            Offer::Accepted {
+                arrives_at,
+                departs_at,
+            } => {
+                assert_eq!(departs_at.as_millis(), 10, "throttled serialization");
+                // 10 ser + 5 base + 20 extra + 0.5×10 jitter = 40 ms.
+                assert_eq!(arrives_at.as_millis(), 40);
+            }
+            other => panic!("{other:?}"),
+        }
+        l.clear_override();
+        assert!(l.transient.is_none());
+        match l.offer(0, SimTime::from_secs(1), 1000, 1.0, 0.5) {
+            Offer::Accepted { arrives_at, .. } => {
+                assert_eq!(arrives_at.as_millis(), 1006, "configured behaviour back")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_override_is_not_installed() {
+        let mut l = link();
+        l.set_override(LinkOverride::default());
+        assert!(l.transient.is_none());
+        assert!(LinkOverride::default().is_empty());
     }
 }

@@ -9,11 +9,12 @@
 //!   is a local address, otherwise **forwarded** by longest-prefix match
 //!   (dropping on no-route or TTL exhaustion).
 
-use crate::link::{Link, LinkConfig, LinkId, Offer};
+use crate::link::{Link, LinkConfig, LinkId, LinkOverride, Offer};
 use crate::node::{NodeCtx, NodeHandler, NodeId, NodeInfo};
 use crate::packet::Packet;
 use crate::trace::TraceStats;
 use dlte_sim::{EventQueue, SimRng, SimTime, Simulation, World};
+use serde::{Deserialize, Serialize};
 
 /// Events of the network world.
 #[derive(Debug)]
@@ -27,6 +28,34 @@ pub enum NetEvent {
     Timer { node: NodeId, tag: u64 },
     /// Deliver `on_start` to every handler (scheduled once at t=0).
     Start,
+    /// Apply a fault (scheduled by fault plans or chaos handlers).
+    Fault(NetFault),
+}
+
+/// A single fault applied to the world at a point in time. These are the
+/// *mechanisms*; `dlte-faults` provides the seeded, serde-able plans that
+/// compose them into scenarios.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NetFault {
+    /// Set a link's administrative state (down links drop all traffic).
+    LinkUp { link: LinkId, up: bool },
+    /// Install a transient parameter override on a link (an empty override
+    /// clears it — restores configured behaviour).
+    LinkOverride { link: LinkId, ov: LinkOverride },
+    /// Crash a node: its handler loses state (`on_crash`) and, while down,
+    /// every packet and timer addressed to it is dropped.
+    NodeDown { node: NodeId },
+    /// Restart a crashed node: `on_restart` runs with a live ctx so the
+    /// handler can re-seed timers and state.
+    NodeUp { node: NodeId },
+    /// Pause a node: packets are dropped but handler state and timers are
+    /// retained (timers fire, deferred, at resume).
+    NodePause { node: NodeId },
+    /// Resume a paused node, releasing its deferred timers.
+    NodeResume { node: NodeId },
+    /// Cut (`up: false`) or heal (`up: true`) every link with exactly one
+    /// endpoint in `nodes` — partitions the set from the rest of the world.
+    Partition { nodes: Vec<NodeId>, up: bool },
 }
 
 /// Topology + routing + tracing state (everything except the handlers, so
@@ -78,11 +107,17 @@ impl NetCore {
         queue: &mut EventQueue<NetEvent>,
     ) {
         let draw = self.rng.unit();
+        // Only draw jitter when a jitter override is active, so fault-free
+        // runs consume exactly one draw per packet (seed compatibility).
+        let has_jitter = self.links[link]
+            .transient
+            .is_some_and(|ov| ov.jitter.is_some());
+        let jitter_draw = if has_jitter { self.rng.unit() } else { 0.0 };
         let l = &mut self.links[link];
         let dir = l
             .dir_from(node)
             .unwrap_or_else(|| panic!("node {node} not on link {link}"));
-        match l.offer(dir, now, packet.size_bytes, draw) {
+        match l.offer(dir, now, packet.size_bytes, draw, jitter_draw) {
             Offer::Accepted {
                 arrives_at,
                 departs_at,
@@ -103,6 +138,12 @@ impl NetCore {
 pub struct Network {
     pub core: NetCore,
     handlers: Vec<Option<Box<dyn NodeHandler>>>,
+    /// Crashed nodes (packets/timers dropped until restart).
+    down: Vec<bool>,
+    /// Paused nodes (packets dropped, timers deferred until resume).
+    paused: Vec<bool>,
+    /// Timers that fired while their node was paused, in firing order.
+    deferred: Vec<Vec<u64>>,
 }
 
 impl Network {
@@ -175,6 +216,57 @@ impl Network {
     pub fn trace_mut(&mut self) -> &mut TraceStats {
         &mut self.core.trace
     }
+
+    /// Whether a node is currently crashed.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down[node]
+    }
+
+    /// Whether a node is currently paused.
+    pub fn node_is_paused(&self, node: NodeId) -> bool {
+        self.paused[node]
+    }
+
+    /// Apply a fault to the world. Normally reached through a scheduled
+    /// [`NetEvent::Fault`] (see [`NodeCtx::schedule_fault`]) so faults are
+    /// ordered deterministically with all other events; calling it directly
+    /// between runs is also fine.
+    pub fn apply_fault(&mut self, now: SimTime, fault: NetFault, queue: &mut EventQueue<NetEvent>) {
+        match fault {
+            NetFault::LinkUp { link, up } => self.core.links[link].up = up,
+            NetFault::LinkOverride { link, ov } => self.core.links[link].set_override(ov),
+            NetFault::NodeDown { node } => {
+                if !self.down[node] {
+                    self.down[node] = true;
+                    if let Some(h) = self.handlers[node].as_mut() {
+                        h.on_crash();
+                    }
+                }
+            }
+            NetFault::NodeUp { node } => {
+                if self.down[node] {
+                    self.down[node] = false;
+                    self.with_handler(node, queue, now, |h, ctx| h.on_restart(ctx));
+                }
+            }
+            NetFault::NodePause { node } => self.paused[node] = true,
+            NetFault::NodeResume { node } => {
+                if self.paused[node] {
+                    self.paused[node] = false;
+                    for tag in std::mem::take(&mut self.deferred[node]) {
+                        queue.schedule_at(now, NetEvent::Timer { node, tag });
+                    }
+                }
+            }
+            NetFault::Partition { ref nodes, up } => {
+                for l in &mut self.core.links {
+                    if nodes.contains(&l.a) != nodes.contains(&l.b) {
+                        l.up = up;
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl World for Network {
@@ -183,6 +275,10 @@ impl World for Network {
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
         match event {
             NetEvent::PacketArrive { node, packet } => {
+                if self.down[node] || self.paused[node] {
+                    self.core.trace.drops_node_down += 1;
+                    return;
+                }
                 let handled = self.with_handler(node, queue, now, |h, ctx| {
                     h.on_packet(ctx, packet.clone());
                 });
@@ -199,6 +295,14 @@ impl World for Network {
                 self.core.links[link].departed(dir);
             }
             NetEvent::Timer { node, tag } => {
+                if self.down[node] {
+                    // Crashed: pending timers belong to the lost state.
+                    return;
+                }
+                if self.paused[node] {
+                    self.deferred[node].push(tag);
+                    return;
+                }
                 self.with_handler(node, queue, now, |h, ctx| h.on_timer(ctx, tag));
             }
             NetEvent::Start => {
@@ -206,6 +310,7 @@ impl World for Network {
                     self.with_handler(node, queue, now, |h, ctx| h.on_start(ctx));
                 }
             }
+            NetEvent::Fault(fault) => self.apply_fault(now, fault, queue),
         }
     }
 }
@@ -318,6 +423,7 @@ impl NetworkBuilder {
     /// Finalize into a ready-to-run simulation (the `Start` event is already
     /// scheduled).
     pub fn build(self) -> Simulation<Network> {
+        let n = self.nodes.len();
         let world = Network {
             core: NetCore {
                 nodes: self.nodes,
@@ -327,6 +433,9 @@ impl NetworkBuilder {
                 next_pkt: 0,
             },
             handlers: self.handlers,
+            down: vec![false; n],
+            paused: vec![false; n],
+            deferred: vec![Vec::new(); n],
         };
         let mut sim = Simulation::new(world);
         sim.queue_mut().schedule_at(SimTime::ZERO, NetEvent::Start);
@@ -566,5 +675,202 @@ mod tests {
             sim.world().trace().flow(1).unwrap().latency_ms.values()[0]
         };
         assert_eq!(run(), run());
+    }
+
+    /// Sends one flow packet every 10 ms, forever.
+    struct Periodic {
+        dst: Addr,
+        sent: u64,
+    }
+
+    impl NodeHandler for Periodic {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+            self.sent += 1;
+            let p = ctx.make_packet(self.dst, 100).with_payload(Payload::Flow {
+                flow: 1,
+                seq: self.sent,
+            });
+            ctx.forward(p);
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _p: Packet) {}
+    }
+
+    /// Counts deliveries; loses its count on crash.
+    struct Sink {
+        got: u64,
+        crashes: u64,
+        restarts: u64,
+    }
+
+    impl NodeHandler for Sink {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, p: Packet) {
+            self.got += 1;
+            ctx.deliver_local(&p);
+        }
+        fn on_crash(&mut self) {
+            self.got = 0;
+            self.crashes += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut NodeCtx<'_>) {
+            self.restarts += 1;
+        }
+    }
+
+    #[test]
+    fn node_crash_drops_packets_and_restart_recovers() {
+        let mut b = NetworkBuilder::new(1);
+        let dst_addr = Addr::new(10, 0, 0, 2);
+        let src = b.host(
+            "src",
+            Box::new(Periodic {
+                dst: dst_addr,
+                sent: 0,
+            }),
+        );
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let dst = b.host(
+            "dst",
+            Box::new(Sink {
+                got: 0,
+                crashes: 0,
+                restarts: 0,
+            }),
+        );
+        b.addr(dst, dst_addr);
+        b.link(src, dst, LinkConfig::lan());
+        b.auto_routes();
+        let mut sim = b.build();
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(100),
+            NetEvent::Fault(NetFault::NodeDown { node: dst }),
+        );
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(200),
+            NetEvent::Fault(NetFault::NodeUp { node: dst }),
+        );
+        sim.run_until(SimTime::from_millis(305), 100_000);
+        let w = sim.world();
+        assert!(!w.node_is_down(dst));
+        let sink = w.handler_as::<Sink>(dst).unwrap();
+        assert_eq!(sink.crashes, 1);
+        assert_eq!(sink.restarts, 1);
+        // ~10 packets fell into the outage window; state was lost at crash
+        // so only the ~10 post-restart packets are counted.
+        let dropped = w.trace().drops_node_down;
+        assert!((8..=12).contains(&dropped), "node-down drops {dropped}");
+        assert!(
+            (8..=12).contains(&sink.got),
+            "post-restart deliveries {}",
+            sink.got
+        );
+    }
+
+    /// Records the firing time (ms) of each of 5 pre-armed timers.
+    struct Ticker {
+        fired: Vec<u64>,
+    }
+
+    impl NodeHandler for Ticker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            for k in 1..=5u64 {
+                ctx.set_timer(SimDuration::from_millis(10 * k), k);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+            self.fired.push(ctx.now.as_millis());
+        }
+        fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _p: Packet) {}
+    }
+
+    #[test]
+    fn pause_defers_timers_until_resume() {
+        let mut b = NetworkBuilder::new(1);
+        let t = b.host("t", Box::new(Ticker { fired: vec![] }));
+        let mut sim = b.build();
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(15),
+            NetEvent::Fault(NetFault::NodePause { node: t }),
+        );
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(45),
+            NetEvent::Fault(NetFault::NodeResume { node: t }),
+        );
+        sim.run_to_completion(1000);
+        let w = sim.world();
+        assert!(!w.node_is_paused(t));
+        let ticker = w.handler_as::<Ticker>(t).unwrap();
+        // Timer 1 fires normally; 2–4 (20/30/40 ms) defer to the resume at
+        // 45 ms in original order; 5 fires on schedule.
+        assert_eq!(ticker.fired, vec![10, 45, 45, 45, 50]);
+    }
+
+    #[test]
+    fn partition_cuts_only_boundary_links() {
+        let mut b = NetworkBuilder::new(1);
+        let a = b.node("a");
+        let c = b.node("c");
+        let d = b.node("d");
+        let l_ac = b.link(a, c, LinkConfig::lan());
+        let l_ad = b.link(a, d, LinkConfig::lan());
+        let l_cd = b.link(c, d, LinkConfig::lan());
+        let mut sim = b.build();
+        sim.queue_mut().schedule_at(
+            SimTime::ZERO,
+            NetEvent::Fault(NetFault::Partition {
+                nodes: vec![a],
+                up: false,
+            }),
+        );
+        sim.run_to_completion(10);
+        {
+            let links = &sim.world().core.links;
+            assert!(!links[l_ac].up);
+            assert!(!links[l_ad].up);
+            assert!(links[l_cd].up, "interior link untouched");
+        }
+        let now = sim.now();
+        sim.queue_mut().schedule_at(
+            now,
+            NetEvent::Fault(NetFault::Partition {
+                nodes: vec![a],
+                up: true,
+            }),
+        );
+        sim.run_to_completion(10);
+        let links = &sim.world().core.links;
+        assert!(links[l_ac].up && links[l_ad].up && links[l_cd].up);
+    }
+
+    #[test]
+    fn net_fault_serde_round_trips() {
+        let faults = vec![
+            NetFault::LinkUp { link: 3, up: false },
+            NetFault::LinkOverride {
+                link: 1,
+                ov: LinkOverride {
+                    loss: Some(0.25),
+                    extra_delay: Some(SimDuration::from_millis(40)),
+                    jitter: Some(SimDuration::from_millis(5)),
+                    rate_bps: Some(1e6),
+                },
+            },
+            NetFault::NodeDown { node: 2 },
+            NetFault::NodeUp { node: 2 },
+            NetFault::NodePause { node: 4 },
+            NetFault::NodeResume { node: 4 },
+            NetFault::Partition {
+                nodes: vec![0, 5],
+                up: false,
+            },
+        ];
+        for f in faults {
+            let json = serde_json::to_string(&f).unwrap();
+            let back: NetFault = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, f, "{json}");
+        }
     }
 }

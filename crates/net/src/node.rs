@@ -81,6 +81,17 @@ pub trait NodeHandler: std::any::Any {
 
     /// Called once when the simulation starts (seed initial timers here).
     fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// The node crashed (fault injection): drop volatile state. No ctx —
+    /// a crashing node gets no parting actions. Timers pending at crash
+    /// time never fire.
+    fn on_crash(&mut self) {}
+
+    /// The node restarted after a crash: re-seed timers/state. Defaults to
+    /// re-running [`NodeHandler::on_start`].
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.on_start(ctx);
+    }
 }
 
 /// The capabilities handed to a handler callback.
@@ -191,6 +202,16 @@ impl NodeCtx<'_> {
     /// Bring a link up or down (fault-injection orchestration).
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
         self.core.links[link].up = up;
+    }
+
+    /// Schedule a fault to be applied after `delay`. Faults are ordinary
+    /// events, so they interleave deterministically with packets and timers.
+    pub fn schedule_fault(
+        &mut self,
+        delay: SimDuration,
+        fault: crate::network::NetFault,
+    ) -> EventKey {
+        self.queue.schedule_in(delay, NetEvent::Fault(fault))
     }
 
     /// Whether a link is currently up.

@@ -26,6 +26,8 @@ pub struct TraceStats {
     pub drops_no_route: u64,
     pub drops_ttl: u64,
     pub drops_link_down: u64,
+    /// Packets that arrived at (or were sent by) a crashed/paused node.
+    pub drops_node_down: u64,
 }
 
 impl TraceStats {
@@ -77,6 +79,7 @@ impl TraceStats {
             + self.drops_no_route
             + self.drops_ttl
             + self.drops_link_down
+            + self.drops_node_down
     }
 }
 
@@ -136,6 +139,7 @@ mod tests {
         t.drops_no_route = 5;
         t.drops_ttl = 7;
         t.drops_link_down = 11;
-        assert_eq!(t.total_drops(), 28);
+        t.drops_node_down = 13;
+        assert_eq!(t.total_drops(), 41);
     }
 }
