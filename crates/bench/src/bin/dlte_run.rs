@@ -1,7 +1,8 @@
 //! The unified experiment runner.
 //!
 //! ```text
-//! dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON]
+//! dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]
+//! dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]
 //! dlte-run --list
 //! ```
 //!
@@ -9,7 +10,10 @@
 //! instrumented (wall clock, events dispatched, simulated time — attached to
 //! the table as `meta`), and prints tables as text or JSON. `--jobs` sets the
 //! thread count parallel sweeps fan out to; results are bit-identical for any
-//! value.
+//! value. `--trace FILE` writes the structured event trace as JSONL (also
+//! jobs-invariant); `--metrics` attaches the full metrics snapshot to each
+//! table's `meta`; `profile` writes per-experiment timing to
+//! `BENCH_profile.json`.
 
 use dlte_bench::runner;
 
@@ -26,7 +30,29 @@ fn main() {
         return;
     }
     match runner::run(&inv) {
-        Ok(tables) => println!("{}", runner::render(&tables, inv.json)),
+        Ok(tables) => {
+            if let Some(path) = &inv.trace {
+                let jsonl = runner::take_trace_jsonl();
+                if let Err(e) = std::fs::write(path, &jsonl) {
+                    eprintln!("dlte-run: writing trace {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "dlte-run: wrote {} trace records to {path}",
+                    jsonl.lines().count()
+                );
+            }
+            if inv.profile {
+                let profile = runner::render_profile(&tables);
+                if let Err(e) = std::fs::write("BENCH_profile.json", &profile) {
+                    eprintln!("dlte-run: writing BENCH_profile.json: {e}");
+                    std::process::exit(1);
+                }
+                println!("{profile}");
+            } else {
+                println!("{}", runner::render(&tables, inv.json));
+            }
+        }
         Err(e) => {
             eprintln!("dlte-run: {e}");
             std::process::exit(1);

@@ -28,6 +28,16 @@ pub mod runner {
         pub params: Option<Value>,
         /// List registry ids and titles instead of running anything.
         pub list: bool,
+        /// Write the structured event trace as JSONL to this file
+        /// (`--trace FILE`). Deterministic for a given seed and independent
+        /// of `--jobs`.
+        pub trace: Option<String>,
+        /// Attach the full metrics snapshot (counters, gauges, histograms)
+        /// to each table's `meta` (`--metrics`).
+        pub metrics: bool,
+        /// Profile mode (`dlte-run profile <id...>`): run the targets and
+        /// write per-experiment timing to `BENCH_profile.json`.
+        pub profile: bool,
     }
 
     impl Default for Invocation {
@@ -39,11 +49,14 @@ pub mod runner {
                 seed: None,
                 params: None,
                 list: false,
+                trace: None,
+                metrics: false,
+                profile: false,
             }
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -54,6 +67,12 @@ pub mod runner {
             match arg.as_str() {
                 "--json" => inv.json = true,
                 "--list" => inv.list = true,
+                "--metrics" => inv.metrics = true,
+                "--trace" => {
+                    let v = args.next().ok_or("--trace needs a file path")?;
+                    inv.trace = Some(v);
+                }
+                "profile" if targets.is_empty() && !inv.profile => inv.profile = true,
                 "--jobs" => {
                     let v = args.next().ok_or("--jobs needs a thread count")?;
                     let n: usize = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
@@ -125,15 +144,78 @@ pub mod runner {
 
     /// Execute an invocation: apply `--jobs`, resolve the selection, run each
     /// experiment instrumented, and return the tables in execution order.
+    ///
+    /// With `trace` set, event tracing is enabled for the whole invocation;
+    /// the caller collects the buffered records afterwards with
+    /// [`take_trace_jsonl`] (which also turns tracing back off). With
+    /// `metrics` set, each table's `meta` carries the full metrics snapshot.
     pub fn run(inv: &Invocation) -> Result<Vec<Table>, ExperimentError> {
         if let Some(n) = inv.jobs {
             dlte_sim::set_jobs(n);
+        }
+        dlte_obs::metrics::set_capture(inv.metrics);
+        if inv.trace.is_some() {
+            dlte_obs::set_tracing(true);
         }
         let params = effective_params(inv);
         selection(inv)?
             .iter()
             .map(|exp| exp.run_instrumented(&params))
             .collect()
+    }
+
+    /// Drain the event trace buffered by a `run` with tracing enabled and
+    /// render it as JSONL — one [`dlte_obs::Record`] per line, `seq` dense
+    /// from 0 across the whole invocation. Disables tracing afterwards.
+    pub fn take_trace_jsonl() -> String {
+        let records = dlte_obs::take_records();
+        dlte_obs::set_tracing(false);
+        let mut out = String::with_capacity(records.len() * 64);
+        for r in &records {
+            out.push_str(&serde_json::to_string(r).expect("record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One `BENCH_profile.json` entry: an experiment's identity plus the
+    /// run instrumentation from its table's `meta`.
+    #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+    pub struct ProfileEntry {
+        pub id: String,
+        pub title: String,
+        pub wall_ms: f64,
+        pub events_dispatched: u64,
+        pub sim_time_ns: u64,
+        pub events_per_sec: f64,
+        pub drops: std::collections::BTreeMap<String, u64>,
+    }
+
+    /// The `BENCH_profile.json` document shape.
+    #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+    pub struct Profile {
+        pub profile: Vec<ProfileEntry>,
+    }
+
+    /// Render profile-mode output: one entry per table with the run's
+    /// timing and work counters, as written to `BENCH_profile.json`.
+    pub fn render_profile(tables: &[Table]) -> String {
+        let entries = tables
+            .iter()
+            .map(|t| {
+                let m = t.meta.clone().unwrap_or_default();
+                ProfileEntry {
+                    id: t.id.clone(),
+                    title: t.title.clone(),
+                    wall_ms: m.wall_ms,
+                    events_dispatched: m.events_dispatched,
+                    sim_time_ns: m.sim_time_ns,
+                    events_per_sec: m.events_per_sec,
+                    drops: m.drops,
+                }
+            })
+            .collect();
+        serde_json::to_string_pretty(&Profile { profile: entries }).expect("profile serializes")
     }
 
     /// One line per registry entry: `id  title`.
@@ -204,11 +286,21 @@ pub mod runner {
 
             let inv = parse_args(args("--list")).unwrap();
             assert!(inv.list);
+
+            let inv = parse_args(args("e14 --trace /tmp/t.jsonl --metrics")).unwrap();
+            assert_eq!(inv.trace.as_deref(), Some("/tmp/t.jsonl"));
+            assert!(inv.metrics);
+
+            let inv = parse_args(args("profile e1 e9")).unwrap();
+            assert!(inv.profile);
+            assert_eq!(inv.targets, vec!["e1", "e9"]);
         }
 
         #[test]
         fn rejects_malformed_command_lines() {
             assert!(parse_args(args("")).is_err());
+            assert!(parse_args(args("e1 --trace")).is_err());
+            assert!(parse_args(args("profile")).is_err(), "profile needs ids");
             assert!(parse_args(args("e1 --jobs zero")).is_err());
             assert!(parse_args(args("e1 --jobs 0")).is_err());
             assert!(parse_args(args("e1 --frobnicate")).is_err());

@@ -62,7 +62,7 @@ fn all_json_round_trips_and_jobs_count_does_not_change_results() {
     // timing-dependent meta is stripped, and the same amount of work done.
     let parallel = run_all(4);
     for (s, p) in sequential.iter().zip(&parallel) {
-        let (ms, mp) = (s.meta.unwrap(), p.meta.unwrap());
+        let (ms, mp) = (s.meta.as_ref().unwrap(), p.meta.as_ref().unwrap());
         assert_eq!(
             ms.events_dispatched, mp.events_dispatched,
             "{}: event count depends on jobs",

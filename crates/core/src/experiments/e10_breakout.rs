@@ -45,7 +45,7 @@ fn rtt_centralized(epc_delay_ms: u64, seed: u64) -> f64 {
         .build();
     net.sim.run_until(SimTime::from_secs(6), 10_000_000);
     let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
-    ue.stats.rtt_ms.clone().median()
+    ue.stats.rtt_ms.median()
 }
 
 fn rtt_dlte(seed: u64) -> f64 {
@@ -62,7 +62,7 @@ fn rtt_dlte(seed: u64) -> f64 {
     let _ = seed;
     net.sim.run_until(SimTime::from_secs(6), 10_000_000);
     let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
-    ue.stats.rtt_ms.clone().median()
+    ue.stats.rtt_ms.median()
 }
 
 pub fn run_with(p: Params) -> Table {

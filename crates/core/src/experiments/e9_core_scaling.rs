@@ -82,8 +82,8 @@ pub fn run_with(p: Params) -> Table {
     // heaviest sweep in the suite) — fan it out across threads; par_map keeps
     // row order deterministic.
     let rows = dlte_sim::par_map(p.ue_counts.clone(), |n| {
-        let mut c = attach_latencies_centralized(n, &p);
-        let mut d = attach_latencies_dlte(n, &p);
+        let c = attach_latencies_centralized(n, &p);
+        let d = attach_latencies_dlte(n, &p);
         vec![
             n.to_string(),
             f2c(c.mean()),

@@ -56,7 +56,7 @@ fn centralized(p: &Params) -> SideResult {
     let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
     let sgw = w.handler_as::<SgwNode>(net.sgw).unwrap();
     let pgw = w.handler_as::<PgwNode>(net.pgw).unwrap();
-    let mut rtts = ue.stats.rtt_ms.clone();
+    let rtts = &ue.stats.rtt_ms;
     SideResult {
         attach_ms: ue
             .stats
@@ -91,7 +91,7 @@ fn dlte(p: &Params) -> SideResult {
     let w = net.sim.world();
     let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
     let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
-    let mut rtts = ue.stats.rtt_ms.clone();
+    let rtts = &ue.stats.rtt_ms;
     SideResult {
         attach_ms: ue
             .stats

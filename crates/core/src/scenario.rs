@@ -399,7 +399,7 @@ mod tests {
         let w = net.sim.world();
         let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
         assert!(ue.stats.pongs > 30);
-        let mut rtts = ue.stats.rtt_ms.clone();
+        let rtts = &ue.stats.rtt_ms;
         // Path: radio 5 + backhaul 10 + inet 10 + lan ≈ 25 ms one way → ~50
         // ms RTT — no EPC detour (the centralized twin measures ~100 ms).
         let med = rtts.median();

@@ -7,11 +7,13 @@
 //! the design dLTE inverts (see [`crate::local_core`]).
 
 use crate::messages::{wire, Nas, S1Nas, S1ap, Teid};
+use crate::obs::{self, HarqTracer};
 use dlte_auth::Imsi;
 use dlte_net::gtp;
 use dlte_net::gtp::GtpErrorIndication;
 use dlte_net::{Addr, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
-use dlte_sim::{SimDuration, SimTime};
+use dlte_obs::{Event, NasProc};
+use dlte_sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
 /// Tag of the periodic inactivity sweep timer.
@@ -56,6 +58,9 @@ pub struct EnbNode {
     contexts: HashMap<Imsi, UeRadioCtx>,
     by_dl_teid: HashMap<Teid, Imsi>,
     by_ue_addr: HashMap<Addr, Imsi>,
+    /// Trace-only radio HARQ model over the user-plane paths (dedicated
+    /// RNG stream; see [`crate::obs::HarqTracer`]).
+    harq: HarqTracer,
     pub stats: EnbStats,
 }
 
@@ -68,6 +73,7 @@ impl EnbNode {
             contexts: HashMap::new(),
             by_dl_teid: HashMap::new(),
             by_ue_addr: HashMap::new(),
+            harq: HarqTracer::new(SimRng::new(0x48415251)),
             stats: EnbStats::default(),
         }
     }
@@ -119,6 +125,11 @@ impl EnbNode {
                 self.by_dl_teid.insert(teid_dl, imsi);
                 self.by_ue_addr.insert(ue_addr, imsi);
                 self.stats.contexts_installed += 1;
+                // Bearer activation is instantaneous at the eNB (the real
+                // InitialContextSetupResponse is not modelled), so its span
+                // is zero-width — it still marks *when* the bearer went in.
+                obs::nas_start(ctx, NasProc::Bearer, imsi);
+                obs::nas_end(ctx, NasProc::Bearer, imsi, true);
                 // Radio route so decapsulated (and any routed) downlink
                 // traffic for the UE address leaves on the radio link.
                 ctx.node_info_mut()
@@ -178,6 +189,7 @@ impl EnbNode {
         self.by_ue_addr.remove(&c.ue_addr);
         ctx.node_info_mut().remove_route(Prefix::new(c.ue_addr, 32));
         self.stats.error_indication_releases += 1;
+        obs::emit(ctx, Event::GtpErrorIndication { teid: teid as u64 });
         let detach = S1Nas {
             imsi,
             nas: Nas::NetworkDetach { imsi },
@@ -273,9 +285,9 @@ impl NodeHandler for EnbNode {
                     }
                     if let Ok(inner) = gtp::decapsulate(packet, Some(teid)) {
                         self.stats.dl_user_packets += 1;
+                        self.harq.observe_block(ctx, imsi);
                         // The radio route installed at context setup carries
                         // it the rest of the way.
-                        let _ = imsi;
                         ctx.forward(inner);
                     }
                     return;
@@ -291,6 +303,7 @@ impl NodeHandler for EnbNode {
                 *c
             };
             self.stats.ul_user_packets += 1;
+            self.harq.observe_block(ctx, imsi);
             let my_addr = ctx.my_addr();
             let out = gtp::encapsulate(packet, c.teid_ul, my_addr, c.sgw_addr);
             ctx.forward(out);

@@ -23,6 +23,7 @@ pub mod hss;
 pub mod local_core;
 pub mod messages;
 pub mod mme;
+pub mod obs;
 pub mod pgw;
 pub mod proc;
 pub mod sgw;

@@ -13,11 +13,13 @@
 //! keeping identity out of the access network.
 
 use crate::messages::{wire, Nas, RejectCause, S1Nas, SnId};
+use crate::obs::{self, HarqTracer};
 use crate::proc::Processor;
 use dlte_auth::open::PublishedKeyDirectory;
 use dlte_auth::vectors::{generate_vector, AuthVector, SubscriberRecord};
 use dlte_auth::{Imsi, Key};
 use dlte_net::{Addr, AddrPool, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
+use dlte_obs::{AkaStep, NasProc};
 use dlte_sim::stats::Samples;
 use dlte_sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
@@ -81,6 +83,9 @@ pub struct LocalCoreNode {
     by_ue_addr: HashMap<Addr, Imsi>,
     pub proc: Processor,
     rng: SimRng,
+    /// Trace-only radio HARQ model over the breakout user plane (dedicated
+    /// RNG stream forked at construction; never touches `self.rng`).
+    harq: HarqTracer,
     pub stats: LocalCoreStats,
 }
 
@@ -102,6 +107,7 @@ impl LocalCoreNode {
             sessions: HashMap::new(),
             by_ue_addr: HashMap::new(),
             proc: Processor::new(per_msg, 0),
+            harq: HarqTracer::new(rng.fork("harq-trace")),
             rng,
             stats: LocalCoreStats::default(),
         }
@@ -133,6 +139,7 @@ impl LocalCoreNode {
             return;
         };
         let vector = generate_vector(record, self.sn_id, &mut self.rng);
+        obs::aka(ctx, AkaStep::Challenge, imsi);
         self.attaching.insert(
             imsi,
             AttachPhase::AwaitAuth {
@@ -156,6 +163,9 @@ impl LocalCoreNode {
     fn reject(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, cause: RejectCause) {
         self.stats.attaches_rejected += 1;
         self.attaching.remove(&imsi);
+        obs::aka(ctx, AkaStep::Failure, imsi);
+        obs::nas_end(ctx, NasProc::Auth, imsi, false);
+        obs::nas_end(ctx, NasProc::Attach, imsi, false);
         self.nas_down(
             ctx,
             imsi,
@@ -170,6 +180,8 @@ impl LocalCoreNode {
                 // dLTE has no path switch: a service request from a roaming
                 // UE is just an attach.
                 self.stats.attach_requests += 1;
+                obs::nas_start(ctx, NasProc::Attach, imsi);
+                obs::nas_start(ctx, NasProc::Auth, imsi);
                 let started = ctx.now;
                 if self.records.contains_key(&imsi) {
                     self.challenge(ctx, imsi, started, 0);
@@ -233,6 +245,9 @@ impl LocalCoreNode {
                 self.stats
                     .attach_latency_ms
                     .push_duration_ms(ctx.now.saturating_since(started));
+                obs::aka(ctx, AkaStep::Response, imsi);
+                obs::nas_end(ctx, NasProc::Auth, imsi, true);
+                obs::nas_end(ctx, NasProc::Attach, imsi, true);
                 self.nas_down(
                     ctx,
                     imsi,
@@ -250,6 +265,7 @@ impl LocalCoreNode {
                 match ue_sqn {
                     Some(sqn) if resyncs == 0 => {
                         self.stats.auth_resyncs += 1;
+                        obs::aka(ctx, AkaStep::Resync, imsi);
                         if let Some(rec) = self.records.get_mut(&imsi) {
                             rec.sqn = rec.sqn.max(sqn);
                         }
@@ -298,10 +314,12 @@ impl NodeHandler for LocalCoreNode {
             return;
         }
         // User plane: native IP both ways — local breakout.
-        if self.by_ue_addr.contains_key(&packet.src) {
+        if let Some(&imsi) = self.by_ue_addr.get(&packet.src) {
             self.stats.ul_user_packets += 1;
-        } else if self.by_ue_addr.contains_key(&packet.dst) {
+            self.harq.observe_block(ctx, imsi);
+        } else if let Some(&imsi) = self.by_ue_addr.get(&packet.dst) {
             self.stats.dl_user_packets += 1;
+            self.harq.observe_block(ctx, imsi);
         }
         if ctx.peer_info(ctx.node).owns(packet.dst) {
             ctx.deliver_local(&packet);

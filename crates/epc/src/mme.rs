@@ -7,11 +7,13 @@
 //! every control event of every UE in a centralized network serializes here.
 
 use crate::messages::{wire, Gtpc, Nas, RejectCause, S1Nas, S1ap, S6a, SnId, Teid};
+use crate::obs;
 use crate::proc::Processor;
 use dlte_auth::vectors::AuthVector;
 use dlte_auth::Imsi;
 use dlte_net::gtp::{GtpEcho, PathEvent, PathMonitor, GTP_ECHO_BYTES};
 use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_obs::{AkaStep, Event, NasProc};
 use dlte_sim::stats::Samples;
 use dlte_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -171,6 +173,9 @@ impl MmeNode {
         match nas {
             Nas::AttachRequest { via_enb, .. } => {
                 self.stats.attach_requests += 1;
+                obs::nas_start(ctx, NasProc::Attach, imsi);
+                obs::nas_start(ctx, NasProc::Auth, imsi);
+                obs::aka(ctx, AkaStep::VectorRequest, imsi);
                 // (Re-)start the state machine; a duplicate attach replaces
                 // any stale context.
                 self.contexts.insert(
@@ -201,6 +206,8 @@ impl MmeNode {
                     return; // stray or late response
                 };
                 if res == vector.xres {
+                    obs::nas_end(ctx, NasProc::Auth, imsi, true);
+                    obs::nas_start(ctx, NasProc::Session, imsi);
                     let teid_dl = self.alloc_teid();
                     self.contexts.insert(
                         imsi,
@@ -221,6 +228,9 @@ impl MmeNode {
                 } else {
                     self.stats.attaches_rejected += 1;
                     self.contexts.remove(&imsi);
+                    obs::aka(ctx, AkaStep::Failure, imsi);
+                    obs::nas_end(ctx, NasProc::Auth, imsi, false);
+                    obs::nas_end(ctx, NasProc::Attach, imsi, false);
                     let rej = Self::nas_to_enb(
                         ctx,
                         via_enb,
@@ -251,6 +261,7 @@ impl MmeNode {
                         // lost the context is dropped instead of hanging
                         // the attach forever.
                         self.stats.auth_resyncs += 1;
+                        obs::aka(ctx, AkaStep::Resync, imsi);
                         self.contexts.insert(
                             imsi,
                             UeCtx::AwaitVector {
@@ -275,6 +286,9 @@ impl MmeNode {
                     _ => {
                         self.stats.attaches_rejected += 1;
                         self.contexts.remove(&imsi);
+                        obs::aka(ctx, AkaStep::Failure, imsi);
+                        obs::nas_end(ctx, NasProc::Auth, imsi, false);
+                        obs::nas_end(ctx, NasProc::Attach, imsi, false);
                         let rej = Self::nas_to_enb(
                             ctx,
                             via_enb,
@@ -291,6 +305,8 @@ impl MmeNode {
             }
             Nas::DetachRequest { .. } => {
                 if let Some(UeCtx::Active { via_enb, .. }) = self.contexts.remove(&imsi) {
+                    obs::nas_start(ctx, NasProc::Detach, imsi);
+                    obs::nas_end(ctx, NasProc::Detach, imsi, true);
                     let del = ctx
                         .make_packet(self.sgw_addr, wire::GTPC)
                         .with_payload(Payload::control(Gtpc::DeleteSessionRequest { imsi }));
@@ -327,6 +343,8 @@ impl MmeNode {
         }
         match vector {
             Some(v) => {
+                obs::aka(ctx, AkaStep::VectorIssued, imsi);
+                obs::aka(ctx, AkaStep::Challenge, imsi);
                 self.contexts.insert(
                     imsi,
                     UeCtx::AwaitAuthResponse {
@@ -352,6 +370,9 @@ impl MmeNode {
             None => {
                 self.stats.attaches_rejected += 1;
                 self.contexts.remove(&imsi);
+                obs::aka(ctx, AkaStep::Failure, imsi);
+                obs::nas_end(ctx, NasProc::Auth, imsi, false);
+                obs::nas_end(ctx, NasProc::Attach, imsi, false);
                 let rej = Self::nas_to_enb(
                     ctx,
                     via_enb,
@@ -398,6 +419,8 @@ impl MmeNode {
                 self.stats
                     .attach_latency_ms
                     .push_duration_ms(ctx.now.saturating_since(started));
+                obs::nas_end(ctx, NasProc::Session, imsi, true);
+                obs::nas_end(ctx, NasProc::Attach, imsi, true);
                 // Install the context at the eNB, then accept the UE.
                 let setup =
                     ctx.make_packet(via_enb, wire::S1AP_CONTEXT)
@@ -460,6 +483,7 @@ impl MmeNode {
                 self.stats
                     .switch_latency_ms
                     .push_duration_ms(ctx.now.saturating_since(started));
+                obs::nas_end(ctx, NasProc::Handover, imsi, true);
                 let _ = (ue_addr, teid_dl, teid_ul_sgw);
                 let ack = ctx
                     .make_packet(new_enb, wire::S1AP_PATH_SWITCH)
@@ -479,7 +503,7 @@ impl MmeNode {
 
     /// A resync guard fired: if the attach is still waiting on that HSS
     /// answer, give up on it (the UE's own retransmission recovers).
-    fn on_resync_guard(&mut self, epoch: u64) {
+    fn on_resync_guard(&mut self, ctx: &NodeCtx<'_>, epoch: u64) {
         let Some(imsi) = self.resync_watch.remove(&epoch) else {
             return; // answered (or superseded) in time
         };
@@ -487,6 +511,8 @@ impl MmeNode {
             if *resyncs > 0 {
                 self.contexts.remove(&imsi);
                 self.stats.resync_timeouts += 1;
+                obs::nas_end(ctx, NasProc::Auth, imsi, false);
+                obs::nas_end(ctx, NasProc::Attach, imsi, false);
             }
         }
     }
@@ -500,12 +526,26 @@ impl MmeNode {
         let interval = monitor.interval;
         let peer = monitor.peer;
         let (echo, edge) = monitor.tick(0);
+        obs::emit(
+            ctx,
+            Event::GtpEcho {
+                peer: peer.to_string(),
+                restart_counter: 0,
+            },
+        );
         let req = ctx
             .make_packet(peer, GTP_ECHO_BYTES)
             .with_payload(Payload::control(echo));
         ctx.forward(req);
         ctx.set_timer(interval, TAG_PATH_TICK);
         if edge == Some(PathEvent::PeerDead) {
+            dlte_obs::metrics::counter_add("gtp_path_down", 1);
+            obs::emit(
+                ctx,
+                Event::GtpPathDown {
+                    peer: peer.to_string(),
+                },
+            );
             self.on_sgw_failure(ctx);
         }
     }
@@ -528,6 +568,13 @@ impl MmeNode {
             return;
         };
         if from == monitor.peer && monitor.on_response(echo) == PathEvent::PeerRestarted {
+            dlte_obs::metrics::counter_add("gtp_peer_restart", 1);
+            obs::emit(
+                ctx,
+                Event::GtpPeerRestart {
+                    peer: from.to_string(),
+                },
+            );
             self.on_sgw_failure(ctx);
         }
     }
@@ -564,6 +611,8 @@ impl MmeNode {
             if matches!(c, UeCtx::AwaitSession { .. }) {
                 // No eNB context installed yet; the UE's attach timer will
                 // retry on its own.
+                obs::nas_end(ctx, NasProc::Session, imsi, false);
+                obs::nas_end(ctx, NasProc::Attach, imsi, false);
                 continue;
             }
             let release = ctx
@@ -638,6 +687,7 @@ impl MmeNode {
             else {
                 return; // unknown UE: ignore (UE will fall back to attach)
             };
+            obs::nas_start(ctx, NasProc::Handover, imsi);
             self.contexts.insert(
                 imsi,
                 UeCtx::Switching {
@@ -707,7 +757,7 @@ impl NodeHandler for MmeNode {
         if tag == TAG_PATH_TICK {
             self.path_tick(ctx);
         } else if tag >= TAG_RESYNC_BASE {
-            self.on_resync_guard(tag - TAG_RESYNC_BASE);
+            self.on_resync_guard(ctx, tag - TAG_RESYNC_BASE);
         } else {
             self.proc.on_timer(ctx, tag);
         }

@@ -7,11 +7,13 @@
 //! addresses and tunnel toward the S-GW.
 
 use crate::messages::{wire, Teid, S5};
+use crate::obs;
 use crate::proc::Processor;
 use dlte_auth::Imsi;
 use dlte_net::gtp;
 use dlte_net::gtp::{GtpEcho, GtpErrorIndication, GTP_ECHO_BYTES, GTP_ERROR_BYTES};
 use dlte_net::{Addr, AddrPool, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_obs::Event;
 use dlte_sim::SimDuration;
 use std::collections::HashMap;
 
@@ -163,6 +165,8 @@ impl PgwNode {
             // stale bearer down instead of blackholing forever.
             self.stats.unknown_teid_drops += 1;
             self.stats.error_indications_sent += 1;
+            dlte_obs::metrics::counter_add("gtp_error_indications", 1);
+            obs::emit(ctx, Event::GtpErrorIndication { teid: teid as u64 });
             let err = ctx
                 .make_packet(packet.src, GTP_ERROR_BYTES)
                 .with_payload(Payload::control(GtpErrorIndication { teid }));

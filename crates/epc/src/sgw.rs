@@ -7,6 +7,7 @@
 //! the same mechanism kept deliberately small (hardware fast path).
 
 use crate::messages::{wire, Gtpc, Teid, S5};
+use crate::obs;
 use crate::proc::Processor;
 use dlte_auth::Imsi;
 use dlte_net::gtp;
@@ -14,6 +15,7 @@ use dlte_net::gtp::{
     GtpEcho, GtpErrorIndication, PathEvent, PathMonitor, GTP_ECHO_BYTES, GTP_ERROR_BYTES,
 };
 use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
+use dlte_obs::Event;
 use dlte_sim::SimDuration;
 use std::collections::HashMap;
 
@@ -295,6 +297,8 @@ impl SgwNode {
             // bearers): tell the sender so it can tear its side down.
             self.stats.unknown_teid_drops += 1;
             self.stats.error_indications_sent += 1;
+            dlte_obs::metrics::counter_add("gtp_error_indications", 1);
+            obs::emit(ctx, Event::GtpErrorIndication { teid: teid as u64 });
             let err = ctx
                 .make_packet(packet.src, GTP_ERROR_BYTES)
                 .with_payload(Payload::control(GtpErrorIndication { teid }));
@@ -314,6 +318,13 @@ impl SgwNode {
         self.stats.sessions_cleaned += 1;
         if b.enb_connected {
             self.stats.error_indications_sent += 1;
+            dlte_obs::metrics::counter_add("gtp_error_indications", 1);
+            obs::emit(
+                ctx,
+                Event::GtpErrorIndication {
+                    teid: b.teid_dl_enb as u64,
+                },
+            );
             let err = ctx
                 .make_packet(b.enb_addr, GTP_ERROR_BYTES)
                 .with_payload(Payload::control(GtpErrorIndication {
@@ -354,12 +365,26 @@ impl SgwNode {
         };
         let (echo, event) = monitor.tick(self.restart_counter);
         let (peer, interval) = (monitor.peer, monitor.interval);
+        obs::emit(
+            ctx,
+            Event::GtpEcho {
+                peer: peer.to_string(),
+                restart_counter: self.restart_counter,
+            },
+        );
         let req = ctx
             .make_packet(peer, GTP_ECHO_BYTES)
             .with_payload(Payload::control(echo));
         ctx.forward(req);
         ctx.set_timer(interval, TAG_PATH_TICK);
         if event == Some(PathEvent::PeerDead) {
+            dlte_obs::metrics::counter_add("gtp_path_down", 1);
+            obs::emit(
+                ctx,
+                Event::GtpPathDown {
+                    peer: peer.to_string(),
+                },
+            );
             self.on_pgw_failure(ctx);
         }
     }
@@ -376,6 +401,13 @@ impl SgwNode {
             ctx.forward(reply);
         } else if let Some(monitor) = &mut self.path_mgmt {
             if from == monitor.peer && monitor.on_response(echo) == PathEvent::PeerRestarted {
+                dlte_obs::metrics::counter_add("gtp_peer_restart", 1);
+                obs::emit(
+                    ctx,
+                    Event::GtpPeerRestart {
+                        peer: from.to_string(),
+                    },
+                );
                 self.on_pgw_failure(ctx);
             }
         }

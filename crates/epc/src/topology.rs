@@ -323,7 +323,7 @@ mod tests {
         assert!(ue.stats.pongs > 15, "pongs {}", ue.stats.pongs);
         // RTT must include the EPC detour: radio 5 + backhaul 10 + epc 15 +
         // inet 10 + lan ≈ 40 ms one-way ⇒ ≥ 80 ms RTT.
-        let mut rtts = ue.stats.rtt_ms.clone();
+        let rtts = &ue.stats.rtt_ms;
         let med = rtts.median();
         assert!((80.0..120.0).contains(&med), "median RTT {med} ms");
         // User plane actually traversed the gateways.

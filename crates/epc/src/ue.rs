@@ -12,9 +12,11 @@
 //!   run a full attach at the new one and let the endpoints resume (§4.2).
 
 use crate::messages::{wire, Nas, S1Nas};
+use crate::obs;
 use dlte_auth::usim::{AkaError, Usim};
 use dlte_auth::Imsi;
 use dlte_net::{Addr, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
+use dlte_obs::{AkaStep, NasProc};
 use dlte_sim::stats::Samples;
 use dlte_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -216,6 +218,7 @@ impl UeNode {
         self.state = UeState::Attaching;
         if self.attach_started.is_none() {
             self.attach_started = Some(ctx.now);
+            obs::nas_start(ctx, NasProc::Attach, self.imsi);
         }
         self.attach_attempts += 1;
         self.attach_epoch += 1;
@@ -321,30 +324,39 @@ impl UeNode {
         match nas {
             Nas::AuthenticationRequest { rand, autn, sn_id } => {
                 match self.usim.authenticate(rand, autn, sn_id) {
-                    Ok(resp) => self.send_nas(
-                        ctx,
-                        Nas::AuthenticationResponse {
-                            imsi: self.imsi,
-                            res: resp.res,
-                        },
-                        wire::AUTH_RESPONSE,
-                    ),
-                    Err(AkaError::SyncFailure { ue_sqn }) => self.send_nas(
-                        ctx,
-                        Nas::AuthenticationFailure {
-                            imsi: self.imsi,
-                            ue_sqn: Some(ue_sqn),
-                        },
-                        wire::AUTH_FAILURE,
-                    ),
-                    Err(AkaError::MacFailure) => self.send_nas(
-                        ctx,
-                        Nas::AuthenticationFailure {
-                            imsi: self.imsi,
-                            ue_sqn: None,
-                        },
-                        wire::AUTH_FAILURE,
-                    ),
+                    Ok(resp) => {
+                        obs::aka(ctx, AkaStep::Response, self.imsi);
+                        self.send_nas(
+                            ctx,
+                            Nas::AuthenticationResponse {
+                                imsi: self.imsi,
+                                res: resp.res,
+                            },
+                            wire::AUTH_RESPONSE,
+                        )
+                    }
+                    Err(AkaError::SyncFailure { ue_sqn }) => {
+                        obs::aka(ctx, AkaStep::Resync, self.imsi);
+                        self.send_nas(
+                            ctx,
+                            Nas::AuthenticationFailure {
+                                imsi: self.imsi,
+                                ue_sqn: Some(ue_sqn),
+                            },
+                            wire::AUTH_FAILURE,
+                        )
+                    }
+                    Err(AkaError::MacFailure) => {
+                        obs::aka(ctx, AkaStep::Failure, self.imsi);
+                        self.send_nas(
+                            ctx,
+                            Nas::AuthenticationFailure {
+                                imsi: self.imsi,
+                                ue_sqn: None,
+                            },
+                            wire::AUTH_FAILURE,
+                        )
+                    }
                 }
             }
             Nas::AttachAccept { ue_addr } => {
@@ -354,6 +366,7 @@ impl UeNode {
                 self.state = UeState::Attached;
                 self.attach_epoch += 1;
                 self.stats.attaches_completed += 1;
+                obs::nas_end(ctx, NasProc::Attach, self.imsi, true);
                 if let Some(started) = self.attach_started.take() {
                     self.stats
                         .attach_latency_ms
@@ -372,7 +385,9 @@ impl UeNode {
             Nas::AttachReject { .. } => {
                 self.stats.attach_rejects += 1;
                 self.state = UeState::Detached;
-                self.attach_started = None;
+                if self.attach_started.take().is_some() {
+                    obs::nas_end(ctx, NasProc::Attach, self.imsi, false);
+                }
             }
             Nas::RrcRelease { .. } if self.state == UeState::Attached => {
                 self.rrc_idle = true;
@@ -385,7 +400,9 @@ impl UeNode {
             }
             Nas::ServiceAccept { .. } => {
                 self.rrc_idle = false;
-                self.service_requested_at = None;
+                if self.service_requested_at.take().is_some() {
+                    obs::nas_end(ctx, NasProc::ServiceRequest, self.imsi, true);
+                }
                 self.service_attempts = 0;
                 self.service_epoch += 1; // invalidate any pending retry
             }
@@ -433,6 +450,8 @@ impl UeNode {
         self.service_attempts += 1;
         if self.service_attempts > 1 {
             self.stats.service_request_retries += 1;
+        } else {
+            obs::nas_start(ctx, NasProc::ServiceRequest, self.imsi);
         }
         self.stats.service_requests += 1;
         self.send_nas(

@@ -298,9 +298,7 @@ mod tests {
         let world = sim.world_mut();
         let echo = world.handler_as::<EchoServer>(server).expect("echo typed");
         assert!((9..=11).contains(&echo.echoed), "echoed {}", echo.echoed);
-        let pinger = world
-            .handler_as_mut::<Pinger>(client)
-            .expect("pinger typed");
+        let pinger = world.handler_as::<Pinger>(client).expect("pinger typed");
         assert!(pinger.rtt_ms.len() >= 9);
         // RTT ≈ 2 × 25 ms propagation (serialization negligible at 1 Gbit/s).
         let med = pinger.rtt_ms.median();

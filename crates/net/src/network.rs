@@ -13,8 +13,29 @@ use crate::link::{Link, LinkConfig, LinkId, LinkOverride, Offer};
 use crate::node::{NodeCtx, NodeHandler, NodeId, NodeInfo};
 use crate::packet::Packet;
 use crate::trace::TraceStats;
+use dlte_obs::{DropReason, Event};
 use dlte_sim::{EventQueue, SimRng, SimTime, Simulation, World};
 use serde::{Deserialize, Serialize};
+
+/// Account a packet drop in all three observability surfaces: the legacy
+/// `TraceStats` counter (via the caller), the always-on `drops_*` metrics
+/// counter (feeds the deterministic `RunReport::drops` breakdown) and — when
+/// tracing is enabled — a structured [`Event::Drop`] record.
+fn note_drop(now: SimTime, node: NodeId, reason: DropReason, bytes: u32) {
+    dlte_obs::metrics::counter_add(drop_counter(reason), 1);
+    dlte_obs::emit(now.as_nanos(), node as u64, Event::Drop { reason, bytes });
+}
+
+const fn drop_counter(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::Queue => "drops_queue",
+        DropReason::Loss => "drops_loss",
+        DropReason::LinkDown => "drops_link_down",
+        DropReason::NodeDown => "drops_node_down",
+        DropReason::NoRoute => "drops_no_route",
+        DropReason::TtlExpired => "drops_ttl",
+    }
+}
 
 /// Events of the network world.
 #[derive(Debug)]
@@ -86,6 +107,7 @@ impl NetCore {
     ) {
         if packet.ttl == 0 {
             self.trace.drops_ttl += 1;
+            note_drop(now, node, DropReason::TtlExpired, packet.size_bytes);
             return;
         }
         packet.ttl -= 1;
@@ -93,6 +115,7 @@ impl NetCore {
             Some(link) => self.transmit_on(now, node, link, packet, queue),
             None => {
                 self.trace.drops_no_route += 1;
+                note_drop(now, node, DropReason::NoRoute, packet.size_bytes);
             }
         }
     }
@@ -127,9 +150,18 @@ impl NetCore {
                 queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
                 queue.schedule_at(arrives_at, NetEvent::PacketArrive { node: dest, packet });
             }
-            Offer::DroppedQueueFull => self.trace.drops_queue += 1,
-            Offer::DroppedLoss => self.trace.drops_loss += 1,
-            Offer::DroppedLinkDown => self.trace.drops_link_down += 1,
+            Offer::DroppedQueueFull => {
+                self.trace.drops_queue += 1;
+                note_drop(now, node, DropReason::Queue, packet.size_bytes);
+            }
+            Offer::DroppedLoss => {
+                self.trace.drops_loss += 1;
+                note_drop(now, node, DropReason::Loss, packet.size_bytes);
+            }
+            Offer::DroppedLinkDown => {
+                self.trace.drops_link_down += 1;
+                note_drop(now, node, DropReason::LinkDown, packet.size_bytes);
+            }
         }
     }
 }
@@ -233,11 +265,29 @@ impl Network {
     /// between runs is also fine.
     pub fn apply_fault(&mut self, now: SimTime, fault: NetFault, queue: &mut EventQueue<NetEvent>) {
         match fault {
-            NetFault::LinkUp { link, up } => self.core.links[link].up = up,
+            NetFault::LinkUp { link, up } => {
+                self.core.links[link].up = up;
+                dlte_obs::emit(
+                    now.as_nanos(),
+                    u64::MAX,
+                    Event::FaultLink {
+                        link: link as u64,
+                        up,
+                    },
+                );
+            }
             NetFault::LinkOverride { link, ov } => self.core.links[link].set_override(ov),
             NetFault::NodeDown { node } => {
                 if !self.down[node] {
                     self.down[node] = true;
+                    dlte_obs::emit(
+                        now.as_nanos(),
+                        node as u64,
+                        Event::FaultNode {
+                            node: node as u64,
+                            up: false,
+                        },
+                    );
                     if let Some(h) = self.handlers[node].as_mut() {
                         h.on_crash();
                     }
@@ -246,6 +296,14 @@ impl Network {
             NetFault::NodeUp { node } => {
                 if self.down[node] {
                     self.down[node] = false;
+                    dlte_obs::emit(
+                        now.as_nanos(),
+                        node as u64,
+                        Event::FaultNode {
+                            node: node as u64,
+                            up: true,
+                        },
+                    );
                     self.with_handler(node, queue, now, |h, ctx| h.on_restart(ctx));
                 }
             }
@@ -259,9 +317,17 @@ impl Network {
                 }
             }
             NetFault::Partition { ref nodes, up } => {
-                for l in &mut self.core.links {
+                for (lid, l) in self.core.links.iter_mut().enumerate() {
                     if nodes.contains(&l.a) != nodes.contains(&l.b) {
                         l.up = up;
+                        dlte_obs::emit(
+                            now.as_nanos(),
+                            u64::MAX,
+                            Event::FaultLink {
+                                link: lid as u64,
+                                up,
+                            },
+                        );
                     }
                 }
             }
@@ -277,6 +343,7 @@ impl World for Network {
             NetEvent::PacketArrive { node, packet } => {
                 if self.down[node] || self.paused[node] {
                     self.core.trace.drops_node_down += 1;
+                    note_drop(now, node, DropReason::NodeDown, packet.size_bytes);
                     return;
                 }
                 let handled = self.with_handler(node, queue, now, |h, ctx| {
@@ -843,6 +910,83 @@ mod tests {
         sim.run_to_completion(10);
         let links = &sim.world().core.links;
         assert!(links[l_ac].up && links[l_ad].up && links[l_cd].up);
+    }
+
+    #[test]
+    fn drops_emit_events_and_always_on_counters() {
+        use dlte_obs::{DropReason, Event};
+
+        let _ = dlte_obs::metrics::take();
+        dlte_obs::set_tracing(true);
+        let mut b = NetworkBuilder::new(1);
+        let src = b.host(
+            "src",
+            Box::new(OneShot {
+                dst: Addr::new(99, 0, 0, 1),
+                bytes: 100,
+            }),
+        );
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let mut sim = b.build();
+        sim.run_to_completion(100);
+        let records = dlte_obs::take_records();
+        dlte_obs::set_tracing(false);
+        assert_eq!(sim.world().trace().drops_no_route, 1);
+        let drop = records
+            .iter()
+            .find(|r| matches!(r.event, Event::Drop { .. }))
+            .expect("drop event traced");
+        assert_eq!(
+            drop.event,
+            Event::Drop {
+                reason: DropReason::NoRoute,
+                bytes: 100
+            }
+        );
+        assert_eq!(drop.node, src as u64);
+        let snap = dlte_obs::metrics::take();
+        assert_eq!(snap.counters["drops_no_route"], 1, "counter is always on");
+    }
+
+    #[test]
+    fn faults_emit_link_and_node_transition_events() {
+        use dlte_obs::Event;
+
+        dlte_obs::set_tracing(true);
+        let _ = dlte_obs::take_records();
+        let mut b = NetworkBuilder::new(1);
+        let a = b.node("a");
+        let c = b.node("c");
+        let l = b.link(a, c, LinkConfig::lan());
+        let mut sim = b.build();
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(1),
+            NetEvent::Fault(NetFault::LinkUp { link: l, up: false }),
+        );
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(2),
+            NetEvent::Fault(NetFault::NodeDown { node: c }),
+        );
+        sim.queue_mut().schedule_at(
+            SimTime::from_millis(3),
+            NetEvent::Fault(NetFault::NodeUp { node: c }),
+        );
+        sim.run_to_completion(100);
+        let records = dlte_obs::take_records();
+        dlte_obs::set_tracing(false);
+        let events: Vec<&Event> = records.iter().map(|r| &r.event).collect();
+        assert!(events.contains(&&Event::FaultLink {
+            link: l as u64,
+            up: false
+        }));
+        assert!(events.contains(&&Event::FaultNode {
+            node: c as u64,
+            up: false
+        }));
+        assert!(events.contains(&&Event::FaultNode {
+            node: c as u64,
+            up: true
+        }));
     }
 
     #[test]

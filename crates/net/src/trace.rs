@@ -50,14 +50,11 @@ impl TraceStats {
         }
     }
 
-    /// Trace for one flow, if any packets were delivered.
+    /// Trace for one flow, if any packets were delivered. Latency
+    /// percentiles are available directly through `&self` — see
+    /// [`Samples::percentile`], which no longer needs `&mut` to sort.
     pub fn flow(&self, flow: FlowId) -> Option<&FlowTrace> {
         self.flows.get(&flow)
-    }
-
-    /// Mutable trace (used by the latency percentile queries which sort).
-    pub fn flow_mut(&mut self, flow: FlowId) -> Option<&mut FlowTrace> {
-        self.flows.get_mut(&flow)
     }
 
     /// All flow ids seen.

@@ -1,0 +1,209 @@
+//! Typed trace events and the on-wire record envelope.
+//!
+//! Every variant is small, `Clone`, and externally tagged when serialized,
+//! so a JSONL trace line looks like
+//! `{"seq":12,"t_ns":152000000,"node":3,"event":{"NasStart":{"proc":"Attach","imsi":1000}}}`.
+
+use serde::{Deserialize, Serialize};
+
+/// NAS-level procedure kinds, used to key start/end span pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NasProc {
+    /// The whole attach (request → accept), as seen by UE or core.
+    Attach,
+    /// The EPS-AKA exchange inside an attach.
+    Auth,
+    /// EPC session setup (GTP-C create-session leg).
+    Session,
+    /// Radio bearer / initial-context setup (S1AP leg).
+    Bearer,
+    ServiceRequest,
+    Detach,
+    Handover,
+}
+
+impl NasProc {
+    pub fn name(self) -> &'static str {
+        match self {
+            NasProc::Attach => "attach",
+            NasProc::Auth => "auth",
+            NasProc::Session => "session",
+            NasProc::Bearer => "bearer",
+            NasProc::ServiceRequest => "service_request",
+            NasProc::Detach => "detach",
+            NasProc::Handover => "handover",
+        }
+    }
+}
+
+/// Steps of the EPS-AKA procedure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AkaStep {
+    /// Core asked its key source (HSS / published directory) for a vector.
+    VectorRequest,
+    /// A fresh authentication vector was issued.
+    VectorIssued,
+    /// Challenge (RAND/AUTN) sent to the UE.
+    Challenge,
+    /// UE's RES accepted.
+    Response,
+    /// SQN resynchronization round-trip.
+    Resync,
+    /// Authentication failed terminally.
+    Failure,
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Tail-dropped at a full link queue.
+    Queue,
+    /// Random loss on a lossy link.
+    Loss,
+    /// Transmitted into a link that is administratively/fault down.
+    LinkDown,
+    /// Arrived at (or originated from) a crashed or paused node.
+    NodeDown,
+    /// No routing-table entry for the destination.
+    NoRoute,
+    /// TTL exceeded.
+    TtlExpired,
+}
+
+impl DropReason {
+    /// Metrics-counter suffix: `drops_<name>`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Queue => "queue",
+            DropReason::Loss => "loss",
+            DropReason::LinkDown => "link_down",
+            DropReason::NodeDown => "node_down",
+            DropReason::NoRoute => "no_route",
+            DropReason::TtlExpired => "ttl",
+        }
+    }
+}
+
+/// One structured trace event. The emitting node and timestamp live in the
+/// enclosing [`Record`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A NAS procedure began (span open).
+    NasStart { proc: NasProc, imsi: u64 },
+    /// A NAS procedure finished (span close); `ok` = accepted.
+    NasEnd { proc: NasProc, imsi: u64, ok: bool },
+    /// One step of the EPS-AKA exchange.
+    Aka { step: AkaStep, imsi: u64 },
+    /// First HARQ transmission of a transport block.
+    HarqTx { ue: u64, ok: bool },
+    /// A HARQ retransmission (attempt ≥ 2).
+    HarqRetx { ue: u64, attempt: u8, ok: bool },
+    /// HARQ gave up after `attempts` tries (residual loss).
+    HarqFail { ue: u64, attempts: u8 },
+    /// The MAC scheduler granted resource blocks to a UE.
+    SchedGrant { ue: u64, rbs: u32, tbs_bits: u64 },
+    /// A GTP-U echo request/response was handled (path management).
+    GtpEcho { peer: String, restart_counter: u32 },
+    /// A GTP-U error indication bounced an unknown TEID.
+    GtpErrorIndication { teid: u64 },
+    /// Path management declared a GTP peer dead.
+    GtpPathDown { peer: String },
+    /// Path management observed a peer restart (restart counter bumped).
+    GtpPeerRestart { peer: String },
+    /// A link fault transition (fault injection or recovery).
+    FaultLink { link: u64, up: bool },
+    /// A node fault transition; `node` is the affected node (the record's
+    /// own `node` field for fault events names the same node).
+    FaultNode { node: u64, up: bool },
+    /// A packet was dropped.
+    Drop { reason: DropReason, bytes: u32 },
+}
+
+/// A sequenced, timestamped, node-attributed event — one JSONL line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Monotonic per-drain sequence number (assigned at
+    /// [`crate::take_records`] time, after any parallel stitching).
+    pub seq: u64,
+    /// Simulated time, nanoseconds.
+    pub t_ns: u64,
+    /// Emitting node id.
+    pub node: u64,
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = Record {
+            seq: 7,
+            t_ns: 1_500_000,
+            node: 3,
+            event: Event::NasStart {
+                proc: NasProc::Attach,
+                imsi: 1001,
+            },
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Externally tagged: the variant name is the single object key.
+        assert!(json.contains("\"NasStart\""), "{json}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = vec![
+            Event::NasStart {
+                proc: NasProc::Auth,
+                imsi: 1,
+            },
+            Event::NasEnd {
+                proc: NasProc::Auth,
+                imsi: 1,
+                ok: true,
+            },
+            Event::Aka {
+                step: AkaStep::Challenge,
+                imsi: 1,
+            },
+            Event::HarqTx { ue: 4, ok: true },
+            Event::HarqRetx {
+                ue: 4,
+                attempt: 2,
+                ok: false,
+            },
+            Event::HarqFail { ue: 4, attempts: 4 },
+            Event::SchedGrant {
+                ue: 2,
+                rbs: 25,
+                tbs_bits: 18_336,
+            },
+            Event::GtpEcho {
+                peer: "10.255.0.2".into(),
+                restart_counter: 1,
+            },
+            Event::GtpErrorIndication { teid: 9 },
+            Event::GtpPathDown {
+                peer: "10.255.0.2".into(),
+            },
+            Event::GtpPeerRestart {
+                peer: "10.255.0.3".into(),
+            },
+            Event::FaultLink { link: 5, up: false },
+            Event::FaultNode { node: 6, up: true },
+            Event::Drop {
+                reason: DropReason::Queue,
+                bytes: 500,
+            },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e, "{json}");
+        }
+    }
+}

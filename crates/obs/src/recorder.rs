@@ -1,0 +1,202 @@
+//! The event bus: a thread-local recorder behind a zero-cost gate.
+//!
+//! Instrumented code calls [`emit`] unconditionally; when tracing is off
+//! (the default) that is one thread-local boolean load and an early
+//! return — no allocation, no branch-heavy work, nothing retained. The
+//! runner flips the gate with [`set_tracing`] when `--trace` is given.
+//!
+//! `seq` numbers are deliberately **not** assigned at emit time: a
+//! parallel sweep captures each work item's raw records on its worker
+//! thread ([`drain_raw`]) and re-absorbs them on the calling thread in
+//! input order ([`absorb_raw`]); [`take_records`] then numbers the
+//! stitched stream 0..n, making the trace independent of the worker
+//! count.
+
+use crate::event::{Event, Record};
+use std::cell::{Cell, RefCell};
+
+/// An unsequenced event capture: `(t_ns, node, event)`.
+pub type RawRecord = (u64, u64, Event);
+
+/// Sink for trace events.
+pub trait Recorder {
+    /// Whether this recorder wants events at all (lets callers skip
+    /// expensive event construction).
+    fn enabled(&self) -> bool;
+    /// Accept one event.
+    fn record(&mut self, t_ns: u64, node: u64, event: Event);
+    /// Surrender everything recorded so far.
+    fn drain(&mut self) -> Vec<RawRecord> {
+        Vec::new()
+    }
+}
+
+/// The default recorder: drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _t_ns: u64, _node: u64, _event: Event) {}
+}
+
+/// In-memory recorder used while tracing is enabled.
+#[derive(Clone, Debug, Default)]
+pub struct BufferRecorder {
+    entries: Vec<RawRecord>,
+}
+
+impl BufferRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Recorder for BufferRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&mut self, t_ns: u64, node: u64, event: Event) {
+        self.entries.push((t_ns, node, event));
+    }
+    fn drain(&mut self) -> Vec<RawRecord> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+thread_local! {
+    static TRACING: Cell<bool> = const { Cell::new(false) };
+    static BUFFER: RefCell<BufferRecorder> = RefCell::new(BufferRecorder::new());
+}
+
+/// Is tracing on for this thread? Instrumentation sites can check this
+/// before building events whose construction itself costs something
+/// (string formatting, extra RNG draws).
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.with(|t| t.get())
+}
+
+/// Turn tracing on/off for this thread. Turning it off discards anything
+/// still buffered.
+pub fn set_tracing(on: bool) {
+    TRACING.with(|t| t.set(on));
+    if !on {
+        BUFFER.with(|b| b.borrow_mut().entries.clear());
+    }
+}
+
+/// Record one event (no-op unless tracing is enabled).
+#[inline]
+pub fn emit(t_ns: u64, node: u64, event: Event) {
+    if !tracing_enabled() {
+        return;
+    }
+    BUFFER.with(|b| b.borrow_mut().record(t_ns, node, event));
+}
+
+/// Drain this thread's raw (unsequenced) records — the worker-thread half
+/// of parallel capture.
+pub fn drain_raw() -> Vec<RawRecord> {
+    BUFFER.with(|b| b.borrow_mut().drain())
+}
+
+/// Append previously drained records to this thread's buffer — the
+/// caller-thread half of parallel capture. Call in input order.
+pub fn absorb_raw(records: Vec<RawRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    BUFFER.with(|b| b.borrow_mut().entries.extend(records));
+}
+
+/// Drain this thread's buffer and assign final sequence numbers.
+pub fn take_records() -> Vec<Record> {
+    drain_raw()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t_ns, node, event))| Record {
+            seq: i as u64,
+            t_ns,
+            node,
+            event,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, Event};
+
+    fn drop_ev(bytes: u32) -> Event {
+        Event::Drop {
+            reason: DropReason::Queue,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn emit_is_noop_when_disabled() {
+        set_tracing(false);
+        emit(1, 2, drop_ev(10));
+        assert!(take_records().is_empty());
+    }
+
+    #[test]
+    fn take_assigns_dense_seq() {
+        set_tracing(true);
+        emit(5, 1, drop_ev(1));
+        emit(7, 2, drop_ev(2));
+        let recs = take_records();
+        set_tracing(false);
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].seq, recs[0].t_ns, recs[0].node), (0, 5, 1));
+        assert_eq!((recs[1].seq, recs[1].t_ns, recs[1].node), (1, 7, 2));
+    }
+
+    #[test]
+    fn absorb_preserves_order_and_renumbers() {
+        set_tracing(true);
+        emit(1, 1, drop_ev(1));
+        let first = drain_raw();
+        emit(2, 2, drop_ev(2));
+        let second = drain_raw();
+        absorb_raw(first);
+        absorb_raw(second);
+        let recs = take_records();
+        set_tracing(false);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].t_ns, 1);
+        assert_eq!(recs[1].t_ns, 2);
+        assert_eq!(recs[1].seq, 1);
+    }
+
+    #[test]
+    fn disabling_discards_buffer() {
+        set_tracing(true);
+        emit(1, 1, drop_ev(1));
+        set_tracing(false);
+        set_tracing(true);
+        assert!(take_records().is_empty());
+        set_tracing(false);
+    }
+
+    #[test]
+    fn noop_recorder_reports_disabled() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(1, 1, drop_ev(1));
+        assert!(r.drain().is_empty());
+    }
+}

@@ -274,6 +274,8 @@ impl<W: World> Simulation<W> {
         };
         let covered = self.queue.now().saturating_since(started_at);
         crate::report::note(dispatched, covered.as_nanos());
+        dlte_obs::metrics::counter_add("engine_events", dispatched);
+        dlte_obs::metrics::observe("engine_queue_depth", self.queue.pending() as f64);
         outcome
     }
 

@@ -53,9 +53,17 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
+    // Worker threads start with tracing off (it is thread-local); mirror the
+    // caller's state so instrumented closures keep emitting. Each item's raw
+    // records are captured on the worker and re-absorbed below in input
+    // order, making the caller's event stream independent of `workers`.
+    let tracing = dlte_obs::tracing_enabled();
+
     let work: Mutex<VecDeque<(usize, I)>> = Mutex::new(inputs.into_iter().enumerate().collect());
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut records: Vec<Vec<dlte_obs::RawRecord>> = (0..n).map(|_| Vec::new()).collect();
     let mut tally_deltas = Vec::with_capacity(workers);
+    let mut metrics_deltas = Vec::with_capacity(workers);
     let mut panic_payload = None;
 
     std::thread::scope(|s| {
@@ -63,27 +71,49 @@ where
             .map(|_| {
                 s.spawn(|| {
                     let before = report::snapshot();
+                    let start = std::time::Instant::now();
+                    if tracing {
+                        dlte_obs::set_tracing(true);
+                    }
                     let mut produced = Vec::new();
                     loop {
                         // Lock only to claim the next item; run `f` unlocked.
                         let claimed = work.lock().unwrap().pop_front();
                         match claimed {
-                            Some((idx, input)) => produced.push((idx, f(input))),
+                            Some((idx, input)) => {
+                                let value = f(input);
+                                let recs = if tracing {
+                                    dlte_obs::drain_raw()
+                                } else {
+                                    Vec::new()
+                                };
+                                produced.push((idx, value, recs));
+                            }
                             None => break,
                         }
                     }
-                    (produced, report::snapshot().since(before))
+                    dlte_obs::metrics::observe(
+                        "par_worker_ms",
+                        start.elapsed().as_secs_f64() * 1e3,
+                    );
+                    (
+                        produced,
+                        report::snapshot().since(before),
+                        dlte_obs::metrics::take(),
+                    )
                 })
             })
             .collect();
 
         for handle in handles {
             match handle.join() {
-                Ok((produced, delta)) => {
-                    for (idx, value) in produced {
+                Ok((produced, delta, metrics)) => {
+                    for (idx, value, recs) in produced {
                         slots[idx] = Some(value);
+                        records[idx] = recs;
                     }
                     tally_deltas.push(delta);
+                    metrics_deltas.push(metrics);
                 }
                 Err(payload) => {
                     // Keep joining the rest so the scope exits cleanly, then
@@ -102,6 +132,14 @@ where
 
     for delta in tally_deltas {
         report::merge(delta);
+    }
+    for metrics in &metrics_deltas {
+        dlte_obs::metrics::absorb(metrics);
+    }
+    if tracing {
+        for recs in records {
+            dlte_obs::absorb_raw(recs);
+        }
     }
 
     slots
@@ -174,6 +212,54 @@ mod tests {
         // 8 sims × 5 events each (initial + 4 follow-ups).
         assert_eq!(rep.events_dispatched, 40);
         assert_eq!(rep.sim_time_ns, 8 * 4 * 1_000_000);
+    }
+
+    #[test]
+    fn trace_capture_is_jobs_invariant() {
+        use dlte_obs::{DropReason, Event};
+
+        let run = |jobs: usize| {
+            set_jobs(jobs);
+            dlte_obs::set_tracing(true);
+            par_map((0..12u64).collect(), |i| {
+                // Two events per item, emitted on the worker thread.
+                dlte_obs::emit(
+                    i * 10,
+                    i,
+                    Event::Drop {
+                        reason: DropReason::Queue,
+                        bytes: i as u32,
+                    },
+                );
+                dlte_obs::emit(i * 10 + 1, i, Event::FaultLink { link: i, up: true });
+                i
+            });
+            let recs = dlte_obs::take_records();
+            dlte_obs::set_tracing(false);
+            set_jobs(0);
+            recs
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential.len(), 24);
+        assert_eq!(sequential, parallel, "record stream depends on jobs");
+        // Input order, densely sequenced.
+        for (i, r) in sequential.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn worker_metrics_fold_into_caller() {
+        let _ = dlte_obs::metrics::take();
+        set_jobs(4);
+        par_map((0..8u64).collect(), |i| {
+            dlte_obs::metrics::counter_add("drops_queue", i);
+        });
+        set_jobs(0);
+        let snap = dlte_obs::metrics::take();
+        assert_eq!(snap.counters["drops_queue"], 28);
+        assert!(snap.histograms.contains_key("par_worker_ms"));
     }
 
     #[test]

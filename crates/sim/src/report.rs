@@ -12,12 +12,15 @@
 //! back into the calling thread, so a `scope` around a parallel sweep still
 //! sees every event the sweep dispatched.
 
+use dlte_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Instrumentation summary for one experiment run (or any `scope`d region).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct RunReport {
     /// Wall-clock time spent inside the scope, milliseconds.
     pub wall_ms: f64,
@@ -29,6 +32,12 @@ pub struct RunReport {
     pub sim_time_ns: u64,
     /// Dispatch rate: `events_dispatched` per wall-clock second.
     pub events_per_sec: f64,
+    /// Per-reason packet-drop breakdown (deterministic: sourced from the
+    /// always-on `drops_*` metrics counters, independent of `--jobs`).
+    pub drops: BTreeMap<String, u64>,
+    /// Full metrics snapshot, attached only when the runner's `--metrics`
+    /// flag asks for it (may contain wall-clock values).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -109,6 +118,8 @@ pub fn scope<T>(f: impl FnOnce() -> T) -> (T, RunReport) {
             events_dispatched: delta.events,
             sim_time_ns: delta.sim_ns,
             events_per_sec,
+            drops: BTreeMap::new(),
+            metrics: None,
         },
     )
 }

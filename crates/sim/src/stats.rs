@@ -141,7 +141,39 @@ impl Samples {
         }
     }
 
-    /// `q`-quantile in \[0,1\] by linear interpolation between order statistics.
+    /// Linear interpolation between order statistics of a sorted slice.
+    fn interpolate(sorted: &[f64], q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// `q`-quantile in \[0,1\] without mutating the collector: reads the
+    /// cached order when the samples are already sorted, otherwise sorts a
+    /// copy on query. Read-only reporting paths (e.g. `&TraceStats`) use
+    /// this; hot loops that query repeatedly should call [`Samples::quantile`]
+    /// once to cache the sort.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        if self.sorted {
+            return Self::interpolate(&self.values, q);
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Self::interpolate(&sorted, q)
+    }
+
+    /// `q`-quantile in \[0,1\], sorting in place once so repeated queries are
+    /// O(1) after the first.
     pub fn quantile(&mut self, q: f64) -> f64 {
         if self.values.is_empty() {
             return f64::NAN;
@@ -151,36 +183,27 @@ impl Samples {
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
-        let q = q.clamp(0.0, 1.0);
-        let pos = q * (self.values.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            self.values[lo]
-        } else {
-            let frac = pos - lo as f64;
-            self.values[lo] * (1.0 - frac) + self.values[hi] * frac
-        }
+        Self::interpolate(&self.values, q)
     }
 
-    pub fn median(&mut self) -> f64 {
-        self.quantile(0.5)
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
     }
 
-    pub fn p95(&mut self) -> f64 {
-        self.quantile(0.95)
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
     }
 
-    pub fn p99(&mut self) -> f64 {
-        self.quantile(0.99)
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
     }
 
-    pub fn min(&mut self) -> f64 {
-        self.quantile(0.0)
+    pub fn min(&self) -> f64 {
+        self.percentile(0.0)
     }
 
-    pub fn max(&mut self) -> f64 {
-        self.quantile(1.0)
+    pub fn max(&self) -> f64 {
+        self.percentile(1.0)
     }
 
     pub fn values(&self) -> &[f64] {
@@ -426,7 +449,7 @@ mod tests {
         let w = Welford::new();
         assert!(w.mean().is_nan());
         assert!(w.variance().is_nan());
-        let mut s = Samples::new();
+        let s = Samples::new();
         assert!(s.mean().is_nan());
         assert!(s.median().is_nan());
     }
@@ -442,6 +465,24 @@ mod tests {
         assert!((s.median() - 2.5).abs() < 1e-12);
         // Quantile clamps out-of-range q.
         assert_eq!(s.quantile(2.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_is_immutable_and_matches_quantile() {
+        let mut s = Samples::new();
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            s.push(x);
+        }
+        // Read-only query on an unsorted collector...
+        let p = s.percentile(0.5);
+        // ...leaves the stored sample order untouched.
+        assert_eq!(s.values(), &[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(p, s.quantile(0.5), "copy-on-query matches in-place sort");
+        // After the cached sort, percentile reads the cache directly.
+        assert_eq!(s.percentile(1.0), 4.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(Samples::new().percentile(0.5).is_nan());
     }
 
     #[test]

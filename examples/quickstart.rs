@@ -41,10 +41,9 @@ fn main() {
         "attach latency ...... {:.1} ms (all control stayed at the AP)",
         ue.stats.attach_latency_ms.values()[0]
     );
-    let mut rtts = ue.stats.rtt_ms.clone();
     println!(
         "echo RTT to 8.8.8.8 . median {:.1} ms over {} pongs (local breakout — no EPC detour)",
-        rtts.median(),
+        ue.stats.rtt_ms.median(),
         ue.stats.pongs
     );
     println!(
