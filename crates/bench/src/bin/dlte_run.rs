@@ -3,6 +3,7 @@
 //! ```text
 //! dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]
 //! dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]
+//! dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]
 //! dlte-run --list
 //! ```
 //!
@@ -18,6 +19,20 @@
 use dlte_bench::runner;
 
 fn main() {
+    // `fuzz` is its own dispatch: a seed sweep (or repro replay) over the
+    // chaos fuzzer, not an experiment-registry run.
+    if std::env::args().nth(1).as_deref() == Some("fuzz") {
+        let inv = match runner::parse_fuzz_args(std::env::args().skip(2)) {
+            Ok(inv) => inv,
+            Err(msg) => {
+                eprintln!("dlte-run: {msg}");
+                std::process::exit(2);
+            }
+        };
+        let (report, ok) = runner::run_fuzz(&inv);
+        print!("{report}");
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     let inv = match runner::parse_args(std::env::args().skip(1)) {
         Ok(inv) => inv,
         Err(msg) => {

@@ -56,7 +56,7 @@ pub mod runner {
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -259,6 +259,127 @@ pub mod runner {
         }
     }
 
+    /// A parsed `dlte-run fuzz` command line. Fuzz mode is a separate
+    /// dispatch from the experiment registry: `dlte-run fuzz [--seeds A..B]
+    /// [--out DIR]` sweeps seeds through `dlte::fuzz`, and `--repro FILE`
+    /// replays one minimized case bit-for-bit instead.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct FuzzInvocation {
+        pub seed_start: u64,
+        pub seed_end: u64,
+        /// Directory minimized `fuzz_repro_<seed>.json` files are written to.
+        pub out_dir: String,
+        /// Replay this repro file instead of sweeping.
+        pub repro: Option<String>,
+    }
+
+    impl Default for FuzzInvocation {
+        fn default() -> Self {
+            FuzzInvocation {
+                seed_start: 0,
+                seed_end: 100,
+                out_dir: ".".to_string(),
+                repro: None,
+            }
+        }
+    }
+
+    /// Parse the arguments after the leading `fuzz` word.
+    pub fn parse_fuzz_args<I: IntoIterator<Item = String>>(
+        args: I,
+    ) -> Result<FuzzInvocation, String> {
+        let mut inv = FuzzInvocation::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seeds" => {
+                    let v = args.next().ok_or("--seeds needs a range like 0..200")?;
+                    let (a, b) = v
+                        .split_once("..")
+                        .ok_or_else(|| format!("bad --seeds range {v:?} (want A..B)"))?;
+                    inv.seed_start = a.parse().map_err(|_| format!("bad --seeds start {a:?}"))?;
+                    inv.seed_end = b.parse().map_err(|_| format!("bad --seeds end {b:?}"))?;
+                    if inv.seed_end <= inv.seed_start {
+                        return Err(format!("empty --seeds range {v:?}"));
+                    }
+                }
+                "--out" => {
+                    inv.out_dir = args.next().ok_or("--out needs a directory")?;
+                }
+                "--repro" => {
+                    inv.repro = Some(args.next().ok_or("--repro needs a file path")?);
+                }
+                other => return Err(format!("unknown fuzz argument {other:?}\n{USAGE}")),
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Execute a fuzz invocation. Returns the rendered report and whether
+    /// every oracle held (`false` means the caller should exit nonzero).
+    /// Failing sweep seeds write their minimized repro to
+    /// `<out_dir>/fuzz_repro_<seed>.json`.
+    pub fn run_fuzz(inv: &FuzzInvocation) -> (String, bool) {
+        use dlte::fuzz;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if let Some(path) = &inv.repro {
+            match fuzz::replay_repro(std::path::Path::new(path)) {
+                Ok((repro, report)) => {
+                    let _ = writeln!(
+                        out,
+                        "replay seed {} ({}, {} cells x {} ues, {} fault specs):",
+                        repro.seed,
+                        repro.case.arch,
+                        repro.case.n_cells,
+                        repro.case.ues_per_cell,
+                        repro.case.plan.faults.len()
+                    );
+                    for v in &report.violations {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                    if report.violations.is_empty() {
+                        let _ = writeln!(out, "  all oracles green (bug no longer reproduces)");
+                    }
+                    (out, report.violations.is_empty())
+                }
+                Err(e) => (format!("fuzz replay: {e}\n"), false),
+            }
+        } else {
+            let mut failures = 0u64;
+            for seed in inv.seed_start..inv.seed_end {
+                if let Some(repro) = fuzz::fuzz_seed(seed) {
+                    failures += 1;
+                    let _ = writeln!(
+                        out,
+                        "seed {seed} FAILED ({} violations, minimized to {} fault specs in {} runs):",
+                        repro.violations.len(),
+                        repro.case.plan.faults.len(),
+                        repro.shrink_runs
+                    );
+                    for v in &repro.violations {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                    match fuzz::write_repro(&repro, std::path::Path::new(&inv.out_dir)) {
+                        Ok(path) => {
+                            let _ = writeln!(out, "  repro: {}", path.display());
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "  repro write failed: {e}");
+                        }
+                    }
+                }
+            }
+            let cases = inv.seed_end - inv.seed_start;
+            let _ = writeln!(
+                out,
+                "fuzz: {cases} cases ({}..{}), {failures} failed",
+                inv.seed_start, inv.seed_end
+            );
+            (out, failures == 0)
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -305,6 +426,39 @@ pub mod runner {
             assert!(parse_args(args("e1 --jobs 0")).is_err());
             assert!(parse_args(args("e1 --frobnicate")).is_err());
             assert!(parse_args(vec!["e1".into(), "--params".into(), "[1,2]".into()]).is_err());
+        }
+
+        #[test]
+        fn parses_fuzz_command_lines() {
+            let inv = parse_fuzz_args(args("--seeds 0..200 --out target/fuzz")).unwrap();
+            assert_eq!(inv.seed_start, 0);
+            assert_eq!(inv.seed_end, 200);
+            assert_eq!(inv.out_dir, "target/fuzz");
+            assert_eq!(inv.repro, None);
+
+            let inv = parse_fuzz_args(args("--repro fuzz_repro_7.json")).unwrap();
+            assert_eq!(inv.repro.as_deref(), Some("fuzz_repro_7.json"));
+
+            assert_eq!(
+                parse_fuzz_args(args("")).unwrap(),
+                FuzzInvocation::default()
+            );
+            assert!(parse_fuzz_args(args("--seeds 5")).is_err());
+            assert!(parse_fuzz_args(args("--seeds 7..7")).is_err());
+            assert!(parse_fuzz_args(args("--seeds x..9")).is_err());
+            assert!(parse_fuzz_args(args("--frobnicate")).is_err());
+        }
+
+        #[test]
+        fn fuzz_sweep_runs_green_on_a_small_range() {
+            let inv = FuzzInvocation {
+                seed_start: 0,
+                seed_end: 3,
+                ..FuzzInvocation::default()
+            };
+            let (report, ok) = run_fuzz(&inv);
+            assert!(ok, "seeds 0..3 should be green:\n{report}");
+            assert!(report.contains("3 cases (0..3), 0 failed"));
         }
 
         #[test]

@@ -1,0 +1,616 @@
+//! # Deterministic chaos fuzzing
+//!
+//! FoundationDB-style simulation testing: sweep seeds, and for each seed
+//! deterministically derive a scenario (architecture, topology size) plus a
+//! random [`FaultPlan`] ([`FaultPlan::chaos_mix`]), run it to quiescence,
+//! and evaluate every `dlte-check` oracle against the evidence. On a
+//! violation, greedily shrink the fault plan to a minimal still-failing
+//! case ([`FaultPlan::shrink_candidates`]) and emit a serde-able
+//! [`FuzzRepro`] that replays bit-for-bit.
+//!
+//! Everything downstream of the seed is deterministic: the scenario builder
+//! is seeded with the case seed, the fault plan is plain data, and event
+//! tracing is force-enabled for the whole run in both the sweep and the
+//! replay path so the RNG draw sequence is identical. `run_case(case)`
+//! therefore returns the same [`CaseReport`] on every invocation, which is
+//! what makes greedy shrinking and `--repro` replay sound.
+//!
+//! Scenario envelope (kept deliberately narrow so every oracle is a hard
+//! invariant, not a flaky heuristic):
+//!
+//! * UEs are static (no mobility schedule) and run a periodic [`UeApp::Pinger`]
+//!   so user-plane traffic continuously exercises tunnels — stale-TEID
+//!   teardown via GTP error indication needs packets in flight.
+//! * Centralized faults may crash/pause the S-GW and P-GW (both implement
+//!   crash/restart) and flap/degrade any backhaul link; path management
+//!   (500 ms echo, 2 misses) gives the core a detection channel. The MME is
+//!   never crashed: it has no restart path, which would make every such run
+//!   trivially (and uninterestingly) unrecoverable.
+//! * dLTE faults are link-only: each AP's local core shares fate with the
+//!   AP itself, which is the paper's §3 point — there is no remote core
+//!   node whose crash strands sessions.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::scenario::{DlteNet, DlteNetworkBuilder, DltePlan};
+use dlte_check::{
+    check_all, check_recovery, check_sessions, Bounds, CoreView, Evidence, UeView, Violation,
+};
+use dlte_epc::topology::{CentralizedLteBuilder, CentralizedLteNet, UePlan};
+use dlte_epc::ue::{UeApp, UeNode, UeState};
+use dlte_epc::{MmeNode, PgwNode, SgwNode};
+use dlte_faults::{ChaosTargets, FaultPlan};
+use dlte_net::{in_flight_packets, Network, NodeId};
+use dlte_obs::{set_tracing, take_records, tracing_enabled};
+use dlte_sim::{SimDuration, SimRng, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// Event budget per `run_until` segment (same order as the experiments).
+const MAX_EVENTS: u64 = 100_000_000;
+/// Fuzz fault window: faults start in `[2, 8)` s (after initial attach)…
+const FAULT_START_S: f64 = 2.0;
+const FAULT_END_S: f64 = 8.0;
+/// …and each is repaired within 2 s.
+const MAX_DOWN_S: f64 = 2.0;
+/// Upper bound on total case executions during one shrink (safety net; a
+/// greedy pass over ≤ 4-spec plans stays far below this).
+const MAX_SHRINK_RUNS: usize = 200;
+
+/// Which architecture a fuzz case exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arch {
+    Centralized,
+    Dlte,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::Centralized => write!(f, "centralized"),
+            Arch::Dlte => write!(f, "dlte"),
+        }
+    }
+}
+
+/// One self-contained fuzz case: everything needed to rebuild the exact
+/// simulation. Plain serde data — a repro file carries this verbatim.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    pub seed: u64,
+    pub arch: Arch,
+    /// eNBs (centralized) or APs (dLTE).
+    pub n_cells: usize,
+    pub ues_per_cell: usize,
+    pub plan: FaultPlan,
+}
+
+/// What one execution of a case produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CaseReport {
+    pub violations: Vec<Violation>,
+    /// First settle step at which every oracle held and every UE was
+    /// attached (`None`: never within the recovery bound).
+    pub recovered_at_s: Option<f64>,
+    /// Simulated seconds at the final snapshot.
+    pub elapsed_s: f64,
+}
+
+/// Minimal failing repro, written as `fuzz_repro_<seed>.json` and replayed
+/// with `dlte-run fuzz --repro FILE`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FuzzRepro {
+    /// Seed of the original sweep case (the file name key).
+    pub seed: u64,
+    /// The *minimized* case (same seed, shrunk fault plan).
+    pub case: FuzzCase,
+    /// Oracle violations the minimized case still triggers.
+    pub violations: Vec<Violation>,
+    pub recovered_at_s: Option<f64>,
+    /// How many case executions shrinking took.
+    pub shrink_runs: usize,
+}
+
+impl FuzzCase {
+    /// Derive the whole case from a seed. Deterministic: the same seed
+    /// always yields the same scenario and fault plan.
+    pub fn generate(seed: u64) -> FuzzCase {
+        let mut rng = SimRng::new(seed).fork("fuzz-case");
+        let arch = if rng.chance(0.5) {
+            Arch::Centralized
+        } else {
+            Arch::Dlte
+        };
+        // dLTE needs ≥ 2 APs for the architecture comparison to be
+        // non-degenerate; one eNB is a perfectly good LTE cell.
+        let n_cells = match arch {
+            Arch::Centralized => 1 + rng.index(2),
+            Arch::Dlte => 2 + rng.index(2),
+        };
+        let ues_per_cell = 1 + rng.index(2);
+        let n_faults = 1 + rng.index(3);
+        let targets = chaos_targets(arch, seed, n_cells, ues_per_cell);
+        let plan = FaultPlan::chaos_mix(
+            seed,
+            &targets,
+            n_faults,
+            FAULT_START_S,
+            FAULT_END_S,
+            MAX_DOWN_S,
+        );
+        FuzzCase {
+            seed,
+            arch,
+            n_cells,
+            ues_per_cell,
+            plan,
+        }
+    }
+}
+
+/// Node/link ids are assigned in build order, so they are a deterministic
+/// function of the scenario shape — build a throwaway topology to read the
+/// fault-injection handles. Public so property tests can aim arbitrary
+/// plans at valid targets.
+pub fn chaos_targets(arch: Arch, seed: u64, n_cells: usize, ues_per_cell: usize) -> ChaosTargets {
+    match arch {
+        Arch::Centralized => {
+            let net = build_centralized(seed, n_cells, ues_per_cell);
+            let mut links = net.enb_backhaul.clone();
+            links.push(net.l_agg_epc);
+            ChaosTargets {
+                links,
+                crashable: vec![net.sgw, net.pgw],
+            }
+        }
+        Arch::Dlte => {
+            let net = build_dlte(seed, n_cells, ues_per_cell);
+            ChaosTargets {
+                links: net.ap_backhaul.clone(),
+                crashable: Vec::new(),
+            }
+        }
+    }
+}
+
+fn pinger(dst: dlte_net::Addr) -> UeApp {
+    UeApp::Pinger {
+        dst,
+        interval: SimDuration::from_millis(200),
+        probe_bytes: 64,
+    }
+}
+
+fn build_centralized(seed: u64, n_cells: usize, ues_per_cell: usize) -> CentralizedLteNet {
+    let mut b = CentralizedLteBuilder::new(n_cells, ues_per_cell);
+    b.seed = seed;
+    b.path_mgmt = Some((SimDuration::from_millis(500), 2));
+    b.with_ue_plan(|_| UePlan {
+        app: pinger(CentralizedLteBuilder::ott_addr()),
+        ..UePlan::default()
+    })
+    .build()
+}
+
+fn build_dlte(seed: u64, n_cells: usize, ues_per_cell: usize) -> DlteNet {
+    let mut b = DlteNetworkBuilder::new(n_cells, ues_per_cell);
+    b.seed = seed;
+    b.with_ue_plan(|_| DltePlan {
+        app: pinger(DlteNetworkBuilder::ott_addr()),
+        ..DltePlan::default()
+    })
+    .build()
+}
+
+/// The two builds behind one settle-loop driver.
+enum Built {
+    Cent(CentralizedLteNet),
+    Dl(DlteNet),
+}
+
+impl Built {
+    fn sim_mut(&mut self) -> &mut Simulation<Network> {
+        match self {
+            Built::Cent(n) => &mut n.sim,
+            Built::Dl(n) => &mut n.sim,
+        }
+    }
+
+    fn evidence(&self) -> Evidence {
+        match self {
+            Built::Cent(n) => {
+                let w = n.sim.world();
+                Evidence {
+                    elapsed_s: n.sim.now().as_secs_f64(),
+                    net: w.audit(in_flight_packets(n.sim.queue())),
+                    ues: ue_views(w, &n.ues),
+                    core: CoreView::Centralized {
+                        mme: w.handler_as::<MmeNode>(n.mme).expect("mme typed").audit(),
+                        sgw: w.handler_as::<SgwNode>(n.sgw).expect("sgw typed").audit(),
+                        pgw: w.handler_as::<PgwNode>(n.pgw).expect("pgw typed").audit(),
+                    },
+                }
+            }
+            Built::Dl(n) => {
+                let w = n.sim.world();
+                Evidence {
+                    elapsed_s: n.sim.now().as_secs_f64(),
+                    net: w.audit(in_flight_packets(n.sim.queue())),
+                    ues: ue_views(w, &n.ues),
+                    core: CoreView::Dlte {
+                        cores: n
+                            .aps
+                            .iter()
+                            .map(|&ap| {
+                                w.handler_as::<crate::DlteApNode>(ap)
+                                    .expect("ap typed")
+                                    .core
+                                    .audit()
+                            })
+                            .collect(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+fn ue_views(w: &Network, ues: &[NodeId]) -> Vec<UeView> {
+    ues.iter()
+        .map(|&id| {
+            let u = w.handler_as::<UeNode>(id).expect("ue typed");
+            UeView {
+                imsi: u.imsi,
+                attached: u.state == UeState::Attached,
+                addr: u.addr,
+                attach_retries: u.stats.attach_retries,
+                service_request_retries: u.stats.service_request_retries,
+            }
+        })
+        .collect()
+}
+
+/// Execute one case end to end and evaluate every oracle.
+///
+/// Drives the sim to the last fault transition, then settles in 1 s steps
+/// for up to [`Bounds::recovery_bound_s`], re-checking the state oracles at
+/// each step — in-flight control messages (a NAS attach mid-handshake, a
+/// GTP response on the wire) are legitimate at a random instant, so state
+/// consistency is demanded at quiescence, not mid-step. The first all-green
+/// step with every UE attached is the recovery time; the stream/counter
+/// oracles and the recovery bound are then judged on the final snapshot.
+pub fn run_case(case: &FuzzCase) -> CaseReport {
+    let mut built = match case.arch {
+        Arch::Centralized => Built::Cent(build_centralized(
+            case.seed,
+            case.n_cells,
+            case.ues_per_cell,
+        )),
+        Arch::Dlte => Built::Dl(build_dlte(case.seed, case.n_cells, case.ues_per_cell)),
+    };
+    let bounds = Bounds::default();
+
+    // Tracing must be on for the whole run, in sweep and replay alike, so
+    // the RNG draw sequence (and thus the trajectory) is identical.
+    let was_tracing = tracing_enabled();
+    set_tracing(true);
+    let _ = take_records(); // discard anything a previous case buffered
+
+    case.plan.inject(built.sim_mut());
+    let t_last = case.plan.last_fault_time();
+    built.sim_mut().run_until(t_last, MAX_EVENTS);
+
+    let mut recovered_at_s = None;
+    let mut ev = built.evidence();
+    for k in 1..=(bounds.recovery_bound_s.ceil() as u64) {
+        let t = t_last + SimDuration::from_secs_f64(k as f64);
+        built.sim_mut().run_until(t, MAX_EVENTS);
+        ev = built.evidence();
+        if check_sessions(&ev).is_empty() && ev.ues.iter().all(|u| u.attached) {
+            recovered_at_s = Some(t.as_secs_f64());
+            break;
+        }
+    }
+
+    let records = take_records();
+    set_tracing(was_tracing);
+
+    let mut violations = check_all(&ev, &records, &bounds);
+    violations.extend(check_recovery(
+        recovered_at_s,
+        t_last.as_secs_f64(),
+        &bounds,
+    ));
+    CaseReport {
+        violations,
+        recovered_at_s,
+        elapsed_s: ev.elapsed_s,
+    }
+}
+
+/// Greedily minimize a failing case: repeatedly adopt the first
+/// strictly-simpler fault plan that still trips at least one of the
+/// original oracles. Returns the minimized case, its report, and the
+/// number of executions spent. Terminates because every candidate is
+/// strictly simpler (fewer specs or a floored parameter reduction) and a
+/// run budget caps pathological plans.
+pub fn shrink_case(case: &FuzzCase, report: &CaseReport) -> (FuzzCase, CaseReport, usize) {
+    let original_oracles: HashSet<&str> = report
+        .violations
+        .iter()
+        .map(|v| v.oracle.as_str())
+        .collect();
+    let still_failing = |r: &CaseReport| {
+        r.violations
+            .iter()
+            .any(|v| original_oracles.contains(v.oracle.as_str()))
+    };
+    let mut best = case.clone();
+    let mut best_report = report.clone();
+    let mut runs = 0usize;
+    'outer: loop {
+        for plan in best.plan.shrink_candidates() {
+            if runs >= MAX_SHRINK_RUNS {
+                break 'outer;
+            }
+            let cand = FuzzCase {
+                plan,
+                ..best.clone()
+            };
+            let r = run_case(&cand);
+            runs += 1;
+            if still_failing(&r) {
+                best = cand;
+                best_report = r;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_report, runs)
+}
+
+/// Fuzz one seed: generate, run, and on violation shrink to a repro.
+/// `None` means every oracle held.
+pub fn fuzz_seed(seed: u64) -> Option<FuzzRepro> {
+    let case = FuzzCase::generate(seed);
+    let report = run_case(&case);
+    if report.violations.is_empty() {
+        return None;
+    }
+    let (min_case, min_report, shrink_runs) = shrink_case(&case, &report);
+    Some(FuzzRepro {
+        seed,
+        case: min_case,
+        violations: min_report.violations,
+        recovered_at_s: min_report.recovered_at_s,
+        shrink_runs,
+    })
+}
+
+/// Write a repro next to the other run artifacts; returns the path.
+pub fn write_repro(repro: &FuzzRepro, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("fuzz_repro_{}.json", repro.seed));
+    let json = serde_json::to_string_pretty(repro).expect("repro serializes");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Load a repro file and re-run its minimized case bit-for-bit.
+pub fn replay_repro(path: &Path) -> Result<(FuzzRepro, CaseReport), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let repro: FuzzRepro =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path:?}: {e}"))?;
+    let report = run_case(&repro.case);
+    Ok((repro, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlte_faults::FaultSpec;
+
+    fn sum_pongs(w: &Network, ues: &[NodeId]) -> u64 {
+        ues.iter()
+            .map(|&id| w.handler_as::<UeNode>(id).unwrap().stats.pongs)
+            .sum()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_nonempty() {
+        let a = FuzzCase::generate(7);
+        let b = FuzzCase::generate(7);
+        assert_eq!(a, b);
+        assert!(!a.plan.faults.is_empty());
+        assert_ne!(a, FuzzCase::generate(8));
+    }
+
+    #[test]
+    fn run_case_is_deterministic() {
+        let case = FuzzCase::generate(3);
+        let a = run_case(&case);
+        let b = run_case(&case);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn healthy_seeds_sweep_green_and_actually_converge() {
+        for seed in 0..6 {
+            let case = FuzzCase::generate(seed);
+            let report = run_case(&case);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed} tripped oracles: {:#?}",
+                report.violations
+            );
+            // A green case must be green for the right reason: the network
+            // genuinely re-converged, with traffic having flowed.
+            assert!(
+                report.recovered_at_s.is_some(),
+                "seed {seed} never recovered"
+            );
+            let mut built = match case.arch {
+                Arch::Centralized => Built::Cent(build_centralized(
+                    case.seed,
+                    case.n_cells,
+                    case.ues_per_cell,
+                )),
+                Arch::Dlte => Built::Dl(build_dlte(case.seed, case.n_cells, case.ues_per_cell)),
+            };
+            case.plan.inject(built.sim_mut());
+            let horizon = case.plan.last_fault_time()
+                + SimDuration::from_secs_f64(report.recovered_at_s.unwrap());
+            built.sim_mut().run_until(horizon, MAX_EVENTS);
+            let ev = built.evidence();
+            let pongs: u64 = match &built {
+                Built::Cent(n) => sum_pongs(n.sim.world(), &n.ues),
+                Built::Dl(n) => sum_pongs(n.sim.world(), &n.ues),
+            };
+            assert!(pongs > 0, "seed {seed}: no user traffic ever flowed");
+            assert!(
+                ev.net.fabric.accepted > 0,
+                "seed {seed}: fabric carried no packets"
+            );
+            eprintln!(
+                "seed {seed}: {} {}x{} faults={} recovered_at={:?} elapsed={:.1}s",
+                case.arch,
+                case.n_cells,
+                case.ues_per_cell,
+                case.plan.faults.len(),
+                report.recovered_at_s,
+                report.elapsed_s
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_sgw_crash_is_caught_and_shrinks_to_one_spec() {
+        // Build a deliberately unrecoverable case: the S-GW dies and never
+        // restarts, on top of a benign link flap that shrinking must strip.
+        let base = FuzzCase::generate(0);
+        let cent_seed = match base.arch {
+            Arch::Centralized => 0,
+            Arch::Dlte => (0..)
+                .find(|&s| FuzzCase::generate(s).arch == Arch::Centralized)
+                .unwrap(),
+        };
+        let mut case = FuzzCase::generate(cent_seed);
+        let targets = chaos_targets(case.arch, case.seed, case.n_cells, case.ues_per_cell);
+        case.plan = FaultPlan::new(case.seed)
+            .with(FaultSpec::LinkFlap {
+                link: targets.links[0],
+                at_s: 2.5,
+                down_s: 0.3,
+                times: 1,
+                gap_s: 0.0,
+            })
+            .with(FaultSpec::NodeCrash {
+                node: targets.crashable[0],
+                at_s: 3.0,
+                restart_after_s: None,
+            });
+        let report = run_case(&case);
+        assert!(
+            report.violations.iter().any(|v| v.oracle == "recovery"),
+            "expected a recovery violation, got {:#?}",
+            report.violations
+        );
+        let (min_case, min_report, runs) = shrink_case(&case, &report);
+        assert!(runs > 0);
+        assert_eq!(
+            min_case.plan.faults.len(),
+            1,
+            "the benign flap should shrink away: {:#?}",
+            min_case.plan.faults
+        );
+        assert!(matches!(
+            min_case.plan.faults[0],
+            FaultSpec::NodeCrash {
+                restart_after_s: None,
+                ..
+            }
+        ));
+        assert!(min_report.violations.iter().any(|v| v.oracle == "recovery"));
+        // Replay of the minimized case is bit-for-bit: same report again.
+        assert_eq!(run_case(&min_case), min_report);
+    }
+
+    /// Found by the oracle proptest sweep: an S-GW crash/restart while a
+    /// loss burst degrades the eNB backhaul. The MME's post-failure
+    /// `NetworkDetach` order was lost in the burst, leaving the UE
+    /// believing it was attached (and a P-GW session stranded) forever.
+    /// Fixed by re-sending the detach order from the MME path tick until
+    /// the UE re-appears; this pins the fix.
+    #[test]
+    fn lost_detach_order_under_loss_burst_recovers() {
+        let targets = chaos_targets(Arch::Centralized, 397_424, 1, 2);
+        let case = FuzzCase {
+            seed: 397_424,
+            arch: Arch::Centralized,
+            n_cells: 1,
+            ues_per_cell: 2,
+            plan: FaultPlan::new(397_424)
+                .with(FaultSpec::NodeCrash {
+                    node: targets.crashable[0], // the S-GW
+                    at_s: 6.287_749_210_955_282,
+                    restart_after_s: Some(1.468_965_880_614_459_9),
+                })
+                .with(FaultSpec::LinkFlap {
+                    link: targets.links[1], // aggregation ↔ EPC trunk
+                    at_s: 5.305_519_394_647_299,
+                    down_s: 1.051_780_482_954_840_7,
+                    times: 1,
+                    gap_s: 0.0,
+                })
+                .with(FaultSpec::LossBurst {
+                    link: targets.links[0], // the eNB's backhaul
+                    at_s: 6.260_627_196_901_638_5,
+                    for_s: 1.986_020_044_616_848_3,
+                    loss: 0.380_595_506_377_267_5,
+                }),
+        };
+        let report = run_case(&case);
+        assert!(
+            report.violations.is_empty(),
+            "lost-detach case regressed: {:#?}",
+            report.violations
+        );
+        assert!(report.recovered_at_s.is_some());
+    }
+
+    /// The committed repro (an S-GW that halts and never restarts, leaving
+    /// stranded P-GW sessions and stuck MME contexts) must replay
+    /// bit-for-bit: same violations, same recovery outcome, on every
+    /// machine and forever. Guards both the repro format and run
+    /// determinism against regressions.
+    #[test]
+    fn committed_repro_replays_bit_for_bit() {
+        let path =
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/fuzz_repro_sgw_halt.json");
+        let (repro, report) = replay_repro(&path).unwrap();
+        assert_eq!(report.violations, repro.violations);
+        assert_eq!(report.recovered_at_s, repro.recovered_at_s);
+        assert!(report.violations.iter().any(|v| v.oracle == "recovery"));
+        assert!(report.violations.iter().any(|v| v.oracle == "sessions"));
+    }
+
+    #[test]
+    fn repro_round_trips_through_json_and_replays() {
+        let dir = std::env::temp_dir().join("dlte_fuzz_test_repro");
+        let case = FuzzCase::generate(5);
+        let repro = FuzzRepro {
+            seed: 5,
+            case: case.clone(),
+            violations: vec![],
+            recovered_at_s: Some(9.0),
+            shrink_runs: 0,
+        };
+        let path = write_repro(&repro, &dir).unwrap();
+        assert!(path.ends_with("fuzz_repro_5.json"));
+        let (loaded, report) = replay_repro(&path).unwrap();
+        assert_eq!(loaded, repro);
+        assert_eq!(report, run_case(&case));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -58,6 +58,7 @@ pub mod ap;
 pub mod design_space;
 pub mod econ;
 pub mod experiments;
+pub mod fuzz;
 pub mod radio;
 pub mod resilience;
 pub mod scenario;

@@ -1,0 +1,89 @@
+//! Post-run state snapshots for invariant checking.
+//!
+//! Each stateful EPC entity can export a flat, serializable view of its
+//! session/bearer tables. The `dlte-check` oracles cross-reference these
+//! snapshots (MME ↔ S-GW ↔ P-GW, or local core ↔ UE) without reaching into
+//! any node's private state, and a snapshot embedded in a fuzz repro stays
+//! readable after the internals change.
+//!
+//! Every `Vec` is sorted (by IMSI or address) so equal states serialize to
+//! equal JSON — snapshots are directly diffable across runs.
+
+use dlte_net::Addr;
+use serde::{Deserialize, Serialize};
+
+/// MME control-plane view: one entry per `Active` UE context.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MmeAudit {
+    pub ues: Vec<MmeUeAudit>,
+    /// IMSIs with a non-`Active` context (attach or path switch in flight).
+    pub transient: Vec<u64>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MmeUeAudit {
+    pub imsi: u64,
+    pub ue_addr: Addr,
+    pub teid_dl: u32,
+    pub teid_ul_sgw: u32,
+    pub ecm_idle: bool,
+}
+
+/// S-GW bearer table plus index health.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SgwAudit {
+    pub bearers: Vec<SgwBearerAudit>,
+    /// Sizes of the TEID lookup maps; each must equal `bearers.len()` when
+    /// the table is referentially consistent (no dangling index entries).
+    pub ul_index_len: usize,
+    pub dl_index_len: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SgwBearerAudit {
+    pub imsi: u64,
+    pub teid_ul_sgw: u32,
+    pub teid_dl_sgw: u32,
+    pub teid_ul_pgw: Option<u32>,
+    pub ue_addr: Option<Addr>,
+    pub enb_connected: bool,
+    /// Both TEID indexes point back at this bearer.
+    pub indexed: bool,
+}
+
+/// P-GW session table plus index health.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PgwAudit {
+    pub sessions: Vec<PgwSessionAudit>,
+    pub ul_index_len: usize,
+    pub imsi_index_len: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PgwSessionAudit {
+    pub imsi: u64,
+    pub ue_addr: Addr,
+    pub teid_dl_sgw: u32,
+    pub teid_ul_pgw: u32,
+    /// Both lookup maps (`by_ul_teid`, `by_imsi`) point back at this session.
+    pub indexed: bool,
+}
+
+/// dLTE local-core session table plus index health.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LocalCoreAudit {
+    pub sessions: Vec<LocalSessionAudit>,
+    /// Size of the reverse (address → IMSI) map; equals `sessions.len()`
+    /// when consistent.
+    pub addr_index_len: usize,
+    /// IMSIs with an attach in flight.
+    pub attaching: Vec<u64>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LocalSessionAudit {
+    pub imsi: u64,
+    pub ue_addr: Addr,
+    /// The reverse map points back at this IMSI.
+    pub indexed: bool,
+}

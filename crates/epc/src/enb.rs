@@ -297,11 +297,16 @@ impl NodeHandler for EnbNode {
         }
         // Uplink user plane: native packet from an attached UE.
         if let Some(&imsi) = self.by_ue_addr.get(&packet.src) {
-            let c = {
-                let c = self.contexts.get_mut(&imsi).expect("indexed ctx");
-                c.last_activity = ctx.now;
-                *c
+            let Some(c) = self.contexts.get_mut(&imsi) else {
+                // Dangling index entry (context released without
+                // unindexing): repair the index and treat the sender as
+                // context-less instead of panicking on hostile input.
+                self.by_ue_addr.remove(&packet.src);
+                self.stats.no_context_drops += 1;
+                return;
             };
+            c.last_activity = ctx.now;
+            let c = *c;
             self.stats.ul_user_packets += 1;
             self.harq.observe_block(ctx, imsi);
             let my_addr = ctx.my_addr();

@@ -18,6 +18,7 @@
 //! with finite service rate, which is what makes the centralized core a
 //! measurable chokepoint (experiment E9) while per-AP stubs scale linearly.
 
+pub mod audit;
 pub mod enb;
 pub mod hss;
 pub mod local_core;
@@ -30,6 +31,7 @@ pub mod sgw;
 pub mod topology;
 pub mod ue;
 
+pub use audit::{LocalCoreAudit, MmeAudit, PgwAudit, SgwAudit};
 pub use enb::EnbNode;
 pub use hss::HssNode;
 pub use local_core::LocalCoreNode;

@@ -122,6 +122,27 @@ impl LocalCoreNode {
         self.sessions.len()
     }
 
+    /// Snapshot the session table for post-run invariant checking.
+    pub fn audit(&self) -> crate::audit::LocalCoreAudit {
+        let mut sessions: Vec<_> = self
+            .sessions
+            .iter()
+            .map(|(&imsi, &ue_addr)| crate::audit::LocalSessionAudit {
+                imsi,
+                ue_addr,
+                indexed: self.by_ue_addr.get(&ue_addr) == Some(&imsi),
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.imsi);
+        let mut attaching: Vec<u64> = self.attaching.keys().copied().collect();
+        attaching.sort_unstable();
+        crate::audit::LocalCoreAudit {
+            sessions,
+            addr_index_len: self.by_ue_addr.len(),
+            attaching,
+        }
+    }
+
     fn nas_down(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi, nas: Nas, size: u32) {
         let Some(&(link, ue_ctrl)) = self.radio.get(&imsi) else {
             return;

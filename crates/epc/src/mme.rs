@@ -82,6 +82,9 @@ pub struct MmeStats {
     pub peer_failures: u64,
     /// UE sessions torn down because the S-GW died under them.
     pub sessions_cleaned: u64,
+    /// Post-failure detach orders re-sent because the UE never showed up
+    /// again (the first copy was lost on a degraded backhaul).
+    pub detach_retries: u64,
     /// Attach completion latency as seen from the MME (request → accept
     /// sent), milliseconds.
     pub attach_latency_ms: Samples,
@@ -105,7 +108,16 @@ pub struct MmeNode {
     /// Guard timers for in-flight resync retries: epoch → imsi.
     resync_watch: HashMap<u64, Imsi>,
     next_resync_epoch: u64,
+    /// UEs ordered to detach after an S-GW failure that have not re-appeared
+    /// yet: imsi → (serving eNB, resends left). The detach order is a single
+    /// unacknowledged message over a possibly degraded backhaul; each path
+    /// tick re-sends it until the UE's attach shows up (sorted map: resend
+    /// order is deterministic).
+    pending_detach: std::collections::BTreeMap<Imsi, (Addr, u32)>,
 }
+
+/// How many path ticks a lost post-failure detach order is re-sent for.
+const DETACH_RESENDS: u32 = 16;
 
 impl MmeNode {
     pub fn new(sn_id: SnId, hss_addr: Addr, sgw_addr: Addr, per_msg: SimDuration) -> Self {
@@ -120,6 +132,7 @@ impl MmeNode {
             path_mgmt: None,
             resync_watch: HashMap::new(),
             next_resync_epoch: 0,
+            pending_detach: std::collections::BTreeMap::new(),
         }
     }
 
@@ -148,6 +161,33 @@ impl MmeNode {
             .values()
             .filter(|c| matches!(c, UeCtx::Active { .. }))
             .count()
+    }
+
+    /// Snapshot the UE context table for post-run invariant checking.
+    pub fn audit(&self) -> crate::audit::MmeAudit {
+        let mut ues = Vec::new();
+        let mut transient = Vec::new();
+        for (&imsi, c) in &self.contexts {
+            match c {
+                UeCtx::Active {
+                    ue_addr,
+                    teid_dl,
+                    teid_ul_sgw,
+                    ecm_idle,
+                    ..
+                } => ues.push(crate::audit::MmeUeAudit {
+                    imsi,
+                    ue_addr: *ue_addr,
+                    teid_dl: *teid_dl,
+                    teid_ul_sgw: *teid_ul_sgw,
+                    ecm_idle: *ecm_idle,
+                }),
+                _ => transient.push(imsi),
+            }
+        }
+        ues.sort_by_key(|u| u.imsi);
+        transient.sort_unstable();
+        crate::audit::MmeAudit { ues, transient }
     }
 
     /// The address currently assigned to `imsi`, if attached (diagnostics).
@@ -538,6 +578,7 @@ impl MmeNode {
             .with_payload(Payload::control(echo));
         ctx.forward(req);
         ctx.set_timer(interval, TAG_PATH_TICK);
+        self.retry_pending_detach(ctx);
         if edge == Some(PathEvent::PeerDead) {
             dlte_obs::metrics::counter_add("gtp_path_down", 1);
             obs::emit(
@@ -627,6 +668,53 @@ impl MmeNode {
             );
             batch.push(release);
             batch.push(detach);
+            // Neither message is acknowledged and the backhaul may be the
+            // very thing that is failing: remember the order and re-send it
+            // from the path tick until the UE re-appears.
+            self.pending_detach.insert(imsi, (enb, DETACH_RESENDS));
+        }
+        if !batch.is_empty() {
+            self.proc.process(ctx, batch);
+        }
+    }
+
+    /// Re-send post-failure detach orders whose UE has not come back. A UE
+    /// with *any* context again (an attach in flight or completed) is done;
+    /// re-sending then would cancel its own recovery. Driven by the path
+    /// tick, so this retries at the path-management cadence and stops
+    /// naturally once every UE re-attached.
+    fn retry_pending_detach(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.pending_detach.is_empty() {
+            return;
+        }
+        let mut batch = Vec::new();
+        let mut done: Vec<Imsi> = Vec::new();
+        for (&imsi, &mut (enb, ref mut left)) in self.pending_detach.iter_mut() {
+            if self.contexts.contains_key(&imsi) {
+                done.push(imsi);
+                continue;
+            }
+            if *left == 0 {
+                done.push(imsi);
+                continue;
+            }
+            *left -= 1;
+            self.stats.detach_retries += 1;
+            let release = ctx
+                .make_packet(enb, wire::S1AP_RELEASE)
+                .with_payload(Payload::control(S1ap::UeContextRelease { imsi }));
+            let detach = Self::nas_to_enb(
+                ctx,
+                enb,
+                imsi,
+                Nas::NetworkDetach { imsi },
+                wire::NETWORK_DETACH,
+            );
+            batch.push(release);
+            batch.push(detach);
+        }
+        for imsi in done {
+            self.pending_detach.remove(&imsi);
         }
         if !batch.is_empty() {
             self.proc.process(ctx, batch);

@@ -75,6 +75,28 @@ impl PgwNode {
         self.by_ue_addr.len()
     }
 
+    /// Snapshot the session table for post-run invariant checking.
+    pub fn audit(&self) -> crate::audit::PgwAudit {
+        let mut sessions: Vec<_> = self
+            .by_ue_addr
+            .iter()
+            .map(|(&addr, s)| crate::audit::PgwSessionAudit {
+                imsi: s.imsi,
+                ue_addr: addr,
+                teid_dl_sgw: s.teid_dl_sgw,
+                teid_ul_pgw: s.teid_ul_pgw,
+                indexed: self.by_ul_teid.get(&s.teid_ul_pgw) == Some(&addr)
+                    && self.by_imsi.get(&s.imsi) == Some(&addr),
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.imsi);
+        crate::audit::PgwAudit {
+            sessions,
+            ul_index_len: self.by_ul_teid.len(),
+            imsi_index_len: self.by_imsi.len(),
+        }
+    }
+
     /// The IMSI holding `addr`, if any (diagnostics).
     pub fn imsi_of(&self, addr: Addr) -> Option<Imsi> {
         self.by_ue_addr.get(&addr).map(|s| s.imsi)

@@ -124,6 +124,43 @@ impl SgwNode {
         self.bearers.len()
     }
 
+    /// Snapshot the bearer table for post-run invariant checking.
+    pub fn audit(&self) -> crate::audit::SgwAudit {
+        let mut bearers: Vec<_> = self
+            .bearers
+            .iter()
+            .map(|(&imsi, b)| crate::audit::SgwBearerAudit {
+                imsi,
+                teid_ul_sgw: b.teid_ul_sgw,
+                teid_dl_sgw: b.teid_dl_sgw,
+                teid_ul_pgw: b.teid_ul_pgw,
+                ue_addr: b.ue_addr,
+                enb_connected: b.enb_connected,
+                indexed: self.by_ul_teid.get(&b.teid_ul_sgw) == Some(&imsi)
+                    && self.by_dl_teid.get(&b.teid_dl_sgw) == Some(&imsi),
+            })
+            .collect();
+        bearers.sort_by_key(|b| b.imsi);
+        crate::audit::SgwAudit {
+            bearers,
+            ul_index_len: self.by_ul_teid.len(),
+            dl_index_len: self.by_dl_teid.len(),
+        }
+    }
+
+    /// No bearer for `teid`: count the drop and tell the sender via a GTP-U
+    /// error indication so it tears its side down.
+    fn unknown_teid(&mut self, ctx: &mut NodeCtx<'_>, src: Addr, teid: Teid) {
+        self.stats.unknown_teid_drops += 1;
+        self.stats.error_indications_sent += 1;
+        dlte_obs::metrics::counter_add("gtp_error_indications", 1);
+        obs::emit(ctx, Event::GtpErrorIndication { teid: teid as u64 });
+        let err = ctx
+            .make_packet(src, GTP_ERROR_BYTES)
+            .with_payload(Payload::control(GtpErrorIndication { teid }));
+        ctx.forward(err);
+    }
+
     fn handle_gtpc(&mut self, ctx: &mut NodeCtx<'_>, msg: Gtpc, from: Addr) {
         match msg {
             Gtpc::CreateSessionRequest {
@@ -131,6 +168,13 @@ impl SgwNode {
                 enb_addr,
                 teid_dl_enb,
             } => {
+                // Re-create for a subscriber we already serve (the MME
+                // re-attached it after tearing the old session down on its
+                // side): unindex the stale bearer's TEIDs first.
+                if let Some(old) = self.bearers.remove(&imsi) {
+                    self.by_ul_teid.remove(&old.teid_ul_sgw);
+                    self.by_dl_teid.remove(&old.teid_dl_sgw);
+                }
                 let teid_ul_sgw = self.alloc_teid();
                 let teid_dl_sgw = self.alloc_teid();
                 self.by_ul_teid.insert(teid_ul_sgw, imsi);
@@ -249,9 +293,17 @@ impl SgwNode {
             return;
         };
         let teid = header.teid;
+        let src = packet.src;
         if let Some(&imsi) = self.by_ul_teid.get(&teid) {
             // Uplink: eNB → us → P-GW.
-            let b = &self.bearers[&imsi];
+            let Some(b) = self.bearers.get(&imsi) else {
+                // Dangling index entry (bearer torn down without
+                // unindexing): repair the index and answer as for any
+                // unknown TEID instead of panicking on hostile input.
+                self.by_ul_teid.remove(&teid);
+                self.unknown_teid(ctx, src, teid);
+                return;
+            };
             let (pgw, teid_ul_pgw) = (b.pgw_addr, b.teid_ul_pgw);
             let Some(teid_pgw) = teid_ul_pgw else { return };
             let inner = match gtp::decapsulate(packet, Some(teid)) {
@@ -268,7 +320,12 @@ impl SgwNode {
                 Ok(p) => p,
                 Err(_) => return,
             };
-            let b = self.bearers.get_mut(&imsi).expect("bearer for teid");
+            let Some(b) = self.bearers.get_mut(&imsi) else {
+                // Dangling index entry, as above.
+                self.by_dl_teid.remove(&teid);
+                self.unknown_teid(ctx, src, teid);
+                return;
+            };
             if !b.enb_connected {
                 // ECM-IDLE: buffer and (once) notify the MME so it pages.
                 if b.buffer.len() < self.buffer_cap {
@@ -295,14 +352,7 @@ impl SgwNode {
         } else {
             // No context for this TEID (e.g. we restarted and lost all
             // bearers): tell the sender so it can tear its side down.
-            self.stats.unknown_teid_drops += 1;
-            self.stats.error_indications_sent += 1;
-            dlte_obs::metrics::counter_add("gtp_error_indications", 1);
-            obs::emit(ctx, Event::GtpErrorIndication { teid: teid as u64 });
-            let err = ctx
-                .make_packet(packet.src, GTP_ERROR_BYTES)
-                .with_payload(Payload::control(GtpErrorIndication { teid }));
-            ctx.forward(err);
+            self.unknown_teid(ctx, src, teid);
         }
     }
 

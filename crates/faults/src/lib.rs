@@ -211,6 +211,215 @@ impl FaultSpec {
             FaultSpec::At { at_s, ref fault } => at(out, at_s, fault.clone()),
         }
     }
+
+    /// Strictly simpler variants of this spec, in a deterministic order —
+    /// the moves the fuzzer's repro shrinker tries: halve durations,
+    /// magnitudes and repetition counts, shed partition members. Floors keep
+    /// every move strictly shrinking, so repeated shrinking terminates. May
+    /// be empty when the spec is already minimal.
+    pub fn shrink(&self) -> Vec<FaultSpec> {
+        const FLOOR_S: f64 = 0.05;
+        let mut out = Vec::new();
+        match *self {
+            FaultSpec::LinkFlap {
+                link,
+                at_s,
+                down_s,
+                times,
+                gap_s,
+            } => {
+                if times > 1 {
+                    out.push(FaultSpec::LinkFlap {
+                        link,
+                        at_s,
+                        down_s,
+                        times: times / 2,
+                        gap_s,
+                    });
+                }
+                if down_s > FLOOR_S {
+                    out.push(FaultSpec::LinkFlap {
+                        link,
+                        at_s,
+                        down_s: down_s / 2.0,
+                        times,
+                        gap_s,
+                    });
+                }
+            }
+            FaultSpec::LossBurst {
+                link,
+                at_s,
+                for_s,
+                loss,
+            } => {
+                if for_s > FLOOR_S {
+                    out.push(FaultSpec::LossBurst {
+                        link,
+                        at_s,
+                        for_s: for_s / 2.0,
+                        loss,
+                    });
+                }
+                if loss > 0.05 {
+                    out.push(FaultSpec::LossBurst {
+                        link,
+                        at_s,
+                        for_s,
+                        loss: loss / 2.0,
+                    });
+                }
+            }
+            FaultSpec::LatencyStorm {
+                link,
+                at_s,
+                for_s,
+                extra_ms,
+                jitter_ms,
+            } => {
+                if for_s > FLOOR_S {
+                    out.push(FaultSpec::LatencyStorm {
+                        link,
+                        at_s,
+                        for_s: for_s / 2.0,
+                        extra_ms,
+                        jitter_ms,
+                    });
+                }
+                if extra_ms > 1.0 {
+                    out.push(FaultSpec::LatencyStorm {
+                        link,
+                        at_s,
+                        for_s,
+                        extra_ms: extra_ms / 2.0,
+                        jitter_ms,
+                    });
+                }
+                if jitter_ms > 0.0 {
+                    out.push(FaultSpec::LatencyStorm {
+                        link,
+                        at_s,
+                        for_s,
+                        extra_ms,
+                        jitter_ms: 0.0,
+                    });
+                }
+            }
+            FaultSpec::RateThrottle {
+                link,
+                at_s,
+                for_s,
+                rate_bps,
+            } => {
+                if for_s > FLOOR_S {
+                    out.push(FaultSpec::RateThrottle {
+                        link,
+                        at_s,
+                        for_s: for_s / 2.0,
+                        rate_bps,
+                    });
+                }
+                if rate_bps < 5e6 {
+                    // A gentler throttle (higher rate) is the smaller fault.
+                    out.push(FaultSpec::RateThrottle {
+                        link,
+                        at_s,
+                        for_s,
+                        rate_bps: (rate_bps * 2.0).min(5e6),
+                    });
+                }
+            }
+            FaultSpec::NodeCrash {
+                node,
+                at_s,
+                restart_after_s,
+            } => {
+                if let Some(after) = restart_after_s {
+                    if after > FLOOR_S {
+                        out.push(FaultSpec::NodeCrash {
+                            node,
+                            at_s,
+                            restart_after_s: Some(after / 2.0),
+                        });
+                    }
+                }
+            }
+            FaultSpec::NodePause { node, at_s, for_s } => {
+                if for_s > FLOOR_S {
+                    out.push(FaultSpec::NodePause {
+                        node,
+                        at_s,
+                        for_s: for_s / 2.0,
+                    });
+                }
+            }
+            FaultSpec::Partition {
+                ref nodes,
+                at_s,
+                heal_after_s,
+            } => {
+                if nodes.len() > 1 {
+                    out.push(FaultSpec::Partition {
+                        nodes: nodes[..nodes.len() - 1].to_vec(),
+                        at_s,
+                        heal_after_s,
+                    });
+                }
+                if let Some(after) = heal_after_s {
+                    if after > FLOOR_S {
+                        out.push(FaultSpec::Partition {
+                            nodes: nodes.clone(),
+                            at_s,
+                            heal_after_s: Some(after / 2.0),
+                        });
+                    }
+                }
+            }
+            FaultSpec::At { .. } => {}
+        }
+        out
+    }
+}
+
+/// Total order on same-instant faults, independent of the order their specs
+/// were inserted into the plan: "break" events (link/node down, pause,
+/// partition cut, override install) sort before "repair" events (up,
+/// restart, resume, heal, override clear), then by affected entity and
+/// parameters. Break-before-repair keeps zero-duration faults meaningful
+/// (a `down_s: 0.0` flap still downs the link before re-upping it) and the
+/// full key makes [`FaultPlan::compile`] a pure function of the *set* of
+/// specs — see the permutation-invariance test.
+fn same_instant_key(f: &NetFault) -> (u8, u64, Vec<u64>) {
+    fn bits_f(v: Option<f64>) -> [u64; 2] {
+        [v.is_some() as u64, v.unwrap_or(0.0).to_bits()]
+    }
+    fn bits_d(v: Option<SimDuration>) -> [u64; 2] {
+        [v.is_some() as u64, v.map_or(0, SimDuration::as_nanos)]
+    }
+    fn ov_bits(ov: &LinkOverride) -> Vec<u64> {
+        let mut out = Vec::with_capacity(8);
+        out.extend(bits_f(ov.loss));
+        out.extend(bits_d(ov.extra_delay));
+        out.extend(bits_d(ov.jitter));
+        out.extend(bits_f(ov.rate_bps));
+        out
+    }
+    match f {
+        NetFault::LinkUp { link, up: false } => (0, *link as u64, Vec::new()),
+        NetFault::NodeDown { node } => (1, *node as u64, Vec::new()),
+        NetFault::NodePause { node } => (2, *node as u64, Vec::new()),
+        NetFault::Partition { nodes, up: false } => {
+            (3, 0, nodes.iter().map(|&n| n as u64).collect())
+        }
+        NetFault::LinkOverride { link, ov } if !ov.is_empty() => (4, *link as u64, ov_bits(ov)),
+        NetFault::LinkOverride { link, .. } => (5, *link as u64, Vec::new()),
+        NetFault::LinkUp { link, up: true } => (6, *link as u64, Vec::new()),
+        NetFault::NodeUp { node } => (7, *node as u64, Vec::new()),
+        NetFault::NodeResume { node } => (8, *node as u64, Vec::new()),
+        NetFault::Partition { nodes, up: true } => {
+            (9, 0, nodes.iter().map(|&n| n as u64).collect())
+        }
+    }
 }
 
 impl FaultPlan {
@@ -227,14 +436,16 @@ impl FaultPlan {
         self
     }
 
-    /// Expand to the raw fault timeline, sorted by time. The sort is stable,
-    /// so same-instant faults keep plan order — a plan is unambiguous.
+    /// Expand to the raw fault timeline, sorted by time. Same-instant faults
+    /// are ordered by a total key ([`same_instant_key`]: breaks before
+    /// repairs, then entity and parameters), never by insertion order — so
+    /// any permutation of the same specs compiles to the identical timeline.
     pub fn compile(&self) -> Vec<(SimTime, NetFault)> {
         let mut out = Vec::new();
         for spec in &self.faults {
             spec.compile_into(&mut out);
         }
-        out.sort_by_key(|&(t, _)| t);
+        out.sort_by_cached_key(|&(t, ref f)| (t, same_instant_key(f)));
         out
     }
 
@@ -253,6 +464,29 @@ impl FaultPlan {
             .last()
             .map(|&(t, _)| t)
             .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Candidate plans strictly simpler than this one, in a deterministic
+    /// order: first each plan with one spec removed, then each plan with one
+    /// spec replaced by a [`FaultSpec::shrink`] variant. The fuzzer keeps
+    /// the first candidate that still trips an oracle and recurses; because
+    /// every candidate is strictly smaller (fewer specs, or a strictly
+    /// reduced parameter with a floor), greedy shrinking terminates.
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        for i in 0..self.faults.len() {
+            let mut p = self.clone();
+            p.faults.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.faults.len() {
+            for s in self.faults[i].shrink() {
+                let mut p = self.clone();
+                p.faults[i] = s;
+                out.push(p);
+            }
+        }
+        out
     }
 
     /// Generate a seeded random fault mix: `n` faults drawn over the links
@@ -371,7 +605,7 @@ mod tests {
 
     #[test]
     fn zero_duration_flap_keeps_plan_order() {
-        // Down and up at the same instant: stable sort preserves down→up.
+        // Down and up at the same instant: breaks sort before repairs.
         let plan = FaultPlan::new(1).with(FaultSpec::LinkFlap {
             link: 0,
             at_s: 0.0,
@@ -515,6 +749,157 @@ mod tests {
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.faults.len(), 8);
         assert_eq!(plan.compile().len(), 15);
+    }
+
+    /// Satellite of ISSUE 4: `compile` must be a pure function of the *set*
+    /// of specs. Every permutation of a spec list dense with same-instant
+    /// collisions (several faults at t=5.0, including zero-duration ones)
+    /// compiles to the identical event list.
+    #[test]
+    fn compile_is_insertion_order_independent() {
+        let specs = vec![
+            FaultSpec::LinkFlap {
+                link: 0,
+                at_s: 5.0,
+                down_s: 0.0,
+                times: 1,
+                gap_s: 0.0,
+            },
+            FaultSpec::NodeCrash {
+                node: 3,
+                at_s: 5.0,
+                restart_after_s: Some(0.0),
+            },
+            FaultSpec::LossBurst {
+                link: 1,
+                at_s: 5.0,
+                for_s: 0.0,
+                loss: 0.3,
+            },
+            FaultSpec::Partition {
+                nodes: vec![1, 2],
+                at_s: 5.0,
+                heal_after_s: Some(0.0),
+            },
+        ];
+        let reference = FaultPlan {
+            seed: 1,
+            faults: specs.clone(),
+        }
+        .compile();
+        // Heap's algorithm: all 24 orderings of the four specs.
+        fn permute(k: usize, specs: &mut Vec<FaultSpec>, check: &mut impl FnMut(&[FaultSpec])) {
+            if k <= 1 {
+                check(specs);
+                return;
+            }
+            for i in 0..k {
+                permute(k - 1, specs, check);
+                if k.is_multiple_of(2) {
+                    specs.swap(i, k - 1);
+                } else {
+                    specs.swap(0, k - 1);
+                }
+            }
+        }
+        let mut specs = specs;
+        let n = specs.len();
+        let mut permutations = 0;
+        permute(n, &mut specs, &mut |order| {
+            permutations += 1;
+            let plan = FaultPlan {
+                seed: 1,
+                faults: order.to_vec(),
+            };
+            assert_eq!(plan.compile(), reference, "order {order:?}");
+        });
+        assert_eq!(permutations, 24);
+        // And the documented semantic: every break precedes every repair at
+        // the shared instant.
+        let first_repair = reference
+            .iter()
+            .position(|(_, f)| {
+                matches!(
+                    f,
+                    NetFault::LinkUp { up: true, .. }
+                        | NetFault::NodeUp { .. }
+                        | NetFault::Partition { up: true, .. }
+                ) || matches!(f, NetFault::LinkOverride { ov, .. } if ov.is_empty())
+            })
+            .unwrap();
+        assert!(reference[..first_repair].iter().all(|(_, f)| !matches!(
+            f,
+            NetFault::LinkUp { up: true, .. }
+                | NetFault::NodeUp { .. }
+                | NetFault::Partition { up: true, .. }
+        )));
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler_and_terminate() {
+        let plan = FaultPlan::new(5)
+            .with(FaultSpec::LinkFlap {
+                link: 0,
+                at_s: 1.0,
+                down_s: 2.0,
+                times: 4,
+                gap_s: 3.0,
+            })
+            .with(FaultSpec::LossBurst {
+                link: 1,
+                at_s: 2.0,
+                for_s: 1.0,
+                loss: 0.4,
+            })
+            .with(FaultSpec::NodeCrash {
+                node: 3,
+                at_s: 3.0,
+                restart_after_s: Some(2.0),
+            });
+        let candidates = plan.shrink_candidates();
+        // 3 single-spec removals come first.
+        assert_eq!(candidates[0].faults.len(), 2);
+        assert!(candidates.iter().take(3).all(|p| p.faults.len() == 2));
+        // Parameter shrinks keep the spec count.
+        assert!(candidates.iter().skip(3).all(|p| p.faults.len() == 3));
+        assert!(!candidates.is_empty());
+        // Greedy always-take-first shrinking reaches a fixpoint: the empty
+        // plan (removals shed one spec per round, and parameter floors stop
+        // the halvings).
+        let mut current = plan;
+        let mut rounds = 0;
+        while let Some(next) = current.shrink_candidates().into_iter().next() {
+            current = next;
+            rounds += 1;
+            assert!(rounds < 1000, "shrinking did not terminate");
+        }
+        assert!(current.faults.is_empty());
+    }
+
+    #[test]
+    fn minimal_specs_have_no_shrinks() {
+        assert!(FaultSpec::At {
+            at_s: 1.0,
+            fault: NetFault::NodeDown { node: 0 }
+        }
+        .shrink()
+        .is_empty());
+        assert!(FaultSpec::NodeCrash {
+            node: 1,
+            at_s: 1.0,
+            restart_after_s: None
+        }
+        .shrink()
+        .is_empty());
+        assert!(FaultSpec::LinkFlap {
+            link: 0,
+            at_s: 1.0,
+            down_s: 0.01,
+            times: 1,
+            gap_s: 0.0
+        }
+        .shrink()
+        .is_empty());
     }
 
     #[test]

@@ -121,3 +121,219 @@ proptest! {
         prop_assert_eq!(a.faults.len(), n);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Oracle-backed properties: arbitrary fault plans, run on real topologies.
+//
+// Shapes mirror the `chaos_mix` envelope (every fault is repaired; loss,
+// latency, and rate stay inside the ranges the fuzzer sweeps) but the
+// *combinations* are arbitrary — proptest explores plans `chaos_mix` would
+// never draw. Link/node indices are abstract here and mapped onto the
+// topology's real fault-injection handles per architecture, so the same
+// shape vector exercises both an E14-style centralized LTE net (S-GW/P-GW
+// crashes allowed) and an E13-style dLTE mesh (link faults only).
+// ---------------------------------------------------------------------------
+
+use dlte::fuzz::{chaos_targets, run_case, Arch, FuzzCase};
+
+#[derive(Clone, Debug)]
+enum ChaosShape {
+    Flap {
+        i: usize,
+        at: f64,
+        down: f64,
+    },
+    Loss {
+        i: usize,
+        at: f64,
+        for_s: f64,
+        loss: f64,
+    },
+    Storm {
+        i: usize,
+        at: f64,
+        for_s: f64,
+        extra_ms: f64,
+        jitter_ms: f64,
+    },
+    Throttle {
+        i: usize,
+        at: f64,
+        for_s: f64,
+        rate_bps: f64,
+    },
+    Crash {
+        i: usize,
+        at: f64,
+        restart_s: f64,
+    },
+    Pause {
+        i: usize,
+        at: f64,
+        for_s: f64,
+    },
+}
+
+fn arb_chaos_shape() -> impl Strategy<Value = ChaosShape> {
+    let at = 2.0f64..8.0;
+    let dur = 0.1f64..2.0;
+    prop_oneof![
+        (0usize..8, at.clone(), dur.clone()).prop_map(|(i, at, down)| ChaosShape::Flap {
+            i,
+            at,
+            down
+        }),
+        (0usize..8, at.clone(), dur.clone(), 0.05f64..0.5)
+            .prop_map(|(i, at, for_s, loss)| ChaosShape::Loss { i, at, for_s, loss }),
+        (
+            0usize..8,
+            at.clone(),
+            dur.clone(),
+            10.0f64..200.0,
+            0.0f64..50.0
+        )
+            .prop_map(|(i, at, for_s, extra_ms, jitter_ms)| ChaosShape::Storm {
+                i,
+                at,
+                for_s,
+                extra_ms,
+                jitter_ms
+            }),
+        (0usize..8, at.clone(), dur.clone(), 1e5f64..5e6).prop_map(|(i, at, for_s, rate_bps)| {
+            ChaosShape::Throttle {
+                i,
+                at,
+                for_s,
+                rate_bps,
+            }
+        }),
+        (0usize..8, at.clone(), dur.clone()).prop_map(|(i, at, restart_s)| ChaosShape::Crash {
+            i,
+            at,
+            restart_s
+        }),
+        (0usize..8, at, dur).prop_map(|(i, at, for_s)| ChaosShape::Pause { i, at, for_s }),
+    ]
+}
+
+/// Map abstract shapes onto a topology's real targets. Node faults fall
+/// back to link faults when the architecture has no crashable node (dLTE:
+/// the local core shares fate with its AP).
+fn realize(arch: Arch, seed: u64, n_cells: usize, ues: usize, shapes: &[ChaosShape]) -> FuzzCase {
+    let targets = chaos_targets(arch, seed, n_cells, ues);
+    let link = |i: usize| targets.links[i % targets.links.len()];
+    let mut plan = FaultPlan::new(seed);
+    for s in shapes {
+        let spec = match *s {
+            ChaosShape::Flap { i, at, down } => FaultSpec::LinkFlap {
+                link: link(i),
+                at_s: at,
+                down_s: down,
+                times: 1,
+                gap_s: 0.0,
+            },
+            ChaosShape::Loss { i, at, for_s, loss } => FaultSpec::LossBurst {
+                link: link(i),
+                at_s: at,
+                for_s,
+                loss,
+            },
+            ChaosShape::Storm {
+                i,
+                at,
+                for_s,
+                extra_ms,
+                jitter_ms,
+            } => FaultSpec::LatencyStorm {
+                link: link(i),
+                at_s: at,
+                for_s,
+                extra_ms,
+                jitter_ms,
+            },
+            ChaosShape::Throttle {
+                i,
+                at,
+                for_s,
+                rate_bps,
+            } => FaultSpec::RateThrottle {
+                link: link(i),
+                at_s: at,
+                for_s,
+                rate_bps,
+            },
+            ChaosShape::Crash { i, at, restart_s } if !targets.crashable.is_empty() => {
+                FaultSpec::NodeCrash {
+                    node: targets.crashable[i % targets.crashable.len()],
+                    at_s: at,
+                    restart_after_s: Some(restart_s),
+                }
+            }
+            ChaosShape::Pause { i, at, for_s } if !targets.crashable.is_empty() => {
+                FaultSpec::NodePause {
+                    node: targets.crashable[i % targets.crashable.len()],
+                    at_s: at,
+                    for_s,
+                }
+            }
+            ChaosShape::Crash { i, at, restart_s } => FaultSpec::LinkFlap {
+                link: link(i),
+                at_s: at,
+                down_s: restart_s,
+                times: 1,
+                gap_s: 0.0,
+            },
+            ChaosShape::Pause { i, at, for_s } => FaultSpec::LinkFlap {
+                link: link(i),
+                at_s: at,
+                down_s: for_s,
+                times: 1,
+                gap_s: 0.0,
+            },
+        };
+        plan.faults.push(spec);
+    }
+    FuzzCase {
+        seed,
+        arch,
+        n_cells,
+        ues_per_cell: ues,
+        plan,
+    }
+}
+
+proptest! {
+    /// E14-style centralized LTE: any repaired chaos mix — including S-GW
+    /// and P-GW crash/restart — leaves every cross-layer invariant intact.
+    #[test]
+    fn oracles_hold_under_arbitrary_centralized_chaos(
+        seed in 0u64..1_000_000,
+        shapes in prop::collection::vec(arb_chaos_shape(), 1..4),
+    ) {
+        let case = realize(Arch::Centralized, seed, 1, 2, &shapes);
+        let report = run_case(&case);
+        prop_assert!(
+            report.violations.is_empty(),
+            "case {:?} tripped: {:#?}",
+            case,
+            report.violations
+        );
+    }
+
+    /// E13-style dLTE mesh: any repaired backhaul chaos leaves every
+    /// invariant intact (sessions live in the APs, so only links can fail).
+    #[test]
+    fn oracles_hold_under_arbitrary_dlte_chaos(
+        seed in 0u64..1_000_000,
+        shapes in prop::collection::vec(arb_chaos_shape(), 1..4),
+    ) {
+        let case = realize(Arch::Dlte, seed, 2, 2, &shapes);
+        let report = run_case(&case);
+        prop_assert!(
+            report.violations.is_empty(),
+            "case {:?} tripped: {:#?}",
+            case,
+            report.violations
+        );
+    }
+}

@@ -23,7 +23,9 @@ pub mod trace;
 
 pub use addr::{Addr, AddrPool, Prefix};
 pub use link::{LinkConfig, LinkId, LinkOverride};
-pub use network::{NetEvent, NetFault, Network, NetworkBuilder};
+pub use network::{
+    in_flight_packets, FabricCounters, NetAudit, NetEvent, NetFault, Network, NetworkBuilder,
+};
 pub use node::{NodeCtx, NodeHandler, NodeId};
 pub use packet::{Packet, Payload};
 pub use trace::TraceStats;

@@ -79,12 +79,67 @@ pub enum NetFault {
     Partition { nodes: Vec<NodeId>, up: bool },
 }
 
+/// Packet-fate counters maintained by the fabric itself (not by handlers),
+/// closing the conservation ledger the `dlte-check` oracles verify: every
+/// packet that enters the fabric leaves it through exactly one exit.
+///
+/// * entries: `originated` (handler called `forward`/`forward_via`) and
+///   `reforwarded` (a plain node relayed an arrival);
+/// * exits: `accepted` onto a link, or one of the per-reason drop counters
+///   kept in [`TraceStats`];
+/// * each `accepted` becomes exactly one `arrival` (or stays in flight in
+///   the event queue), and each arrival terminates as `absorbed` (handler
+///   node), `delivered_plain` (plain node owning the destination), a
+///   node-down drop, or another `reforwarded` entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricCounters {
+    /// Packets injected by handlers (`NodeCtx::forward` / `forward_via`).
+    pub originated: u64,
+    /// Arrivals relayed onward by plain (handler-less) nodes.
+    pub reforwarded: u64,
+    /// Transmissions a link accepted (an arrival event was scheduled).
+    pub accepted: u64,
+    /// `PacketArrive` events dispatched (including ones dropped node-down).
+    pub arrivals: u64,
+    /// Arrivals consumed by a node handler (whatever it re-emits counts as
+    /// freshly originated).
+    pub absorbed: u64,
+    /// Arrivals delivered by a plain node owning the destination address.
+    pub delivered_plain: u64,
+}
+
+/// End-of-run snapshot of the fabric ledger plus the per-reason drop
+/// counters and the packets still in flight — everything the packet
+/// conservation oracle needs, as plain serde-able data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetAudit {
+    pub fabric: FabricCounters,
+    /// `PacketArrive` events pending in the queue at audit time.
+    pub in_flight: u64,
+    pub drops_queue: u64,
+    pub drops_loss: u64,
+    pub drops_no_route: u64,
+    pub drops_ttl: u64,
+    pub drops_link_down: u64,
+    pub drops_node_down: u64,
+}
+
+/// Count the `PacketArrive` events still pending (canceled entries are
+/// skipped) — the `in_flight` term of the conservation ledger.
+pub fn in_flight_packets(queue: &EventQueue<NetEvent>) -> u64 {
+    queue
+        .iter_pending()
+        .filter(|e| matches!(e, NetEvent::PacketArrive { .. }))
+        .count() as u64
+}
+
 /// Topology + routing + tracing state (everything except the handlers, so
 /// handlers can borrow it mutably through [`NodeCtx`]).
 pub struct NetCore {
     pub nodes: Vec<NodeInfo>,
     pub links: Vec<Link>,
     pub trace: TraceStats,
+    pub fabric: FabricCounters,
     pub rng: SimRng,
     next_pkt: u64,
 }
@@ -137,14 +192,21 @@ impl NetCore {
             .is_some_and(|ov| ov.jitter.is_some());
         let jitter_draw = if has_jitter { self.rng.unit() } else { 0.0 };
         let l = &mut self.links[link];
-        let dir = l
-            .dir_from(node)
-            .unwrap_or_else(|| panic!("node {node} not on link {link}"));
+        let Some(dir) = l.dir_from(node) else {
+            // A route pointing at a link the node is not on is a topology
+            // bug; surface it in debug builds, degrade to a routed-drop in
+            // release so a fuzzer finds protocol bugs, not harness panics.
+            debug_assert!(false, "node {node} not on link {link}");
+            self.trace.drops_no_route += 1;
+            note_drop(now, node, DropReason::NoRoute, packet.size_bytes);
+            return;
+        };
         match l.offer(dir, now, packet.size_bytes, draw, jitter_draw) {
             Offer::Accepted {
                 arrives_at,
                 departs_at,
             } => {
+                self.fabric.accepted += 1;
                 let dest = l.other(node);
                 packet.hops += 1;
                 queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
@@ -249,6 +311,23 @@ impl Network {
         &mut self.core.trace
     }
 
+    /// Snapshot the fabric ledger for the conservation oracle. `in_flight`
+    /// comes from [`in_flight_packets`] on the simulation's queue (the world
+    /// does not own its queue).
+    pub fn audit(&self, in_flight: u64) -> NetAudit {
+        let t = &self.core.trace;
+        NetAudit {
+            fabric: self.core.fabric,
+            in_flight,
+            drops_queue: t.drops_queue,
+            drops_loss: t.drops_loss,
+            drops_no_route: t.drops_no_route,
+            drops_ttl: t.drops_ttl,
+            drops_link_down: t.drops_link_down,
+            drops_node_down: t.drops_node_down,
+        }
+    }
+
     /// Whether a node is currently crashed.
     pub fn node_is_down(&self, node: NodeId) -> bool {
         self.down[node]
@@ -341,6 +420,7 @@ impl World for Network {
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
         match event {
             NetEvent::PacketArrive { node, packet } => {
+                self.core.fabric.arrivals += 1;
                 if self.down[node] || self.paused[node] {
                     self.core.trace.drops_node_down += 1;
                     note_drop(now, node, DropReason::NodeDown, packet.size_bytes);
@@ -349,11 +429,15 @@ impl World for Network {
                 let handled = self.with_handler(node, queue, now, |h, ctx| {
                     h.on_packet(ctx, packet.clone());
                 });
-                if !handled {
+                if handled {
+                    self.core.fabric.absorbed += 1;
+                } else {
                     // Plain node: deliver or forward.
                     if self.core.nodes[node].owns(packet.dst) {
+                        self.core.fabric.delivered_plain += 1;
                         self.core.trace.record_delivery(now, &packet);
                     } else {
+                        self.core.fabric.reforwarded += 1;
                         self.core.route_and_transmit(now, node, packet, queue);
                     }
                 }
@@ -496,6 +580,7 @@ impl NetworkBuilder {
                 nodes: self.nodes,
                 links: self.links,
                 trace: TraceStats::new(),
+                fabric: FabricCounters::default(),
                 rng: self.rng,
                 next_pkt: 0,
             },
@@ -987,6 +1072,96 @@ mod tests {
             node: c as u64,
             up: true
         }));
+    }
+
+    /// The three ledger identities the conservation oracle checks. Kept here
+    /// (next to the counters) so any future forwarding change that breaks the
+    /// ledger fails immediately, not only under the fuzzer.
+    fn assert_conserved(audit: &NetAudit) {
+        let f = &audit.fabric;
+        assert_eq!(
+            f.originated + f.reforwarded,
+            f.accepted
+                + audit.drops_ttl
+                + audit.drops_no_route
+                + audit.drops_queue
+                + audit.drops_loss
+                + audit.drops_link_down,
+            "every fabric entry has exactly one exit: {audit:?}"
+        );
+        assert_eq!(
+            f.accepted,
+            f.arrivals + audit.in_flight,
+            "every accepted transmission arrives or is in flight: {audit:?}"
+        );
+        assert_eq!(
+            f.arrivals,
+            f.absorbed + f.delivered_plain + audit.drops_node_down + f.reforwarded,
+            "every arrival terminates exactly once: {audit:?}"
+        );
+    }
+
+    #[test]
+    fn conservation_ledger_closes_on_clean_and_lossy_runs() {
+        // Clean two-hop run, fully drained: nothing in flight.
+        let (mut sim, _) = line_topology();
+        sim.run_to_completion(10_000);
+        let audit = sim.world().audit(in_flight_packets(sim.queue()));
+        assert_eq!(audit.in_flight, 0);
+        assert_eq!(audit.fabric.delivered_plain, 1);
+        assert_conserved(&audit);
+
+        // Mid-run audit: packets legitimately in flight.
+        let (mut sim, _) = line_topology();
+        sim.run_until(SimTime::from_micros(1500), 10_000);
+        let audit = sim.world().audit(in_flight_packets(sim.queue()));
+        assert_eq!(audit.in_flight, 1, "packet crossing the second hop");
+        assert_conserved(&audit);
+    }
+
+    #[test]
+    fn conservation_ledger_closes_under_faults() {
+        // Periodic traffic into a crashing sink across a flapping link: the
+        // ledger must close with loss, link-down and node-down drops all in
+        // play.
+        let mut b = NetworkBuilder::new(9);
+        let dst_addr = Addr::new(10, 0, 0, 2);
+        let src = b.host(
+            "src",
+            Box::new(Periodic {
+                dst: dst_addr,
+                sent: 0,
+            }),
+        );
+        b.addr(src, Addr::new(10, 0, 0, 1));
+        let dst = b.host(
+            "dst",
+            Box::new(Sink {
+                got: 0,
+                crashes: 0,
+                restarts: 0,
+            }),
+        );
+        b.addr(dst, dst_addr);
+        let mut cfg = LinkConfig::lan();
+        cfg.loss = 0.1;
+        let l = b.link(src, dst, cfg);
+        b.auto_routes();
+        let mut sim = b.build();
+        for (ms, fault) in [
+            (100, NetFault::LinkUp { link: l, up: false }),
+            (200, NetFault::LinkUp { link: l, up: true }),
+            (300, NetFault::NodeDown { node: dst }),
+            (400, NetFault::NodeUp { node: dst }),
+        ] {
+            sim.queue_mut()
+                .schedule_at(SimTime::from_millis(ms), NetEvent::Fault(fault));
+        }
+        sim.run_until(SimTime::from_millis(505), 1_000_000);
+        let audit = sim.world().audit(in_flight_packets(sim.queue()));
+        assert!(audit.drops_loss > 0 && audit.drops_link_down > 0);
+        assert!(audit.drops_node_down > 0);
+        assert_conserved(&audit);
     }
 
     #[test]

@@ -130,12 +130,14 @@ impl NodeCtx<'_> {
 
     /// Route `packet` out of this node by its routing table.
     pub fn forward(&mut self, packet: Packet) {
+        self.core.fabric.originated += 1;
         self.core
             .route_and_transmit(self.now, self.node, packet, self.queue);
     }
 
     /// Transmit `packet` on a specific link (bypassing the routing table).
     pub fn forward_via(&mut self, link: LinkId, packet: Packet) {
+        self.core.fabric.originated += 1;
         self.core
             .transmit_on(self.now, self.node, link, packet, self.queue);
     }

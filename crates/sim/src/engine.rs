@@ -123,6 +123,17 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Iterate over the pending *live* events (canceled entries are skipped),
+    /// in no particular order. Post-run audits use this to count events still
+    /// in flight — e.g. packets serialized onto a link but not yet arrived —
+    /// without disturbing the queue.
+    pub fn iter_pending(&self) -> impl Iterator<Item = &E> {
+        self.heap
+            .iter()
+            .filter(|Reverse(s)| !self.canceled.contains(&s.seq))
+            .map(|Reverse(s)| &s.event)
+    }
+
     /// True if no live events remain. Canceled tombstones at the top of the
     /// heap are purged first, so a queue whose only entries were canceled
     /// reports empty rather than a phantom event.
@@ -228,6 +239,11 @@ impl<W: World> Simulation<W> {
     /// Access the queue for seeding initial events.
     pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
         &mut self.queue
+    }
+
+    /// Immutable access to the queue (post-run audits of pending events).
+    pub fn queue(&self) -> &EventQueue<W::Event> {
+        &self.queue
     }
 
     /// Dispatch a single event. Returns `false` if the queue was empty.
@@ -411,6 +427,26 @@ mod tests {
             RunOutcome::Drained
         );
         assert!(sim.world().seen.is_empty());
+    }
+
+    #[test]
+    fn iter_pending_skips_canceled_entries() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        queue.schedule_at(SimTime::from_millis(1), Ev::Tag(1));
+        let dead = queue.schedule_at(SimTime::from_millis(2), Ev::Tag(2));
+        queue.schedule_at(SimTime::from_millis(3), Ev::Tag(3));
+        queue.cancel(dead);
+        let mut tags: Vec<u32> = queue
+            .iter_pending()
+            .map(|e| match e {
+                Ev::Tag(t) => *t,
+                Ev::Fanout(..) => unreachable!(),
+            })
+            .collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![1, 3]);
+        // Iteration is read-only: the queue still pops everything live.
+        assert_eq!(queue.pending(), 3, "tombstone still buried in the heap");
     }
 
     #[test]
