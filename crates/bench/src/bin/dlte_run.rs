@@ -3,6 +3,7 @@
 //! ```text
 //! dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]
 //! dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]
+//! dlte-run bench [id...] [--sizes N,N,...] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]
 //! dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]
 //! dlte-run --list
 //! ```
@@ -32,6 +33,33 @@ fn main() {
         let (report, ok) = runner::run_fuzz(&inv);
         print!("{report}");
         std::process::exit(if ok { 0 } else { 1 });
+    }
+    // `bench` likewise: a topology-size macro-benchmark written to
+    // BENCH_fabric.json (with optional --baseline comparison), not a
+    // registry table run.
+    if std::env::args().nth(1).as_deref() == Some("bench") {
+        let inv = match runner::parse_bench_args(std::env::args().skip(2)) {
+            Ok(inv) => inv,
+            Err(msg) => {
+                eprintln!("dlte-run: {msg}");
+                std::process::exit(2);
+            }
+        };
+        let doc = match runner::run_bench(&inv) {
+            Ok(doc) => doc,
+            Err(msg) => {
+                eprintln!("dlte-run: {msg}");
+                std::process::exit(1);
+            }
+        };
+        let json = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
+        if let Err(e) = std::fs::write(&inv.out, &json) {
+            eprintln!("dlte-run: writing {}: {e}", inv.out);
+            std::process::exit(1);
+        }
+        print!("{}", runner::render_bench(&doc));
+        eprintln!("dlte-run: wrote {}", inv.out);
+        return;
     }
     let inv = match runner::parse_args(std::env::args().skip(1)) {
         Ok(inv) => inv,

@@ -56,7 +56,7 @@ pub mod runner {
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -218,13 +218,19 @@ pub mod runner {
         serde_json::to_string_pretty(&Profile { profile: entries }).expect("profile serializes")
     }
 
-    /// One line per registry entry: `id  title`.
+    /// One line per registry entry: `id  title`, plus a footer naming the
+    /// experiments `dlte-run bench` can size-sweep.
     pub fn render_list() -> String {
-        registry()
+        let mut out = registry()
             .iter()
             .map(|e| format!("{:<4} {}", e.id(), e.title()))
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n");
+        out.push_str(&format!(
+            "\n\nbench-capable (dlte-run bench): {}",
+            SIZEABLE.join(", ")
+        ));
+        out
     }
 
     /// Render run output. JSON: a single table prints as one object, several
@@ -257,6 +263,227 @@ pub mod runner {
                 .collect::<Vec<_>>()
                 .join("\n")
         }
+    }
+
+    /// Experiments whose `Params` accept a `sizes` topology sweep — the
+    /// only valid `dlte-run bench` targets.
+    pub const SIZEABLE: &[&str] = &["e15"];
+
+    /// A parsed `dlte-run bench` command line: a macro-benchmark sweep
+    /// over topology sizes, written to `BENCH_fabric.json` (or `--out`).
+    /// `--baseline FILE` loads a previous document and attaches
+    /// per-(arch, size) events/sec speedups against its runs.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct BenchInvocation {
+        /// Bench targets; every id must be in [`SIZEABLE`].
+        pub targets: Vec<String>,
+        /// Topology sizes (approximate node counts) to sweep.
+        pub sizes: Vec<usize>,
+        pub seed: Option<u64>,
+        /// Simulated seconds per arm (`--total`).
+        pub total_s: Option<f64>,
+        /// Output document path.
+        pub out: String,
+        /// Previous `BENCH_fabric.json` to compare against.
+        pub baseline: Option<String>,
+    }
+
+    impl Default for BenchInvocation {
+        fn default() -> Self {
+            BenchInvocation {
+                targets: vec!["e15".to_string()],
+                sizes: vec![50, 200, 1000],
+                seed: None,
+                total_s: None,
+                out: "BENCH_fabric.json".to_string(),
+                baseline: None,
+            }
+        }
+    }
+
+    /// Parse the arguments after the leading `bench` word. Targets must
+    /// support topology sizing; anything else gets a pointed error rather
+    /// than a silent single-size run.
+    pub fn parse_bench_args<I: IntoIterator<Item = String>>(
+        args: I,
+    ) -> Result<BenchInvocation, String> {
+        let mut inv = BenchInvocation::default();
+        let mut targets: Vec<String> = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--sizes" => {
+                    let v = args.next().ok_or("--sizes needs a list like 50,200,1000")?;
+                    let sizes: Result<Vec<usize>, _> =
+                        v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                    inv.sizes =
+                        sizes.map_err(|_| format!("bad --sizes value {v:?} (want 50,200,1000)"))?;
+                    if inv.sizes.is_empty() || inv.sizes.contains(&0) {
+                        return Err(format!("--sizes must be positive node counts, got {v:?}"));
+                    }
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    inv.seed = Some(v.parse().map_err(|_| format!("bad --seed value {v:?}"))?);
+                }
+                "--total" => {
+                    let v = args.next().ok_or("--total needs simulated seconds")?;
+                    let t: f64 = v.parse().map_err(|_| format!("bad --total value {v:?}"))?;
+                    if !t.is_finite() || t <= 0.0 {
+                        return Err(format!("--total must be positive, got {v:?}"));
+                    }
+                    inv.total_s = Some(t);
+                }
+                "--out" => {
+                    inv.out = args.next().ok_or("--out needs a file path")?;
+                }
+                "--baseline" => {
+                    inv.baseline = Some(args.next().ok_or("--baseline needs a file path")?);
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown bench flag {flag:?}\n{USAGE}"));
+                }
+                id => targets.push(id.to_string()),
+            }
+        }
+        if !targets.is_empty() {
+            inv.targets = targets;
+        }
+        for id in &inv.targets {
+            // Unknown ids get the registry's error; known-but-unsizeable
+            // ids get told which experiments bench can sweep.
+            let exp = find(id).map_err(|e| e.to_string())?;
+            if !SIZEABLE.contains(&exp.id()) {
+                return Err(format!(
+                    "experiment {:?} does not support topology sizing; \
+                     bench targets must take a `sizes` sweep (try: {})",
+                    exp.id(),
+                    SIZEABLE.join(", ")
+                ));
+            }
+        }
+        Ok(inv)
+    }
+
+    /// One entry of the bench document's `speedup` array: the optimized
+    /// run's events/sec over the baseline's, per (arch, size).
+    #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+    pub struct Speedup {
+        pub arch: String,
+        pub size: usize,
+        pub baseline_events_per_sec: f64,
+        pub events_per_sec: f64,
+        pub ratio: f64,
+    }
+
+    /// The `BENCH_fabric.json` document: the current runs, the baseline
+    /// runs they were compared against (empty without `--baseline`), and
+    /// the per-(arch, size) speedups.
+    #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+    #[serde(default)]
+    pub struct FabricBench {
+        pub sizes: Vec<usize>,
+        pub seed: u64,
+        pub total_s: f64,
+        pub runs: Vec<dlte::experiments::e15_fabric_scale::BenchRun>,
+        pub baseline: Vec<dlte::experiments::e15_fabric_scale::BenchRun>,
+        pub speedup: Vec<Speedup>,
+    }
+
+    /// Match current runs to baseline runs by (arch, size) and compute
+    /// events/sec ratios.
+    pub fn bench_speedups(
+        baseline: &[dlte::experiments::e15_fabric_scale::BenchRun],
+        runs: &[dlte::experiments::e15_fabric_scale::BenchRun],
+    ) -> Vec<Speedup> {
+        runs.iter()
+            .filter_map(|r| {
+                let b = baseline
+                    .iter()
+                    .find(|b| b.arch == r.arch && b.size == r.size)?;
+                let ratio = if b.events_per_sec > 0.0 {
+                    r.events_per_sec / b.events_per_sec
+                } else {
+                    0.0
+                };
+                Some(Speedup {
+                    arch: r.arch.clone(),
+                    size: r.size,
+                    baseline_events_per_sec: b.events_per_sec,
+                    events_per_sec: r.events_per_sec,
+                    ratio,
+                })
+            })
+            .collect()
+    }
+
+    /// Execute a bench invocation: run the size sweep sequentially (each
+    /// arm's wall clock is measured unshared), load the baseline document
+    /// if given, and return the comparison document. The caller writes it
+    /// to `inv.out`.
+    pub fn run_bench(inv: &BenchInvocation) -> Result<FabricBench, String> {
+        use dlte::experiments::e15_fabric_scale as e15;
+        let mut p = e15::Params {
+            sizes: inv.sizes.clone(),
+            ..Default::default()
+        };
+        if let Some(s) = inv.seed {
+            p.seed = s;
+        }
+        if let Some(t) = inv.total_s {
+            p.total_s = t;
+        }
+        let baseline = match &inv.baseline {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading --baseline {path}: {e}"))?;
+                let doc: FabricBench = serde_json::from_str(&text)
+                    .map_err(|e| format!("parsing --baseline {path}: {e}"))?;
+                doc.runs
+            }
+            None => Vec::new(),
+        };
+        let runs = e15::bench_runs(&p);
+        let speedup = bench_speedups(&baseline, &runs);
+        Ok(FabricBench {
+            sizes: p.sizes.clone(),
+            seed: p.seed,
+            total_s: p.total_s,
+            runs,
+            baseline,
+            speedup,
+        })
+    }
+
+    /// Human-readable bench report: one line per run, plus speedup lines
+    /// when a baseline was compared.
+    pub fn render_bench(doc: &FabricBench) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &doc.runs {
+            let _ = writeln!(
+                out,
+                "{:<12} size {:>5} ({} nodes, {} UEs): {} events in {:.1} ms \
+                 ({:.0} events/s), {} pkts forwarded, {} pongs",
+                r.arch,
+                r.size,
+                r.nodes,
+                r.ues,
+                r.events_dispatched,
+                r.wall_ms,
+                r.events_per_sec,
+                r.packets_forwarded,
+                r.pongs
+            );
+        }
+        for s in &doc.speedup {
+            let _ = writeln!(
+                out,
+                "speedup {:<12} size {:>5}: {:.2}x ({:.0} -> {:.0} events/s)",
+                s.arch, s.size, s.ratio, s.baseline_events_per_sec, s.events_per_sec
+            );
+        }
+        out
     }
 
     /// A parsed `dlte-run fuzz` command line. Fuzz mode is a separate
@@ -462,6 +689,100 @@ pub mod runner {
         }
 
         #[test]
+        fn parses_bench_command_lines() {
+            assert_eq!(
+                parse_bench_args(args("")).unwrap(),
+                BenchInvocation::default()
+            );
+            let inv = parse_bench_args(args(
+                "e15 --sizes 50,200,1000 --seed 7 --total 5.0 --out B.json --baseline old.json",
+            ))
+            .unwrap();
+            assert_eq!(inv.targets, vec!["e15"]);
+            assert_eq!(inv.sizes, vec![50, 200, 1000]);
+            assert_eq!(inv.seed, Some(7));
+            assert_eq!(inv.total_s, Some(5.0));
+            assert_eq!(inv.out, "B.json");
+            assert_eq!(inv.baseline.as_deref(), Some("old.json"));
+        }
+
+        #[test]
+        fn bench_rejects_unsizeable_and_malformed_targets() {
+            // A real experiment without a `sizes` sweep is refused with a
+            // pointer at what bench can run.
+            let err = parse_bench_args(args("e14")).unwrap_err();
+            assert!(
+                err.contains("does not support topology sizing") && err.contains("e15"),
+                "unhelpful error: {err}"
+            );
+            // Unknown ids get the registry's unknown-experiment error.
+            let err = parse_bench_args(args("e99")).unwrap_err();
+            assert!(err.contains("unknown experiment"), "got: {err}");
+            assert!(parse_bench_args(args("--sizes")).is_err());
+            assert!(parse_bench_args(args("--sizes 50,x")).is_err());
+            assert!(parse_bench_args(args("--sizes 0")).is_err());
+            assert!(parse_bench_args(args("--total -1")).is_err());
+            assert!(parse_bench_args(args("--frobnicate")).is_err());
+        }
+
+        #[test]
+        fn bench_speedups_match_runs_by_arch_and_size() {
+            use dlte::experiments::e15_fabric_scale::BenchRun;
+            let base = vec![BenchRun {
+                arch: "dlte".into(),
+                size: 50,
+                events_per_sec: 100.0,
+                ..Default::default()
+            }];
+            let now = vec![
+                BenchRun {
+                    arch: "dlte".into(),
+                    size: 50,
+                    events_per_sec: 250.0,
+                    ..Default::default()
+                },
+                // No baseline counterpart: contributes no speedup entry.
+                BenchRun {
+                    arch: "dlte".into(),
+                    size: 200,
+                    events_per_sec: 300.0,
+                    ..Default::default()
+                },
+            ];
+            let s = bench_speedups(&base, &now);
+            assert_eq!(s.len(), 1);
+            assert_eq!((s[0].arch.as_str(), s[0].size), ("dlte", 50));
+            assert!((s[0].ratio - 2.5).abs() < 1e-9);
+        }
+
+        #[test]
+        fn bench_smoke_runs_and_round_trips() {
+            let inv = BenchInvocation {
+                sizes: vec![20],
+                total_s: Some(2.0),
+                ..Default::default()
+            };
+            let doc = run_bench(&inv).unwrap();
+            assert_eq!(doc.runs.len(), 2, "both arms at one size");
+            assert!(doc.baseline.is_empty() && doc.speedup.is_empty());
+            for r in &doc.runs {
+                assert!(r.events_dispatched > 0 && r.pongs > 0);
+            }
+            let json = serde_json::to_string(&doc).unwrap();
+            let back: FabricBench = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.runs.len(), 2);
+            let report = render_bench(&doc);
+            assert!(report.contains("centralized") && report.contains("events/s"));
+        }
+
+        #[test]
+        fn list_names_the_bench_targets() {
+            let list = render_list();
+            assert!(list.contains("e15"));
+            assert!(list.contains("bench-capable (dlte-run bench): e15"));
+        }
+
+        #[test]
         fn seed_overrides_params_object() {
             let mut inv = parse_args(vec![
                 "e1".into(),
@@ -481,7 +802,7 @@ pub mod runner {
         #[test]
         fn selection_resolves_all_single_and_multiple_ids() {
             let all = selection(&Invocation::default()).unwrap();
-            assert_eq!(all.len(), 17);
+            assert_eq!(all.len(), 18);
             let one = selection(&Invocation {
                 targets: vec!["E13".into()],
                 ..Invocation::default()

@@ -81,7 +81,7 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
         },
     )];
     if mesh {
-        let ap0_addr = net.sim.world().core.nodes[net.aps[0]].addrs[0];
+        let ap0_addr = net.sim.world().core.nodes[net.aps[0]].addrs()[0];
         let mesh_link = net.ap_mesh[0];
         actions.push((
             reconverge_at,

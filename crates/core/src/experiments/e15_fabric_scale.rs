@@ -1,0 +1,226 @@
+//! E15 — fabric scale: the packet fabric under a topology size sweep.
+//!
+//! The ROADMAP north star is a core that "serves heavy traffic from
+//! millions of users" — which the simulator can only claim if its own
+//! fabric (event scheduling, per-hop route lookup, drop accounting) holds
+//! up as topologies grow. This experiment builds matched centralized-EPC
+//! and dLTE networks at several sizes, drives proportional UE ping flows
+//! through them, and reports the *deterministic* work counters (events
+//! dispatched, packets the links accepted, echo round trips completed).
+//!
+//! Wall-clock throughput (events/sec) is deliberately **not** a table
+//! cell: tables are golden-checked byte-for-byte across `--jobs` values
+//! and machines. Timing lives in the per-run `meta` the runner attaches,
+//! and in `dlte-run bench`, which calls [`bench_runs`] directly and
+//! writes `BENCH_fabric.json` with before/after comparisons.
+
+use super::Table;
+use crate::scenario::{DlteNetworkBuilder, DltePlan};
+use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
+use dlte_epc::ue::{UeApp, UeNode};
+use dlte_net::{Network, NodeId};
+use dlte_sim::{SimDuration, SimTime, Simulation};
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Params {
+    /// Approximate total node counts to sweep (each size builds one
+    /// centralized and one dLTE arm; ~10% of nodes are cells, the rest
+    /// UEs).
+    pub sizes: Vec<usize>,
+    pub seed: u64,
+    /// Simulated seconds each arm runs.
+    pub total_s: f64,
+    /// Per-UE echo-probe period toward the OTT server.
+    pub ping_interval_ms: u64,
+    pub probe_bytes: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            sizes: vec![50],
+            seed: 1,
+            total_s: 10.0,
+            ping_interval_ms: 200,
+            probe_bytes: 200,
+        }
+    }
+}
+
+/// One measured arm of the sweep. The deterministic fields (`nodes`,
+/// `ues`, `events_dispatched`, `packets_forwarded`, `pongs`) are
+/// identical for a given (arch, size, seed, total_s) on any machine;
+/// `wall_ms`/`events_per_sec` are this run's timing and only appear in
+/// `BENCH_fabric.json`, never in golden-checked table cells.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct BenchRun {
+    pub arch: String,
+    pub size: usize,
+    /// Actual node count of the built topology (UEs + cells + core).
+    pub nodes: usize,
+    pub ues: usize,
+    pub events_dispatched: u64,
+    /// Transmissions the links accepted — per-hop forwarding work.
+    pub packets_forwarded: u64,
+    /// Echo round trips completed across all UEs.
+    pub pongs: u64,
+    pub wall_ms: f64,
+    pub events_per_sec: f64,
+}
+
+/// size → (cells, ues_per_cell): ~10% of nodes are cells, the rest UEs,
+/// capped at 255 cells (the AP pool allocator keys pools by a u8 octet).
+fn shape(size: usize) -> (usize, usize) {
+    let cells = (size / 10).clamp(1, 255);
+    let ues = (size.saturating_sub(cells) / cells).max(1);
+    (cells, ues)
+}
+
+fn finish(
+    arch: &str,
+    size: usize,
+    p: &Params,
+    mut sim: Simulation<Network>,
+    ues: Vec<NodeId>,
+) -> BenchRun {
+    let ((), report) = dlte_sim::report::scope(|| {
+        sim.run_until(SimTime::from_secs_f64(p.total_s), u64::MAX);
+    });
+    let pongs = ues
+        .iter()
+        .map(|&u| sim.world().handler_as::<UeNode>(u).unwrap().stats.pongs)
+        .sum();
+    BenchRun {
+        arch: arch.to_string(),
+        size,
+        nodes: sim.world().core.nodes.len(),
+        ues: ues.len(),
+        events_dispatched: report.events_dispatched,
+        packets_forwarded: sim.world().core.fabric.accepted,
+        pongs,
+        wall_ms: report.wall_ms,
+        events_per_sec: report.events_per_sec,
+    }
+}
+
+fn run_centralized(size: usize, p: &Params) -> BenchRun {
+    let (cells, ues_per_cell) = shape(size);
+    let interval = SimDuration::from_millis(p.ping_interval_ms);
+    let probe_bytes = p.probe_bytes;
+    let mut b = CentralizedLteBuilder::new(cells, ues_per_cell);
+    b.seed = p.seed;
+    let net = b
+        .with_ue_plan(move |_| UePlan {
+            app: UeApp::Pinger {
+                dst: CentralizedLteBuilder::ott_addr(),
+                interval,
+                probe_bytes,
+            },
+            ..Default::default()
+        })
+        .build();
+    finish("centralized", size, p, net.sim, net.ues)
+}
+
+fn run_dlte(size: usize, p: &Params) -> BenchRun {
+    let (cells, ues_per_cell) = shape(size);
+    let interval = SimDuration::from_millis(p.ping_interval_ms);
+    let probe_bytes = p.probe_bytes;
+    let mut b = DlteNetworkBuilder::new(cells, ues_per_cell);
+    b.seed = p.seed;
+    let net = b
+        .with_ue_plan(move |_| DltePlan {
+            app: UeApp::Pinger {
+                dst: DlteNetworkBuilder::ott_addr(),
+                interval,
+                probe_bytes,
+            },
+            ..Default::default()
+        })
+        .build();
+    finish("dlte", size, p, net.sim, net.ues)
+}
+
+/// Run the full sweep and return every measured arm. Arms run
+/// sequentially (not `par_map`) so each one's wall-clock measurement is
+/// unshared — this is the entry point `dlte-run bench` uses.
+pub fn bench_runs(p: &Params) -> Vec<BenchRun> {
+    let mut runs = Vec::new();
+    for &size in &p.sizes {
+        runs.push(run_centralized(size, p));
+        runs.push(run_dlte(size, p));
+    }
+    runs
+}
+
+pub fn run_with(p: Params) -> Table {
+    let runs = bench_runs(&p);
+    let mut t = Table::new(
+        "E15",
+        "Fabric scale sweep: dispatch and forwarding work vs topology size, centralized EPC vs dLTE",
+        &["size", "arch", "nodes", "UEs", "events", "pkts forwarded", "pongs"],
+    );
+    for r in &runs {
+        t.row(vec![
+            r.size.to_string(),
+            r.arch.clone(),
+            r.nodes.to_string(),
+            r.ues.to_string(),
+            r.events_dispatched.to_string(),
+            r.packets_forwarded.to_string(),
+            r.pongs.to_string(),
+        ]);
+    }
+    t.expect(
+        "work counters grow with topology size in both arms and every arm completes echo \
+         round trips; the cells are deterministic (timing lives in meta and BENCH_fabric.json)",
+    );
+    t
+}
+
+pub fn run() -> Table {
+    run_with(Params::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_scales_and_is_deterministic() {
+        let p = Params {
+            sizes: vec![20, 40],
+            total_s: 3.0,
+            ..Default::default()
+        };
+        let runs = bench_runs(&p);
+        assert_eq!(runs.len(), 4, "two arms per size");
+        for r in &runs {
+            assert!(r.events_dispatched > 0, "{} did no work", r.arch);
+            assert!(r.pongs > 0, "{} size {} completed no pings", r.arch, r.size);
+            assert!(r.nodes > r.ues, "cells and core nodes exist beyond UEs");
+        }
+        // Bigger topologies do more fabric work.
+        assert!(runs[2].events_dispatched > runs[0].events_dispatched);
+        assert!(runs[3].events_dispatched > runs[1].events_dispatched);
+        // The deterministic counters replay exactly.
+        let again = bench_runs(&p);
+        for (a, b) in runs.iter().zip(&again) {
+            assert_eq!(a.events_dispatched, b.events_dispatched);
+            assert_eq!(a.packets_forwarded, b.packets_forwarded);
+            assert_eq!(a.pongs, b.pongs);
+        }
+    }
+
+    #[test]
+    fn shape_allocates_ten_percent_cells() {
+        assert_eq!(shape(50), (5, 9));
+        assert_eq!(shape(200), (20, 9));
+        assert_eq!(shape(1000), (100, 9));
+        assert_eq!(shape(5), (1, 4));
+        assert_eq!(shape(1), (1, 1));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Each module exposes a serde-able `Params` struct, `run_with(Params)` and a
 //! default-params `run()`, returning a [`Table`] — the rows EXPERIMENTS.md
-//! records. The [`registry`] module unifies all seventeen behind the
+//! records. The [`registry`] module unifies all eighteen behind the
 //! [`registry::Experiment`] trait so the `dlte-run` binary (in `dlte-bench`)
 //! can resolve any experiment by id, override its parameters as JSON, and
 //! attach run instrumentation ([`dlte_sim::RunReport`]) to the result.
@@ -26,12 +26,14 @@
 //! | E12| §4.2         | 0-RTT/migration/FEC make churn survivable |
 //! | E13| §7           | AP mesh bounds outages when a backhaul dies |
 //! | E14| §2.2/§4.2    | chaos sweep: local core rides out a backhaul outage; EPC loses all |
+//! | E15| ROADMAP §perf| fabric work scales with topology size; timing in `BENCH_fabric.json` |
 
 pub mod e10_breakout;
 pub mod e11_x2_overhead;
 pub mod e12_transport_ablation;
 pub mod e13_backhaul_resilience;
 pub mod e14_chaos_sweep;
+pub mod e15_fabric_scale;
 pub mod e1_range;
 pub mod e2_uplink;
 pub mod e3_harq;

@@ -2,10 +2,10 @@
 //!
 //! Each experiment module keeps its own `Params` struct and `run_with`
 //! function; this module wraps them in the object-safe [`Experiment`] trait
-//! so a runner can enumerate all seventeen, resolve one by id, override its
+//! so a runner can enumerate all eighteen, resolve one by id, override its
 //! parameters as JSON, and attach instrumentation without knowing any
 //! concrete type. [`registry`] returns them in canonical report order
-//! (`t1`, `f1`, `f2`, `e1`..`e14`) — the order `dlte-run all` executes and
+//! (`t1`, `f1`, `f2`, `e1`..`e15`) — the order `dlte-run all` executes and
 //! prints.
 
 use super::Table;
@@ -128,6 +128,7 @@ experiments! {
     E12Exp => e12_transport_ablation, "e12", "Transport feature ablation under AP churn (paper §4.2)";
     E13Exp => e13_backhaul_resilience, "e13", "Backhaul failure: standalone APs vs §7 mesh redundancy";
     E14Exp => e14_chaos_sweep, "e14", "Chaos sweep: backhaul outage + core crash, centralized EPC vs dLTE local core";
+    E15Exp => e15_fabric_scale, "e15", "Fabric scale sweep: dispatch and forwarding work vs topology size, centralized EPC vs dLTE";
 }
 
 /// Look an experiment up by id, case-insensitively (`e1` and `E1` both
@@ -145,13 +146,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_seventeen_in_report_order() {
+    fn registry_has_all_eighteen_in_report_order() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
             vec![
                 "t1", "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-                "e11", "e12", "e13", "e14",
+                "e11", "e12", "e13", "e14", "e15",
             ]
         );
     }

@@ -91,13 +91,7 @@ impl BackhaulFailover {
         let info = ctx.node_info_mut();
         // Keep only the radio-side host routes into client pools; every
         // infrastructure route went through the dead backhaul.
-        let keep: Vec<(Prefix, LinkId)> = info
-            .routes
-            .iter()
-            .copied()
-            .filter(|(p, _)| p.len == 32 && crate::scenario::any_ap_pool_contains(p.addr))
-            .collect();
-        info.routes = keep;
+        info.retain_routes(|p, _| p.len == 32 && crate::scenario::any_ap_pool_contains(p.addr));
         info.set_route(Prefix::DEFAULT, fallback);
         true
     }

@@ -9,12 +9,12 @@
 use crate::messages::{wire, Nas, S1Nas, S1ap, Teid};
 use crate::obs::{self, HarqTracer};
 use dlte_auth::Imsi;
+use dlte_net::fxhash::FxHashMap;
 use dlte_net::gtp;
 use dlte_net::gtp::GtpErrorIndication;
 use dlte_net::{Addr, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
 use dlte_obs::{Event, NasProc};
 use dlte_sim::{SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// Tag of the periodic inactivity sweep timer.
 const TAG_IDLE_SWEEP: u64 = 9_100_000;
@@ -54,10 +54,10 @@ pub struct EnbNode {
     pub idle_timeout: Option<SimDuration>,
     /// Radio wiring: which link reaches which (potential) UE, and the
     /// control address the UE listens on for relayed NAS.
-    radio: HashMap<Imsi, (LinkId, Addr)>,
-    contexts: HashMap<Imsi, UeRadioCtx>,
-    by_dl_teid: HashMap<Teid, Imsi>,
-    by_ue_addr: HashMap<Addr, Imsi>,
+    radio: FxHashMap<Imsi, (LinkId, Addr)>,
+    contexts: FxHashMap<Imsi, UeRadioCtx>,
+    by_dl_teid: FxHashMap<Teid, Imsi>,
+    by_ue_addr: FxHashMap<Addr, Imsi>,
     /// Trace-only radio HARQ model over the user-plane paths (dedicated
     /// RNG stream; see [`crate::obs::HarqTracer`]).
     harq: HarqTracer,
@@ -69,10 +69,10 @@ impl EnbNode {
         EnbNode {
             mme_addr,
             idle_timeout: None,
-            radio: HashMap::new(),
-            contexts: HashMap::new(),
-            by_dl_teid: HashMap::new(),
-            by_ue_addr: HashMap::new(),
+            radio: FxHashMap::default(),
+            contexts: FxHashMap::default(),
+            by_dl_teid: FxHashMap::default(),
+            by_ue_addr: FxHashMap::default(),
             harq: HarqTracer::new(SimRng::new(0x48415251)),
             stats: EnbStats::default(),
         }

@@ -18,11 +18,11 @@ use crate::proc::Processor;
 use dlte_auth::open::PublishedKeyDirectory;
 use dlte_auth::vectors::{generate_vector, AuthVector, SubscriberRecord};
 use dlte_auth::{Imsi, Key};
+use dlte_net::fxhash::FxHashMap;
 use dlte_net::{Addr, AddrPool, LinkId, NodeCtx, NodeHandler, Packet, Payload, Prefix};
 use dlte_obs::{AkaStep, NasProc};
 use dlte_sim::stats::Samples;
 use dlte_sim::{SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// Where the stub gets subscriber keys.
 pub enum KeySource {
@@ -75,12 +75,12 @@ pub struct LocalCoreNode {
     pub pool: AddrPool,
     keys: KeySource,
     /// Radio wiring, as in [`crate::EnbNode`].
-    radio: HashMap<Imsi, (LinkId, Addr)>,
+    radio: FxHashMap<Imsi, (LinkId, Addr)>,
     /// Cached subscriber records (from either key source).
-    records: HashMap<Imsi, SubscriberRecord>,
-    attaching: HashMap<Imsi, AttachPhase>,
-    sessions: HashMap<Imsi, Addr>,
-    by_ue_addr: HashMap<Addr, Imsi>,
+    records: FxHashMap<Imsi, SubscriberRecord>,
+    attaching: FxHashMap<Imsi, AttachPhase>,
+    sessions: FxHashMap<Imsi, Addr>,
+    by_ue_addr: FxHashMap<Addr, Imsi>,
     pub proc: Processor,
     rng: SimRng,
     /// Trace-only radio HARQ model over the breakout user plane (dedicated
@@ -101,11 +101,11 @@ impl LocalCoreNode {
             sn_id,
             pool,
             keys,
-            radio: HashMap::new(),
-            records: HashMap::new(),
-            attaching: HashMap::new(),
-            sessions: HashMap::new(),
-            by_ue_addr: HashMap::new(),
+            radio: FxHashMap::default(),
+            records: FxHashMap::default(),
+            attaching: FxHashMap::default(),
+            sessions: FxHashMap::default(),
+            by_ue_addr: FxHashMap::default(),
             proc: Processor::new(per_msg, 0),
             harq: HarqTracer::new(rng.fork("harq-trace")),
             rng,

@@ -10,12 +10,12 @@ use crate::messages::{wire, Teid, S5};
 use crate::obs;
 use crate::proc::Processor;
 use dlte_auth::Imsi;
+use dlte_net::fxhash::FxHashMap;
 use dlte_net::gtp;
 use dlte_net::gtp::{GtpEcho, GtpErrorIndication, GTP_ECHO_BYTES, GTP_ERROR_BYTES};
 use dlte_net::{Addr, AddrPool, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_obs::Event;
 use dlte_sim::SimDuration;
-use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
 struct PdnSession {
@@ -47,9 +47,9 @@ pub struct PgwStats {
 pub struct PgwNode {
     pub pool: AddrPool,
     pub proc: Processor,
-    by_ue_addr: HashMap<Addr, PdnSession>,
-    by_ul_teid: HashMap<Teid, Addr>,
-    by_imsi: HashMap<Imsi, Addr>,
+    by_ue_addr: FxHashMap<Addr, PdnSession>,
+    by_ul_teid: FxHashMap<Teid, Addr>,
+    by_imsi: FxHashMap<Imsi, Addr>,
     next_teid: Teid,
     /// GTP restart counter: bumped on every restart so path-managing peers
     /// learn that all sessions here were lost.
@@ -62,9 +62,9 @@ impl PgwNode {
         PgwNode {
             pool,
             proc: Processor::new(per_msg, 0),
-            by_ue_addr: HashMap::new(),
-            by_ul_teid: HashMap::new(),
-            by_imsi: HashMap::new(),
+            by_ue_addr: FxHashMap::default(),
+            by_ul_teid: FxHashMap::default(),
+            by_imsi: FxHashMap::default(),
             next_teid: 0x2000_0000,
             restart_counter: 0,
             stats: PgwStats::default(),

@@ -10,6 +10,7 @@ use crate::messages::{wire, Gtpc, Teid, S5};
 use crate::obs;
 use crate::proc::Processor;
 use dlte_auth::Imsi;
+use dlte_net::fxhash::FxHashMap;
 use dlte_net::gtp;
 use dlte_net::gtp::{
     GtpEcho, GtpErrorIndication, PathEvent, PathMonitor, GTP_ECHO_BYTES, GTP_ERROR_BYTES,
@@ -17,7 +18,6 @@ use dlte_net::gtp::{
 use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_obs::Event;
 use dlte_sim::SimDuration;
-use std::collections::HashMap;
 
 /// Timer tag for the GTP-U path-management tick (disjoint from the
 /// processor's tag space, which grows upward from 0).
@@ -74,9 +74,9 @@ pub struct SgwNode {
     /// Downlink buffer capacity per idle bearer, packets.
     pub buffer_cap: usize,
     pub proc: Processor,
-    bearers: HashMap<Imsi, Bearer>,
-    by_ul_teid: HashMap<Teid, Imsi>,
-    by_dl_teid: HashMap<Teid, Imsi>,
+    bearers: FxHashMap<Imsi, Bearer>,
+    by_ul_teid: FxHashMap<Teid, Imsi>,
+    by_dl_teid: FxHashMap<Teid, Imsi>,
     next_teid: Teid,
     /// GTP restart counter: bumped on every restart so peers running path
     /// management can tell "rebooted and lost state" from "slow".
@@ -92,9 +92,9 @@ impl SgwNode {
             mme_addr: Addr::UNSPECIFIED,
             buffer_cap: 16,
             proc: Processor::new(per_msg, 0),
-            bearers: HashMap::new(),
-            by_ul_teid: HashMap::new(),
-            by_dl_teid: HashMap::new(),
+            bearers: FxHashMap::default(),
+            by_ul_teid: FxHashMap::default(),
+            by_dl_teid: FxHashMap::default(),
             next_teid: 0x1000_0000,
             restart_counter: 0,
             path_mgmt: None,

@@ -331,7 +331,12 @@ impl CellSim {
             .schedule(self.tti, &sched_inputs, &mut self.grid);
         self.util_sum += self.grid.utilization();
         self.util_ttis += 1;
-        dlte_obs::metrics::counter_add("sched_grants", self.grid.allocations().len() as u64);
+        // Per-TTI hot path: interned counter handle, no string lookup.
+        static SCHED_GRANTS: std::sync::OnceLock<dlte_obs::metrics::CounterId> =
+            std::sync::OnceLock::new();
+        SCHED_GRANTS
+            .get_or_init(|| dlte_obs::metrics::register_counter("sched_grants"))
+            .add(self.grid.allocations().len() as u64);
         if dlte_obs::tracing_enabled() {
             self.trace_allocations(now, &per_ue_sinr);
         }

@@ -67,7 +67,7 @@ impl Prefix {
         len: 0,
     };
 
-    fn mask_of(len: u8) -> u32 {
+    pub(crate) fn mask_of(len: u8) -> u32 {
         if len == 0 {
             0
         } else {

@@ -13,6 +13,7 @@
 //! of LTE — the cellular logic composes on top in `dlte-epc` and `dlte`.
 
 pub mod addr;
+pub mod fxhash;
 pub mod gtp;
 pub mod handlers;
 pub mod link;

@@ -22,18 +22,32 @@ use serde::{Deserialize, Serialize};
 /// counter (feeds the deterministic `RunReport::drops` breakdown) and — when
 /// tracing is enabled — a structured [`Event::Drop`] record.
 fn note_drop(now: SimTime, node: NodeId, reason: DropReason, bytes: u32) {
-    dlte_obs::metrics::counter_add(drop_counter(reason), 1);
+    drop_counter(reason).add(1);
     dlte_obs::emit(now.as_nanos(), node as u64, Event::Drop { reason, bytes });
 }
 
-const fn drop_counter(reason: DropReason) -> &'static str {
+/// Interned per-reason drop counters: registered once per process, so the
+/// per-drop cost is an array index, not a string-map lookup.
+fn drop_counter(reason: DropReason) -> dlte_obs::metrics::CounterId {
+    use dlte_obs::metrics::register_counter;
+    static IDS: std::sync::OnceLock<[dlte_obs::metrics::CounterId; 6]> = std::sync::OnceLock::new();
+    let ids = IDS.get_or_init(|| {
+        [
+            register_counter("drops_queue"),
+            register_counter("drops_loss"),
+            register_counter("drops_link_down"),
+            register_counter("drops_node_down"),
+            register_counter("drops_no_route"),
+            register_counter("drops_ttl"),
+        ]
+    });
     match reason {
-        DropReason::Queue => "drops_queue",
-        DropReason::Loss => "drops_loss",
-        DropReason::LinkDown => "drops_link_down",
-        DropReason::NodeDown => "drops_node_down",
-        DropReason::NoRoute => "drops_no_route",
-        DropReason::TtlExpired => "drops_ttl",
+        DropReason::Queue => ids[0],
+        DropReason::Loss => ids[1],
+        DropReason::LinkDown => ids[2],
+        DropReason::NodeDown => ids[3],
+        DropReason::NoRoute => ids[4],
+        DropReason::TtlExpired => ids[5],
     }
 }
 
@@ -505,7 +519,7 @@ impl NetworkBuilder {
 
     /// Give a node an address.
     pub fn addr(&mut self, node: NodeId, addr: crate::addr::Addr) -> &mut Self {
-        self.nodes[node].addrs.push(addr);
+        self.nodes[node].add_addr(addr);
         self
     }
 
@@ -538,7 +552,7 @@ impl NetworkBuilder {
             adj[l.b].push((l.a, lid));
         }
         for target in 0..n {
-            if self.nodes[target].addrs.is_empty() {
+            if self.nodes[target].addrs().is_empty() {
                 continue;
             }
             // BFS from target; first-hop of the reverse path gives each
@@ -557,7 +571,7 @@ impl NetworkBuilder {
                     }
                 }
             }
-            let addrs = self.nodes[target].addrs.clone();
+            let addrs = self.nodes[target].addrs().to_vec();
             for (node, &hop) in via.iter().enumerate() {
                 if node == target {
                     continue;

@@ -7,23 +7,76 @@
 //! simulator conveniences (address lookup, deterministic RNG, trace sink).
 
 use crate::addr::{Addr, Prefix};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::link::LinkId;
 use crate::network::{NetCore, NetEvent};
 use crate::packet::Packet;
 use dlte_sim::engine::EventKey;
 use dlte_sim::{EventQueue, SimDuration, SimTime};
+use std::cell::RefCell;
 
 /// Identifies a node.
 pub type NodeId = usize;
 
+/// The compiled forwarding table: routes bucketed by prefix length into
+/// exact-match hash maps probed longest-first, plus a hashed owned-address
+/// set. Compiled lazily from a [`NodeInfo`]'s route/address lists — the
+/// `generation` tag says which revision it was built from.
+///
+/// Lookup is bit-identical to the linear reference scan
+/// ([`NodeInfo::route_for_linear`]): `set_route` keeps prefixes unique, so
+/// at most one route of any given length can contain a destination, and
+/// probing lengths 32→0 returns exactly the longest match.
+#[derive(Clone, Debug, Default)]
+struct Fib {
+    /// The [`NodeInfo`] generation this FIB was compiled from (0 = never;
+    /// node generations start at 1, so a fresh FIB is always stale).
+    generation: u64,
+    /// One exact-match table per prefix length present, longest first.
+    by_len: Vec<(u8, FxHashMap<u32, LinkId>)>,
+    owned: FxHashSet<Addr>,
+}
+
+impl Fib {
+    fn compile(&mut self, generation: u64, addrs: &[Addr], routes: &[(Prefix, LinkId)]) {
+        self.generation = generation;
+        self.owned.clear();
+        self.owned.extend(addrs.iter().copied());
+        let mut buckets: FxHashMap<u8, FxHashMap<u32, LinkId>> = FxHashMap::default();
+        for &(p, l) in routes {
+            buckets.entry(p.len).or_default().insert(p.addr.0, l);
+        }
+        self.by_len = buckets.into_iter().collect();
+        self.by_len
+            .sort_unstable_by_key(|&(len, _)| std::cmp::Reverse(len));
+    }
+
+    fn lookup(&self, dst: Addr) -> Option<LinkId> {
+        self.by_len
+            .iter()
+            .find_map(|(len, table)| table.get(&(dst.0 & Prefix::mask_of(*len))).copied())
+    }
+}
+
 /// Static node metadata kept by the core.
+///
+/// The address and route lists are private: every mutation goes through a
+/// method that bumps the generation counter, which invalidates the
+/// compiled [`Fib`] the hot-path `route_for`/`owns` lookups use. The FIB
+/// is rebuilt lazily on the next lookup, so bursts of control-plane churn
+/// (attach storms, dLTE address churn, mesh reroutes) pay one compile,
+/// not one per mutation.
 #[derive(Clone, Debug)]
 pub struct NodeInfo {
     pub name: String,
     /// Addresses owned by this node (delivery targets).
-    pub addrs: Vec<Addr>,
+    addrs: Vec<Addr>,
     /// Longest-prefix-match routing table: (prefix, outgoing link).
-    pub routes: Vec<(Prefix, LinkId)>,
+    /// Invariant (enforced by `set_route`): prefixes are unique.
+    routes: Vec<(Prefix, LinkId)>,
+    /// Bumped by every address/route mutation.
+    generation: u64,
+    fib: RefCell<Fib>,
 }
 
 impl NodeInfo {
@@ -32,16 +85,62 @@ impl NodeInfo {
             name: name.into(),
             addrs: Vec::new(),
             routes: Vec::new(),
+            generation: 1,
+            fib: RefCell::new(Fib::default()),
         }
+    }
+
+    /// Addresses owned by this node.
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// The routing table, in insertion order.
+    pub fn routes(&self) -> &[(Prefix, LinkId)] {
+        &self.routes
+    }
+
+    /// Add an owned address.
+    pub fn add_addr(&mut self, addr: Addr) {
+        self.addrs.push(addr);
+        self.generation += 1;
+    }
+
+    /// Remove an owned address, returning whether it was present.
+    pub fn remove_addr(&mut self, addr: Addr) -> bool {
+        let before = self.addrs.len();
+        self.addrs.retain(|&a| a != addr);
+        let removed = self.addrs.len() != before;
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Run `f` over the compiled FIB, rebuilding it first if any mutation
+    /// happened since the last compile.
+    fn with_fib<T>(&self, f: impl FnOnce(&Fib) -> T) -> T {
+        let mut fib = self.fib.borrow_mut();
+        if fib.generation != self.generation {
+            fib.compile(self.generation, &self.addrs, &self.routes);
+        }
+        f(&fib)
     }
 
     /// True if `a` is one of this node's addresses.
     pub fn owns(&self, a: Addr) -> bool {
-        self.addrs.contains(&a)
+        self.with_fib(|fib| fib.owned.contains(&a))
     }
 
-    /// Longest-prefix-match lookup.
+    /// Longest-prefix-match lookup (via the compiled FIB).
     pub fn route_for(&self, dst: Addr) -> Option<LinkId> {
+        self.with_fib(|fib| fib.lookup(dst))
+    }
+
+    /// The original linear longest-prefix scan, kept as the reference
+    /// semantics `route_for` must match bit-for-bit (the proptest
+    /// equivalence suite checks this on random tables).
+    pub fn route_for_linear(&self, dst: Addr) -> Option<LinkId> {
         self.routes
             .iter()
             .filter(|(p, _)| p.contains(dst))
@@ -56,13 +155,25 @@ impl NodeInfo {
         } else {
             self.routes.push((prefix, link));
         }
+        self.generation += 1;
     }
 
     /// Remove a route, returning whether it existed.
     pub fn remove_route(&mut self, prefix: Prefix) -> bool {
         let before = self.routes.len();
         self.routes.retain(|(p, _)| *p != prefix);
-        self.routes.len() != before
+        let removed = self.routes.len() != before;
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Keep only the routes `f` approves of (bulk removal — e.g. flushing
+    /// every route pointing at a dead link).
+    pub fn retain_routes(&mut self, mut f: impl FnMut(Prefix, LinkId) -> bool) {
+        self.routes.retain(|&(p, l)| f(p, l));
+        self.generation += 1;
     }
 }
 
@@ -106,7 +217,7 @@ impl NodeCtx<'_> {
     /// This node's first address (the common single-homed case).
     pub fn my_addr(&self) -> Addr {
         self.core.nodes[self.node]
-            .addrs
+            .addrs()
             .first()
             .copied()
             .unwrap_or(Addr::UNSPECIFIED)
@@ -182,16 +293,13 @@ impl NodeCtx<'_> {
     /// Add an address to an arbitrary node and (optionally) point a host
     /// route at it from a neighbor — used by attach procedures.
     pub fn add_addr(&mut self, node: NodeId, addr: Addr) {
-        self.core.nodes[node].addrs.push(addr);
+        self.core.nodes[node].add_addr(addr);
     }
 
     /// Remove an address from a node (detach / address churn), returning
     /// whether it was present.
     pub fn remove_addr(&mut self, node: NodeId, addr: Addr) -> bool {
-        let addrs = &mut self.core.nodes[node].addrs;
-        let before = addrs.len();
-        addrs.retain(|&a| a != addr);
-        addrs.len() != before
+        self.core.nodes[node].remove_addr(addr)
     }
 
     /// Install a route on an arbitrary node (control-plane actions reach
@@ -243,7 +351,7 @@ mod tests {
         let p = Prefix::new(Addr::new(10, 0, 0, 0), 8);
         n.set_route(p, 1);
         n.set_route(p, 5);
-        assert_eq!(n.routes.len(), 1);
+        assert_eq!(n.routes().len(), 1);
         assert_eq!(n.route_for(Addr::new(10, 0, 0, 1)), Some(5));
         assert!(n.remove_route(p));
         assert!(!n.remove_route(p));
@@ -253,8 +361,62 @@ mod tests {
     #[test]
     fn owns_addr() {
         let mut n = NodeInfo::new("h");
-        n.addrs.push(Addr::new(192, 168, 1, 1));
+        n.add_addr(Addr::new(192, 168, 1, 1));
         assert!(n.owns(Addr::new(192, 168, 1, 1)));
         assert!(!n.owns(Addr::new(192, 168, 1, 2)));
+    }
+
+    /// Every mutation path invalidates the compiled FIB: lookups after
+    /// churn see the new state, never a stale compile.
+    #[test]
+    fn fib_invalidates_on_every_mutation() {
+        let mut n = NodeInfo::new("r1");
+        let p8 = Prefix::new(Addr::new(10, 0, 0, 0), 8);
+        let p16 = Prefix::new(Addr::new(10, 1, 0, 0), 16);
+        n.set_route(p8, 1);
+        assert_eq!(n.route_for(Addr::new(10, 1, 2, 3)), Some(1)); // compiles
+        n.set_route(p16, 2);
+        assert_eq!(
+            n.route_for(Addr::new(10, 1, 2, 3)),
+            Some(2),
+            "new route seen"
+        );
+        n.set_route(p16, 7);
+        assert_eq!(
+            n.route_for(Addr::new(10, 1, 2, 3)),
+            Some(7),
+            "replacement seen"
+        );
+        assert!(n.remove_route(p16));
+        assert_eq!(n.route_for(Addr::new(10, 1, 2, 3)), Some(1), "removal seen");
+        n.retain_routes(|_, _| false);
+        assert_eq!(n.route_for(Addr::new(10, 1, 2, 3)), None, "bulk flush seen");
+
+        let a = Addr::new(100, 64, 0, 1);
+        assert!(!n.owns(a)); // compiles the owned set
+        n.add_addr(a);
+        assert!(n.owns(a), "added address seen");
+        assert!(n.remove_addr(a));
+        assert!(!n.owns(a), "removed address seen");
+    }
+
+    /// The compiled lookup must agree with the linear reference on the
+    /// shapes that stress it: overlaps, the default route, misses.
+    #[test]
+    fn fib_matches_linear_reference() {
+        let mut n = NodeInfo::new("r1");
+        n.set_route(Prefix::DEFAULT, 0);
+        n.set_route(Prefix::new(Addr::new(10, 0, 0, 0), 8), 1);
+        n.set_route(Prefix::new(Addr::new(10, 1, 0, 0), 16), 2);
+        n.set_route(Prefix::new(Addr::new(10, 1, 2, 3), 32), 3);
+        for dst in [
+            Addr::new(10, 1, 2, 3),
+            Addr::new(10, 1, 2, 4),
+            Addr::new(10, 9, 9, 9),
+            Addr::new(8, 8, 8, 8),
+            Addr::UNSPECIFIED,
+        ] {
+            assert_eq!(n.route_for(dst), n.route_for_linear(dst), "dst {dst}");
+        }
     }
 }

@@ -16,6 +16,43 @@ fn arb_prefix() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(a, len)| Prefix::new(Addr(a), len))
 }
 
+/// One mutation against a routing table / address set, for driving the
+/// compiled-FIB equivalence test below.
+#[derive(Clone, Debug)]
+enum FibOp {
+    Set(Prefix, usize),
+    Remove(Prefix),
+    AddAddr(Addr),
+    RemoveAddr(Addr),
+}
+
+/// Addresses drawn from a handful of high bits so random prefixes actually
+/// overlap and contain each other, instead of being scattered across 2^32.
+fn clustered_addr() -> impl Strategy<Value = Addr> {
+    prop_oneof![
+        (0u32..8, any::<u32>()).prop_map(|(hi, lo)| Addr((hi << 29) | (lo & 0x1FFF_FFFF))),
+        arb_addr(),
+    ]
+}
+
+fn clustered_prefix() -> impl Strategy<Value = Prefix> {
+    // The vendored prop_oneof! has no weights; repeating an arm biases the
+    // draw. Extra weight lands on len 0 (Prefix::DEFAULT-style catch-alls)
+    // and len 32 (host routes) — the LPM edge lengths.
+    let len = prop_oneof![0u8..=32, 0u8..=32, Just(0u8), Just(32u8)];
+    (clustered_addr(), len).prop_map(|(a, l)| Prefix::new(a, l))
+}
+
+fn arb_fib_op() -> impl Strategy<Value = FibOp> {
+    prop_oneof![
+        (clustered_prefix(), 0usize..8).prop_map(|(p, l)| FibOp::Set(p, l)),
+        (clustered_prefix(), 0usize..8).prop_map(|(p, l)| FibOp::Set(p, l)),
+        clustered_prefix().prop_map(FibOp::Remove),
+        clustered_addr().prop_map(FibOp::AddAddr),
+        clustered_addr().prop_map(FibOp::RemoveAddr),
+    ]
+}
+
 proptest! {
     /// Longest-prefix match agrees with a naive scan over all matching
     /// entries.
@@ -61,6 +98,65 @@ proptest! {
             }
             other => prop_assert!(false, "mismatch {other:?}"),
         }
+    }
+
+    /// The compiled FIB stays equivalent to the linear reference scan across
+    /// arbitrary interleavings of route replacement, route removal, and
+    /// address churn — the generation counter must invalidate the FIB on
+    /// every mutation kind, never just the first.
+    #[test]
+    fn compiled_fib_tracks_linear_reference(
+        ops in prop::collection::vec(arb_fib_op(), 1..40),
+        probes in prop::collection::vec(clustered_addr(), 1..8),
+    ) {
+        let mut info = NodeInfo::new("fib");
+        for op in &ops {
+            match *op {
+                FibOp::Set(p, l) => info.set_route(p, l),
+                FibOp::Remove(p) => { info.remove_route(p); }
+                FibOp::AddAddr(a) => info.add_addr(a),
+                FibOp::RemoveAddr(a) => { info.remove_addr(a); }
+            }
+            // Query after *every* mutation: a stale FIB from a missed
+            // generation bump would surface here, not only at the end.
+            for &dst in probes.iter().chain(info.addrs().iter()) {
+                prop_assert_eq!(
+                    info.route_for(dst),
+                    info.route_for_linear(dst),
+                    "FIB diverged on {} after {:?}",
+                    dst,
+                    op
+                );
+                prop_assert_eq!(
+                    info.owns(dst),
+                    info.addrs().contains(&dst),
+                    "owns() diverged on {}",
+                    dst
+                );
+            }
+            // Route bases are the adversarial probes for LPM tie-breaking.
+            let bases: Vec<Addr> = info.routes().iter().map(|&(p, _)| p.addr).collect();
+            for dst in bases {
+                prop_assert_eq!(info.route_for(dst), info.route_for_linear(dst));
+            }
+        }
+    }
+
+    /// A default route is matched by every address, and a host route beats
+    /// it through the compiled FIB exactly as through the linear scan.
+    #[test]
+    fn default_route_is_matched_through_fib(dst in arb_addr(), host in arb_addr()) {
+        let mut info = NodeInfo::new("default");
+        info.set_route(Prefix::DEFAULT, 1);
+        prop_assert_eq!(info.route_for(dst), Some(1));
+        info.set_route(Prefix::new(host, 32), 2);
+        let expect = if dst == host { Some(2) } else { Some(1) };
+        prop_assert_eq!(info.route_for(dst), expect);
+        prop_assert_eq!(info.route_for(dst), info.route_for_linear(dst));
+        info.remove_route(Prefix::DEFAULT);
+        let expect = if dst == host { Some(2) } else { None };
+        prop_assert_eq!(info.route_for(dst), expect);
+        prop_assert_eq!(info.route_for(dst), info.route_for_linear(dst));
     }
 
     /// Prefix contains() is consistent with mask arithmetic, and

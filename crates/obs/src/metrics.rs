@@ -1,8 +1,11 @@
 //! The metrics registry: named counters, gauges and log2 histograms.
 //!
-//! Unlike event tracing, counters are **always on** — they are cheap (one
-//! map lookup on cold paths like packet drops) and they feed the
-//! deterministic `drops_*` breakdown attached to every `RunReport`.
+//! Unlike event tracing, counters are **always on** — they are cheap and
+//! they feed the deterministic `drops_*` breakdown attached to every
+//! `RunReport`. Hot paths (packet drops, engine dispatch, HARQ) use
+//! pre-registered [`CounterId`] handles that bump a plain indexed cell;
+//! the string-keyed [`counter_add`] stays for cold call sites, and both
+//! feed the same snapshot.
 //! Gauges and histograms may carry wall-clock values (worker timings);
 //! those never enter the deterministic trace, only the optional
 //! `--metrics` snapshot.
@@ -135,6 +138,66 @@ impl MetricsSnapshot {
 
 thread_local! {
     static REGISTRY: RefCell<MetricsSnapshot> = RefCell::new(MetricsSnapshot::default());
+    /// Per-thread cells for interned counters, indexed by [`CounterId`].
+    /// Folded into the named-counter snapshot by [`take`].
+    static CELLS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide intern table: id → counter name. Registration is rare
+/// (once per call site); the hot path never touches this.
+static INTERNED: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+
+/// A pre-registered counter handle. [`CounterId::add`] bumps a plain
+/// thread-local cell indexed by id — no string hashing, no map lookup —
+/// so counters on per-event hot paths (drops, engine dispatch, HARQ) cost
+/// an array index. The cells are folded back into the named snapshot at
+/// [`take`], so consumers (the `drops_*` breakdown, `--metrics`) see the
+/// same `BTreeMap<String, u64>` regardless of which API fed it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+impl CounterId {
+    /// Add `n` to this counter on the current thread.
+    #[inline]
+    pub fn add(self, n: u64) {
+        CELLS.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.len() <= self.0 {
+                c.resize(self.0 + 1, 0);
+            }
+            c[self.0] += n;
+        });
+    }
+}
+
+/// Intern `name`, returning its stable [`CounterId`]. Registering the
+/// same name twice returns the same id, so call sites can cache the
+/// result in a `OnceLock` without coordinating.
+pub fn register_counter(name: &'static str) -> CounterId {
+    let mut t = INTERNED.lock().expect("intern table poisoned");
+    if let Some(i) = t.iter().position(|&n| n == name) {
+        return CounterId(i);
+    }
+    t.push(name);
+    CounterId(t.len() - 1)
+}
+
+/// Fold this thread's interned-counter cells into its named registry
+/// (zeroing the cells). Called by [`take`].
+fn fold_cells(snap: &mut MetricsSnapshot) {
+    CELLS.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.iter().all(|&v| v == 0) {
+            return;
+        }
+        let names = INTERNED.lock().expect("intern table poisoned");
+        for (i, v) in c.iter_mut().enumerate() {
+            if *v != 0 {
+                *snap.counters.entry(names[i].to_string()).or_insert(0) += *v;
+                *v = 0;
+            }
+        }
+    });
 }
 
 /// Whether the runner wants full metrics snapshots merged into table meta
@@ -187,10 +250,13 @@ pub fn observe(name: &str, v: f64) {
     });
 }
 
-/// Drain this thread's registry, returning everything accumulated since
+/// Drain this thread's registry — named counters, gauges, histograms and
+/// the interned-counter cells — returning everything accumulated since
 /// the last take.
 pub fn take() -> MetricsSnapshot {
-    REGISTRY.with(|r| std::mem::take(&mut *r.borrow_mut()))
+    let mut snap = REGISTRY.with(|r| std::mem::take(&mut *r.borrow_mut()));
+    fold_cells(&mut snap);
+    snap
 }
 
 /// Merge a drained registry (e.g. from a worker thread) into this
@@ -284,6 +350,21 @@ mod tests {
         assert_eq!(drops.len(), 2);
         assert_eq!(drops["queue"], 1);
         assert_eq!(drops["ttl"], 2);
+    }
+
+    #[test]
+    fn interned_counters_fold_into_the_snapshot() {
+        let _ = take();
+        let id = register_counter("test_interned");
+        let same = register_counter("test_interned");
+        assert_eq!(id, same, "re-registration returns the same handle");
+        id.add(2);
+        same.add(3);
+        counter_add("test_interned", 1); // the string API merges with it
+        let snap = take();
+        assert_eq!(snap.counters["test_interned"], 6);
+        // The cells drained: a fresh take sees nothing.
+        assert!(!take().counters.contains_key("test_interned"));
     }
 
     #[test]

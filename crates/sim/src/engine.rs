@@ -8,16 +8,28 @@
 //! * events fire in non-decreasing time order;
 //! * events scheduled for the same instant fire in the order they were
 //!   scheduled (FIFO tie-break on sequence number);
-//! * cancellation is supported via [`EventKey`] tombstones, so canceling a
-//!   timer is O(1) and does not disturb the heap.
+//! * cancellation via [`EventKey`] marks the event's slab slot vacant in
+//!   O(1) — no per-pop hash probing; the heap key left behind is discarded
+//!   when it surfaces (its slot no longer matches its sequence number).
+//!
+//! Dispatch order is decided purely by the `(at, seq)` pairs in the heap,
+//! which the slab restructuring does not touch — so event order (and with
+//! it every golden and jobs-invariance check) is bit-identical to the old
+//! heap-of-payloads + tombstone-set implementation.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifies a scheduled event so it can be canceled before it fires.
+/// Internally `(slot, seq)`: the slot indexes the queue's slab, and the
+/// sequence number guards against slot reuse — a key whose event already
+/// fired (or was canceled) can never touch the slot's next occupant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventKey(u64);
+pub struct EventKey {
+    slot: u32,
+    seq: u64,
+}
 
 /// The mutable state of a simulation, driven by events of type `Self::Event`.
 pub trait World {
@@ -29,35 +41,47 @@ pub trait World {
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
-struct Scheduled<E> {
+/// A heap entry: just the ordering key plus the slab slot holding the
+/// payload. Ordered by `(at, seq)` — earliest time first, then lowest
+/// sequence number (FIFO among same-time events); `seq` is unique, so the
+/// slot never participates in ordering.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
     at: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-// Ordering for the max-heap wrapped in `Reverse`: earliest time first, then
-// lowest sequence number (FIFO among same-time events).
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Scheduled<E> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// A priority queue of future events.
+/// One slab entry. `event: None` means vacant (fired or canceled); `seq`
+/// stays behind as the reuse guard — a heap key or [`EventKey`] only acts
+/// on the slot while its sequence number matches.
+struct Slot<E> {
+    seq: u64,
+    event: Option<E>,
+}
+
+/// A priority queue of future events: a slab of scheduled payloads indexed
+/// by a heap of `(time, seq)` keys. Cancellation vacates the slab slot by
+/// index — O(1), no hashing — and the orphaned heap key is discarded
+/// whenever it reaches the top.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
-    canceled: HashSet<u64>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    slots: Vec<Slot<E>>,
+    /// Vacant slab indices, reused LIFO.
+    free: Vec<u32>,
+    /// Number of scheduled, not-yet-canceled events.
+    live: usize,
     next_seq: u64,
     now: SimTime,
 }
@@ -72,7 +96,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            canceled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -96,8 +122,26 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot {
+                    seq,
+                    event: Some(event),
+                };
+                i
+            }
+            None => {
+                debug_assert!(self.slots.len() < u32::MAX as usize);
+                self.slots.push(Slot {
+                    seq,
+                    event: Some(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Reverse(HeapKey { at, seq, slot }));
+        self.live += 1;
+        EventKey { slot, seq }
     }
 
     /// Schedule `event` after a relative delay from now.
@@ -111,16 +155,23 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now, event)
     }
 
-    /// Cancel a previously scheduled event. Idempotent; canceling an event
-    /// that already fired is a no-op.
+    /// Cancel a previously scheduled event: vacate its slab slot by index.
+    /// Idempotent; canceling an event that already fired is a no-op (the
+    /// slot's sequence number no longer matches, or the slot is vacant).
     pub fn cancel(&mut self, key: EventKey) {
-        self.canceled.insert(key.0);
+        let s = &mut self.slots[key.slot as usize];
+        if s.seq == key.seq && s.event.is_some() {
+            s.event = None;
+            self.free.push(key.slot);
+            self.live -= 1;
+        }
     }
 
-    /// Number of pending (non-canceled tombstones still count until popped)
-    /// entries in the queue. Intended for diagnostics only.
+    /// Number of live (scheduled and not canceled) events in the queue.
+    /// Canceled events never count — `dlte-check`'s in-flight audits can
+    /// read this without knowing how cancellation is implemented.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Iterate over the pending *live* events (canceled entries are skipped),
@@ -128,38 +179,41 @@ impl<E> EventQueue<E> {
     /// in flight — e.g. packets serialized onto a link but not yet arrived —
     /// without disturbing the queue.
     pub fn iter_pending(&self) -> impl Iterator<Item = &E> {
-        self.heap
-            .iter()
-            .filter(|Reverse(s)| !self.canceled.contains(&s.seq))
-            .map(|Reverse(s)| &s.event)
+        self.slots.iter().filter_map(|s| s.event.as_ref())
     }
 
-    /// True if no live events remain. Canceled tombstones at the top of the
-    /// heap are purged first, so a queue whose only entries were canceled
-    /// reports empty rather than a phantom event.
-    pub fn is_empty(&mut self) -> bool {
-        self.purge_canceled_top();
-        self.heap.is_empty()
+    /// True if no live events remain. Orphaned heap keys of canceled events
+    /// are invisible here: the live count already excludes them, so a queue
+    /// whose only entries were canceled reports empty, never a phantom
+    /// event.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 
     /// Firing time of the next live event, if any. Never reports a canceled
-    /// event's time: tombstones at the heap top are lazily discarded here,
-    /// exactly as `pop` would.
+    /// event's time: orphaned heap keys at the top are lazily discarded
+    /// here, exactly as `pop` would.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.purge_canceled_top();
-        self.heap.peek().map(|Reverse(s)| s.at)
+        self.purge_stale_top();
+        self.heap.peek().map(|Reverse(k)| k.at)
     }
 
-    /// Drop canceled entries off the heap top until a live event (or nothing)
-    /// is exposed. Amortized O(1): each tombstone is popped at most once over
-    /// the queue's lifetime, whether here or in `pop_at_or_before`.
-    fn purge_canceled_top(&mut self) {
-        while let Some(Reverse(s)) = self.heap.peek() {
-            if !self.canceled.contains(&s.seq) {
+    /// Whether this heap key still refers to the event it was pushed for.
+    fn key_is_live(&self, k: HeapKey) -> bool {
+        let s = &self.slots[k.slot as usize];
+        s.seq == k.seq && s.event.is_some()
+    }
+
+    /// Drop canceled events' orphaned keys off the heap top until a live
+    /// key (or nothing) is exposed. Amortized O(1): each key is popped at
+    /// most once over the queue's lifetime, whether here or in
+    /// `pop_at_or_before`.
+    fn purge_stale_top(&mut self) {
+        while let Some(&Reverse(k)) = self.heap.peek() {
+            if self.key_is_live(k) {
                 break;
             }
-            let Reverse(s) = self.heap.pop().expect("peeked entry vanished");
-            self.canceled.remove(&s.seq);
+            self.heap.pop();
         }
     }
 
@@ -167,24 +221,28 @@ impl<E> EventQueue<E> {
         self.pop_at_or_before(SimTime::MAX)
     }
 
-    /// Pop the next live event if it fires at or before `horizon`. Canceled
-    /// tombstones encountered along the way are discarded regardless of their
-    /// time, so the queue never dispatches a live event past the horizon just
-    /// because a tombstone preceded it.
+    /// Pop the next live event if it fires at or before `horizon`. Orphaned
+    /// keys of canceled events are discarded along the way regardless of
+    /// their time, so the queue never reports a horizon stop just because a
+    /// canceled key preceded the next live event.
     fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         loop {
-            let next_at = self.heap.peek().map(|Reverse(s)| s.at)?;
-            let Reverse(s) = self.heap.pop().expect("peeked entry vanished");
-            if self.canceled.remove(&s.seq) {
+            let &Reverse(k) = self.heap.peek()?;
+            if !self.key_is_live(k) {
+                self.heap.pop();
                 continue;
             }
-            if next_at > horizon {
-                // Live event beyond the horizon: push it back and stop.
-                self.heap.push(Reverse(s));
+            if k.at > horizon {
+                // Live event beyond the horizon: leave it in place.
                 return None;
             }
-            self.now = s.at;
-            return Some((s.at, s.event));
+            self.heap.pop();
+            let s = &mut self.slots[k.slot as usize];
+            let event = s.event.take().expect("live key's slot vanished");
+            self.free.push(k.slot);
+            self.live -= 1;
+            self.now = k.at;
+            return Some((k.at, event));
         }
     }
 }
@@ -290,7 +348,11 @@ impl<W: World> Simulation<W> {
         };
         let covered = self.queue.now().saturating_since(started_at);
         crate::report::note(dispatched, covered.as_nanos());
-        dlte_obs::metrics::counter_add("engine_events", dispatched);
+        static ENGINE_EVENTS: std::sync::OnceLock<dlte_obs::metrics::CounterId> =
+            std::sync::OnceLock::new();
+        ENGINE_EVENTS
+            .get_or_init(|| dlte_obs::metrics::register_counter("engine_events"))
+            .add(dispatched);
         dlte_obs::metrics::observe("engine_queue_depth", self.queue.pending() as f64);
         outcome
     }
@@ -445,8 +507,41 @@ mod tests {
             .collect();
         tags.sort_unstable();
         assert_eq!(tags, vec![1, 3]);
-        // Iteration is read-only: the queue still pops everything live.
-        assert_eq!(queue.pending(), 3, "tombstone still buried in the heap");
+        // `pending` agrees with the audit view: canceled events are gone.
+        assert_eq!(queue.pending(), 2, "only live events count as pending");
+    }
+
+    #[test]
+    fn pending_counts_live_events_only() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let a = queue.schedule_at(SimTime::from_millis(1), Ev::Tag(1));
+        let b = queue.schedule_at(SimTime::from_millis(2), Ev::Tag(2));
+        assert_eq!(queue.pending(), 2);
+        queue.cancel(a);
+        assert_eq!(queue.pending(), 1, "cancellation drops the live count");
+        queue.cancel(a); // idempotent
+        assert_eq!(queue.pending(), 1);
+        queue.cancel(b);
+        assert_eq!(queue.pending(), 0);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_stale_keys() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let dead = queue.schedule_at(SimTime::from_millis(1), Ev::Tag(1));
+        queue.cancel(dead);
+        // The new event reuses the vacated slot; the stale key must not be
+        // able to cancel it, and the orphaned heap key must not dispatch it
+        // early.
+        queue.schedule_at(SimTime::from_millis(5), Ev::Tag(2));
+        queue.cancel(dead);
+        assert_eq!(queue.pending(), 1, "stale cancel is a no-op");
+        assert_eq!(queue.peek_time(), Some(SimTime::from_millis(5)));
+        let (at, ev) = queue.pop().expect("live event");
+        assert_eq!(at, SimTime::from_millis(5));
+        assert!(matches!(ev, Ev::Tag(2)));
+        assert!(queue.is_empty());
     }
 
     #[test]

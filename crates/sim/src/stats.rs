@@ -6,6 +6,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Running mean / variance via Welford's online algorithm.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -100,10 +101,50 @@ impl Welford {
 }
 
 /// Exact sample collector with percentile queries.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// Percentile queries on an unsorted collector build a sorted view once and
+/// cache it behind a `RefCell`, so read-only reporting paths that ask for a
+/// handful of quantiles (p50/p95/p99/min/max) sort at most once between
+/// pushes instead of cloning and sorting per query. The cache is interior
+/// state only: it never serializes, and pushes invalidate it.
+#[derive(Clone, Debug, Default)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
+    sorted_view: RefCell<Option<Vec<f64>>>,
+}
+
+// Manual impls keep the wire shape of the old derive (`values` + `sorted`)
+// while leaving the query cache out of the serialized form — the vendored
+// serde derive has no `#[serde(skip)]`.
+impl Serialize for Samples {
+    fn serialize_value(&self) -> serde::value::Value {
+        let mut m = serde::value::Map::new();
+        m.insert("values".into(), self.values.serialize_value());
+        m.insert("sorted".into(), self.sorted.serialize_value());
+        serde::value::Value::Object(m)
+    }
+}
+
+impl Deserialize for Samples {
+    fn deserialize_value(v: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::de::Error::custom("expected Samples object"))?;
+        let values = match m.get("values") {
+            Some(x) => Vec::<f64>::deserialize_value(x)?,
+            None => Vec::new(),
+        };
+        let sorted = match m.get("sorted") {
+            Some(x) => bool::deserialize_value(x)?,
+            None => false,
+        };
+        Ok(Samples {
+            values,
+            sorted,
+            sorted_view: RefCell::new(None),
+        })
+    }
 }
 
 impl Samples {
@@ -111,12 +152,14 @@ impl Samples {
         Samples {
             values: Vec::new(),
             sorted: true,
+            sorted_view: RefCell::new(None),
         }
     }
 
     pub fn push(&mut self, x: f64) {
         self.values.push(x);
         self.sorted = false;
+        *self.sorted_view.get_mut() = None;
     }
 
     /// Record a duration in milliseconds (the unit the experiment tables use
@@ -155,11 +198,12 @@ impl Samples {
         }
     }
 
-    /// `q`-quantile in \[0,1\] without mutating the collector: reads the
-    /// cached order when the samples are already sorted, otherwise sorts a
-    /// copy on query. Read-only reporting paths (e.g. `&TraceStats`) use
-    /// this; hot loops that query repeatedly should call [`Samples::quantile`]
-    /// once to cache the sort.
+    /// `q`-quantile in \[0,1\] without mutating the observable collector:
+    /// reads the samples directly when they are already sorted, otherwise
+    /// sorts a copy once and caches it until the next push. Repeated
+    /// read-only queries between pushes (the reporting pattern: p50, p95,
+    /// p99, min, max off the same collector) therefore sort once, not once
+    /// per query.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.values.is_empty() {
             return f64::NAN;
@@ -167,9 +211,13 @@ impl Samples {
         if self.sorted {
             return Self::interpolate(&self.values, q);
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        Self::interpolate(&sorted, q)
+        let mut view = self.sorted_view.borrow_mut();
+        let sorted = view.get_or_insert_with(|| {
+            let mut v = self.values.clone();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            v
+        });
+        Self::interpolate(sorted, q)
     }
 
     /// `q`-quantile in \[0,1\], sorting in place once so repeated queries are
@@ -182,6 +230,8 @@ impl Samples {
             self.values
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
+            // The stored order now serves queries directly.
+            *self.sorted_view.get_mut() = None;
         }
         Self::interpolate(&self.values, q)
     }
@@ -483,6 +533,35 @@ mod tests {
         assert_eq!(s.min(), 1.0);
         assert_eq!(s.max(), 4.0);
         assert!(Samples::new().percentile(0.5).is_nan());
+    }
+
+    #[test]
+    fn percentile_cache_survives_interleaved_pushes() {
+        let mut s = Samples::new();
+        // Interleave pushes with read-only queries: every query after a push
+        // must see the new sample (the cached view must not go stale).
+        let mut reference = Vec::new();
+        for (i, x) in [5.0, 1.0, 9.0, 3.0, 7.0, 2.0].into_iter().enumerate() {
+            s.push(x);
+            reference.push(x);
+            let mut sorted = reference.clone();
+            sorted.sort_by(|a: &f64, b: &f64| a.partial_cmp(b).unwrap());
+            assert_eq!(s.min(), sorted[0], "after push {i}");
+            assert_eq!(s.max(), *sorted.last().unwrap(), "after push {i}");
+            // Repeated queries between pushes hit the cached view and agree.
+            assert_eq!(s.percentile(0.5), s.percentile(0.5));
+        }
+        // Stored order is untouched by all those read-only queries.
+        assert_eq!(s.values(), &[5.0, 1.0, 9.0, 3.0, 7.0, 2.0]);
+        // Round-trip drops the cache but preserves samples and order.
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            !json.contains("sorted_view"),
+            "cache must not serialize: {json}"
+        );
+        let back: Samples = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.values(), s.values());
+        assert_eq!(back.median(), s.median());
     }
 
     #[test]

@@ -16,7 +16,127 @@ impl World for Sink {
     }
 }
 
+/// One phase of the slab-queue equivalence test: schedule a batch, cancel
+/// some keys (live, already-fired, or already-canceled — all must be safe),
+/// then advance the clock.
+#[derive(Clone, Debug)]
+struct Phase {
+    /// Schedule offsets from the phase base, in nanoseconds.
+    schedule: Vec<u64>,
+    /// Indices (mod keys-so-far) of keys to cancel after scheduling.
+    cancel: Vec<usize>,
+    /// How far past the base this phase's run_until horizon reaches.
+    advance: u64,
+}
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    (
+        prop::collection::vec(0u64..50_000, 0..20),
+        prop::collection::vec(0usize..1000, 0..10),
+        1u64..60_000,
+    )
+        .prop_map(|(schedule, cancel, advance)| Phase {
+            schedule,
+            cancel,
+            advance,
+        })
+}
+
+/// Reference model of one scheduled event.
+#[derive(Clone, Debug)]
+struct ModelEntry {
+    at: SimTime,
+    id: u32,
+    canceled: bool,
+    fired: bool,
+}
+
+/// World that records (time, id) of every dispatched event.
+struct Recorder {
+    fired: Vec<(SimTime, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, id: u32, _q: &mut EventQueue<u32>) {
+        self.fired.push((now, id));
+    }
+}
+
 proptest! {
+    /// The slab-indexed queue agrees exactly — dispatch order, times, and
+    /// pending counts — with a naive reference model (a flat list stably
+    /// ordered by (time, schedule sequence)) across arbitrary interleavings
+    /// of scheduling, cancellation, and horizon advances. Cancels may target
+    /// keys that already fired or were already canceled; both must be no-ops
+    /// even after the underlying slot has been reused.
+    #[test]
+    fn slab_queue_matches_reference_model(phases in prop::collection::vec(arb_phase(), 1..8)) {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        let mut keys = Vec::new();
+        let mut model: Vec<ModelEntry> = Vec::new();
+        let mut base = 0u64;
+        for phase in &phases {
+            for &off in &phase.schedule {
+                let at = SimTime::from_nanos(base + off);
+                let id = model.len() as u32;
+                keys.push(sim.queue_mut().schedule_at(at, id));
+                model.push(ModelEntry { at, id, canceled: false, fired: false });
+            }
+            for &pick in &phase.cancel {
+                if keys.is_empty() {
+                    continue;
+                }
+                let i = pick % keys.len();
+                sim.queue_mut().cancel(keys[i]);
+                // The model only retires live entries: canceling a fired or
+                // already-canceled key must change nothing.
+                let e = &mut model[i];
+                if !e.fired && !e.canceled {
+                    e.canceled = true;
+                }
+            }
+            // Peek agrees with the model's next live entry before running.
+            let next_live = model
+                .iter()
+                .filter(|e| !e.fired && !e.canceled)
+                .map(|e| e.at)
+                .min();
+            prop_assert_eq!(sim.queue_mut().peek_time(), next_live);
+
+            let horizon = SimTime::from_nanos(base + phase.advance);
+            sim.run_until(horizon, 100_000);
+            // Entries are ordered by (at, seq) and seq is insertion order,
+            // so a stable in-order scan marks exactly what must have fired.
+            for e in model.iter_mut() {
+                if !e.canceled && !e.fired && e.at <= horizon {
+                    e.fired = true;
+                }
+            }
+            let live = model.iter().filter(|e| !e.fired && !e.canceled).count();
+            prop_assert_eq!(sim.queue_mut().pending(), live, "pending after phase");
+            prop_assert_eq!(sim.queue_mut().is_empty(), live == 0);
+            base += phase.advance;
+        }
+        sim.run_to_completion(100_000);
+        for e in model.iter_mut() {
+            if !e.canceled {
+                e.fired = true;
+            }
+        }
+        // Exact dispatch order: the model sorted stably by time (sequence
+        // breaks ties via the stable sort) must match what actually fired.
+        let mut expect: Vec<(SimTime, u32)> = model
+            .iter()
+            .filter(|e| e.fired)
+            .map(|e| (e.at, e.id))
+            .collect();
+        expect.sort_by_key(|&(at, _)| at);
+        prop_assert_eq!(&sim.world().fired, &expect);
+        prop_assert!(sim.queue_mut().is_empty());
+        prop_assert_eq!(sim.queue_mut().pending(), 0);
+    }
+
     /// Events always fire in non-decreasing time order, whatever order they
     /// were scheduled in.
     #[test]

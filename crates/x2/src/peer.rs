@@ -178,14 +178,23 @@ impl X2Agent {
                 self.recompute_share();
             }
             X2Msg::SetupResponse { from, status } | X2Msg::LoadInformation { from, status } => {
-                self.peer_state.insert(
+                let prev = self.peer_state.insert(
                     from,
                     PeerState {
                         status,
                         last_seen: ctx.now,
                     },
                 );
-                self.recompute_share();
+                // Steady-state reports dominate X2 traffic (every peer, every
+                // interval). A report that neither adds a peer nor changes
+                // its advertised status cannot move the fair share — my own
+                // demand only changes under the tick, which recomputes
+                // unconditionally — so the O(peers log peers) recompute is
+                // skipped for them. With n APs this turns each interval's
+                // share maintenance from n² recomputes into n.
+                if prev.is_none_or(|p| p.status != status) {
+                    self.recompute_share();
+                }
             }
             X2Msg::MeasurementReport { from, reports } => {
                 self.peer_measurements.insert(from, reports);

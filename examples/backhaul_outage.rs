@@ -32,7 +32,7 @@ fn main() {
 
     // The fault: AP0's backhaul dies at t=5 s; the regional IGP reconverges
     // the downlink toward AP0's pool two seconds later.
-    let ap0_addr = net.sim.world().core.nodes[net.aps[0]].addrs[0];
+    let ap0_addr = net.sim.world().core.nodes[net.aps[0]].addrs()[0];
     let fail = SimTime::from_secs(5);
     let reconverge = SimTime::from_secs(7);
     let actions = vec![
