@@ -1,21 +1,22 @@
 //! The unified experiment runner.
 //!
 //! ```text
-//! dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]
+//! dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]
 //! dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]
-//! dlte-run bench [id...] [--sizes N,N,...] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]
-//! dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]
+//! dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]
+//! dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE]
 //! dlte-run --list
 //! ```
 //!
 //! Resolves experiments through `dlte::experiments::registry`, runs each one
 //! instrumented (wall clock, events dispatched, simulated time — attached to
 //! the table as `meta`), and prints tables as text or JSON. `--jobs` sets the
-//! thread count parallel sweeps fan out to; results are bit-identical for any
-//! value. `--trace FILE` writes the structured event trace as JSONL (also
-//! jobs-invariant); `--metrics` attaches the full metrics snapshot to each
-//! table's `meta`; `profile` writes per-experiment timing to
-//! `BENCH_profile.json`.
+//! thread count parallel sweeps fan out to; `--shards` splits every
+//! simulation the run builds across N engine shards (0 = one per CPU core);
+//! results are bit-identical for any value of either. `--trace FILE` writes
+//! the structured event trace as JSONL (also jobs- and shards-invariant);
+//! `--metrics` attaches the full metrics snapshot to each table's `meta`;
+//! `profile` writes per-experiment timing to `BENCH_profile.json`.
 
 use dlte_bench::runner;
 
@@ -35,8 +36,8 @@ fn main() {
         std::process::exit(if ok { 0 } else { 1 });
     }
     // `bench` likewise: a topology-size macro-benchmark written to
-    // BENCH_fabric.json (with optional --baseline comparison), not a
-    // registry table run.
+    // BENCH_fabric.json (e15, with optional --baseline comparison) or
+    // BENCH_shard.json (e16 shard sweep), not a registry table run.
     if std::env::args().nth(1).as_deref() == Some("bench") {
         let inv = match runner::parse_bench_args(std::env::args().skip(2)) {
             Ok(inv) => inv,
@@ -45,20 +46,21 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let doc = match runner::run_bench(&inv) {
+        let doc = match runner::run_bench_doc(&inv) {
             Ok(doc) => doc,
             Err(msg) => {
                 eprintln!("dlte-run: {msg}");
                 std::process::exit(1);
             }
         };
+        let out = inv.out_path();
         let json = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
-        if let Err(e) = std::fs::write(&inv.out, &json) {
-            eprintln!("dlte-run: writing {}: {e}", inv.out);
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("dlte-run: writing {out}: {e}");
             std::process::exit(1);
         }
-        print!("{}", runner::render_bench(&doc));
-        eprintln!("dlte-run: wrote {}", inv.out);
+        print!("{}", runner::render_bench_doc(&doc));
+        eprintln!("dlte-run: wrote {out}");
         return;
     }
     let inv = match runner::parse_args(std::env::args().skip(1)) {

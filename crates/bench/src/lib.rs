@@ -38,6 +38,10 @@ pub mod runner {
         /// Profile mode (`dlte-run profile <id...>`): run the targets and
         /// write per-experiment timing to `BENCH_profile.json`.
         pub profile: bool,
+        /// Engine shard count for every simulation built by this run
+        /// (`--shards N`; 0 = one shard per CPU core). Results are
+        /// bit-identical for any value.
+        pub shards: Option<usize>,
     }
 
     impl Default for Invocation {
@@ -52,11 +56,12 @@ pub mod runner {
                 trace: None,
                 metrics: false,
                 profile: false,
+                shards: None,
             }
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--out DIR] [--repro FILE]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -80,6 +85,13 @@ pub mod runner {
                         return Err("--jobs must be at least 1".into());
                     }
                     inv.jobs = Some(n);
+                }
+                "--shards" => {
+                    let v = args
+                        .next()
+                        .ok_or("--shards needs a shard count (0 = per-CPU)")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --shards value {v:?}"))?;
+                    inv.shards = Some(n);
                 }
                 "--seed" => {
                     let v = args.next().ok_or("--seed needs a value")?;
@@ -152,6 +164,9 @@ pub mod runner {
     pub fn run(inv: &Invocation) -> Result<Vec<Table>, ExperimentError> {
         if let Some(n) = inv.jobs {
             dlte_sim::set_jobs(n);
+        }
+        if let Some(n) = inv.shards {
+            dlte_sim::set_shards(n);
         }
         dlte_obs::metrics::set_capture(inv.metrics);
         if inv.trace.is_some() {
@@ -266,26 +281,35 @@ pub mod runner {
     }
 
     /// Experiments whose `Params` accept a `sizes` topology sweep — the
-    /// only valid `dlte-run bench` targets.
-    pub const SIZEABLE: &[&str] = &["e15"];
+    /// only valid `dlte-run bench` targets. `e15` sweeps architectures
+    /// into `BENCH_fabric.json`; `e16` sweeps engine shard counts into
+    /// `BENCH_shard.json`.
+    pub const SIZEABLE: &[&str] = &["e15", "e16"];
 
     /// A parsed `dlte-run bench` command line: a macro-benchmark sweep
-    /// over topology sizes, written to `BENCH_fabric.json` (or `--out`).
+    /// over topology sizes, written to `BENCH_fabric.json` (or, for the
+    /// shard sweep, `BENCH_shard.json`; override with `--out`).
     /// `--baseline FILE` loads a previous document and attaches
     /// per-(arch, size) events/sec speedups against its runs.
     #[derive(Clone, Debug, PartialEq)]
     pub struct BenchInvocation {
         /// Bench targets; every id must be in [`SIZEABLE`].
         pub targets: Vec<String>,
-        /// Topology sizes (approximate node counts) to sweep.
+        /// Topology sizes to sweep (approximate node counts for `e15`,
+        /// total UE counts for `e16`).
         pub sizes: Vec<usize>,
         pub seed: Option<u64>,
         /// Simulated seconds per arm (`--total`).
         pub total_s: Option<f64>,
-        /// Output document path.
-        pub out: String,
-        /// Previous `BENCH_fabric.json` to compare against.
+        /// Output document path; `None` picks the target's default name.
+        pub out: Option<String>,
+        /// Previous `BENCH_fabric.json` to compare against (`e15` only).
         pub baseline: Option<String>,
+        /// Engine shard counts each size runs at (`e16` only).
+        pub shards: Option<Vec<usize>>,
+        /// UEs homed on each AP (`e16` only); the AP count follows as
+        /// `size / ues_per_ap`.
+        pub ues_per_ap: Option<usize>,
     }
 
     impl Default for BenchInvocation {
@@ -295,8 +319,22 @@ pub mod runner {
                 sizes: vec![50, 200, 1000],
                 seed: None,
                 total_s: None,
-                out: "BENCH_fabric.json".to_string(),
+                out: None,
                 baseline: None,
+                shards: None,
+                ues_per_ap: None,
+            }
+        }
+    }
+
+    impl BenchInvocation {
+        /// Where the document goes: `--out` if given, else the default
+        /// name for the target kind.
+        pub fn out_path(&self) -> &str {
+            match &self.out {
+                Some(p) => p,
+                None if self.targets.iter().any(|t| t == "e16") => "BENCH_shard.json",
+                None => "BENCH_fabric.json",
             }
         }
     }
@@ -335,10 +373,31 @@ pub mod runner {
                     inv.total_s = Some(t);
                 }
                 "--out" => {
-                    inv.out = args.next().ok_or("--out needs a file path")?;
+                    inv.out = Some(args.next().ok_or("--out needs a file path")?);
                 }
                 "--baseline" => {
                     inv.baseline = Some(args.next().ok_or("--baseline needs a file path")?);
+                }
+                "--shards" => {
+                    let v = args.next().ok_or("--shards needs a list like 1,2,4")?;
+                    let shards: Result<Vec<usize>, _> =
+                        v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                    let shards =
+                        shards.map_err(|_| format!("bad --shards value {v:?} (want 1,2,4)"))?;
+                    if shards.is_empty() || shards.contains(&0) {
+                        return Err(format!("--shards must be positive shard counts, got {v:?}"));
+                    }
+                    inv.shards = Some(shards);
+                }
+                "--ues-per-ap" => {
+                    let v = args.next().ok_or("--ues-per-ap needs a count")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad --ues-per-ap value {v:?}"))?;
+                    if n == 0 {
+                        return Err("--ues-per-ap must be at least 1".into());
+                    }
+                    inv.ues_per_ap = Some(n);
                 }
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown bench flag {flag:?}\n{USAGE}"));
@@ -349,6 +408,7 @@ pub mod runner {
         if !targets.is_empty() {
             inv.targets = targets;
         }
+        let mut kinds = std::collections::BTreeSet::new();
         for id in &inv.targets {
             // Unknown ids get the registry's error; known-but-unsizeable
             // ids get told which experiments bench can sweep.
@@ -361,6 +421,28 @@ pub mod runner {
                     SIZEABLE.join(", ")
                 ));
             }
+            kinds.insert(exp.id());
+        }
+        // The two bench kinds write different document shapes; one
+        // invocation produces one document.
+        if kinds.len() > 1 {
+            return Err(format!(
+                "bench targets {:?} write different documents (fabric vs shard sweep); \
+                 run them as separate invocations",
+                inv.targets
+            ));
+        }
+        let shard_sweep = kinds.contains("e16");
+        if !shard_sweep && inv.shards.is_some() {
+            return Err("--shards only applies to the shard sweep (bench e16)".into());
+        }
+        if !shard_sweep && inv.ues_per_ap.is_some() {
+            return Err("--ues-per-ap only applies to the shard sweep (bench e16)".into());
+        }
+        if shard_sweep && inv.baseline.is_some() {
+            return Err(
+                "bench e16 compares shard counts within one run and takes no --baseline".into(),
+            );
         }
         Ok(inv)
     }
@@ -391,27 +473,40 @@ pub mod runner {
     }
 
     /// Match current runs to baseline runs by (arch, size) and compute
-    /// events/sec ratios.
+    /// events/sec ratios. A baseline that cannot be compared — a current
+    /// run with no (arch, size) counterpart, or a baseline run whose
+    /// recorded throughput is not a positive finite number — is an error,
+    /// not a silently-dropped row or a 0.0 ratio.
     pub fn bench_speedups(
         baseline: &[dlte::experiments::e15_fabric_scale::BenchRun],
         runs: &[dlte::experiments::e15_fabric_scale::BenchRun],
-    ) -> Vec<Speedup> {
+    ) -> Result<Vec<Speedup>, String> {
         runs.iter()
-            .filter_map(|r| {
+            .map(|r| {
                 let b = baseline
                     .iter()
-                    .find(|b| b.arch == r.arch && b.size == r.size)?;
-                let ratio = if b.events_per_sec > 0.0 {
-                    r.events_per_sec / b.events_per_sec
-                } else {
-                    0.0
-                };
-                Some(Speedup {
+                    .find(|b| b.arch == r.arch && b.size == r.size)
+                    .ok_or_else(|| {
+                        format!(
+                            "baseline has no run for arch {:?} at size {} — it was recorded \
+                             for a different sweep; re-record it with matching --sizes",
+                            r.arch, r.size
+                        )
+                    })?;
+                if !(b.events_per_sec.is_finite() && b.events_per_sec > 0.0) {
+                    return Err(format!(
+                        "baseline run for arch {:?} at size {} records a non-positive \
+                         throughput ({} events/s) — the file is corrupt or was written \
+                         by a failed run; re-record it",
+                        b.arch, b.size, b.events_per_sec
+                    ));
+                }
+                Ok(Speedup {
                     arch: r.arch.clone(),
                     size: r.size,
                     baseline_events_per_sec: b.events_per_sec,
                     events_per_sec: r.events_per_sec,
-                    ratio,
+                    ratio: r.events_per_sec / b.events_per_sec,
                 })
             })
             .collect()
@@ -439,12 +534,34 @@ pub mod runner {
                     .map_err(|e| format!("reading --baseline {path}: {e}"))?;
                 let doc: FabricBench = serde_json::from_str(&text)
                     .map_err(|e| format!("parsing --baseline {path}: {e}"))?;
+                // Fail before the (expensive) sweep runs: a baseline
+                // recorded for different sizes can't be compared, and an
+                // empty `runs` means the file isn't a bench document at
+                // all (every field defaults, so any JSON object parses).
+                if doc.runs.is_empty() {
+                    return Err(format!(
+                        "--baseline {path} contains no runs — not a BENCH_fabric.json \
+                         document (or written by a failed run)"
+                    ));
+                }
+                if doc.sizes != p.sizes {
+                    return Err(format!(
+                        "--baseline {path} was recorded for sizes {:?} but this run sweeps \
+                         {:?}; pass matching --sizes or re-record the baseline",
+                        doc.sizes, p.sizes
+                    ));
+                }
                 doc.runs
             }
             None => Vec::new(),
         };
         let runs = e15::bench_runs(&p);
-        let speedup = bench_speedups(&baseline, &runs);
+        let speedup = if baseline.is_empty() {
+            Vec::new()
+        } else {
+            bench_speedups(&baseline, &runs)
+                .map_err(|e| format!("--baseline {}: {e}", inv.baseline.as_deref().unwrap_or("")))?
+        };
         Ok(FabricBench {
             sizes: p.sizes.clone(),
             seed: p.seed,
@@ -486,6 +603,142 @@ pub mod runner {
         out
     }
 
+    /// The `BENCH_shard.json` document: one dLTE deployment per size, run
+    /// at each shard count. The counter columns are bit-identical across
+    /// shard counts (asserted by the sweep itself); the timing columns are
+    /// this machine's.
+    #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+    #[serde(default)]
+    pub struct ShardBench {
+        pub sizes: Vec<usize>,
+        pub ues_per_ap: usize,
+        pub shard_counts: Vec<usize>,
+        pub seed: u64,
+        pub total_s: f64,
+        /// Worker threads `available_parallelism` reported on the machine
+        /// that recorded the document — context for the speedup numbers.
+        pub cores: usize,
+        pub runs: Vec<dlte::experiments::e16_shard_scale::ShardBenchRun>,
+    }
+
+    /// Execute a shard-sweep bench invocation (`bench e16`): run every
+    /// (size × shard count) combination sequentially and return the
+    /// document for `BENCH_shard.json`. The sweep itself panics if any
+    /// work counter diverges across shard counts.
+    pub fn run_shard_bench(inv: &BenchInvocation) -> Result<ShardBench, String> {
+        use dlte::experiments::e16_shard_scale as e16;
+        let mut p = e16::Params {
+            sizes: inv.sizes.clone(),
+            ..Default::default()
+        };
+        if let Some(s) = inv.seed {
+            p.seed = s;
+        }
+        if let Some(t) = inv.total_s {
+            p.total_s = t;
+        }
+        if let Some(shards) = &inv.shards {
+            p.shard_counts = shards.clone();
+        }
+        if let Some(n) = inv.ues_per_ap {
+            p.ues_per_ap = n;
+        }
+        let runs = e16::bench_runs(&p);
+        Ok(ShardBench {
+            sizes: p.sizes.clone(),
+            ues_per_ap: p.ues_per_ap,
+            shard_counts: p.shard_counts.clone(),
+            seed: p.seed,
+            total_s: p.total_s,
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            runs,
+        })
+    }
+
+    /// Human-readable shard-bench report: one line per run, plus a
+    /// per-size speedup line against that size's single-shard run.
+    pub fn render_shard_bench(doc: &ShardBench) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &doc.runs {
+            let _ = writeln!(
+                out,
+                "size {:>7} x {} shard(s) ({} nodes, {} UEs): {} events in {:.1} ms \
+                 ({:.0} events/s), {} pkts forwarded, {} delivered",
+                r.size,
+                r.shards,
+                r.nodes,
+                r.ues,
+                r.events_dispatched,
+                r.wall_ms,
+                r.events_per_sec,
+                r.packets_forwarded,
+                r.delivered
+            );
+        }
+        for &size in &doc.sizes {
+            let base = doc
+                .runs
+                .iter()
+                .find(|r| r.size == size && r.shards == 1)
+                .map(|r| r.events_per_sec);
+            if let Some(base) = base.filter(|b| *b > 0.0) {
+                for r in doc.runs.iter().filter(|r| r.size == size && r.shards > 1) {
+                    let _ = writeln!(
+                        out,
+                        "speedup size {:>7} at {} shards: {:.2}x ({:.0} -> {:.0} events/s, {} cores)",
+                        size,
+                        r.shards,
+                        r.events_per_sec / base,
+                        base,
+                        r.events_per_sec,
+                        doc.cores
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The two documents `dlte-run bench` can produce, unified so the
+    /// binary has one code path for running, rendering and writing.
+    #[derive(Clone, Debug)]
+    pub enum BenchDoc {
+        Fabric(FabricBench),
+        Shard(ShardBench),
+    }
+
+    // Untagged: each document serializes as itself, so the files on disk
+    // stay plain FabricBench / ShardBench shapes.
+    impl serde::Serialize for BenchDoc {
+        fn serialize_value(&self) -> serde_json::Value {
+            match self {
+                BenchDoc::Fabric(d) => d.serialize_value(),
+                BenchDoc::Shard(d) => d.serialize_value(),
+            }
+        }
+    }
+
+    /// Run whichever bench kind the invocation selects (`parse_bench_args`
+    /// guarantees the targets are all one kind).
+    pub fn run_bench_doc(inv: &BenchInvocation) -> Result<BenchDoc, String> {
+        if inv.targets.iter().any(|t| t == "e16") {
+            run_shard_bench(inv).map(BenchDoc::Shard)
+        } else {
+            run_bench(inv).map(BenchDoc::Fabric)
+        }
+    }
+
+    /// Render either bench document for the terminal.
+    pub fn render_bench_doc(doc: &BenchDoc) -> String {
+        match doc {
+            BenchDoc::Fabric(d) => render_bench(d),
+            BenchDoc::Shard(d) => render_shard_bench(d),
+        }
+    }
+
     /// A parsed `dlte-run fuzz` command line. Fuzz mode is a separate
     /// dispatch from the experiment registry: `dlte-run fuzz [--seeds A..B]
     /// [--out DIR]` sweeps seeds through `dlte::fuzz`, and `--repro FILE`
@@ -498,6 +751,9 @@ pub mod runner {
         pub out_dir: String,
         /// Replay this repro file instead of sweeping.
         pub repro: Option<String>,
+        /// Engine shard count for every fuzz case (`--shards N`; 0 =
+        /// per-CPU). Oracles and evidence are bit-identical for any value.
+        pub shards: Option<usize>,
     }
 
     impl Default for FuzzInvocation {
@@ -507,6 +763,7 @@ pub mod runner {
                 seed_end: 100,
                 out_dir: ".".to_string(),
                 repro: None,
+                shards: None,
             }
         }
     }
@@ -536,6 +793,13 @@ pub mod runner {
                 "--repro" => {
                     inv.repro = Some(args.next().ok_or("--repro needs a file path")?);
                 }
+                "--shards" => {
+                    let v = args
+                        .next()
+                        .ok_or("--shards needs a shard count (0 = per-CPU)")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --shards value {v:?}"))?;
+                    inv.shards = Some(n);
+                }
                 other => return Err(format!("unknown fuzz argument {other:?}\n{USAGE}")),
             }
         }
@@ -549,6 +813,9 @@ pub mod runner {
     pub fn run_fuzz(inv: &FuzzInvocation) -> (String, bool) {
         use dlte::fuzz;
         use std::fmt::Write as _;
+        if let Some(n) = inv.shards {
+            dlte_sim::set_shards(n);
+        }
         let mut out = String::new();
         if let Some(path) = &inv.repro {
             match fuzz::replay_repro(std::path::Path::new(path)) {
@@ -622,6 +889,13 @@ pub mod runner {
             assert!(inv.json);
             assert_eq!(inv.jobs, Some(4));
             assert_eq!(inv.seed, Some(7));
+            assert_eq!(inv.shards, None);
+
+            let inv = parse_args(args("e13 --shards 4")).unwrap();
+            assert_eq!(inv.shards, Some(4));
+            // 0 = one shard per CPU core.
+            let inv = parse_args(args("e13 --shards 0")).unwrap();
+            assert_eq!(inv.shards, Some(0));
 
             let inv = parse_args(args("all")).unwrap();
             assert_eq!(inv.targets, vec!["all"]);
@@ -651,6 +925,7 @@ pub mod runner {
             assert!(parse_args(args("profile")).is_err(), "profile needs ids");
             assert!(parse_args(args("e1 --jobs zero")).is_err());
             assert!(parse_args(args("e1 --jobs 0")).is_err());
+            assert!(parse_args(args("e1 --shards two")).is_err());
             assert!(parse_args(args("e1 --frobnicate")).is_err());
             assert!(parse_args(vec!["e1".into(), "--params".into(), "[1,2]".into()]).is_err());
         }
@@ -665,6 +940,10 @@ pub mod runner {
 
             let inv = parse_fuzz_args(args("--repro fuzz_repro_7.json")).unwrap();
             assert_eq!(inv.repro.as_deref(), Some("fuzz_repro_7.json"));
+
+            let inv = parse_fuzz_args(args("--seeds 0..10 --shards 2")).unwrap();
+            assert_eq!(inv.shards, Some(2));
+            assert!(parse_fuzz_args(args("--shards two")).is_err());
 
             assert_eq!(
                 parse_fuzz_args(args("")).unwrap(),
@@ -702,8 +981,20 @@ pub mod runner {
             assert_eq!(inv.sizes, vec![50, 200, 1000]);
             assert_eq!(inv.seed, Some(7));
             assert_eq!(inv.total_s, Some(5.0));
-            assert_eq!(inv.out, "B.json");
+            assert_eq!(inv.out_path(), "B.json");
             assert_eq!(inv.baseline.as_deref(), Some("old.json"));
+
+            // The shard sweep: its own flags, its own default document.
+            let inv = parse_bench_args(args("e16 --sizes 10000 --shards 1,2,4,8 --ues-per-ap 20"))
+                .unwrap();
+            assert_eq!(inv.targets, vec!["e16"]);
+            assert_eq!(inv.shards, Some(vec![1, 2, 4, 8]));
+            assert_eq!(inv.ues_per_ap, Some(20));
+            assert_eq!(inv.out_path(), "BENCH_shard.json");
+            assert_eq!(
+                parse_bench_args(args("e15")).unwrap().out_path(),
+                "BENCH_fabric.json"
+            );
         }
 
         #[test]
@@ -723,6 +1014,19 @@ pub mod runner {
             assert!(parse_bench_args(args("--sizes 0")).is_err());
             assert!(parse_bench_args(args("--total -1")).is_err());
             assert!(parse_bench_args(args("--frobnicate")).is_err());
+            // Shard-sweep flag plumbing: no zero shard counts, no
+            // fabric/shard document mixing, no kind-mismatched flags.
+            assert!(parse_bench_args(args("e16 --shards 0,2")).is_err());
+            assert!(parse_bench_args(args("e16 --shards x")).is_err());
+            assert!(parse_bench_args(args("e16 --ues-per-ap 0")).is_err());
+            let err = parse_bench_args(args("e15 e16")).unwrap_err();
+            assert!(err.contains("separate invocations"), "got: {err}");
+            let err = parse_bench_args(args("e15 --shards 1,2")).unwrap_err();
+            assert!(err.contains("bench e16"), "got: {err}");
+            let err = parse_bench_args(args("e15 --ues-per-ap 10")).unwrap_err();
+            assert!(err.contains("bench e16"), "got: {err}");
+            let err = parse_bench_args(args("e16 --baseline old.json")).unwrap_err();
+            assert!(err.contains("no --baseline"), "got: {err}");
         }
 
         #[test]
@@ -734,25 +1038,126 @@ pub mod runner {
                 events_per_sec: 100.0,
                 ..Default::default()
             }];
-            let now = vec![
-                BenchRun {
-                    arch: "dlte".into(),
-                    size: 50,
-                    events_per_sec: 250.0,
-                    ..Default::default()
-                },
-                // No baseline counterpart: contributes no speedup entry.
-                BenchRun {
-                    arch: "dlte".into(),
-                    size: 200,
-                    events_per_sec: 300.0,
-                    ..Default::default()
-                },
-            ];
-            let s = bench_speedups(&base, &now);
+            let now = vec![BenchRun {
+                arch: "dlte".into(),
+                size: 50,
+                events_per_sec: 250.0,
+                ..Default::default()
+            }];
+            let s = bench_speedups(&base, &now).unwrap();
             assert_eq!(s.len(), 1);
             assert_eq!((s[0].arch.as_str(), s[0].size), ("dlte", 50));
             assert!((s[0].ratio - 2.5).abs() < 1e-9);
+
+            // A run with no baseline counterpart is an error, not a
+            // silently-missing speedup entry.
+            let extra = vec![BenchRun {
+                arch: "dlte".into(),
+                size: 200,
+                events_per_sec: 300.0,
+                ..Default::default()
+            }];
+            let err = bench_speedups(&base, &extra).unwrap_err();
+            assert!(err.contains("no run for arch"), "got: {err}");
+
+            // A baseline recorded with zero throughput (failed or corrupt
+            // run) is an error, not a 0.0 ratio.
+            let dead = vec![BenchRun {
+                arch: "dlte".into(),
+                size: 50,
+                events_per_sec: 0.0,
+                ..Default::default()
+            }];
+            let err = bench_speedups(&dead, &now).unwrap_err();
+            assert!(err.contains("non-positive"), "got: {err}");
+        }
+
+        #[test]
+        fn bench_baseline_failures_are_loud_and_early() {
+            let dir = std::env::temp_dir();
+            // Missing file.
+            let inv = BenchInvocation {
+                sizes: vec![20],
+                baseline: Some(dir.join("dlte_no_such_baseline.json").display().to_string()),
+                ..Default::default()
+            };
+            let err = run_bench(&inv).unwrap_err();
+            assert!(err.contains("reading --baseline"), "got: {err}");
+
+            // Malformed JSON.
+            let bad = dir.join("dlte_bad_baseline.json");
+            std::fs::write(&bad, "{not json").unwrap();
+            let inv = BenchInvocation {
+                sizes: vec![20],
+                baseline: Some(bad.display().to_string()),
+                ..Default::default()
+            };
+            let err = run_bench(&inv).unwrap_err();
+            assert!(err.contains("parsing --baseline"), "got: {err}");
+
+            // Parses, but isn't a bench document (every field defaults).
+            let empty = dir.join("dlte_empty_baseline.json");
+            std::fs::write(&empty, "{}").unwrap();
+            let inv = BenchInvocation {
+                sizes: vec![20],
+                baseline: Some(empty.display().to_string()),
+                ..Default::default()
+            };
+            let err = run_bench(&inv).unwrap_err();
+            assert!(err.contains("contains no runs"), "got: {err}");
+
+            // Recorded for different sizes: refused before the sweep runs.
+            let doc = FabricBench {
+                sizes: vec![50],
+                runs: vec![dlte::experiments::e15_fabric_scale::BenchRun {
+                    arch: "dlte".into(),
+                    size: 50,
+                    events_per_sec: 100.0,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            };
+            let mismatched = dir.join("dlte_mismatched_baseline.json");
+            std::fs::write(&mismatched, serde_json::to_string(&doc).unwrap()).unwrap();
+            let inv = BenchInvocation {
+                sizes: vec![20],
+                baseline: Some(mismatched.display().to_string()),
+                ..Default::default()
+            };
+            let err = run_bench(&inv).unwrap_err();
+            assert!(
+                err.contains("recorded for sizes [50]") && err.contains("[20]"),
+                "got: {err}"
+            );
+        }
+
+        #[test]
+        fn shard_bench_smoke_runs_and_round_trips() {
+            let inv = parse_bench_args(args(
+                "e16 --sizes 40 --shards 1,2 --ues-per-ap 4 --total 1.0",
+            ))
+            .unwrap();
+            let doc = match run_bench_doc(&inv).unwrap() {
+                BenchDoc::Shard(d) => d,
+                BenchDoc::Fabric(_) => panic!("e16 must produce the shard document"),
+            };
+            assert_eq!(doc.runs.len(), 2, "one run per shard count");
+            assert_eq!(doc.shard_counts, vec![1, 2]);
+            assert!(doc.cores >= 1);
+            // The sweep asserts counter invariance itself; spot-check the
+            // document agrees.
+            assert_eq!(
+                doc.runs[0].events_dispatched, doc.runs[1].events_dispatched,
+                "counters must be shard-invariant"
+            );
+            let json = serde_json::to_string(&doc).unwrap();
+            let back: ShardBench = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.runs.len(), 2);
+            let report = render_shard_bench(&doc);
+            assert!(
+                report.contains("2 shard(s)") && report.contains("speedup"),
+                "{report}"
+            );
         }
 
         #[test]
@@ -779,7 +1184,8 @@ pub mod runner {
         fn list_names_the_bench_targets() {
             let list = render_list();
             assert!(list.contains("e15"));
-            assert!(list.contains("bench-capable (dlte-run bench): e15"));
+            assert!(list.contains("e16"));
+            assert!(list.contains("bench-capable (dlte-run bench): e15, e16"));
         }
 
         #[test]
@@ -802,7 +1208,7 @@ pub mod runner {
         #[test]
         fn selection_resolves_all_single_and_multiple_ids() {
             let all = selection(&Invocation::default()).unwrap();
-            assert_eq!(all.len(), 18);
+            assert_eq!(all.len(), 19);
             let one = selection(&Invocation {
                 targets: vec!["E13".into()],
                 ..Invocation::default()

@@ -61,7 +61,7 @@ fn rtt_dlte(seed: u64) -> f64 {
         .build();
     let _ = seed;
     net.sim.run_until(SimTime::from_secs(6), 10_000_000);
-    let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
+    let ue = net.sim.handler_as::<UeNode>(net.ues[0]).unwrap();
     ue.stats.rtt_ms.median()
 }
 

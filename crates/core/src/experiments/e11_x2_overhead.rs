@@ -49,8 +49,7 @@ fn measured_x2_bps(n_aps: usize, p: &Params) -> (f64, f64) {
         .build();
     net.sim
         .run_until(SimTime::from_secs(p.seconds), 100_000_000);
-    let w = net.sim.world();
-    let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
+    let ap = net.sim.handler_as::<DlteApNode>(net.aps[0]).unwrap();
     let x2_bps_measured = ap.x2.stats.bytes_sent as f64 * 8.0 / p.seconds as f64;
     // User traffic through the same AP for scale.
     let user_bps = ap.core.stats.ul_user_packets as f64 * 1200.0 * 8.0 / p.seconds as f64;

@@ -121,7 +121,7 @@ fn run_arm(cfg: TransportConfig, p: &Params) -> Outcome {
         .build();
     net.sim
         .run_until(SimTime::from_secs_f64(p.total_s), 100_000_000);
-    let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
+    let ue = net.sim.handler_as::<UeNode>(net.ues[0]).unwrap();
     let app = ue.upper_as::<TransportUeApp>().expect("transport app");
     Outcome {
         mean_resume_ms: if app.resume_ms.is_empty() {

@@ -10,11 +10,10 @@
 //! bounded outage and a modest RTT penalty from the extra hop.
 
 use super::{f2c, Table};
-use crate::resilience::{Action, FailureScript};
 use crate::scenario::{DlteNetworkBuilder, DltePlan};
 use crate::DlteApNode;
 use dlte_epc::ue::{UeApp, UeNode};
-use dlte_net::Prefix;
+use dlte_net::{NetFault, Prefix};
 use dlte_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -69,56 +68,37 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
         })
         .build();
 
-    // Fault script: kill AP0's backhaul; later, the routing system points
-    // AP0's pool (and AP0's own address, healing X2) through AP1.
+    // Fault timeline: kill AP0's backhaul; later, the routing system points
+    // AP0's pool (and AP0's own address, healing X2) through AP1. Faults are
+    // broadcast into every shard, so this arm runs unchanged — and
+    // bit-identically — at any `--shards` setting.
     let fail_at = SimTime::from_secs_f64(p.fail_at_s);
     let reconverge_at = SimTime::from_secs_f64(p.fail_at_s + p.reconverge_after_s);
-    let mut actions = vec![(
+    net.sim.schedule_fault_broadcast(
         fail_at,
-        Action::SetLink {
+        NetFault::LinkUp {
             link: net.ap_backhaul[0],
             up: false,
         },
-    )];
+    );
     if mesh {
-        let ap0_addr = net.sim.world().core.nodes[net.aps[0]].addrs()[0];
+        let ap0_addr = net.sim.node_addrs(net.aps[0])[0];
         let mesh_link = net.ap_mesh[0];
-        actions.push((
-            reconverge_at,
-            Action::SetRoute {
-                node: net.r_agg,
-                prefix: DlteNetworkBuilder::ap_pool(0),
-                link: net.ap_backhaul[1],
-            },
-        ));
-        actions.push((
-            reconverge_at,
-            Action::SetRoute {
-                node: net.aps[1],
-                prefix: DlteNetworkBuilder::ap_pool(0),
-                link: mesh_link,
-            },
-        ));
-        actions.push((
-            reconverge_at,
-            Action::SetRoute {
-                node: net.r_agg,
-                prefix: Prefix::new(ap0_addr, 32),
-                link: net.ap_backhaul[1],
-            },
-        ));
-        actions.push((
-            reconverge_at,
-            Action::SetRoute {
-                node: net.aps[1],
-                prefix: Prefix::new(ap0_addr, 32),
-                link: mesh_link,
-            },
-        ));
+        let reroutes = [
+            (
+                net.r_agg,
+                DlteNetworkBuilder::ap_pool(0),
+                net.ap_backhaul[1],
+            ),
+            (net.aps[1], DlteNetworkBuilder::ap_pool(0), mesh_link),
+            (net.r_agg, Prefix::new(ap0_addr, 32), net.ap_backhaul[1]),
+            (net.aps[1], Prefix::new(ap0_addr, 32), mesh_link),
+        ];
+        for (node, prefix, link) in reroutes {
+            net.sim
+                .schedule_fault_broadcast(reconverge_at, NetFault::RouteSet { node, prefix, link });
+        }
     }
-    net.sim
-        .world_mut()
-        .set_handler(net.chaos, Box::new(FailureScript::new(actions)));
 
     // Segmented run so recovery can be timestamped: run to the failure,
     // drain in-flight replies, then step in 100 ms increments watching for
@@ -129,7 +109,6 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
     net.sim.run_until(drain.min(total), 100_000_000);
     let pongs_at_fail = net
         .sim
-        .world()
         .handler_as::<UeNode>(net.ues[0])
         .unwrap()
         .stats
@@ -141,7 +120,6 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
         net.sim.run_until(mark, 100_000_000);
         let pongs = net
             .sim
-            .world()
             .handler_as::<UeNode>(net.ues[0])
             .unwrap()
             .stats
@@ -152,9 +130,8 @@ fn run_arm(mesh: bool, p: &Params) -> Outcome {
         }
     }
     net.sim.run_until(total, 100_000_000);
-    let w = net.sim.world();
-    let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
-    let ap0 = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
+    let ue = net.sim.handler_as::<UeNode>(net.ues[0]).unwrap();
+    let ap0 = net.sim.handler_as::<DlteApNode>(net.aps[0]).unwrap();
 
     // Outage: expected pongs at 20/s minus observed, spread over the
     // post-failure window.

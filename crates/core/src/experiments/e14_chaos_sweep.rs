@@ -19,8 +19,8 @@ use crate::scenario::{DlteNetworkBuilder, DltePlan};
 use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
 use dlte_epc::ue::{UeApp, UeNode};
 use dlte_faults::{FaultPlan, FaultSpec};
-use dlte_net::{Addr, Network, NodeId};
-use dlte_sim::{SimDuration, SimTime, Simulation};
+use dlte_net::{Addr, NodeId, ShardedSim};
+use dlte_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -62,8 +62,8 @@ struct Outcome {
 
 /// Sum of delivered UE↔UE packets across both flows (flow id = sender
 /// IMSI; both topologies number UEs from 1000).
-fn delivered(sim: &Simulation<Network>, ues: &[NodeId]) -> u64 {
-    let t = sim.world().trace();
+fn delivered(sim: &ShardedSim, ues: &[NodeId]) -> u64 {
+    let t = sim.trace_merged();
     (0..ues.len())
         .map(|i| {
             t.flow(CentralizedLteBuilder::imsi_of(i))
@@ -73,21 +73,15 @@ fn delivered(sim: &Simulation<Network>, ues: &[NodeId]) -> u64 {
         .sum()
 }
 
-fn sent(sim: &Simulation<Network>, ues: &[NodeId]) -> u64 {
+fn sent(sim: &ShardedSim, ues: &[NodeId]) -> u64 {
     ues.iter()
-        .map(|&u| {
-            sim.world()
-                .handler_as::<UeNode>(u)
-                .unwrap()
-                .stats
-                .cbr_packets_sent
-        })
+        .map(|&u| sim.handler_as::<UeNode>(u).unwrap().stats.cbr_packets_sent)
         .sum()
 }
 
 /// Drive one arm through the outage with segmented `run_until` calls
 /// (which do not perturb event order) and measure delivery around it.
-fn measure(sim: &mut Simulation<Network>, ues: &[NodeId], p: &Params) -> Outcome {
+fn measure(sim: &mut ShardedSim, ues: &[NodeId], p: &Params) -> Outcome {
     let outage_start = SimTime::from_secs_f64(p.outage_at_s);
     let outage_end = outage_start + SimDuration::from_secs_f64(p.outage_s);
     let total = SimTime::from_secs_f64(p.total_s);
@@ -114,8 +108,7 @@ fn measure(sim: &mut Simulation<Network>, ues: &[NodeId], p: &Params) -> Outcome
     let sessions_lost: u64 = ues
         .iter()
         .map(|&u| {
-            sim.world()
-                .handler_as::<UeNode>(u)
+            sim.handler_as::<UeNode>(u)
                 .unwrap()
                 .stats
                 .attaches_completed
@@ -135,7 +128,7 @@ fn run_centralized(p: &Params) -> Outcome {
     let mut builder = CentralizedLteBuilder::new(1, 2);
     builder.path_mgmt = Some((SimDuration::from_millis(500), 2));
     let (rate_bps, packet_bytes) = (p.rate_bps, p.packet_bytes);
-    let mut net = builder
+    let net = builder
         .with_ue_plan(move |i| UePlan {
             app: UeApp::UplinkCbr {
                 // Each UE talks to the other's (deterministic) pool
@@ -147,6 +140,9 @@ fn run_centralized(p: &Params) -> Outcome {
             ..Default::default()
         })
         .build();
+    // The centralized twin always runs on one engine; wrapping it keeps
+    // the measurement code shared with the (possibly sharded) dLTE arm.
+    let mut sim = ShardedSim::single(net.sim);
     FaultPlan::new(p.seed)
         .with(FaultSpec::LinkFlap {
             link: net.l_agg_epc,
@@ -160,9 +156,8 @@ fn run_centralized(p: &Params) -> Outcome {
             at_s: p.outage_at_s,
             restart_after_s: Some(p.outage_s),
         })
-        .inject(&mut net.sim);
-    let ues = net.ues.clone();
-    measure(&mut net.sim, &ues, p)
+        .inject_sharded(&mut sim);
+    measure(&mut sim, &net.ues, p)
 }
 
 fn run_dlte(p: &Params) -> Outcome {
@@ -189,7 +184,7 @@ fn run_dlte(p: &Params) -> Outcome {
             times: 1,
             gap_s: 0.0,
         })
-        .inject(&mut net.sim);
+        .inject_sharded(&mut net.sim);
     let ues = net.ues.clone();
     measure(&mut net.sim, &ues, p)
 }

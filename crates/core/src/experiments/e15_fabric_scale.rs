@@ -18,8 +18,8 @@ use super::Table;
 use crate::scenario::{DlteNetworkBuilder, DltePlan};
 use dlte_epc::topology::{CentralizedLteBuilder, UePlan};
 use dlte_epc::ue::{UeApp, UeNode};
-use dlte_net::{Network, NodeId};
-use dlte_sim::{SimDuration, SimTime, Simulation};
+use dlte_net::{NodeId, ShardedSim};
+use dlte_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -79,27 +79,22 @@ fn shape(size: usize) -> (usize, usize) {
     (cells, ues)
 }
 
-fn finish(
-    arch: &str,
-    size: usize,
-    p: &Params,
-    mut sim: Simulation<Network>,
-    ues: Vec<NodeId>,
-) -> BenchRun {
+fn finish(arch: &str, size: usize, p: &Params, mut sim: ShardedSim, ues: Vec<NodeId>) -> BenchRun {
     let ((), report) = dlte_sim::report::scope(|| {
         sim.run_until(SimTime::from_secs_f64(p.total_s), u64::MAX);
     });
     let pongs = ues
         .iter()
-        .map(|&u| sim.world().handler_as::<UeNode>(u).unwrap().stats.pongs)
+        .map(|&u| sim.handler_as::<UeNode>(u).unwrap().stats.pongs)
         .sum();
+    let nodes = sim.shards()[0].world().core.nodes.len();
     BenchRun {
         arch: arch.to_string(),
         size,
-        nodes: sim.world().core.nodes.len(),
+        nodes,
         ues: ues.len(),
         events_dispatched: report.events_dispatched,
-        packets_forwarded: sim.world().core.fabric.accepted,
+        packets_forwarded: sim.audit_merged().fabric.accepted,
         pongs,
         wall_ms: report.wall_ms,
         events_per_sec: report.events_per_sec,
@@ -122,7 +117,7 @@ fn run_centralized(size: usize, p: &Params) -> BenchRun {
             ..Default::default()
         })
         .build();
-    finish("centralized", size, p, net.sim, net.ues)
+    finish("centralized", size, p, ShardedSim::single(net.sim), net.ues)
 }
 
 fn run_dlte(size: usize, p: &Params) -> BenchRun {

@@ -112,7 +112,7 @@ fn run_dlte(dwell_s: f64, p: &Params, total_s: f64) -> Arm {
         .build();
     net.sim
         .run_until(SimTime::from_secs_f64(total_s), 50_000_000);
-    let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
+    let ue = net.sim.handler_as::<UeNode>(net.ues[0]).unwrap();
     let gaps = ue.stats.handover_gap_ms.clone();
     arm_from(gaps, n_moves, dwell_s)
 }

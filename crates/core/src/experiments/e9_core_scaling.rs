@@ -57,7 +57,7 @@ fn attach_latencies_dlte(n: usize, p: &Params) -> Samples {
     net.sim.run_until(SimTime::from_secs(30), 100_000_000);
     let mut s = Samples::new();
     for &ue_id in &net.ues {
-        let ue = net.sim.world().handler_as::<UeNode>(ue_id).unwrap();
+        let ue = net.sim.handler_as::<UeNode>(ue_id).unwrap();
         for &v in ue.stats.attach_latency_ms.values() {
             s.push(v);
         }

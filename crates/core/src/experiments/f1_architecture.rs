@@ -88,9 +88,8 @@ fn dlte(p: &Params) -> SideResult {
         })
         .build();
     net.sim.run_until(SimTime::from_secs(p.seconds), 10_000_000);
-    let w = net.sim.world();
-    let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
-    let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
+    let ue = net.sim.handler_as::<UeNode>(net.ues[0]).unwrap();
+    let ap = net.sim.handler_as::<DlteApNode>(net.aps[0]).unwrap();
     let rtts = &ue.stats.rtt_ms;
     SideResult {
         attach_ms: ue

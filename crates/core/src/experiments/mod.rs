@@ -2,7 +2,7 @@
 //!
 //! Each module exposes a serde-able `Params` struct, `run_with(Params)` and a
 //! default-params `run()`, returning a [`Table`] — the rows EXPERIMENTS.md
-//! records. The [`registry`] module unifies all eighteen behind the
+//! records. The [`registry`] module unifies all nineteen behind the
 //! [`registry::Experiment`] trait so the `dlte-run` binary (in `dlte-bench`)
 //! can resolve any experiment by id, override its parameters as JSON, and
 //! attach run instrumentation ([`dlte_sim::RunReport`]) to the result.
@@ -27,6 +27,7 @@
 //! | E13| §7           | AP mesh bounds outages when a backhaul dies |
 //! | E14| §2.2/§4.2    | chaos sweep: local core rides out a backhaul outage; EPC loses all |
 //! | E15| ROADMAP §perf| fabric work scales with topology size; timing in `BENCH_fabric.json` |
+//! | E16| ROADMAP §perf| sharded engine: shard-invariant counters, multi-core throughput in `BENCH_shard.json` |
 
 pub mod e10_breakout;
 pub mod e11_x2_overhead;
@@ -34,6 +35,7 @@ pub mod e12_transport_ablation;
 pub mod e13_backhaul_resilience;
 pub mod e14_chaos_sweep;
 pub mod e15_fabric_scale;
+pub mod e16_shard_scale;
 pub mod e1_range;
 pub mod e2_uplink;
 pub mod e3_harq;

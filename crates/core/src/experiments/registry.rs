@@ -129,6 +129,7 @@ experiments! {
     E13Exp => e13_backhaul_resilience, "e13", "Backhaul failure: standalone APs vs §7 mesh redundancy";
     E14Exp => e14_chaos_sweep, "e14", "Chaos sweep: backhaul outage + core crash, centralized EPC vs dLTE local core";
     E15Exp => e15_fabric_scale, "e15", "Fabric scale sweep: dispatch and forwarding work vs topology size, centralized EPC vs dLTE";
+    E16Exp => e16_shard_scale, "e16", "Shard scale sweep: one dLTE deployment on N engine shards, counters shard-invariant";
 }
 
 /// Look an experiment up by id, case-insensitively (`e1` and `E1` both
@@ -146,13 +147,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_eighteen_in_report_order() {
+    fn registry_has_all_nineteen_in_report_order() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
             vec![
                 "t1", "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-                "e11", "e12", "e13", "e14", "e15",
+                "e11", "e12", "e13", "e14", "e15", "e16",
             ]
         );
     }

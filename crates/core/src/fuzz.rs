@@ -43,7 +43,7 @@ use dlte_epc::{MmeNode, PgwNode, SgwNode};
 use dlte_faults::{ChaosTargets, FaultPlan};
 use dlte_net::{in_flight_packets, Network, NodeId};
 use dlte_obs::{set_tracing, take_records, tracing_enabled};
-use dlte_sim::{SimDuration, SimRng, Simulation};
+use dlte_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Event budget per `run_until` segment (same order as the experiments).
@@ -209,10 +209,24 @@ enum Built {
 }
 
 impl Built {
-    fn sim_mut(&mut self) -> &mut Simulation<Network> {
+    /// Schedule the fault plan. The dLTE arm may be sharded (global
+    /// `--shards`), so its faults are broadcast; the centralized twin
+    /// always runs on one engine.
+    fn inject(&mut self, plan: &FaultPlan) {
         match self {
-            Built::Cent(n) => &mut n.sim,
-            Built::Dl(n) => &mut n.sim,
+            Built::Cent(n) => plan.inject(&mut n.sim),
+            Built::Dl(n) => plan.inject_sharded(&mut n.sim),
+        }
+    }
+
+    fn run_until(&mut self, t: SimTime, max_events: u64) {
+        match self {
+            Built::Cent(n) => {
+                n.sim.run_until(t, max_events);
+            }
+            Built::Dl(n) => {
+                n.sim.run_until(t, max_events);
+            }
         }
     }
 
@@ -231,42 +245,45 @@ impl Built {
                     },
                 }
             }
-            Built::Dl(n) => {
-                let w = n.sim.world();
-                Evidence {
-                    elapsed_s: n.sim.now().as_secs_f64(),
-                    net: w.audit(in_flight_packets(n.sim.queue())),
-                    ues: ue_views(w, &n.ues),
-                    core: CoreView::Dlte {
-                        cores: n
-                            .aps
-                            .iter()
-                            .map(|&ap| {
-                                w.handler_as::<crate::DlteApNode>(ap)
-                                    .expect("ap typed")
-                                    .core
-                                    .audit()
-                            })
-                            .collect(),
-                    },
-                }
-            }
+            Built::Dl(n) => Evidence {
+                elapsed_s: n.sim.now().as_secs_f64(),
+                net: n.sim.audit_merged(),
+                ues: n
+                    .ues
+                    .iter()
+                    .map(|&id| ue_view(n.sim.handler_as::<UeNode>(id).expect("ue typed")))
+                    .collect(),
+                core: CoreView::Dlte {
+                    cores: n
+                        .aps
+                        .iter()
+                        .map(|&ap| {
+                            n.sim
+                                .handler_as::<crate::DlteApNode>(ap)
+                                .expect("ap typed")
+                                .core
+                                .audit()
+                        })
+                        .collect(),
+                },
+            },
         }
+    }
+}
+
+fn ue_view(u: &UeNode) -> UeView {
+    UeView {
+        imsi: u.imsi,
+        attached: u.state == UeState::Attached,
+        addr: u.addr,
+        attach_retries: u.stats.attach_retries,
+        service_request_retries: u.stats.service_request_retries,
     }
 }
 
 fn ue_views(w: &Network, ues: &[NodeId]) -> Vec<UeView> {
     ues.iter()
-        .map(|&id| {
-            let u = w.handler_as::<UeNode>(id).expect("ue typed");
-            UeView {
-                imsi: u.imsi,
-                attached: u.state == UeState::Attached,
-                addr: u.addr,
-                attach_retries: u.stats.attach_retries,
-                service_request_retries: u.stats.service_request_retries,
-            }
-        })
+        .map(|&id| ue_view(w.handler_as::<UeNode>(id).expect("ue typed")))
         .collect()
 }
 
@@ -296,15 +313,15 @@ pub fn run_case(case: &FuzzCase) -> CaseReport {
     set_tracing(true);
     let _ = take_records(); // discard anything a previous case buffered
 
-    case.plan.inject(built.sim_mut());
+    built.inject(&case.plan);
     let t_last = case.plan.last_fault_time();
-    built.sim_mut().run_until(t_last, MAX_EVENTS);
+    built.run_until(t_last, MAX_EVENTS);
 
     let mut recovered_at_s = None;
     let mut ev = built.evidence();
     for k in 1..=(bounds.recovery_bound_s.ceil() as u64) {
         let t = t_last + SimDuration::from_secs_f64(k as f64);
-        built.sim_mut().run_until(t, MAX_EVENTS);
+        built.run_until(t, MAX_EVENTS);
         ev = built.evidence();
         if check_sessions(&ev).is_empty() && ev.ues.iter().all(|u| u.attached) {
             recovered_at_s = Some(t.as_secs_f64());
@@ -458,14 +475,18 @@ mod tests {
                 )),
                 Arch::Dlte => Built::Dl(build_dlte(case.seed, case.n_cells, case.ues_per_cell)),
             };
-            case.plan.inject(built.sim_mut());
+            built.inject(&case.plan);
             let horizon = case.plan.last_fault_time()
                 + SimDuration::from_secs_f64(report.recovered_at_s.unwrap());
-            built.sim_mut().run_until(horizon, MAX_EVENTS);
+            built.run_until(horizon, MAX_EVENTS);
             let ev = built.evidence();
             let pongs: u64 = match &built {
                 Built::Cent(n) => sum_pongs(n.sim.world(), &n.ues),
-                Built::Dl(n) => sum_pongs(n.sim.world(), &n.ues),
+                Built::Dl(n) => n
+                    .ues
+                    .iter()
+                    .map(|&id| n.sim.handler_as::<UeNode>(id).unwrap().stats.pongs)
+                    .sum(),
             };
             assert!(pongs > 0, "seed {seed}: no user traffic ever flowed");
             assert!(

@@ -50,7 +50,7 @@
 //!     })
 //!     .build();
 //! net.sim.run_until(SimTime::from_secs(5), 1_000_000);
-//! let ue = net.sim.world().handler_as::<UeNode>(net.ues[0]).unwrap();
+//! let ue = net.sim.handler_as::<UeNode>(net.ues[0]).unwrap();
 //! assert!(ue.stats.pongs > 0, "attached and exchanging traffic");
 //! ```
 

@@ -20,11 +20,12 @@ use dlte_auth::{Imsi, Key};
 use dlte_epc::local_core::{KeyDirectoryNode, KeySource, LocalCoreNode};
 use dlte_epc::ue::{CellAttachment, MobilityMode, UeApp, UeNode};
 use dlte_net::handlers::EchoServer;
-use dlte_net::{Addr, AddrPool, LinkConfig, Network, NetworkBuilder, NodeId, Prefix};
+use dlte_net::{Addr, AddrPool, LinkConfig, NetworkBuilder, NodeId, Prefix, ShardedSim};
 use dlte_sim::{SimDuration, SimRng, SimTime, Simulation};
 use dlte_transport::connection::TransportConfig;
 use dlte_transport::handlers::TransportServerNode;
 use dlte_x2::{CoordinationMode, X2Agent};
+use std::cell::RefCell;
 
 /// Per-UE plan for dLTE scenarios.
 pub struct DltePlan {
@@ -77,7 +78,9 @@ pub struct DlteNetworkBuilder {
 
 /// The built network and its node handles.
 pub struct DlteNet {
-    pub sim: Simulation<Network>,
+    /// The driver: a [`ShardedSim`] so the same scenario runs on one engine
+    /// or on N conservative shards (`--shards`), bit-identically.
+    pub sim: ShardedSim,
     pub ues: Vec<NodeId>,
     pub aps: Vec<NodeId>,
     pub ott_echo: NodeId,
@@ -86,8 +89,10 @@ pub struct DlteNet {
     pub r_agg: NodeId,
     pub r_inet: NodeId,
     /// A handler-less spare node: attach a
-    /// [`crate::resilience::FailureScript`] via
-    /// [`dlte_net::Network::set_handler`] before running.
+    /// [`crate::resilience::FailureScript`] via [`ShardedSim::set_handler`]
+    /// before running. Scripted cross-node mutation is single-shard only —
+    /// sharded runs must inject faults with
+    /// [`ShardedSim::schedule_fault_broadcast`] instead.
     pub chaos: NodeId,
     /// Backhaul link of each AP (fault-injection handle).
     pub ap_backhaul: Vec<dlte_net::LinkId>,
@@ -141,14 +146,42 @@ impl DlteNetworkBuilder {
         Addr::new(9, 9, 9, 9)
     }
 
-    /// The /24 pool of AP `k`.
+    /// The /24 pool of AP `k`. Pools are carved from 100.64.0.0/10
+    /// (CGNAT space) starting at 100.66.0.0, so deployments up to ~15k
+    /// APs get disjoint /24s; the first 256 APs keep their historical
+    /// `100.66.k.0/24` pools.
     pub fn ap_pool(k: usize) -> Prefix {
-        Prefix::new(Addr::new(100, 66, k as u8, 0), 24)
+        assert!(k < 15_872, "AP pool space exhausted (k={k})");
+        Prefix::new(Addr::new(100, (66 + k / 256) as u8, (k % 256) as u8, 0), 24)
     }
 
     /// The aggregate client space across all APs.
     pub fn all_pools() -> Prefix {
-        Prefix::new(Addr::new(100, 66, 0, 0), 16)
+        Prefix::new(Addr::new(100, 64, 0, 0), 10)
+    }
+
+    /// Control-plane address of AP `k` (10.2.0.0/15-ish space; the first
+    /// 250 APs keep their historical `10.2.k.1`).
+    pub fn ap_addr(k: usize) -> Addr {
+        assert!(k < 500_000, "AP address space exhausted (k={k})");
+        Addr::new(
+            10,
+            (2 + k / 62_500) as u8,
+            (k % 250) as u8,
+            ((k / 250) % 250) as u8 + 1,
+        )
+    }
+
+    /// Pre-attach control address of UE `i` (172.16.0.0/12-ish space; the
+    /// first 62 500 UEs keep their historical `172.16.(i/250).(i%250+1)`).
+    pub fn ue_ctrl_addr(i: usize) -> Addr {
+        assert!(i < 14_937_500, "UE control address space exhausted (i={i})");
+        Addr::new(
+            172,
+            (16 + i / 62_500) as u8,
+            ((i / 250) % 250) as u8,
+            (i % 250) as u8 + 1,
+        )
     }
 
     pub fn imsi_of(i: usize) -> Imsi {
@@ -159,17 +192,79 @@ impl DlteNetworkBuilder {
         0x0D17E_u128 << 100 | i as u128
     }
 
+    /// Build with the process-wide shard setting ([`dlte_sim::shards`],
+    /// i.e. the runner's `--shards` knob). The default is one shard —
+    /// classic single-engine execution.
     pub fn build(self) -> DlteNet {
+        let n = dlte_sim::shards();
+        self.build_sharded(n)
+    }
+
+    /// Build an `n`-shard simulation, partitioned by AP cluster: the core
+    /// (routers, OTT services, directory) lands on shard 0 and the APs are
+    /// split into contiguous cluster ranges, each UE following its home
+    /// AP. Radio traffic thus stays intra-shard; only backhaul/mesh links
+    /// cross the cut, so the conservative lookahead is the backhaul delay.
+    /// Results are bit-identical at any `n` (the tentpole invariant).
+    pub fn build_sharded(self, n: usize) -> DlteNet {
+        let handles: RefCell<Option<ReplicaHandles>> = RefCell::new(None);
+        let sim = ShardedSim::build(
+            n,
+            || {
+                let (sim, h) = self.build_replica();
+                *handles.borrow_mut() = Some(h);
+                sim
+            },
+            |net| {
+                let h = handles.borrow();
+                let h = h.as_ref().expect("first replica built");
+                let m = n.min(self.n_aps).max(1);
+                let mut map = vec![0usize; net.core.nodes.len()];
+                for (k, &ap) in h.aps.iter().enumerate() {
+                    map[ap] = k * m / self.n_aps;
+                }
+                for (i, &ue) in h.ues.iter().enumerate() {
+                    map[ue] = (i / self.ues_per_ap) * m / self.n_aps;
+                }
+                map
+            },
+        );
+        let h = handles.into_inner().expect("replica built");
+        DlteNet {
+            sim,
+            ues: h.ues,
+            aps: h.aps,
+            ott_echo: h.ott_echo,
+            ott_transport: h.ott_transport,
+            dir: h.dir,
+            r_agg: h.r_agg,
+            r_inet: h.r_inet,
+            chaos: h.chaos,
+            ap_backhaul: h.ap_backhaul,
+            ap_mesh: h.ap_mesh,
+        }
+    }
+
+    /// Build one full replica of the topology. Deterministic: every call
+    /// produces the same network, handlers and seeds, which is what lets
+    /// [`ShardedSim::build`] replicate it per shard and prune.
+    fn build_replica(&self) -> (Simulation<dlte_net::Network>, ReplicaHandles) {
         let mut b = NetworkBuilder::new(self.seed);
         let rng = SimRng::new(self.seed ^ 0xD17E);
         let total_ues = self.n_aps * self.ues_per_ap;
 
         // Published-key directory contents (every subscriber pre-publishes,
-        // per §4.2).
-        let mut published = PublishedKeyDirectory::new();
-        for i in 0..total_ues {
-            published.publish(Self::imsi_of(i), Self::key_of(i));
-        }
+        // per §4.2). With pre-synced keys and UEs pinned to their home
+        // cell, each AP holds only its own subscribers' records — the
+        // full-registry copy is materialized only where some node may
+        // actually be asked about a foreign IMSI.
+        let directory_of = |range: std::ops::Range<usize>| {
+            let mut d = PublishedKeyDirectory::new();
+            for i in range {
+                d.publish(Self::imsi_of(i), Self::key_of(i));
+            }
+            d
+        };
 
         // Core routers and services (plus a spare node the experiments can
         // hang a fault-injection script on).
@@ -190,7 +285,10 @@ impl DlteNetworkBuilder {
             KeyDistribution::RemoteDirectory => {
                 let dir = b.host(
                     "key-dir",
-                    Box::new(KeyDirectoryNode::new(published.clone(), self.dir_per_msg)),
+                    Box::new(KeyDirectoryNode::new(
+                        directory_of(0..total_ues),
+                        self.dir_per_msg,
+                    )),
                 );
                 b.addr(dir, Self::dir_addr());
                 let l = b.link(r_inet, dir, LinkConfig::lan());
@@ -205,12 +303,16 @@ impl DlteNetworkBuilder {
         let mut ap_addrs = Vec::new();
         let mut ap_links = Vec::new();
         for k in 0..self.n_aps {
-            let addr = Addr::new(10, 2, k as u8, 1);
-            ap_addrs.push(addr);
+            ap_addrs.push(Self::ap_addr(k));
         }
         for k in 0..self.n_aps {
             let key_source = match self.keys {
-                KeyDistribution::PreSynced => KeySource::Local(published.clone()),
+                // Pinned UEs only ever attach at home: sync just the home
+                // subscribers (keeps per-AP state O(ues_per_ap) at scale).
+                KeyDistribution::PreSynced if !self.wire_all_cells => {
+                    KeySource::Local(directory_of(k * self.ues_per_ap..(k + 1) * self.ues_per_ap))
+                }
+                KeyDistribution::PreSynced => KeySource::Local(directory_of(0..total_ues)),
                 KeyDistribution::RemoteDirectory => KeySource::Remote {
                     addr: Self::dir_addr(),
                 },
@@ -222,12 +324,18 @@ impl DlteNetworkBuilder {
                 self.stub_per_msg,
                 rng.fork_idx("stub", k as u64),
             );
-            let peers: Vec<Addr> = ap_addrs
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != k)
-                .map(|(_, &a)| a)
-                .collect();
+            // Independent agents never report to peers — skip the
+            // O(n_aps²) peer lists the other modes need.
+            let peers: Vec<Addr> = if self.x2_mode == CoordinationMode::Independent {
+                Vec::new()
+            } else {
+                ap_addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != k)
+                    .map(|(_, &a)| a)
+                    .collect()
+            };
             let x2 = X2Agent::new(self.x2_mode, peers, self.x2_interval);
             let ap = b.host(format!("ap{k}"), Box::new(DlteApNode::new(core, x2)));
             b.addr(ap, ap_addrs[k]);
@@ -242,7 +350,7 @@ impl DlteNetworkBuilder {
         for i in 0..total_ues {
             let imsi = Self::imsi_of(i);
             let home_ap = i / self.ues_per_ap;
-            let ue_ctrl = Addr::new(172, 16, (i / 250) as u8, (i % 250) as u8 + 1);
+            let ue_ctrl = Self::ue_ctrl_addr(i);
             let ue = b.node(format!("ue{i}"));
             let mut cells = Vec::new();
             // Home cell first (mobility indices are positions in this list).
@@ -274,11 +382,7 @@ impl DlteNetworkBuilder {
             b.route(r_agg, Self::ap_pool(k), link);
         }
         // Whole dLTE client space from the Internet side.
-        b.route(
-            r_inet,
-            Prefix::new(Addr::new(100, 66, 0, 0), 16),
-            l_agg_inet,
-        );
+        b.route(r_inet, Self::all_pools(), l_agg_inet);
         b.route(ott_echo, Prefix::DEFAULT, l_ott);
         b.route(ott_transport, Prefix::DEFAULT, l_ott_tp);
 
@@ -316,20 +420,38 @@ impl DlteNetworkBuilder {
                 ));
             }
         }
-        DlteNet {
+        (
             sim,
-            ues,
-            aps,
-            ott_echo,
-            ott_transport,
-            dir,
-            r_agg,
-            r_inet,
-            chaos,
-            ap_backhaul: ap_links,
-            ap_mesh,
-        }
+            ReplicaHandles {
+                ues,
+                aps,
+                ott_echo,
+                ott_transport,
+                dir,
+                r_agg,
+                r_inet,
+                chaos,
+                ap_backhaul: ap_links,
+                ap_mesh,
+            },
+        )
     }
+}
+
+/// Node handles produced by one replica build. Handles are identical
+/// across replicas (the builder is deterministic), so the first build's
+/// copy serves the whole sharded simulation.
+struct ReplicaHandles {
+    ues: Vec<NodeId>,
+    aps: Vec<NodeId>,
+    ott_echo: NodeId,
+    ott_transport: NodeId,
+    dir: Option<NodeId>,
+    r_agg: NodeId,
+    r_inet: NodeId,
+    chaos: NodeId,
+    ap_backhaul: Vec<dlte_net::LinkId>,
+    ap_mesh: Vec<dlte_net::LinkId>,
 }
 
 /// True if `addr` belongs to any dLTE AP pool (used by the failover logic
@@ -451,6 +573,47 @@ mod tests {
         }
         let ap = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
         assert_eq!(ap.core.stats.directory_queries, 2, "one per new IMSI");
+    }
+
+    /// The tentpole invariant at the full-stack level: a dLTE scenario —
+    /// attach, auth, address assignment, pinger traffic, X2 reports —
+    /// produces bit-identical work counters, per-UE stats, flow traces and
+    /// conservation audits at 1, 2 and 4 shards.
+    #[test]
+    fn sharded_build_is_bit_identical_to_single() {
+        let run = |n: usize| {
+            let mut net = DlteNetworkBuilder::new(4, 2)
+                .with_ue_plan(|_| DltePlan {
+                    app: UeApp::Pinger {
+                        dst: DlteNetworkBuilder::ott_addr(),
+                        interval: SimDuration::from_millis(100),
+                        probe_bytes: 100,
+                    },
+                    ..Default::default()
+                })
+                .build_sharded(n);
+            assert_eq!(net.sim.num_shards(), n);
+            net.sim.run_until(SimTime::from_secs(5), 10_000_000);
+            let pongs: Vec<u64> = net
+                .ues
+                .iter()
+                .map(|&u| net.sim.handler_as::<UeNode>(u).unwrap().stats.pongs)
+                .collect();
+            let trace = net.sim.trace_merged();
+            (
+                net.sim.events_dispatched(),
+                pongs,
+                format!("{:?}", net.sim.audit_merged()),
+                trace.flow_ids().len(),
+            )
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        assert!(one.0 > 0, "work happened");
+        assert!(one.1.iter().all(|&p| p > 10), "every UE's pinger ran");
+        assert_eq!(one, two);
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -40,8 +40,9 @@ pub enum UeState {
 
 /// Hook for higher layers riding on the UE (e.g. a transport connection
 /// that must react to attach/re-attach and address changes — the `dlte`
-/// core crate's transport integration implements this).
-pub trait UeUpperLayer: std::any::Any {
+/// core crate's transport integration implements this). `Send` because the
+/// UE handler owning it may run inside a shard on a worker thread.
+pub trait UeUpperLayer: std::any::Any + Send {
     /// Attach completed. `reattach` is true when this follows a cell change
     /// (dLTE address churn); `ue_addr` is the fresh address.
     fn on_attached(&mut self, ctx: &mut NodeCtx<'_>, ue_addr: Addr, reattach: bool);

@@ -419,6 +419,13 @@ fn same_instant_key(f: &NetFault) -> (u8, u64, Vec<u64>) {
         NetFault::Partition { nodes, up: true } => {
             (9, 0, nodes.iter().map(|&n| n as u64).collect())
         }
+        // Route installs are reconvergence actions: they sort with (after)
+        // the repairs, keyed by the full route so the order is total.
+        NetFault::RouteSet { node, prefix, link } => (
+            10,
+            *node as u64,
+            vec![prefix.addr.0 as u64, prefix.len as u64, *link as u64],
+        ),
     }
 }
 
@@ -454,6 +461,16 @@ impl FaultPlan {
     pub fn inject(&self, sim: &mut Simulation<Network>) {
         for (t, fault) in self.compile() {
             sim.queue_mut().schedule_at(t, NetEvent::Fault(fault));
+        }
+    }
+
+    /// Schedule every fault of this plan into a (possibly sharded)
+    /// simulation. Each fault is broadcast to every shard so replicated
+    /// link/route/liveness state stays in sync — the sharded equivalent of
+    /// [`FaultPlan::inject`], and identical to it at one shard.
+    pub fn inject_sharded(&self, sim: &mut dlte_net::ShardedSim) {
+        for (t, fault) in self.compile() {
+            sim.schedule_fault_broadcast(t, fault);
         }
     }
 

@@ -20,6 +20,7 @@ pub mod link;
 pub mod network;
 pub mod node;
 pub mod packet;
+pub mod sharded;
 pub mod trace;
 
 pub use addr::{Addr, AddrPool, Prefix};
@@ -29,4 +30,5 @@ pub use network::{
 };
 pub use node::{NodeCtx, NodeHandler, NodeId};
 pub use packet::{Packet, Payload};
+pub use sharded::{plan_for, ShardedSim};
 pub use trace::TraceStats;

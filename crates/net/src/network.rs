@@ -14,8 +14,15 @@ use crate::node::{NodeCtx, NodeHandler, NodeId, NodeInfo};
 use crate::packet::Packet;
 use crate::trace::TraceStats;
 use dlte_obs::{DropReason, Event};
-use dlte_sim::{EventQueue, SimRng, SimTime, Simulation, World};
+use dlte_sim::rng::hash_unit;
+use dlte_sim::{EventQueue, OutMsg, ShardPlan, ShardWorld, SimRng, SimTime, Simulation, World};
 use serde::{Deserialize, Serialize};
+
+/// Domain-separation salts for the counter-based (hashed) draws, so the
+/// loss, jitter and handler-visible streams never collide.
+const LOSS_SALT: u64 = 0x6c6f_7373; // "loss"
+const JITTER_SALT: u64 = 0x6a69_7474; // "jitt"
+const NODE_RAND_SALT: u64 = 0x6e6f_6465; // "node"
 
 /// Account a packet drop in all three observability surfaces: the legacy
 /// `TraceStats` counter (via the caller), the always-on `drops_*` metrics
@@ -91,6 +98,15 @@ pub enum NetFault {
     /// Cut (`up: false`) or heal (`up: true`) every link with exactly one
     /// endpoint in `nodes` — partitions the set from the rest of the world.
     Partition { nodes: Vec<NodeId>, up: bool },
+    /// Install (or replace) a route on a node. Exists so scripted
+    /// reconvergence (e.g. E13's backhaul reroute) can be expressed as
+    /// pre-planned fault events, which sharded runs broadcast into every
+    /// replica instead of mutating one shard's tables from another.
+    RouteSet {
+        node: NodeId,
+        prefix: crate::addr::Prefix,
+        link: LinkId,
+    },
 }
 
 /// Packet-fate counters maintained by the fabric itself (not by handlers),
@@ -138,6 +154,35 @@ pub struct NetAudit {
     pub drops_node_down: u64,
 }
 
+impl FabricCounters {
+    /// Fold another shard's counters into this one. Each packet fate is
+    /// counted by exactly one shard (the node that processed it), so the
+    /// merged ledger closes exactly like a single-shard one.
+    pub fn absorb(&mut self, other: &FabricCounters) {
+        self.originated += other.originated;
+        self.reforwarded += other.reforwarded;
+        self.accepted += other.accepted;
+        self.arrivals += other.arrivals;
+        self.absorbed += other.absorbed;
+        self.delivered_plain += other.delivered_plain;
+    }
+}
+
+impl NetAudit {
+    /// Fold another shard's audit into this one (see
+    /// [`FabricCounters::absorb`]).
+    pub fn absorb(&mut self, other: &NetAudit) {
+        self.fabric.absorb(&other.fabric);
+        self.in_flight += other.in_flight;
+        self.drops_queue += other.drops_queue;
+        self.drops_loss += other.drops_loss;
+        self.drops_no_route += other.drops_no_route;
+        self.drops_ttl += other.drops_ttl;
+        self.drops_link_down += other.drops_link_down;
+        self.drops_node_down += other.drops_node_down;
+    }
+}
+
 /// Count the `PacketArrive` events still pending (canceled entries are
 /// skipped) — the `in_flight` term of the conservation ledger.
 pub fn in_flight_packets(queue: &EventQueue<NetEvent>) -> u64 {
@@ -155,14 +200,36 @@ pub struct NetCore {
     pub trace: TraceStats,
     pub fabric: FabricCounters,
     pub rng: SimRng,
-    next_pkt: u64,
+    /// Per-node packet-id sequences (see [`NetCore::next_packet_id`]).
+    pkt_seqs: Vec<u64>,
+    /// Per-node counters for [`NetCore::node_rand_unit`].
+    draw_seqs: Vec<u64>,
+    /// Which shard this replica is (0 in single-shard runs).
+    pub(crate) my_shard: usize,
+    /// Owner shard of every node (all zero in single-shard runs).
+    pub(crate) shard_of: Vec<usize>,
+    /// Cross-shard arrivals produced since the last drain.
+    pub(crate) outbound: Vec<OutMsg<NetEvent>>,
 }
 
 impl NetCore {
-    pub(crate) fn next_packet_id(&mut self) -> u64 {
-        let id = self.next_pkt;
-        self.next_pkt += 1;
-        id
+    /// Allocate a packet id from the originating node's own sequence:
+    /// `(node+1) << 40 | seq`. Keying the id to the originator (rather
+    /// than a global counter) makes it a pure function of that node's
+    /// history, so ids — and everything hashed from them, like loss
+    /// draws — are identical at every shard count.
+    pub(crate) fn next_packet_id(&mut self, node: NodeId) -> u64 {
+        let seq = self.pkt_seqs[node];
+        self.pkt_seqs[node] += 1;
+        ((node as u64 + 1) << 40) | seq
+    }
+
+    /// The k-th uniform draw of `node`, as a pure hash of
+    /// `(seed, salt, node, k)` — see [`crate::node::NodeCtx::rand_unit`].
+    pub(crate) fn node_rand_unit(&mut self, node: NodeId) -> f64 {
+        let k = self.draw_seqs[node];
+        self.draw_seqs[node] += 1;
+        hash_unit(&[self.rng.seed(), NODE_RAND_SALT, node as u64, k])
     }
 
     /// Route `packet` out of `node` via LPM and transmit. Drops (with trace
@@ -198,13 +265,12 @@ impl NetCore {
         mut packet: Packet,
         queue: &mut EventQueue<NetEvent>,
     ) {
-        let draw = self.rng.unit();
-        // Only draw jitter when a jitter override is active, so fault-free
-        // runs consume exactly one draw per packet (seed compatibility).
-        let has_jitter = self.links[link]
-            .transient
-            .is_some_and(|ov| ov.jitter.is_some());
-        let jitter_draw = if has_jitter { self.rng.unit() } else { 0.0 };
+        // Loss and jitter are *keyed* draws — pure hashes of the decision's
+        // identity (seed, packet, hop, link, direction) rather than pulls
+        // from a shared stream. A given transmission therefore sees the same
+        // uniforms no matter what else ran first, which is what keeps runs
+        // bit-identical when the topology is partitioned into shards.
+        let seed = self.rng.seed();
         let l = &mut self.links[link];
         let Some(dir) = l.dir_from(node) else {
             // A route pointing at a link the node is not on is a topology
@@ -215,6 +281,20 @@ impl NetCore {
             note_drop(now, node, DropReason::NoRoute, packet.size_bytes);
             return;
         };
+        let key = [
+            seed,
+            0, // replaced by the salt below
+            packet.id,
+            packet.hops as u64,
+            link as u64,
+            dir as u64,
+        ];
+        let mut loss_key = key;
+        loss_key[1] = LOSS_SALT;
+        let mut jitter_key = key;
+        jitter_key[1] = JITTER_SALT;
+        let draw = hash_unit(&loss_key);
+        let jitter_draw = hash_unit(&jitter_key);
         match l.offer(dir, now, packet.size_bytes, draw, jitter_draw) {
             Offer::Accepted {
                 arrives_at,
@@ -224,7 +304,24 @@ impl NetCore {
                 let dest = l.other(node);
                 packet.hops += 1;
                 queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
-                queue.schedule_at(arrives_at, NetEvent::PacketArrive { node: dest, packet });
+                let arrive = NetEvent::PacketArrive { node: dest, packet };
+                if self.shard_of[dest] == self.my_shard {
+                    queue.schedule_at(arrives_at, arrive);
+                } else {
+                    // The far end lives on another shard: allocate the
+                    // canonical key *here* (consuming this origin's counter
+                    // exactly as a local schedule would, so single- and
+                    // multi-shard key streams agree) and ship it across the
+                    // epoch barrier.
+                    let (origin, oseq) = queue.alloc_key();
+                    self.outbound.push(OutMsg {
+                        shard: self.shard_of[dest],
+                        at: arrives_at,
+                        origin,
+                        oseq,
+                        event: arrive,
+                    });
+                }
             }
             Offer::DroppedQueueFull => {
                 self.trace.drops_queue += 1;
@@ -356,31 +453,41 @@ impl Network {
     /// [`NetEvent::Fault`] (see [`NodeCtx::schedule_fault`]) so faults are
     /// ordered deterministically with all other events; calling it directly
     /// between runs is also fine.
+    ///
+    /// Sharded runs broadcast every fault into every replica (link/route
+    /// state is replicated), so the trace records a fault produces are
+    /// emitted by shard 0 only — the merged trace carries each transition
+    /// exactly once, whatever the shard count.
     pub fn apply_fault(&mut self, now: SimTime, fault: NetFault, queue: &mut EventQueue<NetEvent>) {
+        let emitting = self.core.my_shard == 0;
         match fault {
             NetFault::LinkUp { link, up } => {
                 self.core.links[link].up = up;
-                dlte_obs::emit(
-                    now.as_nanos(),
-                    u64::MAX,
-                    Event::FaultLink {
-                        link: link as u64,
-                        up,
-                    },
-                );
+                if emitting {
+                    dlte_obs::emit(
+                        now.as_nanos(),
+                        u64::MAX,
+                        Event::FaultLink {
+                            link: link as u64,
+                            up,
+                        },
+                    );
+                }
             }
             NetFault::LinkOverride { link, ov } => self.core.links[link].set_override(ov),
             NetFault::NodeDown { node } => {
                 if !self.down[node] {
                     self.down[node] = true;
-                    dlte_obs::emit(
-                        now.as_nanos(),
-                        node as u64,
-                        Event::FaultNode {
-                            node: node as u64,
-                            up: false,
-                        },
-                    );
+                    if emitting {
+                        dlte_obs::emit(
+                            now.as_nanos(),
+                            node as u64,
+                            Event::FaultNode {
+                                node: node as u64,
+                                up: false,
+                            },
+                        );
+                    }
                     if let Some(h) = self.handlers[node].as_mut() {
                         h.on_crash();
                     }
@@ -389,15 +496,23 @@ impl Network {
             NetFault::NodeUp { node } => {
                 if self.down[node] {
                     self.down[node] = false;
-                    dlte_obs::emit(
-                        now.as_nanos(),
-                        node as u64,
-                        Event::FaultNode {
-                            node: node as u64,
-                            up: true,
-                        },
-                    );
+                    if emitting {
+                        dlte_obs::emit(
+                            now.as_nanos(),
+                            node as u64,
+                            Event::FaultNode {
+                                node: node as u64,
+                                up: true,
+                            },
+                        );
+                    }
+                    // The restart callback can originate packets, so it must
+                    // run under the node's own scheduling origin (see
+                    // `World::handle`); only the owning shard still has the
+                    // handler installed.
+                    queue.set_origin(node as u64 + 1);
                     self.with_handler(node, queue, now, |h, ctx| h.on_restart(ctx));
+                    queue.set_origin(0);
                 }
             }
             NetFault::NodePause { node } => self.paused[node] = true,
@@ -413,27 +528,73 @@ impl Network {
                 for (lid, l) in self.core.links.iter_mut().enumerate() {
                     if nodes.contains(&l.a) != nodes.contains(&l.b) {
                         l.up = up;
-                        dlte_obs::emit(
-                            now.as_nanos(),
-                            u64::MAX,
-                            Event::FaultLink {
-                                link: lid as u64,
-                                up,
-                            },
-                        );
+                        if emitting {
+                            dlte_obs::emit(
+                                now.as_nanos(),
+                                u64::MAX,
+                                Event::FaultLink {
+                                    link: lid as u64,
+                                    up,
+                                },
+                            );
+                        }
                     }
                 }
             }
+            NetFault::RouteSet { node, prefix, link } => {
+                self.core.nodes[node].set_route(prefix, link);
+            }
         }
+    }
+
+    /// Turn this replica into one shard of a partitioned run: record the
+    /// ownership map and drop the handlers of nodes other shards own. Every
+    /// replica keeps the *full* topology (links, routes, node info) — link
+    /// endpoints only ever mutate their own direction's state, and faults
+    /// are broadcast — so no cross-shard memory access is ever needed.
+    pub fn apply_shard_plan(&mut self, plan: &ShardPlan, my_shard: usize) {
+        assert_eq!(
+            plan.num_nodes(),
+            self.core.nodes.len(),
+            "plan covers a different topology"
+        );
+        assert!(my_shard < plan.n());
+        self.core.my_shard = my_shard;
+        self.core.shard_of = (0..plan.num_nodes()).map(|i| plan.shard_of(i)).collect();
+        for node in 0..plan.num_nodes() {
+            if plan.shard_of(node) != my_shard {
+                self.handlers[node] = None;
+            }
+        }
+    }
+
+    /// The shard this replica runs as (0 unless [`Network::apply_shard_plan`]
+    /// said otherwise).
+    pub fn my_shard(&self) -> usize {
+        self.core.my_shard
     }
 }
 
 impl World for Network {
     type Event = NetEvent;
 
+    /// `Start` and `Fault` are replicated into every shard of a sharded run
+    /// (each shard starts its own handlers; fault state is replicated), so
+    /// they are excluded from dispatch counts — otherwise `events_dispatched`
+    /// would grow with the shard count instead of staying invariant.
+    fn is_control(event: &NetEvent) -> bool {
+        matches!(event, NetEvent::Start | NetEvent::Fault(_))
+    }
+
     fn handle(&mut self, now: SimTime, event: NetEvent, queue: &mut EventQueue<NetEvent>) {
+        // Every path that can *schedule* (handler callbacks, forwarding)
+        // runs under the acting node's origin (`node+1`), making each new
+        // event's canonical key a pure function of that node's scheduling
+        // history. The engine resets the origin to 0 (external/control)
+        // around each dispatch.
         match event {
             NetEvent::PacketArrive { node, packet } => {
+                queue.set_origin(node as u64 + 1);
                 self.core.fabric.arrivals += 1;
                 if self.down[node] || self.paused[node] {
                     self.core.trace.drops_node_down += 1;
@@ -468,15 +629,24 @@ impl World for Network {
                     self.deferred[node].push(tag);
                     return;
                 }
+                queue.set_origin(node as u64 + 1);
                 self.with_handler(node, queue, now, |h, ctx| h.on_timer(ctx, tag));
             }
             NetEvent::Start => {
                 for node in 0..self.handlers.len() {
+                    queue.set_origin(node as u64 + 1);
                     self.with_handler(node, queue, now, |h, ctx| h.on_start(ctx));
                 }
+                queue.set_origin(0);
             }
             NetEvent::Fault(fault) => self.apply_fault(now, fault, queue),
         }
+    }
+}
+
+impl ShardWorld for Network {
+    fn drain_outbound(&mut self) -> Vec<OutMsg<NetEvent>> {
+        std::mem::take(&mut self.core.outbound)
     }
 }
 
@@ -596,7 +766,11 @@ impl NetworkBuilder {
                 trace: TraceStats::new(),
                 fabric: FabricCounters::default(),
                 rng: self.rng,
-                next_pkt: 0,
+                pkt_seqs: vec![0; n],
+                draw_seqs: vec![0; n],
+                my_shard: 0,
+                shard_of: vec![0; n],
+                outbound: Vec::new(),
             },
             handlers: self.handlers,
             down: vec![false; n],
@@ -1198,6 +1372,11 @@ mod tests {
             NetFault::Partition {
                 nodes: vec![0, 5],
                 up: false,
+            },
+            NetFault::RouteSet {
+                node: 7,
+                prefix: Prefix::new(Addr::new(10, 2, 0, 0), 16),
+                link: 4,
             },
         ];
         for f in faults {

@@ -181,8 +181,11 @@ impl NodeInfo {
 ///
 /// The `Any` supertrait lets experiment harnesses extract their concrete
 /// handler (and its accumulated measurements) back out of a finished
-/// [`crate::Network`] via [`crate::Network::handler_as`].
-pub trait NodeHandler: std::any::Any {
+/// [`crate::Network`] via [`crate::Network::handler_as`]. The `Send`
+/// supertrait lets a shard (which owns the handler exclusively) run on a
+/// worker thread; handlers never share state across nodes, so this costs
+/// nothing beyond banning `Rc`/`RefCell` captures inside handlers.
+pub trait NodeHandler: std::any::Any + Send {
     /// A packet destined to (or traversing) this node arrived. The handler
     /// decides its fate: consume it, reply, or `ctx.forward(packet)`.
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet);
@@ -228,9 +231,12 @@ impl NodeCtx<'_> {
         &self.core.nodes[self.node].name
     }
 
-    /// Allocate a fresh packet id.
+    /// Allocate a fresh packet id. Ids are per-origin-node sequences
+    /// (`(node+1) << 40 | seq`), so the id a packet gets is a pure function
+    /// of its originator's history — independent of how other nodes'
+    /// events interleave, and therefore of the shard count.
     pub fn new_packet_id(&mut self) -> u64 {
-        self.core.next_packet_id()
+        self.core.next_packet_id(self.node)
     }
 
     /// Build a packet originating here, stamped with the current time.
@@ -274,9 +280,12 @@ impl NodeCtx<'_> {
         self.queue.cancel(key);
     }
 
-    /// Uniform draw in [0,1) from the network's deterministic RNG.
+    /// Uniform draw in [0,1), deterministic per node: the k-th draw made by
+    /// node `n` is `hash(seed, salt, n, k)`. Counter-based rather than a
+    /// shared stream so the value never depends on what *other* nodes drew
+    /// first — a shard-count-invariance requirement.
     pub fn rand_unit(&mut self) -> f64 {
-        self.core.rng.unit()
+        self.core.node_rand_unit(self.node)
     }
 
     /// Mutate this node's routing/address state (e.g. a P-GW announcing a
@@ -316,6 +325,12 @@ impl NodeCtx<'_> {
 
     /// Schedule a fault to be applied after `delay`. Faults are ordinary
     /// events, so they interleave deterministically with packets and timers.
+    ///
+    /// Sharding caveat: this schedules into the *local* shard's queue only.
+    /// Pre-planned fault timelines are instead broadcast into every shard
+    /// at build time (see `ShardedSim::schedule_fault_broadcast`), so a
+    /// handler calling this at runtime must only target state its own
+    /// shard reads — or the run must stay at `--shards 1`.
     pub fn schedule_fault(
         &mut self,
         delay: SimDuration,

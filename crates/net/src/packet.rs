@@ -9,7 +9,7 @@ use crate::addr::Addr;
 use dlte_sim::SimTime;
 use std::any::Any;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Flow identifier used by traffic generators and the latency tracer.
 pub type FlowId = u64;
@@ -22,14 +22,15 @@ pub enum Payload {
     /// User-plane data belonging to a traced flow.
     Flow { flow: FlowId, seq: u64 },
     /// A typed control message (NAS, S1AP-ish, X2, transport frames).
-    /// `Rc` keeps clones cheap; the simulation is single-threaded.
-    Control(Rc<dyn Any>),
+    /// `Arc` keeps clones cheap and lets packets cross shard boundaries
+    /// (the sharded engine moves events between worker threads).
+    Control(Arc<dyn Any + Send + Sync>),
 }
 
 impl Payload {
     /// Wrap a typed control message.
-    pub fn control<T: Any>(msg: T) -> Payload {
-        Payload::Control(Rc::new(msg))
+    pub fn control<T: Any + Send + Sync>(msg: T) -> Payload {
+        Payload::Control(Arc::new(msg))
     }
 
     /// Downcast a control payload to `&T`.
@@ -154,7 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn clone_shares_control_rc() {
+    fn clone_shares_control_arc() {
         let p = Payload::control(FakeNas { imsi: 1 });
         let q = p.clone();
         assert_eq!(

@@ -1,0 +1,600 @@
+//! Sharded network simulations: one topology, N engine shards.
+//!
+//! [`ShardedSim`] is the driver experiments hold instead of a bare
+//! [`Simulation<Network>`]. At `--shards 1` it is a thin wrapper; at
+//! `--shards N` it owns N full replicas of the topology, each with the
+//! handlers of only its own nodes installed, advancing in lockstep epochs
+//! under the conservative synchronization of [`dlte_sim::run_sharded`].
+//!
+//! ## Replication model
+//!
+//! Every shard holds the *complete* `Network` — all node info, routes and
+//! links — built by running the same deterministic builder N times and
+//! pruning foreign handlers ([`Network::apply_shard_plan`]). This trades
+//! memory for the guarantee that no shard ever reaches into another's
+//! state:
+//!
+//! * link state is safe to replicate because an endpoint only mutates its
+//!   own transmit direction, and up/override flips arrive as broadcast
+//!   faults;
+//! * faults are pre-scheduled identically into every shard
+//!   ([`ShardedSim::schedule_fault_broadcast`]), so replicated link/route
+//!   state stays in sync without messages;
+//! * packets crossing a shard boundary become timestamped messages carrying
+//!   a pre-allocated canonical key, exchanged at epoch barriers.
+//!
+//! The result — enforced by tests from the engine level up through the
+//! golden experiments — is that traces, work counters and every statistic
+//! are **bit-identical at any shard count**.
+
+use crate::link::LinkId;
+use crate::network::{in_flight_packets, NetAudit, NetEvent, NetFault, Network};
+use crate::node::{NodeHandler, NodeId};
+use crate::trace::TraceStats;
+use dlte_sim::{run_sharded, EventQueue, RunOutcome, ShardPlan, SimDuration, SimTime, Simulation};
+
+/// Compute the conservative plan for partitioning `net` into `n` shards by
+/// the given node→shard map: the lookahead is the minimum configured
+/// propagation delay over links whose endpoints live on different shards.
+/// Panics (via [`ShardPlan::new`]) if any inter-shard link has zero delay —
+/// conservative sync would deadlock at zero lookahead.
+pub fn plan_for(net: &Network, n: usize, shard_of: Vec<usize>) -> ShardPlan {
+    assert_eq!(shard_of.len(), net.core.nodes.len());
+    let mut lookahead = SimDuration::MAX;
+    for l in &net.core.links {
+        if shard_of[l.a] != shard_of[l.b] {
+            lookahead = lookahead.min(l.config.delay);
+        }
+    }
+    ShardPlan::new(n, shard_of, lookahead)
+}
+
+/// A network simulation that may be partitioned into engine shards.
+// One of these exists per experiment arm, never in bulk, so the size
+// skew between the variants is irrelevant and boxing would only cost
+// an indirection on every accessor.
+#[allow(clippy::large_enum_variant)]
+pub enum ShardedSim {
+    /// The classic single-engine run.
+    Single(Simulation<Network>),
+    /// N replicas advancing under conservative synchronization.
+    Multi {
+        shards: Vec<Simulation<Network>>,
+        plan: ShardPlan,
+    },
+}
+
+impl ShardedSim {
+    /// Wrap an already-built single-engine simulation.
+    pub fn single(sim: Simulation<Network>) -> ShardedSim {
+        ShardedSim::Single(sim)
+    }
+
+    /// Build an `n`-shard simulation. `build` must be a deterministic
+    /// builder (same topology, handlers and seeds every call) — it runs
+    /// once per shard. `shard_of` maps the built topology to shards; it is
+    /// evaluated on the first replica.
+    ///
+    /// `n <= 1` (or a map that uses a single shard) degenerates to
+    /// [`ShardedSim::Single`] with zero overhead.
+    pub fn build<B, P>(n: usize, build: B, shard_of: P) -> ShardedSim
+    where
+        B: Fn() -> Simulation<Network>,
+        P: FnOnce(&Network) -> Vec<usize>,
+    {
+        let first = build();
+        if n <= 1 {
+            return ShardedSim::Single(first);
+        }
+        let map = shard_of(first.world());
+        let used = map.iter().max().map_or(1, |&m| m + 1);
+        if used <= 1 {
+            return ShardedSim::Single(first);
+        }
+        let plan = plan_for(first.world(), used, map);
+        let mut shards = Vec::with_capacity(used);
+        // Prune each replica as soon as it is built so peak memory holds at
+        // most one full handler set, not `used` of them — at E16 scale the
+        // handlers (key directories, per-UE state) dominate the footprint.
+        let mut first = first;
+        first.world_mut().apply_shard_plan(&plan, 0);
+        shards.push(first);
+        for i in 1..used {
+            let mut sim = build();
+            sim.world_mut().apply_shard_plan(&plan, i);
+            shards.push(sim);
+        }
+        ShardedSim::Multi { shards, plan }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        match self {
+            ShardedSim::Single(_) => 1,
+            ShardedSim::Multi { shards, .. } => shards.len(),
+        }
+    }
+
+    /// Advance to `horizon`. `max_events` is a per-shard dispatch budget,
+    /// exactly as in [`Simulation::run_until`].
+    pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
+        match self {
+            ShardedSim::Single(sim) => {
+                let plan = ShardPlan::single(sim.world().core.nodes.len());
+                run_sharded(std::slice::from_mut(sim), &plan, horizon, max_events)
+            }
+            ShardedSim::Multi { shards, plan } => run_sharded(shards, plan, horizon, max_events),
+        }
+    }
+
+    /// Run until every shard drains (or a budget trips).
+    pub fn run_to_completion(&mut self, max_events: u64) -> RunOutcome {
+        self.run_until(SimTime::MAX, max_events)
+    }
+
+    /// Current time: the barrier front (max over shards — all shards have
+    /// processed everything at or before the epochs already completed).
+    pub fn now(&self) -> SimTime {
+        match self {
+            ShardedSim::Single(sim) => sim.now(),
+            ShardedSim::Multi { shards, .. } => shards
+                .iter()
+                .map(|s| s.now())
+                .max()
+                .unwrap_or(SimTime::ZERO),
+        }
+    }
+
+    /// Total (non-control) events dispatched across shards — shard-count
+    /// invariant because replicated `Start`/`Fault` events are excluded
+    /// (see [`dlte_sim::World::is_control`]).
+    pub fn events_dispatched(&self) -> u64 {
+        match self {
+            ShardedSim::Single(sim) => sim.events_dispatched(),
+            ShardedSim::Multi { shards, .. } => shards.iter().map(|s| s.events_dispatched()).sum(),
+        }
+    }
+
+    /// The world of a single-shard run. Panics on multi-shard runs — use
+    /// the routed accessors ([`ShardedSim::handler_as`],
+    /// [`ShardedSim::trace_merged`], [`ShardedSim::audit_merged`]) instead.
+    pub fn world(&self) -> &Network {
+        match self {
+            ShardedSim::Single(sim) => sim.world(),
+            ShardedSim::Multi { .. } => {
+                panic!("ShardedSim::world on a multi-shard run: use the routed accessors")
+            }
+        }
+    }
+
+    /// Mutable world access (single-shard runs only, see [`ShardedSim::world`]).
+    pub fn world_mut(&mut self) -> &mut Network {
+        match self {
+            ShardedSim::Single(sim) => sim.world_mut(),
+            ShardedSim::Multi { .. } => {
+                panic!("ShardedSim::world_mut on a multi-shard run: use the routed accessors")
+            }
+        }
+    }
+
+    /// The event queue of a single-shard run (panics on multi-shard — there
+    /// is one queue per shard, and external schedules must pick a side).
+    pub fn queue(&self) -> &EventQueue<NetEvent> {
+        match self {
+            ShardedSim::Single(sim) => sim.queue(),
+            ShardedSim::Multi { .. } => {
+                panic!("ShardedSim::queue on a multi-shard run")
+            }
+        }
+    }
+
+    /// Mutable queue access (single-shard runs only).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<NetEvent> {
+        match self {
+            ShardedSim::Single(sim) => sim.queue_mut(),
+            ShardedSim::Multi { .. } => {
+                panic!("ShardedSim::queue_mut on a multi-shard run")
+            }
+        }
+    }
+
+    /// The replica that owns `node` (any replica for single-shard runs).
+    fn owner(&self, node: NodeId) -> &Simulation<Network> {
+        match self {
+            ShardedSim::Single(sim) => sim,
+            ShardedSim::Multi { shards, plan } => &shards[plan.shard_of(node)],
+        }
+    }
+
+    fn owner_mut(&mut self, node: NodeId) -> &mut Simulation<Network> {
+        match self {
+            ShardedSim::Single(sim) => sim,
+            ShardedSim::Multi { shards, plan } => &mut shards[plan.shard_of(node)],
+        }
+    }
+
+    /// Typed handler access, routed to the shard that owns `node`.
+    pub fn handler_as<T: NodeHandler>(&self, node: NodeId) -> Option<&T> {
+        self.owner(node).world().handler_as::<T>(node)
+    }
+
+    /// Typed mutable handler access, routed to the owning shard.
+    pub fn handler_as_mut<T: NodeHandler>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.owner_mut(node).world_mut().handler_as_mut::<T>(node)
+    }
+
+    /// Install a handler on the owning shard.
+    pub fn set_handler(&mut self, node: NodeId, handler: Box<dyn NodeHandler>) {
+        self.owner_mut(node).world_mut().set_handler(node, handler);
+    }
+
+    /// Whether `node` is currently crashed (down flags are replicated, so
+    /// the owning shard is authoritative and every replica agrees).
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.owner(node).world().node_is_down(node)
+    }
+
+    /// Whether `node` is currently paused.
+    pub fn node_is_paused(&self, node: NodeId) -> bool {
+        self.owner(node).world().node_is_paused(node)
+    }
+
+    /// Addresses bound to `node` (node info is replicated; the owning
+    /// shard's copy is authoritative).
+    pub fn node_addrs(&self, node: NodeId) -> Vec<crate::addr::Addr> {
+        self.owner(node).world().core.nodes[node].addrs().to_vec()
+    }
+
+    /// Whether a link is administratively up (link state is replicated;
+    /// shard 0's copy is as good as any).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        match self {
+            ShardedSim::Single(sim) => sim.world().core.links[link].up,
+            ShardedSim::Multi { shards, .. } => shards[0].world().core.links[link].up,
+        }
+    }
+
+    /// Schedule a fault into **every** shard at `at`, keeping replicated
+    /// link/route/liveness state in sync. This is the only correct way to
+    /// inject faults into a sharded run; for single-shard runs it is
+    /// equivalent to scheduling one `NetEvent::Fault`.
+    pub fn schedule_fault_broadcast(&mut self, at: SimTime, fault: NetFault) {
+        match self {
+            ShardedSim::Single(sim) => {
+                sim.queue_mut().schedule_at(at, NetEvent::Fault(fault));
+            }
+            ShardedSim::Multi { shards, .. } => {
+                for sim in shards.iter_mut() {
+                    sim.queue_mut()
+                        .schedule_at(at, NetEvent::Fault(fault.clone()));
+                }
+            }
+        }
+    }
+
+    /// The merged end-to-end trace. Single-shard: a clone of the world's
+    /// trace. Multi-shard: the per-shard traces folded in shard order (flow
+    /// entries are disjoint across shards, so the fold is exact — see
+    /// [`TraceStats::absorb`]).
+    pub fn trace_merged(&self) -> TraceStats {
+        match self {
+            ShardedSim::Single(sim) => sim.world().trace().clone(),
+            ShardedSim::Multi { shards, .. } => {
+                let mut merged = TraceStats::new();
+                for sim in shards {
+                    merged.absorb(sim.world().trace());
+                }
+                merged
+            }
+        }
+    }
+
+    /// The merged conservation-ledger audit: per-shard fabric counters and
+    /// drop tallies summed, in-flight packets counted across every queue.
+    /// The merged ledger closes exactly like a single-shard one (each packet
+    /// fate is counted by exactly one shard).
+    pub fn audit_merged(&self) -> NetAudit {
+        match self {
+            ShardedSim::Single(sim) => sim.world().audit(in_flight_packets(sim.queue())),
+            ShardedSim::Multi { shards, .. } => {
+                let mut merged = NetAudit::default();
+                for sim in shards {
+                    merged.absorb(&sim.world().audit(in_flight_packets(sim.queue())));
+                }
+                merged
+            }
+        }
+    }
+
+    /// Per-shard immutable access (diagnostics, tests).
+    pub fn shards(&self) -> Vec<&Simulation<Network>> {
+        match self {
+            ShardedSim::Single(sim) => vec![sim],
+            ShardedSim::Multi { shards, .. } => shards.iter().collect(),
+        }
+    }
+
+    /// The plan, when sharded.
+    pub fn plan(&self) -> Option<&ShardPlan> {
+        match self {
+            ShardedSim::Single(_) => None,
+            ShardedSim::Multi { plan, .. } => Some(plan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, Prefix};
+    use crate::handlers::{CbrSource, EchoServer, Pinger};
+    use crate::link::LinkConfig;
+    use crate::network::NetworkBuilder;
+    use crate::node::NodeCtx;
+    use crate::packet::{Packet, Payload};
+
+    /// Two AP-like clusters (source+sink pairs) joined by one backhaul
+    /// link with 10 ms delay — the minimum interesting sharded topology.
+    /// Cluster A pings across the backhaul into cluster B's echo server;
+    /// both clusters also run local CBR traffic that never crosses.
+    fn two_cluster_sim() -> Simulation<Network> {
+        let mut b = NetworkBuilder::new(42);
+        // Cluster A: nodes 0 (router), 1 (pinger), 2 (local cbr), 3 (local sink).
+        let ra = b.node("ra");
+        let pinger = b.host(
+            "pinger",
+            Box::new(Pinger::new(
+                Addr::new(10, 1, 0, 2),
+                7,
+                dlte_sim::SimDuration::from_millis(50),
+            )),
+        );
+        b.addr(pinger, Addr::new(10, 0, 0, 1));
+        let cbr_a = b.host(
+            "cbr-a",
+            Box::new(CbrSource::new(Addr::new(10, 0, 0, 3), 1, 2e6, 500)),
+        );
+        b.addr(cbr_a, Addr::new(10, 0, 0, 2));
+        let sink_a = b.node("sink-a");
+        b.addr(sink_a, Addr::new(10, 0, 0, 3));
+        // Cluster B: nodes 4 (router), 5 (echo), 6 (local cbr), 7 (local sink).
+        let rb = b.node("rb");
+        let echo = b.host("echo", Box::new(EchoServer::new()));
+        b.addr(echo, Addr::new(10, 1, 0, 2));
+        let cbr_b = b.host(
+            "cbr-b",
+            Box::new(CbrSource::new(Addr::new(10, 1, 0, 4), 2, 2e6, 500)),
+        );
+        b.addr(cbr_b, Addr::new(10, 1, 0, 3));
+        let sink_b = b.node("sink-b");
+        b.addr(sink_b, Addr::new(10, 1, 0, 4));
+        let lan = LinkConfig::lan();
+        for &(x, y) in &[(ra, pinger), (ra, cbr_a), (ra, sink_a)] {
+            b.link(x, y, lan);
+        }
+        for &(x, y) in &[(rb, echo), (rb, cbr_b), (rb, sink_b)] {
+            b.link(x, y, lan);
+        }
+        b.link(ra, rb, LinkConfig::rural_backhaul());
+        b.auto_routes();
+        b.build()
+    }
+
+    fn cluster_map(net: &Network) -> Vec<usize> {
+        (0..net.core.nodes.len())
+            .map(|n| if n < 4 { 0 } else { 1 })
+            .collect()
+    }
+
+    fn run_and_fingerprint(n: usize) -> (Vec<(u64, u64, String)>, u64, String, String) {
+        dlte_obs::set_tracing(true);
+        let _ = dlte_obs::drain_raw();
+        let mut sim = ShardedSim::build(n, two_cluster_sim, cluster_map);
+        assert_eq!(sim.num_shards(), n.clamp(1, 2));
+        sim.run_until(SimTime::from_secs(2), 10_000_000);
+        let records: Vec<(u64, u64, String)> = dlte_obs::take_records()
+            .into_iter()
+            .map(|r| (r.t_ns, r.node, format!("{:?}", r.event)))
+            .collect();
+        dlte_obs::set_tracing(false);
+        let trace = sim.trace_merged();
+        let audit = sim.audit_merged();
+        let flows = trace
+            .flow_ids()
+            .iter()
+            .map(|&f| {
+                let t = trace.flow(f).unwrap();
+                format!(
+                    "{f}:{}:{}:{:.9}:{:.9}",
+                    t.delivered_packets,
+                    t.delivered_bytes,
+                    t.latency_ms.percentile(50.0),
+                    t.hops.mean()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("|");
+        (
+            records,
+            sim.events_dispatched(),
+            format!("{audit:?}"),
+            flows,
+        )
+    }
+
+    /// The tentpole invariant, at the network level: trace records, work
+    /// counters, the conservation audit and per-flow statistics are
+    /// bit-identical at 1 and 2 shards.
+    #[test]
+    fn sharded_network_run_is_bit_identical_to_single() {
+        let (r1, e1, a1, f1) = run_and_fingerprint(1);
+        let (r2, e2, a2, f2) = run_and_fingerprint(2);
+        assert!(e1 > 0 && !f1.is_empty());
+        assert_eq!(e1, e2, "work counters");
+        assert_eq!(a1, a2, "conservation audit");
+        assert_eq!(f1, f2, "per-flow stats");
+        assert_eq!(r1.len(), r2.len(), "trace record count");
+        assert_eq!(r1, r2, "trace records");
+    }
+
+    /// Cross-backhaul RTT measured through a sharded run matches physics:
+    /// 2 × 10 ms backhaul + LAN hops ≈ 20.4 ms, proving cross-shard packets
+    /// actually flow (not silently dropped at the boundary).
+    #[test]
+    fn cross_shard_traffic_flows_and_rtt_is_sane() {
+        let mut sim = ShardedSim::build(2, two_cluster_sim, cluster_map);
+        assert_eq!(sim.num_shards(), 2);
+        sim.run_until(SimTime::from_secs(2), 10_000_000);
+        let pinger: &Pinger = sim.handler_as(1).expect("pinger on shard 0");
+        assert!(pinger.rtt_ms.len() >= 30, "rtts {}", pinger.rtt_ms.len());
+        let med = pinger.rtt_ms.median();
+        assert!((20.0..21.5).contains(&med), "median RTT {med}");
+        let echo: &EchoServer = sim.handler_as(5).expect("echo on shard 1");
+        assert!(echo.echoed >= 30);
+        // The audit closes across shards.
+        let audit = sim.audit_merged();
+        let f = &audit.fabric;
+        assert_eq!(
+            f.originated + f.reforwarded,
+            f.accepted
+                + audit.drops_ttl
+                + audit.drops_no_route
+                + audit.drops_queue
+                + audit.drops_loss
+                + audit.drops_link_down
+        );
+        assert_eq!(f.accepted, f.arrivals + audit.in_flight);
+    }
+
+    /// Faults broadcast into every shard keep replicated state in sync and
+    /// produce exactly one trace record for the transition.
+    #[test]
+    fn broadcast_faults_apply_everywhere_and_emit_once() {
+        let backhaul_fault = |sim: &mut ShardedSim| {
+            // Link 6 is ra—rb (the 7th link built).
+            sim.schedule_fault_broadcast(
+                SimTime::from_millis(500),
+                NetFault::LinkUp { link: 6, up: false },
+            );
+            sim.schedule_fault_broadcast(
+                SimTime::from_millis(900),
+                NetFault::LinkUp { link: 6, up: true },
+            );
+        };
+        let run = |n: usize| {
+            dlte_obs::set_tracing(true);
+            let _ = dlte_obs::drain_raw();
+            let mut sim = ShardedSim::build(n, two_cluster_sim, cluster_map);
+            backhaul_fault(&mut sim);
+            sim.run_until(SimTime::from_secs(2), 10_000_000);
+            let recs = dlte_obs::take_records();
+            dlte_obs::set_tracing(false);
+            let fault_recs: Vec<String> = recs
+                .iter()
+                .filter(|r| matches!(r.event, dlte_obs::Event::FaultLink { .. }))
+                .map(|r| format!("{}:{:?}", r.t_ns, r.event))
+                .collect();
+            let trace = sim.trace_merged();
+            (
+                fault_recs,
+                trace.drops_link_down,
+                format!("{:?}", sim.audit_merged()),
+            )
+        };
+        let (fr1, drops1, audit1) = run(1);
+        let (fr2, drops2, audit2) = run(2);
+        assert_eq!(fr1.len(), 2, "one down + one up record: {fr1:?}");
+        assert_eq!(fr1, fr2, "fault records identical, no duplicates");
+        assert!(drops1 > 0, "outage actually dropped packets");
+        assert_eq!(drops1, drops2);
+        assert_eq!(audit1, audit2);
+    }
+
+    /// Handlers that crash and restart across the epoch barrier behave
+    /// identically at any shard count (restart runs on the owner only;
+    /// the crash/restart trace is emitted once).
+    #[test]
+    fn node_crash_and_restart_is_shard_invariant() {
+        struct Counter {
+            got: u64,
+        }
+        impl NodeHandler for Counter {
+            fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, p: Packet) {
+                self.got += 1;
+                ctx.deliver_local(&p);
+            }
+            fn on_crash(&mut self) {
+                self.got = 0;
+            }
+        }
+        let build = || {
+            let mut b = NetworkBuilder::new(7);
+            let src = b.host(
+                "src",
+                Box::new(CbrSource::new(Addr::new(10, 1, 0, 1), 3, 1e6, 1250)),
+            );
+            b.addr(src, Addr::new(10, 0, 0, 1));
+            let dst = b.host("dst", Box::new(Counter { got: 0 }));
+            b.addr(dst, Addr::new(10, 1, 0, 1));
+            b.link(src, dst, LinkConfig::rural_backhaul());
+            b.auto_routes();
+            b.build()
+        };
+        let map = |_: &Network| vec![0, 1];
+        let run = |n: usize| {
+            let mut sim = ShardedSim::build(n, build, map);
+            sim.schedule_fault_broadcast(SimTime::from_millis(400), NetFault::NodeDown { node: 1 });
+            sim.schedule_fault_broadcast(SimTime::from_millis(700), NetFault::NodeUp { node: 1 });
+            sim.run_until(SimTime::from_secs(2), 1_000_000);
+            assert!(!sim.node_is_down(1));
+            let got = sim.handler_as::<Counter>(1).unwrap().got;
+            let t = sim.trace_merged();
+            (got, t.drops_node_down, sim.events_dispatched())
+        };
+        let (g1, d1, e1) = run(1);
+        let (g2, d2, e2) = run(2);
+        assert!(g1 > 0 && d1 > 0);
+        assert_eq!((g1, d1, e1), (g2, d2, e2));
+    }
+
+    /// A packet arriving mid-payload-`Control` across shards downcasts on
+    /// the far side (Arc payloads survive the thread boundary).
+    #[test]
+    fn control_payloads_cross_shards() {
+        #[derive(Debug)]
+        struct Hello {
+            n: u32,
+        }
+        struct Sender;
+        impl NodeHandler for Sender {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                let p = ctx
+                    .make_packet(Addr::new(10, 1, 0, 1), 100)
+                    .with_payload(Payload::control(Hello { n: 99 }));
+                ctx.forward(p);
+            }
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _p: Packet) {}
+        }
+        struct Receiver {
+            saw: Option<u32>,
+        }
+        impl NodeHandler for Receiver {
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, p: Packet) {
+                self.saw = p.payload.as_control::<Hello>().map(|h| h.n);
+            }
+        }
+        let build = || {
+            let mut b = NetworkBuilder::new(1);
+            let s = b.host("s", Box::new(Sender));
+            b.addr(s, Addr::new(10, 0, 0, 1));
+            let r = b.host("r", Box::new(Receiver { saw: None }));
+            b.addr(r, Addr::new(10, 1, 0, 1));
+            let l = b.link(s, r, LinkConfig::rural_backhaul());
+            b.route(s, Prefix::new(Addr::new(10, 1, 0, 1), 32), l);
+            b.build()
+        };
+        let mut sim = ShardedSim::build(2, build, |_| vec![0, 1]);
+        sim.run_to_completion(10_000);
+        assert_eq!(sim.handler_as::<Receiver>(1).unwrap().saw, Some(99));
+    }
+}

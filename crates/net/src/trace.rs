@@ -78,6 +78,32 @@ impl TraceStats {
             + self.drops_link_down
             + self.drops_node_down
     }
+
+    /// Fold another shard's trace into this one. Counters sum; flow tables
+    /// union. A flow's deliveries all happen at the node that owns its
+    /// destination — one shard — so in sharded runs the per-flow entries are
+    /// disjoint and the merge is exact (bit-identical to single-shard). If a
+    /// flow *is* delivered at nodes on different shards, its samples
+    /// concatenate: order-insensitive statistics (percentiles, counts) stay
+    /// exact; running means may differ in final-bit rounding.
+    pub fn absorb(&mut self, other: &TraceStats) {
+        for (flow, t) in &other.flows {
+            let dst = self.flows.entry(*flow).or_default();
+            for &v in t.latency_ms.values() {
+                dst.latency_ms.push(v);
+            }
+            dst.delivered_packets += t.delivered_packets;
+            dst.delivered_bytes += t.delivered_bytes;
+            dst.hops.merge(&t.hops);
+        }
+        self.other_delivered += other.other_delivered;
+        self.drops_queue += other.drops_queue;
+        self.drops_loss += other.drops_loss;
+        self.drops_no_route += other.drops_no_route;
+        self.drops_ttl += other.drops_ttl;
+        self.drops_link_down += other.drops_link_down;
+        self.drops_node_down += other.drops_node_down;
+    }
 }
 
 #[cfg(test)]

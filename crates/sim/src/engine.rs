@@ -6,29 +6,36 @@
 //! schedule follow-up events. Determinism guarantees:
 //!
 //! * events fire in non-decreasing time order;
-//! * events scheduled for the same instant fire in the order they were
-//!   scheduled (FIFO tie-break on sequence number);
+//! * events scheduled for the same instant fire in **canonical key order**
+//!   `(at, origin, oseq)`: `origin` identifies who scheduled the event
+//!   (0 = external/control scheduling, `node + 1` = a world entity — see
+//!   [`EventQueue::set_origin`]) and `oseq` is that origin's private
+//!   monotone counter. Events from the same origin therefore stay FIFO,
+//!   and ties across origins break by origin id — an order that does not
+//!   depend on any queue-global state;
 //! * cancellation via [`EventKey`] marks the event's slab slot vacant in
 //!   O(1) — no per-pop hash probing; the heap key left behind is discarded
-//!   when it surfaces (its slot no longer matches its sequence number).
+//!   when it surfaces (its slot no longer matches its guard number).
 //!
-//! Dispatch order is decided purely by the `(at, seq)` pairs in the heap,
-//! which the slab restructuring does not touch — so event order (and with
-//! it every golden and jobs-invariance check) is bit-identical to the old
-//! heap-of-payloads + tombstone-set implementation.
+//! The canonical key exists for the sharded engine (see [`crate::shard`]):
+//! because `(origin, oseq)` pairs are a pure function of each origin's own
+//! scheduling history — not of how schedules from different origins
+//! interleave — the same logical event gets the same key whether the
+//! topology runs in one queue or is partitioned across many, which is what
+//! makes dispatch order (and every golden) shard-count-invariant.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Identifies a scheduled event so it can be canceled before it fires.
-/// Internally `(slot, seq)`: the slot indexes the queue's slab, and the
-/// sequence number guards against slot reuse — a key whose event already
+/// Internally `(slot, guard)`: the slot indexes the queue's slab, and the
+/// guard number protects against slot reuse — a key whose event already
 /// fired (or was canceled) can never touch the slot's next occupant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventKey {
     slot: u32,
-    seq: u64,
+    guard: u64,
 }
 
 /// The mutable state of a simulation, driven by events of type `Self::Event`.
@@ -39,17 +46,27 @@ pub trait World {
     /// Handle one event. `now` is the event's firing time; new events may be
     /// scheduled on `queue` (at or after `now`).
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// True for control/bookkeeping events (fault injections, start
+    /// broadcasts) that should not count as dispatched simulation work.
+    /// The sharded engine replicates control events into every shard, so
+    /// excluding them keeps work counters shard-count-invariant.
+    fn is_control(_event: &Self::Event) -> bool {
+        false
+    }
 }
 
-/// A heap entry: just the ordering key plus the slab slot holding the
-/// payload. Ordered by `(at, seq)` — earliest time first, then lowest
-/// sequence number (FIFO among same-time events); `seq` is unique, so the
-/// slot never participates in ordering.
+/// A heap entry: the canonical ordering key plus the slab slot holding the
+/// payload. Ordered by `(at, origin, oseq)` — earliest time first, then
+/// lowest origin, then that origin's FIFO counter. `(origin, oseq)` is
+/// unique per queue, so the slot never participates in ordering.
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct HeapKey {
     at: SimTime,
-    seq: u64,
+    origin: u64,
+    oseq: u64,
     slot: u32,
+    guard: u64,
 }
 
 impl PartialOrd for HeapKey {
@@ -59,22 +76,22 @@ impl PartialOrd for HeapKey {
 }
 impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.origin, self.oseq).cmp(&(other.at, other.origin, other.oseq))
     }
 }
 
-/// One slab entry. `event: None` means vacant (fired or canceled); `seq`
+/// One slab entry. `event: None` means vacant (fired or canceled); `guard`
 /// stays behind as the reuse guard — a heap key or [`EventKey`] only acts
-/// on the slot while its sequence number matches.
+/// on the slot while its guard number matches.
 struct Slot<E> {
-    seq: u64,
+    guard: u64,
     event: Option<E>,
 }
 
 /// A priority queue of future events: a slab of scheduled payloads indexed
-/// by a heap of `(time, seq)` keys. Cancellation vacates the slab slot by
-/// index — O(1), no hashing — and the orphaned heap key is discarded
-/// whenever it reaches the top.
+/// by a heap of canonical `(time, origin, oseq)` keys. Cancellation vacates
+/// the slab slot by index — O(1), no hashing — and the orphaned heap key is
+/// discarded whenever it reaches the top.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<HeapKey>>,
     slots: Vec<Slot<E>>,
@@ -82,7 +99,12 @@ pub struct EventQueue<E> {
     free: Vec<u32>,
     /// Number of scheduled, not-yet-canceled events.
     live: usize,
-    next_seq: u64,
+    /// Slot-reuse guard counter (never ordering-relevant).
+    next_guard: u64,
+    /// The origin tag stamped on subsequent `schedule_*` calls.
+    cur_origin: u64,
+    /// Per-origin FIFO counters, indexed by origin id.
+    oseqs: Vec<u64>,
     now: SimTime,
 }
 
@@ -99,7 +121,9 @@ impl<E> EventQueue<E> {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
-            next_seq: 0,
+            next_guard: 0,
+            cur_origin: 0,
+            oseqs: Vec::new(),
             now: SimTime::ZERO,
         }
     }
@@ -110,22 +134,69 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Set the origin tag for subsequent `schedule_*` calls. Origin `0` is
+    /// reserved for external/control scheduling (pre-run setup, fault
+    /// plans); worlds that partition across shards tag handler dispatches
+    /// with `entity_id + 1` so same-time ties resolve identically at every
+    /// shard count. Worlds that never shard can ignore this entirely —
+    /// everything defaults to origin 0, which preserves plain global FIFO.
+    pub fn set_origin(&mut self, origin: u64) {
+        self.cur_origin = origin;
+    }
+
+    /// The origin tag currently stamped on `schedule_*` calls.
+    pub fn origin(&self) -> u64 {
+        self.cur_origin
+    }
+
+    /// Allocate the next `(origin, oseq)` pair under the current origin
+    /// *without* inserting an event — used when the event is exported to
+    /// another shard's queue. Consuming the counter here keeps this origin's
+    /// subsequent local schedules bit-identical to the single-shard run,
+    /// where the exported event would have claimed the same position.
+    pub fn alloc_key(&mut self) -> (u64, u64) {
+        let origin = self.cur_origin;
+        (origin, self.bump_oseq(origin))
+    }
+
+    fn bump_oseq(&mut self, origin: u64) -> u64 {
+        let idx = origin as usize;
+        if idx >= self.oseqs.len() {
+            self.oseqs.resize(idx + 1, 0);
+        }
+        let c = &mut self.oseqs[idx];
+        let v = *c;
+        *c += 1;
+        v
+    }
+
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error; the event is clamped to `now` so simulation time never
     /// runs backwards, and a debug assertion fires to surface the bug.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
+        let (origin, oseq) = self.alloc_key();
+        self.schedule_keyed(at, origin, oseq, event)
+    }
+
+    /// Schedule `event` with an explicit canonical key. Used by the shard
+    /// driver to deliver cross-shard messages: the key was allocated (via
+    /// [`EventQueue::alloc_key`]) on the sending shard, so the event sorts
+    /// exactly where it would have in a single-queue run. Each origin must
+    /// be keyed from exactly one allocator — reusing an `(origin, oseq)`
+    /// pair breaks the total order.
+    pub fn schedule_keyed(&mut self, at: SimTime, origin: u64, oseq: u64, event: E) -> EventKey {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: {at:?} < {:?}",
             self.now
         );
         let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let guard = self.next_guard;
+        self.next_guard += 1;
         let slot = match self.free.pop() {
             Some(i) => {
                 self.slots[i as usize] = Slot {
-                    seq,
+                    guard,
                     event: Some(event),
                 };
                 i
@@ -133,15 +204,21 @@ impl<E> EventQueue<E> {
             None => {
                 debug_assert!(self.slots.len() < u32::MAX as usize);
                 self.slots.push(Slot {
-                    seq,
+                    guard,
                     event: Some(event),
                 });
                 (self.slots.len() - 1) as u32
             }
         };
-        self.heap.push(Reverse(HeapKey { at, seq, slot }));
+        self.heap.push(Reverse(HeapKey {
+            at,
+            origin,
+            oseq,
+            slot,
+            guard,
+        }));
         self.live += 1;
-        EventKey { slot, seq }
+        EventKey { slot, guard }
     }
 
     /// Schedule `event` after a relative delay from now.
@@ -150,17 +227,17 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` to fire immediately (after all events already
-    /// scheduled for the current instant).
+    /// scheduled for the current instant by this origin).
     pub fn schedule_now(&mut self, event: E) -> EventKey {
         self.schedule_at(self.now, event)
     }
 
     /// Cancel a previously scheduled event: vacate its slab slot by index.
     /// Idempotent; canceling an event that already fired is a no-op (the
-    /// slot's sequence number no longer matches, or the slot is vacant).
+    /// slot's guard number no longer matches, or the slot is vacant).
     pub fn cancel(&mut self, key: EventKey) {
         let s = &mut self.slots[key.slot as usize];
-        if s.seq == key.seq && s.event.is_some() {
+        if s.guard == key.guard && s.event.is_some() {
             s.event = None;
             self.free.push(key.slot);
             self.live -= 1;
@@ -201,7 +278,7 @@ impl<E> EventQueue<E> {
     /// Whether this heap key still refers to the event it was pushed for.
     fn key_is_live(&self, k: HeapKey) -> bool {
         let s = &self.slots[k.slot as usize];
-        s.seq == k.seq && s.event.is_some()
+        s.guard == k.guard && s.event.is_some()
     }
 
     /// Drop canceled events' orphaned keys off the heap top until a live
@@ -217,7 +294,7 @@ impl<E> EventQueue<E> {
         }
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
         self.pop_at_or_before(SimTime::MAX)
     }
 
@@ -279,7 +356,7 @@ impl<W: World> Simulation<W> {
         self.queue.now()
     }
 
-    /// Total events dispatched so far.
+    /// Total non-control events dispatched so far (see [`World::is_control`]).
     pub fn events_dispatched(&self) -> u64 {
         self.events_dispatched
     }
@@ -308,8 +385,12 @@ impl<W: World> Simulation<W> {
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((t, ev)) => {
-                self.events_dispatched += 1;
+                if !W::is_control(&ev) {
+                    self.events_dispatched += 1;
+                }
+                self.queue.set_origin(0);
                 self.world.handle(t, ev, &mut self.queue);
+                self.queue.set_origin(0);
                 true
             }
             None => false,
@@ -322,6 +403,8 @@ impl<W: World> Simulation<W> {
     ///
     /// The run's event count and simulated-time coverage are credited to the
     /// calling thread's instrumentation tally (see [`crate::report`]).
+    /// Control events (per [`World::is_control`]) consume budget but are not
+    /// counted as dispatched work.
     pub fn run_until(&mut self, horizon: SimTime, max_events: u64) -> RunOutcome {
         let started_at = self.queue.now();
         let mut budget = max_events;
@@ -332,9 +415,16 @@ impl<W: World> Simulation<W> {
             }
             match self.queue.pop_at_or_before(horizon) {
                 Some((t, ev)) => {
-                    self.events_dispatched += 1;
-                    dispatched += 1;
+                    if !W::is_control(&ev) {
+                        self.events_dispatched += 1;
+                        dispatched += 1;
+                    }
+                    // The world tags handler dispatches with their own
+                    // origin; everything else (including the world's own
+                    // bookkeeping) schedules as origin 0.
+                    self.queue.set_origin(0);
                     self.world.handle(t, ev, &mut self.queue);
+                    self.queue.set_origin(0);
                     budget -= 1;
                 }
                 None => {
@@ -420,6 +510,56 @@ mod tests {
         sim.run_to_completion(1000);
         let tags: Vec<u32> = sim.world().seen.iter().map(|&(_, t)| t).collect();
         assert_eq!(tags, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_time_ties_break_by_origin_then_fifo() {
+        // Origin 0 (external) sorts before entity origins; within an origin
+        // scheduling order is preserved.
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        queue.set_origin(9);
+        queue.schedule_at(t, Ev::Tag(90));
+        queue.schedule_at(t, Ev::Tag(91));
+        queue.set_origin(2);
+        queue.schedule_at(t, Ev::Tag(20));
+        queue.set_origin(0);
+        queue.schedule_at(t, Ev::Tag(0));
+        let mut order = Vec::new();
+        while let Some((_, Ev::Tag(tag))) = queue.pop() {
+            order.push(tag);
+        }
+        assert_eq!(order, vec![0, 20, 90, 91]);
+    }
+
+    #[test]
+    fn keyed_schedule_sorts_like_local_allocation() {
+        // An event inserted with an explicit pre-allocated key lands exactly
+        // where the local allocation would have put it — the cross-shard
+        // delivery invariant.
+        let make = |remote: bool| {
+            let mut queue: EventQueue<Ev> = EventQueue::new();
+            let t = SimTime::from_millis(1);
+            queue.set_origin(3);
+            queue.schedule_at(t, Ev::Tag(1));
+            if remote {
+                let (origin, oseq) = queue.alloc_key();
+                queue.set_origin(7);
+                queue.schedule_at(t, Ev::Tag(3));
+                queue.schedule_keyed(t, origin, oseq, Ev::Tag(2));
+            } else {
+                queue.schedule_at(t, Ev::Tag(2));
+                queue.set_origin(7);
+                queue.schedule_at(t, Ev::Tag(3));
+            }
+            let mut order = Vec::new();
+            while let Some((_, Ev::Tag(tag))) = queue.pop() {
+                order.push(tag);
+            }
+            order
+        };
+        assert_eq!(make(false), vec![1, 2, 3]);
+        assert_eq!(make(true), make(false));
     }
 
     #[test]
@@ -581,5 +721,40 @@ mod tests {
         sim.run_to_completion(10);
         assert_eq!(sim.now(), SimTime::from_millis(42));
         assert_eq!(sim.events_dispatched(), 1);
+    }
+
+    #[test]
+    fn control_events_dispatch_but_do_not_count() {
+        struct Ctl {
+            work: u32,
+            control: u32,
+        }
+        impl World for Ctl {
+            type Event = bool; // true = control
+            fn handle(&mut self, _: SimTime, ev: bool, _: &mut EventQueue<bool>) {
+                if ev {
+                    self.control += 1;
+                } else {
+                    self.work += 1;
+                }
+            }
+            fn is_control(ev: &bool) -> bool {
+                *ev
+            }
+        }
+        let mut sim = Simulation::new(Ctl {
+            work: 0,
+            control: 0,
+        });
+        sim.queue_mut().schedule_at(SimTime::from_millis(1), true);
+        sim.queue_mut().schedule_at(SimTime::from_millis(2), false);
+        sim.queue_mut().schedule_at(SimTime::from_millis(3), true);
+        let ((), rep) = crate::report::scope(|| {
+            sim.run_to_completion(100);
+        });
+        assert_eq!(sim.world().control, 2, "control events still dispatch");
+        assert_eq!(sim.world().work, 1);
+        assert_eq!(sim.events_dispatched(), 1, "only work counts");
+        assert_eq!(rep.events_dispatched, 1, "tally excludes control events");
     }
 }

@@ -13,28 +13,35 @@
 //!
 //! ## Design notes
 //!
-//! Each simulation is intentionally single-threaded and synchronous. The
-//! paper's claims are about *architecture* (where packets flow, who
-//! coordinates spectrum), not about multicore performance of the simulator
-//! itself; a deterministic engine makes every experiment reproducible
-//! bit-for-bit and keeps the tests honest. Events scheduled for the same
-//! instant are delivered in scheduling order (FIFO tie-break on a
-//! monotonically increasing sequence number), which removes the classic
-//! source of heisen-results in event-driven simulators.
+//! Each shard of a simulation runs single-threaded and synchronous; the
+//! deterministic engine makes every experiment reproducible bit-for-bit
+//! and keeps the tests honest. Events scheduled for the same instant are
+//! delivered in canonical `(time, origin, oseq)` order — a tie-break that
+//! depends only on each scheduler's own history, never on global queue
+//! state — which removes the classic source of heisen-results in
+//! event-driven simulators *and* makes dispatch order independent of how
+//! the topology is partitioned.
 //!
-//! Parallelism lives *above* the engine: [`par_map`] fans independent,
-//! seeded simulations out across threads and returns their results in input
-//! order, so a parallel sweep is bit-identical to a sequential one.
+//! Parallelism enters in two places, both deterministic:
+//!
+//! * *across* runs, [`par_map`] fans independent, seeded simulations out
+//!   over threads and returns their results in input order, so a parallel
+//!   sweep is bit-identical to a sequential one;
+//! * *within* a run, [`shard::run_sharded`] partitions one topology into
+//!   shards advancing under conservative (lookahead-barrier) time
+//!   synchronization, with results bit-identical at any shard count.
 
 pub mod engine;
 pub mod par;
 pub mod report;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
-pub use engine::{EventQueue, Simulation, World};
+pub use engine::{EventQueue, RunOutcome, Simulation, World};
 pub use par::{par_map, set_jobs};
 pub use report::RunReport;
 pub use rng::SimRng;
+pub use shard::{run_sharded, set_shards, shards, OutMsg, ShardPlan, ShardWorld};
 pub use time::{SimDuration, SimTime};

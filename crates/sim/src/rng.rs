@@ -152,6 +152,36 @@ impl SimRng {
     }
 }
 
+/// SplitMix64 finalizer: a strong, cheap 64-bit mixing function.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Stateless hash of a word sequence to a uniform `u64`.
+///
+/// This is the counter-based counterpart to [`SimRng`]: instead of drawing
+/// from a shared stream (whose draw *order* would depend on event
+/// interleaving), callers key each decision on stable identifiers — e.g.
+/// `(seed, salt, packet_id, hop, link)` — so the outcome is a pure function
+/// of the decision's identity. The sharded engine depends on this: per-link
+/// loss and jitter draws must not change when the topology is partitioned.
+pub fn hash_u64(words: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &w in words {
+        h = mix(h ^ w).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    }
+    mix(h)
+}
+
+/// Stateless hash of a word sequence to a uniform `f64` in `[0, 1)`.
+/// Uses the top 53 bits of [`hash_u64`], so every representable value is an
+/// exact multiple of 2^-53.
+pub fn hash_unit(words: &[u64]) -> f64 {
+    (hash_u64(words) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
         self.inner.next_u32()
@@ -269,5 +299,26 @@ mod tests {
         let empty: [u8; 0] = [];
         assert_eq!(r.choose(&empty), None);
         assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        assert_eq!(hash_u64(&[1, 2, 3]), hash_u64(&[1, 2, 3]));
+        assert_ne!(hash_u64(&[1, 2, 3]), hash_u64(&[1, 2, 4]));
+        assert_ne!(hash_u64(&[1, 2, 3]), hash_u64(&[1, 3, 2]), "order matters");
+        assert_ne!(hash_u64(&[0]), hash_u64(&[0, 0]), "length matters");
+    }
+
+    #[test]
+    fn hash_unit_is_uniform_enough() {
+        let n = 20_000u64;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = hash_unit(&[0xdead_beef, i]);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

@@ -1,0 +1,531 @@
+//! Conservative sharded execution of one simulation.
+//!
+//! [`par_map`](crate::par::par_map) parallelizes *across* independent runs;
+//! this module parallelizes *within* a single run. The topology is
+//! partitioned into N shards (a [`ShardPlan`] maps every node to a shard),
+//! each shard owns its own [`Simulation`] — event queue, clock, node state —
+//! and cross-shard traffic travels as explicit timestamped messages
+//! ([`OutMsg`]) exchanged at synchronization barriers.
+//!
+//! ## The barrier protocol
+//!
+//! Synchronization is **conservative** (no rollback), with lookahead `L` =
+//! the minimum latency of any inter-shard link. Time advances in epochs:
+//!
+//! 1. a zero-width epoch `[s, s]` flushes events scheduled exactly at the
+//!    current safe time `s` (externally seeded work, fault injections between
+//!    stepped segments) and exchanges the messages they produce;
+//! 2. each regular epoch runs every shard independently over `(s, s + L]`,
+//!    then exchanges outbound messages at the barrier.
+//!
+//! This is safe because a message sent while handling an event at time
+//! `t > s` arrives at `t + L' ≥ t + L > s + L` — strictly *after* the epoch
+//! being computed — so no shard can ever receive a message for simulated
+//! time it has already executed. The receiving queue inserts the message
+//! with the exact canonical key `(at, origin, oseq)` the sender allocated
+//! (see [`EventQueue::schedule_keyed`](crate::EventQueue::schedule_keyed)),
+//! which is what makes dispatch order — and therefore every golden, trace,
+//! and work counter — bit-identical at 1, 2, or N shards.
+//!
+//! ## Merge rules
+//!
+//! At each barrier the runner folds the shards' instrumentation back into
+//! the calling thread exactly like `par_map` does for sweeps: report tallies
+//! are summed, metrics snapshots absorbed, and raw trace records from all
+//! shards are concatenated and stably sorted by `(t_ns, node)` before being
+//! absorbed. Within one `(t_ns, node)` pair all records come from the single
+//! shard owning that node (already in canonical order), and records never
+//! straddle an epoch boundary with equal timestamps, so the merged stream is
+//! a pure function of the simulated system, not of the shard count.
+
+use crate::engine::{RunOutcome, Simulation, World};
+use crate::report;
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global shard-count knob (the runner's `--shards N` flag). 1 = classic
+/// single-queue execution; 0 = auto (one shard per available CPU).
+static SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the number of shards subsequent scenario builds partition into.
+/// `1` restores classic single-queue execution; `0` means one shard per
+/// available CPU. Affects subsequent builds process-wide.
+pub fn set_shards(n: usize) {
+    SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The number of shards the next scenario build will use.
+pub fn shards() -> usize {
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// A partition of the topology: which shard owns each node, and the
+/// conservative lookahead the cut permits.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    n: usize,
+    shard_of: Vec<usize>,
+    lookahead: SimDuration,
+}
+
+impl ShardPlan {
+    /// A degenerate single-shard plan (everything in shard 0).
+    pub fn single(num_nodes: usize) -> Self {
+        ShardPlan {
+            n: 1,
+            shard_of: vec![0; num_nodes],
+            lookahead: SimDuration::MAX,
+        }
+    }
+
+    /// Build a plan from an explicit node → shard map. `lookahead` must be
+    /// the minimum latency of any link whose endpoints land in different
+    /// shards ([`SimDuration::MAX`] if the cut severs no links at all).
+    pub fn new(n: usize, shard_of: Vec<usize>, lookahead: SimDuration) -> Self {
+        assert!(n >= 1, "a plan needs at least one shard");
+        debug_assert!(shard_of.iter().all(|&s| s < n), "shard id out of range");
+        assert!(
+            n == 1 || !lookahead.is_zero(),
+            "conservative sync needs positive lookahead: \
+             every inter-shard link must have positive latency"
+        );
+        ShardPlan {
+            n,
+            shard_of,
+            lookahead,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.shard_of[node]
+    }
+
+    /// The conservative lookahead (epoch width).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn num_nodes(&self) -> usize {
+        self.shard_of.len()
+    }
+}
+
+/// A cross-shard message: an event bound for another shard's queue, carrying
+/// the canonical key the sending shard allocated for it.
+#[derive(Clone, Debug)]
+pub struct OutMsg<E> {
+    /// Destination shard.
+    pub shard: usize,
+    /// Absolute delivery time.
+    pub at: SimTime,
+    /// Canonical key: the allocating origin...
+    pub origin: u64,
+    /// ...and its sequence number (see [`crate::EventQueue::alloc_key`]).
+    pub oseq: u64,
+    /// The event to deliver.
+    pub event: E,
+}
+
+/// A [`World`] that can participate in sharded execution: instead of
+/// scheduling events for nodes it does not own, it buffers them as
+/// [`OutMsg`]s which the barrier runner collects and routes.
+pub trait ShardWorld: World {
+    /// Take the cross-shard messages produced since the last drain.
+    fn drain_outbound(&mut self) -> Vec<OutMsg<Self::Event>>;
+}
+
+/// Run a set of shard simulations to `horizon` under the conservative
+/// barrier protocol, with at most `max_events` dispatched **per shard**
+/// (runaway backstop, same contract as
+/// [`Simulation::run_until`](crate::Simulation::run_until)).
+///
+/// Returns [`RunOutcome::Drained`] once every shard's queue is empty and no
+/// messages are in flight (so a `SimTime::MAX` horizon terminates),
+/// [`RunOutcome::BudgetExhausted`] as soon as any shard exhausts its budget,
+/// and [`RunOutcome::HorizonReached`] otherwise.
+pub fn run_sharded<W>(
+    shards: &mut [Simulation<W>],
+    plan: &ShardPlan,
+    horizon: SimTime,
+    max_events: u64,
+) -> RunOutcome
+where
+    W: ShardWorld + Send,
+    W::Event: Send,
+{
+    assert_eq!(shards.len(), plan.n(), "one simulation per planned shard");
+    let tracing = dlte_obs::tracing_enabled();
+
+    if let [only] = shards {
+        // Single shard: no barrier needed, but the trace segment still gets
+        // the canonical (t_ns, node) merge order so captures are
+        // bit-identical to the N-shard run.
+        if !tracing {
+            return only.run_until(horizon, max_events);
+        }
+        let earlier = dlte_obs::drain_raw();
+        let outcome = only.run_until(horizon, max_events);
+        let mut segment = dlte_obs::drain_raw();
+        segment.sort_by_key(|&(t_ns, node, _)| (t_ns, node));
+        dlte_obs::absorb_raw(earlier);
+        dlte_obs::absorb_raw(segment);
+        return outcome;
+    }
+
+    // Safe time: everything at or before `s` has been executed everywhere.
+    // Individual shard clocks may lag `s` (an idle shard's clock only moves
+    // when it dispatches), which is fine — epochs are driven by `s`.
+    // External code (fault injection between stepped segments) must only
+    // schedule at or after the *global* now, i.e. at or after `s`.
+    let mut s = shards.iter().map(|sim| sim.now()).max().unwrap();
+    let mut budgets: Vec<u64> = vec![max_events; shards.len()];
+    // The initial epoch is zero-width: flush events sitting exactly at `s`
+    // (externally seeded work, injections between stepped segments) so every
+    // later message provably arrives strictly beyond its epoch's end.
+    let mut epoch_end = s;
+
+    loop {
+        // --- run one epoch on every shard in parallel ---------------------
+        let mut all_drained = true;
+        let mut exhausted = false;
+        let mut epoch_records: Vec<dlte_obs::RawRecord> = Vec::new();
+        let mut inbound: Vec<OutMsg<W::Event>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(budgets.iter().copied())
+                .map(|(sim, budget)| {
+                    scope.spawn(move || {
+                        let before = report::snapshot();
+                        if tracing {
+                            dlte_obs::set_tracing(true);
+                        }
+                        let outcome = sim.run_until(epoch_end, budget);
+                        let outbound = sim.world_mut().drain_outbound();
+                        let recs = if tracing {
+                            dlte_obs::drain_raw()
+                        } else {
+                            Vec::new()
+                        };
+                        (
+                            outcome,
+                            outbound,
+                            recs,
+                            report::snapshot().since(before),
+                            dlte_obs::metrics::take(),
+                        )
+                    })
+                })
+                .collect();
+
+            // Join in shard order so tallies, metrics, and trace records
+            // fold deterministically; collect outbound for the exchange.
+            for (shard_idx, handle) in handles.into_iter().enumerate() {
+                let (outcome, outbound, recs, tally, metrics) =
+                    handle.join().expect("shard worker panicked");
+                match outcome {
+                    RunOutcome::Drained => {}
+                    RunOutcome::HorizonReached => all_drained = false,
+                    RunOutcome::BudgetExhausted => exhausted = true,
+                }
+                budgets[shard_idx] = budgets[shard_idx].saturating_sub(tally.events);
+                report::merge(tally);
+                dlte_obs::metrics::absorb(&metrics);
+                epoch_records.extend(recs);
+                inbound.extend(outbound);
+            }
+        });
+
+        // --- barrier: route messages into their destination queues --------
+        let exchanged = inbound.len();
+        for msg in inbound {
+            debug_assert!(
+                msg.at > epoch_end,
+                "cross-shard message at {:?} violates lookahead (epoch end {:?})",
+                msg.at,
+                epoch_end
+            );
+            shards[msg.shard]
+                .queue_mut()
+                .schedule_keyed(msg.at, msg.origin, msg.oseq, msg.event);
+        }
+
+        if tracing {
+            // Stable sort: ties within one (t_ns, node) keep their shard's
+            // canonical emission order; a (t_ns, node) pair never spans
+            // shards (a node lives in exactly one shard) nor epochs (epochs
+            // partition time into disjoint half-open intervals).
+            epoch_records.sort_by_key(|&(t_ns, node, _)| (t_ns, node));
+            dlte_obs::absorb_raw(epoch_records);
+        }
+
+        if exhausted {
+            return RunOutcome::BudgetExhausted;
+        }
+        if all_drained && exchanged == 0 {
+            // Nothing pending anywhere and nothing in flight: done, even if
+            // the horizon (possibly SimTime::MAX) lies far ahead.
+            return RunOutcome::Drained;
+        }
+        if epoch_end >= horizon {
+            return RunOutcome::HorizonReached;
+        }
+        s = epoch_end;
+        // Next epoch: at least one lookahead wide. With no message in
+        // flight (they were all exchanged above) every future event already
+        // sits in some queue, so when the whole system is idle past `s + L`
+        // it is safe to jump straight to the earliest pending event — any
+        // message that event produces still lands at least `L` beyond it.
+        let min_next = shards
+            .iter_mut()
+            .filter_map(|sim| sim.queue_mut().peek_time())
+            .min();
+        epoch_end = (s + plan.lookahead()).min(horizon);
+        if let Some(next) = min_next {
+            epoch_end = epoch_end.max(next.min(horizon));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EventQueue;
+
+    const HOP: SimDuration = SimDuration::from_millis(5);
+
+    /// Tokens circulating a ring of nodes; each hop takes `HOP`. Exercises
+    /// cross-shard delivery, canonical-key export, and the drain contract.
+    #[derive(Clone, Debug)]
+    enum RingEv {
+        Token { node: usize, ttl: u32 },
+    }
+
+    struct RingShard {
+        my_shard: usize,
+        plan: ShardPlan,
+        /// (t_ms, node) of every token handled here, in dispatch order.
+        log: Vec<(u64, usize)>,
+        outbound: Vec<OutMsg<RingEv>>,
+    }
+
+    impl World for RingShard {
+        type Event = RingEv;
+        fn handle(&mut self, now: SimTime, ev: RingEv, queue: &mut EventQueue<RingEv>) {
+            let RingEv::Token { node, ttl } = ev;
+            assert_eq!(
+                self.plan.shard_of(node),
+                self.my_shard,
+                "token delivered to the wrong shard"
+            );
+            self.log.push((now.as_millis(), node));
+            if ttl == 0 {
+                return;
+            }
+            queue.set_origin(node as u64 + 1);
+            let next = (node + 1) % self.plan.num_nodes();
+            let ev = RingEv::Token {
+                node: next,
+                ttl: ttl - 1,
+            };
+            let dest = self.plan.shard_of(next);
+            if dest == self.my_shard {
+                queue.schedule_at(now + HOP, ev);
+            } else {
+                let (origin, oseq) = queue.alloc_key();
+                self.outbound.push(OutMsg {
+                    shard: dest,
+                    at: now + HOP,
+                    origin,
+                    oseq,
+                    event: ev,
+                });
+            }
+        }
+    }
+
+    impl ShardWorld for RingShard {
+        fn drain_outbound(&mut self) -> Vec<OutMsg<RingEv>> {
+            std::mem::take(&mut self.outbound)
+        }
+    }
+
+    /// Run `tokens` tokens around a 6-node ring partitioned into `n` shards,
+    /// returning the merged (t_ms, node) log sorted canonically plus total
+    /// dispatched work.
+    fn run_ring(n: usize, tokens: usize, ttl: u32, horizon: SimTime) -> (Vec<(u64, usize)>, u64) {
+        let nodes = 6;
+        let shard_of: Vec<usize> = (0..nodes).map(|i| i * n / nodes).collect();
+        let plan = ShardPlan::new(n, shard_of, HOP);
+        let mut sims: Vec<Simulation<RingShard>> = (0..n)
+            .map(|k| {
+                Simulation::new(RingShard {
+                    my_shard: k,
+                    plan: plan.clone(),
+                    log: Vec::new(),
+                    outbound: Vec::new(),
+                })
+            })
+            .collect();
+        for t in 0..tokens {
+            let node = t % nodes;
+            let shard = plan.shard_of(node);
+            sims[shard]
+                .queue_mut()
+                .schedule_at(SimTime::ZERO, RingEv::Token { node, ttl });
+        }
+        let outcome = run_sharded(&mut sims, &plan, horizon, 1_000_000);
+        assert_ne!(outcome, RunOutcome::BudgetExhausted);
+        let dispatched = sims.iter().map(|s| s.events_dispatched()).sum();
+        let mut log: Vec<(u64, usize)> =
+            sims.into_iter().flat_map(|s| s.into_world().log).collect();
+        log.sort_unstable();
+        (log, dispatched)
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard_bit_for_bit() {
+        let horizon = SimTime::from_secs(1);
+        let (log1, work1) = run_ring(1, 4, 37, horizon);
+        for n in [2, 3, 6] {
+            let (logn, workn) = run_ring(n, 4, 37, horizon);
+            assert_eq!(logn, log1, "dispatch log differs at {n} shards");
+            assert_eq!(workn, work1, "work counter differs at {n} shards");
+        }
+        // 4 tokens × (1 + 37 hops) each.
+        assert_eq!(work1, 4 * 38);
+    }
+
+    #[test]
+    fn max_horizon_drains_instead_of_spinning() {
+        let (log, work) = run_ring(3, 2, 10, SimTime::MAX);
+        assert_eq!(work, 2 * 11);
+        assert_eq!(log.len(), work as usize);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces() {
+        let nodes = 4;
+        let plan = ShardPlan::new(2, vec![0, 0, 1, 1], HOP);
+        let mut sims: Vec<Simulation<RingShard>> = (0..2)
+            .map(|k| {
+                Simulation::new(RingShard {
+                    my_shard: k,
+                    plan: plan.clone(),
+                    log: Vec::new(),
+                    outbound: Vec::new(),
+                })
+            })
+            .collect();
+        let _ = nodes;
+        sims[0].queue_mut().schedule_at(
+            SimTime::ZERO,
+            RingEv::Token {
+                node: 0,
+                ttl: u32::MAX,
+            },
+        );
+        let outcome = run_sharded(&mut sims, &plan, SimTime::MAX, 50);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn trace_capture_is_shard_count_invariant() {
+        // A world that emits one trace record per handled event: the merged
+        // record stream (and its dense seq numbering) must not depend on the
+        // shard count.
+        struct Tracer {
+            my_shard: usize,
+            plan: ShardPlan,
+            outbound: Vec<OutMsg<RingEv>>,
+        }
+        impl World for Tracer {
+            type Event = RingEv;
+            fn handle(&mut self, now: SimTime, ev: RingEv, queue: &mut EventQueue<RingEv>) {
+                let RingEv::Token { node, ttl } = ev;
+                dlte_obs::emit(
+                    now.as_nanos(),
+                    node as u64,
+                    dlte_obs::Event::Drop {
+                        reason: dlte_obs::DropReason::Queue,
+                        bytes: ttl,
+                    },
+                );
+                if ttl == 0 {
+                    return;
+                }
+                queue.set_origin(node as u64 + 1);
+                let next = (node + 1) % self.plan.num_nodes();
+                let ev = RingEv::Token {
+                    node: next,
+                    ttl: ttl - 1,
+                };
+                let dest = self.plan.shard_of(next);
+                if dest == self.my_shard {
+                    queue.schedule_at(now + HOP, ev);
+                } else {
+                    let (origin, oseq) = queue.alloc_key();
+                    self.outbound.push(OutMsg {
+                        shard: dest,
+                        at: now + HOP,
+                        origin,
+                        oseq,
+                        event: ev,
+                    });
+                }
+            }
+        }
+        impl ShardWorld for Tracer {
+            fn drain_outbound(&mut self) -> Vec<OutMsg<RingEv>> {
+                std::mem::take(&mut self.outbound)
+            }
+        }
+
+        let run = |n: usize| {
+            let nodes = 4;
+            let shard_of: Vec<usize> = (0..nodes).map(|i| i * n / nodes).collect();
+            let plan = ShardPlan::new(n, shard_of, HOP);
+            let mut sims: Vec<Simulation<Tracer>> = (0..n)
+                .map(|k| {
+                    Simulation::new(Tracer {
+                        my_shard: k,
+                        plan: plan.clone(),
+                        outbound: Vec::new(),
+                    })
+                })
+                .collect();
+            dlte_obs::set_tracing(true);
+            for t in 0..3usize {
+                let node = t % nodes;
+                sims[plan.shard_of(node)]
+                    .queue_mut()
+                    .schedule_at(SimTime::ZERO, RingEv::Token { node, ttl: 9 });
+            }
+            run_sharded(&mut sims, &plan, SimTime::MAX, 10_000);
+            let recs = dlte_obs::take_records();
+            dlte_obs::set_tracing(false);
+            recs
+        };
+        let one = run(1);
+        assert_eq!(one.len(), 30);
+        for n in [2, 4] {
+            assert_eq!(run(n), one, "trace stream differs at {n} shards");
+        }
+        for (i, r) in one.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "seq must be dense after merge");
+        }
+    }
+}

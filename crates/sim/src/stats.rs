@@ -6,7 +6,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Running mean / variance via Welford's online algorithm.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -103,15 +103,17 @@ impl Welford {
 /// Exact sample collector with percentile queries.
 ///
 /// Percentile queries on an unsorted collector build a sorted view once and
-/// cache it behind a `RefCell`, so read-only reporting paths that ask for a
+/// cache it behind a `OnceLock`, so read-only reporting paths that ask for a
 /// handful of quantiles (p50/p95/p99/min/max) sort at most once between
 /// pushes instead of cloning and sorting per query. The cache is interior
-/// state only: it never serializes, and pushes invalidate it.
+/// state only: it never serializes, and pushes invalidate it. `OnceLock`
+/// (rather than `RefCell`) keeps the collector `Send`/`Sync`, so per-shard
+/// stats can cross the worker-thread boundary of the sharded engine.
 #[derive(Clone, Debug, Default)]
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
-    sorted_view: RefCell<Option<Vec<f64>>>,
+    sorted_view: OnceLock<Vec<f64>>,
 }
 
 // Manual impls keep the wire shape of the old derive (`values` + `sorted`)
@@ -142,7 +144,7 @@ impl Deserialize for Samples {
         Ok(Samples {
             values,
             sorted,
-            sorted_view: RefCell::new(None),
+            sorted_view: OnceLock::new(),
         })
     }
 }
@@ -152,14 +154,14 @@ impl Samples {
         Samples {
             values: Vec::new(),
             sorted: true,
-            sorted_view: RefCell::new(None),
+            sorted_view: OnceLock::new(),
         }
     }
 
     pub fn push(&mut self, x: f64) {
         self.values.push(x);
         self.sorted = false;
-        *self.sorted_view.get_mut() = None;
+        self.sorted_view.take();
     }
 
     /// Record a duration in milliseconds (the unit the experiment tables use
@@ -211,8 +213,7 @@ impl Samples {
         if self.sorted {
             return Self::interpolate(&self.values, q);
         }
-        let mut view = self.sorted_view.borrow_mut();
-        let sorted = view.get_or_insert_with(|| {
+        let sorted = self.sorted_view.get_or_init(|| {
             let mut v = self.values.clone();
             v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             v
@@ -231,7 +232,7 @@ impl Samples {
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
             // The stored order now serves queries directly.
-            *self.sorted_view.get_mut() = None;
+            self.sorted_view.take();
         }
         Self::interpolate(&self.values, q)
     }
@@ -562,6 +563,48 @@ mod tests {
         let back: Samples = serde_json::from_str(&json).unwrap();
         assert_eq!(back.values(), s.values());
         assert_eq!(back.median(), s.median());
+    }
+
+    #[test]
+    fn percentiles_agree_with_naive_sort_after_cross_thread_moves() {
+        // The cache must be Send/Sync (per-shard stats cross the worker
+        // boundary of the sharded engine) and queries must agree with a
+        // naive sort whether the cache was populated before or after the
+        // move, and on clones that carried it across.
+        fn naive(vals: &[f64], q: f64) -> f64 {
+            let mut v = vals.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Samples::interpolate(&v, q)
+        }
+        let raw = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0];
+        let mut s = Samples::new();
+        for x in raw {
+            s.push(x);
+        }
+        // Warm the cache on this thread, then move the collector.
+        let _ = s.percentile(0.5);
+        let shared = std::sync::Arc::new(s);
+        let for_thread = std::sync::Arc::clone(&shared);
+        let from_thread = std::thread::spawn(move || {
+            // Query through the shared reference on another thread (Sync)...
+            let warm = (for_thread.median(), for_thread.p95());
+            // ...and move a clone (with its warmed cache) into this thread.
+            let owned: Samples = (*for_thread).clone();
+            let mut grown = owned.clone();
+            grown.push(4.0);
+            (warm, owned.percentile(0.25), grown.median())
+        })
+        .join()
+        .unwrap();
+        let ((med, p95), p25, grown_med) = from_thread;
+        assert_eq!(med, naive(&raw, 0.5));
+        assert_eq!(p95, naive(&raw, 0.95));
+        assert_eq!(p25, naive(&raw, 0.25));
+        let mut raw_plus = raw.to_vec();
+        raw_plus.push(4.0);
+        assert_eq!(grown_med, naive(&raw_plus, 0.5), "push invalidates cache");
+        // The original, back on this thread, still answers correctly.
+        assert_eq!(shared.median(), naive(&raw, 0.5));
     }
 
     #[test]

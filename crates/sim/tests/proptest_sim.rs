@@ -137,6 +137,105 @@ proptest! {
         prop_assert_eq!(sim.queue_mut().pending(), 0);
     }
 
+    /// Cancels that land on already-purged orphan slots are exact no-ops.
+    ///
+    /// The lazy-purge design leaves a canceled event's heap key behind until
+    /// it surfaces; `peek_time` discards such orphans eagerly and the freed
+    /// slot is then reused by the next schedule. This drives that exact
+    /// sequence — cancel, purge via peek, reuse, then *re-cancel the stale
+    /// key* — and checks the reused slot's new occupant is never harmed:
+    /// `pending()` and the full dispatch order still match the reference
+    /// model.
+    #[test]
+    fn cancels_on_purged_orphan_slots_are_noops(
+        phases in prop::collection::vec(
+            (
+                prop::collection::vec(0u64..50_000, 1..12), // schedule
+                prop::collection::vec(0usize..1000, 0..8),  // cancel, purge, re-cancel
+                prop::collection::vec(0u64..50_000, 0..12), // reschedule into freed slots
+                prop::collection::vec(0usize..1000, 0..8),  // stale cancels after reuse
+                1u64..60_000,                               // advance
+            ),
+            1..8,
+        )
+    ) {
+        let mut sim = Simulation::new(Recorder { fired: vec![] });
+        let mut keys = Vec::new();
+        let mut model: Vec<ModelEntry> = Vec::new();
+        let mut base = 0u64;
+        let schedule = |sim: &mut Simulation<Recorder>,
+                            keys: &mut Vec<dlte_sim::engine::EventKey>,
+                            model: &mut Vec<ModelEntry>,
+                            at: SimTime| {
+            let id = model.len() as u32;
+            keys.push(sim.queue_mut().schedule_at(at, id));
+            model.push(ModelEntry { at, id, canceled: false, fired: false });
+        };
+        let cancel = |sim: &mut Simulation<Recorder>,
+                      keys: &[dlte_sim::engine::EventKey],
+                      model: &mut [ModelEntry],
+                      pick: usize| {
+            if keys.is_empty() {
+                return;
+            }
+            let i = pick % keys.len();
+            sim.queue_mut().cancel(keys[i]);
+            let e = &mut model[i];
+            if !e.fired && !e.canceled {
+                e.canceled = true;
+            }
+        };
+        for (sched, cancels, resched, stale, advance) in &phases {
+            for &off in sched {
+                schedule(&mut sim, &mut keys, &mut model, SimTime::from_nanos(base + off));
+            }
+            for &pick in cancels {
+                cancel(&mut sim, &keys, &mut model, pick);
+            }
+            // Purge: orphan keys at the heap top are discarded here, so the
+            // canceled events' slots are ready for reuse with nothing but
+            // the guard number protecting them.
+            let next_live = model
+                .iter()
+                .filter(|e| !e.fired && !e.canceled)
+                .map(|e| e.at)
+                .min();
+            prop_assert_eq!(sim.queue_mut().peek_time(), next_live);
+            // Reuse the freed slots...
+            for &off in resched {
+                schedule(&mut sim, &mut keys, &mut model, SimTime::from_nanos(base + off));
+            }
+            // ...then fire cancels at arbitrary (often stale) keys, and
+            // repeat every earlier cancel verbatim: both must leave the
+            // slots' new occupants untouched.
+            for &pick in stale {
+                cancel(&mut sim, &keys, &mut model, pick);
+            }
+            for &pick in cancels {
+                cancel(&mut sim, &keys, &mut model, pick);
+            }
+            let horizon = SimTime::from_nanos(base + advance);
+            sim.run_until(horizon, 100_000);
+            for e in model.iter_mut() {
+                if !e.canceled && !e.fired && e.at <= horizon {
+                    e.fired = true;
+                }
+            }
+            let live = model.iter().filter(|e| !e.fired && !e.canceled).count();
+            prop_assert_eq!(sim.queue_mut().pending(), live, "pending after phase");
+            base += advance;
+        }
+        sim.run_to_completion(100_000);
+        let mut expect: Vec<(SimTime, u32)> = model
+            .iter()
+            .filter(|e| !e.canceled)
+            .map(|e| (e.at, e.id))
+            .collect();
+        expect.sort_by_key(|&(at, _)| at);
+        prop_assert_eq!(&sim.world().fired, &expect);
+        prop_assert!(sim.queue_mut().is_empty());
+    }
+
     /// Events always fire in non-decreasing time order, whatever order they
     /// were scheduled in.
     #[test]
