@@ -61,7 +61,7 @@ pub mod runner {
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE] [--registry]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -754,6 +754,10 @@ pub mod runner {
         /// Engine shard count for every fuzz case (`--shards N`; 0 =
         /// per-CPU). Oracles and evidence are bit-identical for any value.
         pub shards: Option<usize>,
+        /// Fuzz the spectrum registry (`dlte::fuzz_registry`) instead of
+        /// the network chaos cases. Repros are
+        /// `fuzz_repro_registry_<seed>.json`.
+        pub registry: bool,
     }
 
     impl Default for FuzzInvocation {
@@ -764,6 +768,7 @@ pub mod runner {
                 out_dir: ".".to_string(),
                 repro: None,
                 shards: None,
+                registry: false,
             }
         }
     }
@@ -793,6 +798,9 @@ pub mod runner {
                 "--repro" => {
                     inv.repro = Some(args.next().ok_or("--repro needs a file path")?);
                 }
+                "--registry" => {
+                    inv.registry = true;
+                }
                 "--shards" => {
                     let v = args
                         .next()
@@ -815,6 +823,9 @@ pub mod runner {
         use std::fmt::Write as _;
         if let Some(n) = inv.shards {
             dlte_sim::set_shards(n);
+        }
+        if inv.registry {
+            return run_fuzz_registry(inv);
         }
         let mut out = String::new();
         if let Some(path) = &inv.repro {
@@ -868,6 +879,74 @@ pub mod runner {
             let _ = writeln!(
                 out,
                 "fuzz: {cases} cases ({}..{}), {failures} failed",
+                inv.seed_start, inv.seed_end
+            );
+            (out, failures == 0)
+        }
+    }
+
+    /// The `--registry` arm of [`run_fuzz`]: sweep (or replay) seeded
+    /// registry chaos workloads through `dlte::fuzz_registry`.
+    fn run_fuzz_registry(inv: &FuzzInvocation) -> (String, bool) {
+        use dlte::fuzz_registry;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if let Some(path) = &inv.repro {
+            match fuzz_registry::replay_registry_repro(std::path::Path::new(path)) {
+                Ok((repro, outcome)) => {
+                    let w = &repro.workload;
+                    let _ = writeln!(
+                        out,
+                        "replay registry seed {} ({}, {} zones, {} replicas, {} aps, {} fault specs):",
+                        repro.seed,
+                        w.flavour,
+                        w.n_zones,
+                        w.n_replicas,
+                        w.n_aps,
+                        w.plan.faults.len()
+                    );
+                    for v in &outcome.violations {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                    if outcome.violations.is_empty() {
+                        let _ = writeln!(out, "  all oracles green (bug no longer reproduces)");
+                    }
+                    (out, outcome.violations.is_empty())
+                }
+                Err(e) => (format!("registry fuzz replay: {e}\n"), false),
+            }
+        } else {
+            let mut failures = 0u64;
+            for seed in inv.seed_start..inv.seed_end {
+                if let Some(repro) = fuzz_registry::fuzz_registry_seed(seed) {
+                    failures += 1;
+                    let _ = writeln!(
+                        out,
+                        "registry seed {seed} FAILED ({} violations, minimized to {} fault specs in {} runs):",
+                        repro.violations.len(),
+                        repro.workload.plan.faults.len(),
+                        repro.shrink_runs
+                    );
+                    for v in &repro.violations {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                    match fuzz_registry::write_registry_repro(
+                        &repro,
+                        std::path::Path::new(&inv.out_dir),
+                    ) {
+                        Ok(path) => {
+                            let _ = writeln!(out, "  repro: {}", path.display());
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "  repro write failed: {e}");
+                        }
+                    }
+                }
+            }
+            let cases = inv.seed_end - inv.seed_start;
+            let _ = writeln!(
+                out,
+                "registry fuzz: {cases} cases ({}..{}), {failures} failed",
                 inv.seed_start, inv.seed_end
             );
             (out, failures == 0)
@@ -945,6 +1024,11 @@ pub mod runner {
             assert_eq!(inv.shards, Some(2));
             assert!(parse_fuzz_args(args("--shards two")).is_err());
 
+            let inv = parse_fuzz_args(args("--registry --seeds 0..50")).unwrap();
+            assert!(inv.registry);
+            assert_eq!((inv.seed_start, inv.seed_end), (0, 50));
+            assert!(!parse_fuzz_args(args("--seeds 0..50")).unwrap().registry);
+
             assert_eq!(
                 parse_fuzz_args(args("")).unwrap(),
                 FuzzInvocation::default()
@@ -965,6 +1049,19 @@ pub mod runner {
             let (report, ok) = run_fuzz(&inv);
             assert!(ok, "seeds 0..3 should be green:\n{report}");
             assert!(report.contains("3 cases (0..3), 0 failed"));
+        }
+
+        #[test]
+        fn registry_fuzz_sweep_runs_green_on_a_small_range() {
+            let inv = FuzzInvocation {
+                seed_start: 0,
+                seed_end: 5,
+                registry: true,
+                ..FuzzInvocation::default()
+            };
+            let (report, ok) = run_fuzz(&inv);
+            assert!(ok, "registry seeds 0..5 should be green:\n{report}");
+            assert!(report.contains("registry fuzz: 5 cases (0..5), 0 failed"));
         }
 
         #[test]
@@ -1208,7 +1305,7 @@ pub mod runner {
         #[test]
         fn selection_resolves_all_single_and_multiple_ids() {
             let all = selection(&Invocation::default()).unwrap();
-            assert_eq!(all.len(), 19);
+            assert_eq!(all.len(), 20);
             let one = selection(&Invocation {
                 targets: vec!["E13".into()],
                 ..Invocation::default()

@@ -39,6 +39,9 @@ use dlte_obs::{Event, Record};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+pub mod registry;
+pub use registry::{check_registry, CrashRecord, GrantRecord, RegistryEvidence, ReplicaTable};
+
 /// One invariant breach: which oracle fired and what it saw.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Violation {

@@ -1,0 +1,239 @@
+//! # Registry chaos fuzzing
+//!
+//! The registry-flavoured twin of [`crate::fuzz`]: derive a whole
+//! [`RegistryWorkload`] from a seed, run it through [`run_chaos`], and if
+//! any registry oracle fires, greedily shrink the fault plan to a minimal
+//! repro and write it as JSON. Driven by `dlte-run fuzz --registry`.
+//!
+//! Everything is a pure function of the seed, so a failing seed from CI
+//! reproduces on any machine, and a committed repro file replays
+//! bit-for-bit forever.
+
+use crate::registry_chaos::{run_chaos, ChaosOutcome, Flavour, RegistryWorkload};
+use dlte_check::Violation;
+use dlte_faults::registry::RegistryFaultPlan;
+use dlte_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Cap on executions one shrink is allowed (each run is ~100 ticks, so
+/// this bounds a shrink to well under a second).
+const MAX_SHRINK_RUNS: usize = 200;
+
+/// Minimal failing registry repro, written as
+/// `fuzz_repro_registry_<seed>.json` and replayed with
+/// `dlte-run fuzz --registry --repro FILE`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegistryFuzzRepro {
+    /// Seed of the original sweep case (the file name key).
+    pub seed: u64,
+    /// The *minimized* workload (same seed, shrunk fault plan).
+    pub workload: RegistryWorkload,
+    /// Oracle violations the minimized workload still triggers.
+    pub violations: Vec<Violation>,
+    /// How many workload executions shrinking took.
+    pub shrink_runs: usize,
+}
+
+/// Derive a whole chaos workload from a seed. Deterministic: same seed,
+/// same flavour, same fault schedule, same tick trajectory.
+pub fn generate_workload(seed: u64) -> RegistryWorkload {
+    let mut rng = SimRng::new(seed).fork("registry-fuzz-case");
+    let flavour = match rng.index(3) {
+        0 => Flavour::Centralized,
+        1 => Flavour::Federated,
+        _ => Flavour::Replicated,
+    };
+    let n_zones = 2 + rng.index(3); // 2..=4
+    let n_replicas = 2 + rng.index(2); // 2..=3
+    let n_aps = 6 + rng.index(7); // 6..=12
+    let area_km = rng.uniform(60.0, 120.0);
+    let contour_km = rng.uniform(8.0, 15.0);
+    let lease_s = rng.uniform(6.0, 12.0);
+    // Short cap so crash quarantines (crash + max_lease) end inside the
+    // run and post-recovery behavior is actually exercised.
+    let max_lease_s = lease_s + rng.uniform(3.0, 6.0);
+    let total_s = rng.uniform(40.0, 60.0);
+    let n_faults = 2 + rng.index(4); // 2..=5
+    let plan = RegistryFaultPlan::chaos_mix(seed, n_zones, n_replicas, n_faults, 5.0, 30.0, 8.0);
+    RegistryWorkload {
+        seed,
+        flavour,
+        n_zones,
+        n_replicas,
+        n_aps,
+        area_km,
+        contour_km,
+        lease_s,
+        max_lease_s,
+        total_s,
+        plan,
+    }
+}
+
+/// Greedily shrink the workload's fault plan while the original oracles
+/// still fire. First-still-failing, restart after every improvement —
+/// same discipline as [`crate::fuzz::shrink_case`].
+pub fn shrink_workload(
+    workload: &RegistryWorkload,
+    outcome: &ChaosOutcome,
+) -> (RegistryWorkload, ChaosOutcome, usize) {
+    let original_oracles: HashSet<&str> = outcome
+        .violations
+        .iter()
+        .map(|v| v.oracle.as_str())
+        .collect();
+    let still_failing = |o: &ChaosOutcome| {
+        o.violations
+            .iter()
+            .any(|v| original_oracles.contains(v.oracle.as_str()))
+    };
+    let mut best = workload.clone();
+    let mut best_outcome = outcome.clone();
+    let mut runs = 0usize;
+    'outer: loop {
+        for plan in best.plan.shrink_candidates() {
+            if runs >= MAX_SHRINK_RUNS {
+                break 'outer;
+            }
+            let cand = RegistryWorkload {
+                plan,
+                ..best.clone()
+            };
+            let o = run_chaos(&cand);
+            runs += 1;
+            if still_failing(&o) {
+                best = cand;
+                best_outcome = o;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_outcome, runs)
+}
+
+/// Fuzz one seed: generate, run, and on violation shrink to a repro.
+/// `None` means every registry oracle held.
+pub fn fuzz_registry_seed(seed: u64) -> Option<RegistryFuzzRepro> {
+    let workload = generate_workload(seed);
+    let outcome = run_chaos(&workload);
+    if outcome.violations.is_empty() {
+        return None;
+    }
+    let (min_workload, min_outcome, shrink_runs) = shrink_workload(&workload, &outcome);
+    Some(RegistryFuzzRepro {
+        seed,
+        workload: min_workload,
+        violations: min_outcome.violations,
+        shrink_runs,
+    })
+}
+
+/// Write a repro next to the other run artifacts; returns the path.
+pub fn write_registry_repro(repro: &RegistryFuzzRepro, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("fuzz_repro_registry_{}.json", repro.seed));
+    let json = serde_json::to_string_pretty(repro).expect("repro serializes");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Load a repro file and re-run its minimized workload bit-for-bit.
+pub fn replay_registry_repro(path: &Path) -> Result<(RegistryFuzzRepro, ChaosOutcome), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let repro: RegistryFuzzRepro =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path:?}: {e}"))?;
+    let outcome = run_chaos(&repro.workload);
+    Ok((repro, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a = generate_workload(7);
+        let b = generate_workload(7);
+        assert_eq!(a, b);
+        // Across a seed range, all three flavours appear and plans differ.
+        let flavours: HashSet<String> = (0..20)
+            .map(|s| generate_workload(s).flavour.to_string())
+            .collect();
+        assert_eq!(flavours.len(), 3, "{flavours:?}");
+        assert_ne!(generate_workload(1).plan, generate_workload(2).plan);
+    }
+
+    #[test]
+    fn generated_workloads_exercise_faults() {
+        // Every generated plan actually schedules faults inside the run.
+        for seed in 0..10 {
+            let w = generate_workload(seed);
+            assert!(!w.plan.compile().is_empty(), "seed {seed}: empty plan");
+            assert!(
+                w.plan.last_fault_time().as_secs_f64() < w.total_s,
+                "seed {seed}: faults after the horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn repro_round_trips_through_json_and_replays() {
+        // Manufacture a repro from a healthy seed (violations empty is
+        // fine for the round-trip) and check replay matches.
+        let workload = generate_workload(3);
+        let outcome = run_chaos(&workload);
+        let repro = RegistryFuzzRepro {
+            seed: 3,
+            workload: workload.clone(),
+            violations: outcome.violations.clone(),
+            shrink_runs: 0,
+        };
+        let dir = std::env::temp_dir().join("dlte-registry-fuzz-test");
+        let path = write_registry_repro(&repro, &dir).expect("write repro");
+        let (back, replayed) = replay_registry_repro(&path).expect("replay");
+        assert_eq!(back, repro);
+        assert_eq!(replayed, outcome);
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Regression pin for the phantom-crash accounting bug `fuzz
+    /// --registry` seed 69 found: two overlapping crash specs for the same
+    /// zone made the driver record a second `state_loss: true` crash for a
+    /// zone that was already down, and no restart ever patched it — so the
+    /// accountability oracle condemned grants the snapshot recovery had
+    /// legitimately honored. The committed repro (minimized to the two
+    /// overlapping specs) must now replay green, while still actually
+    /// crashing the zone once.
+    #[test]
+    fn committed_overlapping_crash_repro_replays_green() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/data/fuzz_repro_registry_overlapping_crash.json");
+        let (repro, outcome) = replay_registry_repro(&path).unwrap();
+        // The file documents the violations the bug used to produce.
+        assert!(repro
+            .violations
+            .iter()
+            .all(|v| v.oracle == "crash_accountability"));
+        assert_eq!(outcome.violations, Vec::new(), "{:#?}", outcome.violations);
+        // Exactly one *real* crash survives in evidence, and the restart
+        // patched it to its snapshot recovery.
+        assert_eq!(outcome.zone_crashes, 1);
+        assert_eq!(outcome.evidence.crashes.len(), 1);
+        assert!(!outcome.evidence.crashes[0].state_loss);
+    }
+
+    #[test]
+    fn short_sweep_holds_all_oracles() {
+        for seed in 0..15 {
+            if let Some(repro) = fuzz_registry_seed(seed) {
+                panic!(
+                    "seed {seed} violated registry oracles: {:#?}",
+                    repro.violations
+                );
+            }
+        }
+    }
+}

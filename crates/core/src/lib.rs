@@ -59,7 +59,9 @@ pub mod design_space;
 pub mod econ;
 pub mod experiments;
 pub mod fuzz;
+pub mod fuzz_registry;
 pub mod radio;
+pub mod registry_chaos;
 pub mod resilience;
 pub mod scenario;
 pub mod transport_app;

@@ -17,6 +17,9 @@ use dlte_net::{LinkId, LinkOverride, NetEvent, NetFault, Network, NodeId};
 use dlte_sim::{SimDuration, SimRng, SimTime, Simulation};
 use serde::{Deserialize, Serialize};
 
+pub mod registry;
+pub use registry::{RegistryFault, RegistryFaultPlan, RegistryFaultSpec};
+
 /// A composable fault scenario.
 ///
 /// The `seed` is carried for provenance (plans produced by

@@ -59,6 +59,12 @@ pub fn measured_graph(aps: &[ApSite], visible: impl Fn(usize, usize) -> bool) ->
 /// interference-aware mesh heuristic.
 pub fn greedy_coloring(graph: &[Vec<usize>], n_channels: u32) -> Vec<u32> {
     let n = graph.len();
+    if n_channels == 0 {
+        // A plan with zero channels colors nothing (every AP stays on the
+        // "uncolored" sentinel) — callers always build plans via
+        // `ChannelPlan::for_band`, which guarantees at least one.
+        return vec![u32::MAX; n];
+    }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(graph[i].len()));
     let mut color = vec![u32::MAX; n];
@@ -71,7 +77,7 @@ pub fn greedy_coloring(graph: &[Vec<usize>], n_channels: u32) -> Vec<u32> {
         }
         let best = (0..n_channels)
             .min_by_key(|&c| conflicts[c as usize])
-            .expect("at least one channel");
+            .unwrap_or(0);
         color[i] = best;
     }
     color

@@ -27,6 +27,8 @@ pub mod license;
 pub mod registry;
 pub mod replicated;
 
-pub use geo::Point;
+pub use federated::{FederatedRegistry, Zone, ZoneRecovery};
+pub use geo::{Point, Rect};
 pub use license::{ChannelPlan, GrantId, GrantRequest, LicenseGrant, OperatorId};
-pub use registry::{GrantDenied, SpectrumRegistry};
+pub use registry::{GrantDenied, GrantPolicy, RegistrySnapshot, SpectrumRegistry};
+pub use replicated::{Entry, LogSnapshot, ReplicatedLog};

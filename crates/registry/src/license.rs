@@ -34,9 +34,16 @@ impl ChannelPlan {
     }
 
     /// Center frequency of channel `idx`, MHz.
+    ///
+    /// Plans are only constructible from a real [`Band`] (`for_band`), so
+    /// an unknown band number here is a constructed-by-hand plan — a
+    /// contract violation, reported as such rather than unwrapped.
     pub fn center_mhz(&self, idx: u32) -> f64 {
         assert!(idx < self.n_channels);
-        let band = Band::by_number(self.band).expect("known band");
+        let band = match Band::by_number(self.band) {
+            Some(b) => b,
+            None => panic!("channel plan references unknown band {}", self.band),
+        };
         band.downlink_mhz.0 + self.channel_mhz * (idx as f64 + 0.5)
     }
 }

@@ -10,9 +10,15 @@
 
 use crate::geo::Point;
 use crate::license::{ChannelPlan, GrantId, GrantRequest, LicenseGrant};
-use dlte_sim::SimTime;
+use dlte_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Default cap on any single lease. Bounding leases is what makes crash
+/// recovery *provable*: a registry that lost state only has to stay
+/// conservative for one maximum lease before every grant it forgot has
+/// lapsed on the licensee's side too.
+pub const DEFAULT_MAX_LEASE_S: u64 = 3600;
 
 /// Spectrum sharing policy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -37,6 +43,23 @@ pub enum GrantDenied {
     RequestedChannelTaken,
     /// EIRP above the band's regulatory limit.
     EirpTooHigh { limit_dbm: f64 },
+    /// The responsible zone (or a border neighbor whose answer is needed
+    /// for a safe decision) is crashed or partitioned away.
+    ZoneUnavailable,
+    /// The zone restarted after losing state and is inside its quarantine
+    /// window: it denies *new* grants until every grant it may have
+    /// forgotten has provably expired (one maximum lease after the crash).
+    Recovering,
+    /// A renew or release referenced a grant the registry does not hold
+    /// (lapsed, revoked, or lost in a crash).
+    UnknownGrant,
+}
+
+/// Serde-able registry state for checkpoint/restore across zone crashes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    pub grants: Vec<LicenseGrant>,
+    pub next_id: GrantId,
 }
 
 /// The registry.
@@ -48,6 +71,10 @@ pub struct SpectrumRegistry {
     max_eirp_dbm: f64,
     grants: HashMap<GrantId, LicenseGrant>,
     next_id: GrantId,
+    /// Hard cap applied to every lease (requested leases are clamped).
+    max_lease: SimDuration,
+    /// After a state-losing restart: deny new grants until this instant.
+    quarantine_until: Option<SimTime>,
     /// Statistics for the experiment harness.
     pub requests: u64,
     pub denials: u64,
@@ -71,9 +98,65 @@ impl SpectrumRegistry {
             max_eirp_dbm,
             grants: HashMap::new(),
             next_id: 1,
+            max_lease: SimDuration::from_secs(DEFAULT_MAX_LEASE_S),
+            quarantine_until: None,
             requests: 0,
             denials: 0,
         }
+    }
+
+    /// Builder: cap every lease at `max_lease` (the crash-recovery bound).
+    pub fn with_lease_cap(mut self, max_lease: SimDuration) -> Self {
+        self.max_lease = max_lease;
+        self
+    }
+
+    pub fn max_lease(&self) -> SimDuration {
+        self.max_lease
+    }
+
+    /// Move this registry's grant-id allocator into a disjoint namespace.
+    /// Federation zones (and zone incarnations after state loss) each get
+    /// their own namespace so ids stay globally unique — the property the
+    /// crash-accountability oracle checks. Never lowers the allocator.
+    pub fn set_id_base(&mut self, base: GrantId) {
+        self.next_id = self.next_id.max(base.max(1));
+    }
+
+    /// Serde-able copy of the mutable state — the zone checkpoint.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut grants: Vec<LicenseGrant> = self.grants.values().copied().collect();
+        grants.sort_by_key(|g| g.id);
+        RegistrySnapshot {
+            grants,
+            next_id: self.next_id,
+        }
+    }
+
+    /// Replace the mutable state with a checkpoint (snapshot recovery).
+    pub fn install(&mut self, snap: &RegistrySnapshot) {
+        self.grants = snap.grants.iter().map(|g| (g.id, *g)).collect();
+        self.next_id = self.next_id.max(snap.next_id);
+    }
+
+    /// Drop every grant (a crash with state loss). `id_base` must be a
+    /// fresh namespace — ids from the lost incarnation must never be
+    /// reissued.
+    pub fn clear_state(&mut self, id_base: GrantId) {
+        self.grants.clear();
+        self.next_id = id_base.max(1);
+    }
+
+    /// Enter (or extend) the post-crash quarantine window: new grants are
+    /// denied with [`GrantDenied::Recovering`] until `until`, by which time
+    /// every grant a lost incarnation issued has expired on the licensee's
+    /// side (leases are capped at [`Self::max_lease`]).
+    pub fn begin_quarantine(&mut self, until: SimTime) {
+        self.quarantine_until = Some(self.quarantine_until.map_or(until, |q| q.max(until)));
+    }
+
+    pub fn is_quarantined(&self, now: SimTime) -> bool {
+        self.quarantine_until.is_some_and(|q| now < q)
     }
 
     pub fn policy(&self) -> GrantPolicy {
@@ -84,9 +167,16 @@ impl SpectrumRegistry {
         self.plan
     }
 
-    /// Purge expired grants.
-    pub fn expire(&mut self, now: SimTime) {
+    /// Purge expired grants. Returns how many lapsed — the reclamation
+    /// path that returns a crashed zone's spectrum to the pool.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.grants.len();
         self.grants.retain(|_, g| g.is_active(now));
+        let lapsed = before - self.grants.len();
+        if lapsed > 0 {
+            dlte_obs::metrics::counter_add("grants_expired", lapsed as u64);
+        }
+        lapsed
     }
 
     /// Number of active grants on `channel` whose contours overlap a grant
@@ -125,19 +215,20 @@ impl SpectrumRegistry {
         now: SimTime,
     ) -> Result<LicenseGrant, GrantDenied> {
         self.requests += 1;
+        if self.is_quarantined(now) {
+            return Err(self.deny(GrantDenied::Recovering));
+        }
         if req.max_eirp_dbm > self.max_eirp_dbm {
-            self.denials += 1;
-            return Err(GrantDenied::EirpTooHigh {
+            return Err(self.deny(GrantDenied::EirpTooHigh {
                 limit_dbm: self.max_eirp_dbm,
-            });
+            }));
         }
         let channel = match req.channel {
             Some(c) => {
                 if self.policy == GrantPolicy::Exclusive
                     && self.channel_conflicts(c, req.location, req.contour_km, now)
                 {
-                    self.denials += 1;
-                    return Err(GrantDenied::RequestedChannelTaken);
+                    return Err(self.deny(GrantDenied::RequestedChannelTaken));
                 }
                 c
             }
@@ -152,10 +243,10 @@ impl SpectrumRegistry {
                         )
                     })
                     .min()
-                    .expect("plan has channels");
+                    .ok_or(GrantDenied::NoChannelAvailable)
+                    .map_err(|e| self.deny(e))?;
                 if best.0 > 0 && self.policy == GrantPolicy::Exclusive {
-                    self.denials += 1;
-                    return Err(GrantDenied::NoChannelAvailable);
+                    return Err(self.deny(GrantDenied::NoChannelAvailable));
                 }
                 best.1
             }
@@ -170,10 +261,18 @@ impl SpectrumRegistry {
             max_eirp_dbm: req.max_eirp_dbm,
             contour_km: req.contour_km,
             granted_at: now,
-            expires_at: now + req.lease,
+            expires_at: now + req.lease.min(self.max_lease),
         };
         self.grants.insert(id, grant);
+        dlte_obs::metrics::counter_add("grants_issued", 1);
         Ok(grant)
+    }
+
+    /// Count a denial in the stats and the metrics registry.
+    fn deny(&mut self, why: GrantDenied) -> GrantDenied {
+        self.denials += 1;
+        dlte_obs::metrics::counter_add("grants_denied", 1);
+        why
     }
 
     /// Renew a grant's lease. Returns the updated grant.
@@ -183,11 +282,12 @@ impl SpectrumRegistry {
         lease: dlte_sim::SimDuration,
         now: SimTime,
     ) -> Option<LicenseGrant> {
+        let max_lease = self.max_lease;
         let g = self.grants.get_mut(&id)?;
         if !g.is_active(now) {
             return None;
         }
-        g.expires_at = now + lease;
+        g.expires_at = now + lease.min(max_lease);
         Some(*g)
     }
 
@@ -376,6 +476,81 @@ mod tests {
         let dom = r.contention_domain(&a, SimTime::ZERO);
         assert_eq!(dom.len(), 1);
         assert_eq!(dom[0].id, c.id);
+    }
+
+    #[test]
+    fn leases_are_clamped_to_the_cap() {
+        let mut r = registry().with_lease_cap(SimDuration::from_secs(30));
+        let mut q = req(0.0, None);
+        q.lease = SimDuration::from_secs(10_000);
+        let g = r.request(q, SimTime::ZERO).unwrap();
+        assert_eq!(g.expires_at, SimTime::from_secs(30));
+        let renewed = r
+            .renew(g.id, SimDuration::from_secs(10_000), SimTime::from_secs(10))
+            .unwrap();
+        assert_eq!(
+            renewed.expires_at,
+            SimTime::from_secs(40),
+            "renew clamped too"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut r = registry();
+        let g = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        let snap = r.snapshot();
+        // Lose everything, then restore.
+        r.clear_state(1);
+        assert_eq!(r.active_count(SimTime::ZERO), 0);
+        r.install(&snap);
+        assert_eq!(r.active_count(SimTime::ZERO), 1);
+        assert_eq!(r.grant(g.id).copied(), Some(g));
+        // The allocator never goes backwards, so restored ids stay unique.
+        let g2 = r.request(req(50.0, None), SimTime::ZERO).unwrap();
+        assert!(g2.id > g.id);
+    }
+
+    #[test]
+    fn quarantine_denies_new_grants_but_not_renewals() {
+        let mut r = registry();
+        let g = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        r.begin_quarantine(SimTime::from_secs(100));
+        assert_eq!(
+            r.request(req(50.0, None), SimTime::from_secs(10)),
+            Err(GrantDenied::Recovering)
+        );
+        // A grant the registry still knows about can be renewed: renewal
+        // cannot conflict with anything the registry forgot, because the
+        // forgetting registry is the one that issued it.
+        assert!(r
+            .renew(g.id, SimDuration::from_secs(10), SimTime::from_secs(10))
+            .is_some());
+        // Quarantine lifts.
+        assert!(r.request(req(50.0, None), SimTime::from_secs(100)).is_ok());
+    }
+
+    #[test]
+    fn id_namespaces_do_not_collide() {
+        let mut r = registry();
+        r.set_id_base(1 << 48);
+        let g = r.request(req(0.0, None), SimTime::ZERO).unwrap();
+        assert_eq!(g.id, 1 << 48);
+        // Lowering the base is a no-op.
+        r.set_id_base(1);
+        let g2 = r.request(req(50.0, None), SimTime::ZERO).unwrap();
+        assert_eq!(g2.id, (1 << 48) + 1);
+    }
+
+    #[test]
+    fn expire_reports_reclaimed_grants() {
+        let mut r = registry();
+        let mut q = req(0.0, None);
+        q.lease = SimDuration::from_secs(10);
+        r.request(q, SimTime::ZERO).unwrap();
+        assert_eq!(r.expire(SimTime::from_secs(5)), 0);
+        assert_eq!(r.expire(SimTime::from_secs(11)), 1);
+        assert_eq!(r.active_count(SimTime::from_secs(11)), 0);
     }
 
     #[test]

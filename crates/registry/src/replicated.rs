@@ -41,6 +41,9 @@ fn hash_entry(prev: u64, height: u64, entry: &Entry) -> u64 {
             mix64(g.id ^ mix64(g.operator))
                 ^ mix64(g.channel as u64 ^ (g.location.x_km.to_bits() >> 1))
                 ^ mix64(g.location.y_km.to_bits() >> 1)
+                ^ mix64(g.contour_km.to_bits() >> 1)
+                ^ mix64(g.max_eirp_dbm.to_bits() >> 1)
+                ^ mix64(g.granted_at.as_nanos() ^ 0xBEEF)
                 ^ mix64(g.expires_at.as_nanos())
         }
         Entry::Revoke { id, by } => mix64(*id) ^ mix64(*by ^ 0xDEAD),
@@ -48,9 +51,36 @@ fn hash_entry(prev: u64, height: u64, entry: &Entry) -> u64 {
     mix64(prev ^ mix64(height) ^ payload)
 }
 
+/// A hash-anchored compaction snapshot: the live grant table as of
+/// `base_height`, anchored to the chain by the hash of the last folded
+/// block. `snap_hash` commits to the whole snapshot so tampering with a
+/// folded grant is as detectable as tampering with a block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogSnapshot {
+    /// Number of blocks folded into this snapshot (the height the chain
+    /// resumes from).
+    pub base_height: u64,
+    /// Hash of the last folded block — the anchor the next block's
+    /// `prev_hash` must match.
+    pub base_hash: u64,
+    /// Live grants at compaction time, sorted by id.
+    pub grants: Vec<LicenseGrant>,
+    /// Hash over (`base_height`, `base_hash`, `grants`).
+    pub snap_hash: u64,
+}
+
+fn hash_snapshot(base_height: u64, base_hash: u64, grants: &[LicenseGrant]) -> u64 {
+    let mut h = mix64(base_height ^ mix64(base_hash));
+    for g in grants {
+        h = mix64(h ^ hash_entry(0, 0, &Entry::Grant(*g)));
+    }
+    h
+}
+
 /// A replica of the log.
 #[derive(Clone, Debug, Default)]
 pub struct ReplicatedLog {
+    snapshot: Option<LogSnapshot>,
     blocks: Vec<Block>,
 }
 
@@ -59,12 +89,42 @@ impl ReplicatedLog {
         Self::default()
     }
 
+    /// Reconstruct a log from raw parts, as received from a peer over the
+    /// wire. No validation happens here — receivers must call
+    /// [`Self::verify`] (as [`Self::sync_from`] does) before trusting it.
+    pub fn from_parts(snapshot: Option<LogSnapshot>, blocks: Vec<Block>) -> Self {
+        ReplicatedLog { snapshot, blocks }
+    }
+
+    /// Total chain height, counting blocks folded into the snapshot.
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.base_height() + self.blocks.len() as u64
+    }
+
+    fn base_height(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |s| s.base_height)
     }
 
     pub fn tip_hash(&self) -> u64 {
-        self.blocks.last().map_or(0, |b| b.hash)
+        self.blocks
+            .last()
+            .map(|b| b.hash)
+            .or(self.snapshot.as_ref().map(|s| s.base_hash))
+            .unwrap_or(0)
+    }
+
+    /// The hash this chain records at `height`, if it still holds it:
+    /// a block's hash, or the snapshot anchor for the last folded height.
+    /// `None` means the height was compacted away (or never reached).
+    fn hash_at(&self, height: u64) -> Option<u64> {
+        let base = self.base_height();
+        if base > 0 && height == base - 1 {
+            return self.snapshot.as_ref().map(|s| s.base_hash);
+        }
+        if height < base {
+            return None;
+        }
+        self.blocks.get((height - base) as usize).map(|b| b.hash)
     }
 
     /// Append an entry locally.
@@ -81,11 +141,49 @@ impl ReplicatedLog {
         block
     }
 
-    /// Verify the whole chain.
+    /// Fold every block into a hash-anchored snapshot of the live table at
+    /// `now` and drop the block storage. Returns the number of blocks
+    /// folded (0 = nothing to do). The chain stays verifiable: the next
+    /// block's `prev_hash` must match the snapshot's `base_hash`, and the
+    /// snapshot itself carries a recomputable `snap_hash`.
+    pub fn compact(&mut self, now: SimTime) -> u64 {
+        let folded = self.blocks.len() as u64;
+        if folded == 0 {
+            return 0;
+        }
+        let mut grants = self.grant_table(now);
+        grants.sort_by_key(|g| g.id);
+        let base_height = self.height();
+        let base_hash = self.tip_hash();
+        let snap_hash = hash_snapshot(base_height, base_hash, &grants);
+        self.snapshot = Some(LogSnapshot {
+            base_height,
+            base_hash,
+            grants,
+            snap_hash,
+        });
+        self.blocks.clear();
+        dlte_obs::metrics::counter_add("log_compactions", 1);
+        folded
+    }
+
+    pub fn snapshot(&self) -> Option<&LogSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Verify the whole chain: the snapshot's self-hash (when present) and
+    /// every block's height/link/content hash above the anchor.
     pub fn verify(&self) -> bool {
         let mut prev = 0u64;
+        if let Some(s) = &self.snapshot {
+            if s.snap_hash != hash_snapshot(s.base_height, s.base_hash, &s.grants) {
+                return false;
+            }
+            prev = s.base_hash;
+        }
+        let base = self.base_height();
         for (i, b) in self.blocks.iter().enumerate() {
-            if b.height != i as u64
+            if b.height != base + i as u64
                 || b.prev_hash != prev
                 || b.hash != hash_entry(prev, b.height, &b.entry)
             {
@@ -97,32 +195,49 @@ impl ReplicatedLog {
     }
 
     /// Synchronize with a peer: adopt the peer's chain if it is valid,
-    /// longer, and shares our prefix (simple longest-chain rule). Returns
-    /// true if we adopted.
+    /// longer, and our history anchors into it (longest-valid-chain rule,
+    /// compaction-aware). Returns true if we adopted.
+    ///
+    /// Anchoring: the peer must record our tip hash at our tip height —
+    /// the hash chain then proves our whole history is its prefix. If the
+    /// peer compacted *past* our tip we cannot prove continuity block by
+    /// block; we accept its snapshot anchor instead (trust-on-bootstrap,
+    /// the storage/verifiability trade compaction makes — a peer with a
+    /// *divergent* retained history is still refused).
     pub fn sync_from(&mut self, peer: &ReplicatedLog) -> bool {
         if peer.height() <= self.height() || !peer.verify() {
             return false;
         }
-        // Shared-prefix check over our current blocks.
-        let shares_prefix = self
-            .blocks
-            .iter()
-            .zip(peer.blocks.iter())
-            .all(|(a, b)| a.hash == b.hash);
-        if !shares_prefix {
-            return false;
+        if self.height() > 0 {
+            match peer.hash_at(self.height() - 1) {
+                // Our tip anchors into the peer's retained chain.
+                Some(h) if h == self.tip_hash() => {}
+                // Peer retains that height but with different history.
+                Some(_) => return false,
+                // Peer compacted past our tip: snapshot hand-off.
+                None => {}
+            }
         }
+        self.snapshot = peer.snapshot.clone();
         self.blocks = peer.blocks.clone();
         true
     }
 
     /// Derive the current grant table at `now` (grants minus revocations
-    /// minus expirations) — what an AP computes after syncing.
+    /// minus expirations) — what an AP computes after syncing. A later
+    /// `Grant` entry with an id already in the table supersedes it (that
+    /// is how renewals are recorded).
     pub fn grant_table(&self, now: SimTime) -> Vec<LicenseGrant> {
-        let mut grants: Vec<LicenseGrant> = Vec::new();
+        let mut grants: Vec<LicenseGrant> = self
+            .snapshot
+            .as_ref()
+            .map_or(Vec::new(), |s| s.grants.clone());
         for b in &self.blocks {
             match b.entry {
-                Entry::Grant(g) => grants.push(g),
+                Entry::Grant(g) => {
+                    grants.retain(|x| x.id != g.id);
+                    grants.push(g);
+                }
                 Entry::Revoke { id, by } => {
                     grants.retain(|g| !(g.id == id && g.operator == by));
                 }
@@ -227,6 +342,98 @@ mod tests {
         b.append(Entry::Grant(grant(2, 20, 30.0)));
         // b is longer but shares no prefix with a.
         assert!(!a.sync_from(&b));
+    }
+
+    #[test]
+    fn compaction_preserves_table_and_verifies() {
+        let mut log = ReplicatedLog::new();
+        log.append(Entry::Grant(grant(1, 10, 0.0)));
+        log.append(Entry::Grant(grant(2, 20, 30.0)));
+        log.append(Entry::Revoke { id: 1, by: 10 });
+        let before = log.grant_table(SimTime::from_secs(1));
+        assert_eq!(log.compact(SimTime::from_secs(1)), 3);
+        assert_eq!(log.blocks().len(), 0, "block storage reclaimed");
+        assert_eq!(log.height(), 3, "height counts folded blocks");
+        assert!(log.verify(), "snapshot self-hash holds");
+        assert_eq!(log.grant_table(SimTime::from_secs(1)), before);
+        // The chain continues on top of the anchor.
+        let b = log.append(Entry::Grant(grant(3, 30, 60.0)));
+        assert_eq!(b.height, 3);
+        assert!(log.verify());
+        assert_eq!(log.grant_table(SimTime::from_secs(1)).len(), 2);
+        // Compacting an already-compacted (empty-block) log is a no-op.
+        log.compact(SimTime::from_secs(1));
+        assert_eq!(log.compact(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn renewal_entries_supersede_by_id() {
+        let mut log = ReplicatedLog::new();
+        log.append(Entry::Grant(grant(1, 10, 0.0)));
+        let mut renewed = grant(1, 10, 0.0);
+        renewed.expires_at = SimTime::ZERO + SimDuration::from_secs(9000);
+        log.append(Entry::Grant(renewed));
+        let t = log.grant_table(SimTime::from_secs(1));
+        assert_eq!(t.len(), 1, "renewal replaces, never duplicates");
+        assert_eq!(t[0].expires_at, renewed.expires_at);
+    }
+
+    #[test]
+    fn sync_across_compaction_boundary() {
+        let mut writer = ReplicatedLog::new();
+        writer.append(Entry::Grant(grant(1, 10, 0.0)));
+        writer.append(Entry::Grant(grant(2, 20, 30.0)));
+        // Replica has the full pre-compaction prefix.
+        let mut replica = writer.clone();
+        writer.compact(SimTime::from_secs(1));
+        writer.append(Entry::Grant(grant(3, 30, 60.0)));
+        assert!(replica.sync_from(&writer), "tip anchors at the snapshot");
+        assert_eq!(replica.height(), writer.height());
+        assert_eq!(
+            replica.grant_table(SimTime::from_secs(1)),
+            writer.grant_table(SimTime::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn lagging_replica_bootstraps_from_snapshot() {
+        let mut writer = ReplicatedLog::new();
+        writer.append(Entry::Grant(grant(1, 10, 0.0)));
+        // Replica only ever saw the first block.
+        let mut replica = writer.clone();
+        writer.append(Entry::Grant(grant(2, 20, 30.0)));
+        writer.append(Entry::Grant(grant(3, 30, 60.0)));
+        writer.compact(SimTime::from_secs(1));
+        // The writer pruned the replica's tip height: snapshot hand-off.
+        assert!(replica.sync_from(&writer));
+        assert_eq!(replica.grant_table(SimTime::from_secs(1)).len(), 3);
+        // A divergent peer is still refused even when we lag far behind.
+        let mut divergent = ReplicatedLog::new();
+        divergent.append(Entry::Grant(grant(9, 99, 5.0)));
+        let mut behind = ReplicatedLog::new();
+        behind.append(Entry::Grant(grant(1, 10, 0.0)));
+        behind.append(Entry::Grant(grant(8, 88, 70.0)));
+        divergent.append(Entry::Grant(grant(7, 77, 80.0)));
+        divergent.append(Entry::Grant(grant(6, 66, 90.0)));
+        assert!(!behind.sync_from(&divergent), "retained divergence refused");
+    }
+
+    #[test]
+    fn tampered_snapshot_detected_and_refused() {
+        let mut writer = ReplicatedLog::new();
+        writer.append(Entry::Grant(grant(1, 10, 0.0)));
+        writer.append(Entry::Grant(grant(2, 20, 30.0)));
+        writer.compact(SimTime::from_secs(1));
+        writer.append(Entry::Grant(grant(3, 30, 60.0)));
+        // Tamper with a folded grant's payload.
+        let mut evil = writer.clone();
+        if let Some(s) = &mut evil.snapshot {
+            s.grants[0].channel = 5;
+        }
+        assert!(!evil.verify(), "snapshot tamper must break verification");
+        let mut replica = ReplicatedLog::new();
+        assert!(!replica.sync_from(&evil), "sync refuses a tampered chain");
+        assert!(replica.sync_from(&writer), "the honest chain is adopted");
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Error-propagation debt gate: registry code runs inside zone processes
+//! that must degrade (deny, quarantine) rather than die, so non-test code
+//! in this crate may not `.unwrap()` / `.expect(` its way past a fallible
+//! call. Explicit `panic!`/`assert!` remain allowed — those document
+//! contract violations (e.g. a channel plan naming an unknown band), not
+//! swallowed `Result`s. Test modules are exempt: a test that unwraps is
+//! just asserting.
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn non_test_registry_code_has_no_unwrap_or_expect() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut offenders = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(&src)
+        .expect("read src dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no sources found under {src:?}");
+    for path in entries {
+        let text = fs::read_to_string(&path).expect("read source");
+        // Everything from the first test module to EOF is test-only by
+        // this crate's layout convention (test mods are last).
+        let non_test = match text.find("#[cfg(test)]") {
+            Some(cut) => &text[..cut],
+            None => &text[..],
+        };
+        for (i, line) in non_test.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or(line);
+            if code.contains(".unwrap()") || code.contains(".expect(") {
+                offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "non-test registry code must propagate errors, not unwrap:\n{}",
+        offenders.join("\n")
+    );
+}

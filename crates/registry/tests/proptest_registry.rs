@@ -1,9 +1,12 @@
 //! Property-based tests for registry invariants.
 
 use dlte_phy::band::Band;
+use dlte_registry::geo::Rect;
 use dlte_registry::registry::GrantPolicy;
 use dlte_registry::replicated::{Entry, ReplicatedLog};
-use dlte_registry::{ChannelPlan, GrantRequest, LicenseGrant, Point, SpectrumRegistry};
+use dlte_registry::{
+    ChannelPlan, FederatedRegistry, GrantRequest, LicenseGrant, Point, SpectrumRegistry, Zone,
+};
 use dlte_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -131,6 +134,8 @@ proptest! {
         for &(id, op, is_grant) in &entries {
             if is_grant {
                 log.append(Entry::Grant(mk(id, op)));
+                // A re-granted id supersedes (renewal semantics).
+                naive.retain(|g| g.id != id);
                 naive.push(mk(id, op));
             } else {
                 log.append(Entry::Revoke { id, by: op });
@@ -157,6 +162,111 @@ proptest! {
         prop_assert_eq!(
             replica.grant_table(SimTime::from_secs(1)).len(),
             table.len()
+        );
+    }
+
+    /// With no faults active, a federation answers every request exactly
+    /// like one monolithic registry over the same area: same grant/deny
+    /// outcome, same channel, same expiry (grant ids differ — zones mint
+    /// from disjoint namespaces). The fault layer's equivalence oracle,
+    /// mirroring the PR 5 FIB-vs-linear pattern.
+    ///
+    /// Holds under the exclusive policy with contours ≤ 50 km: the border
+    /// exchange queries `contour + 50 km`, which then covers every grant
+    /// that could possibly conflict, so the federation sees exactly the
+    /// conflicts the monolith sees.
+    #[test]
+    fn federation_equivalent_to_single_registry_when_healthy(
+        reqs in prop::collection::vec(arb_request(), 1..40),
+    ) {
+        let plan = ChannelPlan::for_band(Band::band5(), 10.0);
+        let mut single = SpectrumRegistry::exclusive(plan, 55.0);
+        let mut fed = FederatedRegistry::new(vec![
+            Zone::new(
+                "west",
+                Rect::new(Point::new(-51.0, -51.0), Point::new(0.0, 51.0)),
+                SpectrumRegistry::exclusive(plan, 55.0),
+            ),
+            Zone::new(
+                "east",
+                Rect::new(Point::new(0.0, -51.0), Point::new(51.0, 51.0)),
+                SpectrumRegistry::exclusive(plan, 55.0),
+            ),
+        ]);
+        let now = SimTime::ZERO;
+        for (i, r) in reqs.into_iter().enumerate() {
+            let a = single.request(r, now);
+            let b = fed.request(r, now);
+            match (a, b) {
+                (Ok(ga), Ok(gb)) => {
+                    prop_assert_eq!(ga.channel, gb.channel, "request {}", i);
+                    prop_assert_eq!(ga.expires_at, gb.expires_at, "request {}", i);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "request {} diverged: single={:?} federated={:?}",
+                    i, a, b
+                ),
+            }
+        }
+        let total: usize = fed
+            .zones()
+            .iter()
+            .map(|z| z.registry.active_count(now))
+            .sum();
+        prop_assert_eq!(single.active_count(now), total);
+    }
+
+    /// Compaction at an arbitrary point preserves the derived table, keeps
+    /// the chain verifiable, and lagging replicas still converge.
+    #[test]
+    fn compaction_preserves_invariants(
+        entries in prop::collection::vec((0u64..10, 0u64..5, any::<bool>()), 1..30),
+        cut in 0usize..30,
+    ) {
+        let mk = |id: u64, op: u64| LicenseGrant {
+            id,
+            operator: op,
+            location: Point::new(id as f64, 0.0),
+            channel: 0,
+            max_eirp_dbm: 50.0,
+            contour_km: 10.0,
+            granted_at: SimTime::ZERO,
+            expires_at: SimTime::ZERO + SimDuration::from_secs(3600),
+        };
+        let cut = cut.min(entries.len());
+        let mut plain = ReplicatedLog::new();
+        let mut compacted = ReplicatedLog::new();
+        let mut replica = ReplicatedLog::new();
+        for (i, &(id, op, is_grant)) in entries.iter().enumerate() {
+            let e = if is_grant {
+                Entry::Grant(mk(id, op))
+            } else {
+                Entry::Revoke { id, by: op }
+            };
+            plain.append(e);
+            compacted.append(e);
+            if i < cut {
+                replica.append(e);
+            }
+            if i + 1 == cut {
+                compacted.compact(SimTime::from_secs(1));
+            }
+        }
+        prop_assert!(compacted.verify());
+        prop_assert_eq!(compacted.height(), plain.height());
+        let now = SimTime::from_secs(1);
+        let mut a = compacted.grant_table(now);
+        let mut b = plain.grant_table(now);
+        a.sort_by_key(|g| g.id);
+        b.sort_by_key(|g| g.id);
+        prop_assert_eq!(a, b, "compaction must not change the table");
+        if cut < entries.len() {
+            prop_assert!(replica.sync_from(&compacted), "replica adopts across the boundary");
+        }
+        prop_assert_eq!(
+            replica.grant_table(now).len(),
+            compacted.grant_table(now).len()
         );
     }
 }
