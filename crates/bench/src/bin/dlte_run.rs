@@ -4,7 +4,7 @@
 //! dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]
 //! dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]
 //! dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]
-//! dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE]
+//! dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE] [--registry] [--mobility]
 //! dlte-run --list
 //! ```
 //!

@@ -61,7 +61,7 @@ pub mod runner {
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE] [--registry]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE] [--registry] [--mobility]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -758,6 +758,9 @@ pub mod runner {
         /// the network chaos cases. Repros are
         /// `fuzz_repro_registry_<seed>.json`.
         pub registry: bool,
+        /// Layer seeded moving-UE populations (handover storms) under the
+        /// chaos plans (`--mobility`; `dlte::fuzz::generate_mobility`).
+        pub mobility: bool,
     }
 
     impl Default for FuzzInvocation {
@@ -769,6 +772,7 @@ pub mod runner {
                 repro: None,
                 shards: None,
                 registry: false,
+                mobility: false,
             }
         }
     }
@@ -801,6 +805,9 @@ pub mod runner {
                 "--registry" => {
                     inv.registry = true;
                 }
+                "--mobility" => {
+                    inv.mobility = true;
+                }
                 "--shards" => {
                     let v = args
                         .next()
@@ -810,6 +817,12 @@ pub mod runner {
                 }
                 other => return Err(format!("unknown fuzz argument {other:?}\n{USAGE}")),
             }
+        }
+        if inv.registry && inv.mobility {
+            return Err(
+                "--mobility layers moving UEs under network chaos; it does not apply to --registry"
+                    .to_string(),
+            );
         }
         Ok(inv)
     }
@@ -853,7 +866,7 @@ pub mod runner {
         } else {
             let mut failures = 0u64;
             for seed in inv.seed_start..inv.seed_end {
-                if let Some(repro) = fuzz::fuzz_seed(seed) {
+                if let Some(repro) = fuzz::fuzz_seed_with(seed, inv.mobility) {
                     failures += 1;
                     let _ = writeln!(
                         out,
@@ -878,8 +891,10 @@ pub mod runner {
             let cases = inv.seed_end - inv.seed_start;
             let _ = writeln!(
                 out,
-                "fuzz: {cases} cases ({}..{}), {failures} failed",
-                inv.seed_start, inv.seed_end
+                "fuzz{}: {cases} cases ({}..{}), {failures} failed",
+                if inv.mobility { " --mobility" } else { "" },
+                inv.seed_start,
+                inv.seed_end
             );
             (out, failures == 0)
         }
@@ -1029,6 +1044,14 @@ pub mod runner {
             assert_eq!((inv.seed_start, inv.seed_end), (0, 50));
             assert!(!parse_fuzz_args(args("--seeds 0..50")).unwrap().registry);
 
+            let inv = parse_fuzz_args(args("--mobility --seeds 0..120")).unwrap();
+            assert!(inv.mobility && !inv.registry);
+            assert!(!parse_fuzz_args(args("--seeds 0..50")).unwrap().mobility);
+            assert!(
+                parse_fuzz_args(args("--registry --mobility")).is_err(),
+                "mobility does not compose with registry fuzzing"
+            );
+
             assert_eq!(
                 parse_fuzz_args(args("")).unwrap(),
                 FuzzInvocation::default()
@@ -1049,6 +1072,19 @@ pub mod runner {
             let (report, ok) = run_fuzz(&inv);
             assert!(ok, "seeds 0..3 should be green:\n{report}");
             assert!(report.contains("3 cases (0..3), 0 failed"));
+        }
+
+        #[test]
+        fn mobility_fuzz_sweep_runs_green_on_a_small_range() {
+            let inv = FuzzInvocation {
+                seed_start: 0,
+                seed_end: 2,
+                mobility: true,
+                ..FuzzInvocation::default()
+            };
+            let (report, ok) = run_fuzz(&inv);
+            assert!(ok, "mobility seeds 0..2 should be green:\n{report}");
+            assert!(report.contains("fuzz --mobility: 2 cases (0..2), 0 failed"));
         }
 
         #[test]
@@ -1305,7 +1341,7 @@ pub mod runner {
         #[test]
         fn selection_resolves_all_single_and_multiple_ids() {
             let all = selection(&Invocation::default()).unwrap();
-            assert_eq!(all.len(), 20);
+            assert_eq!(all.len(), 21);
             let one = selection(&Invocation {
                 targets: vec!["E13".into()],
                 ..Invocation::default()

@@ -11,13 +11,13 @@ use dlte::experiments::Table;
 use dlte_bench::runner::{parse_args, render, run, Invocation};
 
 #[test]
-fn registry_lists_all_twenty_experiments() {
+fn registry_lists_all_twenty_one_experiments() {
     let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
     assert_eq!(
         ids,
         [
             "t1", "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-            "e12", "e13", "e14", "e15", "e16", "e17"
+            "e12", "e13", "e14", "e15", "e16", "e17", "e18"
         ]
     );
 }
@@ -42,7 +42,7 @@ fn run_all(jobs: usize) -> Vec<Table> {
 #[test]
 fn all_json_round_trips_and_jobs_count_does_not_change_results() {
     let sequential = run_all(1);
-    assert_eq!(sequential.len(), 20);
+    assert_eq!(sequential.len(), 21);
 
     // Every table carries instrumentation from run_instrumented.
     for t in &sequential {

@@ -39,7 +39,11 @@ use dlte_obs::{Event, Record};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+pub mod mobility;
 pub mod registry;
+pub use mobility::{
+    check_migration, check_mobility, MigrationView, MobilityEvidence, MobilityUeView, SpanView,
+};
 pub use registry::{check_registry, CrashRecord, GrantRecord, RegistryEvidence, ReplicaTable};
 
 /// One invariant breach: which oracle fired and what it saw.
@@ -122,6 +126,11 @@ pub struct Evidence {
     pub net: NetAudit,
     pub ues: Vec<UeView>,
     pub core: CoreView,
+    /// Mobility observations (session spans, per-UE moves and gaps).
+    /// `None` for runs without a movement plan; defaulted so evidence
+    /// committed before the mobility oracles existed still parses.
+    #[serde(default)]
+    pub mobility: Option<MobilityEvidence>,
 }
 
 /// Packet conservation: three identities over the fabric counters.
@@ -520,6 +529,9 @@ pub fn check_all(ev: &Evidence, records: &[Record], bounds: &Bounds) -> Vec<Viol
     v.extend(check_event_stream(records));
     v.extend(check_harq(records, bounds.harq_max_tx));
     v.extend(check_backoff(&ev.ues, ev.elapsed_s, bounds));
+    if let Some(m) = &ev.mobility {
+        v.extend(check_mobility(m, ev.elapsed_s, bounds));
+    }
     v
 }
 
@@ -595,6 +607,7 @@ mod tests {
                 service_request_retries: 0,
             }],
             core: CoreView::Centralized { mme, sgw, pgw },
+            mobility: None,
         }
     }
 
@@ -734,6 +747,7 @@ mod tests {
             core: CoreView::Dlte {
                 cores: vec![core(1000, addr(1)), core(1000, addr(2))],
             },
+            mobility: None,
         };
         assert!(check_sessions(&ev)
             .iter()

@@ -37,6 +37,7 @@ pub mod e14_chaos_sweep;
 pub mod e15_fabric_scale;
 pub mod e16_shard_scale;
 pub mod e17_registry_chaos;
+pub mod e18_handover_storm;
 pub mod e1_range;
 pub mod e2_uplink;
 pub mod e3_harq;

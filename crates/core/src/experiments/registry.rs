@@ -2,10 +2,10 @@
 //!
 //! Each experiment module keeps its own `Params` struct and `run_with`
 //! function; this module wraps them in the object-safe [`Experiment`] trait
-//! so a runner can enumerate all twenty, resolve one by id, override its
+//! so a runner can enumerate all twenty-one, resolve one by id, override its
 //! parameters as JSON, and attach instrumentation without knowing any
 //! concrete type. [`registry`] returns them in canonical report order
-//! (`t1`, `f1`, `f2`, `e1`..`e17`) — the order `dlte-run all` executes and
+//! (`t1`, `f1`, `f2`, `e1`..`e18`) — the order `dlte-run all` executes and
 //! prints.
 
 use super::Table;
@@ -131,6 +131,7 @@ experiments! {
     E15Exp => e15_fabric_scale, "e15", "Fabric scale sweep: dispatch and forwarding work vs topology size, centralized EPC vs dLTE";
     E16Exp => e16_shard_scale, "e16", "Shard scale sweep: one dLTE deployment on N engine shards, counters shard-invariant";
     E17Exp => e17_registry_chaos, "e17", "Registry chaos: identical fault schedule vs centralized / federated / replicated governance";
+    E18Exp => e18_handover_storm, "e18", "Handover storm under chaos: population availability and p99 gap vs dwell, three architectures";
 }
 
 /// Look an experiment up by id, case-insensitively (`e1` and `E1` both
@@ -148,13 +149,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_twenty_in_report_order() {
+    fn registry_has_all_twenty_one_in_report_order() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
         assert_eq!(
             ids,
             vec![
                 "t1", "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-                "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+                "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18",
             ]
         );
     }

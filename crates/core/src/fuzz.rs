@@ -18,9 +18,16 @@
 //! Scenario envelope (kept deliberately narrow so every oracle is a hard
 //! invariant, not a flaky heuristic):
 //!
-//! * UEs are static (no mobility schedule) and run a periodic [`UeApp::Pinger`]
-//!   so user-plane traffic continuously exercises tunnels — stale-TEID
-//!   teardown via GTP error indication needs packets in flight.
+//! * UEs run a periodic [`UeApp::Pinger`] so user-plane traffic
+//!   continuously exercises tunnels — stale-TEID teardown via GTP error
+//!   indication needs packets in flight. The classic envelope keeps them
+//!   static; [`FuzzCase::generate_mobility`] (`fuzz --mobility`) layers a
+//!   seeded [`MovePlan`] under the faults, turning every case into a
+//!   handover storm judged by the mobility oracles (serving exclusivity,
+//!   session residency, bounded service gaps) on top of the usual set.
+//! * Radio links are never fault targets: a UE that moves mid-case can
+//!   always deliver its single-shot detach to the old AP, which is what
+//!   makes serving exclusivity a hard invariant rather than a heuristic.
 //! * Centralized faults may crash/pause the S-GW and P-GW (both implement
 //!   crash/restart) and flap/degrade any backhaul link; path management
 //!   (500 ms echo, 2 misses) gives the core a detection channel. The MME is
@@ -33,14 +40,16 @@
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
-use crate::scenario::{DlteNet, DlteNetworkBuilder, DltePlan};
+use crate::mobility::{ap_index_for, cell_index_for};
+use crate::scenario::{DlteNet, DlteNetworkBuilder, DltePlan, KeyDistribution};
 use dlte_check::{
-    check_all, check_recovery, check_sessions, Bounds, CoreView, Evidence, UeView, Violation,
+    check_all, check_recovery, check_sessions, Bounds, CoreView, Evidence, MobilityEvidence,
+    MobilityUeView, SpanView, UeView, Violation,
 };
 use dlte_epc::topology::{CentralizedLteBuilder, CentralizedLteNet, UePlan};
-use dlte_epc::ue::{UeApp, UeNode, UeState};
+use dlte_epc::ue::{MobilityMode, UeApp, UeNode, UeState};
 use dlte_epc::{MmeNode, PgwNode, SgwNode};
-use dlte_faults::{ChaosTargets, FaultPlan};
+use dlte_faults::{ChaosTargets, FaultPlan, MovePlan};
 use dlte_net::{in_flight_packets, Network, NodeId};
 use dlte_obs::{set_tracing, take_records, tracing_enabled};
 use dlte_sim::{SimDuration, SimRng, SimTime};
@@ -83,6 +92,19 @@ pub struct FuzzCase {
     pub n_cells: usize,
     pub ues_per_cell: usize,
     pub plan: FaultPlan,
+    /// Mobility dimension (`fuzz --mobility`): a seeded population movement
+    /// plan layered under the fault plan. Empty = static UEs (the classic
+    /// envelope — and what pre-mobility repro files deserialize to).
+    #[serde(default)]
+    pub moves: MovePlan,
+    /// dLTE: APs query the wide-area key directory on first sight of an
+    /// IMSI instead of pre-syncing (mobility cases exercise that path).
+    #[serde(default)]
+    pub remote_keys: bool,
+    /// dLTE: fetch roaming subscriber contexts from X2 peers before
+    /// falling back to the directory.
+    #[serde(default)]
+    pub x2_fetch: bool,
 }
 
 /// What one execution of a case produced.
@@ -144,18 +166,75 @@ impl FuzzCase {
             n_cells,
             ues_per_cell,
             plan,
+            moves: MovePlan::default(),
+            remote_keys: false,
+            x2_fetch: false,
         }
+    }
+
+    /// Derive a *mobility* case from a seed: same chaos envelope, plus a
+    /// seeded commuter-mix movement plan in the fault window and (for dLTE)
+    /// coin flips over remote key lookup and the X2 context fetch, so the
+    /// sweep covers all three handover paths (local re-attach, directory
+    /// re-attach, X2 fetch) against the same fault vocabulary.
+    pub fn generate_mobility(seed: u64) -> FuzzCase {
+        let mut rng = SimRng::new(seed).fork("fuzz-mobility-case");
+        let arch = if rng.chance(0.5) {
+            Arch::Centralized
+        } else {
+            Arch::Dlte
+        };
+        // Movers need somewhere to go: ≥ 2 cells in both arms.
+        let n_cells = 2 + rng.index(2);
+        let ues_per_cell = 1 + rng.index(2);
+        let remote_keys = arch == Arch::Dlte && rng.chance(0.5);
+        let x2_fetch = remote_keys && rng.chance(0.5);
+        let n_faults = 1 + rng.index(3);
+        let dwell_min_s = rng.uniform(0.8, 1.5);
+        let dwell_max_s = dwell_min_s + rng.uniform(0.2, 1.0);
+        let moves = MovePlan::commuter_mix(
+            seed,
+            n_cells * ues_per_cell,
+            n_cells,
+            dwell_min_s,
+            dwell_max_s,
+            FAULT_START_S,
+            FAULT_END_S,
+        );
+        let mut case = FuzzCase {
+            seed,
+            arch,
+            n_cells,
+            ues_per_cell,
+            plan: FaultPlan::new(seed),
+            moves,
+            remote_keys,
+            x2_fetch,
+        };
+        // Targets must come from the *case's* topology: the remote
+        // directory adds a node and link ahead of the APs, shifting ids.
+        let targets = case_targets(&case);
+        case.plan = FaultPlan::chaos_mix(
+            seed,
+            &targets,
+            n_faults,
+            FAULT_START_S,
+            FAULT_END_S,
+            MAX_DOWN_S,
+        );
+        case
     }
 }
 
 /// Node/link ids are assigned in build order, so they are a deterministic
-/// function of the scenario shape — build a throwaway topology to read the
-/// fault-injection handles. Public so property tests can aim arbitrary
-/// plans at valid targets.
-pub fn chaos_targets(arch: Arch, seed: u64, n_cells: usize, ues_per_cell: usize) -> ChaosTargets {
-    match arch {
+/// function of the scenario shape — build a throwaway topology *with the
+/// case's exact configuration* to read the fault-injection handles (the
+/// remote key directory, for instance, is built ahead of the APs and
+/// shifts every later id).
+pub fn case_targets(case: &FuzzCase) -> ChaosTargets {
+    match case.arch {
         Arch::Centralized => {
-            let net = build_centralized(seed, n_cells, ues_per_cell);
+            let net = build_centralized_case(case);
             let mut links = net.enb_backhaul.clone();
             links.push(net.l_agg_epc);
             ChaosTargets {
@@ -164,13 +243,28 @@ pub fn chaos_targets(arch: Arch, seed: u64, n_cells: usize, ues_per_cell: usize)
             }
         }
         Arch::Dlte => {
-            let net = build_dlte(seed, n_cells, ues_per_cell);
+            let net = build_dlte_case(case);
             ChaosTargets {
                 links: net.ap_backhaul.clone(),
                 crashable: Vec::new(),
             }
         }
     }
+}
+
+/// [`case_targets`] for the classic static envelope. Public so property
+/// tests can aim arbitrary plans at valid targets.
+pub fn chaos_targets(arch: Arch, seed: u64, n_cells: usize, ues_per_cell: usize) -> ChaosTargets {
+    case_targets(&FuzzCase {
+        seed,
+        arch,
+        n_cells,
+        ues_per_cell,
+        plan: FaultPlan::new(seed),
+        moves: MovePlan::default(),
+        remote_keys: false,
+        x2_fetch: false,
+    })
 }
 
 fn pinger(dst: dlte_net::Addr) -> UeApp {
@@ -181,25 +275,54 @@ fn pinger(dst: dlte_net::Addr) -> UeApp {
     }
 }
 
-fn build_centralized(seed: u64, n_cells: usize, ues_per_cell: usize) -> CentralizedLteNet {
-    let mut b = CentralizedLteBuilder::new(n_cells, ues_per_cell);
-    b.seed = seed;
+/// Map a population move plan onto one UE's cell list (home cell first).
+fn schedule_of(moves: &MovePlan, ue: usize, home: usize, n_cells: usize) -> Vec<(SimTime, usize)> {
+    moves
+        .schedule_for(ue)
+        .into_iter()
+        .filter(|&(_, ap)| ap < n_cells)
+        .map(|(t, ap)| (t, cell_index_for(home, ap, n_cells)))
+        .collect()
+}
+
+fn build_centralized_case(case: &FuzzCase) -> CentralizedLteNet {
+    let mut b = CentralizedLteBuilder::new(case.n_cells, case.ues_per_cell);
+    b.seed = case.seed;
     b.path_mgmt = Some((SimDuration::from_millis(500), 2));
-    b.with_ue_plan(|_| UePlan {
+    b.wire_all_cells = !case.moves.is_empty();
+    let moves = case.moves.clone();
+    let (n_cells, ues_per_cell) = (case.n_cells, case.ues_per_cell);
+    b.with_ue_plan(move |i| UePlan {
         app: pinger(CentralizedLteBuilder::ott_addr()),
-        ..UePlan::default()
+        mode: MobilityMode::PathSwitch,
+        schedule: schedule_of(&moves, i, i / ues_per_cell, n_cells),
     })
     .build()
 }
 
-fn build_dlte(seed: u64, n_cells: usize, ues_per_cell: usize) -> DlteNet {
-    let mut b = DlteNetworkBuilder::new(n_cells, ues_per_cell);
-    b.seed = seed;
-    b.with_ue_plan(|_| DltePlan {
+fn build_dlte_case(case: &FuzzCase) -> DlteNet {
+    let mut b = DlteNetworkBuilder::new(case.n_cells, case.ues_per_cell);
+    b.seed = case.seed;
+    if case.remote_keys {
+        b.keys = KeyDistribution::RemoteDirectory;
+    }
+    b.x2_context_fetch = case.x2_fetch;
+    let b = b.with_ue_plan(|_| DltePlan {
         app: pinger(DlteNetworkBuilder::ott_addr()),
         ..DltePlan::default()
-    })
-    .build()
+    });
+    if case.moves.is_empty() {
+        b.build()
+    } else {
+        b.with_move_plan(case.moves.clone()).build()
+    }
+}
+
+fn build_case(case: &FuzzCase) -> Built {
+    match case.arch {
+        Arch::Centralized => Built::Cent(build_centralized_case(case)),
+        Arch::Dlte => Built::Dl(build_dlte_case(case)),
+    }
 }
 
 /// The two builds behind one settle-loop driver.
@@ -243,6 +366,7 @@ impl Built {
                         sgw: w.handler_as::<SgwNode>(n.sgw).expect("sgw typed").audit(),
                         pgw: w.handler_as::<PgwNode>(n.pgw).expect("pgw typed").audit(),
                     },
+                    mobility: None,
                 }
             }
             Built::Dl(n) => Evidence {
@@ -266,9 +390,65 @@ impl Built {
                         })
                         .collect(),
                 },
+                mobility: None,
             },
         }
     }
+}
+
+/// Mobility evidence for a moving-UE case: per-core session spans (dLTE —
+/// the centralized EPC holds sessions centrally, so span-based oracles
+/// don't apply) plus per-UE serving state and measured service gaps.
+fn mobility_evidence(built: &Built, case: &FuzzCase) -> MobilityEvidence {
+    let mut ev = MobilityEvidence {
+        // Gap budget: the whole fault window is the worst admissible dwell.
+        max_dwell_s: FAULT_END_S - FAULT_START_S,
+        ..MobilityEvidence::default()
+    };
+    match built {
+        Built::Cent(n) => {
+            let w = n.sim.world();
+            for &id in &n.ues {
+                let u = w.handler_as::<UeNode>(id).expect("ue typed");
+                ev.ues.push(MobilityUeView {
+                    imsi: u.imsi,
+                    attached: u.state == UeState::Attached,
+                    serving_core: None,
+                    moves: u.stats.cell_moves,
+                    gaps_ms: u.stats.handover_gap_ms.values().to_vec(),
+                });
+            }
+        }
+        Built::Dl(n) => {
+            for (k, &ap) in n.aps.iter().enumerate() {
+                let core = &n
+                    .sim
+                    .handler_as::<crate::DlteApNode>(ap)
+                    .expect("ap typed")
+                    .core;
+                for s in core.session_spans() {
+                    ev.spans.push(SpanView {
+                        core: k,
+                        imsi: s.imsi,
+                        start_ns: s.start_ns,
+                        end_ns: s.end_ns,
+                    });
+                }
+            }
+            for (i, &id) in n.ues.iter().enumerate() {
+                let u = n.sim.handler_as::<UeNode>(id).expect("ue typed");
+                let home = i / case.ues_per_cell;
+                ev.ues.push(MobilityUeView {
+                    imsi: u.imsi,
+                    attached: u.state == UeState::Attached,
+                    serving_core: Some(ap_index_for(home, u.current_cell_index(), case.n_cells)),
+                    moves: u.stats.cell_moves,
+                    gaps_ms: u.stats.handover_gap_ms.values().to_vec(),
+                });
+            }
+        }
+    }
+    ev
 }
 
 fn ue_view(u: &UeNode) -> UeView {
@@ -297,14 +477,7 @@ fn ue_views(w: &Network, ues: &[NodeId]) -> Vec<UeView> {
 /// step with every UE attached is the recovery time; the stream/counter
 /// oracles and the recovery bound are then judged on the final snapshot.
 pub fn run_case(case: &FuzzCase) -> CaseReport {
-    let mut built = match case.arch {
-        Arch::Centralized => Built::Cent(build_centralized(
-            case.seed,
-            case.n_cells,
-            case.ues_per_cell,
-        )),
-        Arch::Dlte => Built::Dl(build_dlte(case.seed, case.n_cells, case.ues_per_cell)),
-    };
+    let mut built = build_case(case);
     let bounds = Bounds::default();
 
     // Tracing must be on for the whole run, in sweep and replay alike, so
@@ -314,7 +487,7 @@ pub fn run_case(case: &FuzzCase) -> CaseReport {
     let _ = take_records(); // discard anything a previous case buffered
 
     built.inject(&case.plan);
-    let t_last = case.plan.last_fault_time();
+    let t_last = case.plan.last_fault_time().max(case.moves.last_move_time());
     built.run_until(t_last, MAX_EVENTS);
 
     let mut recovered_at_s = None;
@@ -332,6 +505,9 @@ pub fn run_case(case: &FuzzCase) -> CaseReport {
     let records = take_records();
     set_tracing(was_tracing);
 
+    if !case.moves.is_empty() {
+        ev.mobility = Some(mobility_evidence(&built, case));
+    }
     let mut violations = check_all(&ev, &records, &bounds);
     violations.extend(check_recovery(
         recovered_at_s,
@@ -345,12 +521,37 @@ pub fn run_case(case: &FuzzCase) -> CaseReport {
     }
 }
 
+/// Strictly-simpler variants of a case, in a deterministic order: every
+/// fault-plan shrink first (they tend to carry the causal weight), then
+/// every move-plan shrink. Each candidate changes exactly one dimension.
+fn case_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out: Vec<FuzzCase> = case
+        .plan
+        .shrink_candidates()
+        .into_iter()
+        .map(|plan| FuzzCase {
+            plan,
+            ..case.clone()
+        })
+        .collect();
+    out.extend(
+        case.moves
+            .shrink_candidates()
+            .into_iter()
+            .map(|moves| FuzzCase {
+                moves,
+                ..case.clone()
+            }),
+    );
+    out
+}
+
 /// Greedily minimize a failing case: repeatedly adopt the first
-/// strictly-simpler fault plan that still trips at least one of the
-/// original oracles. Returns the minimized case, its report, and the
+/// strictly-simpler fault or move plan that still trips at least one of
+/// the original oracles. Returns the minimized case, its report, and the
 /// number of executions spent. Terminates because every candidate is
-/// strictly simpler (fewer specs or a floored parameter reduction) and a
-/// run budget caps pathological plans.
+/// strictly simpler (fewer specs/moves or a floored parameter reduction)
+/// and a run budget caps pathological plans.
 pub fn shrink_case(case: &FuzzCase, report: &CaseReport) -> (FuzzCase, CaseReport, usize) {
     let original_oracles: HashSet<&str> = report
         .violations
@@ -366,14 +567,10 @@ pub fn shrink_case(case: &FuzzCase, report: &CaseReport) -> (FuzzCase, CaseRepor
     let mut best_report = report.clone();
     let mut runs = 0usize;
     'outer: loop {
-        for plan in best.plan.shrink_candidates() {
+        for cand in case_candidates(&best) {
             if runs >= MAX_SHRINK_RUNS {
                 break 'outer;
             }
-            let cand = FuzzCase {
-                plan,
-                ..best.clone()
-            };
             let r = run_case(&cand);
             runs += 1;
             if still_failing(&r) {
@@ -387,10 +584,20 @@ pub fn shrink_case(case: &FuzzCase, report: &CaseReport) -> (FuzzCase, CaseRepor
     (best, best_report, runs)
 }
 
-/// Fuzz one seed: generate, run, and on violation shrink to a repro.
-/// `None` means every oracle held.
+/// Fuzz one seed in the static envelope: generate, run, and on violation
+/// shrink to a repro. `None` means every oracle held.
 pub fn fuzz_seed(seed: u64) -> Option<FuzzRepro> {
-    let case = FuzzCase::generate(seed);
+    fuzz_seed_with(seed, false)
+}
+
+/// Fuzz one seed; `mobility` switches to the moving-UE envelope
+/// ([`FuzzCase::generate_mobility`], `fuzz --mobility`).
+pub fn fuzz_seed_with(seed: u64, mobility: bool) -> Option<FuzzRepro> {
+    let case = if mobility {
+        FuzzCase::generate_mobility(seed)
+    } else {
+        FuzzCase::generate(seed)
+    };
     let report = run_case(&case);
     if report.violations.is_empty() {
         return None;
@@ -467,14 +674,7 @@ mod tests {
                 report.recovered_at_s.is_some(),
                 "seed {seed} never recovered"
             );
-            let mut built = match case.arch {
-                Arch::Centralized => Built::Cent(build_centralized(
-                    case.seed,
-                    case.n_cells,
-                    case.ues_per_cell,
-                )),
-                Arch::Dlte => Built::Dl(build_dlte(case.seed, case.n_cells, case.ues_per_cell)),
-            };
+            let mut built = build_case(&case);
             built.inject(&case.plan);
             let horizon = case.plan.last_fault_time()
                 + SimDuration::from_secs_f64(report.recovered_at_s.unwrap());
@@ -503,6 +703,78 @@ mod tests {
                 report.elapsed_s
             );
         }
+    }
+
+    #[test]
+    fn mobility_generation_is_deterministic_and_moves_ues() {
+        let a = FuzzCase::generate_mobility(11);
+        let b = FuzzCase::generate_mobility(11);
+        assert_eq!(a, b);
+        assert!(!a.plan.faults.is_empty());
+        assert!(!a.moves.is_empty(), "mobility cases must actually move UEs");
+        for m in &a.moves.moves {
+            assert!(m.ap < a.n_cells && m.ue < a.n_cells * a.ues_per_cell);
+            assert!((FAULT_START_S..FAULT_END_S).contains(&m.at_s));
+        }
+        assert_ne!(a, FuzzCase::generate_mobility(12));
+        // A pre-mobility case file (no moves/remote_keys/x2_fetch fields)
+        // still parses, as the static envelope.
+        let legacy = serde_json::to_string(&FuzzCase::generate(11)).unwrap();
+        let parsed: FuzzCase = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.moves.is_empty());
+        assert!(!parsed.x2_fetch);
+    }
+
+    #[test]
+    fn healthy_mobility_seeds_sweep_green() {
+        for seed in 0..4 {
+            let case = FuzzCase::generate_mobility(seed);
+            let report = run_case(&case);
+            assert!(
+                report.violations.is_empty(),
+                "mobility seed {seed} ({} {}x{} moves={} rk={} x2={}) tripped: {:#?}",
+                case.arch,
+                case.n_cells,
+                case.ues_per_cell,
+                case.moves.moves.len(),
+                case.remote_keys,
+                case.x2_fetch,
+                report.violations
+            );
+            assert!(
+                report.recovered_at_s.is_some(),
+                "mobility seed {seed} never recovered"
+            );
+            eprintln!(
+                "mobility seed {seed}: {} {}x{} faults={} moves={} recovered_at={:?}",
+                case.arch,
+                case.n_cells,
+                case.ues_per_cell,
+                case.plan.faults.len(),
+                case.moves.moves.len(),
+                report.recovered_at_s
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_cover_both_plan_dimensions() {
+        let mut case = FuzzCase::generate_mobility(3);
+        let n_plan = case.plan.shrink_candidates().len();
+        let n_moves = case.moves.shrink_candidates().len();
+        assert!(n_moves > 0);
+        let cands = case_candidates(&case);
+        assert_eq!(cands.len(), n_plan + n_moves);
+        // The move-plan candidates keep the fault plan intact, and vice
+        // versa — each candidate is simpler in exactly one dimension.
+        assert!(cands[..n_plan].iter().all(|c| c.moves == case.moves));
+        assert!(cands[n_plan..].iter().all(|c| c.plan == case.plan));
+        // A static case only shrinks the fault plan.
+        case.moves = MovePlan::default();
+        assert_eq!(
+            case_candidates(&case).len(),
+            case.plan.shrink_candidates().len()
+        );
     }
 
     #[test]
@@ -590,11 +862,66 @@ mod tests {
                     for_s: 1.986_020_044_616_848_3,
                     loss: 0.380_595_506_377_267_5,
                 }),
+            moves: MovePlan::default(),
+            remote_keys: false,
+            x2_fetch: false,
         };
         let report = run_case(&case);
         assert!(
             report.violations.is_empty(),
             "lost-detach case regressed: {:#?}",
+            report.violations
+        );
+        assert!(report.recovered_at_s.is_some());
+    }
+
+    /// Found by `fuzz --mobility` (seed 164, shrunk to one fault): a 33 ms
+    /// S-GW pause landing exactly on a UE's second path switch swallowed
+    /// the ModifyBearerRequest, and the MME context wedged in `Switching`
+    /// forever — nothing retransmitted the path-switch leg, so the UE
+    /// believed it was attached while the S-GW still pointed downlink at
+    /// the old eNB. Fixed by re-sending the ModifyBearerRequest from the
+    /// MME path tick for contexts stuck in `Switching`; this pins the fix.
+    #[test]
+    fn switch_stuck_by_sgw_pause_is_retried() {
+        use dlte_faults::MoveSpec;
+        let case = FuzzCase {
+            seed: 164,
+            arch: Arch::Centralized,
+            n_cells: 2,
+            ues_per_cell: 1,
+            plan: FaultPlan::new(164),
+            moves: MovePlan {
+                seed: 164,
+                moves: vec![
+                    MoveSpec {
+                        ue: 1,
+                        at_s: 2.016_833_639_812_251_7,
+                        ap: 0,
+                    },
+                    MoveSpec {
+                        ue: 1,
+                        at_s: 3.236_401_313_841_845,
+                        ap: 1,
+                    },
+                ],
+            },
+            remote_keys: false,
+            x2_fetch: false,
+        };
+        let targets = case_targets(&case);
+        let case = FuzzCase {
+            plan: FaultPlan::new(164).with(FaultSpec::NodePause {
+                node: targets.crashable[0], // the S-GW
+                at_s: 3.238_850_015_472_53,
+                for_s: 0.032_656_997_650_172_194,
+            }),
+            ..case
+        };
+        let report = run_case(&case);
+        assert!(
+            report.violations.is_empty(),
+            "stuck-switch case regressed: {:#?}",
             report.violations
         );
         assert!(report.recovered_at_s.is_some());
@@ -614,6 +941,30 @@ mod tests {
         assert_eq!(report.recovered_at_s, repro.recovered_at_s);
         assert!(report.violations.iter().any(|v| v.oracle == "recovery"));
         assert!(report.violations.iter().any(|v| v.oracle == "sessions"));
+    }
+
+    /// Found by `fuzz --mobility` (seed 3): a P-GW crash/restart makes the
+    /// S-GW tear its bearers down and signal the eNB each bearer was
+    /// anchored at — the *last eNB that completed a path switch*, which for
+    /// a UE whose newest move's ServiceRequest was lost in a link flap is
+    /// no longer the serving cell. The UE's stale-NAS source filter dropped
+    /// the resulting `NetworkDetach` order, wedging the UE "attached" to a
+    /// dead bearer forever while the MME (whose own S-GW echo path never
+    /// broke) kept the Active context. Fixed by exempting fail-safe detach
+    /// orders from the serving-cell filter; the committed repro replays the
+    /// storm green, bit-for-bit.
+    #[test]
+    fn committed_mobility_repro_replays_green() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/data/fuzz_repro_mobility_stale_detach.json");
+        let (repro, report) = replay_repro(&path).unwrap();
+        assert!(!repro.case.moves.is_empty(), "repro must move UEs");
+        assert!(
+            report.violations.is_empty(),
+            "stale-detach mobility case regressed: {:#?}",
+            report.violations
+        );
+        assert_eq!(report.recovered_at_s, repro.recovered_at_s);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod econ;
 pub mod experiments;
 pub mod fuzz;
 pub mod fuzz_registry;
+pub mod mobility;
 pub mod radio;
 pub mod registry_chaos;
 pub mod resilience;

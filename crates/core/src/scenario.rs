@@ -72,6 +72,13 @@ pub struct DlteNetworkBuilder {
     pub wire_all_cells: bool,
     /// Provision inter-AP mesh links and backhaul failover (§7 extension).
     pub mesh: bool,
+    /// Fetch roaming subscriber contexts from peer APs over X2 before
+    /// falling back to the wide-area directory (the dLTE X2 handover arm).
+    pub x2_context_fetch: bool,
+    /// Population movement plan (AP indices); merged into each UE's
+    /// schedule unless its [`DltePlan`] already scripts one. Implies
+    /// `wire_all_cells` when set via [`DlteNetworkBuilder::with_move_plan`].
+    pub moves: Option<dlte_faults::MovePlan>,
     pub seed: u64,
     ue_plan: Box<dyn Fn(usize) -> DltePlan>,
 }
@@ -122,6 +129,8 @@ impl DlteNetworkBuilder {
             transport_cfg: TransportConfig::modern(),
             wire_all_cells: false,
             mesh: false,
+            x2_context_fetch: false,
+            moves: None,
             seed: 1,
             ue_plan: Box::new(|_| DltePlan::default()),
         }
@@ -129,6 +138,16 @@ impl DlteNetworkBuilder {
 
     pub fn with_ue_plan(mut self, f: impl Fn(usize) -> DltePlan + 'static) -> Self {
         self.ue_plan = Box::new(f);
+        self
+    }
+
+    /// Put the UE population in motion: each UE whose [`DltePlan`] does not
+    /// script its own schedule follows `plan` (AP indices, mapped onto the
+    /// UE's cell list). Wires every UE to every AP, since any AP may now be
+    /// visited.
+    pub fn with_move_plan(mut self, plan: dlte_faults::MovePlan) -> Self {
+        self.wire_all_cells = true;
+        self.moves = Some(plan);
         self
     }
 
@@ -337,7 +356,10 @@ impl DlteNetworkBuilder {
                     .collect()
             };
             let x2 = X2Agent::new(self.x2_mode, peers, self.x2_interval);
-            let ap = b.host(format!("ap{k}"), Box::new(DlteApNode::new(core, x2)));
+            let ap = b.host(
+                format!("ap{k}"),
+                Box::new(DlteApNode::new(core, x2).with_context_fetch(self.x2_context_fetch)),
+            );
             b.addr(ap, ap_addrs[k]);
             let l = b.link(ap, r_agg, self.backhaul);
             aps.push(ap);
@@ -370,8 +392,19 @@ impl DlteNetworkBuilder {
                 wiring.push((k, imsi, link, ue_ctrl));
             }
             let plan = (self.ue_plan)(i);
+            // A population move plan fills in schedules the per-UE plan
+            // left empty, mapping AP indices onto this UE's cell list.
+            let schedule = match (&self.moves, plan.schedule.is_empty()) {
+                (Some(moves), true) if self.wire_all_cells => moves
+                    .schedule_for(i)
+                    .into_iter()
+                    .filter(|&(_, ap)| ap < self.n_aps)
+                    .map(|(t, ap)| (t, crate::mobility::cell_index_for(home_ap, ap, self.n_aps)))
+                    .collect(),
+                _ => plan.schedule,
+            };
             let ue_node = UeNode::new(imsi, Usim::new(imsi, Self::key_of(i)), cells, plan.app)
-                .with_mobility(plan.mode, plan.schedule);
+                .with_mobility(plan.mode, schedule);
             b.set_handler(ue, Box::new(ue_node));
             ues.push(ue);
         }
@@ -631,6 +664,229 @@ mod tests {
                 ap.tdm_share()
             );
         }
+    }
+
+    /// A second move landing while the first move's attach is still in
+    /// flight must abandon the half-open attach cleanly: no session or
+    /// `attaching` entry leaks at the bypassed AP, the stale challenge is
+    /// discarded rather than processed, and the backoff counter is not
+    /// double-incremented.
+    #[test]
+    fn rapid_double_move_does_not_leak_or_double_backoff() {
+        let mut builder = DlteNetworkBuilder::new(3, 1);
+        builder.wire_all_cells = true;
+        let mut net = builder
+            .with_ue_plan(|i| DltePlan {
+                mode: MobilityMode::ReAttach,
+                // UE0: → AP1 at 3 s, → AP2 8 ms later: before AP1's
+                // challenge (radio 5 ms each way + processing) can reach
+                // the UE. UE1/UE2 stay home.
+                schedule: if i == 0 {
+                    vec![(SimTime::from_secs(3), 1), (SimTime::from_millis(3_008), 2)]
+                } else {
+                    Vec::new()
+                },
+                ..Default::default()
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(8), 5_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert_eq!(ue.state, UeState::Attached);
+        assert_eq!(ue.stats.cell_moves, 2);
+        assert_eq!(
+            ue.stats.attaches_completed, 2,
+            "AP0, then AP2 — the AP1 attach was abandoned mid-flight"
+        );
+        assert_eq!(
+            ue.stats.attach_retries, 0,
+            "the abandoned attach must not inflate the backoff counter"
+        );
+        assert!(
+            ue.stats.stale_nas_dropped >= 1,
+            "AP1's late challenge discarded, not processed"
+        );
+        let addr = ue.addr.unwrap();
+        assert!(
+            DlteNetworkBuilder::ap_pool(2).contains(addr),
+            "address from AP2's pool: {addr}"
+        );
+        // AP0 freed UE0's session; AP1 holds only its own home UE — UE0's
+        // abandoned half-open attach was torn down by the move-2 detach.
+        for (k, sessions) in [(0usize, 0usize), (1, 1), (2, 2)] {
+            let ap = w.handler_as::<DlteApNode>(net.aps[k]).unwrap();
+            assert_eq!(ap.core.active_sessions(), sessions, "ap{k} session count");
+            assert!(
+                ap.core.audit().attaching.is_empty(),
+                "ap{k} leaked a half-open attach"
+            );
+        }
+    }
+
+    /// The X2 handover arm: when a roaming UE shows up at a new AP, the AP
+    /// fetches the subscriber context from the previous AP over X2 instead
+    /// of paying the wide-area directory round trip.
+    #[test]
+    fn x2_context_fetch_skips_directory_on_handover() {
+        let mut builder = DlteNetworkBuilder::new(2, 1);
+        builder.wire_all_cells = true;
+        builder.keys = KeyDistribution::RemoteDirectory;
+        builder.x2_context_fetch = true;
+        let mut net = builder
+            .with_ue_plan(|i| DltePlan {
+                mode: MobilityMode::ReAttach,
+                schedule: if i == 0 {
+                    vec![(SimTime::from_secs(3), 1)]
+                } else {
+                    Vec::new()
+                },
+                ..Default::default()
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(6), 5_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert_eq!(ue.state, UeState::Attached);
+        assert_eq!(ue.stats.attaches_completed, 2);
+        let addr = ue.addr.unwrap();
+        assert!(
+            DlteNetworkBuilder::ap_pool(1).contains(addr),
+            "address from AP1's pool: {addr}"
+        );
+        let ap0 = w.handler_as::<DlteApNode>(net.aps[0]).unwrap();
+        let ap1 = w.handler_as::<DlteApNode>(net.aps[1]).unwrap();
+        // Each AP paid one directory query for the first sight of its own
+        // home UE (t≈0, no peer reports yet → no fetch). UE0's handover
+        // attach at AP1 was answered by AP0's cached context instead.
+        assert_eq!(ap0.core.stats.directory_queries, 1);
+        assert_eq!(ap0.fetch_stats.served, 1, "AP0 handed the context over");
+        assert_eq!(ap1.fetch_stats.started, 1);
+        assert_eq!(ap1.fetch_stats.hits, 1);
+        assert_eq!(ap1.fetch_stats.fallbacks, 0);
+        assert_eq!(
+            ap1.core.stats.directory_queries, 1,
+            "the handover attach itself skipped the wide-area directory"
+        );
+        assert_eq!(ap0.core.active_sessions(), 0, "old session released");
+        assert_eq!(ap1.core.active_sessions(), 2, "home UE1 plus roaming UE0");
+    }
+
+    /// Handover toward a just-silenced AP must fall back to the directory
+    /// instead of blackholing the attach: the target still looks fresh to
+    /// its peers (silence shorter than the liveness horizon), so the fetch
+    /// is sent, never answered, and the timeout takes the wide-area path.
+    #[test]
+    fn fetch_falls_back_when_context_peer_is_down() {
+        use dlte_faults::{FaultPlan, FaultSpec};
+        let mut builder = DlteNetworkBuilder::new(3, 1);
+        builder.wire_all_cells = true;
+        builder.keys = KeyDistribution::RemoteDirectory;
+        builder.x2_context_fetch = true;
+        let mut net = builder
+            .with_ue_plan(|i| DltePlan {
+                mode: MobilityMode::ReAttach,
+                schedule: if i == 0 {
+                    vec![(SimTime::from_secs(3), 1)]
+                } else {
+                    Vec::new()
+                },
+                ..Default::default()
+            })
+            .build();
+        // AP0 goes dark 100 ms before UE0 arrives at AP1: the detach and
+        // the context fetch toward it are both lost; AP2 nacks (no record).
+        FaultPlan::new(1)
+            .with(FaultSpec::NodePause {
+                node: net.aps[0],
+                at_s: 2.9,
+                for_s: 2.0,
+            })
+            .inject_sharded(&mut net.sim);
+        net.sim.run_until(SimTime::from_secs(8), 5_000_000);
+        let w = net.sim.world();
+        let ue = w.handler_as::<UeNode>(net.ues[0]).unwrap();
+        assert_eq!(ue.state, UeState::Attached, "attach not blackholed");
+        assert_eq!(
+            ue.stats.attach_retries, 0,
+            "fallback resolved within the attach timeout"
+        );
+        let addr = ue.addr.unwrap();
+        assert!(
+            DlteNetworkBuilder::ap_pool(1).contains(addr),
+            "address from AP1's pool: {addr}"
+        );
+        let ap1 = w.handler_as::<DlteApNode>(net.aps[1]).unwrap();
+        assert!(ap1.fetch_stats.started >= 1);
+        assert_eq!(ap1.fetch_stats.hits, 0, "nobody held the context");
+        assert!(
+            ap1.fetch_stats.fallbacks >= 1,
+            "timed out toward the dark AP and took the directory path"
+        );
+        // UE1 at t≈0 plus UE0's fallback — the fetch cost one timeout, not
+        // the attach.
+        assert_eq!(ap1.core.stats.directory_queries, 2);
+        let ap2 = w.handler_as::<DlteApNode>(net.aps[2]).unwrap();
+        assert_eq!(ap2.fetch_stats.served, 0);
+    }
+
+    /// End-to-end mobility oracle check: a waypoint population churning
+    /// across 3 APs leaves evidence that satisfies every mobility invariant
+    /// — serving exclusivity, session residency, bounded service gaps.
+    #[test]
+    fn moving_population_keeps_sessions_exclusive_and_bounded() {
+        use crate::mobility::{ap_index_for, MovementModel};
+        use dlte_check::{Bounds, MobilityEvidence, MobilityUeView, SpanView};
+        let model = MovementModel::Waypoint {
+            dwell_min_s: 1.0,
+            dwell_max_s: 2.5,
+        };
+        let plan = model.plan(7, 6, 3, 2.0, 8.0);
+        let mut net = DlteNetworkBuilder::new(3, 2)
+            .with_move_plan(plan)
+            .with_ue_plan(|_| DltePlan {
+                app: UeApp::Pinger {
+                    dst: DlteNetworkBuilder::ott_addr(),
+                    interval: SimDuration::from_millis(100),
+                    probe_bytes: 100,
+                },
+                ..Default::default()
+            })
+            .build();
+        net.sim.run_until(SimTime::from_secs(12), 20_000_000);
+        let w = net.sim.world();
+        let mut ev = MobilityEvidence {
+            max_dwell_s: 2.5,
+            ..Default::default()
+        };
+        for (k, &ap_id) in net.aps.iter().enumerate() {
+            let ap = w.handler_as::<DlteApNode>(ap_id).unwrap();
+            for s in ap.core.session_spans() {
+                ev.spans.push(SpanView {
+                    core: k,
+                    imsi: s.imsi,
+                    start_ns: s.start_ns,
+                    end_ns: s.end_ns,
+                });
+            }
+        }
+        for (i, &ue_id) in net.ues.iter().enumerate() {
+            let ue = w.handler_as::<UeNode>(ue_id).unwrap();
+            let home = i / 2;
+            ev.ues.push(MobilityUeView {
+                imsi: DlteNetworkBuilder::imsi_of(i),
+                attached: ue.state == UeState::Attached,
+                serving_core: Some(ap_index_for(home, ue.current_cell_index(), 3)),
+                moves: ue.stats.cell_moves,
+                gaps_ms: ue.stats.handover_gap_ms.values().to_vec(),
+            });
+        }
+        let total_moves: u64 = ev.ues.iter().map(|u| u.moves).sum();
+        assert!(
+            total_moves >= 6,
+            "population actually churned: {total_moves}"
+        );
+        let violations = dlte_check::check_mobility(&ev, 12.0, &Bounds::default());
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

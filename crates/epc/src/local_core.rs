@@ -57,6 +57,18 @@ pub struct LocalCoreStats {
     pub dl_user_packets: u64,
 }
 
+/// One served interval of an IMSI at this core: opened when the attach
+/// accept is sent, closed on detach/release/replacement. The mobility
+/// oracles consume these to prove serving exclusivity (no IMSI held by two
+/// cores in the same instant) across handover storms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionSpan {
+    pub imsi: Imsi,
+    pub start_ns: u64,
+    /// `None` while the session is still open at run end.
+    pub end_ns: Option<u64>,
+}
+
 #[derive(Clone, Debug)]
 enum AttachPhase {
     AwaitKey {
@@ -81,6 +93,10 @@ pub struct LocalCoreNode {
     attaching: FxHashMap<Imsi, AttachPhase>,
     sessions: FxHashMap<Imsi, Addr>,
     by_ue_addr: FxHashMap<Addr, Imsi>,
+    /// Chronological log of served intervals (see [`SessionSpan`]).
+    session_log: Vec<SessionSpan>,
+    /// Index into `session_log` of each IMSI's currently open span.
+    open_span: FxHashMap<Imsi, usize>,
     pub proc: Processor,
     rng: SimRng,
     /// Trace-only radio HARQ model over the breakout user plane (dedicated
@@ -106,6 +122,8 @@ impl LocalCoreNode {
             attaching: FxHashMap::default(),
             sessions: FxHashMap::default(),
             by_ue_addr: FxHashMap::default(),
+            session_log: Vec::new(),
+            open_span: FxHashMap::default(),
             proc: Processor::new(per_msg, 0),
             harq: HarqTracer::new(rng.fork("harq-trace")),
             rng,
@@ -120,6 +138,64 @@ impl LocalCoreNode {
 
     pub fn active_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// The served-interval log, in open order (see [`SessionSpan`]).
+    pub fn session_spans(&self) -> &[SessionSpan] {
+        &self.session_log
+    }
+
+    /// Is the subscriber's key already cached at this core?
+    pub fn has_record(&self, imsi: Imsi) -> bool {
+        self.records.contains_key(&imsi)
+    }
+
+    /// Export the cached subscriber key and SQN (for X2 context transfer to
+    /// a neighboring AP).
+    pub fn subscriber_record(&self, imsi: Imsi) -> Option<(Key, u64)> {
+        self.records.get(&imsi).map(|r| (r.k, r.sqn))
+    }
+
+    /// Install a subscriber record obtained out-of-band (X2 context fetch
+    /// from a neighbor). SQNs max-merge so a transferred context never
+    /// regresses the counter and forces a resync cycle.
+    pub fn install_record(&mut self, imsi: Imsi, k: Key, sqn: u64) {
+        let rec = self
+            .records
+            .entry(imsi)
+            .or_insert(SubscriberRecord { imsi, k, sqn });
+        rec.sqn = rec.sqn.max(sqn);
+    }
+
+    fn open_session_span(&mut self, imsi: Imsi, now: SimTime) {
+        self.close_session_span(imsi, now);
+        self.open_span.insert(imsi, self.session_log.len());
+        self.session_log.push(SessionSpan {
+            imsi,
+            start_ns: now.as_nanos(),
+            end_ns: None,
+        });
+    }
+
+    fn close_session_span(&mut self, imsi: Imsi, now: SimTime) {
+        if let Some(i) = self.open_span.remove(&imsi) {
+            self.session_log[i].end_ns = Some(now.as_nanos());
+        }
+    }
+
+    /// Tear down any state held for `imsi`: the active session (address,
+    /// route, pool slot) *and* a half-open attach. Serves both the NAS
+    /// detach path and the X2 handover-out path, and is deliberately
+    /// idempotent — a detach racing a move must leave nothing behind no
+    /// matter which arrives first.
+    pub fn release_session(&mut self, ctx: &mut NodeCtx<'_>, imsi: Imsi) {
+        self.attaching.remove(&imsi);
+        if let Some(ue_addr) = self.sessions.remove(&imsi) {
+            self.by_ue_addr.remove(&ue_addr);
+            ctx.node_info_mut().remove_route(Prefix::new(ue_addr, 32));
+            self.pool.release(ue_addr);
+        }
+        self.close_session_span(imsi, ctx.now);
     }
 
     /// Snapshot the session table for post-run invariant checking.
@@ -262,6 +338,7 @@ impl LocalCoreNode {
                     ctx.node_info_mut()
                         .set_route(Prefix::new(ue_addr, 32), link);
                 }
+                self.open_session_span(imsi, ctx.now);
                 self.stats.attaches_completed += 1;
                 self.stats
                     .attach_latency_ms
@@ -295,13 +372,7 @@ impl LocalCoreNode {
                     _ => self.reject(ctx, imsi, RejectCause::AuthenticationFailed),
                 }
             }
-            Nas::DetachRequest { .. } => {
-                if let Some(ue_addr) = self.sessions.remove(&imsi) {
-                    self.by_ue_addr.remove(&ue_addr);
-                    ctx.node_info_mut().remove_route(Prefix::new(ue_addr, 32));
-                    self.pool.release(ue_addr);
-                }
-            }
+            Nas::DetachRequest { .. } => self.release_session(ctx, imsi),
             _ => {}
         }
     }

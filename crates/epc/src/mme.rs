@@ -85,6 +85,9 @@ pub struct MmeStats {
     /// Post-failure detach orders re-sent because the UE never showed up
     /// again (the first copy was lost on a degraded backhaul).
     pub detach_retries: u64,
+    /// Path-switch ModifyBearerRequests re-sent because the S-GW answer
+    /// never arrived (the context sat in `Switching` past a path tick).
+    pub switch_retries: u64,
     /// Attach completion latency as seen from the MME (request → accept
     /// sent), milliseconds.
     pub attach_latency_ms: Samples,
@@ -579,6 +582,7 @@ impl MmeNode {
         ctx.forward(req);
         ctx.set_timer(interval, TAG_PATH_TICK);
         self.retry_pending_detach(ctx);
+        self.retry_stuck_switches(ctx, interval);
         if edge == Some(PathEvent::PeerDead) {
             dlte_obs::metrics::counter_add("gtp_path_down", 1);
             obs::emit(
@@ -719,6 +723,50 @@ impl MmeNode {
         if !batch.is_empty() {
             self.proc.process(ctx, batch);
         }
+    }
+
+    /// Re-send the ModifyBearerRequest for any path switch stuck in
+    /// `Switching` longer than one path-tick interval. The original request
+    /// (or its answer) was lost — an S-GW pause as short as the switch
+    /// itself is enough — and nothing else retransmits it, so without this
+    /// the context wedges in `Switching` forever while the UE believes it
+    /// is attached. The request is idempotent at the S-GW (it re-points the
+    /// bearer's eNB endpoint and replies), and the reply drives the normal
+    /// `Switching` → `Active` transition. Sorted IMSI order keeps event
+    /// schedules deterministic.
+    fn retry_stuck_switches(&mut self, ctx: &mut NodeCtx<'_>, interval: SimDuration) {
+        let mut stuck: Vec<(Imsi, Addr, Teid)> = self
+            .contexts
+            .iter()
+            .filter_map(|(&imsi, c)| match c {
+                UeCtx::Switching {
+                    new_enb,
+                    teid_dl,
+                    started,
+                    ..
+                } if ctx.now.saturating_since(*started) >= interval => {
+                    Some((imsi, *new_enb, *teid_dl))
+                }
+                _ => None,
+            })
+            .collect();
+        if stuck.is_empty() {
+            return;
+        }
+        stuck.sort_unstable_by_key(|&(imsi, _, _)| imsi);
+        let mut batch = Vec::new();
+        for (imsi, new_enb, teid_dl) in stuck {
+            self.stats.switch_retries += 1;
+            batch.push(
+                ctx.make_packet(self.sgw_addr, wire::GTPC)
+                    .with_payload(Payload::control(Gtpc::ModifyBearerRequest {
+                        imsi,
+                        new_enb_addr: new_enb,
+                        teid_dl_enb: teid_dl,
+                    })),
+            );
+        }
+        self.proc.process(ctx, batch);
     }
 
     fn handle_s1ap(&mut self, ctx: &mut NodeCtx<'_>, msg: S1ap) {

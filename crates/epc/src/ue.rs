@@ -101,6 +101,11 @@ pub struct UeReportStats {
     pub pongs: u64,
     pub probes_sent: u64,
     pub cbr_packets_sent: u64,
+    /// Cell changes executed (mobility schedule entries that took effect).
+    pub cell_moves: u64,
+    /// Downlink NAS dropped because it came from a cell we no longer camp
+    /// on (e.g. a stale attach accept racing a rapid move sequence).
+    pub stale_nas_dropped: u64,
 }
 
 /// A cell the UE can camp on.
@@ -194,6 +199,11 @@ impl UeNode {
 
     fn current_cell(&self) -> CellAttachment {
         self.cells[self.current]
+    }
+
+    /// Index into the cell list the UE currently camps on (0 = home cell).
+    pub fn current_cell_index(&self) -> usize {
+        self.current
     }
 
     /// Typed access to the upper layer (result extraction after a run).
@@ -475,7 +485,18 @@ impl UeNode {
         if idx == self.current || idx >= self.cells.len() {
             return;
         }
+        if self.mode == MobilityMode::ReAttach {
+            // Tell the cell we are leaving to release its session *before*
+            // re-pointing the radio: the detach rides the old radio link
+            // (which is not a fault target), so the old core frees the
+            // address instead of stranding it until an idle sweep. This
+            // also covers a move arriving while a previous attach (or
+            // detach) is still in flight — the old AP's half-open state is
+            // torn down by the same message.
+            self.send_nas(ctx, Nas::DetachRequest { imsi: self.imsi }, wire::DETACH);
+        }
         self.current = idx;
+        self.stats.cell_moves += 1;
         let cell = self.current_cell();
         // Re-point the default route at the new radio link.
         ctx.node_info_mut()
@@ -506,6 +527,11 @@ impl UeNode {
                 }
                 self.state = UeState::Detached;
                 self.attach_started = None;
+                // A fresh cell is a fresh attach, not a retry: resetting
+                // the attempt counter keeps a rapid move sequence from
+                // double-incrementing the backoff (and `attach_retries`)
+                // for timeouts that belong to a cell we already left.
+                self.attach_attempts = 0;
                 self.begin_attach(ctx);
             }
         }
@@ -561,6 +587,22 @@ impl NodeHandler for UeNode {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, packet: Packet) {
         if let Some(s1nas) = packet.payload.as_control::<S1Nas>() {
             if s1nas.imsi == self.imsi {
+                // Only the serving cell may *advance* our NAS state machine.
+                // Without this, an attach accept from a cell we already
+                // left (a rapid move sequence A→B→C where B's accept is
+                // still in flight) would attach us to the wrong core with
+                // an address its pool owns — a split-brain session. Fail-safe
+                // orders are exempt: a NetworkDetach from an old cell is how
+                // the network tears down a bearer it still anchors there
+                // (e.g. a GTP error indication landing at the last eNB that
+                // completed our path switch while our newest switch is lost
+                // in flight) — dropping it wedges the UE with a dead bearer,
+                // while honoring it merely costs one safe re-attach.
+                let fail_safe = matches!(s1nas.nas, Nas::NetworkDetach { .. });
+                if !fail_safe && packet.src != self.current_cell().enb_addr {
+                    self.stats.stale_nas_dropped += 1;
+                    return;
+                }
                 let nas = s1nas.nas.clone();
                 self.handle_nas(ctx, nas);
             }

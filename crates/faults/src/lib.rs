@@ -17,7 +17,9 @@ use dlte_net::{LinkId, LinkOverride, NetEvent, NetFault, Network, NodeId};
 use dlte_sim::{SimDuration, SimRng, SimTime, Simulation};
 use serde::{Deserialize, Serialize};
 
+pub mod mobility;
 pub mod registry;
+pub use mobility::{MovePlan, MoveSpec};
 pub use registry::{RegistryFault, RegistryFaultPlan, RegistryFaultSpec};
 
 /// A composable fault scenario.

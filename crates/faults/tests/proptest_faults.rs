@@ -299,6 +299,9 @@ fn realize(arch: Arch, seed: u64, n_cells: usize, ues: usize, shapes: &[ChaosSha
         n_cells,
         ues_per_cell: ues,
         plan,
+        moves: dlte_faults::MovePlan::default(),
+        remote_keys: false,
+        x2_fetch: false,
     }
 }
 

@@ -170,6 +170,14 @@ impl Samples {
         self.push(d.as_nanos() as f64 / 1e6);
     }
 
+    /// Fold another collector's samples in (population aggregation across
+    /// per-UE collectors).
+    pub fn extend(&mut self, other: &Samples) {
+        for &v in other.values() {
+            self.push(v);
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.values.len()
     }

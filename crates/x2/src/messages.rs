@@ -49,7 +49,10 @@ pub enum X2Msg {
         from: Addr,
         reports: Vec<(u64, f64)>,
     },
-    /// Cooperative handoff of a client to the receiving AP.
+    /// Cooperative handoff of a client to the receiving AP — and, in the
+    /// dLTE mobility extension, a context *fetch*: the sender is an AP a
+    /// roaming client just arrived at, asking whether the receiver holds
+    /// the client's subscriber context.
     HandoverRequest {
         from: Addr,
         client: u64,
@@ -57,6 +60,17 @@ pub enum X2Msg {
     HandoverAck {
         from: Addr,
         client: u64,
+    },
+    /// Reply to a [`X2Msg::HandoverRequest`] context fetch: the client's
+    /// subscriber key material (`None` = not known here) and the highest
+    /// SQN the sender used, so the new AP never regresses the counter into
+    /// a resync cycle. Replaces the wide-area directory round trip with a
+    /// neighbor hop.
+    HandoverContext {
+        from: Addr,
+        client: u64,
+        key: Option<u128>,
+        sqn: u64,
     },
 }
 
@@ -68,6 +82,8 @@ pub mod wire {
     pub const MEASUREMENT_BASE: u32 = 64;
     pub const MEASUREMENT_PER_CLIENT: u32 = 12;
     pub const HANDOVER: u32 = 180;
+    /// Handover context reply (framing + key material + SQN IEs).
+    pub const HANDOVER_CONTEXT: u32 = 220;
 
     /// Size of a measurement report with `n` clients.
     pub fn measurement(n: usize) -> u32 {

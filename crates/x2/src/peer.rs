@@ -20,7 +20,12 @@ use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 
-/// Liveness: a peer is dropped after this many silent intervals.
+/// Liveness: a peer is evicted from the table after this many silent
+/// intervals. Eviction is deliberately lazy (organic churn is normal in an
+/// open network); *freshness* — used for the live-peer count, the share
+/// computation, and handover targeting — is judged against a single missed
+/// report instead, so a crashed neighbor stops being a handover target (and
+/// stops holding spectrum) within one report interval, not three.
 const LIVENESS_INTERVALS: u32 = 3;
 
 const TAG_TICK: u64 = 7_000_000;
@@ -55,6 +60,10 @@ pub struct X2Agent {
     pub my_measurements: Vec<(u64, f64)>,
     /// Peers' latest measurement reports (cooperative mode input).
     pub peer_measurements: HashMap<Addr, Vec<(u64, f64)>>,
+    /// Latest event time this agent processed; freshness is judged against
+    /// this, not wall-clock polling, so it is meaningful right after any
+    /// message or tick.
+    last_now: SimTime,
     pub stats: X2AgentStats,
 }
 
@@ -70,6 +79,7 @@ impl X2Agent {
             my_share: 1.0,
             my_measurements: Vec::new(),
             peer_measurements: HashMap::new(),
+            last_now: SimTime::ZERO,
             stats: X2AgentStats::default(),
         }
     }
@@ -82,9 +92,42 @@ impl X2Agent {
         }
     }
 
-    /// Current live peers.
+    /// A peer is fresh if its last report is within 1¼ report intervals of
+    /// the latest event this agent processed (one interval of silence plus
+    /// delivery jitter). A crashed peer therefore stops counting within one
+    /// interval, long before the 3-interval table eviction.
+    fn is_fresh(&self, last_seen: SimTime) -> bool {
+        let deadline = self.report_interval + self.report_interval / 4;
+        self.last_now.saturating_since(last_seen) <= deadline
+    }
+
+    /// Current live (fresh) peers.
     pub fn live_peers(&self) -> usize {
-        self.peer_state.len()
+        self.peer_state
+            .values()
+            .filter(|p| self.is_fresh(p.last_seen))
+            .count()
+    }
+
+    /// Fresh peers in deterministic (sorted) order — the only peers worth
+    /// targeting with a handover or context fetch: anything staler has
+    /// missed a report and may be crashed or partitioned away.
+    pub fn fresh_peers(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = self
+            .peer_state
+            .iter()
+            .filter(|(_, p)| self.is_fresh(p.last_seen))
+            .map(|(&a, _)| a)
+            .collect();
+        addrs.sort();
+        addrs
+    }
+
+    /// Send an X2 message to a peer on behalf of the composing AP (keeps
+    /// the E11 byte accounting honest for AP-level extensions like the
+    /// mobility context fetch).
+    pub fn send_to_peer(&mut self, ctx: &mut NodeCtx<'_>, to: Addr, msg: X2Msg, size: u32) {
+        self.send(ctx, to, msg, size);
     }
 
     fn send(&mut self, ctx: &mut NodeCtx<'_>, to: Addr, msg: X2Msg, size: u32) {
@@ -101,18 +144,19 @@ impl X2Agent {
             self.my_share = 1.0; // uncoordinated: everyone just transmits
             return;
         }
-        // My demand first, then live peers in deterministic order.
+        // My demand first, then fresh peers in deterministic order. Stale
+        // peers are excluded: a crashed AP must not keep holding spectrum
+        // for up to three intervals until its table entry is evicted.
         let mut demands = vec![self.my_demand];
-        let mut addrs: Vec<Addr> = self.peer_state.keys().copied().collect();
-        addrs.sort();
-        for a in &addrs {
-            demands.push(self.peer_state[a].status.demand);
+        for a in self.fresh_peers() {
+            demands.push(self.peer_state[&a].status.demand);
         }
         let shares = max_min_shares(&demands, 1.0);
         self.my_share = shares[0];
     }
 
     fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.last_now = ctx.now;
         // Drop silent peers.
         let deadline = self.report_interval * LIVENESS_INTERVALS as u64;
         let now = ctx.now;
@@ -154,6 +198,7 @@ impl X2Agent {
     }
 
     fn handle_msg(&mut self, ctx: &mut NodeCtx<'_>, msg: X2Msg) {
+        self.last_now = ctx.now;
         self.stats.msgs_received += 1;
         match msg {
             X2Msg::SetupRequest { from, status } => {
@@ -186,13 +231,14 @@ impl X2Agent {
                     },
                 );
                 // Steady-state reports dominate X2 traffic (every peer, every
-                // interval). A report that neither adds a peer nor changes
-                // its advertised status cannot move the fair share — my own
-                // demand only changes under the tick, which recomputes
-                // unconditionally — so the O(peers log peers) recompute is
-                // skipped for them. With n APs this turns each interval's
-                // share maintenance from n² recomputes into n.
-                if prev.is_none_or(|p| p.status != status) {
+                // interval). A report that neither adds a peer, changes its
+                // advertised status, nor revives it from staleness cannot
+                // move the fair share — my own demand only changes under the
+                // tick, which recomputes unconditionally — so the
+                // O(peers log peers) recompute is skipped for them. With n
+                // APs this turns each interval's share maintenance from n²
+                // recomputes into n.
+                if prev.is_none_or(|p| p.status != status || !self.is_fresh(p.last_seen)) {
                     self.recompute_share();
                 }
             }
@@ -212,6 +258,10 @@ impl X2Agent {
                 );
             }
             X2Msg::HandoverAck { .. } => {}
+            // Context replies are consumed by the composing AP (which
+            // intercepts them before this handler); a bare agent has no
+            // subscriber store to install them into.
+            X2Msg::HandoverContext { .. } => {}
         }
     }
 }
@@ -356,6 +406,47 @@ mod tests {
         assert_eq!(xa.live_peers(), 0, "ghost dropped after 3 intervals");
         assert_eq!(xa.my_share, 1.0, "spectrum reclaimed");
         assert_eq!(xa.stats.peers_dropped, 1);
+    }
+
+    #[test]
+    fn stale_peer_stops_counting_within_one_interval() {
+        // A crashed peer must leave the live set (and the share math, and
+        // the handover target list) after one missed report — not linger
+        // until the 3-interval table eviction.
+        let mut agent = X2Agent::new(
+            CoordinationMode::FairShare,
+            vec![],
+            SimDuration::from_millis(100),
+        );
+        let peer = Addr::new(10, 0, 0, 2);
+        agent.peer_state.insert(
+            peer,
+            PeerState {
+                status: DlteStatus {
+                    mode: CoordinationMode::FairShare,
+                    demand: 1.0,
+                    clients: 0,
+                },
+                last_seen: SimTime::ZERO,
+            },
+        );
+        // One interval of silence (plus jitter allowance) is tolerated...
+        agent.last_now = SimTime::from_millis(100);
+        assert_eq!(agent.live_peers(), 1);
+        assert_eq!(agent.fresh_peers(), vec![peer]);
+        // ...but a missed report is not.
+        agent.last_now = SimTime::from_millis(130);
+        assert_eq!(agent.live_peers(), 0, "stale within ~one interval");
+        assert!(
+            agent.fresh_peers().is_empty(),
+            "no longer a handover target"
+        );
+        agent.recompute_share();
+        assert_eq!(agent.my_share, 1.0, "stale peer holds no spectrum");
+        // Table eviction stays lazy: the entry (and the dropped-peer stat)
+        // waits for the 3-interval deadline.
+        assert_eq!(agent.peer_state.len(), 1);
+        assert_eq!(agent.stats.peers_dropped, 0);
     }
 
     #[test]

@@ -68,8 +68,16 @@ fn full_stack_story() {
             ap.tdm_share()
         );
     }
-    // Nothing was silently lost in the fabric.
-    assert_eq!(w.trace().drops_no_route, 0);
+    // Nothing was silently lost in the fabric — except the detach race:
+    // UE0's roam now eagerly detaches from AP0 (releasing its address and
+    // /32 route immediately instead of stranding the session), so a pong
+    // already in flight toward the old address can hit the released route.
+    // The transport layer, not the fabric, owns that loss in dLTE.
+    assert!(
+        w.trace().drops_no_route <= 1,
+        "only the roamer's detach-race pong may drop: {}",
+        w.trace().drops_no_route
+    );
     assert_eq!(w.trace().drops_ttl, 0);
 }
 
