@@ -4,6 +4,50 @@
 //! argument parsing, registry resolution, parameter overrides, execution,
 //! rendering — so the integration tests can drive the exact same code path
 //! without spawning a process.
+//!
+//! With the `count-allocs` feature, the crate installs a counting global
+//! allocator so `dlte-run bench`/`profile` can report heap-allocation
+//! columns (see [`count_allocs`]).
+
+/// Counting global allocator (feature `count-allocs`): wraps the system
+/// allocator and reports every allocation to the thread-local tally behind
+/// [`dlte_sim::report::scope`], which turns into the `allocs` /
+/// `alloc_bytes` columns of `BENCH_fabric.json` and `BENCH_profile.json`.
+/// Dealloc is deliberately uncounted — the interesting number is allocator
+/// pressure per event, and the reporting hook must stay allocation-free
+/// (it only bumps const-initialized thread-local `Cell`s, so reentry is
+/// impossible).
+#[cfg(feature = "count-allocs")]
+pub mod count_allocs {
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every allocation to `System`; the tally hook touches
+    // only a const-initialized thread-local `Cell` (no allocation, no lazy
+    // init, no destructor), so it is safe to call from inside the
+    // allocator on any thread.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            dlte_sim::report::note_alloc(layout.size());
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            dlte_sim::report::note_alloc(layout.size());
+            System.alloc_zeroed(layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            dlte_sim::report::note_alloc(new_size);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+}
 
 pub mod runner {
     use dlte::experiments::registry::{find, registry, Experiment, ExperimentError};
@@ -61,7 +105,7 @@ pub mod runner {
         }
     }
 
-    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE] [--registry] [--mobility]\n       dlte-run --list";
+    pub const USAGE: &str = "usage: dlte-run <id...|all> [--json] [--jobs N] [--shards N] [--seed S] [--params JSON] [--trace FILE] [--metrics]\n       dlte-run profile <id...> [--jobs N] [--seed S] [--params JSON]\n       dlte-run bench [id...] [--sizes N,N,...] [--shards N,N,...] [--ues-per-ap N] [--seed S] [--total SECS] [--out FILE] [--baseline FILE | --mem-baseline]\n       dlte-run fuzz [--seeds A..B] [--shards N] [--out DIR] [--repro FILE] [--registry] [--mobility]\n       dlte-run --list";
 
     /// Parse command-line arguments (without the program name).
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
@@ -204,6 +248,15 @@ pub mod runner {
         pub sim_time_ns: u64,
         pub events_per_sec: f64,
         pub drops: std::collections::BTreeMap<String, u64>,
+        /// Memory columns: heap allocations / bytes requested during the
+        /// run (non-zero only under the `count-allocs` allocator) and
+        /// packet bytes duplicated by `Packet::clone`.
+        #[serde(default)]
+        pub allocs: u64,
+        #[serde(default)]
+        pub alloc_bytes: u64,
+        #[serde(default)]
+        pub bytes_copied: u64,
     }
 
     /// The `BENCH_profile.json` document shape.
@@ -227,6 +280,9 @@ pub mod runner {
                     sim_time_ns: m.sim_time_ns,
                     events_per_sec: m.events_per_sec,
                     drops: m.drops,
+                    allocs: m.allocs,
+                    alloc_bytes: m.alloc_bytes,
+                    bytes_copied: m.bytes_copied,
                 }
             })
             .collect();
@@ -305,6 +361,10 @@ pub mod runner {
         pub out: Option<String>,
         /// Previous `BENCH_fabric.json` to compare against (`e15` only).
         pub baseline: Option<String>,
+        /// Record the baseline in the same process by first running every
+        /// arm in naive-memory mode (`dlte_net::set_naive_memory`), then in
+        /// the default fast mode (`e15` only; excludes `--baseline`).
+        pub mem_baseline: bool,
         /// Engine shard counts each size runs at (`e16` only).
         pub shards: Option<Vec<usize>>,
         /// UEs homed on each AP (`e16` only); the AP count follows as
@@ -321,6 +381,7 @@ pub mod runner {
                 total_s: None,
                 out: None,
                 baseline: None,
+                mem_baseline: false,
                 shards: None,
                 ues_per_ap: None,
             }
@@ -377,6 +438,9 @@ pub mod runner {
                 }
                 "--baseline" => {
                     inv.baseline = Some(args.next().ok_or("--baseline needs a file path")?);
+                }
+                "--mem-baseline" => {
+                    inv.mem_baseline = true;
                 }
                 "--shards" => {
                     let v = args.next().ok_or("--shards needs a list like 1,2,4")?;
@@ -444,18 +508,52 @@ pub mod runner {
                 "bench e16 compares shard counts within one run and takes no --baseline".into(),
             );
         }
+        if shard_sweep && inv.mem_baseline {
+            return Err("--mem-baseline only applies to the fabric sweep (bench e15)".into());
+        }
+        if inv.mem_baseline && inv.baseline.is_some() {
+            return Err(
+                "--baseline and --mem-baseline both define the comparison baseline; pick one"
+                    .into(),
+            );
+        }
         Ok(inv)
     }
 
     /// One entry of the bench document's `speedup` array: the optimized
     /// run's events/sec over the baseline's, per (arch, size).
     #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+    #[serde(default)]
     pub struct Speedup {
         pub arch: String,
         pub size: usize,
         pub baseline_events_per_sec: f64,
         pub events_per_sec: f64,
         pub ratio: f64,
+        /// Heap allocations per dispatched event, baseline vs this run.
+        /// Zero when either side was recorded without the counting
+        /// allocator (`count-allocs`), in which case `alloc_ratio` is also
+        /// zero rather than a misleading infinity.
+        pub baseline_allocs_per_event: f64,
+        pub allocs_per_event: f64,
+        /// How many times fewer allocations per event this run does than
+        /// the baseline (`baseline_allocs_per_event / allocs_per_event`).
+        pub alloc_ratio: f64,
+    }
+
+    impl Default for Speedup {
+        fn default() -> Self {
+            Speedup {
+                arch: String::new(),
+                size: 0,
+                baseline_events_per_sec: 0.0,
+                events_per_sec: 0.0,
+                ratio: 0.0,
+                baseline_allocs_per_event: 0.0,
+                allocs_per_event: 0.0,
+                alloc_ratio: 0.0,
+            }
+        }
     }
 
     /// The `BENCH_fabric.json` document: the current runs, the baseline
@@ -470,6 +568,9 @@ pub mod runner {
         pub runs: Vec<dlte::experiments::e15_fabric_scale::BenchRun>,
         pub baseline: Vec<dlte::experiments::e15_fabric_scale::BenchRun>,
         pub speedup: Vec<Speedup>,
+        /// True when `baseline` holds naive-memory arms recorded by this
+        /// same process (`--mem-baseline`) rather than a loaded file.
+        pub mem_baseline: bool,
     }
 
     /// Match current runs to baseline runs by (arch, size) and compute
@@ -501,12 +602,29 @@ pub mod runner {
                         b.arch, b.size, b.events_per_sec
                     ));
                 }
+                let per_event = |allocs: u64, events: u64| {
+                    if events == 0 {
+                        0.0
+                    } else {
+                        allocs as f64 / events as f64
+                    }
+                };
+                let base_ape = per_event(b.allocs, b.events_dispatched);
+                let ape = per_event(r.allocs, r.events_dispatched);
                 Ok(Speedup {
                     arch: r.arch.clone(),
                     size: r.size,
                     baseline_events_per_sec: b.events_per_sec,
                     events_per_sec: r.events_per_sec,
                     ratio: r.events_per_sec / b.events_per_sec,
+                    baseline_allocs_per_event: base_ape,
+                    allocs_per_event: ape,
+                    // Meaningful only when both sides were counted.
+                    alloc_ratio: if base_ape > 0.0 && ape > 0.0 {
+                        base_ape / ape
+                    } else {
+                        0.0
+                    },
                 })
             })
             .collect()
@@ -528,39 +646,55 @@ pub mod runner {
         if let Some(t) = inv.total_s {
             p.total_s = t;
         }
-        let baseline = match &inv.baseline {
-            Some(path) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("reading --baseline {path}: {e}"))?;
-                let doc: FabricBench = serde_json::from_str(&text)
-                    .map_err(|e| format!("parsing --baseline {path}: {e}"))?;
-                // Fail before the (expensive) sweep runs: a baseline
-                // recorded for different sizes can't be compared, and an
-                // empty `runs` means the file isn't a bench document at
-                // all (every field defaults, so any JSON object parses).
-                if doc.runs.is_empty() {
-                    return Err(format!(
-                        "--baseline {path} contains no runs — not a BENCH_fabric.json \
-                         document (or written by a failed run)"
-                    ));
+        let baseline = if inv.mem_baseline {
+            // Record the before/after memory comparison in one process:
+            // naive-memory arms first (heap-spilled tunnels, Arc-always
+            // control, boxed arrivals, clone-per-handler), then the fast
+            // arms below. The mode is captured at topology build time, so
+            // flipping the flag between sweeps is sufficient.
+            dlte_net::set_naive_memory(true);
+            let naive = e15::bench_runs(&p);
+            dlte_net::set_naive_memory(false);
+            naive
+        } else {
+            match &inv.baseline {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading --baseline {path}: {e}"))?;
+                    let doc: FabricBench = serde_json::from_str(&text)
+                        .map_err(|e| format!("parsing --baseline {path}: {e}"))?;
+                    // Fail before the (expensive) sweep runs: a baseline
+                    // recorded for different sizes can't be compared, and an
+                    // empty `runs` means the file isn't a bench document at
+                    // all (every field defaults, so any JSON object parses).
+                    if doc.runs.is_empty() {
+                        return Err(format!(
+                            "--baseline {path} contains no runs — not a BENCH_fabric.json \
+                             document (or written by a failed run)"
+                        ));
+                    }
+                    if doc.sizes != p.sizes {
+                        return Err(format!(
+                            "--baseline {path} was recorded for sizes {:?} but this run sweeps \
+                             {:?}; pass matching --sizes or re-record the baseline",
+                            doc.sizes, p.sizes
+                        ));
+                    }
+                    doc.runs
                 }
-                if doc.sizes != p.sizes {
-                    return Err(format!(
-                        "--baseline {path} was recorded for sizes {:?} but this run sweeps \
-                         {:?}; pass matching --sizes or re-record the baseline",
-                        doc.sizes, p.sizes
-                    ));
-                }
-                doc.runs
+                None => Vec::new(),
             }
-            None => Vec::new(),
         };
         let runs = e15::bench_runs(&p);
         let speedup = if baseline.is_empty() {
             Vec::new()
         } else {
-            bench_speedups(&baseline, &runs)
-                .map_err(|e| format!("--baseline {}: {e}", inv.baseline.as_deref().unwrap_or("")))?
+            let what = if inv.mem_baseline {
+                "--mem-baseline".to_string()
+            } else {
+                format!("--baseline {}", inv.baseline.as_deref().unwrap_or(""))
+            };
+            bench_speedups(&baseline, &runs).map_err(|e| format!("{what}: {e}"))?
         };
         Ok(FabricBench {
             sizes: p.sizes.clone(),
@@ -569,6 +703,7 @@ pub mod runner {
             runs,
             baseline,
             speedup,
+            mem_baseline: inv.mem_baseline,
         })
     }
 
@@ -577,12 +712,12 @@ pub mod runner {
     pub fn render_bench(doc: &FabricBench) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for r in &doc.runs {
-            let _ = writeln!(
+        let mut line = |r: &dlte::experiments::e15_fabric_scale::BenchRun, tag: &str| {
+            let _ = write!(
                 out,
                 "{:<12} size {:>5} ({} nodes, {} UEs): {} events in {:.1} ms \
                  ({:.0} events/s), {} pkts forwarded, {} pongs",
-                r.arch,
+                format!("{}{}", r.arch, tag),
                 r.size,
                 r.nodes,
                 r.ues,
@@ -592,13 +727,37 @@ pub mod runner {
                 r.packets_forwarded,
                 r.pongs
             );
+            if r.allocs > 0 {
+                let _ = write!(
+                    out,
+                    ", {} allocs ({} B), {} B copied",
+                    r.allocs, r.alloc_bytes, r.bytes_copied
+                );
+            }
+            out.push('\n');
+        };
+        if doc.mem_baseline {
+            for r in &doc.baseline {
+                line(r, "/naive");
+            }
+        }
+        for r in &doc.runs {
+            line(r, "");
         }
         for s in &doc.speedup {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "speedup {:<12} size {:>5}: {:.2}x ({:.0} -> {:.0} events/s)",
                 s.arch, s.size, s.ratio, s.baseline_events_per_sec, s.events_per_sec
             );
+            if s.alloc_ratio > 0.0 {
+                let _ = write!(
+                    out,
+                    ", {:.1}x fewer allocs/event ({:.1} -> {:.1})",
+                    s.alloc_ratio, s.baseline_allocs_per_event, s.allocs_per_event
+                );
+            }
+            out.push('\n');
         }
         out
     }
@@ -1128,6 +1287,10 @@ pub mod runner {
                 parse_bench_args(args("e15")).unwrap().out_path(),
                 "BENCH_fabric.json"
             );
+
+            // Same-process memory baseline.
+            let inv = parse_bench_args(args("e15 --mem-baseline")).unwrap();
+            assert!(inv.mem_baseline);
         }
 
         #[test]
@@ -1160,6 +1323,41 @@ pub mod runner {
             assert!(err.contains("bench e16"), "got: {err}");
             let err = parse_bench_args(args("e16 --baseline old.json")).unwrap_err();
             assert!(err.contains("no --baseline"), "got: {err}");
+            let err = parse_bench_args(args("e16 --mem-baseline")).unwrap_err();
+            assert!(err.contains("bench e15"), "got: {err}");
+            let err = parse_bench_args(args("e15 --baseline x.json --mem-baseline")).unwrap_err();
+            assert!(err.contains("pick one"), "got: {err}");
+        }
+
+        /// `--mem-baseline` records naive-memory arms and fast arms in one
+        /// process; the naive arms clone per delivery, the fast arms never
+        /// copy a packet.
+        #[test]
+        fn mem_baseline_records_naive_arms_in_one_process() {
+            let inv = BenchInvocation {
+                sizes: vec![20],
+                total_s: Some(2.0),
+                mem_baseline: true,
+                ..Default::default()
+            };
+            let doc = run_bench(&inv).unwrap();
+            assert!(doc.mem_baseline);
+            assert_eq!(doc.baseline.len(), 2, "naive arm per architecture");
+            assert_eq!(doc.runs.len(), 2);
+            assert_eq!(doc.speedup.len(), 2);
+            for (naive, fast) in doc.baseline.iter().zip(&doc.runs) {
+                assert_eq!(
+                    (naive.arch.as_str(), naive.size),
+                    (fast.arch.as_str(), fast.size)
+                );
+                // Identical simulation work either way — only memory
+                // behavior differs.
+                assert_eq!(naive.events_dispatched, fast.events_dispatched);
+                assert_eq!(naive.packets_forwarded, fast.packets_forwarded);
+                assert_eq!(naive.pongs, fast.pongs);
+                assert!(naive.bytes_copied > 0, "naive arms clone per delivery");
+                assert_eq!(fast.bytes_copied, 0, "fast arms never copy a packet");
+            }
         }
 
         #[test]

@@ -69,6 +69,14 @@ pub struct BenchRun {
     pub pongs: u64,
     pub wall_ms: f64,
     pub events_per_sec: f64,
+    /// Heap allocations observed during the run. Zero unless the binary
+    /// was built with the counting allocator (`dlte-bench` feature
+    /// `count-allocs`); like timing, these never reach golden tables.
+    pub allocs: u64,
+    /// Bytes requested from the heap during the run (same caveat).
+    pub alloc_bytes: u64,
+    /// Packet bytes duplicated by `Packet::clone` during the run.
+    pub bytes_copied: u64,
 }
 
 /// size → (cells, ues_per_cell): ~10% of nodes are cells, the rest UEs,
@@ -98,6 +106,9 @@ fn finish(arch: &str, size: usize, p: &Params, mut sim: ShardedSim, ues: Vec<Nod
         pongs,
         wall_ms: report.wall_ms,
         events_per_sec: report.events_per_sec,
+        allocs: report.allocs,
+        alloc_bytes: report.alloc_bytes,
+        bytes_copied: report.bytes_copied,
     }
 }
 

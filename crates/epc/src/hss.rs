@@ -56,7 +56,7 @@ impl NodeHandler for HssNode {
         let reply = ctx
             .make_packet(packet.src, wire::S6A_ANSWER)
             .with_payload(Payload::control(S6a::AuthInfoAnswer { imsi, vector }));
-        self.proc.process(ctx, vec![reply]);
+        self.proc.process_one(ctx, reply);
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {

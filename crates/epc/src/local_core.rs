@@ -307,7 +307,7 @@ impl LocalCoreNode {
                                 reply_to: my_addr,
                             }),
                         );
-                        self.proc.process(ctx, vec![q]);
+                        self.proc.process_one(ctx, q);
                     }
                 }
             }
@@ -449,7 +449,7 @@ impl NodeHandler for KeyDirectoryNode {
             let a = ctx
                 .make_packet(reply_to, DIR_MSG_BYTES)
                 .with_payload(Payload::control(DirMsg::Answer { imsi, key }));
-            self.proc.process(ctx, vec![a]);
+            self.proc.process_one(ctx, a);
         }
     }
 

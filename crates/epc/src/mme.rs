@@ -236,7 +236,7 @@ impl MmeNode {
                         sn_id: self.sn_id,
                         resync_sqn: None,
                     }));
-                self.proc.process(ctx, vec![req]);
+                self.proc.process_one(ctx, req);
             }
             Nas::AuthenticationResponse { res, .. } => {
                 let Some(UeCtx::AwaitAuthResponse {
@@ -267,7 +267,7 @@ impl MmeNode {
                                 enb_addr: via_enb,
                                 teid_dl_enb: teid_dl,
                             }));
-                    self.proc.process(ctx, vec![req]);
+                    self.proc.process_one(ctx, req);
                 } else {
                     self.stats.attaches_rejected += 1;
                     self.contexts.remove(&imsi);
@@ -284,7 +284,7 @@ impl MmeNode {
                         },
                         wire::ATTACH_REJECT,
                     );
-                    self.proc.process(ctx, vec![rej]);
+                    self.proc.process_one(ctx, rej);
                 }
             }
             Nas::AuthenticationFailure { ue_sqn, .. } => {
@@ -324,7 +324,7 @@ impl MmeNode {
                                 sn_id: self.sn_id,
                                 resync_sqn: Some(sqn),
                             }));
-                        self.proc.process(ctx, vec![req]);
+                        self.proc.process_one(ctx, req);
                     }
                     _ => {
                         self.stats.attaches_rejected += 1;
@@ -342,7 +342,7 @@ impl MmeNode {
                             },
                             wire::ATTACH_REJECT,
                         );
-                        self.proc.process(ctx, vec![rej]);
+                        self.proc.process_one(ctx, rej);
                     }
                 }
             }
@@ -408,7 +408,7 @@ impl MmeNode {
                     },
                     wire::AUTH_REQUEST,
                 );
-                self.proc.process(ctx, vec![auth]);
+                self.proc.process_one(ctx, auth);
             }
             None => {
                 self.stats.attaches_rejected += 1;
@@ -426,7 +426,7 @@ impl MmeNode {
                     },
                     wire::ATTACH_REJECT,
                 );
-                self.proc.process(ctx, vec![rej]);
+                self.proc.process_one(ctx, rej);
             }
         }
     }
@@ -498,7 +498,7 @@ impl MmeNode {
                 let page = ctx
                     .make_packet(via_enb, wire::PAGING)
                     .with_payload(Payload::control(S1ap::Paging { imsi }));
-                self.proc.process(ctx, vec![page]);
+                self.proc.process_one(ctx, page);
             }
             Gtpc::ModifyBearerResponse { imsi } => {
                 let Some(UeCtx::Switching {

@@ -152,7 +152,7 @@ impl PgwNode {
                         pgw_addr: my_addr,
                         teid_ul_pgw,
                     }));
-                self.proc.process(ctx, vec![resp]);
+                self.proc.process_one(ctx, resp);
             }
             S5::DeleteRequest { imsi, .. } => {
                 if let Some(ue_addr) = self.by_imsi.remove(&imsi) {

@@ -11,12 +11,20 @@ use dlte_net::{NodeCtx, Packet};
 use dlte_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 
+/// Deferred outputs of one unit of work. Most messages produce exactly one
+/// reply; storing it inline skips the historical one-element `Vec` per
+/// processed message (the naive-memory baseline re-enacts it).
+enum Outputs {
+    One(Packet),
+    Many(Vec<Packet>),
+}
+
 /// Deferred-output message processor.
 pub struct Processor {
     /// Service time per message.
     pub per_msg: SimDuration,
     busy_until: SimTime,
-    pending: HashMap<u64, Vec<Packet>>,
+    pending: HashMap<u64, Outputs>,
     next_tag: u64,
     /// Messages processed (for load accounting).
     pub processed: u64,
@@ -47,6 +55,20 @@ impl Processor {
     /// Accept one unit of work whose result is `outputs`; they are
     /// forwarded when the processor finishes this message.
     pub fn process(&mut self, ctx: &mut NodeCtx<'_>, outputs: Vec<Packet>) {
+        self.enqueue(ctx, Outputs::Many(outputs));
+    }
+
+    /// [`Self::process`] for the common single-reply message, with the
+    /// reply stored inline — no `Vec` allocation.
+    pub fn process_one(&mut self, ctx: &mut NodeCtx<'_>, output: Packet) {
+        if dlte_net::naive_memory() {
+            self.enqueue(ctx, Outputs::Many(vec![output]));
+        } else {
+            self.enqueue(ctx, Outputs::One(output));
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut NodeCtx<'_>, outputs: Outputs) {
         let start = self.busy_until.max(ctx.now);
         self.queue_delay_total += start.saturating_since(ctx.now);
         let done = start + self.per_msg;
@@ -62,7 +84,11 @@ impl Processor {
     /// (and its outputs were transmitted).
     pub fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) -> bool {
         match self.pending.remove(&tag) {
-            Some(outputs) => {
+            Some(Outputs::One(p)) => {
+                ctx.forward(p);
+                true
+            }
+            Some(Outputs::Many(outputs)) => {
                 for p in outputs {
                     ctx.forward(p);
                 }
@@ -115,7 +141,7 @@ mod tests {
                 let reply = ctx
                     .make_packet(packet.src, packet.size_bytes)
                     .with_payload(Payload::Flow { flow, seq });
-                self.proc.process(ctx, vec![reply]);
+                self.proc.process_one(ctx, reply);
             }
         }
         fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {

@@ -203,7 +203,7 @@ impl SgwNode {
                             sgw_addr: my_addr,
                             teid_dl_sgw,
                         }));
-                self.proc.process(ctx, vec![req]);
+                self.proc.process_one(ctx, req);
             }
             Gtpc::ModifyBearerRequest {
                 imsi,
@@ -228,7 +228,7 @@ impl SgwNode {
                     let resp = ctx
                         .make_packet(from, wire::GTPC)
                         .with_payload(Payload::control(Gtpc::ModifyBearerResponse { imsi }));
-                    self.proc.process(ctx, vec![resp]);
+                    self.proc.process_one(ctx, resp);
                 }
             }
             Gtpc::ReleaseAccessBearers { imsi } => {
@@ -248,7 +248,7 @@ impl SgwNode {
                                 imsi,
                                 ue_addr: b.ue_addr.unwrap_or(Addr::UNSPECIFIED),
                             }));
-                    self.proc.process(ctx, vec![del]);
+                    self.proc.process_one(ctx, del);
                 }
             }
             _ => {}
@@ -281,7 +281,7 @@ impl SgwNode {
                         sgw_addr: my_addr,
                         teid_ul_sgw,
                     }));
-                self.proc.process(ctx, vec![resp]);
+                self.proc.process_one(ctx, resp);
             }
         }
     }
@@ -340,7 +340,7 @@ impl SgwNode {
                     let ddn = ctx
                         .make_packet(self.mme_addr, wire::GTPC)
                         .with_payload(Payload::control(Gtpc::DownlinkDataNotification { imsi }));
-                    self.proc.process(ctx, vec![ddn]);
+                    self.proc.process_one(ctx, ddn);
                 }
                 return;
             }

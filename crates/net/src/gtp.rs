@@ -150,6 +150,10 @@ pub fn encapsulate(mut packet: Packet, teid: Teid, outer_src: Addr, outer_dst: A
 /// Decapsulate the outermost tunnel, restoring inner addressing. Returns
 /// `Err(packet)` unchanged if the packet is not tunneled or the TEID does
 /// not match (misdelivered tunnel traffic must not be silently unwrapped).
+// The Err variant hands the whole packet back by design — the caller must
+// keep forwarding it, and boxing here would put an allocation on the
+// zero-copy path this module exists to avoid.
+#[allow(clippy::result_large_err)]
 pub fn decapsulate(mut packet: Packet, expected_teid: Option<Teid>) -> Result<Packet, Packet> {
     match packet.tunnels.last() {
         Some(h) if expected_teid.is_none() || expected_teid == Some(h.teid) => {

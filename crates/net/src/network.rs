@@ -12,6 +12,7 @@
 use crate::link::{Link, LinkConfig, LinkId, LinkOverride, Offer};
 use crate::node::{NodeCtx, NodeHandler, NodeId, NodeInfo};
 use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::trace::TraceStats;
 use dlte_obs::{DropReason, Event};
 use dlte_sim::rng::hash_unit;
@@ -58,11 +59,26 @@ fn drop_counter(reason: DropReason) -> dlte_obs::metrics::CounterId {
     }
 }
 
+/// Where an in-flight packet's bytes live while its arrival event sits in
+/// the queue. The fast path parks the packet in the world's [`PacketPool`]
+/// and moves the 8-byte handle; cross-shard deliveries (whose bytes must
+/// physically travel to another worker's replica) and the naive-memory
+/// baseline mode carry an owned heap box instead. Either way the event
+/// stays 2 words — the queue slab never pays `size_of::<Packet>()`.
+#[derive(Debug)]
+pub enum PacketSlot {
+    /// Handle into the receiving world's packet arena.
+    Pooled(PacketRef),
+    /// The packet itself, boxed (cross-shard or naive-memory baseline).
+    Owned(Box<Packet>),
+}
+
 /// Events of the network world.
 #[derive(Debug)]
 pub enum NetEvent {
-    /// `packet` reaches `node` (after link serialization + propagation).
-    PacketArrive { node: NodeId, packet: Packet },
+    /// A packet reaches `node` (after link serialization + propagation);
+    /// its bytes are wherever `slot` says.
+    PacketArrive { node: NodeId, slot: PacketSlot },
     /// A packet finished serializing on `link` direction `dir` (frees one
     /// queue slot).
     LinkDeparted { link: LinkId, dir: usize },
@@ -210,6 +226,12 @@ pub struct NetCore {
     pub(crate) shard_of: Vec<usize>,
     /// Cross-shard arrivals produced since the last drain.
     pub(crate) outbound: Vec<OutMsg<NetEvent>>,
+    /// Arena for in-flight packets: local arrivals park their bytes here
+    /// and the event queue carries only a [`PacketRef`].
+    pub pool: PacketPool,
+    /// Captured [`crate::naive_memory`] at build time: route the memory
+    /// decisions (not the behavior) through the pre-§13 paths.
+    pub(crate) naive_mem: bool,
 }
 
 impl NetCore {
@@ -252,6 +274,127 @@ impl NetCore {
             None => {
                 self.trace.drops_no_route += 1;
                 note_drop(now, node, DropReason::NoRoute, packet.size_bytes);
+            }
+        }
+    }
+
+    /// Route the *pooled* packet behind `r` out of `node` — the zero-copy
+    /// twin of [`NetCore::route_and_transmit`]. The packet stays parked in
+    /// the arena across the hop: TTL and hop count are edited in place and
+    /// the same 8-byte handle is re-scheduled, so a multi-hop traversal
+    /// never copies the `Packet` until something consumes it (delivery,
+    /// drop accounting, a handler, or a shard boundary). Decision order,
+    /// draws and counters mirror the by-value path exactly.
+    pub(crate) fn route_and_transmit_ref(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        r: PacketRef,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let Some(p) = self.pool.get_mut(r) else {
+            debug_assert!(false, "stale packet handle in forward at node {node}");
+            return;
+        };
+        if p.ttl == 0 {
+            let p = self.pool.take(r).expect("just read it");
+            self.trace.drops_ttl += 1;
+            note_drop(now, node, DropReason::TtlExpired, p.size_bytes);
+            return;
+        }
+        p.ttl -= 1;
+        let dst = p.dst;
+        match self.nodes[node].route_for(dst) {
+            Some(link) => self.transmit_on_ref(now, node, link, r, queue),
+            None => {
+                let p = self.pool.take(r).expect("just read it");
+                self.trace.drops_no_route += 1;
+                note_drop(now, node, DropReason::NoRoute, p.size_bytes);
+            }
+        }
+    }
+
+    /// Transmit the pooled packet behind `r` from `node` on `link` (see
+    /// [`NetCore::route_and_transmit_ref`]).
+    pub(crate) fn transmit_on_ref(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        link: LinkId,
+        r: PacketRef,
+        queue: &mut EventQueue<NetEvent>,
+    ) {
+        let (id, hops, size_bytes) = {
+            let Some(p) = self.pool.get(r) else {
+                debug_assert!(false, "stale packet handle in transmit at node {node}");
+                return;
+            };
+            (p.id, p.hops, p.size_bytes)
+        };
+        let seed = self.rng.seed();
+        let l = &mut self.links[link];
+        let Some(dir) = l.dir_from(node) else {
+            debug_assert!(false, "node {node} not on link {link}");
+            let p = self.pool.take(r).expect("just read it");
+            self.trace.drops_no_route += 1;
+            note_drop(now, node, DropReason::NoRoute, p.size_bytes);
+            return;
+        };
+        let key = [seed, 0, id, hops as u64, link as u64, dir as u64];
+        let mut loss_key = key;
+        loss_key[1] = LOSS_SALT;
+        let mut jitter_key = key;
+        jitter_key[1] = JITTER_SALT;
+        let draw = hash_unit(&loss_key);
+        let jitter_draw = hash_unit(&jitter_key);
+        match l.offer(dir, now, size_bytes, draw, jitter_draw) {
+            Offer::Accepted {
+                arrives_at,
+                departs_at,
+            } => {
+                self.fabric.accepted += 1;
+                let dest = l.other(node);
+                self.pool.get_mut(r).expect("just read it").hops += 1;
+                queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
+                if self.shard_of[dest] == self.my_shard {
+                    queue.schedule_at(
+                        arrives_at,
+                        NetEvent::PacketArrive {
+                            node: dest,
+                            slot: PacketSlot::Pooled(r),
+                        },
+                    );
+                } else {
+                    // Shard boundary: a pool handle means nothing in the
+                    // peer replica, so the bytes leave the arena here.
+                    let packet = self.pool.take(r).expect("just read it");
+                    let (origin, oseq) = queue.alloc_key();
+                    self.outbound.push(OutMsg {
+                        shard: self.shard_of[dest],
+                        at: arrives_at,
+                        origin,
+                        oseq,
+                        event: NetEvent::PacketArrive {
+                            node: dest,
+                            slot: PacketSlot::Owned(Box::new(packet)),
+                        },
+                    });
+                }
+            }
+            Offer::DroppedQueueFull => {
+                let p = self.pool.take(r).expect("just read it");
+                self.trace.drops_queue += 1;
+                note_drop(now, node, DropReason::Queue, p.size_bytes);
+            }
+            Offer::DroppedLoss => {
+                let p = self.pool.take(r).expect("just read it");
+                self.trace.drops_loss += 1;
+                note_drop(now, node, DropReason::Loss, p.size_bytes);
+            }
+            Offer::DroppedLinkDown => {
+                let p = self.pool.take(r).expect("just read it");
+                self.trace.drops_link_down += 1;
+                note_drop(now, node, DropReason::LinkDown, p.size_bytes);
             }
         }
     }
@@ -304,22 +447,33 @@ impl NetCore {
                 let dest = l.other(node);
                 packet.hops += 1;
                 queue.schedule_at(departs_at, NetEvent::LinkDeparted { link, dir });
-                let arrive = NetEvent::PacketArrive { node: dest, packet };
                 if self.shard_of[dest] == self.my_shard {
-                    queue.schedule_at(arrives_at, arrive);
+                    // Local delivery: park the bytes in the arena and move
+                    // only the handle through the queue (the naive baseline
+                    // boxes instead, pricing a heap round-trip per hop).
+                    let slot = if self.naive_mem {
+                        PacketSlot::Owned(Box::new(packet))
+                    } else {
+                        PacketSlot::Pooled(self.pool.insert(packet))
+                    };
+                    queue.schedule_at(arrives_at, NetEvent::PacketArrive { node: dest, slot });
                 } else {
                     // The far end lives on another shard: allocate the
                     // canonical key *here* (consuming this origin's counter
                     // exactly as a local schedule would, so single- and
-                    // multi-shard key streams agree) and ship it across the
-                    // epoch barrier.
+                    // multi-shard key streams agree) and ship the bytes —
+                    // owned, a pool handle means nothing in another replica —
+                    // across the epoch barrier.
                     let (origin, oseq) = queue.alloc_key();
                     self.outbound.push(OutMsg {
                         shard: self.shard_of[dest],
                         at: arrives_at,
                         origin,
                         oseq,
-                        event: arrive,
+                        event: NetEvent::PacketArrive {
+                            node: dest,
+                            slot: PacketSlot::Owned(Box::new(packet)),
+                        },
                     });
                 }
             }
@@ -593,27 +747,88 @@ impl World for Network {
         // history. The engine resets the origin to 0 (external/control)
         // around each dispatch.
         match event {
-            NetEvent::PacketArrive { node, packet } => {
+            NetEvent::PacketArrive { node, slot } => {
                 queue.set_origin(node as u64 + 1);
                 self.core.fabric.arrivals += 1;
-                if self.down[node] || self.paused[node] {
-                    self.core.trace.drops_node_down += 1;
-                    note_drop(now, node, DropReason::NodeDown, packet.size_bytes);
-                    return;
-                }
-                let handled = self.with_handler(node, queue, now, |h, ctx| {
-                    h.on_packet(ctx, packet.clone());
-                });
-                if handled {
-                    self.core.fabric.absorbed += 1;
-                } else {
-                    // Plain node: deliver or forward.
-                    if self.core.nodes[node].owns(packet.dst) {
-                        self.core.fabric.delivered_plain += 1;
-                        self.core.trace.record_delivery(now, &packet);
-                    } else {
-                        self.core.fabric.reforwarded += 1;
-                        self.core.route_and_transmit(now, node, packet, queue);
+                match slot {
+                    // Fast path: the bytes stay parked in the arena. Only a
+                    // consuming outcome (drop accounting, handler ingest,
+                    // trace delivery) takes them out; plain forwarding edits
+                    // the pooled packet in place and re-schedules the same
+                    // 8-byte handle.
+                    PacketSlot::Pooled(r) => {
+                        if self.down[node] || self.paused[node] {
+                            let Ok(packet) = self.core.pool.take(r) else {
+                                // A stale handle in a scheduled arrival means
+                                // the packet was taken twice — a fabric bug,
+                                // not a scenario outcome. Surface it in
+                                // debug; drop the phantom arrival in release.
+                                debug_assert!(false, "stale packet handle at node {node}");
+                                return;
+                            };
+                            self.core.trace.drops_node_down += 1;
+                            note_drop(now, node, DropReason::NodeDown, packet.size_bytes);
+                            return;
+                        }
+                        if self.handlers[node].is_some() {
+                            // One handler per node, so ownership moves
+                            // straight into it — the old unconditional
+                            // per-arrival `clone` is gone.
+                            let Ok(packet) = self.core.pool.take(r) else {
+                                debug_assert!(false, "stale packet handle at node {node}");
+                                return;
+                            };
+                            self.with_handler(node, queue, now, move |h, ctx| {
+                                h.on_packet(ctx, packet);
+                            });
+                            self.core.fabric.absorbed += 1;
+                        } else {
+                            let owns = match self.core.pool.get(r) {
+                                Some(p) => self.core.nodes[node].owns(p.dst),
+                                None => {
+                                    debug_assert!(false, "stale packet handle at node {node}");
+                                    return;
+                                }
+                            };
+                            if owns {
+                                let packet = self.core.pool.take(r).expect("just read it");
+                                self.core.fabric.delivered_plain += 1;
+                                self.core.trace.record_delivery(now, &packet);
+                            } else {
+                                self.core.fabric.reforwarded += 1;
+                                self.core.route_and_transmit_ref(now, node, r, queue);
+                            }
+                        }
+                    }
+                    // Owned bytes: a shard-crossing arrival, or every hop of
+                    // the naive-memory baseline (which boxes per hop and
+                    // re-enacts the historical clone-per-handler so the
+                    // bench's `bytes_copied` column can price it).
+                    PacketSlot::Owned(b) => {
+                        let packet = *b;
+                        if self.down[node] || self.paused[node] {
+                            self.core.trace.drops_node_down += 1;
+                            note_drop(now, node, DropReason::NodeDown, packet.size_bytes);
+                            return;
+                        }
+                        if self.handlers[node].is_some() {
+                            let naive = self.core.naive_mem;
+                            self.with_handler(node, queue, now, move |h, ctx| {
+                                if naive {
+                                    let copy = packet.clone();
+                                    h.on_packet(ctx, copy);
+                                } else {
+                                    h.on_packet(ctx, packet);
+                                }
+                            });
+                            self.core.fabric.absorbed += 1;
+                        } else if self.core.nodes[node].owns(packet.dst) {
+                            self.core.fabric.delivered_plain += 1;
+                            self.core.trace.record_delivery(now, &packet);
+                        } else {
+                            self.core.fabric.reforwarded += 1;
+                            self.core.route_and_transmit(now, node, packet, queue);
+                        }
                     }
                 }
             }
@@ -771,6 +986,8 @@ impl NetworkBuilder {
                 my_shard: 0,
                 shard_of: vec![0; n],
                 outbound: Vec::new(),
+                pool: PacketPool::new(),
+                naive_mem: crate::naive_memory(),
             },
             handlers: self.handlers,
             down: vec![false; n],
@@ -1107,6 +1324,60 @@ mod tests {
             "post-restart deliveries {}",
             sink.got
         );
+    }
+
+    /// Regression guard for the handler fan-out fast path: with at most one
+    /// handler per node, delivery moves ownership and never clones, so an
+    /// end-to-end run under [`dlte_sim::report::scope`] observes zero copied
+    /// bytes. The naive-memory baseline clones per arrival and must not.
+    #[test]
+    fn single_handler_dispatch_copies_no_bytes() {
+        fn run_flow() -> dlte_sim::report::RunReport {
+            let mut b = NetworkBuilder::new(1);
+            let dst_addr = Addr::new(10, 0, 0, 2);
+            let src = b.host(
+                "src",
+                Box::new(Periodic {
+                    dst: dst_addr,
+                    sent: 0,
+                }),
+            );
+            b.addr(src, Addr::new(10, 0, 0, 1));
+            let dst = b.host(
+                "dst",
+                Box::new(Sink {
+                    got: 0,
+                    crashes: 0,
+                    restarts: 0,
+                }),
+            );
+            b.addr(dst, dst_addr);
+            b.link(src, dst, LinkConfig::lan());
+            b.auto_routes();
+            let ((), report) = dlte_sim::report::scope(|| {
+                let mut sim = b.build();
+                sim.run_until(SimTime::from_millis(305), 100_000);
+                let got = sim.world().handler_as::<Sink>(dst).unwrap().got;
+                assert!(got >= 20, "flow delivered ({got} packets)");
+            });
+            report
+        }
+        {
+            let _fast = crate::test_support::naive_memory_lock(false);
+            let report = run_flow();
+            assert_eq!(
+                report.bytes_copied, 0,
+                "single-handler dispatch must move, not clone"
+            );
+        }
+        {
+            let _naive = crate::test_support::naive_memory_lock(true);
+            let report = run_flow();
+            assert!(
+                report.bytes_copied > 0,
+                "naive baseline clones per handler arrival"
+            );
+        }
     }
 
     /// Records the firing time (ms) of each of 5 pre-armed timers.

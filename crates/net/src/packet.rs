@@ -4,15 +4,29 @@
 //! count) and a [`Payload`]. Control-plane layers (NAS, X2, transport
 //! handshakes) attach typed messages via `Payload::control`, which upper
 //! crates downcast — the substrate never needs to know their shape.
+//!
+//! Memory discipline (the §13 fast path): small control messages are stored
+//! *inline* in the payload enum instead of behind an `Arc` allocation, and
+//! the tunnel stack keeps its first [`TUNNEL_INLINE_DEPTH`] headers in a
+//! fixed array, touching the heap only for deeper stacking. Cloning a
+//! packet is instrumented — every clone credits its wire size to the
+//! thread's `bytes_copied` tally — so the bench can prove the forwarding
+//! path stopped copying.
 
 use crate::addr::Addr;
 use dlte_sim::SimTime;
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::fmt;
 use std::sync::Arc;
 
 /// Flow identifier used by traffic generators and the latency tracer.
 pub type FlowId = u64;
+
+/// Inline small-control budget: messages of at most this many bytes (and at
+/// most word alignment, and no destructor) are stored directly in the
+/// payload enum — three words, matching the size of the `Flow` variant so
+/// the fast path never grows the enum.
+pub const SMALL_CONTROL_BYTES: usize = 24;
 
 /// Packet payload.
 #[derive(Clone)]
@@ -21,24 +35,65 @@ pub enum Payload {
     Empty,
     /// User-plane data belonging to a traced flow.
     Flow { flow: FlowId, seq: u64 },
-    /// A typed control message (NAS, S1AP-ish, X2, transport frames).
-    /// `Arc` keeps clones cheap and lets packets cross shard boundaries
-    /// (the sharded engine moves events between worker threads).
+    /// A typed control message too large (or too rich — destructors,
+    /// over-aligned fields) for the inline fast path. `Arc` keeps clones
+    /// cheap and lets packets cross shard boundaries (the sharded engine
+    /// moves events between worker threads).
     Control(Arc<dyn Any + Send + Sync>),
+    /// A typed control message of at most [`SMALL_CONTROL_BYTES`] stored
+    /// inline — no heap allocation. Constructed only by [`Payload::control`],
+    /// which enforces the safety contract: `T: Any + Send + Sync`, fits the
+    /// size/alignment budget, and `!needs_drop` (the bits are bitwise-copied
+    /// by `Clone` and never dropped). Only `&T` is ever handed back out.
+    SmallControl { type_id: TypeId, data: [u64; 3] },
 }
 
 impl Payload {
-    /// Wrap a typed control message.
+    /// Wrap a typed control message. Messages within the inline budget (≤ 3
+    /// words, word-aligned, trivially droppable) avoid the `Arc` allocation
+    /// entirely; everything else falls back to the shared heap box. The
+    /// naive-memory baseline mode (see [`crate::set_naive_memory`]) forces
+    /// the `Arc` path so the bench can measure the difference.
     pub fn control<T: Any + Send + Sync>(msg: T) -> Payload {
-        Payload::Control(Arc::new(msg))
+        if !crate::naive_memory()
+            && std::mem::size_of::<T>() <= SMALL_CONTROL_BYTES
+            && std::mem::align_of::<T>() <= std::mem::align_of::<u64>()
+            && !std::mem::needs_drop::<T>()
+        {
+            let mut data = [0u64; 3];
+            // SAFETY: `T` fits in 24 bytes with alignment ≤ 8 (checked
+            // above), so writing it over the `[u64; 3]` backing store is in
+            // bounds and aligned. `msg` is moved in; with `!needs_drop::<T>`
+            // there is no destructor to lose, and the stored bits are only
+            // ever read back as `&T` behind the matching `TypeId`.
+            unsafe { std::ptr::write(data.as_mut_ptr() as *mut T, msg) };
+            Payload::SmallControl {
+                type_id: TypeId::of::<T>(),
+                data,
+            }
+        } else {
+            Payload::Control(Arc::new(msg))
+        }
     }
 
     /// Downcast a control payload to `&T`.
     pub fn as_control<T: Any>(&self) -> Option<&T> {
         match self {
             Payload::Control(rc) => rc.downcast_ref::<T>(),
+            Payload::SmallControl { type_id, data } if *type_id == TypeId::of::<T>() => {
+                // SAFETY: the `TypeId` match proves these bits were written
+                // by `control::<T>`, at this alignment, within bounds.
+                Some(unsafe { &*(data.as_ptr() as *const T) })
+            }
             _ => None,
         }
+    }
+
+    /// Whether a control message took the inline fast path (test/bench
+    /// observability; not part of the payload's semantics).
+    #[doc(hidden)]
+    pub fn is_inline_control(&self) -> bool {
+        matches!(self, Payload::SmallControl { .. })
     }
 
     /// The flow id, if this is flow data.
@@ -55,13 +110,15 @@ impl fmt::Debug for Payload {
         match self {
             Payload::Empty => write!(f, "Empty"),
             Payload::Flow { flow, seq } => write!(f, "Flow({flow}#{seq})"),
-            Payload::Control(_) => write!(f, "Control(..)"),
+            // Inline and Arc control render identically: which storage a
+            // message landed in is a memory detail, not an observable.
+            Payload::Control(_) | Payload::SmallControl { .. } => write!(f, "Control(..)"),
         }
     }
 }
 
 /// A tunnel header pushed by GTP-U encapsulation (see [`crate::gtp`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TunnelHeader {
     /// Tunnel endpoint identifier.
     pub teid: u32,
@@ -70,8 +127,164 @@ pub struct TunnelHeader {
     pub inner_dst: Addr,
 }
 
+impl TunnelHeader {
+    const EMPTY: TunnelHeader = TunnelHeader {
+        teid: 0,
+        inner_src: Addr::UNSPECIFIED,
+        inner_dst: Addr::UNSPECIFIED,
+    };
+}
+
+/// How many tunnel headers a packet holds without touching the heap. Two
+/// covers every topology in the repo: S1-U (one layer) and S5/S8 stacking
+/// (two layers); deeper experiments spill transparently.
+pub const TUNNEL_INLINE_DEPTH: usize = 2;
+
+/// A stack of tunnel encapsulations, innermost last pushed.
+///
+/// The first [`TUNNEL_INLINE_DEPTH`] headers live in a fixed inline array —
+/// pushing and popping a tunnel is a few stores, no allocation. Past that
+/// depth the whole stack moves to a heap `Vec` (`spill`) and stays there
+/// until it empties; the representation is invisible through the API.
+/// The naive-memory baseline mode spills on the first push so the bench can
+/// price the old always-heap behavior.
+#[derive(Clone)]
+pub struct TunnelStack {
+    inline: [TunnelHeader; TUNNEL_INLINE_DEPTH],
+    inline_len: u8,
+    // Boxed so the common unspilled case pays one pointer, not a full
+    // Vec header — this keeps `Packet` a cache line smaller. The extra
+    // indirection only costs on the rare deep-stacking spill path.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<TunnelHeader>>>,
+}
+
+impl TunnelStack {
+    pub const fn new() -> TunnelStack {
+        TunnelStack {
+            inline: [TunnelHeader::EMPTY; TUNNEL_INLINE_DEPTH],
+            inline_len: 0,
+            spill: None,
+        }
+    }
+
+    fn spilled(&self) -> Option<&Vec<TunnelHeader>> {
+        match &self.spill {
+            Some(v) if !v.is_empty() => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        if let Some(v) = self.spilled() {
+            v.len()
+        } else {
+            self.inline_len as usize
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push a header on top of the stack (it becomes the outermost tunnel).
+    pub fn push(&mut self, h: TunnelHeader) {
+        if self.spilled().is_some() {
+            self.spill.as_mut().expect("just checked").push(h);
+        } else if self.inline_len as usize == TUNNEL_INLINE_DEPTH || crate::naive_memory() {
+            // Move the inline prefix to the heap, then grow there.
+            let mut v = Vec::with_capacity(self.inline_len as usize + 1);
+            v.extend_from_slice(&self.inline[..self.inline_len as usize]);
+            v.push(h);
+            self.spill = Some(Box::new(v));
+            self.inline_len = 0;
+        } else {
+            self.inline[self.inline_len as usize] = h;
+            self.inline_len += 1;
+        }
+    }
+
+    /// Pop the outermost (most recently pushed) header.
+    pub fn pop(&mut self) -> Option<TunnelHeader> {
+        if self.spilled().is_some() {
+            self.spill.as_mut().expect("just checked").pop()
+        } else if self.inline_len > 0 {
+            self.inline_len -= 1;
+            Some(self.inline[self.inline_len as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The outermost header, if any.
+    pub fn last(&self) -> Option<&TunnelHeader> {
+        if let Some(v) = self.spilled() {
+            v.last()
+        } else if self.inline_len > 0 {
+            Some(&self.inline[self.inline_len as usize - 1])
+        } else {
+            None
+        }
+    }
+
+    /// Header at `i`, counted from the bottom (first pushed) of the stack.
+    pub fn get(&self, i: usize) -> Option<&TunnelHeader> {
+        if let Some(v) = self.spilled() {
+            v.get(i)
+        } else if i < self.inline_len as usize {
+            Some(&self.inline[i])
+        } else {
+            None
+        }
+    }
+
+    /// Iterate bottom (first pushed) to top (outermost).
+    pub fn iter(&self) -> impl Iterator<Item = &TunnelHeader> {
+        let slice: &[TunnelHeader] = if let Some(v) = self.spilled() {
+            v
+        } else {
+            &self.inline[..self.inline_len as usize]
+        };
+        slice.iter()
+    }
+
+    /// Whether the stack currently lives on the heap (test observability).
+    #[doc(hidden)]
+    pub fn is_spilled(&self) -> bool {
+        self.spilled().is_some()
+    }
+}
+
+impl Default for TunnelStack {
+    fn default() -> TunnelStack {
+        TunnelStack::new()
+    }
+}
+
+impl std::ops::Index<usize> for TunnelStack {
+    type Output = TunnelHeader;
+    fn index(&self, i: usize) -> &TunnelHeader {
+        self.get(i).expect("tunnel index out of bounds")
+    }
+}
+
+/// Inline and spilled stacks holding the same headers compare equal — the
+/// storage representation is not observable.
+impl PartialEq for TunnelStack {
+    fn eq(&self, other: &TunnelStack) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+impl Eq for TunnelStack {}
+
+impl fmt::Debug for TunnelStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// A network packet.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Packet {
     /// Unique id for tracing.
     pub id: u64,
@@ -82,12 +295,33 @@ pub struct Packet {
     pub created_at: SimTime,
     pub payload: Payload,
     /// Stack of tunnel encapsulations (innermost last pushed).
-    pub tunnels: Vec<TunnelHeader>,
+    pub tunnels: TunnelStack,
     /// Router hops traversed so far.
     pub hops: u32,
     /// TTL — packets are dropped when it reaches zero (guards against
     /// routing loops in experiment topologies).
     pub ttl: u8,
+}
+
+/// Cloning a packet duplicates its wire bytes; the fast path should almost
+/// never do it (forwarding moves handles — see [`crate::pool`]). Every clone
+/// credits `size_bytes` to the thread's `bytes_copied` tally so the bench
+/// and the fan-out regression test can count copies.
+impl Clone for Packet {
+    fn clone(&self) -> Packet {
+        dlte_sim::report::note_copy(self.size_bytes as u64);
+        Packet {
+            id: self.id,
+            src: self.src,
+            dst: self.dst,
+            size_bytes: self.size_bytes,
+            created_at: self.created_at,
+            payload: self.payload.clone(),
+            tunnels: self.tunnels.clone(),
+            hops: self.hops,
+            ttl: self.ttl,
+        }
+    }
 }
 
 impl Packet {
@@ -102,7 +336,7 @@ impl Packet {
             size_bytes,
             created_at: now,
             payload: Payload::Empty,
-            tunnels: Vec::new(),
+            tunnels: TunnelStack::new(),
             hops: 0,
             ttl: Self::DEFAULT_TTL,
         }
@@ -124,6 +358,7 @@ impl Packet {
 mod tests {
     use super::*;
     use crate::addr::Addr;
+    use crate::test_support::naive_memory_lock;
 
     #[derive(Debug, PartialEq)]
     struct FakeNas {
@@ -162,6 +397,123 @@ mod tests {
             p.as_control::<FakeNas>().unwrap(),
             q.as_control::<FakeNas>().unwrap()
         );
+    }
+
+    #[test]
+    fn small_control_goes_inline_large_falls_back() {
+        let _guard = naive_memory_lock(false);
+        // 8 bytes, word-aligned, no drop: inline.
+        let small = Payload::control(FakeNas { imsi: 9 });
+        assert!(small.is_inline_control());
+        assert_eq!(small.as_control::<FakeNas>().unwrap().imsi, 9);
+        // Wrong-type downcast on the inline path is rejected by TypeId.
+        assert!(small.as_control::<u32>().is_none());
+
+        // 32 bytes: over the 3-word budget → Arc.
+        #[derive(Debug, PartialEq)]
+        struct Big([u64; 4]);
+        let big = Payload::control(Big([1, 2, 3, 4]));
+        assert!(!big.is_inline_control());
+        assert_eq!(big.as_control::<Big>().unwrap(), &Big([1, 2, 3, 4]));
+
+        // Needs drop (owns a heap box): must not be bitwise-copied → Arc.
+        let dropful = Payload::control(String::from("nas"));
+        assert!(!dropful.is_inline_control());
+        assert_eq!(dropful.as_control::<String>().unwrap(), "nas");
+
+        // Over-aligned: must not be stored at word alignment → Arc.
+        #[repr(align(16))]
+        #[derive(Debug, PartialEq)]
+        struct Aligned(u64);
+        let aligned = Payload::control(Aligned(5));
+        assert!(!aligned.is_inline_control());
+        assert_eq!(aligned.as_control::<Aligned>().unwrap(), &Aligned(5));
+    }
+
+    #[test]
+    fn inline_control_survives_clone() {
+        let _guard = naive_memory_lock(false);
+        let p = Payload::control(FakeNas { imsi: 7 });
+        assert!(p.is_inline_control());
+        let q = p.clone();
+        drop(p);
+        assert_eq!(q.as_control::<FakeNas>().unwrap().imsi, 7);
+    }
+
+    #[test]
+    fn naive_memory_forces_arc_control() {
+        let _guard = naive_memory_lock(true);
+        let p = Payload::control(FakeNas { imsi: 3 });
+        assert!(!p.is_inline_control(), "baseline mode boxes everything");
+        assert_eq!(p.as_control::<FakeNas>().unwrap().imsi, 3);
+    }
+
+    #[test]
+    fn tunnel_stack_inline_until_depth_then_spills() {
+        let _guard = naive_memory_lock(false);
+        let h = |teid| TunnelHeader {
+            teid,
+            inner_src: Addr::new(1, 0, 0, 1),
+            inner_dst: Addr::new(2, 0, 0, 2),
+        };
+        let mut s = TunnelStack::new();
+        assert!(s.is_empty());
+        s.push(h(1));
+        s.push(h(2));
+        assert!(!s.is_spilled(), "depth 2 stays inline");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last().unwrap().teid, 2);
+        assert_eq!(s[0].teid, 1);
+        s.push(h(3));
+        assert!(s.is_spilled(), "depth 3 moves to the heap");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last().unwrap().teid, 3);
+        // Pops come back in LIFO order across the spill boundary.
+        assert_eq!(s.pop().unwrap().teid, 3);
+        assert_eq!(s.pop().unwrap().teid, 2);
+        assert_eq!(s.pop().unwrap().teid, 1);
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tunnel_stack_eq_ignores_representation() {
+        let _guard = naive_memory_lock(false);
+        let h = |teid| TunnelHeader {
+            teid,
+            inner_src: Addr::UNSPECIFIED,
+            inner_dst: Addr::UNSPECIFIED,
+        };
+        // Build one stack that spilled (went to depth 3 and back down) and
+        // one that never left the inline array.
+        let mut spilled = TunnelStack::new();
+        spilled.push(h(1));
+        spilled.push(h(2));
+        spilled.push(h(3));
+        spilled.pop();
+        assert!(spilled.is_spilled());
+        let mut inline = TunnelStack::new();
+        inline.push(h(1));
+        inline.push(h(2));
+        assert!(!inline.is_spilled());
+        assert_eq!(spilled, inline);
+        assert_eq!(format!("{spilled:?}"), format!("{inline:?}"));
+    }
+
+    #[test]
+    fn packet_clone_counts_bytes_copied() {
+        let ((), report) = dlte_sim::report::scope(|| {
+            let p = Packet::new(
+                1,
+                Addr::new(10, 0, 0, 1),
+                Addr::new(10, 0, 0, 2),
+                700,
+                SimTime::ZERO,
+            );
+            let q = p.clone();
+            let _r = q.clone();
+        });
+        assert_eq!(report.bytes_copied, 1400, "two clones of a 700 B packet");
     }
 
     #[test]

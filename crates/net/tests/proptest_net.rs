@@ -3,7 +3,8 @@
 
 use dlte_net::gtp::{decapsulate, encapsulate, GTP_OVERHEAD_BYTES};
 use dlte_net::node::NodeInfo;
-use dlte_net::{Addr, AddrPool, Packet, Prefix};
+use dlte_net::pool::{PacketPool, PacketRef, PoolError};
+use dlte_net::{Addr, AddrPool, Packet, Prefix, TunnelHeader};
 use dlte_sim::SimTime;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -215,6 +216,194 @@ proptest! {
         prop_assert_eq!(p.dst, original.dst);
         prop_assert_eq!(p.size_bytes, original.size_bytes);
         prop_assert!(!p.is_tunneled());
+    }
+
+    /// The inline tunnel stack is byte-equivalent to the naive heap-`Vec`
+    /// implementation it replaced: an arbitrary interleaving of encap and
+    /// decap ops (driven deep enough to cross the spill threshold both ways)
+    /// leaves the packet's observable state — addressing, wire size, tunnel
+    /// contents top to bottom — identical to a shadow model running the old
+    /// `Vec::push`/`Vec::pop` logic.
+    #[test]
+    fn tunnel_stack_matches_naive_vec_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Encapsulate with (teid, outer_src, outer_dst).
+                (any::<u32>(), arb_addr(), arb_addr()).prop_map(Some),
+                // Decapsulate the outermost tunnel (wildcard TEID).
+                Just(None),
+            ],
+            1..24,
+        ),
+        src in arb_addr(),
+        dst in arb_addr(),
+        size in 20u32..1500,
+    ) {
+        // Shadow model: the pre-§13 representation, verbatim.
+        #[derive(Clone, Debug, PartialEq)]
+        struct NaiveModel {
+            src: Addr,
+            dst: Addr,
+            size_bytes: u32,
+            tunnels: Vec<TunnelHeader>,
+        }
+        let mut model = NaiveModel { src, dst, size_bytes: size, tunnels: Vec::new() };
+        let mut p = Packet::new(1, src, dst, size, SimTime::ZERO);
+        for op in &ops {
+            match *op {
+                Some((teid, osrc, odst)) => {
+                    p = encapsulate(p, teid, osrc, odst);
+                    model.tunnels.push(TunnelHeader {
+                        teid,
+                        inner_src: model.src,
+                        inner_dst: model.dst,
+                    });
+                    model.src = osrc;
+                    model.dst = odst;
+                    model.size_bytes += GTP_OVERHEAD_BYTES;
+                }
+                None => {
+                    let popped = model.tunnels.pop();
+                    match decapsulate(p, None) {
+                        Ok(inner) => {
+                            let h = popped.expect("model had a tunnel too");
+                            model.src = h.inner_src;
+                            model.dst = h.inner_dst;
+                            model.size_bytes =
+                                model.size_bytes.saturating_sub(GTP_OVERHEAD_BYTES);
+                            p = inner;
+                        }
+                        Err(unchanged) => {
+                            prop_assert!(popped.is_none(), "only untunneled may refuse");
+                            p = unchanged;
+                        }
+                    }
+                }
+            }
+            // Byte-equivalence after *every* op, through every accessor.
+            prop_assert_eq!(p.src, model.src);
+            prop_assert_eq!(p.dst, model.dst);
+            prop_assert_eq!(p.size_bytes, model.size_bytes);
+            prop_assert_eq!(p.tunnels.len(), model.tunnels.len());
+            prop_assert_eq!(p.is_tunneled(), !model.tunnels.is_empty());
+            prop_assert_eq!(p.tunnels.last(), model.tunnels.last());
+            for (i, h) in model.tunnels.iter().enumerate() {
+                prop_assert_eq!(p.tunnels.get(i), Some(h));
+            }
+            let collected: Vec<TunnelHeader> = p.tunnels.iter().copied().collect();
+            prop_assert_eq!(&collected, &model.tunnels);
+        }
+    }
+
+    /// The generational packet arena agrees with a naive `Box<Packet>`
+    /// reference model (a map of live boxes) under random alloc / free /
+    /// forward-mutation / encap churn: every live handle reaches exactly its
+    /// packet, stale handles are rejected (never another packet), reclaim at
+    /// empty points is invisible, and teardown drains with no leaks.
+    #[test]
+    fn packet_pool_matches_boxed_reference(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Insert a packet with this id/size.
+                (0u64..1_000_000, 40u32..1500).prop_map(|(id, sz)| (0u8, id as usize, sz)),
+                // Take the pick-th live handle.
+                (0usize..1000).prop_map(|pick| (1u8, pick, 0u32)),
+                // Re-take a dead handle (must be Stale).
+                (0usize..1000).prop_map(|pick| (2u8, pick, 0u32)),
+                // Forward-mutate the pick-th live packet (hops+ttl churn).
+                (0usize..1000).prop_map(|pick| (3u8, pick, 0u32)),
+                // Encapsulate the pick-th live packet in place.
+                (0usize..1000).prop_map(|pick| (4u8, pick, 0u32)),
+                // Attempt a reclaim (no-op unless empty; always sound).
+                Just((5u8, 0usize, 0u32)),
+            ],
+            1..120,
+        ),
+    ) {
+        let mut pool = PacketPool::new();
+        // Reference: the naive heap model — id-keyed boxes, plus the stale
+        // handle graveyard for use-after-free probes.
+        let mut live: Vec<(PacketRef, Box<Packet>)> = Vec::new();
+        let mut dead: Vec<PacketRef> = Vec::new();
+        for &(kind, pick, sz) in &ops {
+            match kind {
+                0 => {
+                    let packet = Packet::new(
+                        pick as u64,
+                        Addr::new(10, 0, 0, 1),
+                        Addr::new(10, 0, 0, 2),
+                        sz,
+                        SimTime::ZERO,
+                    );
+                    let r = pool.insert(packet.clone());
+                    live.push((r, Box::new(packet)));
+                }
+                1 if !live.is_empty() => {
+                    let (r, expect) = live.swap_remove(pick % live.len());
+                    let got = pool.take(r);
+                    prop_assert!(got.is_ok());
+                    let got = got.unwrap();
+                    prop_assert_eq!(got.id, expect.id);
+                    prop_assert_eq!(got.size_bytes, expect.size_bytes);
+                    prop_assert_eq!(got.hops, expect.hops);
+                    prop_assert_eq!(got.ttl, expect.ttl);
+                    prop_assert_eq!(got.tunnels.len(), expect.tunnels.len());
+                    dead.push(r);
+                }
+                2 if !dead.is_empty() => {
+                    let r = dead[pick % dead.len()];
+                    prop_assert!(matches!(pool.take(r), Err(PoolError::Stale)));
+                    prop_assert!(pool.get(r).is_none());
+                }
+                3 if !live.is_empty() => {
+                    let i = pick % live.len();
+                    let (r, expect) = &mut live[i];
+                    let p = pool.get_mut(*r).expect("live handle");
+                    p.hops += 1;
+                    p.ttl = p.ttl.saturating_sub(1);
+                    expect.hops += 1;
+                    expect.ttl = expect.ttl.saturating_sub(1);
+                }
+                4 if !live.is_empty() => {
+                    let i = pick % live.len();
+                    let (r, expect) = &mut live[i];
+                    let p = pool.get_mut(*r).expect("live handle");
+                    let h = TunnelHeader {
+                        teid: pick as u32,
+                        inner_src: p.src,
+                        inner_dst: p.dst,
+                    };
+                    p.tunnels.push(h);
+                    p.size_bytes += GTP_OVERHEAD_BYTES;
+                    expect.tunnels.push(h);
+                    expect.size_bytes += GTP_OVERHEAD_BYTES;
+                }
+                5 => {
+                    pool.reclaim();
+                    if live.is_empty() {
+                        prop_assert_eq!(pool.capacity(), 0, "empty pool reclaims fully");
+                    }
+                }
+                _ => {}
+            }
+            // Handle conservation: the pool tracks exactly the live set, and
+            // every live handle still reads back its own packet.
+            prop_assert_eq!(pool.len(), live.len());
+            for (r, expect) in &live {
+                let p = pool.get(*r).expect("live handle readable");
+                prop_assert_eq!(p.id, expect.id);
+            }
+        }
+        // Teardown: drain everything; no leaks, no cross-wired handles.
+        for (r, expect) in live.drain(..) {
+            let got = pool.take(r);
+            prop_assert!(got.is_ok());
+            prop_assert_eq!(got.unwrap().id, expect.id);
+        }
+        prop_assert!(pool.is_empty());
+        for r in dead {
+            prop_assert!(matches!(pool.take(r), Err(PoolError::Stale)));
+        }
     }
 
     /// Decapsulating with a wrong TEID never alters the packet.

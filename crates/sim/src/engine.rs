@@ -28,6 +28,11 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Below this slab capacity, [`EventQueue::reclaim`] is a no-op — shrinking
+/// a small queue at every drain boundary would churn the allocator for a few
+/// hundred bytes of savings.
+pub const RECLAIM_MIN_SLOTS: usize = 64;
+
 /// Identifies a scheduled event so it can be canceled before it fires.
 /// Internally `(slot, guard)`: the slot indexes the queue's slab, and the
 /// guard number protects against slot reuse — a key whose event already
@@ -234,9 +239,12 @@ impl<E> EventQueue<E> {
 
     /// Cancel a previously scheduled event: vacate its slab slot by index.
     /// Idempotent; canceling an event that already fired is a no-op (the
-    /// slot's guard number no longer matches, or the slot is vacant).
+    /// slot's guard number no longer matches, the slot is vacant, or —
+    /// after a [`EventQueue::reclaim`] — the slot index is out of bounds).
     pub fn cancel(&mut self, key: EventKey) {
-        let s = &mut self.slots[key.slot as usize];
+        let Some(s) = self.slots.get_mut(key.slot as usize) else {
+            return; // stale key from before a slab reclaim
+        };
         if s.guard == key.guard && s.event.is_some() {
             s.event = None;
             self.free.push(key.slot);
@@ -292,6 +300,38 @@ impl<E> EventQueue<E> {
             }
             self.heap.pop();
         }
+    }
+
+    /// Slab capacity in slots — how much memory the queue holds onto for
+    /// event storage, live or not. Exposed so reclamation tests (and curious
+    /// profilers) can watch [`EventQueue::reclaim`] work.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Release the slab, free list, and heap storage if the queue is fully
+    /// drained. The slab is grow-only during a run (slots are reused, never
+    /// shrunk), so a burst — a handover storm, a chaos fault volley — leaves
+    /// its high-water mark allocated forever. The drivers call this at drain
+    /// boundaries (end of `run_until`, which the sharded engine hits for
+    /// idle shards at every idle-jump epoch) to give the memory back.
+    ///
+    /// No-op unless the queue is empty (live events must keep their slots)
+    /// or still small ([`RECLAIM_MIN_SLOTS`]): reclaiming a handful of slots
+    /// just to re-grow them next epoch would thrash the allocator.
+    ///
+    /// Safety of outstanding [`EventKey`]s: guards are monotone across a
+    /// reclaim (`next_guard` is not reset), so a stale key can never match a
+    /// post-reclaim occupant of the same slot index, and `cancel` bounds-
+    /// checks the index against the shrunken slab.
+    pub fn reclaim(&mut self) {
+        if self.live != 0 || self.slots.capacity() < RECLAIM_MIN_SLOTS {
+            return;
+        }
+        // All slots are vacant and every heap key is an orphan: drop the lot.
+        self.slots = Vec::new();
+        self.free = Vec::new();
+        self.heap = BinaryHeap::new();
     }
 
     pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -431,6 +471,11 @@ impl<W: World> Simulation<W> {
                     break if self.queue.peek_time().is_some() {
                         RunOutcome::HorizonReached
                     } else {
+                        // Fully drained: hand the slab's high-water mark back
+                        // to the allocator. In the sharded engine idle shards
+                        // drain every idle-jump epoch, so bursty queues shrink
+                        // as soon as the burst passes.
+                        self.queue.reclaim();
                         RunOutcome::Drained
                     };
                 }
@@ -682,6 +727,92 @@ mod tests {
         assert_eq!(at, SimTime::from_millis(5));
         assert!(matches!(ev, Ev::Tag(2)));
         assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn reclaim_shrinks_slab_after_burst_then_drain() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for i in 0..1_000u32 {
+            queue.schedule_at(SimTime::from_millis(i as u64), Ev::Tag(i));
+        }
+        let high_water = queue.slot_capacity();
+        assert!(high_water >= 1_000, "burst grew the slab");
+        while queue.pop().is_some() {}
+        assert!(queue.is_empty());
+        // Drained by hand (not via run_until): capacity is still held.
+        assert!(queue.slot_capacity() >= 1_000, "slab is grow-only mid-run");
+        queue.reclaim();
+        assert_eq!(queue.slot_capacity(), 0, "reclaim released the slab");
+        // The queue keeps working after a reclaim, and stale keys from
+        // before the reclaim stay inert.
+        let key = queue.schedule_at(SimTime::from_millis(5_000), Ev::Tag(7));
+        assert_eq!(queue.pending(), 1);
+        queue.cancel(key);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn reclaim_is_a_no_op_while_events_live_or_queue_small() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for i in 0..1_000u32 {
+            queue.schedule_at(SimTime::from_millis(i as u64), Ev::Tag(i));
+        }
+        queue.reclaim();
+        assert!(
+            queue.slot_capacity() >= 1_000,
+            "live events pin the slab in place"
+        );
+        while queue.pop().is_some() {}
+        queue.reclaim();
+        // Small queues never shrink: re-growing a few slots each epoch would
+        // cost more than the memory saves.
+        let mut small: EventQueue<Ev> = EventQueue::new();
+        for i in 0..4u32 {
+            small.schedule_at(SimTime::from_millis(i as u64), Ev::Tag(i));
+        }
+        while small.pop().is_some() {}
+        let before = small.slot_capacity();
+        assert!(before < RECLAIM_MIN_SLOTS);
+        small.reclaim();
+        assert_eq!(small.slot_capacity(), before, "small slab left alone");
+    }
+
+    #[test]
+    fn run_until_reclaims_on_drain() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        for i in 0..1_000u32 {
+            sim.queue_mut()
+                .schedule_at(SimTime::from_millis(i as u64), Ev::Tag(i));
+        }
+        assert!(sim.queue().slot_capacity() >= 1_000);
+        assert_eq!(sim.run_to_completion(10_000), RunOutcome::Drained);
+        assert_eq!(
+            sim.queue().slot_capacity(),
+            0,
+            "drained run hands the slab back"
+        );
+        assert_eq!(sim.world().seen.len(), 1_000);
+    }
+
+    #[test]
+    fn stale_cancel_after_reclaim_does_not_touch_new_events() {
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut keys = Vec::new();
+        for i in 0..200u32 {
+            keys.push(queue.schedule_at(SimTime::from_millis(i as u64), Ev::Tag(i)));
+        }
+        while queue.pop().is_some() {}
+        queue.reclaim();
+        // One new event lands in slot 0; every stale key (including the one
+        // that used slot 0) must leave it alone — guards are monotone across
+        // the reclaim and out-of-range slots are bounds-checked.
+        queue.schedule_at(SimTime::from_millis(9_000), Ev::Tag(42));
+        for key in keys {
+            queue.cancel(key);
+        }
+        assert_eq!(queue.pending(), 1, "stale cancels are no-ops");
+        let (_, ev) = queue.pop().expect("survivor");
+        assert!(matches!(ev, Ev::Tag(42)));
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub struct RunReport {
     /// Full metrics snapshot, attached only when the runner's `--metrics`
     /// flag asks for it (may contain wall-clock values).
     pub metrics: Option<MetricsSnapshot>,
+    /// Heap allocations performed inside the scope. Only populated when the
+    /// binary installs the counting allocator (`dlte-bench` built with the
+    /// `count-allocs` feature); zero otherwise.
+    pub allocs: u64,
+    /// Bytes requested by those heap allocations.
+    pub alloc_bytes: u64,
+    /// Wire bytes duplicated by `Packet::clone` inside the scope (explicit
+    /// instrumentation — counted even without the counting allocator).
+    pub bytes_copied: u64,
 }
 
 impl RunReport {
@@ -47,11 +56,14 @@ impl RunReport {
     }
 }
 
-/// A thread's accumulated (events, sim-nanoseconds) counters.
+/// A thread's accumulated work + memory counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub(crate) struct Tally {
     pub(crate) events: u64,
     pub(crate) sim_ns: u64,
+    pub(crate) allocs: u64,
+    pub(crate) alloc_bytes: u64,
+    pub(crate) bytes_copied: u64,
 }
 
 impl Tally {
@@ -59,12 +71,30 @@ impl Tally {
         Tally {
             events: self.events.wrapping_sub(earlier.events),
             sim_ns: self.sim_ns.wrapping_sub(earlier.sim_ns),
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            alloc_bytes: self.alloc_bytes.wrapping_sub(earlier.alloc_bytes),
+            bytes_copied: self.bytes_copied.wrapping_sub(earlier.bytes_copied),
+        }
+    }
+
+    fn add(self, other: Tally) -> Tally {
+        Tally {
+            events: self.events.wrapping_add(other.events),
+            sim_ns: self.sim_ns.wrapping_add(other.sim_ns),
+            allocs: self.allocs.wrapping_add(other.allocs),
+            alloc_bytes: self.alloc_bytes.wrapping_add(other.alloc_bytes),
+            bytes_copied: self.bytes_copied.wrapping_add(other.bytes_copied),
         }
     }
 }
 
 thread_local! {
-    static TALLY: Cell<Tally> = const { Cell::new(Tally { events: 0, sim_ns: 0 }) };
+    // `Cell<Tally>` has no destructor, so const-initialized TLS access is a
+    // plain memory read/write even from inside a `GlobalAlloc` impl — no lazy
+    // init, no registered dtor, no reentrancy into the allocator.
+    static TALLY: Cell<Tally> = const { Cell::new(Tally {
+        events: 0, sim_ns: 0, allocs: 0, alloc_bytes: 0, bytes_copied: 0,
+    }) };
 }
 
 /// Credit `events` units of work covering `sim_time` to the current thread's
@@ -78,17 +108,39 @@ pub fn credit(events: u64, sim_time: crate::time::SimDuration) {
 /// Credit the current thread's tally. Called by the simulation driver.
 pub(crate) fn note(events: u64, sim_ns: u64) {
     TALLY.with(|t| {
-        let cur = t.get();
-        t.set(Tally {
-            events: cur.events.wrapping_add(events),
-            sim_ns: cur.sim_ns.wrapping_add(sim_ns),
-        });
+        let mut cur = t.get();
+        cur.events = cur.events.wrapping_add(events);
+        cur.sim_ns = cur.sim_ns.wrapping_add(sim_ns);
+        t.set(cur);
+    });
+}
+
+/// Record a heap allocation of `bytes` on the current thread's tally. Called
+/// by the counting `#[global_allocator]` in `dlte-bench` (feature
+/// `count-allocs`); must stay allocation-free, so it only touches the
+/// const-initialized thread-local `Cell`.
+pub fn note_alloc(bytes: usize) {
+    TALLY.with(|t| {
+        let mut cur = t.get();
+        cur.allocs = cur.allocs.wrapping_add(1);
+        cur.alloc_bytes = cur.alloc_bytes.wrapping_add(bytes as u64);
+        t.set(cur);
+    });
+}
+
+/// Record `bytes` wire bytes duplicated by a packet copy on the current
+/// thread's tally. Called by `Packet::clone` in `dlte-net`.
+pub fn note_copy(bytes: u64) {
+    TALLY.with(|t| {
+        let mut cur = t.get();
+        cur.bytes_copied = cur.bytes_copied.wrapping_add(bytes);
+        t.set(cur);
     });
 }
 
 /// Fold a worker thread's tally delta into the current thread.
 pub(crate) fn merge(delta: Tally) {
-    note(delta.events, delta.sim_ns);
+    TALLY.with(|t| t.set(t.get().add(delta)));
 }
 
 /// Read the current thread's tally.
@@ -120,6 +172,9 @@ pub fn scope<T>(f: impl FnOnce() -> T) -> (T, RunReport) {
             events_per_sec,
             drops: BTreeMap::new(),
             metrics: None,
+            allocs: delta.allocs,
+            alloc_bytes: delta.alloc_bytes,
+            bytes_copied: delta.bytes_copied,
         },
     )
 }

@@ -27,6 +27,9 @@ struct Phase {
     cancel: Vec<usize>,
     /// How far past the base this phase's run_until horizon reaches.
     advance: u64,
+    /// Attempt a slab reclaim after this phase's run (a no-op unless the
+    /// queue happens to be fully drained — both paths must be transparent).
+    reclaim: bool,
 }
 
 fn arb_phase() -> impl Strategy<Value = Phase> {
@@ -34,11 +37,13 @@ fn arb_phase() -> impl Strategy<Value = Phase> {
         prop::collection::vec(0u64..50_000, 0..20),
         prop::collection::vec(0usize..1000, 0..10),
         1u64..60_000,
+        any::<bool>(),
     )
-        .prop_map(|(schedule, cancel, advance)| Phase {
+        .prop_map(|(schedule, cancel, advance, reclaim)| Phase {
             schedule,
             cancel,
             advance,
+            reclaim,
         })
 }
 
@@ -116,6 +121,16 @@ proptest! {
             let live = model.iter().filter(|e| !e.fired && !e.canceled).count();
             prop_assert_eq!(sim.queue_mut().pending(), live, "pending after phase");
             prop_assert_eq!(sim.queue_mut().is_empty(), live == 0);
+            if phase.reclaim {
+                // Reclamation at a drain boundary must be invisible to
+                // everything this test checks: later schedules, cancels via
+                // (possibly stale) keys, and the final dispatch order.
+                let before = sim.queue_mut().slot_capacity();
+                sim.queue_mut().reclaim();
+                if live == 0 && before >= dlte_sim::engine::RECLAIM_MIN_SLOTS {
+                    prop_assert_eq!(sim.queue_mut().slot_capacity(), 0);
+                }
+            }
             base += phase.advance;
         }
         sim.run_to_completion(100_000);

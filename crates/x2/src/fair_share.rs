@@ -20,17 +20,36 @@
 /// * any AP that does not receive its full demand receives at least as much
 ///   as every other AP (the max-min property).
 pub fn max_min_shares(demands: &[f64], total: f64) -> Vec<f64> {
+    let mut shares = Vec::new();
+    let mut unsatisfied = Vec::new();
+    max_min_shares_into(demands, total, &mut shares, &mut unsatisfied);
+    shares
+}
+
+/// [`max_min_shares`] writing into caller-owned buffers — the X2 agent
+/// recomputes its share on every report tick (and once per peer during the
+/// setup storm), so the hot path reuses its scratch vectors instead of
+/// allocating three fresh ones per call. `shares` is cleared and refilled;
+/// `unsatisfied` is pure scratch with no meaningful contents afterwards.
+pub fn max_min_shares_into(
+    demands: &[f64],
+    total: f64,
+    shares: &mut Vec<f64>,
+    unsatisfied: &mut Vec<usize>,
+) {
     let n = demands.len();
+    shares.clear();
+    unsatisfied.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     assert!(total >= 0.0);
     assert!(
         demands.iter().all(|&d| d >= 0.0 && d.is_finite()),
         "demands must be finite and non-negative"
     );
-    let mut shares = vec![0.0f64; n];
-    let mut unsatisfied: Vec<usize> = (0..n).collect();
+    shares.resize(n, 0.0f64);
+    unsatisfied.extend(0..n);
     let mut remaining = total;
     loop {
         // Everyone satisfied or nothing left: done.
@@ -53,13 +72,12 @@ pub fn max_min_shares(demands: &[f64], total: f64) -> Vec<f64> {
         });
         if !progressed {
             // No one fits: split the remainder equally and finish.
-            for &i in &unsatisfied {
+            for &i in unsatisfied.iter() {
                 shares[i] += equal;
             }
             break;
         }
     }
-    shares
 }
 
 /// Weighted proportional shares (e.g. by client count) of `total`, capped

@@ -14,7 +14,7 @@
 //!   over the latest known demands;
 //! * accounts every byte sent (experiment E11).
 
-use crate::fair_share::max_min_shares;
+use crate::fair_share::{max_min_shares, max_min_shares_into};
 use crate::messages::{wire, CoordinationMode, DlteStatus, X2Msg};
 use dlte_net::{Addr, NodeCtx, NodeHandler, Packet, Payload};
 use dlte_sim::{SimDuration, SimTime};
@@ -65,6 +65,14 @@ pub struct X2Agent {
     /// message or tick.
     last_now: SimTime,
     pub stats: X2AgentStats,
+    /// Scratch buffers for [`Self::recompute_share`]. The share is
+    /// recomputed every report tick and once per peer during the setup
+    /// storm; reusing these keeps the steady state (and the storm)
+    /// allocation-free instead of growing four fresh vectors per call.
+    scratch_addrs: Vec<Addr>,
+    scratch_demands: Vec<f64>,
+    scratch_shares: Vec<f64>,
+    scratch_unsat: Vec<usize>,
 }
 
 impl X2Agent {
@@ -81,6 +89,10 @@ impl X2Agent {
             peer_measurements: HashMap::new(),
             last_now: SimTime::ZERO,
             stats: X2AgentStats::default(),
+            scratch_addrs: Vec::new(),
+            scratch_demands: Vec::new(),
+            scratch_shares: Vec::new(),
+            scratch_unsat: Vec::new(),
         }
     }
 
@@ -131,11 +143,16 @@ impl X2Agent {
     }
 
     fn send(&mut self, ctx: &mut NodeCtx<'_>, to: Addr, msg: X2Msg, size: u32) {
+        self.send_payload(ctx, to, Payload::control(msg), size);
+    }
+
+    /// Send a pre-built payload. Broadcast paths (the tick report) build one
+    /// `Payload::control` and clone it per peer — an `Arc` refcount bump
+    /// instead of a fresh allocation per recipient.
+    fn send_payload(&mut self, ctx: &mut NodeCtx<'_>, to: Addr, payload: Payload, size: u32) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += size as u64;
-        let p = ctx
-            .make_packet(to, size)
-            .with_payload(Payload::control(msg));
+        let p = ctx.make_packet(to, size).with_payload(payload);
         ctx.forward(p);
     }
 
@@ -144,15 +161,44 @@ impl X2Agent {
             self.my_share = 1.0; // uncoordinated: everyone just transmits
             return;
         }
+        if dlte_net::naive_memory() {
+            // The baseline re-enacts the historical fresh-vectors-per-call
+            // behavior so the bench can price the scratch reuse below.
+            let mut demands = vec![self.my_demand];
+            for a in self.fresh_peers() {
+                demands.push(self.peer_state[&a].status.demand);
+            }
+            self.my_share = max_min_shares(&demands, 1.0)[0];
+            return;
+        }
         // My demand first, then fresh peers in deterministic order. Stale
         // peers are excluded: a crashed AP must not keep holding spectrum
         // for up to three intervals until its table entry is evicted.
-        let mut demands = vec![self.my_demand];
-        for a in self.fresh_peers() {
-            demands.push(self.peer_state[&a].status.demand);
+        // Freshness is inlined (rather than calling `fresh_peers`) so the
+        // scratch buffers can be filled without borrowing `self` twice.
+        let deadline = self.report_interval + self.report_interval / 4;
+        let last_now = self.last_now;
+        self.scratch_addrs.clear();
+        self.scratch_addrs.extend(
+            self.peer_state
+                .iter()
+                .filter(|(_, p)| last_now.saturating_since(p.last_seen) <= deadline)
+                .map(|(&a, _)| a),
+        );
+        self.scratch_addrs.sort();
+        self.scratch_demands.clear();
+        self.scratch_demands.push(self.my_demand);
+        for i in 0..self.scratch_addrs.len() {
+            let a = self.scratch_addrs[i];
+            self.scratch_demands.push(self.peer_state[&a].status.demand);
         }
-        let shares = max_min_shares(&demands, 1.0);
-        self.my_share = shares[0];
+        max_min_shares_into(
+            &self.scratch_demands,
+            1.0,
+            &mut self.scratch_shares,
+            &mut self.scratch_unsat,
+        );
+        self.my_share = self.scratch_shares[0];
     }
 
     fn tick(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -165,31 +211,53 @@ impl X2Agent {
             .retain(|_, p| now.saturating_since(p.last_seen) <= deadline);
         let dropped = before - self.peer_state.len();
         self.stats.peers_dropped += dropped as u64;
-        // Report to every configured peer.
+        // Report to every configured peer. The report is identical for all
+        // of them, so the ~full-mesh broadcast shares one `Arc`'d payload and
+        // bumps its refcount per peer — in a 100-AP mesh that is 1 control
+        // allocation per tick instead of 99. The naive-memory baseline
+        // re-enacts the historical allocation per recipient so the bench can
+        // price the difference.
         let status = self.my_status();
         let my_addr = ctx.my_addr();
-        for peer in self.peers.clone() {
-            self.send(
-                ctx,
-                peer,
-                X2Msg::LoadInformation {
+        let load = Payload::control(X2Msg::LoadInformation {
+            from: my_addr,
+            status,
+        });
+        let meas = if self.mode == CoordinationMode::Cooperative && !self.my_measurements.is_empty()
+        {
+            let reports = self.my_measurements.clone();
+            let size = wire::measurement(reports.len());
+            Some((
+                Payload::control(X2Msg::MeasurementReport {
+                    from: my_addr,
+                    reports,
+                }),
+                size,
+            ))
+        } else {
+            None
+        };
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            let pl = if dlte_net::naive_memory() {
+                Payload::control(X2Msg::LoadInformation {
                     from: my_addr,
                     status,
-                },
-                wire::LOAD_INFORMATION,
-            );
-            if self.mode == CoordinationMode::Cooperative && !self.my_measurements.is_empty() {
-                let reports = self.my_measurements.clone();
-                let size = wire::measurement(reports.len());
-                self.send(
-                    ctx,
-                    peer,
-                    X2Msg::MeasurementReport {
+                })
+            } else {
+                load.clone()
+            };
+            self.send_payload(ctx, peer, pl, wire::LOAD_INFORMATION);
+            if let Some((pl, size)) = &meas {
+                let pl = if dlte_net::naive_memory() {
+                    Payload::control(X2Msg::MeasurementReport {
                         from: my_addr,
-                        reports,
-                    },
-                    size,
-                );
+                        reports: self.my_measurements.clone(),
+                    })
+                } else {
+                    pl.clone()
+                };
+                self.send_payload(ctx, peer, pl, *size);
             }
         }
         self.recompute_share();
@@ -268,18 +336,26 @@ impl X2Agent {
 
 impl NodeHandler for X2Agent {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // The setup storm is a full-mesh broadcast of one identical message;
+        // share its payload like the tick report does (with n APs this is n
+        // control allocations at startup instead of n²).
         let status = self.my_status();
         let my_addr = ctx.my_addr();
-        for peer in self.peers.clone() {
-            self.send(
-                ctx,
-                peer,
-                X2Msg::SetupRequest {
+        let setup = Payload::control(X2Msg::SetupRequest {
+            from: my_addr,
+            status,
+        });
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            let pl = if dlte_net::naive_memory() {
+                Payload::control(X2Msg::SetupRequest {
                     from: my_addr,
                     status,
-                },
-                wire::SETUP,
-            );
+                })
+            } else {
+                setup.clone()
+            };
+            self.send_payload(ctx, peer, pl, wire::SETUP);
         }
         let interval = self.report_interval;
         ctx.set_timer(interval, TAG_TICK);
